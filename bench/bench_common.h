@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark harness.
+
+#ifndef EXOTICA_BENCH_BENCH_COMMON_H_
+#define EXOTICA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/container.h"
+#include "wf/builder.h"
+#include "wf/process.h"
+#include "wfrt/engine.h"
+#include "wfrt/program.h"
+
+namespace exotica::bench {
+
+/// Declares and binds a constant-RC program.
+inline void SetupConstProgram(wf::DefinitionStore* store,
+                              wfrt::ProgramRegistry* programs,
+                              const std::string& name, int64_t rc) {
+  if (!store->HasProgram(name)) {
+    wf::ProgramDeclaration decl;
+    decl.name = name;
+    Status st = store->DeclareProgram(std::move(decl));
+    if (!st.ok()) std::abort();
+  }
+  if (!programs->IsBound(name)) {
+    Status st = programs->Bind(
+        name, [rc](const data::Container&, data::Container* output,
+                   const wfrt::ProgramContext&) {
+          return output->Set("RC", data::Value(rc));
+        });
+    if (!st.ok()) std::abort();
+  }
+}
+
+/// Registers a linear chain process "chain<n>" of n constant activities.
+inline std::string SetupChainProcess(wf::DefinitionStore* store,
+                                     wfrt::ProgramRegistry* programs, int n) {
+  SetupConstProgram(store, programs, "ok", 0);
+  std::string name = "chain" + std::to_string(n);
+  if (store->HasProcess(name)) return name;
+  wf::ProcessBuilder b(store, name);
+  for (int i = 0; i < n; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    if (i > 0) b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i),
+                         "RC = 0");
+  }
+  Status st = b.Register();
+  if (!st.ok()) std::abort();
+  return name;
+}
+
+}  // namespace exotica::bench
+
+#endif  // EXOTICA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,97 @@
+// Experiment E1: dead path elimination cost (paper §3.2). DPE is the
+// mechanism behind both translations (saga abort cut-off, flexible-path
+// switching), so its cost scales every failure path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace exotica::bench {
+namespace {
+
+// First activity fails; DPE sweeps the remaining chain of length N.
+void BM_DpeChainSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  SetupConstProgram(&store, &programs, "fail", 1);
+  SetupConstProgram(&store, &programs, "ok", 0);
+
+  wf::ProcessBuilder b(&store, "deadchain");
+  b.Program("A0", "fail");
+  for (int i = 1; i < n; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i), "RC = 0");
+  }
+  if (!b.Register().ok()) std::abort();
+
+  uint64_t dead = 0;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion("deadchain");
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    dead += engine.stats().dead_path_terminations;
+  }
+  state.counters["dead/s"] =
+      benchmark::Counter(static_cast<double>(dead), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DpeChainSweep)->Arg(10)->Arg(100)->Arg(1000);
+
+// Binary tree of depth D rooted at a failing activity: 2^(D+1)-2 dead.
+void BM_DpeTreeSweep(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  SetupConstProgram(&store, &programs, "fail", 1);
+  SetupConstProgram(&store, &programs, "ok", 0);
+
+  wf::ProcessBuilder b(&store, "deadtree");
+  b.Program("n1", "fail");
+  int total = (1 << (depth + 1)) - 1;
+  for (int i = 2; i <= total; ++i) {
+    b.Program("n" + std::to_string(i), "ok");
+    b.Connect("n" + std::to_string(i / 2), "n" + std::to_string(i), "RC = 0");
+  }
+  if (!b.Register().ok()) std::abort();
+
+  uint64_t dead = 0;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion("deadtree");
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    dead += engine.stats().dead_path_terminations;
+  }
+  state.counters["dead/s"] =
+      benchmark::Counter(static_cast<double>(dead), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DpeTreeSweep)->Arg(4)->Arg(8)->Arg(12);
+
+// Live vs dead execution of the same graph: the relative cost of DPE
+// termination vs actually running the activities.
+void BM_DpeVsLiveChain(benchmark::State& state) {
+  const int n = 500;
+  const bool fail_first = state.range(0) == 1;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  SetupConstProgram(&store, &programs, "fail", 1);
+  SetupConstProgram(&store, &programs, "ok", 0);
+
+  wf::ProcessBuilder b(&store, "line");
+  b.Program("A0", fail_first ? "fail" : "ok");
+  for (int i = 1; i < n; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i), "RC = 0");
+  }
+  if (!b.Register().ok()) std::abort();
+
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion("line");
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.SetLabel(fail_first ? "dead-path" : "live-path");
+}
+BENCHMARK(BM_DpeVsLiveChain)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace exotica::bench

@@ -1,0 +1,83 @@
+// Fleet scaling: instance throughput vs engine count, with and without
+// data-site contention — the scaling dimension FlowMark-style deployments
+// rely on (concurrency across instances, not within one).
+
+#include <benchmark/benchmark.h>
+
+#include "atm/saga.h"
+#include "exotica/programs.h"
+#include "exotica/saga_translate.h"
+#include "txn/multidb.h"
+#include "wfrt/fleet.h"
+#include "bench_common.h"
+
+namespace exotica::bench {
+namespace {
+
+// Pure navigation: no shared resources at all.
+void BM_FleetNavigationScaling(benchmark::State& state) {
+  const int engines = static_cast<int>(state.range(0));
+  constexpr int kInstances = 64;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, 20);
+
+  for (auto _ : state) {
+    wfrt::EngineFleet fleet(&store, &programs, engines);
+    auto result = fleet.RunBatch(process, kInstances);
+    if (!result.ok() || !result->ok()) {
+      state.SkipWithError("batch failed");
+    }
+  }
+  state.counters["instances/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInstances,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetNavigationScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Sagas over a shared multidatabase: engines contend on the sites.
+void BM_FleetSagaScaling(benchmark::State& state) {
+  const int engines = static_cast<int>(state.range(0));
+  constexpr int kInstances = 32;
+
+  txn::MultiDatabase mdb;
+  (void)mdb.AddSite("a");
+  (void)mdb.AddSite("b");
+  atm::MultiDbRunner runner(&mdb);
+  int key_counter = 0;
+  auto body = [&key_counter](txn::Transaction& t) {
+    // Distinct keys: contention on the site, not on one row.
+    return t.Put("k" + std::to_string(key_counter++ % 64),
+                 data::Value(int64_t{1}));
+  };
+  (void)runner.Register({"T1", "a", body, [](txn::Transaction& t) {
+                           return t.Put("c", data::Value(int64_t{0}));
+                         }});
+  (void)runner.Register({"T2", "b", body, [](txn::Transaction& t) {
+                           return t.Put("c", data::Value(int64_t{0}));
+                         }});
+
+  atm::SagaSpec spec("S");
+  spec.Then("T1").Then("T2");
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  if (!translation.ok()) std::abort();
+  wfrt::ProgramRegistry programs;
+  if (!exo::BindSagaPrograms(spec, store, &runner, &programs).ok()) std::abort();
+
+  for (auto _ : state) {
+    wfrt::EngineFleet fleet(&store, &programs, engines);
+    auto result = fleet.RunBatch(translation->root_process, kInstances);
+    if (!result.ok() || !result->ok()) {
+      state.SkipWithError("batch failed");
+    }
+  }
+  state.counters["sagas/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInstances,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetSagaScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace exotica::bench

@@ -1,0 +1,117 @@
+// Experiment F3/F4: the Figure-3 flexible transaction — native executor
+// vs the rules-1-7 workflow translation, across the paper's three
+// execution paths (p1, p2, p3) and the global-abort cases.
+
+#include <benchmark/benchmark.h>
+
+#include "atm/flex.h"
+#include "exotica/flex_translate.h"
+#include "exotica/programs.h"
+#include "bench_common.h"
+
+namespace exotica::bench {
+namespace {
+
+using atm::FlexExecutor;
+using atm::ScriptedRunner;
+
+// Scenario index: 0 = p1 (no aborts), 1 = p2 (T8 aborts), 2 = p3 (T4
+// aborts), 3 = global abort (T2 aborts).
+const char* ScenarioLabel(int scenario) {
+  switch (scenario) {
+    case 0: return "p1-preferred";
+    case 1: return "p2-via-T8-abort";
+    case 2: return "p3-via-T4-abort";
+    case 3: return "global-abort-T2";
+  }
+  return "?";
+}
+
+void Configure(ScriptedRunner* runner, int scenario) {
+  switch (scenario) {
+    case 0: break;
+    case 1: runner->AlwaysAbort("T8"); break;
+    case 2: runner->AlwaysAbort("T4"); break;
+    case 3: runner->AlwaysAbort("T2"); break;
+  }
+}
+
+void BM_Figure3Native(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  atm::FlexSpec spec = atm::MakeFigure3Spec();
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    Configure(&runner, scenario);
+    FlexExecutor executor(&runner);
+    auto outcome = executor.Execute(spec);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    benchmark::DoNotOptimize(outcome->committed);
+  }
+  state.SetLabel(ScenarioLabel(scenario));
+}
+BENCHMARK(BM_Figure3Native)->DenseRange(0, 3);
+
+void BM_Figure3Workflow(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  atm::FlexSpec spec = atm::MakeFigure3Spec();
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateFlex(spec, &store);
+  if (!translation.ok()) std::abort();
+
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    Configure(&runner, scenario);
+    wfrt::ProgramRegistry programs;
+    if (!exo::BindFlexPrograms(spec, store, &runner, &programs).ok()) {
+      std::abort();
+    }
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.SetLabel(ScenarioLabel(scenario));
+}
+BENCHMARK(BM_Figure3Workflow)->DenseRange(0, 3);
+
+// Depth sweep: nested alternatives Alt(Seq[C, P, <inner>], R) — how the
+// translated process scales with the alternative-nesting depth.
+atm::FlexStepPtr NestedAlt(int depth, int* counter) {
+  using S = atm::FlexStep;
+  auto sub_name = [&](const char* prefix) {
+    return std::string(prefix) + std::to_string(++*counter);
+  };
+  if (depth == 0) {
+    return S::Retriable(sub_name("R"));
+  }
+  std::vector<atm::FlexStepPtr> seq;
+  seq.push_back(S::Compensatable(sub_name("C")));
+  seq.push_back(S::Pivot(sub_name("P")));
+  seq.push_back(NestedAlt(depth - 1, counter));
+  return S::Alt(S::Seq(std::move(seq)), S::Retriable(sub_name("F")));
+}
+
+void BM_NestedFlexWorkflow(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  int counter = 0;
+  atm::FlexSpec spec("Nested", NestedAlt(depth, &counter));
+  if (!spec.Validate().ok()) std::abort();
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateFlex(spec, &store);
+  if (!translation.ok()) std::abort();
+
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    wfrt::ProgramRegistry programs;
+    if (!exo::BindFlexPrograms(spec, store, &runner, &programs).ok()) {
+      std::abort();
+    }
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["subs"] = static_cast<double>(counter);
+}
+BENCHMARK(BM_NestedFlexWorkflow)->Arg(1)->Arg(3)->Arg(6);
+
+}  // namespace
+}  // namespace exotica::bench

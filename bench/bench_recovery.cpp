@@ -1,0 +1,124 @@
+// Experiment E2: forward recovery cost — journal replay + resume time as
+// a function of journal length, and the journaling write amplification.
+
+#include <benchmark/benchmark.h>
+
+#include "wfjournal/journal.h"
+#include "bench_common.h"
+
+namespace exotica::bench {
+namespace {
+
+// Builds a journal by running `instances` chain-of-n processes to
+// completion.
+wfjournal::MemoryJournal BuildJournal(wf::DefinitionStore* store,
+                                      wfrt::ProgramRegistry* programs, int n,
+                                      int instances) {
+  std::string process = SetupChainProcess(store, programs, n);
+  wfjournal::MemoryJournal journal;
+  wfrt::Engine engine(store, programs);
+  if (!engine.AttachJournal(&journal).ok()) std::abort();
+  for (int i = 0; i < instances; ++i) {
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) std::abort();
+  }
+  return journal;
+}
+
+// Full replay of a journal of finished instances.
+void BM_RecoverFinishedInstances(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  wfjournal::MemoryJournal journal =
+      BuildJournal(&store, &programs, /*n=*/20, instances);
+
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&journal).ok()) std::abort();
+    Status st = engine.Recover();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * journal.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RecoverFinishedInstances)->Arg(1)->Arg(10)->Arg(100);
+
+// Crash mid-instance at a fixed fraction of the journal, then recover +
+// re-run to completion: the paper's resume-from-failure-point scenario.
+void BM_RecoverAndResume(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  wfjournal::MemoryJournal full =
+      BuildJournal(&store, &programs, n, /*instances=*/1);
+  auto records = full.ReadAll();
+  if (!records.ok()) std::abort();
+  const uint64_t cut = full.size() / 2;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    wfjournal::MemoryJournal journal;
+    for (uint64_t i = 0; i < cut; ++i) (void)journal.Append((*records)[i]);
+    state.ResumeTiming();
+
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&journal).ok()) std::abort();
+    Status st = engine.Recover();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    st = engine.Run();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["journal_cut"] = static_cast<double>(cut);
+}
+BENCHMARK(BM_RecoverAndResume)->Arg(10)->Arg(100)->Arg(500);
+
+// Journal write amplification: records appended per activity navigated.
+void BM_JournalAmplification(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, n);
+
+  uint64_t records = 0, activities = 0;
+  for (auto _ : state) {
+    wfjournal::MemoryJournal journal;
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&journal).ok()) std::abort();
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    records += journal.size();
+    activities += engine.stats().activities_executed;
+  }
+  state.counters["records_per_activity"] =
+      static_cast<double>(records) / static_cast<double>(activities);
+}
+BENCHMARK(BM_JournalAmplification)->Arg(10)->Arg(100);
+
+// File-journal durability cost: with and without fsync per record.
+void BM_FileJournalAppend(benchmark::State& state) {
+  const bool fsync_each = state.range(0) == 1;
+  std::string path = "/tmp/exo_bench_journal.log";
+  std::remove(path.c_str());
+  auto journal = wfjournal::FileJournal::Open(path, fsync_each);
+  if (!journal.ok()) std::abort();
+
+  wfjournal::Record r;
+  r.type = wfjournal::EventType::kActivityFinished;
+  r.instance = "wf-1";
+  r.activity = "A";
+  r.payload = "RC=0\n";
+  for (auto _ : state) {
+    Status st = (*journal)->Append(r);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetLabel(fsync_each ? "fsync-each" : "buffered");
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FileJournalAppend)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace exotica::bench

@@ -1,0 +1,144 @@
+// Experiment F2/E5/E6: the Figure-2 saga — native executor vs the
+// workflow implementation, swept over saga length and abort point. The
+// structural claim to reproduce: both give identical outcomes; the
+// workflow route pays a bounded constant factor of navigation overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "atm/saga.h"
+#include "exotica/programs.h"
+#include "exotica/saga_translate.h"
+#include "bench_common.h"
+
+namespace exotica::bench {
+namespace {
+
+using atm::SagaSpec;
+using atm::ScriptedRunner;
+
+SagaSpec LinearSaga(int n) {
+  SagaSpec spec("S");
+  for (int i = 1; i <= n; ++i) spec.Then("T" + std::to_string(i));
+  return spec;
+}
+
+SagaSpec ParallelSaga(int width) {
+  // Fork-join: Start -> {B1..Bw} -> End.
+  SagaSpec spec("P");
+  spec.Step("Start", {});
+  std::vector<std::string> mids;
+  for (int i = 1; i <= width; ++i) {
+    std::string name = "B" + std::to_string(i);
+    spec.Step(name, {"Start"});
+    mids.push_back(name);
+  }
+  spec.Step("End", mids);
+  return spec;
+}
+
+// Native saga execution, no failures.
+void BM_SagaNative(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SagaSpec spec = LinearSaga(n);
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    atm::SagaExecutor executor(&runner);
+    auto outcome = executor.Execute(spec);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    benchmark::DoNotOptimize(outcome->committed);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SagaNative)->Arg(5)->Arg(20)->Arg(100);
+
+// Workflow saga execution, no failures (translation amortized).
+void BM_SagaWorkflow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SagaSpec spec = LinearSaga(n);
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  if (!translation.ok()) std::abort();
+
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    wfrt::ProgramRegistry programs;
+    if (!exo::BindSagaPrograms(spec, store, &runner, &programs).ok()) {
+      std::abort();
+    }
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SagaWorkflow)->Arg(5)->Arg(20)->Arg(100);
+
+// Abort-point sweep on a 10-step saga: cost of the compensation path as a
+// function of how far the saga got (Figure-2 failure series).
+void BM_SagaWorkflowAbortAt(benchmark::State& state) {
+  const int n = 10;
+  const int j = static_cast<int>(state.range(0));  // abort at step j+1
+  SagaSpec spec = LinearSaga(n);
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  if (!translation.ok()) std::abort();
+
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    if (j < n) runner.AlwaysAbort("T" + std::to_string(j + 1));
+    wfrt::ProgramRegistry programs;
+    if (!exo::BindSagaPrograms(spec, store, &runner, &programs).ok()) {
+      std::abort();
+    }
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.SetLabel(j == n ? "commit" : "abort@T" + std::to_string(j + 1));
+}
+BENCHMARK(BM_SagaWorkflowAbortAt)->DenseRange(0, 10, 2);
+
+// Native abort-point sweep for the overhead comparison.
+void BM_SagaNativeAbortAt(benchmark::State& state) {
+  const int n = 10;
+  const int j = static_cast<int>(state.range(0));
+  SagaSpec spec = LinearSaga(n);
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    if (j < n) runner.AlwaysAbort("T" + std::to_string(j + 1));
+    atm::SagaExecutor executor(&runner);
+    auto outcome = executor.Execute(spec);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+  }
+  state.SetLabel(j == n ? "commit" : "abort@T" + std::to_string(j + 1));
+}
+BENCHMARK(BM_SagaNativeAbortAt)->DenseRange(0, 10, 2);
+
+// Generalized (parallel) saga via workflow: width sweep.
+void BM_ParallelSagaWorkflow(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  SagaSpec spec = ParallelSaga(w);
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  if (!translation.ok()) std::abort();
+
+  for (auto _ : state) {
+    ScriptedRunner runner;
+    wfrt::ProgramRegistry programs;
+    if (!exo::BindSagaPrograms(spec, store, &runner, &programs).ok()) {
+      std::abort();
+    }
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * (w + 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSagaWorkflow)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace exotica::bench

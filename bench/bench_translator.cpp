@@ -1,0 +1,130 @@
+// Experiment F5/E7: the Exotica/FMTM pipeline of Figure 5 — cost of each
+// stage (spec parse + format check, translation, FDL emission, FDL
+// import with syntax + semantic checks) as the model size grows.
+
+#include <benchmark/benchmark.h>
+
+#include "exotica/fmtm.h"
+#include "exotica/saga_translate.h"
+#include "fdl/export.h"
+#include "fdl/import.h"
+#include "fdl/parser.h"
+
+namespace exotica::bench {
+namespace {
+
+std::string SagaSpecText(int n) {
+  std::string out = "SAGA 'S'\n";
+  for (int i = 1; i <= n; ++i) {
+    out += "  STEP 'T" + std::to_string(i) + "';\n";
+  }
+  out += "END 'S'\n";
+  return out;
+}
+
+void BM_SpecParse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string spec = SagaSpecText(n);
+  for (auto _ : state) {
+    auto out = exo::ParseSpec(spec);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out->root_process);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpecParse)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_SagaTranslate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto parsed = exo::ParseSpec(SagaSpecText(n));
+  if (!parsed.ok()) std::abort();
+  for (auto _ : state) {
+    wf::DefinitionStore store;
+    auto t = exo::TranslateSaga(*parsed->saga, &store);
+    if (!t.ok()) state.SkipWithError(t.status().ToString().c_str());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SagaTranslate)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_FdlExport(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto parsed = exo::ParseSpec(SagaSpecText(n));
+  if (!parsed.ok()) std::abort();
+  wf::DefinitionStore store;
+  auto t = exo::TranslateSaga(*parsed->saga, &store);
+  if (!t.ok()) std::abort();
+
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto fdl = fdl::ExportClosure(store, {t->root_process});
+    if (!fdl.ok()) state.SkipWithError(fdl.status().ToString().c_str());
+    bytes = fdl->size();
+    benchmark::DoNotOptimize(fdl->data());
+  }
+  state.counters["fdl_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FdlExport)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_FdlImport(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto parsed = exo::ParseSpec(SagaSpecText(n));
+  if (!parsed.ok()) std::abort();
+  wf::DefinitionStore scratch;
+  auto t = exo::TranslateSaga(*parsed->saga, &scratch);
+  if (!t.ok()) std::abort();
+  auto fdl_text = fdl::ExportClosure(scratch, {t->root_process});
+  if (!fdl_text.ok()) std::abort();
+
+  for (auto _ : state) {
+    wf::DefinitionStore store;
+    auto names = fdl::ImportFdl(*fdl_text, &store);
+    if (!names.ok()) state.SkipWithError(names.status().ToString().c_str());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FdlImport)->Arg(5)->Arg(50)->Arg(500);
+
+// The whole Figure-5 pipeline end to end.
+void BM_FullPipeline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string spec = SagaSpecText(n);
+  for (auto _ : state) {
+    wf::DefinitionStore store;
+    auto out = exo::CompileSpec(spec, &store);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullPipeline)->Arg(5)->Arg(50)->Arg(500);
+
+// Flexible model through the pipeline, with nesting depth as the size
+// parameter.
+void BM_FullPipelineFlex(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  std::string spec = "FLEXIBLE 'F'\n";
+  int counter = 0;
+  std::string open, close;
+  for (int d = 0; d < depth; ++d) {
+    ++counter;
+    open += "SEQ SUB 'C" + std::to_string(counter) +
+            "' COMPENSATABLE; SUB 'P" + std::to_string(counter) +
+            "' PIVOT; ALT ";
+    close = " SUB 'R" + std::to_string(counter) + "' RETRIABLE; END END" + close;
+  }
+  spec += open + "SUB 'Last' RETRIABLE;" + close + "\nEND 'F'\n";
+  for (auto _ : state) {
+    wf::DefinitionStore store;
+    auto out = exo::CompileSpec(spec, &store);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_FullPipelineFlex)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace exotica::bench

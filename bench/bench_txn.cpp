@@ -1,0 +1,144 @@
+// Experiment E4: the transaction substrate — per-site strict-2PL
+// throughput, contention behaviour, deadlock handling, and WAL restart
+// recovery. These numbers bound what any transaction model built on the
+// substrate can achieve.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "txn/multidb.h"
+
+namespace exotica::bench {
+namespace {
+
+using data::Value;
+using txn::Site;
+
+// Single-threaded read-modify-write transactions, uniform keys.
+void BM_SiteRmw(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  Site site("s");
+  {
+    auto t = site.Begin();
+    for (int i = 0; i < keys; ++i) {
+      (void)t->Put("k" + std::to_string(i), Value(int64_t{0}));
+    }
+    (void)t->Commit();
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    std::string key = "k" + std::to_string(rng.Uniform(0, keys - 1));
+    auto t = site.Begin();
+    auto v = t->Get(key);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    if (!t->Put(key, Value(v->as_long() + 1)).ok()) {
+      state.SkipWithError("put failed");
+    }
+    if (!t->Commit().ok()) state.SkipWithError("commit failed");
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SiteRmw)->Arg(16)->Arg(1024)->Arg(65536);
+
+// Multi-threaded counter increments with skewed access: contention sweep.
+// theta = range(1)/100.
+void BM_SiteContention(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const double theta = static_cast<double>(state.range(1)) / 100.0;
+  constexpr int kKeys = 256;
+  constexpr int kTxnPerThread = 200;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Site site("s", {/*lock_timeout_micros=*/200000});
+    {
+      auto t = site.Begin();
+      for (int i = 0; i < kKeys; ++i) {
+        (void)t->Put("k" + std::to_string(i), Value(int64_t{0}));
+      }
+      (void)t->Commit();
+    }
+    state.ResumeTiming();
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&site, w, theta] {
+        Rng rng(static_cast<uint64_t>(w) + 1);
+        for (int i = 0; i < kTxnPerThread; ++i) {
+          while (true) {
+            std::string key = "k" + std::to_string(rng.Skewed(kKeys, theta));
+            auto t = site.Begin();
+            auto v = t->Get(key);
+            if (!v.ok()) continue;
+            if (!t->Put(key, Value(v->as_long() + 1)).ok()) continue;
+            if (t->Commit().ok()) break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    state.PauseTiming();
+    txn::SiteStats stats = site.stats();
+    state.counters["aborts"] += static_cast<double>(stats.aborts);
+    state.counters["deadlocks"] +=
+        static_cast<double>(site.locks().stats().deadlocks);
+    state.ResumeTiming();
+  }
+  state.counters["txn/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * threads * kTxnPerThread,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SiteContention)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({4, 90})
+    ->Args({8, 0})
+    ->Args({8, 90})
+    ->UseRealTime();
+
+// WAL restart recovery as a function of history length.
+void BM_SiteRecovery(benchmark::State& state) {
+  const int history = static_cast<int>(state.range(0));
+  Site site("s");
+  Rng rng(3);
+  for (int i = 0; i < history; ++i) {
+    auto t = site.Begin();
+    (void)t->Put("k" + std::to_string(rng.Uniform(0, 127)),
+                 Value(static_cast<int64_t>(i)));
+    (void)t->Commit();
+  }
+  for (auto _ : state) {
+    site.Crash();
+    Status st = site.Restart();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * site.wal().size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SiteRecovery)->Arg(100)->Arg(10000)->Arg(100000);
+
+// Unilateral-abort rate sweep: commit cost when the site says no with
+// probability p = range(0)%.
+void BM_SiteUnilateralAborts(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  Site site("s");
+  site.SetCommitFailureRate(p, 11);
+  int64_t committed = 0;
+  for (auto _ : state) {
+    auto t = site.Begin();
+    (void)t->Put("k", Value(int64_t{1}));
+    if (t->Commit().ok()) ++committed;
+  }
+  state.counters["commit_rate"] =
+      static_cast<double>(committed) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SiteUnilateralAborts)->Arg(0)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace exotica::bench

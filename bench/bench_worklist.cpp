@@ -1,0 +1,116 @@
+// Experiment E3: worklists and staff resolution (paper §3.3) — the cost
+// of posting an item to a role with R members, claim withdrawal, and the
+// load-balancing claim pattern.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "org/worklist.h"
+
+namespace exotica::bench {
+namespace {
+
+void BuildOrg(org::Directory* dir, int members) {
+  (void)dir->AddRole("clerk");
+  (void)dir->AddRole("boss");
+  (void)dir->AddPerson("theboss", 9, {"boss"});
+  for (int i = 0; i < members; ++i) {
+    (void)dir->AddPerson("p" + std::to_string(i), 1, {"clerk"});
+  }
+}
+
+void BM_StaffResolution(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  org::Directory dir;
+  BuildOrg(&dir, members);
+  // A fifth of the staff is absent with substitutes.
+  for (int i = 0; i < members; i += 5) {
+    (void)dir.SetAbsent("p" + std::to_string(i), true,
+                        "p" + std::to_string((i + 1) % members));
+  }
+  for (auto _ : state) {
+    auto staff = dir.ResolveStaff("clerk");
+    if (!staff.ok()) state.SkipWithError(staff.status().ToString().c_str());
+    benchmark::DoNotOptimize(staff->size());
+  }
+  state.counters["resolutions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StaffResolution)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PostClaimComplete(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  org::Directory dir;
+  BuildOrg(&dir, members);
+  ManualClock clock;
+  org::WorklistService service(&dir, &clock);
+
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto id = service.Post("wf-1", "A", "clerk");
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    std::string person = "p" + std::to_string(i++ % members);
+    if (!service.Claim(*id, person).ok()) state.SkipWithError("claim");
+    if (!service.Complete(*id, person).ok()) state.SkipWithError("complete");
+  }
+  state.counters["items/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PostClaimComplete)->Arg(10)->Arg(100);
+
+// The §3.3 load-balancing pattern: K items posted to the role; every
+// member claims greedily from their worklist until the pool drains.
+void BM_LoadBalancingDrain(benchmark::State& state) {
+  const int members = 10;
+  const int items = static_cast<int>(state.range(0));
+  org::Directory dir;
+  BuildOrg(&dir, members);
+  ManualClock clock;
+
+  for (auto _ : state) {
+    org::WorklistService service(&dir, &clock);
+    for (int i = 0; i < items; ++i) {
+      auto id = service.Post("wf-1", "A" + std::to_string(i), "clerk");
+      if (!id.ok()) state.SkipWithError("post");
+    }
+    int drained = 0;
+    while (drained < items) {
+      for (int m = 0; m < members && drained < items; ++m) {
+        std::string person = "p" + std::to_string(m);
+        auto list = service.WorklistOf(person);
+        if (list.empty()) continue;
+        if (service.Claim(list[0]->id, person).ok()) {
+          (void)service.Complete(list[0]->id, person);
+          ++drained;
+        }
+      }
+    }
+  }
+  state.counters["items/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * items,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoadBalancingDrain)->Arg(50)->Arg(500);
+
+// Deadline scanning cost over a large posted set.
+void BM_DeadlineScan(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  org::Directory dir;
+  BuildOrg(&dir, 20);
+  ManualClock clock;
+  org::WorklistService service(&dir, &clock);
+  for (int i = 0; i < items; ++i) {
+    (void)service.Post("wf-1", "A" + std::to_string(i), "clerk",
+                       /*deadline=*/1000000000, "boss");
+  }
+  for (auto _ : state) {
+    auto notes = service.CheckDeadlines();
+    benchmark::DoNotOptimize(notes.size());
+  }
+  state.counters["scans/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DeadlineScan)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace exotica::bench

@@ -1,0 +1,135 @@
+// Travel booking as a flexible transaction (paper §4.2): prefer the
+// direct flight; if the airline refuses, fall back to a train ticket
+// (retriable), compensating whatever already committed along the
+// abandoned path. The model is specified in the FMTM spec language,
+// compiled through the Figure-5 pipeline, and executed on the workflow
+// engine against autonomous sites that can refuse commits.
+
+#include <cstdio>
+
+#include "atm/subtxn.h"
+#include "exotica/fmtm.h"
+#include "exotica/programs.h"
+#include "txn/multidb.h"
+#include "wfrt/engine.h"
+
+using namespace exotica;  // NOLINT: example brevity
+
+namespace {
+
+// PayDeposit is compensatable; BookFlight and BookHotel form the
+// preferred path where BookHotel is the pivot; BookTrain is the
+// guaranteed (retriable) alternative reached after compensating the
+// flight if the hotel cannot be secured.
+constexpr const char* kSpec = R"(
+FLEXIBLE 'PlanTrip'
+  SEQ
+    SUB 'PayDeposit' COMPENSATABLE;
+    ALT
+      SEQ
+        SUB 'BookFlight' COMPENSATABLE;
+        SUB 'BookHotel' PIVOT;
+      END
+      SUB 'BookTrain' RETRIABLE;
+    END
+  END
+END 'PlanTrip'
+)";
+
+Status SetupSubTxns(txn::MultiDatabase* mdb, atm::MultiDbRunner* runner) {
+  EXO_RETURN_NOT_OK(mdb->AddSite("bank"));
+  EXO_RETURN_NOT_OK(mdb->AddSite("airline"));
+  EXO_RETURN_NOT_OK(mdb->AddSite("hotel"));
+  EXO_RETURN_NOT_OK(mdb->AddSite("rail"));
+
+  auto put1 = [](const char* key) {
+    return [key](txn::Transaction& t) {
+      return t.Put(key, data::Value(int64_t{1}));
+    };
+  };
+  auto del = [](const char* key) {
+    return [key](txn::Transaction& t) { return t.Erase(key); };
+  };
+  EXO_RETURN_NOT_OK(runner->Register(
+      {"PayDeposit", "bank", put1("deposit"), del("deposit")}));
+  EXO_RETURN_NOT_OK(runner->Register(
+      {"BookFlight", "airline", put1("seat"), del("seat")}));
+  EXO_RETURN_NOT_OK(
+      runner->Register({"BookHotel", "hotel", put1("room"), nullptr}));
+  EXO_RETURN_NOT_OK(
+      runner->Register({"BookTrain", "rail", put1("ticket"), nullptr}));
+  return Status::OK();
+}
+
+Status PrintState(txn::MultiDatabase* mdb) {
+  for (const auto& [site_name, key] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"bank", "deposit"},
+           {"airline", "seat"},
+           {"hotel", "room"},
+           {"rail", "ticket"}}) {
+    EXO_ASSIGN_OR_RETURN(txn::Site * site, mdb->site(site_name));
+    EXO_ASSIGN_OR_RETURN(data::Value v, site->ReadCommitted(key));
+    std::printf("  %-8s %-8s = %s\n", site_name, key, v.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+Status RunOnce(bool hotel_full, int rail_flaky_commits) {
+  txn::MultiDatabase mdb;
+  atm::MultiDbRunner runner(&mdb);
+  EXO_RETURN_NOT_OK(SetupSubTxns(&mdb, &runner));
+
+  wf::DefinitionStore store;
+  EXO_ASSIGN_OR_RETURN(exo::FmtmOutput compiled,
+                       exo::CompileSpec(kSpec, &store));
+  wfrt::ProgramRegistry programs;
+  EXO_RETURN_NOT_OK(
+      exo::BindFlexPrograms(*compiled.flex, store, &runner, &programs));
+
+  if (hotel_full) {
+    EXO_ASSIGN_OR_RETURN(txn::Site * hotel, mdb.site("hotel"));
+    hotel->FailNextCommits(1);
+  }
+  if (rail_flaky_commits > 0) {
+    EXO_ASSIGN_OR_RETURN(txn::Site * rail, mdb.site("rail"));
+    rail->FailNextCommits(rail_flaky_commits);
+  }
+
+  wfrt::Engine engine(&store, &programs);
+  EXO_ASSIGN_OR_RETURN(std::string id,
+                       engine.RunToCompletion(compiled.root_process));
+  EXO_ASSIGN_OR_RETURN(data::Container out, engine.OutputOf(id));
+  std::printf("flexible transaction %s\n",
+              out.Get("RC")->as_long() == 0 ? "COMMITTED" : "ABORTED");
+  EXO_RETURN_NOT_OK(PrintState(&mdb));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== travel booking as a flexible transaction ==\n");
+  std::printf("\n-- run 1: preferred path (flight + hotel) --\n");
+  Status st = RunOnce(false, 0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n-- run 2: hotel refuses; flight compensated, train instead --\n");
+  st = RunOnce(true, 0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n-- run 3: hotel refuses AND the rail site is flaky (retriable "
+      "booking retries until it commits) --\n");
+  st = RunOnce(true, 3);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

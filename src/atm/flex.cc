@@ -1,0 +1,338 @@
+#include "atm/flex.h"
+
+#include <set>
+
+namespace exotica::atm {
+
+FlexStepPtr FlexStep::Sub(std::string name, bool compensatable,
+                          bool retriable) {
+  auto s = std::make_unique<FlexStep>();
+  s->kind = Kind::kSub;
+  s->name = std::move(name);
+  s->compensatable = compensatable;
+  s->retriable = retriable;
+  return s;
+}
+
+FlexStepPtr FlexStep::Seq(std::vector<FlexStepPtr> children) {
+  auto s = std::make_unique<FlexStep>();
+  s->kind = Kind::kSeq;
+  s->children = std::move(children);
+  return s;
+}
+
+FlexStepPtr FlexStep::Alt(FlexStepPtr primary, FlexStepPtr fallback) {
+  auto s = std::make_unique<FlexStep>();
+  s->kind = Kind::kAlt;
+  s->primary = std::move(primary);
+  s->fallback = std::move(fallback);
+  return s;
+}
+
+FlexStepPtr FlexStep::Clone() const {
+  auto s = std::make_unique<FlexStep>();
+  s->kind = kind;
+  s->name = name;
+  s->compensatable = compensatable;
+  s->retriable = retriable;
+  s->program = program;
+  s->compensation_program = compensation_program;
+  for (const FlexStepPtr& c : children) s->children.push_back(c->Clone());
+  if (primary) s->primary = primary->Clone();
+  if (fallback) s->fallback = fallback->Clone();
+  return s;
+}
+
+bool FlexStep::Guaranteed() const {
+  switch (kind) {
+    case Kind::kSub:
+      return retriable;
+    case Kind::kSeq:
+      for (const FlexStepPtr& c : children) {
+        if (!c->Guaranteed()) return false;
+      }
+      return true;
+    case Kind::kAlt:
+      return fallback->Guaranteed();
+  }
+  return false;
+}
+
+bool FlexStep::HasPivot() const {
+  switch (kind) {
+    case Kind::kSub:
+      return is_pivot();
+    case Kind::kSeq:
+      for (const FlexStepPtr& c : children) {
+        if (c->HasPivot()) return true;
+      }
+      return false;
+    case Kind::kAlt:
+      return primary->HasPivot() || fallback->HasPivot();
+  }
+  return false;
+}
+
+bool FlexStep::AllCompensatable() const {
+  switch (kind) {
+    case Kind::kSub:
+      return compensatable;
+    case Kind::kSeq:
+      for (const FlexStepPtr& c : children) {
+        if (!c->AllCompensatable()) return false;
+      }
+      return true;
+    case Kind::kAlt:
+      return primary->AllCompensatable() && fallback->AllCompensatable();
+  }
+  return false;
+}
+
+void FlexStep::CollectSubs(std::vector<const FlexStep*>* out) const {
+  switch (kind) {
+    case Kind::kSub:
+      out->push_back(this);
+      return;
+    case Kind::kSeq:
+      for (const FlexStepPtr& c : children) c->CollectSubs(out);
+      return;
+    case Kind::kAlt:
+      primary->CollectSubs(out);
+      fallback->CollectSubs(out);
+      return;
+  }
+}
+
+std::string FlexStep::ToString() const {
+  switch (kind) {
+    case Kind::kSub: {
+      std::string flags;
+      if (compensatable) flags += "c";
+      if (retriable) flags += "r";
+      if (is_pivot()) flags = "p";
+      return name + "(" + flags + ")";
+    }
+    case Kind::kSeq: {
+      std::string out = "Seq[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kAlt:
+      return "Alt(" + primary->ToString() + ", " + fallback->ToString() + ")";
+  }
+  return "?";
+}
+
+std::vector<const FlexStep*> FlexSpec::Subs() const {
+  std::vector<const FlexStep*> out;
+  root_->CollectSubs(&out);
+  return out;
+}
+
+Status FlexSpec::Validate() const {
+  if (root_ == nullptr) {
+    return Status::ValidationError("flexible transaction " + name_ +
+                                   " has no root step");
+  }
+  std::vector<const FlexStep*> subs = Subs();
+  if (subs.empty()) {
+    return Status::ValidationError("flexible transaction " + name_ +
+                                   " has no subtransactions");
+  }
+  std::set<std::string> names;
+  for (const FlexStep* s : subs) {
+    if (s->name.empty()) {
+      return Status::ValidationError("flexible transaction " + name_ +
+                                     " has an unnamed subtransaction");
+    }
+    if (!names.insert(s->name).second) {
+      return Status::ValidationError("flexible transaction " + name_ +
+                                     " has duplicate subtransaction " +
+                                     s->name);
+    }
+  }
+  return CheckStep(*root_, /*pivot_before=*/false);
+}
+
+Status FlexSpec::CheckStep(const FlexStep& step, bool pivot_before) const {
+  switch (step.kind) {
+    case FlexStep::Kind::kSub: {
+      if (pivot_before && !step.retriable) {
+        return Status::ValidationError(
+            "subtransaction " + step.name +
+            " follows a committed pivot but is not retriable; completion "
+            "cannot be guaranteed");
+      }
+      if (!pivot_before && !step.compensatable && !step.is_pivot() &&
+          step.retriable) {
+        // Retriable-only leaf before the pivot: it will commit, cannot be
+        // undone, and does not end the abort window. Tolerated only when
+        // nothing after it can fail — checked by the enclosing Seq rule —
+        // so nothing to do here.
+      }
+      return Status::OK();
+    }
+    case FlexStep::Kind::kSeq: {
+      // Precompute the pivot flag at each child's start.
+      std::vector<bool> pivot_at(step.children.size(), pivot_before);
+      bool p = pivot_before;
+      for (size_t i = 0; i < step.children.size(); ++i) {
+        pivot_at[i] = p;
+        p = p || step.children[i]->HasPivot();
+      }
+      // Last pre-pivot child that can fail: everything before it must be
+      // fully compensatable (a failure there rolls the transaction back).
+      ssize_t last_failable = -1;
+      for (size_t i = 0; i < step.children.size(); ++i) {
+        if (!pivot_at[i] && !step.children[i]->Guaranteed()) {
+          last_failable = static_cast<ssize_t>(i);
+        }
+      }
+      for (ssize_t i = 0; i < last_failable; ++i) {
+        const FlexStep& c = *step.children[static_cast<size_t>(i)];
+        if (!c.AllCompensatable() && !c.HasPivot()) {
+          return Status::ValidationError(
+              "step " + c.ToString() +
+              " commits non-compensatable work while later steps can still "
+              "fail before the pivot");
+        }
+      }
+      for (size_t i = 0; i < step.children.size(); ++i) {
+        const FlexStep& c = *step.children[i];
+        if (pivot_at[i] && !c.Guaranteed()) {
+          return Status::ValidationError(
+              "step " + c.ToString() +
+              " follows a committed pivot but is not guaranteed to complete");
+        }
+        EXO_RETURN_NOT_OK(CheckStep(c, pivot_at[i]));
+      }
+      return Status::OK();
+    }
+    case FlexStep::Kind::kAlt: {
+      if (pivot_before && !step.fallback->Guaranteed()) {
+        return Status::ValidationError(
+            "alternative " + step.ToString() +
+            " follows a committed pivot but its fallback is not guaranteed");
+      }
+      // Inside an alternative, failures are absorbed by the fallback, so
+      // both branches restart the pivot bookkeeping.
+      EXO_RETURN_NOT_OK(CheckStep(*step.primary, /*pivot_before=*/false));
+      return CheckStep(*step.fallback, /*pivot_before=*/false);
+    }
+  }
+  return Status::Internal("unreachable flex step kind");
+}
+
+Result<FlexOutcome> FlexExecutor::Execute(const FlexSpec& spec) {
+  EXO_RETURN_NOT_OK(spec.Validate());
+  FlexOutcome outcome;
+  std::vector<const FlexStep*> comp_stack;
+  EXO_ASSIGN_OR_RETURN(bool ok, Exec(spec.root(), &outcome, &comp_stack));
+  if (!ok) {
+    // Global abort: undo everything that committed.
+    EXO_RETURN_NOT_OK(CompensateDownTo(0, &outcome, &comp_stack));
+    outcome.committed = false;
+    outcome.effective.clear();
+    return outcome;
+  }
+  outcome.committed = true;
+  return outcome;
+}
+
+Result<bool> FlexExecutor::Exec(const FlexStep& step, FlexOutcome* outcome,
+                                std::vector<const FlexStep*>* comp_stack) {
+  switch (step.kind) {
+    case FlexStep::Kind::kSub: {
+      int attempts = 0;
+      while (true) {
+        EXO_ASSIGN_OR_RETURN(bool committed, runner_->Run(step.name));
+        ++attempts;
+        if (committed) {
+          outcome->trace.push_back({step.name, TraceAction::kCommitted});
+          outcome->effective.push_back(step.name);
+          if (step.compensatable) comp_stack->push_back(&step);
+          return true;
+        }
+        outcome->trace.push_back({step.name, TraceAction::kAborted});
+        if (!step.retriable) return false;
+        if (options_.max_retriable_retries > 0 &&
+            attempts >= options_.max_retriable_retries) {
+          return Status::FailedPrecondition(
+              "retriable subtransaction " + step.name + " aborted " +
+              std::to_string(attempts) + " times");
+        }
+        outcome->trace.push_back({step.name, TraceAction::kRetried});
+      }
+    }
+    case FlexStep::Kind::kSeq: {
+      for (const FlexStepPtr& c : step.children) {
+        EXO_ASSIGN_OR_RETURN(bool ok, Exec(*c, outcome, comp_stack));
+        if (!ok) return false;
+      }
+      return true;
+    }
+    case FlexStep::Kind::kAlt: {
+      size_t mark = comp_stack->size();
+      EXO_ASSIGN_OR_RETURN(bool ok, Exec(*step.primary, outcome, comp_stack));
+      if (ok) return true;
+      EXO_RETURN_NOT_OK(CompensateDownTo(mark, outcome, comp_stack));
+      return Exec(*step.fallback, outcome, comp_stack);
+    }
+  }
+  return Status::Internal("unreachable flex step kind");
+}
+
+Status FlexExecutor::CompensateDownTo(size_t mark, FlexOutcome* outcome,
+                                      std::vector<const FlexStep*>* comp_stack) {
+  while (comp_stack->size() > mark) {
+    const FlexStep* sub = comp_stack->back();
+    int attempts = 0;
+    while (true) {
+      EXO_ASSIGN_OR_RETURN(bool done, runner_->Compensate(sub->name));
+      ++attempts;
+      if (done) break;
+      outcome->trace.push_back({sub->name, TraceAction::kCompensationFailed});
+      if (options_.max_compensation_retries > 0 &&
+          attempts >= options_.max_compensation_retries) {
+        return Status::FailedPrecondition(
+            "compensation of " + sub->name + " failed " +
+            std::to_string(attempts) + " times");
+      }
+    }
+    outcome->trace.push_back({sub->name, TraceAction::kCompensated});
+    // The sub's effects are gone: drop it from the effective set.
+    for (auto it = outcome->effective.rbegin(); it != outcome->effective.rend();
+         ++it) {
+      if (*it == sub->name) {
+        outcome->effective.erase(std::next(it).base());
+        break;
+      }
+    }
+    comp_stack->pop_back();
+  }
+  return Status::OK();
+}
+
+FlexSpec MakeFigure3Spec() {
+  using S = FlexStep;
+  std::vector<FlexStepPtr> p1_members;
+  p1_members.push_back(S::Compensatable("T5"));
+  p1_members.push_back(S::Compensatable("T6"));
+  p1_members.push_back(S::Pivot("T8"));
+
+  std::vector<FlexStepPtr> inner_seq;
+  inner_seq.push_back(S::Pivot("T4"));
+  inner_seq.push_back(S::Alt(S::Seq(std::move(p1_members)), S::Retriable("T7")));
+
+  std::vector<FlexStepPtr> top;
+  top.push_back(S::Compensatable("T1"));
+  top.push_back(S::Pivot("T2"));
+  top.push_back(S::Alt(S::Seq(std::move(inner_seq)), S::Retriable("T3")));
+
+  return FlexSpec("Figure3", S::Seq(std::move(top)));
+}
+
+}  // namespace exotica::atm

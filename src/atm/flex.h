@@ -1,0 +1,184 @@
+// Flexible transactions [ELLR90, MRSK92, ZNBB94], as described in paper
+// §4.2.
+//
+// A flexible transaction is a partial order of typed subtransactions —
+// compensatable, retriable, pivot (neither), or compensatable+retriable —
+// with alternative execution paths in preference order. We model it as a
+// tree:
+//
+//   step := Sub(name, flags)          one subtransaction
+//         | Seq(step...)              run in order; a failure fails the Seq
+//         | Alt(primary, fallback)    try primary; on failure, compensate
+//                                     primary's committed compensatable
+//                                     work, then run fallback
+//
+// The ZNBB94 example of the paper's Figure 3 is
+//   Seq[ T1, T2, Alt( Seq[ T4, Alt( Seq[T5, T6, T8], T7 ) ], T3 ) ]
+// with paths p1 = {T1,T2,T4,T5,T6,T8}, p2 = {T1,T2,T4,T7},
+// p3 = {T1,T2,T3} in that preference order.
+//
+// Well-formedness (the MRSK92/ZNBB94 rules on this tree):
+//  * once a pivot may have committed, every subsequent step in the same
+//    sequence must be guaranteed to complete (retriable leaves, sequences
+//    of them, or alternatives whose fallback is guaranteed);
+//  * any subtransaction that can commit and later need undoing (because a
+//    later sibling may still fail before a pivot) must be compensatable;
+//  * a pre-pivot leaf must be compensatable or be the pivot itself.
+
+#ifndef EXOTICA_ATM_FLEX_H_
+#define EXOTICA_ATM_FLEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "atm/subtxn.h"
+#include "atm/trace.h"
+
+namespace exotica::atm {
+
+struct FlexStep;
+using FlexStepPtr = std::unique_ptr<FlexStep>;
+
+/// \brief One node of a flexible transaction tree.
+struct FlexStep {
+  enum class Kind : int { kSub = 0, kSeq = 1, kAlt = 2 };
+
+  Kind kind = Kind::kSub;
+
+  // kSub
+  std::string name;
+  bool compensatable = false;
+  bool retriable = false;
+  /// Program names for the Exotica translation (default "<name>" and
+  /// "<name>_comp").
+  std::string program;
+  std::string compensation_program;
+
+  // kSeq
+  std::vector<FlexStepPtr> children;
+
+  // kAlt
+  FlexStepPtr primary;
+  FlexStepPtr fallback;
+
+  /// Pivot = neither retriable nor compensatable.
+  bool is_pivot() const {
+    return kind == Kind::kSub && !retriable && !compensatable;
+  }
+
+  static FlexStepPtr Sub(std::string name, bool compensatable, bool retriable);
+  static FlexStepPtr Pivot(std::string name) {
+    return Sub(std::move(name), false, false);
+  }
+  static FlexStepPtr Compensatable(std::string name) {
+    return Sub(std::move(name), true, false);
+  }
+  static FlexStepPtr Retriable(std::string name) {
+    return Sub(std::move(name), false, true);
+  }
+  static FlexStepPtr Seq(std::vector<FlexStepPtr> children);
+  static FlexStepPtr Alt(FlexStepPtr primary, FlexStepPtr fallback);
+
+  FlexStepPtr Clone() const;
+
+  /// True if every leaf eventually commits regardless of aborts:
+  /// retriable leaves, Seqs of guaranteed steps, Alts with guaranteed
+  /// fallback.
+  bool Guaranteed() const;
+
+  /// True if a pivot may commit somewhere inside.
+  bool HasPivot() const;
+
+  /// True if every leaf inside is compensatable.
+  bool AllCompensatable() const;
+
+  /// Leaves in left-to-right order.
+  void CollectSubs(std::vector<const FlexStep*>* out) const;
+
+  /// Debug form, e.g. "Seq[T1, T2, Alt(Seq[T4, ...], T3)]".
+  std::string ToString() const;
+};
+
+/// \brief A named flexible transaction.
+class FlexSpec {
+ public:
+  FlexSpec(std::string name, FlexStepPtr root)
+      : name_(std::move(name)), root_(std::move(root)) {}
+
+  const std::string& name() const { return name_; }
+  const FlexStep& root() const { return *root_; }
+
+  /// Structural checks (root present, unique non-empty leaf names) plus
+  /// the well-formedness rules above. A spec that fails these can strand
+  /// committed, uncompensatable work — exactly what the model forbids.
+  Status Validate() const;
+
+  /// All leaves, left-to-right.
+  std::vector<const FlexStep*> Subs() const;
+
+ private:
+  Status CheckStep(const FlexStep& step, bool pivot_before) const;
+
+  std::string name_;
+  FlexStepPtr root_;
+};
+
+/// \brief Outcome of a flexible transaction execution.
+struct FlexOutcome {
+  bool committed = false;
+  /// Leaves whose effects are in place at the end (committed and not
+  /// compensated), in commit order — on success this is the committed
+  /// path actually taken.
+  std::vector<std::string> effective;
+  Trace trace;
+};
+
+/// \brief Native flexible-transaction executor (the baseline).
+///
+/// Deterministic tree walk: Seq children run in order; an Alt runs its
+/// primary and, if the primary fails, compensates the primary's committed
+/// compensatable subtransactions (in reverse commit order, retrying each
+/// compensation until it succeeds) and runs the fallback. Retriable
+/// subtransactions are re-run until they commit. A failure that escapes
+/// the root compensates everything and reports an aborted transaction.
+class FlexExecutor {
+ public:
+  struct Options {
+    int max_retriable_retries = 1000;     ///< 0 = unlimited
+    int max_compensation_retries = 1000;  ///< 0 = unlimited
+  };
+
+  explicit FlexExecutor(SubTxnRunner* runner) : runner_(runner) {}
+  FlexExecutor(SubTxnRunner* runner, Options options)
+      : runner_(runner), options_(options) {}
+
+  Result<FlexOutcome> Execute(const FlexSpec& spec);
+
+ private:
+  struct Committed {
+    const FlexStep* sub;
+  };
+
+  /// Runs `step`; true = completed. On false, every committed
+  /// compensatable sub the step left behind is still on the stack for the
+  /// enclosing Alt (or the root) to compensate.
+  Result<bool> Exec(const FlexStep& step, FlexOutcome* outcome,
+                    std::vector<const FlexStep*>* comp_stack);
+
+  Status CompensateDownTo(size_t mark, FlexOutcome* outcome,
+                          std::vector<const FlexStep*>* comp_stack);
+
+  SubTxnRunner* runner_;
+  Options options_;
+};
+
+/// \brief Builds the paper's Figure-3 flexible transaction (the ZNBB94
+/// example): Seq[T1, T2, Alt(Seq[T4, Alt(Seq[T5,T6,T8], T7)], T3)].
+FlexSpec MakeFigure3Spec();
+
+}  // namespace exotica::atm
+
+#endif  // EXOTICA_ATM_FLEX_H_

@@ -1,0 +1,167 @@
+#include "atm/saga.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace exotica::atm {
+
+SagaSpec& SagaSpec::Then(const std::string& step_name) {
+  SagaStep step;
+  step.name = step_name;
+  if (!steps_.empty()) step.predecessors.push_back(steps_.back().name);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+SagaSpec& SagaSpec::Step(const std::string& step_name,
+                         std::vector<std::string> predecessors) {
+  SagaStep step;
+  step.name = step_name;
+  step.predecessors = std::move(predecessors);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+SagaSpec& SagaSpec::WithPrograms(const std::string& program,
+                                 const std::string& compensation_program) {
+  if (!steps_.empty()) {
+    steps_.back().program = program;
+    steps_.back().compensation_program = compensation_program;
+  }
+  return *this;
+}
+
+std::string SagaSpec::ProgramOf(const SagaStep& step) {
+  return step.program.empty() ? step.name : step.program;
+}
+
+std::string SagaSpec::CompensationProgramOf(const SagaStep& step) {
+  return step.compensation_program.empty() ? step.name + "_comp"
+                                           : step.compensation_program;
+}
+
+Status SagaSpec::Validate() const {
+  if (steps_.empty()) {
+    return Status::ValidationError("saga " + name_ + " has no steps");
+  }
+  std::set<std::string> names;
+  for (const SagaStep& s : steps_) {
+    if (s.name.empty()) {
+      return Status::ValidationError("saga " + name_ + " has an unnamed step");
+    }
+    if (!names.insert(s.name).second) {
+      return Status::ValidationError("saga " + name_ +
+                                     " has duplicate step " + s.name);
+    }
+  }
+  for (const SagaStep& s : steps_) {
+    for (const std::string& p : s.predecessors) {
+      if (names.count(p) == 0) {
+        return Status::ValidationError("saga step " + s.name +
+                                       " references unknown predecessor " + p);
+      }
+      if (p == s.name) {
+        return Status::ValidationError("saga step " + s.name +
+                                       " is its own predecessor");
+      }
+    }
+  }
+  return TopologicalOrder().status();
+}
+
+bool SagaSpec::IsLinear() const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const SagaStep& s = steps_[i];
+    if (i == 0) {
+      if (!s.predecessors.empty()) return false;
+    } else {
+      if (s.predecessors.size() != 1 ||
+          s.predecessors[0] != steps_[i - 1].name) {
+        return false;
+      }
+    }
+  }
+  return !steps_.empty();
+}
+
+Result<std::vector<std::string>> SagaSpec::TopologicalOrder() const {
+  std::map<std::string, int> indegree;
+  std::map<std::string, std::vector<std::string>> successors;
+  for (const SagaStep& s : steps_) indegree[s.name] = 0;
+  for (const SagaStep& s : steps_) {
+    for (const std::string& p : s.predecessors) {
+      successors[p].push_back(s.name);
+      ++indegree[s.name];
+    }
+  }
+  std::deque<std::string> frontier;
+  for (const SagaStep& s : steps_) {
+    if (indegree[s.name] == 0) frontier.push_back(s.name);
+  }
+  std::vector<std::string> order;
+  while (!frontier.empty()) {
+    std::string n = frontier.front();
+    frontier.pop_front();
+    order.push_back(n);
+    for (const std::string& m : successors[n]) {
+      if (--indegree[m] == 0) frontier.push_back(m);
+    }
+  }
+  if (order.size() != steps_.size()) {
+    return Status::ValidationError("saga " + name_ +
+                                   " has a cycle in its step order");
+  }
+  return order;
+}
+
+Result<SagaOutcome> SagaExecutor::Execute(const SagaSpec& spec) {
+  EXO_RETURN_NOT_OK(spec.Validate());
+  EXO_ASSIGN_OR_RETURN(std::vector<std::string> order, spec.TopologicalOrder());
+
+  SagaOutcome outcome;
+  bool failed = false;
+
+  for (const std::string& name : order) {
+    EXO_ASSIGN_OR_RETURN(bool committed, runner_->Run(name));
+    if (committed) {
+      outcome.trace.push_back({name, TraceAction::kCommitted});
+      outcome.executed.push_back(name);
+    } else {
+      outcome.trace.push_back({name, TraceAction::kAborted});
+      failed = true;
+      break;  // remaining steps never start
+    }
+  }
+
+  if (!failed) {
+    outcome.committed = true;
+    return outcome;
+  }
+
+  // Compensate committed steps in reverse commit order; each compensation
+  // is retried until it succeeds.
+  for (auto it = outcome.executed.rbegin(); it != outcome.executed.rend();
+       ++it) {
+    int attempts = 0;
+    while (true) {
+      EXO_ASSIGN_OR_RETURN(bool done, runner_->Compensate(*it));
+      ++attempts;
+      if (done) break;
+      outcome.trace.push_back({*it, TraceAction::kCompensationFailed});
+      if (options_.max_compensation_retries > 0 &&
+          attempts >= options_.max_compensation_retries) {
+        return Status::FailedPrecondition(
+            "compensation of " + *it + " in saga " + spec.name() +
+            " failed " + std::to_string(attempts) + " times");
+      }
+    }
+    outcome.trace.push_back({*it, TraceAction::kCompensated});
+    outcome.compensated.push_back(*it);
+  }
+  outcome.committed = false;
+  return outcome;
+}
+
+}  // namespace exotica::atm

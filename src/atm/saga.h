@@ -1,0 +1,109 @@
+// Sagas [GMS87], as described in paper §4.1.
+//
+// A linear saga is a sequence of subtransactions T1..Tn with compensating
+// transactions C1..Cn and the guarantee that either T1..Tn executes, or
+// T1..Tj; Cj..C1 for some 0 <= j < n. The generalized form (parallel
+// sagas) replaces the sequence with a partial order; the guarantee
+// compensates, in reverse completion order, exactly the committed steps.
+
+#ifndef EXOTICA_ATM_SAGA_H_
+#define EXOTICA_ATM_SAGA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "atm/subtxn.h"
+#include "atm/trace.h"
+
+namespace exotica::atm {
+
+/// \brief One step of a saga.
+struct SagaStep {
+  std::string name;  ///< subtransaction name (T1, ReserveFlight, ...)
+  /// Steps that must commit before this one starts. Empty predecessors on
+  /// every step except chains yields the classic linear saga.
+  std::vector<std::string> predecessors;
+
+  /// Program names used by the Exotica translation (default to
+  /// "<name>" and "<name>_comp" when empty).
+  std::string program;
+  std::string compensation_program;
+};
+
+/// \brief Declarative saga specification.
+class SagaSpec {
+ public:
+  explicit SagaSpec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<SagaStep>& steps() const { return steps_; }
+
+  /// Appends a step (linear: implicit predecessor = previous step).
+  SagaSpec& Then(const std::string& step_name);
+
+  /// Appends a step with explicit predecessors (parallel/generalized).
+  SagaSpec& Step(const std::string& step_name,
+                 std::vector<std::string> predecessors);
+
+  /// Overrides program names of the most recent step.
+  SagaSpec& WithPrograms(const std::string& program,
+                         const std::string& compensation_program);
+
+  /// Effective program name of a step.
+  static std::string ProgramOf(const SagaStep& step);
+  static std::string CompensationProgramOf(const SagaStep& step);
+
+  /// Checks: at least one step, unique names, predecessors resolve,
+  /// acyclic.
+  Status Validate() const;
+
+  /// True when the spec is a single chain (the classic linear saga).
+  bool IsLinear() const;
+
+  /// Step names in a topological order (declaration order preserved for
+  /// independent steps). Requires Validate() to pass.
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+ private:
+  std::string name_;
+  std::vector<SagaStep> steps_;
+};
+
+/// \brief Outcome of a saga execution.
+struct SagaOutcome {
+  bool committed = false;        ///< the whole saga committed
+  std::vector<std::string> executed;     ///< committed steps, commit order
+  std::vector<std::string> compensated;  ///< compensated steps, comp order
+  Trace trace;
+};
+
+/// \brief Native saga executor — the baseline the workflow implementation
+/// is compared against. Deterministic: steps run sequentially in
+/// topological order; on a step abort, committed steps are compensated in
+/// reverse commit order, each compensation retried until it succeeds
+/// (compensations are treated as retriable, per the paper's appendix).
+class SagaExecutor {
+ public:
+  struct Options {
+    /// Compensation retry cap (0 = unlimited). The saga guarantee needs
+    /// compensations to eventually succeed; the cap converts a hopeless
+    /// compensation into an error instead of a hang.
+    int max_compensation_retries = 1000;
+  };
+
+  explicit SagaExecutor(SubTxnRunner* runner) : runner_(runner) {}
+  SagaExecutor(SubTxnRunner* runner, Options options)
+      : runner_(runner), options_(options) {}
+
+  Result<SagaOutcome> Execute(const SagaSpec& spec);
+
+ private:
+  SubTxnRunner* runner_;
+  Options options_;
+};
+
+}  // namespace exotica::atm
+
+#endif  // EXOTICA_ATM_SAGA_H_

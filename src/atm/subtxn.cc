@@ -1,0 +1,76 @@
+#include "atm/subtxn.h"
+
+namespace exotica::atm {
+
+Status MultiDbRunner::Register(SubTxnDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("subtransaction name may not be empty");
+  }
+  if (defs_.count(def.name) > 0) {
+    return Status::AlreadyExists("subtransaction already registered: " +
+                                 def.name);
+  }
+  if (!multidb_->HasSite(def.site)) {
+    return Status::NotFound("subtransaction " + def.name +
+                            " references unknown site " + def.site);
+  }
+  if (!def.body) {
+    return Status::InvalidArgument("subtransaction " + def.name +
+                                   " has no body");
+  }
+  defs_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Result<bool> MultiDbRunner::Execute(const std::string& name,
+                                    bool compensation) {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    return Status::NotFound("subtransaction not registered: " + name);
+  }
+  const SubTxnDef& def = it->second;
+  const SubTxnBody& body = compensation ? def.compensation : def.body;
+  if (!body) {
+    return Status::FailedPrecondition("subtransaction " + name +
+                                      " has no compensating transaction");
+  }
+  EXO_ASSIGN_OR_RETURN(txn::Site * site, multidb_->site(def.site));
+  std::unique_ptr<txn::Transaction> t = site->Begin();
+  Status st = body(*t);
+  if (!st.ok()) {
+    if (t->active()) (void)t->Abort();
+    return false;  // logical abort
+  }
+  Status commit = t->Commit();
+  if (commit.IsAborted() || commit.IsDeadlock() || commit.IsTimeout()) {
+    return false;  // unilateral / concurrency abort
+  }
+  EXO_RETURN_NOT_OK(commit);
+  return true;
+}
+
+Result<bool> MultiDbRunner::Run(const std::string& name) {
+  return Execute(name, /*compensation=*/false);
+}
+
+Result<bool> MultiDbRunner::Compensate(const std::string& name) {
+  return Execute(name, /*compensation=*/true);
+}
+
+Result<bool> ScriptedRunner::Run(const std::string& name) {
+  int attempt = ++attempts_[name];
+  auto it = abort_first_.find(name);
+  if (it == abort_first_.end()) return true;
+  if (it->second < 0) return false;          // always abort
+  return attempt > it->second;               // abort the first N attempts
+}
+
+Result<bool> ScriptedRunner::Compensate(const std::string& name) {
+  int attempt = ++comp_attempts_[name];
+  auto it = comp_fail_first_.find(name);
+  if (it == comp_fail_first_.end()) return true;
+  if (it->second < 0) return false;
+  return attempt > it->second;
+}
+
+}  // namespace exotica::atm

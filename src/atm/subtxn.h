@@ -1,0 +1,102 @@
+// Subtransaction bindings: the bridge between transaction-model
+// specifications (named subtransactions) and the multidatabase substrate
+// (ACID transactions against autonomous sites).
+
+#ifndef EXOTICA_ATM_SUBTXN_H_
+#define EXOTICA_ATM_SUBTXN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/multidb.h"
+
+namespace exotica::atm {
+
+/// \brief Body of a subtransaction: reads/writes through the handle. An OK
+/// return asks the executor to commit; an error return aborts. The commit
+/// itself can still fail unilaterally (the site says no).
+using SubTxnBody = std::function<Status(txn::Transaction&)>;
+
+/// \brief A named subtransaction: which site it runs on, its body, and the
+/// body of its compensating transaction (empty for non-compensatable).
+struct SubTxnDef {
+  std::string name;
+  std::string site;
+  SubTxnBody body;
+  SubTxnBody compensation;
+};
+
+/// \brief Abstract runner: executors ask it to run and compensate named
+/// subtransactions. Tests plug in scripted runners with deterministic
+/// abort schedules; production code uses MultiDbRunner.
+class SubTxnRunner {
+ public:
+  virtual ~SubTxnRunner() = default;
+
+  /// Runs the subtransaction once. true = committed, false = aborted.
+  /// Error Status only for infrastructure faults (unknown name/site).
+  virtual Result<bool> Run(const std::string& name) = 0;
+
+  /// Runs the compensating transaction once. true = committed.
+  virtual Result<bool> Compensate(const std::string& name) = 0;
+};
+
+/// \brief Runner over a MultiDatabase and a set of SubTxnDefs.
+class MultiDbRunner : public SubTxnRunner {
+ public:
+  explicit MultiDbRunner(txn::MultiDatabase* multidb) : multidb_(multidb) {}
+
+  Status Register(SubTxnDef def);
+  bool Has(const std::string& name) const { return defs_.count(name) > 0; }
+
+  Result<bool> Run(const std::string& name) override;
+  Result<bool> Compensate(const std::string& name) override;
+
+ private:
+  Result<bool> Execute(const std::string& name, bool compensation);
+
+  txn::MultiDatabase* multidb_;
+  std::map<std::string, SubTxnDef> defs_;
+};
+
+/// \brief Scripted runner for deterministic tests: each subtransaction
+/// aborts on the attempts listed for it and commits otherwise.
+class ScriptedRunner : public SubTxnRunner {
+ public:
+  /// `name` aborts on its first `abort_count` attempts.
+  void AbortFirst(const std::string& name, int abort_count) {
+    abort_first_[name] = abort_count;
+  }
+  /// `name` aborts on every attempt.
+  void AlwaysAbort(const std::string& name) { abort_first_[name] = -1; }
+  /// Compensation of `name` fails on its first `fail_count` attempts.
+  void FailCompensationFirst(const std::string& name, int fail_count) {
+    comp_fail_first_[name] = fail_count;
+  }
+
+  Result<bool> Run(const std::string& name) override;
+  Result<bool> Compensate(const std::string& name) override;
+
+  int attempts(const std::string& name) const {
+    auto it = attempts_.find(name);
+    return it == attempts_.end() ? 0 : it->second;
+  }
+  int compensation_attempts(const std::string& name) const {
+    auto it = comp_attempts_.find(name);
+    return it == comp_attempts_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, int> abort_first_;   // -1 = always abort
+  std::map<std::string, int> comp_fail_first_;
+  std::map<std::string, int> attempts_;
+  std::map<std::string, int> comp_attempts_;
+};
+
+}  // namespace exotica::atm
+
+#endif  // EXOTICA_ATM_SUBTXN_H_

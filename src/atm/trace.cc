@@ -1,0 +1,35 @@
+#include "atm/trace.h"
+
+namespace exotica::atm {
+
+const char* TraceActionName(TraceAction action) {
+  switch (action) {
+    case TraceAction::kCommitted: return "committed";
+    case TraceAction::kAborted: return "aborted";
+    case TraceAction::kRetried: return "retried";
+    case TraceAction::kCompensated: return "compensated";
+    case TraceAction::kCompensationFailed: return "compensation-failed";
+  }
+  return "?";
+}
+
+std::string TraceEvent::Compact() const {
+  return subtxn + ":" + TraceActionName(action);
+}
+
+std::vector<std::string> CompactTrace(const Trace& trace) {
+  std::vector<std::string> out;
+  out.reserve(trace.size());
+  for (const TraceEvent& e : trace) out.push_back(e.Compact());
+  return out;
+}
+
+std::vector<std::string> Select(const Trace& trace, TraceAction action) {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : trace) {
+    if (e.action == action) out.push_back(e.subtxn);
+  }
+  return out;
+}
+
+}  // namespace exotica::atm

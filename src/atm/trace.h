@@ -1,0 +1,45 @@
+// Execution traces for transaction models. The appendix of the paper is a
+// pair of narrated traces; tests compare native-executor and
+// workflow-implemented runs through this common format.
+
+#ifndef EXOTICA_ATM_TRACE_H_
+#define EXOTICA_ATM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+namespace exotica::atm {
+
+enum class TraceAction : int {
+  kCommitted = 0,
+  kAborted = 1,
+  kRetried = 2,
+  kCompensated = 3,
+  kCompensationFailed = 4,
+};
+
+const char* TraceActionName(TraceAction action);
+
+struct TraceEvent {
+  std::string subtxn;
+  TraceAction action;
+
+  /// "T1:committed", "T4:aborted", "T5:compensated", ...
+  std::string Compact() const;
+
+  bool operator==(const TraceEvent& o) const {
+    return subtxn == o.subtxn && action == o.action;
+  }
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Compact strings of a whole trace.
+std::vector<std::string> CompactTrace(const Trace& trace);
+
+/// The subset of the trace with the given action, preserving order.
+std::vector<std::string> Select(const Trace& trace, TraceAction action);
+
+}  // namespace exotica::atm
+
+#endif  // EXOTICA_ATM_TRACE_H_

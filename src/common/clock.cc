@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace exotica {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace exotica

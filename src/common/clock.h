@@ -1,0 +1,50 @@
+// Clock abstraction: real time for production, manual time for tests so
+// notification deadlines and timeouts are deterministic.
+
+#ifndef EXOTICA_COMMON_CLOCK_H_
+#define EXOTICA_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace exotica {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+/// \brief Source of time for the engine.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+};
+
+/// \brief Wall-clock time.
+class SystemClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance.
+  static SystemClock* Default();
+};
+
+/// \brief Manually advanced clock for deterministic tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+  Micros NowMicros() const override { return now_.load(std::memory_order_relaxed); }
+  void Advance(Micros delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace exotica
+
+#endif  // EXOTICA_COMMON_CLOCK_H_

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default in tests/benches; the engine's
+// observable record is the audit trail, not the log.
+
+#ifndef EXOTICA_COMMON_LOGGING_H_
+#define EXOTICA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace exotica {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide log sink and threshold.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace exotica
+
+#define EXO_LOG(level)                                                   \
+  if (static_cast<int>(::exotica::LogLevel::k##level) <                  \
+      static_cast<int>(::exotica::Logger::level())) {                    \
+  } else                                                                 \
+    ::exotica::internal::LogMessage(::exotica::LogLevel::k##level).stream()
+
+#endif  // EXOTICA_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+// Result<T>: a value or an error Status, in the Arrow style.
+
+#ifndef EXOTICA_COMMON_RESULT_H_
+#define EXOTICA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace exotica {
+
+/// \brief Holds either a successfully-computed T or the Status explaining
+/// why none could be produced.
+///
+/// A Result constructed from an OK status is a programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Failure. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Access the value; undefined if !ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace exotica
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define EXO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define EXO_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define EXO_ASSIGN_OR_RETURN_NAME(a, b) EXO_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define EXO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  EXO_ASSIGN_OR_RETURN_IMPL(             \
+      EXO_ASSIGN_OR_RETURN_NAME(_exo_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // EXOTICA_COMMON_RESULT_H_

@@ -1,0 +1,54 @@
+// Deterministic random number generation. All stochastic behaviour in the
+// library (fault injection, abort schedules, workload generators) draws from
+// a seeded Rng so every experiment is reproducible.
+
+#ifndef EXOTICA_COMMON_RNG_H_
+#define EXOTICA_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace exotica {
+
+/// \brief Seeded pseudo-random source (mt19937_64 under the hood).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(gen_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipfian-ish skewed pick in [0, n) — used by the txn workload generator.
+  /// theta=0 is uniform; theta→1 is highly skewed.
+  size_t Skewed(size_t n, double theta) {
+    if (n <= 1) return 0;
+    // Simple power-law transform concentrating mass near index 0;
+    // adequate for conflict-rate sweeps.
+    double u = NextDouble();
+    double x = std::pow(u, 1.0 / (1.0 - theta * 0.999));
+    auto idx = static_cast<size_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace exotica
+
+#endif  // EXOTICA_COMMON_RNG_H_

@@ -1,0 +1,163 @@
+// Status: the error-handling currency of the library.
+//
+// Follows the Arrow/RocksDB idiom: every fallible operation returns a
+// Status (or a Result<T>, see result.h); exceptions never cross library
+// boundaries. A Status is cheap to copy in the OK case (no allocation).
+
+#ifndef EXOTICA_COMMON_STATUS_H_
+#define EXOTICA_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace exotica {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kNotFound = 2,          ///< named entity does not exist
+  kAlreadyExists = 3,     ///< unique name/id collision
+  kFailedPrecondition = 4,///< operation illegal in current state
+  kAborted = 5,           ///< transaction / activity aborted
+  kDeadlock = 6,          ///< lock manager chose this txn as victim
+  kTimeout = 7,           ///< deadline expired
+  kIOError = 8,           ///< journal / log / file failure
+  kCorruption = 9,        ///< on-disk or in-log data failed validation
+  kParseError = 10,       ///< FDL / spec / expression syntax error
+  kValidationError = 11,  ///< semantic check failed (import, well-formedness)
+  kUnsupported = 12,      ///< feature intentionally not implemented
+  kInternal = 13,         ///< invariant violation; a bug
+  kPending = 14,          ///< async operation started; completion comes later
+};
+
+/// \brief Human-readable name for a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a message.
+///
+/// The OK status carries no allocation; error statuses heap-allocate their
+/// state. Statuses are immutable once created.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Pending(std::string msg) {
+    return Status(StatusCode::kPending, std::move(msg));
+  }
+
+  bool ok() const noexcept { return state_ == nullptr; }
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Message of an error status; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsValidationError() const {
+    return code() == StatusCode::kValidationError;
+  }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsPending() const { return code() == StatusCode::kPending; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with `context` prepended to the message; OK unchanged.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps copies cheap; Status is immutable so sharing is safe.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace exotica
+
+/// Propagates a non-OK Status to the caller.
+#define EXO_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::exotica::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Propagates with added context.
+#define EXO_RETURN_NOT_OK_CTX(expr, ctx)           \
+  do {                                             \
+    ::exotica::Status _st = (expr);                \
+    if (!_st.ok()) return _st.WithContext(ctx);    \
+  } while (0)
+
+#endif  // EXOTICA_COMMON_STATUS_H_

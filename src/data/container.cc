@@ -1,0 +1,131 @@
+#include "data/container.h"
+
+#include "common/strings.h"
+
+namespace exotica::data {
+
+Result<Container> Container::Create(const TypeRegistry& registry,
+                                    const std::string& type_name) {
+  EXO_ASSIGN_OR_RETURN(std::vector<TypeRegistry::Leaf> leaves,
+                       registry.Flatten(type_name));
+  Container c;
+  c.type_name_ = type_name;
+  for (TypeRegistry::Leaf& leaf : leaves) {
+    c.order_.push_back(leaf.path);
+    c.slots_[leaf.path] = Slot{leaf.type, std::move(leaf.default_value), Value()};
+  }
+  return c;
+}
+
+Container Container::Default(const TypeRegistry& registry) {
+  auto r = Create(registry, TypeRegistry::kDefaultTypeName);
+  // The built-in type always exists and is flat; Create cannot fail.
+  return std::move(r).value();
+}
+
+Result<ScalarType> Container::TypeOf(const std::string& path) const {
+  auto it = slots_.find(path);
+  if (it == slots_.end()) {
+    return Status::NotFound("no member " + path + " in container of type " +
+                            type_name_);
+  }
+  return it->second.type;
+}
+
+Result<Value> Container::Get(const std::string& path) const {
+  auto it = slots_.find(path);
+  if (it == slots_.end()) {
+    return Status::NotFound("no member " + path + " in container of type " +
+                            type_name_);
+  }
+  const Slot& s = it->second;
+  return s.value.is_null() ? s.default_value : s.value;
+}
+
+Status Container::Set(const std::string& path, const Value& value) {
+  auto it = slots_.find(path);
+  if (it == slots_.end()) {
+    return Status::NotFound("no member " + path + " in container of type " +
+                            type_name_);
+  }
+  Slot& s = it->second;
+  EXO_ASSIGN_OR_RETURN(Value coerced, value.CoerceTo(s.type));
+  s.value = std::move(coerced);
+  return Status::OK();
+}
+
+void Container::Reset() {
+  for (auto& [path, slot] : slots_) {
+    (void)path;
+    slot.value = Value();
+  }
+}
+
+std::string Container::Serialize() const {
+  std::string out;
+  for (const std::string& path : order_) {
+    const Slot& s = slots_.at(path);
+    if (s.value.is_null()) continue;
+    out += path;
+    out += '=';
+    out += s.value.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status Container::Deserialize(const std::string& image) {
+  Reset();
+  for (const std::string& line : Split(image, '\n')) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("container image line missing '=': " + line);
+    }
+    std::string path(Trim(trimmed.substr(0, eq)));
+    EXO_ASSIGN_OR_RETURN(Value v,
+                         Value::FromString(std::string(trimmed.substr(eq + 1))));
+    EXO_RETURN_NOT_OK(Set(path, v));
+  }
+  return Status::OK();
+}
+
+bool Container::operator==(const Container& other) const {
+  if (type_name_ != other.type_name_) return false;
+  for (const std::string& path : order_) {
+    auto a = Get(path);
+    auto b = other.Get(path);
+    if (!a.ok() || !b.ok()) return false;
+    if (a.value() != b.value()) return false;
+  }
+  return true;
+}
+
+Status DataMapping::Validate(const Container& source_shape,
+                             const Container& target_shape) const {
+  for (const FieldMap& m : maps_) {
+    EXO_ASSIGN_OR_RETURN(ScalarType from, source_shape.TypeOf(m.from_path));
+    EXO_ASSIGN_OR_RETURN(ScalarType to, target_shape.TypeOf(m.to_path));
+    bool compatible = (from == to) ||
+                      (from == ScalarType::kLong && to == ScalarType::kFloat);
+    if (!compatible) {
+      return Status::ValidationError(
+          StrFormat("data mapping %s (%s) -> %s (%s) is type-incompatible",
+                    m.from_path.c_str(), ScalarTypeName(from),
+                    m.to_path.c_str(), ScalarTypeName(to)));
+    }
+  }
+  return Status::OK();
+}
+
+Status DataMapping::Apply(const Container& source, Container* target) const {
+  for (const FieldMap& m : maps_) {
+    EXO_ASSIGN_OR_RETURN(Value v, source.Get(m.from_path));
+    if (v.is_null()) continue;
+    EXO_RETURN_NOT_OK(target->Set(m.to_path, v));
+  }
+  return Status::OK();
+}
+
+}  // namespace exotica::data

@@ -1,0 +1,110 @@
+// Data containers: the typed variable stores attached to every activity
+// and process (paper §3.2, "Input Container" / "Output Container").
+
+#ifndef EXOTICA_DATA_CONTAINER_H_
+#define EXOTICA_DATA_CONTAINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/types.h"
+#include "data/value.h"
+
+namespace exotica::data {
+
+/// \brief An instance of a StructType: dotted leaf paths → values.
+///
+/// Containers are instantiated from a TypeRegistry, which fixes the set of
+/// legal paths and their scalar types. Reads of never-written members yield
+/// the declared default (or null). Writes are type-checked.
+class Container {
+ public:
+  /// Creates a container of shape `type_name`. Fails if the type is
+  /// unknown, recursive, or has unresolved nested references.
+  static Result<Container> Create(const TypeRegistry& registry,
+                                  const std::string& type_name);
+
+  /// An empty container of the built-in `_Default` shape (RC : LONG = 0).
+  static Container Default(const TypeRegistry& registry);
+
+  const std::string& type_name() const { return type_name_; }
+
+  /// All legal leaf paths, in declaration order.
+  const std::vector<std::string>& paths() const { return order_; }
+
+  bool HasPath(const std::string& path) const { return slots_.count(path) > 0; }
+
+  /// Declared scalar type of a leaf. NotFound for unknown paths.
+  Result<ScalarType> TypeOf(const std::string& path) const;
+
+  /// Current value of a leaf (default if never written). NotFound for
+  /// unknown paths.
+  Result<Value> Get(const std::string& path) const;
+
+  /// Type-checked write (long widens to float). NotFound / InvalidArgument.
+  Status Set(const std::string& path, const Value& value);
+
+  /// Resets every member to its declared default.
+  void Reset();
+
+  /// Serializes the non-default members as `path=value` lines (journal /
+  /// audit format).
+  std::string Serialize() const;
+
+  /// Applies a Serialize()d image on top of the defaults.
+  Status Deserialize(const std::string& image);
+
+  bool operator==(const Container& other) const;
+
+ private:
+  struct Slot {
+    ScalarType type;
+    Value default_value;
+    Value value;  // null until written
+  };
+
+  std::string type_name_;
+  std::map<std::string, Slot> slots_;
+  std::vector<std::string> order_;
+};
+
+/// \brief One field-to-field mapping of a data connector.
+struct FieldMap {
+  std::string from_path;  ///< path in the source (output) container
+  std::string to_path;    ///< path in the target (input) container
+};
+
+/// \brief A data connector's payload: an ordered list of field mappings
+/// (paper §3.2, "Flow of Data ... a series of mappings between output data
+/// containers and input data containers").
+class DataMapping {
+ public:
+  DataMapping() = default;
+
+  void Add(std::string from_path, std::string to_path) {
+    maps_.push_back(FieldMap{std::move(from_path), std::move(to_path)});
+  }
+
+  const std::vector<FieldMap>& maps() const { return maps_; }
+  bool empty() const { return maps_.empty(); }
+
+  /// Checks every mapping is path- and type-compatible between the two
+  /// container shapes.
+  Status Validate(const Container& source_shape,
+                  const Container& target_shape) const;
+
+  /// Copies mapped fields from `source` into `target`. Unwritten (null)
+  /// source members are skipped so later connectors can layer over earlier
+  /// ones without erasing data.
+  Status Apply(const Container& source, Container* target) const;
+
+ private:
+  std::vector<FieldMap> maps_;
+};
+
+}  // namespace exotica::data
+
+#endif  // EXOTICA_DATA_CONTAINER_H_

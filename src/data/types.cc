@@ -1,0 +1,120 @@
+#include "data/types.h"
+
+#include <algorithm>
+
+namespace exotica::data {
+
+Status StructType::AddScalar(const std::string& member_name, ScalarType type,
+                             Value default_value) {
+  if (HasMember(member_name)) {
+    return Status::AlreadyExists("member already declared: " + name_ + "." +
+                                 member_name);
+  }
+  if (type == ScalarType::kNull) {
+    return Status::InvalidArgument("member type may not be NULL: " + member_name);
+  }
+  if (!default_value.is_null()) {
+    EXO_ASSIGN_OR_RETURN(default_value, default_value.CoerceTo(type));
+  }
+  members_.push_back(Member{member_name, type, "", std::move(default_value)});
+  return Status::OK();
+}
+
+Status StructType::AddStruct(const std::string& member_name,
+                             const std::string& type_name) {
+  if (HasMember(member_name)) {
+    return Status::AlreadyExists("member already declared: " + name_ + "." +
+                                 member_name);
+  }
+  if (type_name.empty()) {
+    return Status::InvalidArgument("nested structure type name empty for member " +
+                                   member_name);
+  }
+  members_.push_back(Member{member_name, ScalarType::kNull, type_name, Value()});
+  return Status::OK();
+}
+
+Result<const Member*> StructType::FindMember(const std::string& member_name) const {
+  for (const Member& m : members_) {
+    if (m.name == member_name) return &m;
+  }
+  return Status::NotFound("no member " + member_name + " in structure " + name_);
+}
+
+bool StructType::HasMember(const std::string& member_name) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Member& m) { return m.name == member_name; });
+}
+
+TypeRegistry::TypeRegistry() {
+  StructType def(kDefaultTypeName);
+  Status st = def.AddScalar("RC", ScalarType::kLong, Value(int64_t{0}));
+  (void)st;  // cannot fail on a fresh type
+  types_.emplace(def.name(), std::move(def));
+  order_.push_back(kDefaultTypeName);
+}
+
+Status TypeRegistry::Register(StructType type) {
+  if (types_.count(type.name()) > 0) {
+    return Status::AlreadyExists("structure type already registered: " +
+                                 type.name());
+  }
+  if (type.name().empty()) {
+    return Status::InvalidArgument("structure type name may not be empty");
+  }
+  order_.push_back(type.name());
+  types_.emplace(type.name(), std::move(type));
+  return Status::OK();
+}
+
+Result<const StructType*> TypeRegistry::Find(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound("unknown structure type: " + name);
+  }
+  return &it->second;
+}
+
+Status TypeRegistry::Validate() const {
+  for (const auto& [name, type] : types_) {
+    (void)type;
+    auto leaves = Flatten(name);
+    if (!leaves.ok()) return leaves.status();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TypeRegistry::Leaf>> TypeRegistry::Flatten(
+    const std::string& type_name) const {
+  std::vector<Leaf> out;
+  std::vector<std::string> stack;
+  EXO_RETURN_NOT_OK(FlattenInto(type_name, "", &stack, &out));
+  return out;
+}
+
+Status TypeRegistry::FlattenInto(const std::string& type_name,
+                                 const std::string& prefix,
+                                 std::vector<std::string>* stack,
+                                 std::vector<Leaf>* out) const {
+  if (std::find(stack->begin(), stack->end(), type_name) != stack->end()) {
+    return Status::ValidationError("recursive structure type: " + type_name);
+  }
+  auto it = types_.find(type_name);
+  if (it == types_.end()) {
+    return Status::ValidationError("unresolved structure type reference: " +
+                                   type_name);
+  }
+  stack->push_back(type_name);
+  for (const Member& m : it->second.members()) {
+    std::string path = prefix.empty() ? m.name : prefix + "." + m.name;
+    if (m.is_struct()) {
+      EXO_RETURN_NOT_OK(FlattenInto(m.struct_type, path, stack, out));
+    } else {
+      out->push_back(Leaf{std::move(path), m.scalar, m.default_value});
+    }
+  }
+  stack->pop_back();
+  return Status::OK();
+}
+
+}  // namespace exotica::data

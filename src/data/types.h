@@ -1,0 +1,112 @@
+// Structure types for data containers.
+//
+// A container's shape is described by a StructType: an ordered list of
+// members, each a scalar or a (registered) nested structure. Members are
+// addressed with dotted paths, e.g. "Order.Customer.Id".
+
+#ifndef EXOTICA_DATA_TYPES_H_
+#define EXOTICA_DATA_TYPES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/value.h"
+
+namespace exotica::data {
+
+class TypeRegistry;
+
+/// \brief One declared member of a structure.
+struct Member {
+  std::string name;
+  /// Scalar type, or kNull when the member is a nested structure.
+  ScalarType scalar = ScalarType::kNull;
+  /// Name of the nested structure type; empty for scalars.
+  std::string struct_type;
+  /// Optional default value (scalars only).
+  Value default_value;
+
+  bool is_struct() const { return !struct_type.empty(); }
+};
+
+/// \brief An ordered, named collection of members.
+class StructType {
+ public:
+  explicit StructType(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Appends a scalar member. AlreadyExists on duplicate name.
+  Status AddScalar(const std::string& member_name, ScalarType type,
+                   Value default_value = Value());
+
+  /// Appends a nested-structure member. The type is resolved lazily against
+  /// the registry when the container is instantiated.
+  Status AddStruct(const std::string& member_name, const std::string& type_name);
+
+  /// Member by name, or NotFound.
+  Result<const Member*> FindMember(const std::string& member_name) const;
+
+  bool HasMember(const std::string& member_name) const;
+
+ private:
+  std::string name_;
+  std::vector<Member> members_;
+};
+
+/// \brief Registry of named structure types; owns them.
+///
+/// The registry rejects recursive structure definitions at registration
+/// time (a structure may not, directly or transitively, contain itself).
+class TypeRegistry {
+ public:
+  TypeRegistry();
+
+  /// Registers a type. AlreadyExists on duplicate name; ValidationError if
+  /// the type (transitively) references itself or an unknown nested type
+  /// that is also not registered later — unknown references are checked at
+  /// Seal()/instantiation.
+  Status Register(StructType type);
+
+  Result<const StructType*> Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return types_.count(name) > 0; }
+
+  /// Verifies every nested-structure reference resolves and no cycles
+  /// exist. Call after all Register()s.
+  Status Validate() const;
+
+  /// Expands a struct type into the flat list of (dotted path, scalar type,
+  /// default) leaves, in declaration order. Fails on unresolved references
+  /// or cycles.
+  struct Leaf {
+    std::string path;
+    ScalarType type;
+    Value default_value;
+  };
+  Result<std::vector<Leaf>> Flatten(const std::string& type_name) const;
+
+  /// Names of all registered types, in registration order.
+  std::vector<std::string> TypeNames() const { return order_; }
+
+  /// The built-in type "_Default" with the single member `RC : LONG`.
+  /// FlowMark gives every activity a default container carrying the return
+  /// code; translated transaction models lean on it heavily.
+  static constexpr const char* kDefaultTypeName = "_Default";
+
+ private:
+  Status FlattenInto(const std::string& type_name, const std::string& prefix,
+                     std::vector<std::string>* stack,
+                     std::vector<Leaf>* out) const;
+
+  std::map<std::string, StructType> types_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace exotica::data
+
+#endif  // EXOTICA_DATA_TYPES_H_

@@ -1,0 +1,221 @@
+#include "exotica/blocks.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "wf/builder.h"
+
+namespace exotica::exo {
+
+namespace {
+
+/// Registers `type` unless an identical type already exists.
+Status RegisterOrVerifyType(wf::DefinitionStore* store, data::StructType type) {
+  if (!store->types().Has(type.name())) {
+    return store->types().Register(std::move(type));
+  }
+  EXO_ASSIGN_OR_RETURN(const data::StructType* existing,
+                       store->types().Find(type.name()));
+  const auto& a = existing->members();
+  const auto& b = type.members();
+  bool same = a.size() == b.size();
+  for (size_t i = 0; same && i < a.size(); ++i) {
+    same = a[i].name == b[i].name && a[i].scalar == b[i].scalar &&
+           a[i].struct_type == b[i].struct_type &&
+           a[i].default_value == b[i].default_value;
+  }
+  if (!same) {
+    return Status::AlreadyExists("structure type " + type.name() +
+                                 " already registered with a different shape");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckStepName(const std::string& name) {
+  if (name.empty()) {
+    return Status::ValidationError("subtransaction name may not be empty");
+  }
+  if (name[0] == '_') {
+    return Status::ValidationError("subtransaction name " + name +
+                                   " may not start with '_' (reserved)");
+  }
+  if (!std::isalpha(static_cast<unsigned char>(name[0]))) {
+    return Status::ValidationError("subtransaction name " + name +
+                                   " must start with a letter");
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return Status::ValidationError(
+          "subtransaction name " + name +
+          " must be an identifier (letters, digits, '_') so that State_" +
+          name + " is usable in conditions");
+    }
+  }
+  return Status::OK();
+}
+
+std::string StateField(const std::string& step_name) {
+  return "State_" + step_name;
+}
+
+std::string NopProgramFor(const std::string& state_type) {
+  return "exo_nop_" + state_type;
+}
+
+Status DeclareProgramChecked(wf::DefinitionStore* store,
+                             const std::string& program,
+                             const std::string& input_type,
+                             const std::string& output_type,
+                             const std::string& description) {
+  if (!store->HasProgram(program)) {
+    wf::ProgramDeclaration decl;
+    decl.name = program;
+    decl.description = description;
+    decl.input_type = input_type;
+    decl.output_type = output_type;
+    return store->DeclareProgram(std::move(decl));
+  }
+  EXO_ASSIGN_OR_RETURN(const wf::ProgramDeclaration* decl,
+                       store->FindProgram(program));
+  if (decl->input_type != input_type || decl->output_type != output_type) {
+    return Status::AlreadyExists(StrFormat(
+        "program %s already declared with containers (%s/%s), need (%s/%s)",
+        program.c_str(), decl->input_type.c_str(), decl->output_type.c_str(),
+        input_type.c_str(), output_type.c_str()));
+  }
+  return Status::OK();
+}
+
+Status EnsureSharedDefinitions(wf::DefinitionStore* store) {
+  data::StructType txn_result(kTxnResultType);
+  EXO_RETURN_NOT_OK(txn_result.AddScalar("RC", data::ScalarType::kLong,
+                                         data::Value(int64_t{1})));
+  EXO_RETURN_NOT_OK(txn_result.AddScalar("Committed", data::ScalarType::kLong,
+                                         data::Value(int64_t{0})));
+  EXO_RETURN_NOT_OK(RegisterOrVerifyType(store, std::move(txn_result)));
+
+  data::StructType flex_result(kFlexResultType);
+  EXO_RETURN_NOT_OK(flex_result.AddScalar("RC", data::ScalarType::kLong,
+                                          data::Value(int64_t{1})));
+  EXO_RETURN_NOT_OK(RegisterOrVerifyType(store, std::move(flex_result)));
+
+  EXO_RETURN_NOT_OK(DeclareProgramChecked(
+      store, kRc0Program, data::TypeRegistry::kDefaultTypeName,
+      data::TypeRegistry::kDefaultTypeName, "constant: sets RC = 0"));
+  EXO_RETURN_NOT_OK(DeclareProgramChecked(
+      store, kRc1Program, data::TypeRegistry::kDefaultTypeName,
+      data::TypeRegistry::kDefaultTypeName, "constant: sets RC = 1"));
+  return Status::OK();
+}
+
+Status RegisterStateType(wf::DefinitionStore* store,
+                         const std::string& type_name,
+                         const std::vector<BlockStep>& steps) {
+  data::StructType type(type_name);
+  EXO_RETURN_NOT_OK(
+      type.AddScalar("RC", data::ScalarType::kLong, data::Value(int64_t{1})));
+  for (const BlockStep& s : steps) {
+    EXO_RETURN_NOT_OK(CheckStepName(s.name));
+    EXO_RETURN_NOT_OK(type.AddScalar(StateField(s.name), data::ScalarType::kLong,
+                                     data::Value(int64_t{0})));
+  }
+  return RegisterOrVerifyType(store, std::move(type));
+}
+
+Status BuildForwardProcess(wf::DefinitionStore* store,
+                           const std::string& process_name,
+                           const std::string& state_type,
+                           const std::vector<BlockStep>& steps) {
+  wf::ProcessBuilder b(store, process_name);
+  b.Description("forward block (Exotica translation)");
+  b.OutputType(state_type);
+
+  std::set<std::string> has_successor;
+  for (const BlockStep& s : steps) {
+    for (const std::string& p : s.predecessors) has_successor.insert(p);
+  }
+
+  for (const BlockStep& s : steps) {
+    EXO_RETURN_NOT_OK(DeclareProgramChecked(
+        store, s.program, data::TypeRegistry::kDefaultTypeName,
+        kTxnResultType));
+    b.Program(s.name, s.program);
+    if (s.retriable) b.ExitWhen("RC = 0");
+    // The step's commit flag feeds the block state; an abort or a dead
+    // path leaves the default 0.
+    b.MapToOutput(s.name, {{"Committed", StateField(s.name)}});
+  }
+
+  // Full-success sentinel: AND join over the sink steps.
+  b.Program("_DONE", kRc0Program);
+  b.MapToOutput("_DONE", {{"RC", "RC"}});
+
+  for (const BlockStep& s : steps) {
+    for (const std::string& p : s.predecessors) {
+      b.Connect(p, s.name, "RC = 0");
+    }
+    if (has_successor.count(s.name) == 0) {
+      b.Connect(s.name, "_DONE", "RC = 0");
+    }
+  }
+  return b.Register();
+}
+
+Status BuildCompensationProcess(wf::DefinitionStore* store,
+                                const std::string& process_name,
+                                const std::string& state_type,
+                                const std::vector<BlockStep>& steps) {
+  const std::string nop_program = NopProgramFor(state_type);
+  EXO_RETURN_NOT_OK(DeclareProgramChecked(
+      store, nop_program, state_type, state_type,
+      "copies the incoming State image (compensation trigger)"));
+
+  wf::ProcessBuilder b(store, process_name);
+  b.Description("compensation block (Exotica translation)");
+  b.InputType(state_type);
+
+  // The NOP trigger: copies the state image so the State_* transition
+  // conditions can be evaluated over its output container.
+  b.Program("_NOP", nop_program).Containers(state_type, state_type);
+  wf::ProcessBuilder::FieldPairs nop_fields;
+  nop_fields.emplace_back("RC", "RC");
+  for (const BlockStep& s : steps) {
+    nop_fields.emplace_back(StateField(s.name), StateField(s.name));
+  }
+  b.MapFromInput("_NOP", nop_fields);
+
+  // "Compensation ran" marker: block output RC = 1 whenever the block
+  // actually executes.
+  b.Program("_CDONE", kRc1Program);
+  b.Connect("_NOP", "_CDONE");
+  b.MapToOutput("_CDONE", {{"RC", "RC"}});
+
+  std::set<std::string> compensated;
+  for (const BlockStep& s : steps) {
+    if (s.compensation_program.empty()) continue;
+    EXO_RETURN_NOT_OK(DeclareProgramChecked(
+        store, s.compensation_program, data::TypeRegistry::kDefaultTypeName,
+        kTxnResultType));
+    std::string comp_name = "C_" + s.name;
+    b.Program(comp_name, s.compensation_program)
+        .OrJoin()
+        .ExitWhen("RC = 0");  // compensations retry until they succeed
+    b.Connect("_NOP", comp_name, StateField(s.name) + " = 1");
+    compensated.insert(s.name);
+  }
+
+  // Reverse the forward edges between compensation activities.
+  for (const BlockStep& s : steps) {
+    if (compensated.count(s.name) == 0) continue;
+    for (const std::string& p : s.predecessors) {
+      if (compensated.count(p) == 0) continue;
+      b.Connect("C_" + s.name, "C_" + p);
+    }
+  }
+  return b.Register();
+}
+
+}  // namespace exotica::exo

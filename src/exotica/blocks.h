@@ -1,0 +1,99 @@
+// Shared building blocks for the Exotica/FMTM translators: the paper's
+// Figure-2 forward/compensation block pattern, reused by both the saga
+// translation (§4.1) and the compensatable-run grouping of the flexible
+// transaction translation (§4.2, rule 5).
+
+#ifndef EXOTICA_EXOTICA_BLOCKS_H_
+#define EXOTICA_EXOTICA_BLOCKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wf/process.h"
+
+namespace exotica::exo {
+
+/// Shared container type of every subtransaction program:
+///   RC        0 = committed, nonzero = aborted
+///   Committed 1 = committed, 0 = not (feeds the State_* block outputs)
+inline constexpr const char* kTxnResultType = "TxnResult";
+
+/// Output container type of translated composite steps:
+///   RC  0 = completed, 1 = failed with all committed compensatable work
+///       already compensated (clean rollback). Defaults to 1 so a dead
+///       path reads as failure.
+inline constexpr const char* kFlexResultType = "FlexResult";
+
+/// Names of the constant helper programs (bound by BindHelperPrograms).
+inline constexpr const char* kRc0Program = "exo_rc0";
+inline constexpr const char* kRc1Program = "exo_rc1";
+
+/// \brief One step of a forward/compensation block pair.
+struct BlockStep {
+  std::string name;                       ///< subtransaction name (T1, ...)
+  std::string program;                    ///< forward program
+  std::string compensation_program;       ///< empty = not compensatable
+  std::vector<std::string> predecessors;  ///< within the block
+  /// Retriable subtransactions get exit condition "RC = 0" in the forward
+  /// block, so the engine re-runs them until they commit.
+  bool retriable = false;
+};
+
+/// \brief Rejects step/subtransaction names that cannot appear as
+/// condition identifiers (State_<name> must lex as an identifier).
+Status CheckStepName(const std::string& name);
+
+/// \brief The state field for a step: "State_<name>".
+std::string StateField(const std::string& step_name);
+
+/// \brief NOP (copy) program name for a state type.
+std::string NopProgramFor(const std::string& state_type);
+
+/// \brief Registers (or verifies) the shared TxnResult / FlexResult types
+/// and the kRc0/kRc1 program declarations in `store`.
+Status EnsureSharedDefinitions(wf::DefinitionStore* store);
+
+/// \brief Registers the block state type `type_name`:
+///   RC : LONG DEFAULT 1; State_<step> : LONG DEFAULT 0 for each step.
+Status RegisterStateType(wf::DefinitionStore* store,
+                         const std::string& type_name,
+                         const std::vector<BlockStep>& steps);
+
+/// \brief Declares `program` with the given shapes, or verifies an
+/// existing declaration matches.
+Status DeclareProgramChecked(wf::DefinitionStore* store,
+                             const std::string& program,
+                             const std::string& input_type,
+                             const std::string& output_type,
+                             const std::string& description = "");
+
+/// \brief Builds and registers the forward block (paper Figure 2, left):
+/// one activity per step, control connectors along the predecessor edges
+/// with transition condition "RC = 0", each step's Committed flag mapped
+/// to the block output State_<step>, and a terminal "_DONE" sentinel
+/// (AND-join over the sink steps) whose RC=0 constant marks full success —
+/// the block output RC defaults to 1, so any abort leaves RC <> 0.
+Status BuildForwardProcess(wf::DefinitionStore* store,
+                           const std::string& process_name,
+                           const std::string& state_type,
+                           const std::vector<BlockStep>& steps);
+
+/// \brief Builds and registers the compensation block (paper Figure 2,
+/// right): a NOP start activity copying the incoming State_* image,
+/// control connectors NOP -> C_<step> with condition "State_<step> = 1",
+/// the forward predecessor edges reversed between the compensation
+/// activities (OR-joins), and exit condition "RC = 0" on every
+/// compensation so it retries until it succeeds. A "_CDONE" constant
+/// activity sets the block output RC to 1, marking "compensation ran".
+/// Steps without a compensation program are skipped (their State can
+/// never demand compensation in a well-formed model).
+Status BuildCompensationProcess(wf::DefinitionStore* store,
+                                const std::string& process_name,
+                                const std::string& state_type,
+                                const std::vector<BlockStep>& steps);
+
+}  // namespace exotica::exo
+
+#endif  // EXOTICA_EXOTICA_BLOCKS_H_

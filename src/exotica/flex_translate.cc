@@ -1,0 +1,406 @@
+#include "exotica/flex_translate.h"
+
+#include <map>
+
+#include "exotica/blocks.h"
+#include "wf/builder.h"
+
+namespace exotica::exo {
+
+namespace {
+
+std::string ProgramOf(const atm::FlexStep& sub) {
+  return sub.program.empty() ? sub.name : sub.program;
+}
+
+std::string CompensationProgramOf(const atm::FlexStep& sub) {
+  return sub.compensation_program.empty() ? sub.name + "_comp"
+                                          : sub.compensation_program;
+}
+
+/// Compensatable leaves of a step, left to right.
+void CollectCompensatable(const atm::FlexStep& step,
+                          std::vector<const atm::FlexStep*>* out) {
+  switch (step.kind) {
+    case atm::FlexStep::Kind::kSub:
+      if (step.compensatable) out->push_back(&step);
+      return;
+    case atm::FlexStep::Kind::kSeq:
+      for (const atm::FlexStepPtr& c : step.children) {
+        CollectCompensatable(*c, out);
+      }
+      return;
+    case atm::FlexStep::Kind::kAlt:
+      CollectCompensatable(*step.primary, out);
+      CollectCompensatable(*step.fallback, out);
+      return;
+  }
+}
+
+class Translator {
+ public:
+  Translator(wf::DefinitionStore* store, FlexTranslation* out)
+      : store_(store), out_(out) {}
+
+  /// What a translated step exposes to its parent.
+  struct StepArtifacts {
+    std::string process;        ///< forward process (output = state_type)
+    std::string comp_process;   ///< compensation process; empty if no
+                                ///< compensatable leaves
+    std::string state_type;     ///< {RC def 1} + State_<leaf> fields
+    std::vector<std::string> state_fields;  ///< State_<leaf> names
+  };
+
+  /// Translates `step`; registers processes under `process_name` and
+  /// returns the artifact names.
+  ///
+  /// Forward-process contract on the output container:
+  ///   RC = 0        the step completed;
+  ///   RC = 1        the step failed cleanly — every compensatable leaf it
+  ///                 committed has been compensated;
+  ///   State_<leaf>  1 iff the leaf's effects are currently in place
+  ///                 (committed and not compensated).
+  ///
+  /// The compensation process takes the state image as its input
+  /// container and undoes every leaf whose State field is 1, retrying
+  /// each compensating transaction until it succeeds.
+  Result<StepArtifacts> TranslateStep(const atm::FlexStep& step,
+                                      const std::string& process_name) {
+    switch (step.kind) {
+      case atm::FlexStep::Kind::kSub:
+        return TranslateSub(step, process_name);
+      case atm::FlexStep::Kind::kSeq:
+        return TranslateSeq(step, process_name);
+      case atm::FlexStep::Kind::kAlt:
+        return TranslateAlt(step, process_name);
+    }
+    return Status::Internal("unreachable flex step kind");
+  }
+
+ private:
+  Status Registered(const std::string& name) {
+    out_->processes.push_back(name);
+    return Status::OK();
+  }
+
+  /// Registers the step's state type {RC def 1, State_<leaf> def 0 ...}.
+  Status MakeStateType(const std::string& type_name,
+                       const std::vector<const atm::FlexStep*>& leaves,
+                       std::vector<std::string>* fields) {
+    std::vector<BlockStep> steps;
+    for (const atm::FlexStep* leaf : leaves) {
+      EXO_RETURN_NOT_OK(CheckStepName(leaf->name));
+      BlockStep b;
+      b.name = leaf->name;
+      steps.push_back(std::move(b));
+      fields->push_back(StateField(leaf->name));
+    }
+    return RegisterStateType(store_, type_name, steps);
+  }
+
+  /// Declares the zero program for a state type (writes 0 to every
+  /// State_* field; bound generically by BindHelperPrograms).
+  Result<std::string> ZeroProgramFor(const std::string& state_type) {
+    std::string name = "exo_zero_" + state_type;
+    EXO_RETURN_NOT_OK(DeclareProgramChecked(
+        store_, name, data::TypeRegistry::kDefaultTypeName, state_type,
+        "constant: clears every State_* field"));
+    return name;
+  }
+
+  Result<StepArtifacts> TranslateSub(const atm::FlexStep& sub,
+                                     const std::string& process_name) {
+    EXO_RETURN_NOT_OK(CheckStepName(sub.name));
+    EXO_RETURN_NOT_OK(DeclareProgramChecked(
+        store_, ProgramOf(sub), data::TypeRegistry::kDefaultTypeName,
+        kTxnResultType));
+
+    StepArtifacts art;
+    art.process = process_name;
+    art.state_type = process_name + "_State";
+    std::vector<const atm::FlexStep*> leaves;
+    CollectCompensatable(sub, &leaves);
+    EXO_RETURN_NOT_OK(MakeStateType(art.state_type, leaves, &art.state_fields));
+
+    wf::ProcessBuilder b(store_, process_name);
+    b.Description("subtransaction " + sub.name + " (Exotica translation)");
+    b.OutputType(art.state_type);
+    b.Program(sub.name, ProgramOf(sub));
+    if (sub.retriable) b.ExitWhen("RC = 0");  // rule 4
+    b.MapToOutput(sub.name, {{"RC", "RC"}});
+    if (sub.compensatable) {
+      b.MapToOutput(sub.name, {{"Committed", StateField(sub.name)}});
+    }
+    EXO_RETURN_NOT_OK(b.Register());
+    EXO_RETURN_NOT_OK(Registered(process_name));
+
+    if (sub.compensatable) {
+      art.comp_process = process_name + "_CMP";
+      BlockStep step;
+      step.name = sub.name;
+      step.program = ProgramOf(sub);
+      step.compensation_program = CompensationProgramOf(sub);
+      EXO_RETURN_NOT_OK(BuildCompensationProcess(store_, art.comp_process,
+                                                 art.state_type, {step}));
+      EXO_RETURN_NOT_OK(Registered(art.comp_process));
+    }
+    return art;
+  }
+
+  Result<StepArtifacts> TranslateAlt(const atm::FlexStep& alt,
+                                     const std::string& process_name) {
+    EXO_ASSIGN_OR_RETURN(StepArtifacts primary,
+                         TranslateStep(*alt.primary, process_name + "_P"));
+    EXO_ASSIGN_OR_RETURN(StepArtifacts fallback,
+                         TranslateStep(*alt.fallback, process_name + "_F"));
+
+    StepArtifacts art;
+    art.process = process_name;
+    art.state_type = process_name + "_State";
+    std::vector<const atm::FlexStep*> leaves;
+    CollectCompensatable(alt, &leaves);
+    EXO_RETURN_NOT_OK(MakeStateType(art.state_type, leaves, &art.state_fields));
+
+    wf::ProcessBuilder b(store_, process_name);
+    b.Description("alternative paths (Exotica translation)");
+    b.OutputType(art.state_type);
+    b.Block("_P", primary.process);
+    b.Block("_F", fallback.process);
+    // Rule 7: the alternative runs exactly when the preferred path
+    // reports a clean failure. A failed primary zeroed its states, so the
+    // union image below reflects only surviving work.
+    b.Connect("_P", "_F", "RC <> 0");
+    b.MapToOutput("_P", {{"RC", "RC"}});
+    b.MapToOutput("_F", {{"RC", "RC"}});
+    auto map_states = [&b](const char* act, const StepArtifacts& a) {
+      if (a.state_fields.empty()) return;
+      wf::ProcessBuilder::FieldPairs pairs;
+      for (const std::string& f : a.state_fields) pairs.emplace_back(f, f);
+      b.MapToOutput(act, pairs);
+    };
+    map_states("_P", primary);
+    map_states("_F", fallback);
+    EXO_RETURN_NOT_OK(b.Register());
+    EXO_RETURN_NOT_OK(Registered(process_name));
+
+    // Compensation: undo whichever branch's work survives (the state
+    // image gates each side; at most one side has nonzero fields).
+    if (!art.state_fields.empty()) {
+      art.comp_process = process_name + "_CMP";
+      wf::ProcessBuilder cb(store_, art.comp_process);
+      cb.Description("alternative compensation (Exotica translation)");
+      cb.InputType(art.state_type);
+      std::string prev;
+      for (const StepArtifacts* branch : {&fallback, &primary}) {
+        if (branch->comp_process.empty()) continue;
+        std::string act = "_C" + std::to_string(cb_counter_++);
+        cb.Block(act, branch->comp_process);
+        wf::ProcessBuilder::FieldPairs pairs;
+        for (const std::string& f : branch->state_fields) {
+          pairs.emplace_back(f, f);
+        }
+        cb.MapFromInput(act, pairs);
+        if (!prev.empty()) cb.Connect(prev, act);
+        prev = std::move(act);
+      }
+      EXO_RETURN_NOT_OK(cb.Register());
+      EXO_RETURN_NOT_OK(Registered(art.comp_process));
+    }
+    return art;
+  }
+
+  Result<StepArtifacts> TranslateSeq(const atm::FlexStep& seq,
+                                     const std::string& process_name) {
+    // Elements: maximal runs of compensatable subtransactions collapse
+    // into forward blocks (rule 5); plain pivot / retriable leaves are
+    // inline activities; composites recurse.
+    struct Element {
+      std::string activity;
+      bool is_block = false;
+      std::string subprocess;
+      const atm::FlexStep* sub = nullptr;  // plain leaves only
+      std::string comp_process;            // empty if nothing to undo
+      std::vector<std::string> state_fields;
+      std::string comp_input_type;         // comp process input type
+    };
+    std::vector<Element> elements;
+    std::vector<BlockStep> run;
+    int counter = 0;
+
+    auto flush_run = [&]() -> Status {
+      if (run.empty()) return Status::OK();
+      ++counter;
+      Element e;
+      e.activity = "_R" + std::to_string(counter);
+      e.is_block = true;
+      e.subprocess = process_name + "_R" + std::to_string(counter) + "F";
+      e.comp_process = process_name + "_R" + std::to_string(counter) + "C";
+      e.comp_input_type =
+          process_name + "_R" + std::to_string(counter) + "_State";
+      for (const BlockStep& s : run) {
+        e.state_fields.push_back(StateField(s.name));
+      }
+      EXO_RETURN_NOT_OK(RegisterStateType(store_, e.comp_input_type, run));
+      EXO_RETURN_NOT_OK(
+          BuildForwardProcess(store_, e.subprocess, e.comp_input_type, run));
+      EXO_RETURN_NOT_OK(Registered(e.subprocess));
+      EXO_RETURN_NOT_OK(BuildCompensationProcess(store_, e.comp_process,
+                                                 e.comp_input_type, run));
+      EXO_RETURN_NOT_OK(Registered(e.comp_process));
+      run.clear();
+      elements.push_back(std::move(e));
+      return Status::OK();
+    };
+
+    for (const atm::FlexStepPtr& child : seq.children) {
+      if (child->kind == atm::FlexStep::Kind::kSub && child->compensatable) {
+        EXO_RETURN_NOT_OK(CheckStepName(child->name));
+        BlockStep b;
+        b.name = child->name;
+        b.program = ProgramOf(*child);
+        b.compensation_program = CompensationProgramOf(*child);
+        if (!run.empty()) b.predecessors.push_back(run.back().name);
+        b.retriable = child->retriable;
+        run.push_back(std::move(b));
+        continue;
+      }
+      EXO_RETURN_NOT_OK(flush_run());
+      ++counter;
+      Element e;
+      if (child->kind == atm::FlexStep::Kind::kSub) {
+        EXO_RETURN_NOT_OK(CheckStepName(child->name));
+        e.activity = child->name;
+        e.sub = child.get();
+      } else {
+        e.activity = "_B" + std::to_string(counter);
+        e.is_block = true;
+        e.subprocess = process_name + "_B" + std::to_string(counter);
+        EXO_ASSIGN_OR_RETURN(StepArtifacts child_art,
+                             TranslateStep(*child, e.subprocess));
+        e.comp_process = child_art.comp_process;
+        e.state_fields = child_art.state_fields;
+        e.comp_input_type = child_art.state_type;
+      }
+      elements.push_back(std::move(e));
+    }
+    EXO_RETURN_NOT_OK(flush_run());
+
+    if (elements.empty()) {
+      return Status::ValidationError("sequence " + process_name +
+                                     " has no elements");
+    }
+
+    StepArtifacts art;
+    art.process = process_name;
+    art.state_type = process_name + "_State";
+    std::vector<const atm::FlexStep*> leaves;
+    CollectCompensatable(seq, &leaves);
+    EXO_RETURN_NOT_OK(MakeStateType(art.state_type, leaves, &art.state_fields));
+
+    // --- the Seq's compensation process (shared by the internal failure
+    // path and by enclosing steps): children's comp blocks in reverse.
+    if (!art.state_fields.empty()) {
+      art.comp_process = process_name + "_CMP";
+      wf::ProcessBuilder cb(store_, art.comp_process);
+      cb.Description("sequence compensation (Exotica translation)");
+      cb.InputType(art.state_type);
+      std::string prev;
+      for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+        if (it->comp_process.empty()) continue;
+        std::string act = "_C" + std::to_string(cb_counter_++);
+        cb.Block(act, it->comp_process);
+        wf::ProcessBuilder::FieldPairs pairs;
+        for (const std::string& f : it->state_fields) pairs.emplace_back(f, f);
+        cb.MapFromInput(act, pairs);
+        if (!prev.empty()) cb.Connect(prev, act);
+        prev = std::move(act);
+      }
+      EXO_RETURN_NOT_OK(cb.Register());
+      EXO_RETURN_NOT_OK(Registered(art.comp_process));
+    }
+
+    // --- the forward process.
+    wf::ProcessBuilder b(store_, process_name);
+    b.Description("sequence (Exotica translation)");
+    b.OutputType(art.state_type);
+
+    for (const Element& e : elements) {
+      if (e.is_block) {
+        b.Block(e.activity, e.subprocess);
+      } else {
+        EXO_RETURN_NOT_OK(DeclareProgramChecked(
+            store_, ProgramOf(*e.sub), data::TypeRegistry::kDefaultTypeName,
+            kTxnResultType));
+        b.Program(e.activity, ProgramOf(*e.sub));
+        if (e.sub->retriable) b.ExitWhen("RC = 0");
+      }
+      // Committed work surfaces in the state image as it happens.
+      if (!e.state_fields.empty()) {
+        wf::ProcessBuilder::FieldPairs pairs;
+        for (const std::string& f : e.state_fields) pairs.emplace_back(f, f);
+        b.MapToOutput(e.activity, pairs);
+      }
+    }
+
+    // Rule 2: forward chaining on commit.
+    for (size_t i = 0; i + 1 < elements.size(); ++i) {
+      b.Connect(elements[i].activity, elements[i + 1].activity, "RC = 0");
+    }
+
+    // Rules 3 & 7: any element's abort feeds the failure trigger (an
+    // all-evaluated OR join; untaken elements evaluate false by DPE).
+    b.Program("_FAIL", kRc1Program).OrJoin();
+    for (const Element& e : elements) {
+      b.Connect(e.activity, "_FAIL", "RC <> 0");
+    }
+    b.MapToOutput(elements.back().activity, {{"RC", "RC"}});
+    b.MapToOutput("_FAIL", {{"RC", "RC"}});
+
+    // Internal failure path: compensate via the shared comp process, fed
+    // the live state image, then zero the exported states (clean-failure
+    // contract: a failed Seq leaves nothing committed).
+    if (!art.state_fields.empty()) {
+      b.Block("_CB", art.comp_process);
+      b.Connect("_FAIL", "_CB");
+      for (const Element& e : elements) {
+        if (e.state_fields.empty()) continue;
+        wf::ProcessBuilder::FieldPairs pairs;
+        for (const std::string& f : e.state_fields) pairs.emplace_back(f, f);
+        b.MapData(e.activity, "_CB", pairs);
+      }
+      EXO_ASSIGN_OR_RETURN(std::string zero_program,
+                           ZeroProgramFor(art.state_type));
+      b.Program("_CLEAR", zero_program)
+          .Containers(data::TypeRegistry::kDefaultTypeName, art.state_type);
+      b.Connect("_CB", "_CLEAR");
+      wf::ProcessBuilder::FieldPairs zero_pairs;
+      for (const std::string& f : art.state_fields) {
+        zero_pairs.emplace_back(f, f);
+      }
+      b.MapToOutput("_CLEAR", zero_pairs);
+    }
+
+    EXO_RETURN_NOT_OK(b.Register());
+    EXO_RETURN_NOT_OK(Registered(process_name));
+    return art;
+  }
+
+  wf::DefinitionStore* store_;
+  FlexTranslation* out_;
+  int cb_counter_ = 0;
+};
+
+}  // namespace
+
+Result<FlexTranslation> TranslateFlex(const atm::FlexSpec& spec,
+                                      wf::DefinitionStore* store) {
+  EXO_RETURN_NOT_OK(spec.Validate());
+  EXO_RETURN_NOT_OK(EnsureSharedDefinitions(store));
+  FlexTranslation out;
+  out.root_process = spec.name();
+  Translator t(store, &out);
+  EXO_RETURN_NOT_OK(t.TranslateStep(spec.root(), spec.name()).status());
+  return out;
+}
+
+}  // namespace exotica::exo

@@ -1,0 +1,57 @@
+// Flexible transaction → workflow translation (paper §4.2, Figure 4,
+// rules 1–7).
+//
+// The translation is compositional over the FlexStep tree. Every step
+// becomes a registered subprocess honouring one contract on its output
+// container (type FlexResult):
+//
+//   RC = 0   the step completed (its path committed);
+//   RC = 1   the step failed, and every compensatable subtransaction it
+//            committed has already been compensated (clean rollback).
+//
+// With that contract:
+//  * a subtransaction (rule 1) is a single program activity; retriable
+//    ones carry exit condition "RC = 0" (rule 4);
+//  * a sequence chains its elements with transition condition "RC = 0"
+//    (rule 2); maximal runs of compensatable subtransactions are grouped
+//    into forward blocks with matching compensation blocks (rules 5–6);
+//    every element also feeds a "_FAIL" OR-joined trigger via "RC <> 0"
+//    connectors, behind which the compensation blocks run in reverse
+//    order (rule 7) before the sequence reports RC = 1;
+//  * a pivot's two outgoing connectors ("RC = 0" forward, "RC <> 0" to
+//    the failure trigger) are exactly rule 3's branching point;
+//  * an alternative runs its primary block and, when that reports a clean
+//    failure, its fallback block — path switching by dead path
+//    elimination, rule 7.
+//
+// Well-formedness (FlexSpec::Validate) guarantees the clean-rollback
+// contract is achievable: a sequence can only fail before its pivot, so
+// compensating its runs never undoes a committed pivot.
+
+#ifndef EXOTICA_EXOTICA_FLEX_TRANSLATE_H_
+#define EXOTICA_EXOTICA_FLEX_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "atm/flex.h"
+#include "wf/process.h"
+
+namespace exotica::exo {
+
+/// \brief Names of the artifacts a flexible-transaction translation
+/// registers.
+struct FlexTranslation {
+  std::string root_process;              ///< spec name
+  std::vector<std::string> processes;    ///< every registered process
+};
+
+/// \brief Translates `spec` into workflow definitions registered in
+/// `store`.
+Result<FlexTranslation> TranslateFlex(const atm::FlexSpec& spec,
+                                      wf::DefinitionStore* store);
+
+}  // namespace exotica::exo
+
+#endif  // EXOTICA_EXOTICA_FLEX_TRANSLATE_H_

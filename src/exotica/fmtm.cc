@@ -1,0 +1,248 @@
+#include "exotica/fmtm.h"
+
+#include "common/strings.h"
+#include "exotica/flex_translate.h"
+#include "exotica/saga_translate.h"
+#include "fdl/export.h"
+#include "fdl/import.h"
+#include "fdl/lexer.h"
+
+namespace exotica::exo {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kSaga: return "SAGA";
+    case ModelKind::kFlexible: return "FLEXIBLE";
+  }
+  return "?";
+}
+
+namespace {
+
+using fdl::FdlToken;
+using fdl::FdlTokenKind;
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::vector<FdlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<FmtmOutput> Run() {
+    FmtmOutput out;
+    if (PeekKeyword("SAGA")) {
+      EXO_ASSIGN_OR_RETURN(atm::SagaSpec saga, ParseSaga());
+      out.kind = ModelKind::kSaga;
+      out.root_process = saga.name();
+      out.saga = std::move(saga);
+    } else if (PeekKeyword("FLEXIBLE")) {
+      EXO_ASSIGN_OR_RETURN(atm::FlexSpec flex, ParseFlexible());
+      out.kind = ModelKind::kFlexible;
+      out.root_process = flex.name();
+      out.flex = std::move(flex);
+    } else {
+      return Error("specification must start with SAGA or FLEXIBLE");
+    }
+    if (Peek().kind != FdlTokenKind::kEnd) {
+      return Error("trailing input after the specification");
+    }
+    return out;
+  }
+
+ private:
+  const FdlToken& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == FdlTokenKind::kKeyword && Peek().text == kw;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+
+  Status Expect(FdlTokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + FdlTokenKindName(kind));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName() {
+    if (Peek().kind != FdlTokenKind::kName) {
+      return Error("expected a quoted name");
+    }
+    std::string name = Peek().text;
+    ++pos_;
+    return name;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat(
+        "%s at line %d (near %s '%s') in model specification", what.c_str(),
+        Peek().line, FdlTokenKindName(Peek().kind), Peek().text.c_str()));
+  }
+
+  Result<atm::SagaSpec> ParseSaga() {
+    EXO_RETURN_NOT_OK(ExpectKeyword("SAGA"));
+    EXO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    atm::SagaSpec spec(name);
+    while (!PeekKeyword("END")) {
+      EXO_RETURN_NOT_OK(ExpectKeyword("STEP"));
+      EXO_ASSIGN_OR_RETURN(std::string step_name, ExpectName());
+
+      std::vector<std::string> predecessors;
+      bool explicit_order = false;
+      std::string program, compensation;
+      while (Peek().kind == FdlTokenKind::kKeyword && !PeekKeyword("END")) {
+        if (AcceptKeyword("AFTER")) {
+          explicit_order = true;
+          EXO_ASSIGN_OR_RETURN(std::string p, ExpectName());
+          predecessors.push_back(std::move(p));
+          while (Peek().kind == FdlTokenKind::kComma) {
+            ++pos_;
+            EXO_ASSIGN_OR_RETURN(std::string q, ExpectName());
+            predecessors.push_back(std::move(q));
+          }
+        } else if (AcceptKeyword("FIRST")) {
+          explicit_order = true;
+        } else if (AcceptKeyword("PROGRAM")) {
+          EXO_ASSIGN_OR_RETURN(program, ExpectName());
+        } else if (AcceptKeyword("COMPENSATION")) {
+          EXO_ASSIGN_OR_RETURN(compensation, ExpectName());
+        } else {
+          return Error("unexpected clause in STEP");
+        }
+      }
+      EXO_RETURN_NOT_OK(Expect(FdlTokenKind::kSemicolon));
+
+      if (explicit_order) {
+        spec.Step(step_name, std::move(predecessors));
+      } else {
+        spec.Then(step_name);  // linear: follows the previous step
+      }
+      if (!program.empty() || !compensation.empty()) {
+        spec.WithPrograms(program, compensation);
+      }
+    }
+    EXO_RETURN_NOT_OK(ExpectKeyword("END"));
+    EXO_ASSIGN_OR_RETURN(std::string end_name, ExpectName());
+    if (end_name != name) {
+      return Status::ParseError("END '" + end_name +
+                                "' does not match SAGA '" + name + "'");
+    }
+    // Format check, per the paper: "The pre-processor checks that the
+    // user specification meets the format of the advanced transaction
+    // model specified."
+    EXO_RETURN_NOT_OK(spec.Validate());
+    return spec;
+  }
+
+  Result<atm::FlexStepPtr> ParseFlexStep() {
+    if (AcceptKeyword("SUB")) {
+      EXO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      bool compensatable = false, retriable = false, pivot = false;
+      std::string program, compensation;
+      while (Peek().kind == FdlTokenKind::kKeyword) {
+        if (AcceptKeyword("COMPENSATABLE")) {
+          compensatable = true;
+        } else if (AcceptKeyword("RETRIABLE")) {
+          retriable = true;
+        } else if (AcceptKeyword("PIVOT")) {
+          pivot = true;
+        } else if (AcceptKeyword("PROGRAM")) {
+          EXO_ASSIGN_OR_RETURN(program, ExpectName());
+        } else if (AcceptKeyword("COMPENSATION")) {
+          EXO_ASSIGN_OR_RETURN(compensation, ExpectName());
+        } else {
+          return Error("unexpected flag on SUB");
+        }
+      }
+      EXO_RETURN_NOT_OK(Expect(FdlTokenKind::kSemicolon));
+      if (pivot && (compensatable || retriable)) {
+        return Status::ParseError("SUB '" + name +
+                                  "': PIVOT excludes other flags");
+      }
+      atm::FlexStepPtr sub = atm::FlexStep::Sub(name, compensatable, retriable);
+      sub->program = program;
+      sub->compensation_program = compensation;
+      return sub;
+    }
+    if (AcceptKeyword("SEQ")) {
+      std::vector<atm::FlexStepPtr> children;
+      while (!PeekKeyword("END")) {
+        EXO_ASSIGN_OR_RETURN(atm::FlexStepPtr child, ParseFlexStep());
+        children.push_back(std::move(child));
+      }
+      EXO_RETURN_NOT_OK(ExpectKeyword("END"));
+      if (children.empty()) return Error("SEQ needs at least one step");
+      return atm::FlexStep::Seq(std::move(children));
+    }
+    if (AcceptKeyword("ALT")) {
+      EXO_ASSIGN_OR_RETURN(atm::FlexStepPtr primary, ParseFlexStep());
+      EXO_ASSIGN_OR_RETURN(atm::FlexStepPtr fallback, ParseFlexStep());
+      EXO_RETURN_NOT_OK(ExpectKeyword("END"));
+      return atm::FlexStep::Alt(std::move(primary), std::move(fallback));
+    }
+    return Error("expected SUB, SEQ or ALT");
+  }
+
+  Result<atm::FlexSpec> ParseFlexible() {
+    EXO_RETURN_NOT_OK(ExpectKeyword("FLEXIBLE"));
+    EXO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    EXO_ASSIGN_OR_RETURN(atm::FlexStepPtr root, ParseFlexStep());
+    EXO_RETURN_NOT_OK(ExpectKeyword("END"));
+    EXO_ASSIGN_OR_RETURN(std::string end_name, ExpectName());
+    if (end_name != name) {
+      return Status::ParseError("END '" + end_name +
+                                "' does not match FLEXIBLE '" + name + "'");
+    }
+    atm::FlexSpec spec(name, std::move(root));
+    // Format check: structural + well-formedness rules.
+    EXO_RETURN_NOT_OK(spec.Validate());
+    return spec;
+  }
+
+  std::vector<FdlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FmtmOutput> ParseSpec(const std::string& spec_text) {
+  EXO_ASSIGN_OR_RETURN(std::vector<FdlToken> tokens,
+                       fdl::TokenizeFdl(spec_text));
+  return SpecParser(std::move(tokens)).Run();
+}
+
+Result<FmtmOutput> CompileSpec(const std::string& spec_text,
+                               wf::DefinitionStore* store) {
+  EXO_ASSIGN_OR_RETURN(FmtmOutput out, ParseSpec(spec_text));
+
+  // Translate into a scratch store, then round-trip through FDL into the
+  // target store — the paper's Figure-5 pipeline: the pre-processor's
+  // output *is* FDL, which the import module syntax-checks and the
+  // translator semantic-checks into executable templates.
+  wf::DefinitionStore scratch;
+  if (out.kind == ModelKind::kSaga) {
+    EXO_ASSIGN_OR_RETURN(SagaTranslation t, TranslateSaga(*out.saga, &scratch));
+    out.root_process = t.root_process;
+  } else {
+    EXO_ASSIGN_OR_RETURN(FlexTranslation t, TranslateFlex(*out.flex, &scratch));
+    out.root_process = t.root_process;
+  }
+  EXO_ASSIGN_OR_RETURN(out.fdl,
+                       fdl::ExportClosure(scratch, {out.root_process}));
+  EXO_ASSIGN_OR_RETURN(out.processes, fdl::ImportFdl(out.fdl, store));
+  return out;
+}
+
+}  // namespace exotica::exo

@@ -1,0 +1,78 @@
+// Exotica/FMTM: the pre-processor of the paper's §5 / Figure 5.
+//
+// The user writes a high-level specification naming the advanced
+// transaction model and its subtransactions:
+//
+//   SAGA 'Trip'
+//     STEP 'T1' PROGRAM 'reserve_flight' COMPENSATION 'cancel_flight';
+//     STEP 'T2';                     -- linear: follows the previous step
+//     STEP 'T3' AFTER 'T1';          -- explicit partial order
+//     STEP 'T4' FIRST;               -- an independent start step
+//   END 'Trip'
+//
+//   FLEXIBLE 'Fig3'
+//     SEQ
+//       SUB 'T1' COMPENSATABLE;
+//       SUB 'T2' PIVOT;
+//       ALT
+//         SEQ
+//           SUB 'T4' PIVOT;
+//           ALT
+//             SEQ SUB 'T5' COMPENSATABLE; SUB 'T6' COMPENSATABLE;
+//                 SUB 'T8' PIVOT; END
+//             SUB 'T7' RETRIABLE;
+//           END
+//         END
+//         SUB 'T3' RETRIABLE;
+//       END
+//     END
+//   END 'Fig3'
+//
+// CompileSpec runs the full Figure-5 pipeline: format check (spec parse +
+// model validation / well-formedness), translation to workflow processes,
+// FDL emission, FDL import with syntax checking, and semantic validation
+// into executable process templates registered in the target store.
+
+#ifndef EXOTICA_EXOTICA_FMTM_H_
+#define EXOTICA_EXOTICA_FMTM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "atm/flex.h"
+#include "atm/saga.h"
+#include "wf/process.h"
+
+namespace exotica::exo {
+
+enum class ModelKind : int { kSaga = 0, kFlexible = 1 };
+
+const char* ModelKindName(ModelKind kind);
+
+/// \brief Everything the pipeline produced.
+struct FmtmOutput {
+  ModelKind kind = ModelKind::kSaga;
+  std::string root_process;
+  std::vector<std::string> processes;  ///< all registered processes
+  std::string fdl;                     ///< the emitted FDL document
+
+  /// The parsed model spec, for binding subtransaction programs
+  /// (BindSagaPrograms / BindFlexPrograms).
+  std::optional<atm::SagaSpec> saga;
+  std::optional<atm::FlexSpec> flex;
+};
+
+/// \brief Parses a model specification (either SAGA or FLEXIBLE).
+Result<FmtmOutput> ParseSpec(const std::string& spec_text);
+
+/// \brief Full pipeline: spec text → validated model → translation → FDL →
+/// import into `store`. On success the root process (and its blocks) are
+/// registered and ready to instantiate.
+Result<FmtmOutput> CompileSpec(const std::string& spec_text,
+                               wf::DefinitionStore* store);
+
+}  // namespace exotica::exo
+
+#endif  // EXOTICA_EXOTICA_FMTM_H_

@@ -1,0 +1,122 @@
+#include "exotica/programs.h"
+
+#include "common/strings.h"
+#include "exotica/blocks.h"
+
+namespace exotica::exo {
+
+namespace {
+
+wfrt::ProgramFn MakeConstRcProgram(int64_t rc) {
+  return [rc](const data::Container& input, data::Container* output,
+              const wfrt::ProgramContext& context) -> Status {
+    (void)input;
+    (void)context;
+    return output->Set("RC", data::Value(rc));
+  };
+}
+
+wfrt::ProgramFn MakeZeroStatesProgram() {
+  return [](const data::Container& input, data::Container* output,
+            const wfrt::ProgramContext& context) -> Status {
+    (void)input;
+    (void)context;
+    for (const std::string& path : output->paths()) {
+      if (StartsWith(path, "State_")) {
+        EXO_RETURN_NOT_OK(output->Set(path, data::Value(int64_t{0})));
+      }
+    }
+    return Status::OK();
+  };
+}
+
+wfrt::ProgramFn MakeCopyProgram() {
+  return [](const data::Container& input, data::Container* output,
+            const wfrt::ProgramContext& context) -> Status {
+    (void)context;
+    for (const std::string& path : input.paths()) {
+      if (!output->HasPath(path)) continue;
+      EXO_ASSIGN_OR_RETURN(data::Value v, input.Get(path));
+      EXO_RETURN_NOT_OK(output->Set(path, v));
+    }
+    return Status::OK();
+  };
+}
+
+Status BindIfUnbound(wfrt::ProgramRegistry* programs, const std::string& name,
+                     wfrt::ProgramFn fn) {
+  if (programs->IsBound(name)) return Status::OK();
+  return programs->Bind(name, std::move(fn));
+}
+
+}  // namespace
+
+Status BindHelperPrograms(const wf::DefinitionStore& store,
+                          wfrt::ProgramRegistry* programs) {
+  for (const std::string& name : store.ProgramNames()) {
+    if (name == kRc0Program) {
+      EXO_RETURN_NOT_OK(BindIfUnbound(programs, name, MakeConstRcProgram(0)));
+    } else if (name == kRc1Program) {
+      EXO_RETURN_NOT_OK(BindIfUnbound(programs, name, MakeConstRcProgram(1)));
+    } else if (StartsWith(name, "exo_nop_")) {
+      EXO_RETURN_NOT_OK(BindIfUnbound(programs, name, MakeCopyProgram()));
+    } else if (StartsWith(name, "exo_zero_")) {
+      EXO_RETURN_NOT_OK(BindIfUnbound(programs, name, MakeZeroStatesProgram()));
+    }
+  }
+  return Status::OK();
+}
+
+wfrt::ProgramFn MakeSubTxnProgram(atm::SubTxnRunner* runner,
+                                  std::string subtxn_name, bool compensation) {
+  return [runner, subtxn_name, compensation](
+             const data::Container& input, data::Container* output,
+             const wfrt::ProgramContext& context) -> Status {
+    (void)input;
+    (void)context;
+    Result<bool> committed = compensation ? runner->Compensate(subtxn_name)
+                                          : runner->Run(subtxn_name);
+    if (!committed.ok()) return committed.status();
+    EXO_RETURN_NOT_OK(
+        output->Set("RC", data::Value(int64_t{*committed ? 0 : 1})));
+    EXO_RETURN_NOT_OK(
+        output->Set("Committed", data::Value(int64_t{*committed ? 1 : 0})));
+    return Status::OK();
+  };
+}
+
+Status BindSagaPrograms(const atm::SagaSpec& spec,
+                        const wf::DefinitionStore& store,
+                        atm::SubTxnRunner* runner,
+                        wfrt::ProgramRegistry* programs) {
+  for (const atm::SagaStep& step : spec.steps()) {
+    EXO_RETURN_NOT_OK(
+        BindIfUnbound(programs, atm::SagaSpec::ProgramOf(step),
+                      MakeSubTxnProgram(runner, step.name, false)));
+    EXO_RETURN_NOT_OK(
+        BindIfUnbound(programs, atm::SagaSpec::CompensationProgramOf(step),
+                      MakeSubTxnProgram(runner, step.name, true)));
+  }
+  return BindHelperPrograms(store, programs);
+}
+
+Status BindFlexPrograms(const atm::FlexSpec& spec,
+                        const wf::DefinitionStore& store,
+                        atm::SubTxnRunner* runner,
+                        wfrt::ProgramRegistry* programs) {
+  for (const atm::FlexStep* sub : spec.Subs()) {
+    std::string program = sub->program.empty() ? sub->name : sub->program;
+    EXO_RETURN_NOT_OK(BindIfUnbound(
+        programs, program, MakeSubTxnProgram(runner, sub->name, false)));
+    if (sub->compensatable) {
+      std::string comp = sub->compensation_program.empty()
+                             ? sub->name + "_comp"
+                             : sub->compensation_program;
+      EXO_RETURN_NOT_OK(BindIfUnbound(
+          programs, comp, MakeSubTxnProgram(runner, sub->name, true)));
+    }
+  }
+  return BindHelperPrograms(store, programs);
+}
+
+}  // namespace exotica::exo

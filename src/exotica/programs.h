@@ -1,0 +1,52 @@
+// Runtime bindings for translated processes: the generic helper programs
+// the translators declare (NOP copiers, RC constants) and the bridge that
+// turns named subtransactions into workflow programs.
+
+#ifndef EXOTICA_EXOTICA_PROGRAMS_H_
+#define EXOTICA_EXOTICA_PROGRAMS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "atm/flex.h"
+#include "atm/saga.h"
+#include "atm/subtxn.h"
+#include "wf/process.h"
+#include "wfrt/program.h"
+
+namespace exotica::exo {
+
+/// \brief Binds every helper program declared in `store`:
+/// "exo_rc0"/"exo_rc1" (RC constants) and "exo_nop_*" (same-path copy).
+/// Already-bound names are left alone, so this is safe to call after each
+/// translation.
+Status BindHelperPrograms(const wf::DefinitionStore& store,
+                          wfrt::ProgramRegistry* programs);
+
+/// \brief A program that runs the named subtransaction through `runner`
+/// and reports the outcome in the output container:
+///   RC = 0 / Committed = 1 when the subtransaction committed,
+///   RC = 1 / Committed = 0 when it aborted.
+/// An infrastructure error from the runner is returned as a program crash
+/// (the engine reschedules the activity).
+wfrt::ProgramFn MakeSubTxnProgram(atm::SubTxnRunner* runner,
+                                  std::string subtxn_name,
+                                  bool compensation);
+
+/// \brief Binds the forward and compensation programs of every saga step
+/// to `runner`. Helper programs are bound too.
+Status BindSagaPrograms(const atm::SagaSpec& spec,
+                        const wf::DefinitionStore& store,
+                        atm::SubTxnRunner* runner,
+                        wfrt::ProgramRegistry* programs);
+
+/// \brief Binds the programs of every subtransaction in a flexible
+/// transaction to `runner`. Helper programs are bound too.
+Status BindFlexPrograms(const atm::FlexSpec& spec,
+                        const wf::DefinitionStore& store,
+                        atm::SubTxnRunner* runner,
+                        wfrt::ProgramRegistry* programs);
+
+}  // namespace exotica::exo
+
+#endif  // EXOTICA_EXOTICA_PROGRAMS_H_

@@ -1,0 +1,75 @@
+#include "exotica/saga_translate.h"
+
+#include "exotica/blocks.h"
+#include "wf/builder.h"
+
+namespace exotica::exo {
+
+namespace {
+
+Status EnsureSagaResultType(wf::DefinitionStore* store) {
+  if (store->types().Has(kSagaResultType)) return Status::OK();
+  data::StructType t(kSagaResultType);
+  EXO_RETURN_NOT_OK(
+      t.AddScalar("RC", data::ScalarType::kLong, data::Value(int64_t{1})));
+  EXO_RETURN_NOT_OK(t.AddScalar("Compensated", data::ScalarType::kLong,
+                                data::Value(int64_t{0})));
+  return store->types().Register(std::move(t));
+}
+
+}  // namespace
+
+Result<SagaTranslation> TranslateSaga(const atm::SagaSpec& spec,
+                                      wf::DefinitionStore* store) {
+  EXO_RETURN_NOT_OK(spec.Validate());
+  EXO_RETURN_NOT_OK(EnsureSharedDefinitions(store));
+  EXO_RETURN_NOT_OK(EnsureSagaResultType(store));
+
+  SagaTranslation names;
+  names.root_process = spec.name();
+  names.forward_process = spec.name() + "_FWD";
+  names.comp_process = spec.name() + "_CMP";
+  names.state_type = spec.name() + "_State";
+
+  // The block steps mirror the spec's partial order.
+  std::vector<BlockStep> steps;
+  steps.reserve(spec.steps().size());
+  for (const atm::SagaStep& s : spec.steps()) {
+    BlockStep b;
+    b.name = s.name;
+    b.program = atm::SagaSpec::ProgramOf(s);
+    b.compensation_program = atm::SagaSpec::CompensationProgramOf(s);
+    b.predecessors = s.predecessors;
+    steps.push_back(std::move(b));
+  }
+
+  EXO_RETURN_NOT_OK(RegisterStateType(store, names.state_type, steps));
+  EXO_RETURN_NOT_OK(BuildForwardProcess(store, names.forward_process,
+                                        names.state_type, steps));
+  EXO_RETURN_NOT_OK(BuildCompensationProcess(store, names.comp_process,
+                                             names.state_type, steps));
+
+  // Root: forward block, then — only when the forward block reports a
+  // failure — the compensation block (Figure 2).
+  wf::ProcessBuilder b(store, names.root_process);
+  b.Description("saga " + spec.name() + " (Exotica translation)");
+  b.OutputType(kSagaResultType);
+  b.Block("FB", names.forward_process);
+  b.Block("CB", names.comp_process);
+  b.Connect("FB", "CB", "RC <> 0");
+
+  // State image flows into the compensation block; outcome flags flow to
+  // the process output.
+  wf::ProcessBuilder::FieldPairs state_fields;
+  for (const BlockStep& s : steps) {
+    state_fields.emplace_back(StateField(s.name), StateField(s.name));
+  }
+  b.MapData("FB", "CB", state_fields);
+  b.MapToOutput("FB", {{"RC", "RC"}});
+  b.MapToOutput("CB", {{"RC", "Compensated"}});
+
+  EXO_RETURN_NOT_OK(b.Register());
+  return names;
+}
+
+}  // namespace exotica::exo

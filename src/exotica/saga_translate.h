@@ -1,0 +1,40 @@
+// Saga → workflow translation (paper §4.1, Figure 2).
+//
+// The saga's subtransactions become a forward block; its compensations
+// become a compensation block with a NOP trigger; the root process chains
+// the two with the transition condition "forward block failed". Linear
+// sagas use the chain order; generalized (parallel) sagas use the spec's
+// partial order, compensated along the reversed edges.
+
+#ifndef EXOTICA_EXOTICA_SAGA_TRANSLATE_H_
+#define EXOTICA_EXOTICA_SAGA_TRANSLATE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "atm/saga.h"
+#include "wf/process.h"
+
+namespace exotica::exo {
+
+/// Output container type of a translated saga root process:
+///   RC          0 = saga committed, 1 = saga aborted
+///   Compensated 1 = the compensation block ran
+inline constexpr const char* kSagaResultType = "SagaResult";
+
+/// \brief Names of the artifacts a saga translation registers.
+struct SagaTranslation {
+  std::string root_process;     ///< spec name
+  std::string forward_process;  ///< "<name>_FWD"
+  std::string comp_process;     ///< "<name>_CMP"
+  std::string state_type;       ///< "<name>_State"
+};
+
+/// \brief Translates `spec` into workflow definitions registered in
+/// `store`. Fails if the spec is invalid or any name collides.
+Result<SagaTranslation> TranslateSaga(const atm::SagaSpec& spec,
+                                      wf::DefinitionStore* store);
+
+}  // namespace exotica::exo
+
+#endif  // EXOTICA_EXOTICA_SAGA_TRANSLATE_H_

@@ -1,0 +1,174 @@
+#include "expr/ast.h"
+
+#include <algorithm>
+
+namespace exotica::expr {
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot: return "NOT";
+    case UnaryOp::kNeg: return "-";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+NodePtr Node::Literal(data::Value v) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kLiteral;
+  n->literal = std::move(v);
+  return n;
+}
+
+NodePtr Node::Identifier(std::string name) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kIdentifier;
+  n->identifier = std::move(name);
+  return n;
+}
+
+NodePtr Node::Unary(UnaryOp op, NodePtr operand) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kUnary;
+  n->unary_op = op;
+  n->lhs = std::move(operand);
+  return n;
+}
+
+NodePtr Node::Binary(BinaryOp op, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kBinary;
+  n->binary_op = op;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+namespace {
+
+// Higher binds tighter. Mirrors the parser's precedence ladder.
+int Precedence(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::kLiteral:
+    case NodeKind::kIdentifier:
+      return 100;
+    case NodeKind::kUnary:
+      // NOT sits between AND and the comparisons; numeric negation binds
+      // tightest of the operators.
+      return n.unary_op == UnaryOp::kNot ? 55 : 90;
+    case NodeKind::kBinary:
+      switch (n.binary_op) {
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return 80;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+          return 70;
+        case BinaryOp::kEq:
+        case BinaryOp::kNeq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 60;
+        case BinaryOp::kAnd:
+          return 50;
+        case BinaryOp::kOr:
+          return 40;
+      }
+  }
+  return 0;
+}
+
+void Print(const Node& n, int parent_prec, std::string* out) {
+  int prec = Precedence(n);
+  bool paren = prec < parent_prec;
+  if (paren) out->push_back('(');
+  switch (n.kind) {
+    case NodeKind::kLiteral:
+      *out += n.literal.ToString();
+      break;
+    case NodeKind::kIdentifier:
+      *out += n.identifier;
+      break;
+    case NodeKind::kUnary:
+      *out += UnaryOpName(n.unary_op);
+      if (n.unary_op == UnaryOp::kNot) {
+        // Parenthesize any non-atomic operand: "NOT (a = 1)".
+        out->push_back(' ');
+        Print(*n.lhs, 95, out);
+      } else {
+        // "--x" would reparse as double negation; parenthesize operands
+        // that would start with '-' (nested negation, negative literals).
+        const Node& operand = *n.lhs;
+        bool starts_negative =
+            (operand.kind == NodeKind::kUnary &&
+             operand.unary_op == UnaryOp::kNeg) ||
+            (operand.kind == NodeKind::kLiteral &&
+             ((operand.literal.is_long() && operand.literal.as_long() < 0) ||
+              (operand.literal.is_float() && operand.literal.as_float() < 0)));
+        Print(operand, starts_negative ? 101 : prec + 1, out);
+      }
+      break;
+    case NodeKind::kBinary:
+      Print(*n.lhs, prec, out);
+      out->push_back(' ');
+      *out += BinaryOpName(n.binary_op);
+      out->push_back(' ');
+      Print(*n.rhs, prec + 1, out);
+      break;
+  }
+  if (paren) out->push_back(')');
+}
+
+}  // namespace
+
+std::string Node::ToString() const {
+  std::string out;
+  Print(*this, 0, &out);
+  return out;
+}
+
+NodePtr Node::Clone() const {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->literal = literal;
+  n->identifier = identifier;
+  n->unary_op = unary_op;
+  n->binary_op = binary_op;
+  if (lhs) n->lhs = lhs->Clone();
+  if (rhs) n->rhs = rhs->Clone();
+  return n;
+}
+
+void Node::CollectIdentifiers(std::vector<std::string>* out) const {
+  if (kind == NodeKind::kIdentifier) {
+    if (std::find(out->begin(), out->end(), identifier) == out->end()) {
+      out->push_back(identifier);
+    }
+    return;
+  }
+  if (lhs) lhs->CollectIdentifiers(out);
+  if (rhs) rhs->CollectIdentifiers(out);
+}
+
+}  // namespace exotica::expr

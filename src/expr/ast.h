@@ -1,0 +1,69 @@
+// AST for condition expressions.
+
+#ifndef EXOTICA_EXPR_AST_H_
+#define EXOTICA_EXPR_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace exotica::expr {
+
+enum class NodeKind : int {
+  kLiteral,     // 42, 3.5, "abc", TRUE, FALSE
+  kIdentifier,  // RC, Block.State_1
+  kUnary,       // NOT x, -x
+  kBinary,      // arithmetic / comparison / logic
+};
+
+enum class UnaryOp : int { kNot, kNeg };
+
+enum class BinaryOp : int {
+  kAnd, kOr,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// \brief One node of a parsed condition expression.
+struct Node {
+  NodeKind kind;
+
+  // kLiteral
+  data::Value literal;
+
+  // kIdentifier
+  std::string identifier;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAnd;
+  NodePtr lhs;  // operand for unary
+  NodePtr rhs;
+
+  static NodePtr Literal(data::Value v);
+  static NodePtr Identifier(std::string name);
+  static NodePtr Unary(UnaryOp op, NodePtr operand);
+  static NodePtr Binary(BinaryOp op, NodePtr lhs, NodePtr rhs);
+
+  /// Canonical text form, fully parenthesized where needed; reparses to an
+  /// identical tree.
+  std::string ToString() const;
+
+  /// Deep copy.
+  NodePtr Clone() const;
+
+  /// Collects every identifier referenced, in first-appearance order.
+  void CollectIdentifiers(std::vector<std::string>* out) const;
+};
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_AST_H_

@@ -1,0 +1,49 @@
+// Condition: a compiled, shareable condition expression.
+//
+// Process definitions store Conditions; the runtime evaluates them against
+// per-site resolvers. A default-constructed Condition is "always true",
+// which models FlowMark connectors without an explicit transition condition.
+
+#ifndef EXOTICA_EXPR_CONDITION_H_
+#define EXOTICA_EXPR_CONDITION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/ast.h"
+#include "expr/eval.h"
+#include "expr/parser.h"
+
+namespace exotica::expr {
+
+/// \brief An immutable compiled condition.
+class Condition {
+ public:
+  /// Always-true condition (unconditioned connector).
+  Condition() = default;
+
+  /// Compiles `source`. ParseError on bad syntax.
+  static Result<Condition> Compile(const std::string& source);
+
+  /// True when no expression is attached (always-true).
+  bool is_trivial() const { return root_ == nullptr; }
+
+  /// The source text; "TRUE" for trivial conditions.
+  const std::string& source() const;
+
+  /// Evaluates against `resolver`. Trivial conditions are true.
+  Result<bool> Evaluate(const ValueResolver& resolver) const;
+
+  /// Identifiers referenced by this condition (empty for trivial).
+  std::vector<std::string> Identifiers() const;
+
+ private:
+  std::shared_ptr<const Node> root_;  // shared: Conditions copy freely
+  std::string source_;
+};
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_CONDITION_H_

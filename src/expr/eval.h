@@ -1,0 +1,56 @@
+// Typed evaluator for condition expressions.
+
+#ifndef EXOTICA_EXPR_EVAL_H_
+#define EXOTICA_EXPR_EVAL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/container.h"
+#include "expr/ast.h"
+
+namespace exotica::expr {
+
+/// \brief Resolves identifiers during evaluation.
+///
+/// Transition conditions see the source activity's output container; start
+/// and exit conditions see the activity's own containers. The runtime
+/// supplies the appropriate resolver per evaluation site.
+class ValueResolver {
+ public:
+  virtual ~ValueResolver() = default;
+  /// Value bound to `name`, or NotFound.
+  virtual Result<data::Value> Resolve(const std::string& name) const = 0;
+};
+
+/// \brief Resolver over a single container: identifiers are member paths.
+class ContainerResolver : public ValueResolver {
+ public:
+  explicit ContainerResolver(const data::Container& container)
+      : container_(container) {}
+  Result<data::Value> Resolve(const std::string& name) const override {
+    return container_.Get(name);
+  }
+
+ private:
+  const data::Container& container_;
+};
+
+/// \brief Evaluates `node` to a Value.
+///
+/// Semantics:
+///  * AND/OR/NOT require booleans (short-circuiting AND/OR).
+///  * = / <> work on any pair of same-kind values (numerics compare after
+///    widening; string/bool compare structurally).
+///  * < <= > >= work on numerics and strings (lexicographic).
+///  * + - * / % work on numerics; % requires longs; / by zero is an error.
+///  * A null operand (unwritten container member) is an evaluation error —
+///    a condition over unset data is unevaluable, not false.
+Result<data::Value> Evaluate(const Node& node, const ValueResolver& resolver);
+
+/// \brief Evaluates and requires a boolean result.
+Result<bool> EvaluateBool(const Node& node, const ValueResolver& resolver);
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_EVAL_H_

@@ -1,0 +1,189 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace exotica::expr {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kLongLit: return "integer";
+    case TokenKind::kFloatLit: return "float";
+    case TokenKind::kStringLit: return "string";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNeq: return "<>";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      // Dotted continuation: Order.Total, Block.State_1 ...
+      while (i < n && source[i] == '.' && i + 1 < n && IsIdentStart(source[i + 1])) {
+        ++i;  // consume '.'
+        while (i < n && IsIdentChar(source[i])) ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      std::string up = ToUpper(word);
+      if (up == "AND") tok.kind = TokenKind::kAnd;
+      else if (up == "OR") tok.kind = TokenKind::kOr;
+      else if (up == "NOT") tok.kind = TokenKind::kNot;
+      else if (up == "TRUE") tok.kind = TokenKind::kTrue;
+      else if (up == "FALSE") tok.kind = TokenKind::kFalse;
+      else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      bool is_float = false;
+      if (i < n && source[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        }
+      }
+      std::string text = source.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloatLit;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kLongLit;
+        tok.long_value = static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10));
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n) {
+          std::string unescaped;
+          std::string two = source.substr(i, 2);
+          if (!UnescapeQuoted(two, &unescaped)) {
+            return Status::ParseError(
+                StrFormat("bad escape at offset %zu in condition: %s", i,
+                          source.c_str()));
+          }
+          payload += unescaped;
+          i += 2;
+          continue;
+        }
+        if (source[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        payload += source[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string at offset %zu in condition: %s",
+                      start - 1, source.c_str()));
+      }
+      tok.kind = TokenKind::kStringLit;
+      tok.text = std::move(payload);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '=': tok.kind = TokenKind::kEq; ++i; break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '>') { tok.kind = TokenKind::kNeq; i += 2; }
+        else if (i + 1 < n && source[i + 1] == '=') { tok.kind = TokenKind::kLe; i += 2; }
+        else { tok.kind = TokenKind::kLt; ++i; }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') { tok.kind = TokenKind::kGe; i += 2; }
+        else { tok.kind = TokenKind::kGt; ++i; }
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') { tok.kind = TokenKind::kNeq; i += 2; }
+        else {
+          return Status::ParseError(
+              StrFormat("unexpected '!' at offset %zu in condition: %s", i,
+                        source.c_str()));
+        }
+        break;
+      case '+': tok.kind = TokenKind::kPlus; ++i; break;
+      case '-': tok.kind = TokenKind::kMinus; ++i; break;
+      case '*': tok.kind = TokenKind::kStar; ++i; break;
+      case '/': tok.kind = TokenKind::kSlash; ++i; break;
+      case '%': tok.kind = TokenKind::kPercent; ++i; break;
+      case '(': tok.kind = TokenKind::kLParen; ++i; break;
+      case ')': tok.kind = TokenKind::kRParen; ++i; break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu in condition: %s",
+                      c, i, source.c_str()));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace exotica::expr

@@ -1,0 +1,23 @@
+// Lexer for the condition expression language.
+//
+// Keywords (AND, OR, NOT, TRUE, FALSE) are case-insensitive, matching the
+// FDL convention. Identifiers are dotted names: letters, digits, '_',
+// joined by '.'.
+
+#ifndef EXOTICA_EXPR_LEXER_H_
+#define EXOTICA_EXPR_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/token.h"
+
+namespace exotica::expr {
+
+/// \brief Tokenizes `source` entirely; the last token is kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_LEXER_H_

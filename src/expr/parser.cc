@@ -1,0 +1,187 @@
+#include "expr/parser.h"
+
+#include "common/strings.h"
+#include "expr/lexer.h"
+
+namespace exotica::expr {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string source)
+      : tokens_(std::move(tokens)), source_(std::move(source)) {}
+
+  Result<NodePtr> Run() {
+    EXO_ASSIGN_OR_RETURN(NodePtr root, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after expression");
+    }
+    return root;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat(
+        "%s at offset %zu (near '%s') in condition: %s", what.c_str(),
+        Peek().offset, TokenKindName(Peek().kind), source_.c_str()));
+  }
+
+  Result<NodePtr> ParseOr() {
+    EXO_ASSIGN_OR_RETURN(NodePtr lhs, ParseAnd());
+    while (Accept(TokenKind::kOr)) {
+      EXO_ASSIGN_OR_RETURN(NodePtr rhs, ParseAnd());
+      lhs = Node::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> ParseAnd() {
+    EXO_ASSIGN_OR_RETURN(NodePtr lhs, ParseNot());
+    while (Accept(TokenKind::kAnd)) {
+      EXO_ASSIGN_OR_RETURN(NodePtr rhs, ParseNot());
+      lhs = Node::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // NOT binds looser than comparison (SQL-style): NOT a = 1 negates the
+  // whole comparison.
+  Result<NodePtr> ParseNot() {
+    if (Accept(TokenKind::kNot)) {
+      EXO_ASSIGN_OR_RETURN(NodePtr operand, ParseNot());
+      return Node::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseCmp();
+  }
+
+  Result<NodePtr> ParseCmp() {
+    EXO_ASSIGN_OR_RETURN(NodePtr lhs, ParseAdd());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNeq: op = BinaryOp::kNeq; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    ++pos_;
+    EXO_ASSIGN_OR_RETURN(NodePtr rhs, ParseAdd());
+    NodePtr cmp = Node::Binary(op, std::move(lhs), std::move(rhs));
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNeq:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return Error("chained comparison; parenthesize explicitly");
+      default:
+        return cmp;
+    }
+  }
+
+  Result<NodePtr> ParseAdd() {
+    EXO_ASSIGN_OR_RETURN(NodePtr lhs, ParseMul());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) op = BinaryOp::kAdd;
+      else if (Peek().kind == TokenKind::kMinus) op = BinaryOp::kSub;
+      else break;
+      ++pos_;
+      EXO_ASSIGN_OR_RETURN(NodePtr rhs, ParseMul());
+      lhs = Node::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> ParseMul() {
+    EXO_ASSIGN_OR_RETURN(NodePtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) op = BinaryOp::kMul;
+      else if (Peek().kind == TokenKind::kSlash) op = BinaryOp::kDiv;
+      else if (Peek().kind == TokenKind::kPercent) op = BinaryOp::kMod;
+      else break;
+      ++pos_;
+      EXO_ASSIGN_OR_RETURN(NodePtr rhs, ParseUnary());
+      lhs = Node::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      EXO_ASSIGN_OR_RETURN(NodePtr operand, ParseUnary());
+      return Node::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<NodePtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kLongLit: {
+        int64_t v = tok.long_value;
+        ++pos_;
+        return Node::Literal(data::Value(v));
+      }
+      case TokenKind::kFloatLit: {
+        double v = tok.float_value;
+        ++pos_;
+        return Node::Literal(data::Value(v));
+      }
+      case TokenKind::kStringLit: {
+        std::string v = tok.text;
+        ++pos_;
+        return Node::Literal(data::Value(std::move(v)));
+      }
+      case TokenKind::kTrue:
+        ++pos_;
+        return Node::Literal(data::Value(true));
+      case TokenKind::kFalse:
+        ++pos_;
+        return Node::Literal(data::Value(false));
+      case TokenKind::kIdentifier: {
+        std::string name = tok.text;
+        ++pos_;
+        return Node::Identifier(std::move(name));
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        EXO_ASSIGN_OR_RETURN(NodePtr inner, ParseOr());
+        if (!Accept(TokenKind::kRParen)) {
+          return Error("expected ')'");
+        }
+        return inner;
+      }
+      default:
+        return Error("expected a literal, identifier or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::string source_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> Parse(const std::string& source) {
+  EXO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens), source).Run();
+}
+
+}  // namespace exotica::expr

@@ -1,0 +1,32 @@
+// Recursive-descent parser for condition expressions.
+//
+// Grammar (lowest to highest precedence):
+//   expr    := or
+//   or      := and (OR and)*
+//   and     := not (AND not)*
+//   not     := NOT not | cmp
+//   cmp     := add (( = | <> | < | <= | > | >= ) add)?
+//   add     := mul ((+ | -) mul)*
+//   mul     := unary ((* | / | %) unary)*
+//   unary   := - unary | primary
+//   primary := literal | identifier | ( expr )
+//
+// Comparison is non-associative: `a = b = c` is a parse error, matching
+// the flavour of condition languages in workflow definition tools.
+
+#ifndef EXOTICA_EXPR_PARSER_H_
+#define EXOTICA_EXPR_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace exotica::expr {
+
+/// \brief Parses `source` into an expression tree.
+Result<NodePtr> Parse(const std::string& source);
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_PARSER_H_

@@ -1,0 +1,48 @@
+// Tokens of the condition expression language.
+
+#ifndef EXOTICA_EXPR_TOKEN_H_
+#define EXOTICA_EXPR_TOKEN_H_
+
+#include <string>
+
+namespace exotica::expr {
+
+enum class TokenKind : int {
+  kEnd,
+  kIdentifier,   // RC, State_1, Order.Total
+  kLongLit,      // 42
+  kFloatLit,     // 3.5
+  kStringLit,    // "abc"
+  kTrue,         // TRUE
+  kFalse,        // FALSE
+  kAnd,          // AND
+  kOr,           // OR
+  kNot,          // NOT
+  kEq,           // =
+  kNeq,          // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kPlus,         // +
+  kMinus,        // -
+  kStar,         // *
+  kSlash,        // /
+  kPercent,      // %
+  kLParen,       // (
+  kRParen,       // )
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier spelling / string payload
+  int64_t long_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;     // byte offset into the source, for error messages
+};
+
+}  // namespace exotica::expr
+
+#endif  // EXOTICA_EXPR_TOKEN_H_

@@ -1,0 +1,132 @@
+// FDL (FlowMark Definition Language) abstract syntax.
+//
+// FDL is the textual interchange format of the paper's Figure 5: the
+// Exotica/FMTM pre-processor emits FDL, the import module parses and
+// syntax-checks it, and the translator semantic-checks it into an
+// executable process template. The dialect here follows the published
+// FDL style: quoted names, keyword-led clauses, END-terminated blocks:
+//
+//   STRUCT 'TxnResult'
+//     'RC' : LONG DEFAULT 0;
+//     'Committed' : LONG DEFAULT 0;
+//   END 'TxnResult'
+//
+//   PROGRAM 'reserve_flight' ('_Default', 'TxnResult')
+//     DESCRIPTION 'Reserves a seat'
+//   END 'reserve_flight'
+//
+//   PROCESS 'Trip' ('_Default', 'TxnResult')
+//     PROGRAM_ACTIVITY 'T1' ('_Default', 'TxnResult')
+//       PROGRAM 'reserve_flight'
+//       START MANUAL ROLE 'clerk'
+//       EXIT WHEN 'RC = 0'
+//       JOIN OR
+//     END 'T1'
+//     PROCESS_ACTIVITY 'FB' ('_Default', 'SagaState')
+//       PROCESS 'Trip_forward'
+//     END 'FB'
+//     CONTROL FROM 'T1' TO 'FB' WHEN 'RC = 0'
+//     CONTROL FROM 'T1' TO 'Err' OTHERWISE
+//     DATA FROM 'T1' TO 'FB' MAP 'RC' TO 'RC'
+//     DATA FROM INPUT TO 'T1' MAP 'RC' TO 'RC'
+//     DATA FROM 'FB' TO OUTPUT MAP 'RC' TO 'RC'
+//   END 'Trip'
+
+#ifndef EXOTICA_FDL_AST_H_
+#define EXOTICA_FDL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exotica::fdl {
+
+/// \brief One member of a STRUCT declaration.
+struct MemberDecl {
+  std::string name;
+  bool is_struct = false;  ///< quoted struct reference vs scalar keyword
+  std::string type;        ///< "LONG"/"FLOAT"/"STRING"/"BOOLEAN" or struct name
+  std::optional<std::string> default_literal;  ///< raw literal text
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;
+  std::vector<MemberDecl> members;
+  int line = 0;
+};
+
+struct ProgramDecl {
+  std::string name;
+  std::string input_type = "_Default";
+  std::string output_type = "_Default";
+  std::string description;
+  int line = 0;
+};
+
+struct ActivityDecl {
+  std::string name;
+  bool is_process_activity = false;
+  std::string body;  ///< program name or subprocess name
+  std::string input_type = "_Default";
+  std::string output_type = "_Default";
+  std::string description;
+  bool manual = false;
+  std::string role;
+  std::string exit_condition;  ///< empty = trivial
+  bool or_join = false;
+  int64_t notify_after_micros = 0;
+  std::string notify_role;
+  int line = 0;
+};
+
+struct ControlDecl {
+  std::string from;
+  std::string to;
+  std::string condition;  ///< empty = trivial
+  bool otherwise = false;
+  int line = 0;
+};
+
+struct MapDecl {
+  std::string from_path;
+  std::string to_path;
+};
+
+/// \brief Endpoint of a DATA clause: an activity name, INPUT, or OUTPUT.
+struct DataEndpointDecl {
+  enum class Kind : int { kActivity = 0, kInput = 1, kOutput = 2 };
+  Kind kind = Kind::kActivity;
+  std::string activity;
+};
+
+struct DataDecl {
+  DataEndpointDecl from;
+  DataEndpointDecl to;
+  std::vector<MapDecl> maps;
+  int line = 0;
+};
+
+struct ProcessDecl {
+  std::string name;
+  int version = 1;
+  std::string input_type = "_Default";
+  std::string output_type = "_Default";
+  std::string description;
+  std::vector<ActivityDecl> activities;
+  std::vector<ControlDecl> controls;
+  std::vector<DataDecl> datas;
+  int line = 0;
+};
+
+/// \brief A parsed FDL document.
+struct Document {
+  std::vector<StructDecl> structs;
+  std::vector<ProgramDecl> programs;
+  std::vector<ProcessDecl> processes;
+};
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_AST_H_

@@ -1,0 +1,138 @@
+#include "fdl/dot.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace exotica::fdl {
+
+namespace {
+
+/// Escapes a string for a double-quoted DOT literal (ids, conditions).
+std::string DotQ(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Quotes a label that already contains intentional DOT escapes (\n):
+/// only bare quotes are escaped.
+std::string DotLabel(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+class DotWriter {
+ public:
+  DotWriter(const wf::DefinitionStore& store, const DotOptions& options)
+      : store_(store), options_(options) {}
+
+  Status Render(const wf::ProcessDefinition& root, std::string* out) {
+    out_ = out;
+    *out_ += "digraph " + DotQ(root.name()) + " {\n";
+    *out_ += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+    EXO_RETURN_NOT_OK(Emit(root, /*prefix=*/"", /*depth=*/0));
+    *out_ += "}\n";
+    return Status::OK();
+  }
+
+ private:
+  std::string NodeId(const std::string& prefix, const std::string& activity) {
+    return DotQ(prefix + activity);
+  }
+
+  Status Emit(const wf::ProcessDefinition& process, const std::string& prefix,
+              int depth) {
+    if (depth > 16) {
+      return Status::ValidationError("block nesting too deep for rendering");
+    }
+    std::string indent(static_cast<size_t>(2 * (depth + 1)), ' ');
+
+    for (const wf::Activity& a : process.activities()) {
+      if (a.is_process() && options_.expand_blocks) {
+        // Clusters draw the paper's block boxes.
+        EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
+                             store_.FindProcess(a.subprocess));
+        *out_ += indent + "subgraph " + DotQ("cluster_" + prefix + a.name) +
+                 " {\n";
+        *out_ += indent + "  label=" + DotQ(a.name + " : " + a.subprocess) +
+                 ";\n" + indent + "  style=rounded;\n";
+        // Anchor node so connectors to/from the block have an endpoint.
+        *out_ += indent + "  " + NodeId(prefix, a.name) +
+                 " [shape=point, style=invis];\n";
+        EXO_RETURN_NOT_OK(Emit(*sub, prefix + a.name + "/", depth + 1));
+        *out_ += indent + "}\n";
+        continue;
+      }
+      std::string shape = a.is_process() ? "box3d" : "box";
+      std::string label = a.name;
+      if (a.is_program()) label += "\\n[" + a.program + "]";
+      else label += "\\n<" + a.subprocess + ">";
+      if (!a.exit_condition.is_trivial()) {
+        label += "\\nexit: " + a.exit_condition.source();
+      }
+      std::string extras;
+      if (a.start_mode == wf::StartMode::kManual) {
+        extras = ", style=filled, fillcolor=lightyellow";
+        label += "\\nrole: " + a.role;
+      }
+      if (a.join == wf::JoinKind::kOr) label += "\\n(OR join)";
+      *out_ += indent + NodeId(prefix, a.name) + " [shape=" + shape +
+               ", label=" + DotLabel(label) + extras + "];\n";
+    }
+
+    for (const wf::ControlConnector& c : process.control_connectors()) {
+      std::string attrs;
+      if (c.is_otherwise) {
+        attrs = " [label=\"otherwise\", style=dashed]";
+      } else if (!c.condition.is_trivial()) {
+        attrs = " [label=" + DotQ(c.condition.source()) + "]";
+      }
+      *out_ += indent + NodeId(prefix, c.from) + " -> " +
+               NodeId(prefix, c.to) + attrs + ";\n";
+    }
+
+    if (options_.show_data) {
+      for (const wf::DataConnector& d : process.data_connectors()) {
+        if (!d.from.is_activity() || !d.to.is_activity()) continue;
+        std::vector<std::string> fields;
+        for (const data::FieldMap& m : d.mapping.maps()) {
+          fields.push_back(m.from_path + "->" + m.to_path);
+        }
+        *out_ += indent + NodeId(prefix, d.from.activity) + " -> " +
+                 NodeId(prefix, d.to.activity) + " [color=gray, style=dotted" +
+                 ", label=" + DotLabel(Join(fields, "\\n")) +
+                 ", fontcolor=gray];\n";
+      }
+    }
+    return Status::OK();
+  }
+
+  const wf::DefinitionStore& store_;
+  const DotOptions& options_;
+  std::string* out_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::string> ExportDot(const wf::DefinitionStore& store,
+                              const std::string& process_name,
+                              const DotOptions& options) {
+  EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* process,
+                       store.FindProcess(process_name));
+  std::string out;
+  DotWriter writer(store, options);
+  EXO_RETURN_NOT_OK(writer.Render(*process, &out));
+  return out;
+}
+
+}  // namespace exotica::fdl

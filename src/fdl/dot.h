@@ -1,0 +1,30 @@
+// Graphviz export: render a process definition (the paper's figures) as
+// DOT. `fmtm dot <spec>` draws the translated workflow — Figure 2 and
+// Figure 4 regenerate from their specs.
+
+#ifndef EXOTICA_FDL_DOT_H_
+#define EXOTICA_FDL_DOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "wf/process.h"
+
+namespace exotica::fdl {
+
+struct DotOptions {
+  /// Inline the subprocess graphs of process activities as clusters
+  /// (recursively), reproducing the paper's block drawings.
+  bool expand_blocks = true;
+  /// Include data connectors (gray dashed edges with the field list).
+  bool show_data = true;
+};
+
+/// \brief Renders `process_name` (latest version) from `store` as DOT.
+Result<std::string> ExportDot(const wf::DefinitionStore& store,
+                              const std::string& process_name,
+                              const DotOptions& options = {});
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_DOT_H_

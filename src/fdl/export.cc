@@ -1,0 +1,212 @@
+#include "fdl/export.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace exotica::fdl {
+
+namespace {
+
+/// Quotes a name in FDL style ('' escapes a quote).
+std::string Q(const std::string& name) {
+  std::string out = "'";
+  for (char c : name) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string DefaultLiteral(const data::Value& v) {
+  if (v.is_string()) return Q(v.as_string());
+  return v.ToString();  // numbers, TRUE/FALSE
+}
+
+void AppendActivity(const wf::Activity& a, std::string* out) {
+  *out += "  ";
+  *out += a.is_program() ? "PROGRAM_ACTIVITY " : "PROCESS_ACTIVITY ";
+  *out += Q(a.name) + " (" + Q(a.input_type) + ", " + Q(a.output_type) + ")\n";
+  if (a.is_program()) {
+    *out += "    PROGRAM " + Q(a.program) + "\n";
+  } else {
+    *out += "    PROCESS " + Q(a.subprocess) + "\n";
+  }
+  if (!a.description.empty()) {
+    *out += "    DESCRIPTION " + Q(a.description) + "\n";
+  }
+  if (a.start_mode == wf::StartMode::kManual) {
+    *out += "    START MANUAL";
+    if (!a.role.empty()) *out += " ROLE " + Q(a.role);
+    *out += "\n";
+  }
+  if (!a.exit_condition.is_trivial()) {
+    *out += "    EXIT WHEN " + Q(a.exit_condition.source()) + "\n";
+  }
+  if (a.join == wf::JoinKind::kOr) {
+    *out += "    JOIN OR\n";
+  }
+  if (a.notify_after_micros > 0 && !a.notify_role.empty()) {
+    *out += "    NOTIFY " + Q(a.notify_role) + " AFTER " +
+            std::to_string(a.notify_after_micros) + "\n";
+  }
+  *out += "  END " + Q(a.name) + "\n";
+}
+
+std::string EndpointText(const wf::DataEndpoint& e) {
+  switch (e.kind) {
+    case wf::DataEndpoint::Kind::kActivity: return Q(e.activity);
+    case wf::DataEndpoint::Kind::kProcessInput: return "INPUT";
+    case wf::DataEndpoint::Kind::kProcessOutput: return "OUTPUT";
+  }
+  return "?";
+}
+
+/// Collects `type_name` and its nested struct types, dependencies first.
+Status CollectTypes(const data::TypeRegistry& types,
+                    const std::string& type_name,
+                    std::set<std::string>* seen,
+                    std::vector<std::string>* ordered) {
+  if (type_name == data::TypeRegistry::kDefaultTypeName) return Status::OK();
+  if (seen->count(type_name) > 0) return Status::OK();
+  seen->insert(type_name);
+  EXO_ASSIGN_OR_RETURN(const data::StructType* type, types.Find(type_name));
+  for (const data::Member& m : type->members()) {
+    if (m.is_struct()) {
+      EXO_RETURN_NOT_OK(CollectTypes(types, m.struct_type, seen, ordered));
+    }
+  }
+  ordered->push_back(type_name);
+  return Status::OK();
+}
+
+/// Collects `process` and its subprocesses, dependencies first, plus the
+/// programs and container types they reference.
+Status CollectProcess(const wf::DefinitionStore& store,
+                      const std::string& process_name,
+                      std::set<std::string>* seen_procs,
+                      std::vector<std::string>* procs,
+                      std::set<std::string>* seen_types,
+                      std::vector<std::string>* types,
+                      std::set<std::string>* seen_programs,
+                      std::vector<std::string>* programs) {
+  if (seen_procs->count(process_name) > 0) return Status::OK();
+  seen_procs->insert(process_name);
+  EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* p,
+                       store.FindProcess(process_name));
+  EXO_RETURN_NOT_OK(CollectTypes(store.types(), p->input_type(), seen_types,
+                                 types));
+  EXO_RETURN_NOT_OK(CollectTypes(store.types(), p->output_type(), seen_types,
+                                 types));
+  for (const wf::Activity& a : p->activities()) {
+    EXO_RETURN_NOT_OK(CollectTypes(store.types(), a.input_type, seen_types,
+                                   types));
+    EXO_RETURN_NOT_OK(CollectTypes(store.types(), a.output_type, seen_types,
+                                   types));
+    if (a.is_process()) {
+      EXO_RETURN_NOT_OK(CollectProcess(store, a.subprocess, seen_procs, procs,
+                                       seen_types, types, seen_programs,
+                                       programs));
+    } else if (seen_programs->insert(a.program).second) {
+      programs->push_back(a.program);
+    }
+  }
+  procs->push_back(process_name);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ExportStruct(const data::TypeRegistry& types,
+                                 const std::string& type_name) {
+  EXO_ASSIGN_OR_RETURN(const data::StructType* type, types.Find(type_name));
+  std::string out = "STRUCT " + Q(type->name()) + "\n";
+  for (const data::Member& m : type->members()) {
+    out += "  " + Q(m.name) + " : ";
+    if (m.is_struct()) {
+      out += Q(m.struct_type);
+    } else {
+      out += data::ScalarTypeName(m.scalar);
+    }
+    if (!m.default_value.is_null()) {
+      out += " DEFAULT " + DefaultLiteral(m.default_value);
+    }
+    out += ";\n";
+  }
+  out += "END " + Q(type->name()) + "\n";
+  return out;
+}
+
+std::string ExportProgram(const wf::ProgramDeclaration& program) {
+  std::string out = "PROGRAM " + Q(program.name) + " (" +
+                    Q(program.input_type) + ", " + Q(program.output_type) +
+                    ")\n";
+  if (!program.description.empty()) {
+    out += "  DESCRIPTION " + Q(program.description) + "\n";
+  }
+  out += "END " + Q(program.name) + "\n";
+  return out;
+}
+
+std::string ExportProcess(const wf::ProcessDefinition& process) {
+  std::string out = "PROCESS " + Q(process.name()) + " (" +
+                    Q(process.input_type()) + ", " + Q(process.output_type()) +
+                    ")\n";
+  if (process.version() != 1) {
+    out += "  VERSION " + std::to_string(process.version()) + "\n";
+  }
+  if (!process.description().empty()) {
+    out += "  DESCRIPTION " + Q(process.description()) + "\n";
+  }
+  for (const wf::Activity& a : process.activities()) {
+    AppendActivity(a, &out);
+  }
+  for (const wf::ControlConnector& c : process.control_connectors()) {
+    out += "  CONTROL FROM " + Q(c.from) + " TO " + Q(c.to);
+    if (c.is_otherwise) {
+      out += " OTHERWISE";
+    } else if (!c.condition.is_trivial()) {
+      out += " WHEN " + Q(c.condition.source());
+    }
+    out += "\n";
+  }
+  for (const wf::DataConnector& d : process.data_connectors()) {
+    out += "  DATA FROM " + EndpointText(d.from) + " TO " + EndpointText(d.to);
+    for (const data::FieldMap& m : d.mapping.maps()) {
+      out += " MAP " + Q(m.from_path) + " TO " + Q(m.to_path);
+    }
+    out += "\n";
+  }
+  out += "END " + Q(process.name()) + "\n";
+  return out;
+}
+
+Result<std::string> ExportClosure(const wf::DefinitionStore& store,
+                                  const std::vector<std::string>& processes) {
+  std::set<std::string> seen_procs, seen_types, seen_programs;
+  std::vector<std::string> procs, types, programs;
+  for (const std::string& name : processes) {
+    EXO_RETURN_NOT_OK(CollectProcess(store, name, &seen_procs, &procs,
+                                     &seen_types, &types, &seen_programs,
+                                     &programs));
+  }
+  std::string out;
+  for (const std::string& t : types) {
+    EXO_ASSIGN_OR_RETURN(std::string text, ExportStruct(store.types(), t));
+    out += text + "\n";
+  }
+  for (const std::string& p : programs) {
+    EXO_ASSIGN_OR_RETURN(const wf::ProgramDeclaration* decl,
+                         store.FindProgram(p));
+    out += ExportProgram(*decl) + "\n";
+  }
+  for (const std::string& p : procs) {
+    EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* def,
+                         store.FindProcess(p));
+    out += ExportProcess(*def) + "\n";
+  }
+  return out;
+}
+
+}  // namespace exotica::fdl

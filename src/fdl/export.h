@@ -1,0 +1,34 @@
+// FDL exporter: definitions → canonical FDL text. The Exotica translators
+// emit their workflow processes through this printer, and round-trip
+// tests (export → parse → import → export) pin the dialect down.
+
+#ifndef EXOTICA_FDL_EXPORT_H_
+#define EXOTICA_FDL_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wf/process.h"
+
+namespace exotica::fdl {
+
+/// \brief Prints one struct type declaration.
+Result<std::string> ExportStruct(const data::TypeRegistry& types,
+                                 const std::string& type_name);
+
+/// \brief Prints one program declaration.
+std::string ExportProgram(const wf::ProgramDeclaration& program);
+
+/// \brief Prints one process definition.
+std::string ExportProcess(const wf::ProcessDefinition& process);
+
+/// \brief Prints a self-contained document: the named processes plus (in
+/// dependency order) every struct type, program, and subprocess they
+/// reach. Built-in types are omitted.
+Result<std::string> ExportClosure(const wf::DefinitionStore& store,
+                                  const std::vector<std::string>& processes);
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_EXPORT_H_

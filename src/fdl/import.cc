@@ -1,0 +1,183 @@
+#include "fdl/import.h"
+
+#include "common/strings.h"
+#include "fdl/parser.h"
+
+namespace exotica::fdl {
+
+namespace {
+
+/// Registers `type` unless an identical one is already present; differing
+/// redefinitions fail. Lets independently-emitted documents share common
+/// types (TxnResult, FlexResult, ...).
+Status RegisterOrVerifyType(wf::DefinitionStore* store, data::StructType type) {
+  if (!store->types().Has(type.name())) {
+    return store->types().Register(std::move(type));
+  }
+  EXO_ASSIGN_OR_RETURN(const data::StructType* existing,
+                       store->types().Find(type.name()));
+  const auto& a = existing->members();
+  const auto& b = type.members();
+  bool same = a.size() == b.size();
+  for (size_t i = 0; same && i < a.size(); ++i) {
+    same = a[i].name == b[i].name && a[i].scalar == b[i].scalar &&
+           a[i].struct_type == b[i].struct_type &&
+           a[i].default_value == b[i].default_value;
+  }
+  if (!same) {
+    return Status::AlreadyExists("structure type " + type.name() +
+                                 " already registered with a different shape");
+  }
+  return Status::OK();
+}
+
+Status ImportStruct(const StructDecl& decl, wf::DefinitionStore* store) {
+  data::StructType type(decl.name);
+  for (const MemberDecl& m : decl.members) {
+    if (m.is_struct) {
+      EXO_RETURN_NOT_OK(type.AddStruct(m.name, m.type));
+      if (m.default_literal.has_value()) {
+        return Status::ValidationError(
+            StrFormat("struct member '%s.%s' (line %d): nested structures "
+                      "cannot carry defaults",
+                      decl.name.c_str(), m.name.c_str(), m.line));
+      }
+      continue;
+    }
+    EXO_ASSIGN_OR_RETURN(data::ScalarType scalar,
+                         data::ScalarTypeFromName(m.type));
+    data::Value def;
+    if (m.default_literal.has_value()) {
+      EXO_ASSIGN_OR_RETURN(def, data::Value::FromString(*m.default_literal));
+    }
+    EXO_RETURN_NOT_OK(type.AddScalar(m.name, scalar, std::move(def)));
+  }
+  return RegisterOrVerifyType(store, std::move(type));
+}
+
+Status ImportProgram(const ProgramDecl& decl, wf::DefinitionStore* store) {
+  if (store->HasProgram(decl.name)) {
+    EXO_ASSIGN_OR_RETURN(const wf::ProgramDeclaration* existing,
+                         store->FindProgram(decl.name));
+    if (existing->input_type != decl.input_type ||
+        existing->output_type != decl.output_type) {
+      return Status::AlreadyExists(
+          "program " + decl.name +
+          " already declared with different container shapes");
+    }
+    return Status::OK();
+  }
+  wf::ProgramDeclaration p;
+  p.name = decl.name;
+  p.description = decl.description;
+  p.input_type = decl.input_type;
+  p.output_type = decl.output_type;
+  return store->DeclareProgram(std::move(p));
+}
+
+wf::DataEndpoint ToEndpoint(const DataEndpointDecl& decl) {
+  switch (decl.kind) {
+    case DataEndpointDecl::Kind::kActivity:
+      return wf::DataEndpoint::Of(decl.activity);
+    case DataEndpointDecl::Kind::kInput:
+      return wf::DataEndpoint::ProcessInput();
+    case DataEndpointDecl::Kind::kOutput:
+      return wf::DataEndpoint::ProcessOutput();
+  }
+  return wf::DataEndpoint::ProcessInput();
+}
+
+Status ImportProcess(const ProcessDecl& decl, wf::DefinitionStore* store) {
+  wf::ProcessDefinition process(decl.name, decl.version);
+  process.set_description(decl.description);
+  process.set_input_type(decl.input_type);
+  process.set_output_type(decl.output_type);
+
+  for (const ActivityDecl& a : decl.activities) {
+    wf::Activity activity;
+    activity.name = a.name;
+    activity.description = a.description;
+    activity.kind = a.is_process_activity ? wf::ActivityKind::kProcess
+                                          : wf::ActivityKind::kProgram;
+    (a.is_process_activity ? activity.subprocess : activity.program) = a.body;
+    activity.input_type = a.input_type;
+    activity.output_type = a.output_type;
+    activity.start_mode =
+        a.manual ? wf::StartMode::kManual : wf::StartMode::kAutomatic;
+    activity.join = a.or_join ? wf::JoinKind::kOr : wf::JoinKind::kAnd;
+    activity.role = a.role;
+    activity.notify_after_micros = a.notify_after_micros;
+    activity.notify_role = a.notify_role;
+    if (!a.exit_condition.empty()) {
+      auto cond = expr::Condition::Compile(a.exit_condition);
+      if (!cond.ok()) {
+        return cond.status().WithContext(StrFormat(
+            "exit condition of activity '%s' (line %d)", a.name.c_str(),
+            a.line));
+      }
+      activity.exit_condition = std::move(cond).value();
+    }
+    EXO_RETURN_NOT_OK(process.AddActivity(std::move(activity)));
+  }
+
+  for (const ControlDecl& c : decl.controls) {
+    wf::ControlConnector connector;
+    connector.from = c.from;
+    connector.to = c.to;
+    connector.is_otherwise = c.otherwise;
+    if (!c.condition.empty()) {
+      auto cond = expr::Condition::Compile(c.condition);
+      if (!cond.ok()) {
+        return cond.status().WithContext(
+            StrFormat("transition condition of connector '%s' -> '%s' "
+                      "(line %d)",
+                      c.from.c_str(), c.to.c_str(), c.line));
+      }
+      connector.condition = std::move(cond).value();
+    }
+    EXO_RETURN_NOT_OK(process.AddControlConnector(std::move(connector)));
+  }
+
+  for (const DataDecl& d : decl.datas) {
+    wf::DataConnector connector;
+    connector.from = ToEndpoint(d.from);
+    connector.to = ToEndpoint(d.to);
+    for (const MapDecl& m : d.maps) {
+      connector.mapping.Add(m.from_path, m.to_path);
+    }
+    EXO_RETURN_NOT_OK(process.AddDataConnector(std::move(connector)));
+  }
+
+  return store->AddProcess(std::move(process));
+}
+
+}  // namespace
+
+Status ImportDocument(const Document& document, wf::DefinitionStore* store) {
+  for (const StructDecl& s : document.structs) {
+    EXO_RETURN_NOT_OK_CTX(ImportStruct(s, store),
+                          "importing struct '" + s.name + "'");
+  }
+  EXO_RETURN_NOT_OK(store->types().Validate());
+  for (const ProgramDecl& p : document.programs) {
+    EXO_RETURN_NOT_OK_CTX(ImportProgram(p, store),
+                          "importing program '" + p.name + "'");
+  }
+  for (const ProcessDecl& p : document.processes) {
+    EXO_RETURN_NOT_OK_CTX(ImportProcess(p, store),
+                          "importing process '" + p.name + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ImportFdl(const std::string& source,
+                                           wf::DefinitionStore* store) {
+  EXO_ASSIGN_OR_RETURN(Document doc, ParseDocument(source));
+  EXO_RETURN_NOT_OK(ImportDocument(doc, store));
+  std::vector<std::string> names;
+  names.reserve(doc.processes.size());
+  for (const ProcessDecl& p : doc.processes) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace exotica::fdl

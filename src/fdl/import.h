@@ -1,0 +1,31 @@
+// FDL importer: Document → DefinitionStore. Combines the paper's import
+// module (syntax already handled by the parser) with the translator's
+// semantic checks — every registered process passes ValidateProcess.
+
+#ifndef EXOTICA_FDL_IMPORT_H_
+#define EXOTICA_FDL_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fdl/ast.h"
+#include "wf/process.h"
+
+namespace exotica::fdl {
+
+/// \brief Imports a parsed document into `store`.
+///
+/// Structs and programs register first, then processes in document order
+/// (subprocesses must precede the processes that embed them, matching
+/// the bottom-up order the Exotica translators emit).
+Status ImportDocument(const Document& document, wf::DefinitionStore* store);
+
+/// \brief Parse + import in one step; returns the names of the processes
+/// registered.
+Result<std::vector<std::string>> ImportFdl(const std::string& source,
+                                           wf::DefinitionStore* store);
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_IMPORT_H_

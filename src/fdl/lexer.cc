@@ -1,0 +1,121 @@
+#include "fdl/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace exotica::fdl {
+
+const char* FdlTokenKindName(FdlTokenKind kind) {
+  switch (kind) {
+    case FdlTokenKind::kEnd: return "<end>";
+    case FdlTokenKind::kKeyword: return "keyword";
+    case FdlTokenKind::kName: return "name";
+    case FdlTokenKind::kNumber: return "number";
+    case FdlTokenKind::kLParen: return "(";
+    case FdlTokenKind::kRParen: return ")";
+    case FdlTokenKind::kComma: return ",";
+    case FdlTokenKind::kColon: return ":";
+    case FdlTokenKind::kSemicolon: return ";";
+  }
+  return "?";
+}
+
+Result<std::vector<FdlToken>> TokenizeFdl(const std::string& source) {
+  std::vector<FdlToken> out;
+  size_t i = 0;
+  const size_t n = source.size();
+  int line = 1;
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    FdlToken tok;
+    tok.line = line;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      tok.kind = FdlTokenKind::kKeyword;
+      tok.text = ToUpper(source.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        ++i;
+      }
+      tok.kind = FdlTokenKind::kNumber;
+      tok.text = source.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          // '' is an escaped quote, SQL-style.
+          if (i + 1 < n && source[i + 1] == '\'') {
+            payload += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (source[i] == '\n') ++line;
+        payload += source[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated quoted name starting at line %d", tok.line));
+      }
+      (void)start;
+      tok.kind = FdlTokenKind::kName;
+      tok.text = std::move(payload);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '(': tok.kind = FdlTokenKind::kLParen; break;
+      case ')': tok.kind = FdlTokenKind::kRParen; break;
+      case ',': tok.kind = FdlTokenKind::kComma; break;
+      case ':': tok.kind = FdlTokenKind::kColon; break;
+      case ';': tok.kind = FdlTokenKind::kSemicolon; break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at line %d", c, line));
+    }
+    ++i;
+    out.push_back(std::move(tok));
+  }
+  FdlToken end;
+  end.kind = FdlTokenKind::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace exotica::fdl

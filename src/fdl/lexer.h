@@ -1,0 +1,38 @@
+// FDL lexer.
+
+#ifndef EXOTICA_FDL_LEXER_H_
+#define EXOTICA_FDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exotica::fdl {
+
+enum class FdlTokenKind : int {
+  kEnd,
+  kKeyword,     // bare word: PROCESS, STRUCT, LONG, FROM, ...
+  kName,        // 'quoted name'
+  kNumber,      // 42 or 3.5 (raw text kept)
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kSemicolon,
+};
+
+const char* FdlTokenKindName(FdlTokenKind kind);
+
+struct FdlToken {
+  FdlTokenKind kind = FdlTokenKind::kEnd;
+  std::string text;  ///< keyword spelling (uppercased) / name / number text
+  int line = 1;
+};
+
+/// \brief Tokenizes FDL source. Comments run from "--" to end of line.
+Result<std::vector<FdlToken>> TokenizeFdl(const std::string& source);
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_LEXER_H_

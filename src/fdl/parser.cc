@@ -1,0 +1,323 @@
+#include "fdl/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "fdl/lexer.h"
+
+namespace exotica::fdl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<FdlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Document> Run() {
+    Document doc;
+    while (Peek().kind != FdlTokenKind::kEnd) {
+      if (PeekKeyword("STRUCT")) {
+        EXO_ASSIGN_OR_RETURN(StructDecl s, ParseStruct());
+        doc.structs.push_back(std::move(s));
+      } else if (PeekKeyword("PROGRAM")) {
+        EXO_ASSIGN_OR_RETURN(ProgramDecl p, ParseProgram());
+        doc.programs.push_back(std::move(p));
+      } else if (PeekKeyword("PROCESS")) {
+        EXO_ASSIGN_OR_RETURN(ProcessDecl p, ParseProcess());
+        doc.processes.push_back(std::move(p));
+      } else {
+        return Error("expected STRUCT, PROGRAM or PROCESS");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  const FdlToken& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == FdlTokenKind::kKeyword && Peek().text == kw;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Expect(FdlTokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + FdlTokenKindName(kind));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Accept(FdlTokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectName() {
+    if (Peek().kind != FdlTokenKind::kName) {
+      return Error("expected a quoted name");
+    }
+    std::string name = Peek().text;
+    ++pos_;
+    return name;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat(
+        "%s at line %d (near %s '%s')", what.c_str(), Peek().line,
+        FdlTokenKindName(Peek().kind), Peek().text.c_str()));
+  }
+
+  /// END 'name' — the name must match the block's.
+  Status ExpectEnd(const std::string& block_name) {
+    EXO_RETURN_NOT_OK(ExpectKeyword("END"));
+    EXO_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    if (name != block_name) {
+      return Status::ParseError(StrFormat(
+          "END '%s' does not match block '%s' (line %d)", name.c_str(),
+          block_name.c_str(), Peek().line));
+    }
+    return Status::OK();
+  }
+
+  /// ('input_type', 'output_type') — optional; defaults stand otherwise.
+  Status ParseContainerShapes(std::string* input_type,
+                              std::string* output_type) {
+    if (!Accept(FdlTokenKind::kLParen)) return Status::OK();
+    EXO_ASSIGN_OR_RETURN(*input_type, ExpectName());
+    EXO_RETURN_NOT_OK(Expect(FdlTokenKind::kComma));
+    EXO_ASSIGN_OR_RETURN(*output_type, ExpectName());
+    return Expect(FdlTokenKind::kRParen);
+  }
+
+  Result<StructDecl> ParseStruct() {
+    StructDecl decl;
+    decl.line = Peek().line;
+    EXO_RETURN_NOT_OK(ExpectKeyword("STRUCT"));
+    EXO_ASSIGN_OR_RETURN(decl.name, ExpectName());
+    while (!PeekKeyword("END")) {
+      MemberDecl m;
+      m.line = Peek().line;
+      EXO_ASSIGN_OR_RETURN(m.name, ExpectName());
+      EXO_RETURN_NOT_OK(Expect(FdlTokenKind::kColon));
+      if (Peek().kind == FdlTokenKind::kKeyword) {
+        m.is_struct = false;
+        m.type = Peek().text;
+        ++pos_;
+      } else if (Peek().kind == FdlTokenKind::kName) {
+        m.is_struct = true;
+        m.type = Peek().text;
+        ++pos_;
+      } else {
+        return Error("expected a scalar type keyword or quoted struct name");
+      }
+      if (AcceptKeyword("DEFAULT")) {
+        // Literal: number, quoted string, or TRUE/FALSE keyword.
+        if (Peek().kind == FdlTokenKind::kNumber) {
+          m.default_literal = Peek().text;
+          ++pos_;
+        } else if (Peek().kind == FdlTokenKind::kName) {
+          m.default_literal = "\"" + EscapeQuoted(Peek().text) + "\"";
+          ++pos_;
+        } else if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+          m.default_literal = Peek().text;
+          ++pos_;
+        } else {
+          return Error("expected a default literal");
+        }
+      }
+      EXO_RETURN_NOT_OK(Expect(FdlTokenKind::kSemicolon));
+      decl.members.push_back(std::move(m));
+    }
+    EXO_RETURN_NOT_OK(ExpectEnd(decl.name));
+    return decl;
+  }
+
+  Result<ProgramDecl> ParseProgram() {
+    ProgramDecl decl;
+    decl.line = Peek().line;
+    EXO_RETURN_NOT_OK(ExpectKeyword("PROGRAM"));
+    EXO_ASSIGN_OR_RETURN(decl.name, ExpectName());
+    EXO_RETURN_NOT_OK(ParseContainerShapes(&decl.input_type, &decl.output_type));
+    while (!PeekKeyword("END")) {
+      if (AcceptKeyword("DESCRIPTION")) {
+        EXO_ASSIGN_OR_RETURN(decl.description, ExpectName());
+      } else {
+        return Error("expected DESCRIPTION or END in PROGRAM block");
+      }
+    }
+    EXO_RETURN_NOT_OK(ExpectEnd(decl.name));
+    return decl;
+  }
+
+  Result<ActivityDecl> ParseActivity(bool is_process_activity) {
+    ActivityDecl decl;
+    decl.line = Peek().line;
+    decl.is_process_activity = is_process_activity;
+    EXO_RETURN_NOT_OK(ExpectKeyword(is_process_activity ? "PROCESS_ACTIVITY"
+                                                        : "PROGRAM_ACTIVITY"));
+    EXO_ASSIGN_OR_RETURN(decl.name, ExpectName());
+    EXO_RETURN_NOT_OK(ParseContainerShapes(&decl.input_type, &decl.output_type));
+    while (!PeekKeyword("END")) {
+      if (AcceptKeyword("PROGRAM")) {
+        if (is_process_activity) {
+          return Error("PROGRAM clause inside PROCESS_ACTIVITY");
+        }
+        EXO_ASSIGN_OR_RETURN(decl.body, ExpectName());
+      } else if (AcceptKeyword("PROCESS")) {
+        if (!is_process_activity) {
+          return Error("PROCESS clause inside PROGRAM_ACTIVITY");
+        }
+        EXO_ASSIGN_OR_RETURN(decl.body, ExpectName());
+      } else if (AcceptKeyword("DESCRIPTION")) {
+        EXO_ASSIGN_OR_RETURN(decl.description, ExpectName());
+      } else if (AcceptKeyword("START")) {
+        if (AcceptKeyword("AUTOMATIC")) {
+          decl.manual = false;
+        } else if (AcceptKeyword("MANUAL")) {
+          decl.manual = true;
+          if (AcceptKeyword("ROLE")) {
+            EXO_ASSIGN_OR_RETURN(decl.role, ExpectName());
+          }
+        } else {
+          return Error("expected AUTOMATIC or MANUAL after START");
+        }
+      } else if (AcceptKeyword("ROLE")) {
+        EXO_ASSIGN_OR_RETURN(decl.role, ExpectName());
+      } else if (AcceptKeyword("EXIT")) {
+        EXO_RETURN_NOT_OK(ExpectKeyword("WHEN"));
+        EXO_ASSIGN_OR_RETURN(decl.exit_condition, ExpectName());
+      } else if (AcceptKeyword("JOIN")) {
+        if (AcceptKeyword("AND")) {
+          decl.or_join = false;
+        } else if (AcceptKeyword("OR")) {
+          decl.or_join = true;
+        } else {
+          return Error("expected AND or OR after JOIN");
+        }
+      } else if (AcceptKeyword("NOTIFY")) {
+        EXO_ASSIGN_OR_RETURN(decl.notify_role, ExpectName());
+        EXO_RETURN_NOT_OK(ExpectKeyword("AFTER"));
+        if (Peek().kind != FdlTokenKind::kNumber) {
+          return Error("expected microsecond count after AFTER");
+        }
+        decl.notify_after_micros = std::strtoll(Peek().text.c_str(), nullptr, 10);
+        ++pos_;
+      } else {
+        return Error("unexpected clause in activity block");
+      }
+    }
+    EXO_RETURN_NOT_OK(ExpectEnd(decl.name));
+    if (decl.body.empty()) {
+      return Status::ParseError(StrFormat(
+          "activity '%s' (line %d) names no %s", decl.name.c_str(), decl.line,
+          is_process_activity ? "PROCESS" : "PROGRAM"));
+    }
+    return decl;
+  }
+
+  Result<DataEndpointDecl> ParseDataEndpoint() {
+    DataEndpointDecl e;
+    if (AcceptKeyword("INPUT")) {
+      e.kind = DataEndpointDecl::Kind::kInput;
+      return e;
+    }
+    if (AcceptKeyword("OUTPUT")) {
+      e.kind = DataEndpointDecl::Kind::kOutput;
+      return e;
+    }
+    e.kind = DataEndpointDecl::Kind::kActivity;
+    EXO_ASSIGN_OR_RETURN(e.activity, ExpectName());
+    return e;
+  }
+
+  Result<ProcessDecl> ParseProcess() {
+    ProcessDecl decl;
+    decl.line = Peek().line;
+    EXO_RETURN_NOT_OK(ExpectKeyword("PROCESS"));
+    EXO_ASSIGN_OR_RETURN(decl.name, ExpectName());
+    EXO_RETURN_NOT_OK(ParseContainerShapes(&decl.input_type, &decl.output_type));
+    while (!PeekKeyword("END")) {
+      if (AcceptKeyword("DESCRIPTION")) {
+        EXO_ASSIGN_OR_RETURN(decl.description, ExpectName());
+      } else if (AcceptKeyword("VERSION")) {
+        if (Peek().kind != FdlTokenKind::kNumber) {
+          return Error("expected a number after VERSION");
+        }
+        decl.version = static_cast<int>(std::strtol(Peek().text.c_str(),
+                                                    nullptr, 10));
+        ++pos_;
+      } else if (PeekKeyword("PROGRAM_ACTIVITY")) {
+        EXO_ASSIGN_OR_RETURN(ActivityDecl a, ParseActivity(false));
+        decl.activities.push_back(std::move(a));
+      } else if (PeekKeyword("PROCESS_ACTIVITY")) {
+        EXO_ASSIGN_OR_RETURN(ActivityDecl a, ParseActivity(true));
+        decl.activities.push_back(std::move(a));
+      } else if (AcceptKeyword("CONTROL")) {
+        ControlDecl c;
+        c.line = Peek().line;
+        EXO_RETURN_NOT_OK(ExpectKeyword("FROM"));
+        EXO_ASSIGN_OR_RETURN(c.from, ExpectName());
+        EXO_RETURN_NOT_OK(ExpectKeyword("TO"));
+        EXO_ASSIGN_OR_RETURN(c.to, ExpectName());
+        if (AcceptKeyword("WHEN")) {
+          EXO_ASSIGN_OR_RETURN(c.condition, ExpectName());
+        } else if (AcceptKeyword("OTHERWISE")) {
+          c.otherwise = true;
+        }
+        decl.controls.push_back(std::move(c));
+      } else if (AcceptKeyword("DATA")) {
+        DataDecl d;
+        d.line = Peek().line;
+        EXO_RETURN_NOT_OK(ExpectKeyword("FROM"));
+        EXO_ASSIGN_OR_RETURN(d.from, ParseDataEndpoint());
+        EXO_RETURN_NOT_OK(ExpectKeyword("TO"));
+        EXO_ASSIGN_OR_RETURN(d.to, ParseDataEndpoint());
+        while (AcceptKeyword("MAP")) {
+          MapDecl m;
+          EXO_ASSIGN_OR_RETURN(m.from_path, ExpectName());
+          EXO_RETURN_NOT_OK(ExpectKeyword("TO"));
+          EXO_ASSIGN_OR_RETURN(m.to_path, ExpectName());
+          d.maps.push_back(std::move(m));
+        }
+        if (d.maps.empty()) {
+          return Error("DATA clause needs at least one MAP");
+        }
+        decl.datas.push_back(std::move(d));
+      } else {
+        return Error("unexpected clause in PROCESS block");
+      }
+    }
+    EXO_RETURN_NOT_OK(ExpectEnd(decl.name));
+    return decl;
+  }
+
+  std::vector<FdlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> ParseDocument(const std::string& source) {
+  EXO_ASSIGN_OR_RETURN(std::vector<FdlToken> tokens, TokenizeFdl(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace exotica::fdl

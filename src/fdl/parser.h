@@ -1,0 +1,19 @@
+// FDL parser: source text → Document. This is the syntax-checking half of
+// FlowMark's import module in the paper's Figure-5 pipeline.
+
+#ifndef EXOTICA_FDL_PARSER_H_
+#define EXOTICA_FDL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "fdl/ast.h"
+
+namespace exotica::fdl {
+
+/// \brief Parses an FDL document. ParseError with line info on bad syntax.
+Result<Document> ParseDocument(const std::string& source);
+
+}  // namespace exotica::fdl
+
+#endif  // EXOTICA_FDL_PARSER_H_

@@ -1,0 +1,148 @@
+#include "org/directory.h"
+
+#include <algorithm>
+
+namespace exotica::org {
+
+Status Directory::AddRole(const std::string& name, std::string description) {
+  if (name.empty()) {
+    return Status::InvalidArgument("role name may not be empty");
+  }
+  if (roles_.count(name) > 0) {
+    return Status::AlreadyExists("role already exists: " + name);
+  }
+  roles_.emplace(name, Role{name, std::move(description)});
+  role_order_.push_back(name);
+  return Status::OK();
+}
+
+Status Directory::AddPerson(const std::string& name, int level,
+                            const std::vector<std::string>& roles,
+                            const std::string& manager) {
+  if (name.empty()) {
+    return Status::InvalidArgument("person name may not be empty");
+  }
+  if (persons_.count(name) > 0) {
+    return Status::AlreadyExists("person already exists: " + name);
+  }
+  Person p;
+  p.name = name;
+  p.level = level;
+  for (const std::string& r : roles) {
+    if (!HasRole(r)) {
+      return Status::NotFound("person " + name + " assigned unknown role " + r);
+    }
+    p.roles.insert(r);
+  }
+  if (!manager.empty() && !HasPerson(manager)) {
+    return Status::NotFound("person " + name + " reports to unknown manager " +
+                            manager);
+  }
+  p.manager = manager;
+  persons_.emplace(name, std::move(p));
+  person_order_.push_back(name);
+  return Status::OK();
+}
+
+Result<const Person*> Directory::FindPerson(const std::string& name) const {
+  auto it = persons_.find(name);
+  if (it == persons_.end()) {
+    return Status::NotFound("unknown person: " + name);
+  }
+  return &it->second;
+}
+
+Status Directory::GrantRole(const std::string& person, const std::string& role) {
+  auto it = persons_.find(person);
+  if (it == persons_.end()) return Status::NotFound("unknown person: " + person);
+  if (!HasRole(role)) return Status::NotFound("unknown role: " + role);
+  it->second.roles.insert(role);
+  return Status::OK();
+}
+
+Status Directory::RevokeRole(const std::string& person, const std::string& role) {
+  auto it = persons_.find(person);
+  if (it == persons_.end()) return Status::NotFound("unknown person: " + person);
+  it->second.roles.erase(role);
+  return Status::OK();
+}
+
+Status Directory::SetAbsent(const std::string& person, bool absent,
+                            const std::string& substitute) {
+  auto it = persons_.find(person);
+  if (it == persons_.end()) return Status::NotFound("unknown person: " + person);
+  if (!substitute.empty() && !HasPerson(substitute)) {
+    return Status::NotFound("unknown substitute: " + substitute);
+  }
+  if (!substitute.empty() && substitute == person) {
+    return Status::InvalidArgument("a person may not substitute for themselves");
+  }
+  it->second.absent = absent;
+  it->second.substitute = substitute;
+  return Status::OK();
+}
+
+Status Directory::SetManager(const std::string& person,
+                             const std::string& manager) {
+  auto it = persons_.find(person);
+  if (it == persons_.end()) return Status::NotFound("unknown person: " + person);
+  if (!manager.empty() && !HasPerson(manager)) {
+    return Status::NotFound("unknown manager: " + manager);
+  }
+  it->second.manager = manager;
+  return Status::OK();
+}
+
+std::vector<std::string> Directory::MembersOfRole(const std::string& role) const {
+  std::vector<std::string> out;
+  for (const std::string& name : person_order_) {
+    if (persons_.at(name).roles.count(role) > 0) out.push_back(name);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Directory::ResolveStaff(
+    const std::string& role) const {
+  if (!HasRole(role)) {
+    return Status::NotFound("staff resolution against unknown role: " + role);
+  }
+  std::vector<std::string> out;
+  auto add_unique = [&](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  };
+  for (const std::string& name : MembersOfRole(role)) {
+    // Follow the substitution chain with a cycle guard.
+    std::set<std::string> seen;
+    const Person* p = &persons_.at(name);
+    while (p->absent) {
+      if (p->substitute.empty() || seen.count(p->substitute) > 0) {
+        p = nullptr;  // dead end or cycle: nobody stands in
+        break;
+      }
+      seen.insert(p->substitute);
+      auto it = persons_.find(p->substitute);
+      if (it == persons_.end()) {
+        p = nullptr;
+        break;
+      }
+      p = &it->second;
+    }
+    if (p != nullptr) add_unique(p->name);
+  }
+  return out;
+}
+
+std::vector<std::string> Directory::PersonsAtOrAbove(int level) const {
+  std::vector<std::string> out;
+  for (const std::string& name : person_order_) {
+    if (persons_.at(name).level >= level) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Directory::PersonNames() const { return person_order_; }
+std::vector<std::string> Directory::RoleNames() const { return role_order_; }
+
+}  // namespace exotica::org

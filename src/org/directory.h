@@ -1,0 +1,85 @@
+// Organization model (paper §3.3): persons, roles, hierarchy levels.
+//
+// "A person can have several roles – manager, programmer, assistant – and
+// a role can be assigned to several persons. When activities are defined,
+// the workflow designer must specify who is responsible for the execution
+// of the activity."
+
+#ifndef EXOTICA_ORG_DIRECTORY_H_
+#define EXOTICA_ORG_DIRECTORY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace exotica::org {
+
+/// \brief A member of the organization.
+struct Person {
+  std::string name;
+  int level = 0;                 ///< hierarchy level (0 = staff, higher = up)
+  std::set<std::string> roles;
+  std::string manager;           ///< name of the manager; empty for the top
+  bool absent = false;           ///< on vacation / unavailable
+  std::string substitute;        ///< receives this person's work when absent
+};
+
+/// \brief A role persons can hold and activities can be assigned to.
+struct Role {
+  std::string name;
+  std::string description;
+};
+
+/// \brief The organization directory.
+class Directory {
+ public:
+  Status AddRole(const std::string& name, std::string description = "");
+  bool HasRole(const std::string& name) const { return roles_.count(name) > 0; }
+
+  Status AddPerson(const std::string& name, int level,
+                   const std::vector<std::string>& roles,
+                   const std::string& manager = "");
+  bool HasPerson(const std::string& name) const {
+    return persons_.count(name) > 0;
+  }
+  Result<const Person*> FindPerson(const std::string& name) const;
+
+  /// Adds / removes a role from a person. Both must exist.
+  Status GrantRole(const std::string& person, const std::string& role);
+  Status RevokeRole(const std::string& person, const std::string& role);
+
+  Status SetAbsent(const std::string& person, bool absent,
+                   const std::string& substitute = "");
+  Status SetManager(const std::string& person, const std::string& manager);
+
+  /// Everyone holding `role` directly, present or not.
+  std::vector<std::string> MembersOfRole(const std::string& role) const;
+
+  /// Staff resolution for an activity assigned to `role`: present members
+  /// of the role; each absent member is replaced by their substitute chain
+  /// (if the substitute is absent too, their substitute, etc.; cycles and
+  /// dead ends drop the member). Duplicates removed, order deterministic
+  /// (directory order). NotFound if the role does not exist; an existing
+  /// role may still resolve to nobody.
+  Result<std::vector<std::string>> ResolveStaff(const std::string& role) const;
+
+  /// Everyone at hierarchy level >= `level`.
+  std::vector<std::string> PersonsAtOrAbove(int level) const;
+
+  std::vector<std::string> PersonNames() const;
+  std::vector<std::string> RoleNames() const;
+
+ private:
+  std::map<std::string, Person> persons_;
+  std::vector<std::string> person_order_;
+  std::map<std::string, Role> roles_;
+  std::vector<std::string> role_order_;
+};
+
+}  // namespace exotica::org
+
+#endif  // EXOTICA_ORG_DIRECTORY_H_

@@ -1,0 +1,166 @@
+#include "org/worklist.h"
+
+#include <algorithm>
+
+namespace exotica::org {
+
+const char* WorkItemStateName(WorkItemState s) {
+  switch (s) {
+    case WorkItemState::kPosted: return "posted";
+    case WorkItemState::kClaimed: return "claimed";
+    case WorkItemState::kDone: return "done";
+    case WorkItemState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Result<WorkItemId> WorklistService::Post(const std::string& process_instance,
+                                         const std::string& activity,
+                                         const std::string& role,
+                                         Micros deadline,
+                                         std::string notify_role) {
+  EXO_ASSIGN_OR_RETURN(std::vector<std::string> eligible,
+                       directory_->ResolveStaff(role));
+  if (eligible.empty()) {
+    return Status::FailedPrecondition(
+        "role " + role + " resolves to nobody; activity " + activity +
+        " can never be executed");
+  }
+  WorkItem item;
+  item.id = next_id_++;
+  item.process_instance = process_instance;
+  item.activity = activity;
+  item.role = role;
+  item.eligible = std::move(eligible);
+  item.posted_at = clock_->NowMicros();
+  item.deadline = deadline == 0 ? 0 : item.posted_at + deadline;
+  item.notify_role = std::move(notify_role);
+  WorkItemId id = item.id;
+  items_.emplace(id, std::move(item));
+  return id;
+}
+
+std::vector<const WorkItem*> WorklistService::WorklistOf(
+    const std::string& person) const {
+  std::vector<const WorkItem*> out;
+  for (const auto& [id, item] : items_) {
+    (void)id;
+    if (item.state == WorkItemState::kPosted) {
+      if (std::find(item.eligible.begin(), item.eligible.end(), person) !=
+          item.eligible.end()) {
+        out.push_back(&item);
+      }
+    } else if (item.state == WorkItemState::kClaimed &&
+               item.claimed_by == person) {
+      out.push_back(&item);
+    }
+  }
+  return out;
+}
+
+Status WorklistService::Claim(WorkItemId id, const std::string& person) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such work item: " + std::to_string(id));
+  }
+  WorkItem& item = it->second;
+  if (item.state != WorkItemState::kPosted) {
+    return Status::FailedPrecondition(
+        "work item " + std::to_string(id) + " is " +
+        WorkItemStateName(item.state) + ", not posted");
+  }
+  if (std::find(item.eligible.begin(), item.eligible.end(), person) ==
+      item.eligible.end()) {
+    return Status::InvalidArgument(person + " is not eligible for work item " +
+                                   std::to_string(id));
+  }
+  item.state = WorkItemState::kClaimed;
+  item.claimed_by = person;
+  return Status::OK();
+}
+
+Status WorklistService::Release(WorkItemId id, const std::string& person) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such work item: " + std::to_string(id));
+  }
+  WorkItem& item = it->second;
+  if (item.state != WorkItemState::kClaimed || item.claimed_by != person) {
+    return Status::FailedPrecondition("work item " + std::to_string(id) +
+                                      " is not claimed by " + person);
+  }
+  item.state = WorkItemState::kPosted;
+  item.claimed_by.clear();
+  return Status::OK();
+}
+
+Status WorklistService::Complete(WorkItemId id, const std::string& person) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such work item: " + std::to_string(id));
+  }
+  WorkItem& item = it->second;
+  if (item.state != WorkItemState::kClaimed || item.claimed_by != person) {
+    return Status::FailedPrecondition("work item " + std::to_string(id) +
+                                      " is not claimed by " + person);
+  }
+  item.state = WorkItemState::kDone;
+  return Status::OK();
+}
+
+Status WorklistService::Cancel(WorkItemId id) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such work item: " + std::to_string(id));
+  }
+  WorkItem& item = it->second;
+  if (item.state == WorkItemState::kDone) {
+    return Status::FailedPrecondition("work item " + std::to_string(id) +
+                                      " already completed");
+  }
+  item.state = WorkItemState::kCancelled;
+  return Status::OK();
+}
+
+Result<const WorkItem*> WorklistService::Find(WorkItemId id) const {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such work item: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::vector<Notification> WorklistService::CheckDeadlines() {
+  std::vector<Notification> fresh;
+  Micros now = clock_->NowMicros();
+  for (auto& [id, item] : items_) {
+    if (item.notified || item.deadline == 0 || now < item.deadline) continue;
+    if (item.state != WorkItemState::kPosted &&
+        item.state != WorkItemState::kClaimed) {
+      continue;
+    }
+    Notification n;
+    n.item = id;
+    n.activity = item.activity;
+    n.raised_at = now;
+    if (!item.notify_role.empty()) {
+      auto staff = directory_->ResolveStaff(item.notify_role);
+      if (staff.ok()) n.recipients = std::move(staff).value();
+    }
+    item.notified = true;
+    notifications_.push_back(n);
+    fresh.push_back(std::move(n));
+  }
+  return fresh;
+}
+
+size_t WorklistService::Count(WorkItemState state) const {
+  size_t n = 0;
+  for (const auto& [id, item] : items_) {
+    (void)id;
+    if (item.state == state) ++n;
+  }
+  return n;
+}
+
+}  // namespace exotica::org

@@ -1,0 +1,109 @@
+// Worklists (paper §3.3): "Regular users interact with the system using
+// worklists. ... the same activity may appear in several worklists
+// simultaneously, however, as soon as a user selects that activity for
+// execution, it disappears from all other worklists."
+
+#ifndef EXOTICA_ORG_WORKLIST_H_
+#define EXOTICA_ORG_WORKLIST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "org/directory.h"
+
+namespace exotica::org {
+
+using WorkItemId = uint64_t;
+
+enum class WorkItemState : int {
+  kPosted = 0,   ///< visible on every eligible person's worklist
+  kClaimed = 1,  ///< selected by one person; withdrawn from the others
+  kDone = 2,     ///< completed
+  kCancelled = 3 ///< withdrawn by the engine (e.g. dead path)
+};
+
+const char* WorkItemStateName(WorkItemState s);
+
+/// \brief One manual activity instance awaiting a user.
+struct WorkItem {
+  WorkItemId id = 0;
+  std::string process_instance;  ///< engine instance id (opaque here)
+  std::string activity;          ///< activity name
+  std::string role;              ///< role it was assigned to
+  std::vector<std::string> eligible;  ///< resolved staff at post time
+  WorkItemState state = WorkItemState::kPosted;
+  std::string claimed_by;
+  Micros posted_at = 0;
+  Micros deadline = 0;           ///< 0 = none
+  std::string notify_role;
+  bool notified = false;
+};
+
+/// \brief A notification raised when a work item passes its deadline.
+struct Notification {
+  WorkItemId item = 0;
+  std::string activity;
+  std::vector<std::string> recipients;
+  Micros raised_at = 0;
+};
+
+/// \brief Posts work items, maintains per-person worklists, enforces
+/// claim-withdrawal semantics, raises deadline notifications.
+class WorklistService {
+ public:
+  explicit WorklistService(const Directory* directory, const Clock* clock)
+      : directory_(directory), clock_(clock) {}
+
+  /// Posts a work item for `activity` assigned to `role`. Staff resolution
+  /// happens here; a role that resolves to nobody is an error surfaced to
+  /// the engine (the process would stall forever otherwise).
+  Result<WorkItemId> Post(const std::string& process_instance,
+                          const std::string& activity, const std::string& role,
+                          Micros deadline = 0, std::string notify_role = "");
+
+  /// Items currently visible to `person`: posted items they are eligible
+  /// for plus items they have claimed.
+  std::vector<const WorkItem*> WorklistOf(const std::string& person) const;
+
+  /// Claims the item for `person`; it disappears from all other worklists.
+  /// FailedPrecondition if not posted; InvalidArgument if not eligible.
+  Status Claim(WorkItemId id, const std::string& person);
+
+  /// Returns a claimed item to every eligible worklist.
+  Status Release(WorkItemId id, const std::string& person);
+
+  /// Marks a claimed item done. The engine drives the actual execution.
+  Status Complete(WorkItemId id, const std::string& person);
+
+  /// Engine-side withdrawal (activity died by dead path elimination).
+  Status Cancel(WorkItemId id);
+
+  Result<const WorkItem*> Find(WorkItemId id) const;
+
+  /// Scans deadlines; raises (once per item) a notification to the resolved
+  /// members of the item's notify role. Returns the new notifications.
+  std::vector<Notification> CheckDeadlines();
+
+  const std::vector<Notification>& notifications() const {
+    return notifications_;
+  }
+
+  /// Count of items in the given state.
+  size_t Count(WorkItemState state) const;
+
+ private:
+  const Directory* directory_;
+  const Clock* clock_;
+  std::map<WorkItemId, WorkItem> items_;
+  std::vector<Notification> notifications_;
+  WorkItemId next_id_ = 1;
+};
+
+}  // namespace exotica::org
+
+#endif  // EXOTICA_ORG_WORKLIST_H_

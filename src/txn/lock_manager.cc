@@ -1,0 +1,138 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace exotica::txn {
+
+bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) const {
+  if (mode == LockMode::kShared) {
+    return !e.has_exclusive() || e.exclusive == txn;
+  }
+  // Exclusive: no other holder of any kind.
+  if (e.has_exclusive() && e.exclusive != txn) return false;
+  for (TxnId holder : e.shared) {
+    if (holder != txn) return false;
+  }
+  return true;
+}
+
+std::set<TxnId> LockManager::HoldersBlocking(const Entry& e, TxnId txn,
+                                             LockMode mode) const {
+  std::set<TxnId> out;
+  if (e.has_exclusive() && e.exclusive != txn) out.insert(e.exclusive);
+  if (mode == LockMode::kExclusive) {
+    for (TxnId holder : e.shared) {
+      if (holder != txn) out.insert(holder);
+    }
+  }
+  return out;
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, const std::string& key,
+                                LockMode mode) const {
+  // DFS over the waits-for graph starting from the transactions that block
+  // `waiter` on `key`; a path back to `waiter` closes a cycle.
+  auto entry_it = table_.find(key);
+  if (entry_it == table_.end()) return false;
+  std::vector<TxnId> frontier;
+  for (TxnId t : HoldersBlocking(entry_it->second, waiter, mode)) {
+    frontier.push_back(t);
+  }
+  std::set<TxnId> seen;
+  while (!frontier.empty()) {
+    TxnId t = frontier.back();
+    frontier.pop_back();
+    if (t == waiter) return true;
+    if (!seen.insert(t).second) continue;
+    auto w = waiting_on_.find(t);
+    if (w == waiting_on_.end()) continue;
+    auto e = table_.find(w->second);
+    if (e == table_.end()) continue;
+    // What is t waiting for? Conservatively treat as exclusive intent; the
+    // blockers are a superset, which can only report deadlock earlier.
+    for (TxnId blocker : HoldersBlocking(e->second, t, LockMode::kExclusive)) {
+      frontier.push_back(blocker);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
+                            int64_t timeout_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_micros);
+  while (true) {
+    // Re-fetch on every pass: ReleaseAll erases emptied entries, so a
+    // reference must never be held across a wait.
+    Entry& e = table_[key];
+    if (Compatible(e, txn, mode)) {
+      waiting_on_.erase(txn);
+      if (mode == LockMode::kExclusive) {
+        e.shared.erase(txn);  // upgrade
+        e.exclusive = txn;
+      } else if (e.exclusive != txn) {
+        e.shared.insert(txn);
+      }
+      held_[txn].insert(key);
+      ++stats_.acquisitions;
+      return Status::OK();
+    }
+    if (WouldDeadlock(txn, key, mode)) {
+      ++stats_.deadlocks;
+      return Status::Deadlock("txn " + std::to_string(txn) +
+                              " would deadlock waiting for key " + key);
+    }
+    ++stats_.waits;
+    waiting_on_[txn] = key;
+    if (timeout_micros > 0) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        waiting_on_.erase(txn);
+        ++stats_.timeouts;
+        return Status::Timeout("txn " + std::to_string(txn) +
+                               " timed out waiting for key " + key);
+      }
+    } else {
+      cv_.wait(lock);
+    }
+    waiting_on_.erase(txn);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const std::string& key : it->second) {
+    auto e = table_.find(key);
+    if (e == table_.end()) continue;
+    e->second.shared.erase(txn);
+    if (e->second.exclusive == txn) e->second.exclusive = 0;
+    if (e->second.shared.empty() && !e->second.has_exclusive()) {
+      table_.erase(e);
+    }
+  }
+  held_.erase(it);
+  waiting_on_.erase(txn);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& key, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto e = table_.find(key);
+  if (e == table_.end()) return false;
+  if (e->second.exclusive == txn) return true;
+  return mode == LockMode::kShared && e->second.shared.count(txn) > 0;
+}
+
+size_t LockManager::LockedKeyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace exotica::txn

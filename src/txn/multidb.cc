@@ -1,0 +1,44 @@
+#include "txn/multidb.h"
+
+namespace exotica::txn {
+
+Status MultiDatabase::AddSite(const std::string& name, SiteOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("site name may not be empty");
+  }
+  if (sites_.count(name) > 0) {
+    return Status::AlreadyExists("site already exists: " + name);
+  }
+  sites_.emplace(name, std::make_unique<Site>(name, options));
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Result<Site*> MultiDatabase::site(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    return Status::NotFound("no such site: " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> MultiDatabase::SiteNames() const { return order_; }
+
+SiteStats MultiDatabase::AggregateStats() const {
+  SiteStats agg;
+  for (const auto& [name, site] : sites_) {
+    (void)name;
+    SiteStats s = site->stats();
+    agg.begins += s.begins;
+    agg.prepares += s.prepares;
+    agg.commits += s.commits;
+    agg.aborts += s.aborts;
+    agg.unilateral_aborts += s.unilateral_aborts;
+    agg.reads += s.reads;
+    agg.writes += s.writes;
+    agg.restarts += s.restarts;
+  }
+  return agg;
+}
+
+}  // namespace exotica::txn

@@ -1,0 +1,39 @@
+// MultiDatabase: a federation of autonomous sites.
+//
+// Deliberately provides NO atomic commitment across sites — that absence
+// is the problem flexible transactions (and, in this paper's argument,
+// workflow processes) exist to work around.
+
+#ifndef EXOTICA_TXN_MULTIDB_H_
+#define EXOTICA_TXN_MULTIDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/site.h"
+
+namespace exotica::txn {
+
+/// \brief Named collection of autonomous sites.
+class MultiDatabase {
+ public:
+  Status AddSite(const std::string& name, SiteOptions options = {});
+  Result<Site*> site(const std::string& name);
+  bool HasSite(const std::string& name) const { return sites_.count(name) > 0; }
+  std::vector<std::string> SiteNames() const;
+
+  /// Sum of per-site stats.
+  SiteStats AggregateStats() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace exotica::txn
+
+#endif  // EXOTICA_TXN_MULTIDB_H_

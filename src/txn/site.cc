@@ -1,0 +1,306 @@
+#include "txn/site.h"
+
+namespace exotica::txn {
+
+// --- Transaction -------------------------------------------------------------
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive || state_ == State::kPrepared) {
+    (void)Abort();  // presumed abort for unresolved transactions
+  }
+}
+
+Status Transaction::CheckActive() const {
+  if (state_ != State::kActive) {
+    return Status::FailedPrecondition("transaction " + std::to_string(id_) +
+                                      " is no longer active");
+  }
+  std::lock_guard<std::mutex> lock(site_->store_mu_);
+  if (site_->crashed_ || site_->crash_epoch_ != epoch_) {
+    return Status::Aborted("site " + site_->name_ +
+                           " crashed since this transaction began");
+  }
+  return Status::OK();
+}
+
+Result<data::Value> Transaction::Get(const std::string& key) {
+  EXO_RETURN_NOT_OK(CheckActive());
+  Status st = site_->locks_.Acquire(id_, key, LockMode::kShared,
+                                    site_->options_.lock_timeout_micros);
+  if (!st.ok()) {
+    (void)Abort();
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(site_->store_mu_);
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.reads;
+  }
+  auto it = site_->store_.find(key);
+  return it == site_->store_.end() ? data::Value::Null() : it->second;
+}
+
+Status Transaction::Put(const std::string& key, const data::Value& value) {
+  EXO_RETURN_NOT_OK(CheckActive());
+  Status st = site_->locks_.Acquire(id_, key, LockMode::kExclusive,
+                                    site_->options_.lock_timeout_micros);
+  if (!st.ok()) {
+    (void)Abort();
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(site_->store_mu_);
+  auto it = site_->store_.find(key);
+  data::Value before =
+      it == site_->store_.end() ? data::Value::Null() : it->second;
+  WalRecord r;
+  r.txn = id_;
+  r.type = WalRecordType::kUpdate;
+  r.key = key;
+  r.before = before;
+  r.after = value;
+  site_->wal_.Append(std::move(r));
+  undo_.emplace_back(key, std::move(before));
+  site_->store_[key] = value;
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.writes;
+  }
+  return Status::OK();
+}
+
+Status Transaction::Erase(const std::string& key) {
+  EXO_RETURN_NOT_OK(CheckActive());
+  Status st = site_->locks_.Acquire(id_, key, LockMode::kExclusive,
+                                    site_->options_.lock_timeout_micros);
+  if (!st.ok()) {
+    (void)Abort();
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(site_->store_mu_);
+  auto it = site_->store_.find(key);
+  data::Value before =
+      it == site_->store_.end() ? data::Value::Null() : it->second;
+  WalRecord r;
+  r.txn = id_;
+  r.type = WalRecordType::kUpdate;
+  r.key = key;
+  r.before = before;
+  r.after = data::Value::Null();
+  site_->wal_.Append(std::move(r));
+  undo_.emplace_back(key, std::move(before));
+  site_->store_.erase(key);
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.writes;
+  }
+  return Status::OK();
+}
+
+void Transaction::RollbackLocked() {
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    if (it->second.is_null()) {
+      site_->store_.erase(it->first);
+    } else {
+      site_->store_[it->first] = it->second;
+    }
+  }
+  undo_.clear();
+}
+
+Status Transaction::Prepare() {
+  EXO_RETURN_NOT_OK(CheckActive());
+  // The vote is where an autonomous site can still say no.
+  if (site_->DrawInjectedFault()) {
+    {
+      std::lock_guard<std::mutex> lock(site_->store_mu_);
+      WalRecord r;
+      r.txn = id_;
+      r.type = WalRecordType::kAbort;
+      site_->wal_.Append(std::move(r));
+      RollbackLocked();
+    }
+    state_ = State::kAborted;
+    site_->locks_.ReleaseAll(id_);
+    {
+      std::lock_guard<std::mutex> slock(site_->stats_mu_);
+      ++site_->stats_.aborts;
+      ++site_->stats_.unilateral_aborts;
+    }
+    return Status::Aborted("site " + site_->name_ + " voted NO for transaction " +
+                           std::to_string(id_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(site_->store_mu_);
+    WalRecord r;
+    r.txn = id_;
+    r.type = WalRecordType::kPrepare;
+    site_->wal_.Append(std::move(r));
+  }
+  state_ = State::kPrepared;
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.prepares;
+  }
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (state_ != State::kActive && state_ != State::kPrepared) {
+    return Status::FailedPrecondition("transaction " + std::to_string(id_) +
+                                      " is no longer active");
+  }
+  {
+    std::lock_guard<std::mutex> lock(site_->store_mu_);
+    if (site_->crashed_ || site_->crash_epoch_ != epoch_) {
+      return Status::Aborted("site " + site_->name_ +
+                             " crashed since this transaction began");
+    }
+  }
+
+  // Unilateral-abort injection happens at the commit point for unprepared
+  // transactions; a prepared transaction has already promised.
+  bool fail = state_ == State::kActive && site_->DrawInjectedFault();
+  if (fail) {
+    {
+      std::lock_guard<std::mutex> lock(site_->store_mu_);
+      WalRecord r;
+      r.txn = id_;
+      r.type = WalRecordType::kAbort;
+      site_->wal_.Append(std::move(r));
+      RollbackLocked();
+    }
+    state_ = State::kAborted;
+    site_->locks_.ReleaseAll(id_);
+    {
+      std::lock_guard<std::mutex> slock(site_->stats_mu_);
+      ++site_->stats_.aborts;
+      ++site_->stats_.unilateral_aborts;
+    }
+    return Status::Aborted("site " + site_->name_ +
+                           " unilaterally aborted transaction " +
+                           std::to_string(id_));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(site_->store_mu_);
+    WalRecord r;
+    r.txn = id_;
+    r.type = WalRecordType::kCommit;
+    site_->wal_.Append(std::move(r));
+  }
+  state_ = State::kCommitted;
+  site_->locks_.ReleaseAll(id_);
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.commits;
+  }
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (state_ != State::kActive && state_ != State::kPrepared) {
+    return Status::FailedPrecondition("transaction " + std::to_string(id_) +
+                                      " is no longer active");
+  }
+  {
+    std::lock_guard<std::mutex> lock(site_->store_mu_);
+    if (!site_->crashed_) {
+      WalRecord r;
+      r.txn = id_;
+      r.type = WalRecordType::kAbort;
+      site_->wal_.Append(std::move(r));
+      RollbackLocked();
+    }
+  }
+  state_ = State::kAborted;
+  site_->locks_.ReleaseAll(id_);
+  {
+    std::lock_guard<std::mutex> slock(site_->stats_mu_);
+    ++site_->stats_.aborts;
+  }
+  return Status::OK();
+}
+
+// --- Site ---------------------------------------------------------------------
+
+Site::Site(std::string name, SiteOptions options)
+    : name_(std::move(name)), options_(options) {}
+
+std::unique_ptr<Transaction> Site::Begin() {
+  TxnId id = next_txn_.fetch_add(1);
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    WalRecord r;
+    r.txn = id;
+    r.type = WalRecordType::kBegin;
+    wal_.Append(std::move(r));
+    epoch = crash_epoch_;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.begins;
+  }
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
+  txn->epoch_ = epoch;
+  return txn;
+}
+
+Result<data::Value> Site::ReadCommitted(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (crashed_) {
+    return Status::FailedPrecondition("site " + name_ +
+                                      " is crashed; Restart() first");
+  }
+  auto it = store_.find(key);
+  return it == store_.end() ? data::Value::Null() : it->second;
+}
+
+size_t Site::KeyCount() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_.size();
+}
+
+bool Site::DrawInjectedFault() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (forced_failures_ > 0) {
+    --forced_failures_;
+    return true;
+  }
+  return commit_failure_rate_ > 0.0 &&
+         fault_rng_.Bernoulli(commit_failure_rate_);
+}
+
+void Site::SetCommitFailureRate(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  commit_failure_rate_ = p;
+  fault_rng_ = Rng(seed);
+}
+
+void Site::Crash() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.clear();
+  crashed_ = true;
+  ++crash_epoch_;
+}
+
+Status Site::Restart() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (!crashed_) {
+    return Status::FailedPrecondition("site " + name_ + " is not crashed");
+  }
+  store_ = wal_.Replay();
+  crashed_ = false;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.restarts;
+  }
+  return Status::OK();
+}
+
+SiteStats Site::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace exotica::txn

@@ -1,0 +1,173 @@
+// Site: one autonomous local database of the multidatabase environment.
+//
+// Each site offers serializable ACID transactions over a key-value store
+// (strict 2PL + WAL). Sites are autonomous: they can unilaterally abort a
+// transaction at commit (fault injection) and they share nothing — there
+// is deliberately *no* global commit protocol across sites, which is the
+// environment flexible transactions were designed for (paper §4.2:
+// "Since a local database can unilaterally abort a transaction, it is not
+// possible to enforce the commit semantics of global transactions").
+
+#ifndef EXOTICA_TXN_SITE_H_
+#define EXOTICA_TXN_SITE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/value.h"
+#include "txn/lock_manager.h"
+#include "txn/wal.h"
+
+namespace exotica::txn {
+
+class Site;
+
+/// \brief Site tuning.
+struct SiteOptions {
+  /// Lock wait timeout; 0 waits forever (deadlock detection still applies).
+  int64_t lock_timeout_micros = 1000000;  // 1s
+};
+
+/// \brief Aggregate site counters.
+struct SiteStats {
+  uint64_t begins = 0;
+  uint64_t prepares = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;           ///< explicit + unilateral + failed ops
+  uint64_t unilateral_aborts = 0;///< injected at commit
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t restarts = 0;
+};
+
+/// \brief A transaction handle. Obtain via Site::Begin; single-threaded
+/// use per handle. The handle must be committed or aborted before
+/// destruction (the destructor aborts as a safety net).
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  bool active() const { return state_ == State::kActive; }
+
+  /// Reads `key` under a shared lock. Null value for an absent key.
+  Result<data::Value> Get(const std::string& key);
+
+  /// Writes `key` under an exclusive lock (WAL first, then store).
+  Status Put(const std::string& key, const data::Value& value);
+
+  /// Removes `key` under an exclusive lock.
+  Status Erase(const std::string& key);
+
+  /// 2PC phase-1 vote: the site either promises to commit (OK; the
+  /// unilateral-abort window closes) or refuses (kAborted; the
+  /// transaction is rolled back). Fault injection that would have struck
+  /// at commit strikes here instead.
+  Status Prepare();
+
+  bool prepared() const { return state_ == State::kPrepared; }
+
+  /// Commits. For unprepared transactions the site may unilaterally abort
+  /// here (injected faults); a prepared transaction always commits.
+  Status Commit();
+
+  /// Rolls back every write and releases locks.
+  Status Abort();
+
+ private:
+  friend class Site;
+  Transaction(Site* site, TxnId id) : site_(site), id_(id) {}
+
+  enum class State { kActive, kPrepared, kCommitted, kAborted };
+
+  Status CheckActive() const;
+  void RollbackLocked();  // undo writes; caller holds site store mutex
+
+  Site* site_;
+  TxnId id_;
+  uint64_t epoch_ = 0;  ///< site crash epoch at Begin; stale handles abort
+  State state_ = State::kActive;
+  /// Undo list: (key, before image) in write order.
+  std::vector<std::pair<std::string, data::Value>> undo_;
+};
+
+/// \brief One local database.
+class Site {
+ public:
+  explicit Site(std::string name, SiteOptions options = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Starts a transaction.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Reads the current committed value outside any transaction (test and
+  /// bench inspection; takes no locks, so only meaningful at quiescence).
+  Result<data::Value> ReadCommitted(const std::string& key) const;
+
+  /// Number of keys present.
+  size_t KeyCount() const;
+
+  // --- fault injection -------------------------------------------------------
+
+  /// Every commit fails unilaterally with probability `p` (seeded).
+  void SetCommitFailureRate(double p, uint64_t seed = 42);
+
+  /// The next `n` commits fail unilaterally (deterministic injection;
+  /// takes precedence over the probabilistic rate).
+  void FailNextCommits(int n) { forced_failures_ = n; }
+
+  // --- crash / restart ---------------------------------------------------------
+
+  /// Power failure: the volatile store vanishes; the WAL survives. Any
+  /// live transaction handle becomes unusable (operations return
+  /// kAborted). Call Restart() before new transactions.
+  void Crash();
+
+  /// Restart recovery: rebuilds the store from the WAL.
+  Status Restart();
+
+  SiteStats stats() const;
+  const WriteAheadLog& wal() const { return wal_; }
+  LockManager& locks() { return locks_; }
+
+ private:
+  friend class Transaction;
+
+  /// Consumes one injected fault if armed (forced or probabilistic).
+  bool DrawInjectedFault();
+
+  std::string name_;
+  SiteOptions options_;
+
+  mutable std::mutex store_mu_;
+  std::map<std::string, data::Value> store_;
+  bool crashed_ = false;
+  uint64_t crash_epoch_ = 0;
+
+  LockManager locks_;
+  WriteAheadLog wal_;
+
+  std::atomic<TxnId> next_txn_{1};
+
+  mutable std::mutex stats_mu_;
+  SiteStats stats_;
+
+  std::mutex fault_mu_;
+  double commit_failure_rate_ = 0.0;
+  Rng fault_rng_{42};
+  int forced_failures_ = 0;
+};
+
+}  // namespace exotica::txn
+
+#endif  // EXOTICA_TXN_SITE_H_

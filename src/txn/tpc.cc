@@ -1,0 +1,55 @@
+#include "txn/tpc.h"
+
+namespace exotica::txn {
+
+Result<TpcOutcome> TwoPhaseCommit::Execute(
+    const std::vector<TpcBranch>& branches) {
+  if (branches.empty()) {
+    return Status::InvalidArgument("global transaction has no branches");
+  }
+  ++stats_.globals_started;
+
+  std::vector<std::unique_ptr<Transaction>> txns;
+  txns.reserve(branches.size());
+
+  auto abort_all = [&](int failed_at) -> TpcOutcome {
+    for (auto& t : txns) {
+      if (t && (t->active() || t->prepared())) (void)t->Abort();
+    }
+    ++stats_.globals_aborted;
+    TpcOutcome out;
+    out.committed = false;
+    out.failed_branch = failed_at;
+    return out;
+  };
+
+  // Work phase.
+  for (size_t i = 0; i < branches.size(); ++i) {
+    EXO_ASSIGN_OR_RETURN(Site * site, multidb_->site(branches[i].site));
+    txns.push_back(site->Begin());
+    Status st = branches[i].body(*txns.back());
+    if (!st.ok()) {
+      return abort_all(static_cast<int>(i));
+    }
+  }
+
+  // Phase 1: collect votes.
+  for (size_t i = 0; i < branches.size(); ++i) {
+    Status vote = txns[i]->Prepare();
+    if (!vote.ok()) {
+      if (vote.IsAborted()) return abort_all(static_cast<int>(i));
+      return vote;  // infrastructure failure
+    }
+  }
+
+  // Phase 2: commit everywhere. Prepared transactions cannot refuse.
+  for (auto& t : txns) {
+    EXO_RETURN_NOT_OK(t->Commit());
+  }
+  ++stats_.globals_committed;
+  TpcOutcome out;
+  out.committed = true;
+  return out;
+}
+
+}  // namespace exotica::txn

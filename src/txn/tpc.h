@@ -1,0 +1,62 @@
+// Two-phase commit coordinator.
+//
+// The paper's §4.2 premise is that real multidatabases CANNOT run an
+// atomic commitment protocol across autonomous sites — which is why
+// flexible transactions (and, in the paper's argument, workflows) exist.
+// This coordinator implements presumed-abort 2PC for the cooperative
+// case, as the baseline the models are compared against: it shows what
+// the models give up (atomicity) and what they gain (no blocking votes,
+// no in-doubt windows).
+
+#ifndef EXOTICA_TXN_TPC_H_
+#define EXOTICA_TXN_TPC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/multidb.h"
+
+namespace exotica::txn {
+
+/// \brief One branch of a global transaction: which site, and the work.
+struct TpcBranch {
+  std::string site;
+  std::function<Status(Transaction&)> body;
+};
+
+/// \brief Outcome of a global transaction.
+struct TpcOutcome {
+  bool committed = false;
+  /// Index of the branch whose body failed or whose site voted NO; -1 on
+  /// a clean commit.
+  int failed_branch = -1;
+};
+
+/// \brief Presumed-abort two-phase commit across sites of a federation.
+class TwoPhaseCommit {
+ public:
+  explicit TwoPhaseCommit(MultiDatabase* multidb) : multidb_(multidb) {}
+
+  /// Runs every branch, then PREPARE on all sites, then COMMIT on all
+  /// (or ABORT everywhere as soon as a body fails or a site votes NO).
+  /// Either every branch's effects are installed or none are.
+  Result<TpcOutcome> Execute(const std::vector<TpcBranch>& branches);
+
+  struct Stats {
+    uint64_t globals_started = 0;
+    uint64_t globals_committed = 0;
+    uint64_t globals_aborted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MultiDatabase* multidb_;
+  Stats stats_;
+};
+
+}  // namespace exotica::txn
+
+#endif  // EXOTICA_TXN_TPC_H_

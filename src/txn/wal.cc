@@ -1,0 +1,71 @@
+#include "txn/wal.h"
+
+#include <set>
+
+namespace exotica::txn {
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kBegin: return "BEGIN";
+    case WalRecordType::kUpdate: return "UPDATE";
+    case WalRecordType::kCommit: return "COMMIT";
+    case WalRecordType::kAbort: return "ABORT";
+    case WalRecordType::kPrepare: return "PREPARE";
+  }
+  return "?";
+}
+
+uint64_t WriteAheadLog::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.lsn = records_.size();
+  uint64_t lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+std::vector<WalRecord> WriteAheadLog::ReadAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t WriteAheadLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<uint64_t> WriteAheadLog::InDoubt() const {
+  std::vector<WalRecord> log = ReadAll();
+  std::set<uint64_t> prepared, resolved;
+  for (const WalRecord& r : log) {
+    if (r.type == WalRecordType::kPrepare) prepared.insert(r.txn);
+    if (r.type == WalRecordType::kCommit || r.type == WalRecordType::kAbort) {
+      resolved.insert(r.txn);
+    }
+  }
+  std::vector<uint64_t> out;
+  for (uint64_t t : prepared) {
+    if (resolved.count(t) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+std::map<std::string, data::Value> WriteAheadLog::Replay() const {
+  std::vector<WalRecord> log = ReadAll();
+  std::set<uint64_t> committed;
+  for (const WalRecord& r : log) {
+    if (r.type == WalRecordType::kCommit) committed.insert(r.txn);
+  }
+  std::map<std::string, data::Value> store;
+  for (const WalRecord& r : log) {
+    if (r.type != WalRecordType::kUpdate) continue;
+    if (committed.count(r.txn) == 0) continue;  // loser: skip
+    if (r.after.is_null()) {
+      store.erase(r.key);
+    } else {
+      store[r.key] = r.after;
+    }
+  }
+  return store;
+}
+
+}  // namespace exotica::txn

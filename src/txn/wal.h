@@ -1,0 +1,69 @@
+// Per-site write-ahead log.
+//
+// The log is the site's durable medium in this substrate: Site::Crash()
+// throws away the in-memory store but keeps the log; restart recovery
+// rebuilds the store by redoing the updates of committed transactions in
+// log order (correct under strict 2PL, where a loser's writes are never
+// overwritten before its abort record).
+
+#ifndef EXOTICA_TXN_WAL_H_
+#define EXOTICA_TXN_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/value.h"
+
+namespace exotica::txn {
+
+enum class WalRecordType : int {
+  kBegin = 0,
+  kUpdate = 1,  ///< key, before image, after image
+  kCommit = 2,
+  kAbort = 3,
+  kPrepare = 4, ///< 2PC vote: the site promises to commit on request
+};
+
+const char* WalRecordTypeName(WalRecordType type);
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint64_t txn = 0;
+  WalRecordType type = WalRecordType::kBegin;
+  std::string key;
+  data::Value before;
+  data::Value after;
+};
+
+/// \brief Append-only in-memory log with a durability boundary.
+class WriteAheadLog {
+ public:
+  /// Appends and returns the record's LSN.
+  uint64_t Append(WalRecord record);
+
+  std::vector<WalRecord> ReadAll() const;
+  uint64_t size() const;
+
+  /// Rebuilds a store image: redo updates of committed transactions in
+  /// log order. Losers (aborted or in-flight at crash) are skipped;
+  /// prepared-but-unresolved transactions are treated as losers
+  /// (presumed abort). Deleted keys (after == null) are removed.
+  std::map<std::string, data::Value> Replay() const;
+
+  /// Transactions with a PREPARE but neither COMMIT nor ABORT — the
+  /// in-doubt set a 2PC coordinator would have to resolve after a crash.
+  std::vector<uint64_t> InDoubt() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace exotica::txn
+
+#endif  // EXOTICA_TXN_WAL_H_

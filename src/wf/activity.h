@@ -1,0 +1,87 @@
+// Activity: one step of a process (paper §3.2).
+//
+// An activity is either a *program activity* (a registered program runs
+// when the activity runs) or a *process activity* (an entire subprocess —
+// the paper's "block" — runs when the activity runs; used for nesting,
+// modular design, and loops via exit conditions).
+
+#ifndef EXOTICA_WF_ACTIVITY_H_
+#define EXOTICA_WF_ACTIVITY_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "data/types.h"
+#include "expr/condition.h"
+
+namespace exotica::wf {
+
+/// \brief Program vs process (block) activity.
+enum class ActivityKind : int { kProgram = 0, kProcess = 1 };
+
+/// \brief How an activity leaves the ready state: automatically by the
+/// navigator, or manually by a user picking it from a worklist.
+enum class StartMode : int { kAutomatic = 0, kManual = 1 };
+
+/// \brief Start condition over incoming control connectors. The decision
+/// is made once *all* incoming connectors are evaluated (true, false, or
+/// false-by-dead-path): AND starts iff all are true, OR starts iff at
+/// least one is true; otherwise the activity is terminated by dead path
+/// elimination. Waiting for all evaluations is what lets the paper's
+/// Figure-2 compensation block run in reverse execution order.
+enum class JoinKind : int { kAnd = 0, kOr = 1 };
+
+/// \brief Static description of one activity.
+struct Activity {
+  std::string name;
+  std::string description;
+  ActivityKind kind = ActivityKind::kProgram;
+
+  /// Program activities: name in the program registry.
+  std::string program;
+  /// Process activities: name of the subprocess in the process registry.
+  std::string subprocess;
+
+  /// Container shapes; default to TypeRegistry::kDefaultTypeName (RC:LONG).
+  std::string input_type = data::TypeRegistry::kDefaultTypeName;
+  std::string output_type = data::TypeRegistry::kDefaultTypeName;
+
+  StartMode start_mode = StartMode::kAutomatic;
+  JoinKind join = JoinKind::kAnd;
+
+  /// Exit condition, evaluated over the output container when execution
+  /// finishes. False reschedules the activity (paper §3.2) — this is the
+  /// loop mechanism, and how retriable subtransactions are modelled.
+  expr::Condition exit_condition;
+
+  /// Staff assignment: role whose members may execute this activity.
+  /// Empty means unassigned (automatic activities run as "system").
+  std::string role;
+
+  /// Notify this role if the activity sits unfinished past the deadline
+  /// (paper §3.3: "who must be notified if the activity is not executed
+  /// within a certain period of time"). 0 disables.
+  Micros notify_after_micros = 0;
+  std::string notify_role;
+
+  bool is_program() const { return kind == ActivityKind::kProgram; }
+  bool is_process() const { return kind == ActivityKind::kProcess; }
+};
+
+/// \brief Runtime state of an activity instance (paper §3.2: ready,
+/// running, finished, terminated; plus the never-started "waiting" and the
+/// dead-path "dead" refinement of terminated).
+enum class ActivityState : int {
+  kWaiting = 0,     ///< start condition not yet met
+  kReady = 1,       ///< eligible to run (on worklists if manual)
+  kRunning = 2,     ///< program / subprocess executing
+  kFinished = 3,    ///< execution completed; exit condition pending
+  kTerminated = 4,  ///< completed with exit condition satisfied
+  kDead = 5,        ///< terminated via dead path elimination; never ran
+};
+
+const char* ActivityStateName(ActivityState s);
+
+}  // namespace exotica::wf
+
+#endif  // EXOTICA_WF_ACTIVITY_H_

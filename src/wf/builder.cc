@@ -1,0 +1,228 @@
+#include "wf/builder.h"
+
+#include "wf/validate.h"
+
+namespace exotica::wf {
+
+ProcessBuilder::ProcessBuilder(DefinitionStore* store, std::string process_name,
+                               int version)
+    : store_(store), process_(std::move(process_name), version) {}
+
+void ProcessBuilder::Fail(Status status) {
+  if (status_.ok() && !status.ok()) {
+    status_ = status.WithContext("building process " + process_.name());
+  }
+}
+
+Activity* ProcessBuilder::last_activity() {
+  if (!have_activity_) return nullptr;
+  // Activities are only appended, so the last one is stable.
+  return const_cast<Activity*>(&process_.activities().back());
+}
+
+ProcessBuilder& ProcessBuilder::Description(std::string text) {
+  if (!failed()) process_.set_description(std::move(text));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::InputType(std::string type_name) {
+  if (!failed()) process_.set_input_type(std::move(type_name));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::OutputType(std::string type_name) {
+  if (!failed()) process_.set_output_type(std::move(type_name));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Program(std::string activity_name,
+                                        std::string program_name) {
+  if (failed()) return *this;
+  Activity a;
+  a.name = std::move(activity_name);
+  a.kind = ActivityKind::kProgram;
+  a.program = std::move(program_name);
+  // Inherit container shapes from the declaration when available; the
+  // Containers() modifier can override before Build().
+  if (auto decl = store_->FindProgram(a.program); decl.ok()) {
+    a.input_type = decl.value()->input_type;
+    a.output_type = decl.value()->output_type;
+  }
+  Fail(process_.AddActivity(std::move(a)));
+  have_activity_ = !failed();
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Block(std::string activity_name,
+                                      std::string subprocess_name) {
+  if (failed()) return *this;
+  Activity a;
+  a.name = std::move(activity_name);
+  a.kind = ActivityKind::kProcess;
+  a.subprocess = std::move(subprocess_name);
+  if (auto sub = store_->FindProcess(a.subprocess); sub.ok()) {
+    a.input_type = sub.value()->input_type();
+    a.output_type = sub.value()->output_type();
+  }
+  Fail(process_.AddActivity(std::move(a)));
+  have_activity_ = !failed();
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::WithDescription(std::string text) {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->description = std::move(text);
+  } else {
+    Fail(Status::FailedPrecondition("WithDescription before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Manual() {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->start_mode = StartMode::kManual;
+  } else {
+    Fail(Status::FailedPrecondition("Manual before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Role(std::string role_name) {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->role = std::move(role_name);
+  } else {
+    Fail(Status::FailedPrecondition("Role before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::OrJoin() {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->join = JoinKind::kOr;
+  } else {
+    Fail(Status::FailedPrecondition("OrJoin before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::ExitWhen(std::string condition_source) {
+  if (failed()) return *this;
+  Activity* a = last_activity();
+  if (a == nullptr) {
+    Fail(Status::FailedPrecondition("ExitWhen before any activity"));
+    return *this;
+  }
+  auto cond = expr::Condition::Compile(condition_source);
+  if (!cond.ok()) {
+    Fail(cond.status().WithContext("exit condition of " + a->name));
+    return *this;
+  }
+  a->exit_condition = std::move(cond).value();
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Containers(std::string input_type,
+                                           std::string output_type) {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->input_type = std::move(input_type);
+    a->output_type = std::move(output_type);
+  } else {
+    Fail(Status::FailedPrecondition("Containers before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::NotifyAfter(Micros deadline,
+                                            std::string role_name) {
+  if (failed()) return *this;
+  if (Activity* a = last_activity()) {
+    a->notify_after_micros = deadline;
+    a->notify_role = std::move(role_name);
+  } else {
+    Fail(Status::FailedPrecondition("NotifyAfter before any activity"));
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Connect(const std::string& from,
+                                        const std::string& to,
+                                        std::string condition_source) {
+  if (failed()) return *this;
+  ControlConnector c;
+  c.from = from;
+  c.to = to;
+  if (!condition_source.empty()) {
+    auto cond = expr::Condition::Compile(condition_source);
+    if (!cond.ok()) {
+      Fail(cond.status().WithContext("transition condition " + from + " -> " + to));
+      return *this;
+    }
+    c.condition = std::move(cond).value();
+  }
+  Fail(process_.AddControlConnector(std::move(c)));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Otherwise(const std::string& from,
+                                          const std::string& to) {
+  if (failed()) return *this;
+  ControlConnector c;
+  c.from = from;
+  c.to = to;
+  c.is_otherwise = true;
+  Fail(process_.AddControlConnector(std::move(c)));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::MapData(const std::string& from,
+                                        const std::string& to,
+                                        const FieldPairs& fields) {
+  if (failed()) return *this;
+  DataConnector d;
+  d.from = DataEndpoint::Of(from);
+  d.to = DataEndpoint::Of(to);
+  for (const auto& [src, dst] : fields) d.mapping.Add(src, dst);
+  Fail(process_.AddDataConnector(std::move(d)));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::MapFromInput(const std::string& to,
+                                             const FieldPairs& fields) {
+  if (failed()) return *this;
+  DataConnector d;
+  d.from = DataEndpoint::ProcessInput();
+  d.to = DataEndpoint::Of(to);
+  for (const auto& [src, dst] : fields) d.mapping.Add(src, dst);
+  Fail(process_.AddDataConnector(std::move(d)));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::MapToOutput(const std::string& from,
+                                            const FieldPairs& fields) {
+  if (failed()) return *this;
+  DataConnector d;
+  d.from = DataEndpoint::Of(from);
+  d.to = DataEndpoint::ProcessOutput();
+  for (const auto& [src, dst] : fields) d.mapping.Add(src, dst);
+  Fail(process_.AddDataConnector(std::move(d)));
+  return *this;
+}
+
+Result<ProcessDefinition> ProcessBuilder::Build() {
+  EXO_RETURN_NOT_OK(status_);
+  EXO_RETURN_NOT_OK_CTX(ValidateProcess(process_, *store_),
+                        "validating process " + process_.name());
+  return process_;
+}
+
+Status ProcessBuilder::Register() {
+  EXO_ASSIGN_OR_RETURN(ProcessDefinition p, Build());
+  return store_->AddProcess(std::move(p));
+}
+
+}  // namespace exotica::wf

@@ -1,0 +1,98 @@
+// ProcessBuilder: fluent construction of process definitions.
+//
+//   ProcessBuilder b(store, "BookTrip");
+//   b.Program("ReserveFlight", "reserve_flight").ExitWhen("RC = 0")
+//    .Program("ReserveHotel", "reserve_hotel")
+//    .Connect("ReserveFlight", "ReserveHotel", "RC = 0")
+//    .MapData("ReserveFlight", "ReserveHotel", {{"RC", "RC"}});
+//   auto process = b.Build();
+//
+// Errors accumulate: the first failure is remembered and surfaces from
+// Build()/Register(); intermediate calls after a failure are no-ops.
+
+#ifndef EXOTICA_WF_BUILDER_H_
+#define EXOTICA_WF_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "wf/process.h"
+
+namespace exotica::wf {
+
+/// \brief Fluent builder for a ProcessDefinition.
+class ProcessBuilder {
+ public:
+  /// `store` provides types/programs/subprocesses for validation.
+  ProcessBuilder(DefinitionStore* store, std::string process_name,
+                 int version = 1);
+
+  ProcessBuilder& Description(std::string text);
+  ProcessBuilder& InputType(std::string type_name);
+  ProcessBuilder& OutputType(std::string type_name);
+
+  /// Adds a program activity; subsequent per-activity modifiers apply to it.
+  ProcessBuilder& Program(std::string activity_name, std::string program_name);
+
+  /// Adds a process (block) activity.
+  ProcessBuilder& Block(std::string activity_name, std::string subprocess_name);
+
+  // --- modifiers for the most recently added activity ---------------------
+
+  ProcessBuilder& WithDescription(std::string text);
+  ProcessBuilder& Manual();
+  ProcessBuilder& Role(std::string role_name);
+  ProcessBuilder& OrJoin();
+  /// Compiles and attaches an exit condition.
+  ProcessBuilder& ExitWhen(std::string condition_source);
+  /// Overrides the activity's container types (defaults come from the
+  /// program / subprocess declaration).
+  ProcessBuilder& Containers(std::string input_type, std::string output_type);
+  ProcessBuilder& NotifyAfter(Micros deadline, std::string role_name);
+
+  // --- edges ---------------------------------------------------------------
+
+  /// Control connector; empty condition = always-true.
+  ProcessBuilder& Connect(const std::string& from, const std::string& to,
+                          std::string condition_source = "");
+
+  /// Otherwise-connector: fires iff all conditioned siblings were false.
+  ProcessBuilder& Otherwise(const std::string& from, const std::string& to);
+
+  using FieldPairs = std::vector<std::pair<std::string, std::string>>;
+
+  /// Activity-output → activity-input data connector.
+  ProcessBuilder& MapData(const std::string& from, const std::string& to,
+                          const FieldPairs& fields);
+
+  /// Process-input → activity-input data connector.
+  ProcessBuilder& MapFromInput(const std::string& to, const FieldPairs& fields);
+
+  /// Activity-output → process-output data connector.
+  ProcessBuilder& MapToOutput(const std::string& from, const FieldPairs& fields);
+
+  // --- terminal operations --------------------------------------------------
+
+  /// Validates and returns the definition (not registered).
+  Result<ProcessDefinition> Build();
+
+  /// Validates and registers the definition in the store.
+  Status Register();
+
+ private:
+  Activity* last_activity();
+  void Fail(Status status);
+  bool failed() const { return !status_.ok(); }
+
+  DefinitionStore* store_;
+  ProcessDefinition process_;
+  Status status_;
+  bool have_activity_ = false;
+};
+
+}  // namespace exotica::wf
+
+#endif  // EXOTICA_WF_BUILDER_H_

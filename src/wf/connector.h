@@ -1,0 +1,78 @@
+// Control and data connectors (paper §3.2, "Flow of Control" / "Flow of
+// Data").
+
+#ifndef EXOTICA_WF_CONNECTOR_H_
+#define EXOTICA_WF_CONNECTOR_H_
+
+#include <string>
+
+#include "data/container.h"
+#include "expr/condition.h"
+
+namespace exotica::wf {
+
+/// \brief A directed control edge with a transition condition.
+///
+/// The condition is evaluated over the source activity's *output
+/// container* when the source terminates. A false connector does not
+/// trigger the target and feeds dead path elimination.
+struct ControlConnector {
+  std::string from;
+  std::string to;
+  expr::Condition condition;
+
+  /// An "otherwise" connector fires iff every non-otherwise connector out
+  /// of the same source evaluated false. Its `condition` is ignored.
+  bool is_otherwise = false;
+};
+
+/// \brief Where a data connector starts or ends.
+///
+/// Process input/output containers let a process exchange data with its
+/// caller (for blocks: with the process activity that embeds them).
+struct DataEndpoint {
+  enum class Kind : int { kActivity = 0, kProcessInput = 1, kProcessOutput = 2 };
+
+  Kind kind = Kind::kActivity;
+  std::string activity;  ///< empty for process endpoints
+
+  static DataEndpoint Of(std::string activity_name) {
+    return DataEndpoint{Kind::kActivity, std::move(activity_name)};
+  }
+  static DataEndpoint ProcessInput() {
+    return DataEndpoint{Kind::kProcessInput, ""};
+  }
+  static DataEndpoint ProcessOutput() {
+    return DataEndpoint{Kind::kProcessOutput, ""};
+  }
+
+  bool is_activity() const { return kind == Kind::kActivity; }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kActivity: return activity;
+      case Kind::kProcessInput: return "<process input>";
+      case Kind::kProcessOutput: return "<process output>";
+    }
+    return "?";
+  }
+
+  bool operator==(const DataEndpoint& o) const {
+    return kind == o.kind && activity == o.activity;
+  }
+};
+
+/// \brief A directed data edge carrying field mappings.
+///
+/// Source fields are read from the source activity's output container
+/// (or the process input container); target fields are written into the
+/// target activity's input container (or the process output container).
+struct DataConnector {
+  DataEndpoint from;
+  DataEndpoint to;
+  data::DataMapping mapping;
+};
+
+}  // namespace exotica::wf
+
+#endif  // EXOTICA_WF_CONNECTOR_H_

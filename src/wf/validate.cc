@@ -1,0 +1,183 @@
+#include "wf/validate.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "data/container.h"
+#include "wf/process.h"
+
+namespace exotica::wf {
+
+namespace {
+
+Status CheckConditionIdentifiers(const expr::Condition& condition,
+                                 const data::Container& shape,
+                                 const std::string& where) {
+  for (const std::string& id : condition.Identifiers()) {
+    if (!shape.HasPath(id)) {
+      return Status::ValidationError(
+          StrFormat("%s references '%s' which is not a member of container "
+                    "type %s",
+                    where.c_str(), id.c_str(), shape.type_name().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateProcess(const ProcessDefinition& process,
+                       const DefinitionStore& store) {
+  const data::TypeRegistry& types = store.types();
+
+  // 1. Basic shape.
+  if (process.name().empty()) {
+    return Status::ValidationError("process name may not be empty");
+  }
+  if (process.activities().empty()) {
+    return Status::ValidationError("process " + process.name() +
+                                   " has no activities");
+  }
+
+  // 2. Acyclicity.
+  EXO_RETURN_NOT_OK(process.TopologicalOrder().status());
+
+  // 3. Container types exist. Cache one container per type as the shape
+  //    oracle for condition / mapping checks.
+  std::map<std::string, data::Container> shapes;
+  auto shape_of = [&](const std::string& type_name)
+      -> Result<const data::Container*> {
+    auto it = shapes.find(type_name);
+    if (it == shapes.end()) {
+      EXO_ASSIGN_OR_RETURN(data::Container c,
+                           data::Container::Create(types, type_name));
+      it = shapes.emplace(type_name, std::move(c)).first;
+    }
+    return &it->second;
+  };
+
+  EXO_RETURN_NOT_OK_CTX(shape_of(process.input_type()).status(),
+                        "process input container");
+  EXO_RETURN_NOT_OK_CTX(shape_of(process.output_type()).status(),
+                        "process output container");
+
+  for (const Activity& a : process.activities()) {
+    EXO_RETURN_NOT_OK_CTX(shape_of(a.input_type).status(),
+                          "activity " + a.name + " input container");
+    EXO_RETURN_NOT_OK_CTX(shape_of(a.output_type).status(),
+                          "activity " + a.name + " output container");
+
+    // 4/5. Referenced program or subprocess exists with matching shapes.
+    if (a.is_program()) {
+      if (a.program.empty()) {
+        return Status::ValidationError("program activity " + a.name +
+                                       " names no program");
+      }
+      EXO_ASSIGN_OR_RETURN(const ProgramDeclaration* decl,
+                           store.FindProgram(a.program));
+      if (decl->input_type != a.input_type ||
+          decl->output_type != a.output_type) {
+        return Status::ValidationError(StrFormat(
+            "activity %s containers (%s/%s) do not match program %s (%s/%s)",
+            a.name.c_str(), a.input_type.c_str(), a.output_type.c_str(),
+            a.program.c_str(), decl->input_type.c_str(),
+            decl->output_type.c_str()));
+      }
+    } else {
+      if (a.subprocess.empty()) {
+        return Status::ValidationError("process activity " + a.name +
+                                       " names no subprocess");
+      }
+      if (a.subprocess == process.name()) {
+        return Status::ValidationError("process activity " + a.name +
+                                       " embeds its own process recursively");
+      }
+      EXO_ASSIGN_OR_RETURN(const ProcessDefinition* sub,
+                           store.FindProcess(a.subprocess));
+      if (sub->input_type() != a.input_type ||
+          sub->output_type() != a.output_type) {
+        return Status::ValidationError(StrFormat(
+            "activity %s containers (%s/%s) do not match subprocess %s (%s/%s)",
+            a.name.c_str(), a.input_type.c_str(), a.output_type.c_str(),
+            a.subprocess.c_str(), sub->input_type().c_str(),
+            sub->output_type().c_str()));
+      }
+    }
+
+    // 7. Exit condition identifiers.
+    if (!a.exit_condition.is_trivial()) {
+      EXO_ASSIGN_OR_RETURN(const data::Container* out_shape,
+                           shape_of(a.output_type));
+      EXO_RETURN_NOT_OK(CheckConditionIdentifiers(
+          a.exit_condition, *out_shape,
+          "exit condition of activity " + a.name));
+    }
+  }
+
+  // 6 & 8. Control connectors.
+  std::map<std::string, int> otherwise_count;
+  std::map<std::string, int> conditioned_count;
+  for (const ControlConnector& c : process.control_connectors()) {
+    EXO_ASSIGN_OR_RETURN(const Activity* src, process.FindActivity(c.from));
+    if (c.is_otherwise) {
+      ++otherwise_count[c.from];
+    } else {
+      if (!c.condition.is_trivial()) ++conditioned_count[c.from];
+      EXO_ASSIGN_OR_RETURN(const data::Container* out_shape,
+                           shape_of(src->output_type));
+      EXO_RETURN_NOT_OK(CheckConditionIdentifiers(
+          c.condition, *out_shape,
+          "transition condition of connector " + c.from + " -> " + c.to));
+    }
+  }
+  for (const auto& [from, n] : otherwise_count) {
+    if (n > 1) {
+      return Status::ValidationError(
+          "activity " + from + " has more than one otherwise-connector");
+    }
+    if (conditioned_count[from] == 0) {
+      return Status::ValidationError(
+          "otherwise-connector out of " + from +
+          " requires at least one conditioned sibling connector");
+    }
+  }
+
+  // 9. Data connectors.
+  for (const DataConnector& d : process.data_connectors()) {
+    // Resolve source/target shapes.
+    const data::Container* from_shape = nullptr;
+    const data::Container* to_shape = nullptr;
+    if (d.from.is_activity()) {
+      EXO_ASSIGN_OR_RETURN(const Activity* a, process.FindActivity(d.from.activity));
+      EXO_ASSIGN_OR_RETURN(from_shape, shape_of(a->output_type));
+    } else {
+      EXO_ASSIGN_OR_RETURN(from_shape, shape_of(process.input_type()));
+    }
+    if (d.to.is_activity()) {
+      EXO_ASSIGN_OR_RETURN(const Activity* a, process.FindActivity(d.to.activity));
+      EXO_ASSIGN_OR_RETURN(to_shape, shape_of(a->input_type));
+    } else {
+      EXO_ASSIGN_OR_RETURN(to_shape, shape_of(process.output_type()));
+    }
+    EXO_RETURN_NOT_OK_CTX(
+        d.mapping.Validate(*from_shape, *to_shape),
+        "data connector " + d.from.ToString() + " -> " + d.to.ToString());
+
+    // Data flow must follow control flow for activity-to-activity edges.
+    if (d.from.is_activity() && d.to.is_activity() &&
+        !process.HasControlPath(d.from.activity, d.to.activity)) {
+      return Status::ValidationError(
+          "data connector " + d.from.activity + " -> " + d.to.activity +
+          " has no corresponding control path");
+    }
+    if (d.mapping.empty()) {
+      return Status::ValidationError(
+          "data connector " + d.from.ToString() + " -> " + d.to.ToString() +
+          " carries no field mappings");
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace exotica::wf

@@ -1,0 +1,41 @@
+// Structural and semantic validation of process definitions — the checks
+// the paper attributes to FlowMark's import module ("checks for
+// inconsistencies in the syntax of the process definition") and translator
+// ("checks the semantics of the FlowMark process ... a suitable program
+// definition exists, ... the control connectors are legal, etc.").
+
+#ifndef EXOTICA_WF_VALIDATE_H_
+#define EXOTICA_WF_VALIDATE_H_
+
+#include "common/status.h"
+
+namespace exotica::wf {
+
+class ProcessDefinition;
+class DefinitionStore;
+
+/// \brief Validates `process` against the definitions in `store`.
+///
+/// Checks, in order:
+///  1. non-empty name and at least one activity;
+///  2. the control graph is acyclic (the model is a DAG, §3.2);
+///  3. every container type (process + activities) is registered;
+///  4. program activities reference declared programs with matching
+///     container shapes;
+///  5. process activities reference already-registered subprocesses with
+///     matching container shapes (bottom-up registration forbids
+///     recursive nesting by construction);
+///  6. transition conditions only reference members of the source
+///     activity's output container;
+///  7. exit conditions only reference members of the activity's own
+///     output container;
+///  8. at most one "otherwise" connector per source, and only alongside at
+///     least one conditioned sibling;
+///  9. data connectors are type-compatible and follow the control flow
+///     (an activity-to-activity data connector requires a control path).
+Status ValidateProcess(const ProcessDefinition& process,
+                       const DefinitionStore& store);
+
+}  // namespace exotica::wf
+
+#endif  // EXOTICA_WF_VALIDATE_H_

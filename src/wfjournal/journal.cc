@@ -1,0 +1,156 @@
+#include "wfjournal/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace exotica::wfjournal {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kInstanceStart: return "INSTANCE_START";
+    case EventType::kActivityReady: return "READY";
+    case EventType::kActivityStarted: return "STARTED";
+    case EventType::kActivityFinished: return "FINISHED";
+    case EventType::kActivityTerminated: return "TERMINATED";
+    case EventType::kActivityRescheduled: return "RESCHEDULED";
+    case EventType::kActivityDead: return "DEAD";
+    case EventType::kConnectorEval: return "CONNECTOR";
+    case EventType::kInstanceFinished: return "INSTANCE_FINISHED";
+    case EventType::kChildSpawned: return "CHILD";
+    case EventType::kInstanceSuspended: return "SUSPENDED";
+    case EventType::kInstanceResumed: return "RESUMED";
+    case EventType::kInstanceCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+std::string Record::Encode() const {
+  std::string out;
+  out += std::to_string(seq);
+  out += '\t';
+  out += std::to_string(static_cast<int>(type));
+  out += '\t';
+  out += instance;
+  out += '\t';
+  out += activity;
+  out += '\t';
+  out += to;
+  out += '\t';
+  out += flag ? '1' : '0';
+  out += '\t';
+  out += EscapeQuoted(payload);
+  out += '\t';
+  out += EscapeQuoted(extra);
+  return out;
+}
+
+Result<Record> Record::Decode(const std::string& line) {
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.size() != 8) {
+    return Status::Corruption("journal record has " +
+                              std::to_string(fields.size()) +
+                              " fields, want 8: " + line);
+  }
+  Record r;
+  char* end = nullptr;
+  r.seq = std::strtoull(fields[0].c_str(), &end, 10);
+  if (end != fields[0].c_str() + fields[0].size()) {
+    return Status::Corruption("bad seq in journal record: " + line);
+  }
+  long type_val = std::strtol(fields[1].c_str(), &end, 10);
+  if (end != fields[1].c_str() + fields[1].size() || type_val < 0 ||
+      type_val > static_cast<long>(EventType::kInstanceCancelled)) {
+    return Status::Corruption("bad type in journal record: " + line);
+  }
+  r.type = static_cast<EventType>(type_val);
+  r.instance = fields[2];
+  r.activity = fields[3];
+  r.to = fields[4];
+  if (fields[5] != "0" && fields[5] != "1") {
+    return Status::Corruption("bad flag in journal record: " + line);
+  }
+  r.flag = fields[5] == "1";
+  if (!UnescapeQuoted(fields[6], &r.payload)) {
+    return Status::Corruption("bad payload escape in journal record: " + line);
+  }
+  if (!UnescapeQuoted(fields[7], &r.extra)) {
+    return Status::Corruption("bad extra escape in journal record: " + line);
+  }
+  return r;
+}
+
+Status MemoryJournal::Append(Record record) {
+  record.seq = records_.size();
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Result<std::vector<Record>> MemoryJournal::ReadAll() const { return records_; }
+
+void MemoryJournal::TruncateTo(uint64_t keep) {
+  if (keep < records_.size()) records_.resize(keep);
+}
+
+Result<std::unique_ptr<FileJournal>> FileJournal::Open(const std::string& path,
+                                                       bool fsync_each) {
+  auto journal = std::unique_ptr<FileJournal>(new FileJournal(path, fsync_each));
+  // Scan existing content to restore the sequence counter and verify
+  // integrity of what is already there.
+  EXO_ASSIGN_OR_RETURN(std::vector<Record> existing, journal->ReadAll());
+  journal->next_seq_ = existing.size();
+  journal->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (journal->fd_ < 0) {
+    return Status::IOError("cannot open journal " + path + ": " +
+                           std::strerror(errno));
+  }
+  return journal;
+}
+
+FileJournal::~FileJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileJournal::Append(Record record) {
+  record.seq = next_seq_;
+  std::string line = record.Encode();
+  line += '\n';
+  ssize_t n = ::write(fd_, line.data(), line.size());
+  if (n != static_cast<ssize_t>(line.size())) {
+    return Status::IOError("short write to journal " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on journal " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  ++next_seq_;
+  return Status::OK();
+}
+
+Result<std::vector<Record>> FileJournal::ReadAll() const {
+  std::vector<Record> out;
+  std::ifstream in(path_);
+  if (!in.is_open()) return out;  // no file yet: empty journal
+  std::string line;
+  uint64_t expect = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXO_ASSIGN_OR_RETURN(Record r, Record::Decode(line));
+    if (r.seq != expect) {
+      return Status::Corruption("journal " + path_ + " seq gap: got " +
+                                std::to_string(r.seq) + " want " +
+                                std::to_string(expect));
+    }
+    ++expect;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace exotica::wfjournal

@@ -1,0 +1,113 @@
+// Navigation journal: the persistence layer behind the paper's forward
+// recovery guarantee (§3.3: "the execution of a process is persistent in
+// the sense that forward recovery is always guaranteed ... Once the
+// failures have been repaired, the process execution is resumed from the
+// point where the failure occurred").
+//
+// The engine appends one record per navigation state transition. After a
+// crash, Engine::Recover replays the journal to rebuild every in-flight
+// instance. Activities that were started but not finished are re-run from
+// the beginning — the at-least-once caveat the paper spells out.
+
+#ifndef EXOTICA_WFJOURNAL_JOURNAL_H_
+#define EXOTICA_WFJOURNAL_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace exotica::wfjournal {
+
+enum class EventType : int {
+  kInstanceStart = 0,      ///< payload = process name; extra = input image
+  kActivityReady = 1,
+  kActivityStarted = 2,    ///< flag unused; payload = attempt number
+  kActivityFinished = 3,   ///< payload = output container image
+  kActivityTerminated = 4,
+  kActivityRescheduled = 5,///< exit condition false
+  kActivityDead = 6,       ///< dead path elimination
+  kConnectorEval = 7,      ///< activity=from, to=to, flag=value
+  kInstanceFinished = 8,   ///< payload = output container image
+  kChildSpawned = 9,       ///< activity = block activity; payload = child id
+  kInstanceSuspended = 10,
+  kInstanceResumed = 11,
+  kInstanceCancelled = 12, ///< user-initiated termination
+};
+
+const char* EventTypeName(EventType type);
+
+/// \brief One journal record.
+struct Record {
+  uint64_t seq = 0;            ///< assigned by the journal on append
+  std::string instance;        ///< process instance id
+  EventType type = EventType::kInstanceStart;
+  std::string activity;        ///< activity (or connector source)
+  std::string to;              ///< connector target
+  bool flag = false;           ///< connector evaluation result
+  std::string payload;         ///< container image / process name / child id
+  std::string extra;           ///< second payload (instance input image)
+
+  /// Tab-separated single-line encoding (payloads escaped).
+  std::string Encode() const;
+  static Result<Record> Decode(const std::string& line);
+};
+
+/// \brief Append-only record sink + replay source.
+class Journal {
+ public:
+  virtual ~Journal() = default;
+
+  /// Durably appends `record` (seq is assigned, monotonically increasing).
+  virtual Status Append(Record record) = 0;
+
+  /// All records, in append order.
+  virtual Result<std::vector<Record>> ReadAll() const = 0;
+
+  /// Number of records appended so far.
+  virtual uint64_t size() const = 0;
+};
+
+/// \brief Volatile journal for tests and benchmarks.
+class MemoryJournal : public Journal {
+ public:
+  Status Append(Record record) override;
+  Result<std::vector<Record>> ReadAll() const override;
+  uint64_t size() const override { return records_.size(); }
+
+  /// Simulates a crash that loses every record after `keep` — used by the
+  /// recovery tests to explore "failure at every navigation step".
+  void TruncateTo(uint64_t keep);
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// \brief File-backed journal (one encoded record per line).
+class FileJournal : public Journal {
+ public:
+  /// Opens (creating if necessary) and scans the file to restore seq.
+  static Result<std::unique_ptr<FileJournal>> Open(const std::string& path,
+                                                   bool fsync_each = false);
+  ~FileJournal() override;
+
+  Status Append(Record record) override;
+  Result<std::vector<Record>> ReadAll() const override;
+  uint64_t size() const override { return next_seq_; }
+
+ private:
+  FileJournal(std::string path, bool fsync_each)
+      : path_(std::move(path)), fsync_each_(fsync_each) {}
+
+  std::string path_;
+  bool fsync_each_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace exotica::wfjournal
+
+#endif  // EXOTICA_WFJOURNAL_JOURNAL_H_

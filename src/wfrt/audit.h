@@ -1,0 +1,87 @@
+// Audit trail: the engine's observable execution record (paper §3.3 lists
+// monitoring/accounting among the workflow features transaction models
+// lack). Tests verify the paper's appendix traces against this trail.
+
+#ifndef EXOTICA_WFRT_AUDIT_H_
+#define EXOTICA_WFRT_AUDIT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace exotica::wfrt {
+
+enum class AuditKind : int {
+  kInstanceStarted,
+  kActivityReady,
+  kActivityStarted,
+  kActivityFinished,
+  kActivityTerminated,
+  kActivityRescheduled,
+  kActivityDead,
+  kConnectorTrue,
+  kConnectorFalse,
+  kProgramFailure,
+  kInstanceFinished,
+  kWorkItemPosted,
+  kWorkItemCancelled,
+  kForcedFinish,
+  kRecoveryResumed,
+  kActivityPending,
+};
+
+const char* AuditKindName(AuditKind kind);
+
+struct AuditEvent {
+  Micros at = 0;
+  AuditKind kind;
+  std::string instance;
+  std::string activity;  ///< or connector source
+  std::string detail;    ///< connector target, attempt, etc.
+
+  /// Compact form, e.g. "T1:started", "T1->T2:false", "saga:finished".
+  std::string Compact() const;
+};
+
+/// \brief Append-only event list.
+class AuditTrail {
+ public:
+  void Add(AuditEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<AuditEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Compact strings for one instance, in order. `kinds` empty = all kinds.
+  std::vector<std::string> CompactTrace(
+      const std::string& instance,
+      const std::vector<AuditKind>& kinds = {}) const;
+
+  // --- accounting queries (paper §3.3: monitoring / accounting) -------------
+
+  /// Per-activity accounting for one instance.
+  struct ActivitySummary {
+    int executions = 0;        ///< started events
+    int reschedules = 0;
+    Micros active_micros = 0;  ///< sum of started→finished spans
+    Micros first_ready = -1;
+    Micros settled_at = -1;    ///< terminated / dead timestamp
+  };
+
+  /// Summaries keyed by activity name. NotFound if the instance never
+  /// appears in the trail.
+  Result<std::map<std::string, ActivitySummary>> Summarize(
+      const std::string& instance) const;
+
+  /// Wall-clock from instance start to finish. FailedPrecondition if the
+  /// instance has not finished (in this trail).
+  Result<Micros> InstanceMakespan(const std::string& instance) const;
+
+ private:
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_AUDIT_H_

@@ -1,0 +1,1038 @@
+#include "wfrt/engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "expr/eval.h"
+
+namespace exotica::wfrt {
+
+using wf::ActivityState;
+
+Engine::Engine(const wf::DefinitionStore* definitions, ProgramRegistry* programs,
+               EngineOptions options)
+    : definitions_(definitions),
+      programs_(programs),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()) {}
+
+Status Engine::AttachJournal(wfjournal::Journal* journal) {
+  if (!instances_.empty()) {
+    return Status::FailedPrecondition(
+        "journal must be attached before any process starts");
+  }
+  journal_ = journal;
+  return Status::OK();
+}
+
+Status Engine::AttachOrganization(const org::Directory* directory) {
+  directory_ = directory;
+  worklists_ = std::make_unique<org::WorklistService>(directory, clock_);
+  return Status::OK();
+}
+
+Status Engine::JournalAppend(wfjournal::EventType type,
+                             const std::string& instance,
+                             const std::string& activity,
+                             const std::string& to, bool flag,
+                             std::string payload, std::string extra) {
+  if (journal_ == nullptr) return Status::OK();
+  wfjournal::Record r;
+  r.type = type;
+  r.instance = instance;
+  r.activity = activity;
+  r.to = to;
+  r.flag = flag;
+  r.payload = std::move(payload);
+  r.extra = std::move(extra);
+  return journal_->Append(std::move(r));
+}
+
+void Engine::Audit(AuditKind kind, const std::string& instance,
+                   const std::string& activity, std::string detail) {
+  AuditEvent e;
+  e.at = clock_->NowMicros();
+  e.kind = kind;
+  e.instance = instance;
+  e.activity = activity;
+  e.detail = std::move(detail);
+  if (observer_) observer_(e);
+  audit_.Add(std::move(e));
+}
+
+std::string Engine::NewInstanceId() {
+  return "wf-" + std::to_string(next_instance_++);
+}
+
+Result<ProcessInstance*> Engine::MutableInstance(const std::string& id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return Status::NotFound("no such process instance: " + id);
+  }
+  return &it->second;
+}
+
+Result<const ProcessInstance*> Engine::FindInstance(const std::string& id) const {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return Status::NotFound("no such process instance: " + id);
+  }
+  return &it->second;
+}
+
+bool Engine::IsFinished(const std::string& id) const {
+  auto it = instances_.find(id);
+  return it != instances_.end() && it->second.finished;
+}
+
+bool Engine::IsCancelled(const std::string& id) const {
+  auto it = instances_.find(id);
+  return it != instances_.end() && it->second.cancelled;
+}
+
+bool Engine::IsSuspended(const std::string& id) const {
+  auto it = instances_.find(id);
+  return it != instances_.end() && it->second.suspended;
+}
+
+Result<data::Container> Engine::OutputOf(const std::string& id) const {
+  EXO_ASSIGN_OR_RETURN(const ProcessInstance* inst, FindInstance(id));
+  if (!inst->finished) {
+    return Status::FailedPrecondition("instance " + id + " is not finished");
+  }
+  return inst->output;
+}
+
+Result<wf::ActivityState> Engine::StateOf(const std::string& id,
+                                          const std::string& activity) const {
+  EXO_ASSIGN_OR_RETURN(const ProcessInstance* inst, FindInstance(id));
+  auto it = inst->activities.find(activity);
+  if (it == inst->activities.end()) {
+    return Status::NotFound("no activity " + activity + " in instance " + id);
+  }
+  return it->second.state;
+}
+
+// --- instance creation ------------------------------------------------------
+
+Result<std::string> Engine::StartProcess(const std::string& process_name,
+                                         const data::Container* input) {
+  EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* def,
+                       definitions_->FindProcess(process_name));
+  return CreateInstance(def, input, "", "");
+}
+
+Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
+                                           const data::Container* input,
+                                           const std::string& parent_instance,
+                                           const std::string& parent_activity) {
+  std::string id = NewInstanceId();
+
+  ProcessInstance inst;
+  inst.id = id;
+  inst.definition = def;
+  inst.parent_instance = parent_instance;
+  inst.parent_activity = parent_activity;
+  EXO_ASSIGN_OR_RETURN(
+      inst.input, data::Container::Create(definitions_->types(), def->input_type()));
+  if (input != nullptr) {
+    if (input->type_name() != def->input_type()) {
+      return Status::InvalidArgument(
+          "input container type " + input->type_name() +
+          " does not match process input type " + def->input_type());
+    }
+    inst.input = *input;
+  }
+  EXO_ASSIGN_OR_RETURN(
+      inst.output,
+      data::Container::Create(definitions_->types(), def->output_type()));
+
+  // The payload pins the template version so recovery replays against the
+  // exact definition this instance started with, even if newer versions
+  // registered since.
+  EXO_RETURN_NOT_OK(JournalAppend(
+      wfjournal::EventType::kInstanceStart, id, parent_activity,
+      parent_instance, /*flag=*/false,
+      "v" + std::to_string(def->version()) + ":" + def->name(),
+      inst.input.Serialize()));
+
+  auto [it, inserted] = instances_.emplace(id, std::move(inst));
+  (void)inserted;
+  instance_order_.push_back(id);
+  ++stats_.instances_started;
+  Audit(AuditKind::kInstanceStarted, id, "", def->name());
+
+  ProcessInstance* p = &it->second;
+  EXO_RETURN_NOT_OK(InitializeRuntimes(p));
+
+  if (!parent_instance.empty()) {
+    EXO_ASSIGN_OR_RETURN(ProcessInstance* parent,
+                         MutableInstance(parent_instance));
+    parent->activities[parent_activity].child_instance = id;
+  }
+
+  EXO_RETURN_NOT_OK(ReadyStartActivities(p));
+  return id;
+}
+
+Status Engine::InitializeRuntimes(ProcessInstance* inst) {
+  const data::TypeRegistry& types = definitions_->types();
+  for (const wf::Activity& a : inst->definition->activities()) {
+    ActivityRuntime rt;
+    EXO_ASSIGN_OR_RETURN(rt.input, data::Container::Create(types, a.input_type));
+    EXO_ASSIGN_OR_RETURN(rt.output, data::Container::Create(types, a.output_type));
+    inst->activities.emplace(a.name, std::move(rt));
+  }
+  // Process-input data connectors materialize target inputs immediately.
+  for (size_t i :
+       inst->definition->OutgoingData(wf::DataEndpoint::ProcessInput())) {
+    const wf::DataConnector& d = inst->definition->data_connectors()[i];
+    data::Container* target = d.to.is_activity()
+                                  ? &inst->activities[d.to.activity].input
+                                  : &inst->output;
+    EXO_RETURN_NOT_OK(d.mapping.Apply(inst->input, target));
+  }
+  return Status::OK();
+}
+
+Status Engine::ReadyStartActivities(ProcessInstance* inst) {
+  for (const std::string& name : inst->definition->StartActivities()) {
+    EXO_RETURN_NOT_OK(MakeReady(inst, name));
+  }
+  return Status::OK();
+}
+
+// --- readiness and the run queue ---------------------------------------------
+
+Status Engine::MakeReady(ProcessInstance* inst, const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  rt.state = ActivityState::kReady;
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kActivityReady, inst->id, activity));
+  Audit(AuditKind::kActivityReady, inst->id, activity);
+
+  if (def->start_mode == wf::StartMode::kManual) {
+    if (worklists_ == nullptr) {
+      return Status::FailedPrecondition(
+          "manual activity " + activity +
+          " requires an attached organization (AttachOrganization)");
+    }
+    EXO_ASSIGN_OR_RETURN(
+        org::WorkItemId item,
+        worklists_->Post(inst->id, activity, def->role,
+                         def->notify_after_micros, def->notify_role));
+    rt.work_item = item;
+    Audit(AuditKind::kWorkItemPosted, inst->id, activity,
+          std::to_string(item));
+  } else {
+    Enqueue(inst->id, activity);
+  }
+  return Status::OK();
+}
+
+void Engine::Enqueue(const std::string& instance, const std::string& activity) {
+  auto key = std::make_pair(instance, activity);
+  if (enqueued_.insert(key).second) {
+    ready_queue_.push_back(key);
+  }
+}
+
+Status Engine::Run() {
+  while (!ready_queue_.empty()) {
+    auto [iid, act] = ready_queue_.front();
+    ready_queue_.pop_front();
+    enqueued_.erase({iid, act});
+
+    auto it = instances_.find(iid);
+    if (it == instances_.end()) continue;
+    ProcessInstance* inst = &it->second;
+    if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
+    ActivityRuntime& rt = inst->activities[act];
+    if (rt.state != ActivityState::kReady) continue;  // stale entry
+    EXO_RETURN_NOT_OK(StartExecution(inst, act, ""));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Engine::RunToCompletion(const std::string& process_name,
+                                            const data::Container* input) {
+  EXO_ASSIGN_OR_RETURN(std::string id, StartProcess(process_name, input));
+  EXO_RETURN_NOT_OK(Run());
+  if (!IsFinished(id)) {
+    return Status::FailedPrecondition(
+        "instance " + id +
+        " stalled (manual work pending?); use Run/ExecuteWorkItem");
+  }
+  return id;
+}
+
+// --- execution ----------------------------------------------------------------
+
+Status Engine::StartExecution(ProcessInstance* inst, const std::string& activity,
+                              const std::string& person) {
+  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+
+  rt.attempt += 1;
+  rt.state = ActivityState::kRunning;
+  // Fresh output container per attempt: a half-written image from a failed
+  // attempt must not leak into the next one.
+  EXO_ASSIGN_OR_RETURN(
+      rt.output, data::Container::Create(definitions_->types(), def->output_type));
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
+                                  inst->id, activity, "", false,
+                                  std::to_string(rt.attempt)));
+  Audit(AuditKind::kActivityStarted, inst->id, activity,
+        "attempt=" + std::to_string(rt.attempt));
+  ++stats_.activities_executed;
+
+  if (def->is_process()) {
+    // Block: spawn a child instance fed from this activity's input.
+    EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
+                         definitions_->FindProcess(def->subprocess));
+    EXO_ASSIGN_OR_RETURN(std::string child_id,
+                         CreateInstance(sub, &rt.input, inst->id, activity));
+    (void)child_id;  // continuation happens when the child finishes
+    return Status::OK();
+  }
+
+  // Program activity.
+  EXO_ASSIGN_OR_RETURN(const ProgramFn* fn, programs_->Find(def->program));
+  ProgramContext ctx;
+  ctx.instance_id = inst->id;
+  ctx.activity = activity;
+  ctx.attempt = rt.attempt;
+  ctx.person = person;
+  Status st = (*fn)(rt.input, &rt.output, ctx);
+  if (st.IsPending()) {
+    // Asynchronous external work (§3.3: activities "can be of any type
+    // ... as long as there is a way to report their progress"). The
+    // activity stays running until CompleteAsync reports the outcome; a
+    // crash meanwhile re-runs it from the beginning, the same
+    // at-least-once contract as everything else.
+    Audit(AuditKind::kActivityPending, inst->id, activity, st.message());
+    return Status::OK();
+  }
+  if (!st.ok()) {
+    // Program crash: reschedule from the beginning (paper §3.3).
+    ++rt.failures;
+    ++stats_.program_failures;
+    Audit(AuditKind::kProgramFailure, inst->id, activity, st.ToString());
+    if (options_.max_program_failures > 0 &&
+        rt.failures >= options_.max_program_failures) {
+      return Status::FailedPrecondition(
+          StrFormat("activity %s in %s failed %d times; last error: %s",
+                    activity.c_str(), inst->id.c_str(), rt.failures,
+                    st.ToString().c_str()));
+    }
+    return Reschedule(inst, activity, "program-failure");
+  }
+
+  rt.failures = 0;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                  inst->id, activity, "", false,
+                                  rt.output.Serialize()));
+  Audit(AuditKind::kActivityFinished, inst->id, activity);
+  return HandleFinished(inst, activity);
+}
+
+Status Engine::HandleFinished(ProcessInstance* inst,
+                              const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  rt.state = ActivityState::kFinished;
+
+  expr::ContainerResolver resolver(rt.output);
+  Result<bool> exit_result = def->exit_condition.Evaluate(resolver);
+  if (!exit_result.ok()) {
+    return exit_result.status().WithContext("exit condition of " + activity +
+                                            " in " + inst->id);
+  }
+  bool exit_ok = exit_result.value();
+  if (!exit_ok) {
+    if (options_.max_exit_retries > 0 &&
+        rt.attempt >= options_.max_exit_retries) {
+      return Status::FailedPrecondition(StrFormat(
+          "activity %s in %s: exit condition still false after %d attempts",
+          activity.c_str(), inst->id.c_str(), rt.attempt));
+    }
+    return Reschedule(inst, activity, "exit-condition");
+  }
+  return Terminate(inst, activity);
+}
+
+Status Engine::Reschedule(ProcessInstance* inst, const std::string& activity,
+                          const std::string& reason) {
+  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  rt.state = ActivityState::kReady;
+  ++stats_.reschedules;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityRescheduled,
+                                  inst->id, activity, "", false, reason));
+  Audit(AuditKind::kActivityRescheduled, inst->id, activity, reason);
+
+  if (def->start_mode == wf::StartMode::kManual) {
+    if (worklists_ == nullptr) {
+      return Status::FailedPrecondition(
+          "manual activity " + activity + " rescheduled without worklists");
+    }
+    EXO_ASSIGN_OR_RETURN(
+        org::WorkItemId item,
+        worklists_->Post(inst->id, activity, def->role,
+                         def->notify_after_micros, def->notify_role));
+    rt.work_item = item;
+    Audit(AuditKind::kWorkItemPosted, inst->id, activity, std::to_string(item));
+  } else {
+    Enqueue(inst->id, activity);
+  }
+  return Status::OK();
+}
+
+Status Engine::Terminate(ProcessInstance* inst, const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  rt.state = ActivityState::kTerminated;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityTerminated,
+                                  inst->id, activity));
+  Audit(AuditKind::kActivityTerminated, inst->id, activity);
+  EXO_RETURN_NOT_OK(PushData(inst, activity));
+  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, activity, /*all_false=*/false));
+  return CheckInstanceCompletion(inst);
+}
+
+Status Engine::MarkDead(ProcessInstance* inst, const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  rt.state = ActivityState::kDead;
+  ++stats_.dead_path_terminations;
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kActivityDead, inst->id, activity));
+  Audit(AuditKind::kActivityDead, inst->id, activity);
+
+  if (rt.work_item.has_value() && worklists_ != nullptr) {
+    // Best effort: the item may already be done (it should not be, since
+    // the activity was still waiting, but recovery can race).
+    (void)worklists_->Cancel(*rt.work_item);
+    Audit(AuditKind::kWorkItemCancelled, inst->id, activity,
+          std::to_string(*rt.work_item));
+    rt.work_item.reset();
+  }
+  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, activity, /*all_false=*/true));
+  return CheckInstanceCompletion(inst);
+}
+
+Status Engine::EvaluateOutgoing(ProcessInstance* inst,
+                                const std::string& activity, bool all_false) {
+  ActivityRuntime& rt = inst->activities[activity];
+  const auto& connectors = inst->definition->control_connectors();
+  std::vector<size_t> outs = inst->definition->OutgoingControl(activity);
+
+  bool any_true = false;
+  std::vector<std::pair<size_t, bool>> fresh;
+
+  // Non-otherwise connectors first.
+  for (size_t idx : outs) {
+    const wf::ControlConnector& c = connectors[idx];
+    if (c.is_otherwise) continue;
+    bool value;
+    auto stored = rt.outgoing_eval.find(idx);
+    if (stored != rt.outgoing_eval.end()) {
+      value = stored->second;
+    } else {
+      if (all_false) {
+        value = false;
+      } else {
+        expr::ContainerResolver resolver(rt.output);
+        Result<bool> r = c.condition.Evaluate(resolver);
+        if (!r.ok()) {
+          if (options_.condition_error_is_false) {
+            value = false;
+          } else {
+            return r.status().WithContext("transition condition " + c.from +
+                                          " -> " + c.to + " in " + inst->id);
+          }
+        } else {
+          value = r.value();
+        }
+      }
+      rt.outgoing_eval[idx] = value;
+      ++stats_.connectors_evaluated;
+      EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                      inst->id, c.from, c.to, value));
+      Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
+            inst->id, c.from, c.to);
+      fresh.emplace_back(idx, value);
+    }
+    any_true = any_true || value;
+  }
+
+  // Otherwise connector fires iff all conditioned siblings were false.
+  for (size_t idx : outs) {
+    const wf::ControlConnector& c = connectors[idx];
+    if (!c.is_otherwise) continue;
+    if (rt.outgoing_eval.count(idx) > 0) continue;
+    bool value = all_false ? false : !any_true;
+    rt.outgoing_eval[idx] = value;
+    ++stats_.connectors_evaluated;
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                    inst->id, c.from, c.to, value));
+    Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
+          inst->id, c.from, c.to);
+    fresh.emplace_back(idx, value);
+  }
+
+  for (auto [idx, value] : fresh) {
+    EXO_RETURN_NOT_OK(DeliverSignal(inst, connectors[idx].to, idx, value));
+  }
+  return Status::OK();
+}
+
+Status Engine::DeliverSignal(ProcessInstance* inst, const std::string& target,
+                             size_t connector_index, bool value) {
+  ActivityRuntime& rt = inst->activities[target];
+  rt.incoming_eval[connector_index] = value;
+  if (rt.state != ActivityState::kWaiting) return Status::OK();
+  return ApplyJoin(inst, target);
+}
+
+Status Engine::ApplyJoin(ProcessInstance* inst, const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  if (rt.state != ActivityState::kWaiting) return Status::OK();
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  std::vector<size_t> incoming = inst->definition->IncomingControl(activity);
+  if (incoming.empty()) return Status::OK();
+
+  // The start condition is decided only once every incoming connector has
+  // been evaluated (terminated sources evaluate their conditions; dead
+  // sources evaluate to false via dead path elimination). Deciding early
+  // would let an OR-joined activity start before its siblings settle,
+  // which breaks the reverse-order compensation pattern of the paper's
+  // Figure 2.
+  size_t evaluated = 0, trues = 0;
+  for (size_t idx : incoming) {
+    auto it = rt.incoming_eval.find(idx);
+    if (it == rt.incoming_eval.end()) continue;
+    ++evaluated;
+    if (it->second) ++trues;
+  }
+  if (evaluated < incoming.size()) return Status::OK();
+
+  bool start = def->join == wf::JoinKind::kAnd ? trues == incoming.size()
+                                               : trues > 0;
+  return start ? MakeReady(inst, activity) : MarkDead(inst, activity);
+}
+
+Status Engine::PushData(ProcessInstance* inst, const std::string& activity) {
+  ActivityRuntime& rt = inst->activities[activity];
+  for (size_t i :
+       inst->definition->OutgoingData(wf::DataEndpoint::Of(activity))) {
+    const wf::DataConnector& d = inst->definition->data_connectors()[i];
+    data::Container* target = d.to.is_activity()
+                                  ? &inst->activities[d.to.activity].input
+                                  : &inst->output;
+    EXO_RETURN_NOT_OK(d.mapping.Apply(rt.output, target));
+  }
+  return Status::OK();
+}
+
+Status Engine::CheckInstanceCompletion(ProcessInstance* inst) {
+  if (inst->finished || !inst->AllSettled()) return Status::OK();
+  inst->finished = true;
+  ++stats_.instances_finished;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceFinished,
+                                  inst->id, "", "", false,
+                                  inst->output.Serialize()));
+  Audit(AuditKind::kInstanceFinished, inst->id);
+  if (inst->is_child()) return ContinueParent(inst);
+  return Status::OK();
+}
+
+Status Engine::ContinueParent(ProcessInstance* child) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* parent,
+                       MutableInstance(child->parent_instance));
+  ActivityRuntime& rt = parent->activities[child->parent_activity];
+  if (rt.state != ActivityState::kRunning) return Status::OK();  // already done
+  rt.output = child->output;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                  parent->id, child->parent_activity, "", false,
+                                  rt.output.Serialize()));
+  Audit(AuditKind::kActivityFinished, parent->id, child->parent_activity,
+        "block child " + child->id);
+  return HandleFinished(parent, child->parent_activity);
+}
+
+// --- manual work ---------------------------------------------------------------
+
+Status Engine::Claim(org::WorkItemId id, const std::string& person) {
+  if (worklists_ == nullptr) {
+    return Status::FailedPrecondition("no organization attached");
+  }
+  return worklists_->Claim(id, person);
+}
+
+Status Engine::ExecuteWorkItem(org::WorkItemId id, const std::string& person) {
+  if (worklists_ == nullptr) {
+    return Status::FailedPrecondition("no organization attached");
+  }
+  EXO_ASSIGN_OR_RETURN(const org::WorkItem* item, worklists_->Find(id));
+  if (item->state != org::WorkItemState::kClaimed ||
+      item->claimed_by != person) {
+    return Status::FailedPrecondition("work item " + std::to_string(id) +
+                                      " is not claimed by " + person);
+  }
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst,
+                       MutableInstance(item->process_instance));
+  std::string activity = item->activity;
+  ActivityRuntime& rt = inst->activities[activity];
+  if (rt.state != ActivityState::kReady) {
+    return Status::FailedPrecondition("activity " + activity +
+                                      " is not ready in " + inst->id);
+  }
+  EXO_RETURN_NOT_OK(worklists_->Complete(id, person));
+  rt.work_item.reset();
+  EXO_RETURN_NOT_OK(StartExecution(inst, activity, person));
+  return Run();
+}
+
+Status Engine::CompleteAsync(const std::string& instance_id,
+                             const std::string& activity,
+                             const data::Container& output) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  ActivityRuntime& rt = inst->activities[activity];
+  if (rt.state != ActivityState::kRunning) {
+    return Status::FailedPrecondition(
+        "activity " + activity + " in " + instance_id + " is " +
+        ActivityStateName(rt.state) + "; only running activities complete");
+  }
+  if (!def->is_program()) {
+    return Status::FailedPrecondition(
+        "block activity " + activity + " completes through its subprocess");
+  }
+  if (output.type_name() != def->output_type) {
+    return Status::InvalidArgument("output container type " +
+                                   output.type_name() + " does not match " +
+                                   def->output_type);
+  }
+  rt.output = output;
+  rt.failures = 0;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                  inst->id, activity, "", false,
+                                  rt.output.Serialize()));
+  Audit(AuditKind::kActivityFinished, inst->id, activity, "async");
+  EXO_RETURN_NOT_OK(HandleFinished(inst, activity));
+  return Run();
+}
+
+Status Engine::ForceFinish(const std::string& instance_id,
+                           const std::string& activity,
+                           const data::Container& output) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
+  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                       inst->definition->FindActivity(activity));
+  ActivityRuntime& rt = inst->activities[activity];
+  if (rt.state != ActivityState::kReady) {
+    return Status::FailedPrecondition(
+        "only ready activities can be force-finished; " + activity + " is " +
+        ActivityStateName(rt.state));
+  }
+  if (output.type_name() != def->output_type) {
+    return Status::InvalidArgument("output container type " +
+                                   output.type_name() + " does not match " +
+                                   def->output_type);
+  }
+  if (rt.work_item.has_value() && worklists_ != nullptr) {
+    (void)worklists_->Cancel(*rt.work_item);
+    Audit(AuditKind::kWorkItemCancelled, inst->id, activity,
+          std::to_string(*rt.work_item));
+    rt.work_item.reset();
+  }
+  rt.attempt += 1;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
+                                  inst->id, activity, "", false,
+                                  std::to_string(rt.attempt)));
+  rt.output = output;
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                  inst->id, activity, "", false,
+                                  rt.output.Serialize()));
+  Audit(AuditKind::kForcedFinish, inst->id, activity);
+  EXO_RETURN_NOT_OK(HandleFinished(inst, activity));
+  return Run();
+}
+
+std::vector<org::Notification> Engine::CheckDeadlines() {
+  if (worklists_ == nullptr) return {};
+  return worklists_->CheckDeadlines();
+}
+
+// --- instance lifecycle control ------------------------------------------------
+
+Status Engine::SuspendInstance(const std::string& instance_id) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
+  if (inst->is_child()) {
+    return Status::InvalidArgument(
+        "suspend the top-level instance, not block child " + instance_id);
+  }
+  if (inst->finished) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " already finished");
+  }
+  if (inst->suspended) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " already suspended");
+  }
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kInstanceSuspended, instance_id));
+  return ApplySuspend(inst);
+}
+
+Status Engine::ApplySuspend(ProcessInstance* inst) {
+  inst->suspended = true;
+  for (auto& [name, rt] : inst->activities) {
+    (void)name;
+    if (rt.work_item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*rt.work_item);
+      rt.work_item.reset();
+    }
+    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
+      auto child = MutableInstance(rt.child_instance);
+      if (child.ok() && !(*child)->finished) {
+        EXO_RETURN_NOT_OK(ApplySuspend(*child));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::ResumeSuspended(const std::string& instance_id) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
+  if (!inst->suspended) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " is not suspended");
+  }
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kInstanceResumed, instance_id));
+  return ApplyResume(inst);
+}
+
+Status Engine::ApplyResume(ProcessInstance* inst) {
+  inst->suspended = false;
+  if (recovering_) return Status::OK();  // ResumeAfterReplay re-dispatches
+  for (const wf::Activity& a : inst->definition->activities()) {
+    ActivityRuntime& rt = inst->activities[a.name];
+    if (rt.state == ActivityState::kReady) {
+      if (a.start_mode == wf::StartMode::kManual) {
+        if (worklists_ == nullptr) {
+          return Status::FailedPrecondition(
+              "manual activity " + a.name + " resumed without worklists");
+        }
+        EXO_ASSIGN_OR_RETURN(
+            org::WorkItemId item,
+            worklists_->Post(inst->id, a.name, a.role, a.notify_after_micros,
+                             a.notify_role));
+        rt.work_item = item;
+        Audit(AuditKind::kWorkItemPosted, inst->id, a.name,
+              std::to_string(item));
+      } else {
+        Enqueue(inst->id, a.name);
+      }
+    } else if (rt.state == ActivityState::kRunning &&
+               !rt.child_instance.empty()) {
+      auto child = MutableInstance(rt.child_instance);
+      if (child.ok() && (*child)->suspended) {
+        EXO_RETURN_NOT_OK(ApplyResume(*child));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CancelInstance(const std::string& instance_id) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
+  if (inst->is_child()) {
+    return Status::InvalidArgument(
+        "cancel the top-level instance, not block child " + instance_id);
+  }
+  if (inst->finished) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " already finished");
+  }
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kInstanceCancelled, instance_id));
+  return ApplyCancel(inst);
+}
+
+Status Engine::ApplyCancel(ProcessInstance* inst) {
+  // Children first, so a block child is settled before its parent slot.
+  for (auto& [name, rt] : inst->activities) {
+    (void)name;
+    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
+      auto child = MutableInstance(rt.child_instance);
+      if (child.ok() && !(*child)->finished) {
+        EXO_RETURN_NOT_OK(ApplyCancel(*child));
+      }
+    }
+  }
+  for (auto& [name, rt] : inst->activities) {
+    if (rt.state == ActivityState::kTerminated ||
+        rt.state == ActivityState::kDead) {
+      continue;
+    }
+    if (rt.work_item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*rt.work_item);
+      Audit(AuditKind::kWorkItemCancelled, inst->id, name,
+            std::to_string(*rt.work_item));
+      rt.work_item.reset();
+    }
+    rt.state = ActivityState::kDead;
+    Audit(AuditKind::kActivityDead, inst->id, name, "cancelled");
+  }
+  inst->cancelled = true;
+  inst->suspended = false;
+  inst->finished = true;
+  ++stats_.instances_finished;
+  Audit(AuditKind::kInstanceFinished, inst->id, "", "cancelled");
+  return Status::OK();
+}
+
+// --- recovery --------------------------------------------------------------------
+
+Status Engine::Recover() {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition("no journal attached");
+  }
+  if (!instances_.empty()) {
+    return Status::FailedPrecondition("Recover requires a fresh engine");
+  }
+  EXO_ASSIGN_OR_RETURN(std::vector<wfjournal::Record> records,
+                       journal_->ReadAll());
+
+  recovering_ = true;
+  for (const wfjournal::Record& r : records) {
+    Status st = ReplayRecord(r);
+    if (!st.ok()) {
+      recovering_ = false;
+      return st.WithContext("replaying journal record seq " +
+                            std::to_string(r.seq));
+    }
+  }
+  recovering_ = false;
+
+  // Resume every unfinished instance from its exact failure point.
+  std::vector<std::string> order = instance_order_;
+  for (const std::string& id : order) {
+    ProcessInstance* inst = &instances_[id];
+    // Suspended instances stay parked; ResumeSuspended re-dispatches them.
+    // Suspension only happens at navigation quiescence, so they have no
+    // interrupted steps to complete.
+    if (inst->finished || inst->suspended) continue;
+    EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst), "resuming instance " + id);
+  }
+  return Status::OK();
+}
+
+Status Engine::ReplayRecord(const wfjournal::Record& r) {
+  using wfjournal::EventType;
+  switch (r.type) {
+    case EventType::kInstanceStart: {
+      // Payload: "v<version>:<name>".
+      size_t colon = r.payload.find(':');
+      if (r.payload.size() < 3 || r.payload[0] != 'v' ||
+          colon == std::string::npos) {
+        return Status::Corruption("malformed INSTANCE_START payload: " +
+                                  r.payload);
+      }
+      int version = static_cast<int>(
+          std::strtol(r.payload.c_str() + 1, nullptr, 10));
+      std::string process_name = r.payload.substr(colon + 1);
+      EXO_ASSIGN_OR_RETURN(
+          const wf::ProcessDefinition* def,
+          definitions_->FindProcessVersion(process_name, version));
+      ProcessInstance inst;
+      inst.id = r.instance;
+      inst.definition = def;
+      inst.parent_activity = r.activity;
+      inst.parent_instance = r.to;
+      EXO_ASSIGN_OR_RETURN(inst.input,
+                           data::Container::Create(definitions_->types(),
+                                                   def->input_type()));
+      EXO_RETURN_NOT_OK(inst.input.Deserialize(r.extra));
+      EXO_ASSIGN_OR_RETURN(inst.output,
+                           data::Container::Create(definitions_->types(),
+                                                   def->output_type()));
+      auto [it, inserted] = instances_.emplace(r.instance, std::move(inst));
+      if (!inserted) {
+        return Status::Corruption("duplicate INSTANCE_START for " + r.instance);
+      }
+      instance_order_.push_back(r.instance);
+      ++stats_.instances_started;
+      EXO_RETURN_NOT_OK(InitializeRuntimes(&it->second));
+      // Restore the id counter past any "wf-N" id seen.
+      if (StartsWith(r.instance, "wf-")) {
+        uint64_t n = std::strtoull(r.instance.c_str() + 3, nullptr, 10);
+        if (n + 1 > next_instance_) next_instance_ = n + 1;
+      }
+      // Wire the parent's block activity to this child.
+      if (!r.to.empty()) {
+        EXO_ASSIGN_OR_RETURN(ProcessInstance* parent, MutableInstance(r.to));
+        parent->activities[r.activity].child_instance = r.instance;
+      }
+      return Status::OK();
+    }
+    case EventType::kActivityReady:
+    case EventType::kActivityRescheduled: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      inst->activities[r.activity].state = ActivityState::kReady;
+      return Status::OK();
+    }
+    case EventType::kActivityStarted: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      ActivityRuntime& rt = inst->activities[r.activity];
+      rt.state = ActivityState::kRunning;
+      rt.attempt = static_cast<int>(std::strtol(r.payload.c_str(), nullptr, 10));
+      EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                           inst->definition->FindActivity(r.activity));
+      EXO_ASSIGN_OR_RETURN(rt.output,
+                           data::Container::Create(definitions_->types(),
+                                                   def->output_type));
+      return Status::OK();
+    }
+    case EventType::kActivityFinished: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      ActivityRuntime& rt = inst->activities[r.activity];
+      EXO_RETURN_NOT_OK(rt.output.Deserialize(r.payload));
+      rt.state = ActivityState::kFinished;
+      return Status::OK();
+    }
+    case EventType::kActivityTerminated: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      inst->activities[r.activity].state = ActivityState::kTerminated;
+      inst->activities[r.activity].failures = 0;
+      // Re-derive the (volatile) data pushes from the journaled output.
+      return PushData(inst, r.activity);
+    }
+    case EventType::kActivityDead: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      inst->activities[r.activity].state = ActivityState::kDead;
+      return Status::OK();
+    }
+    case EventType::kConnectorEval: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      const auto& connectors = inst->definition->control_connectors();
+      for (size_t i = 0; i < connectors.size(); ++i) {
+        if (connectors[i].from == r.activity && connectors[i].to == r.to) {
+          inst->activities[r.activity].outgoing_eval[i] = r.flag;
+          inst->activities[r.to].incoming_eval[i] = r.flag;
+          return Status::OK();
+        }
+      }
+      return Status::Corruption("journaled connector " + r.activity + " -> " +
+                                r.to + " not in definition of " +
+                                inst->definition->name());
+    }
+    case EventType::kInstanceFinished: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      EXO_RETURN_NOT_OK(inst->output.Deserialize(r.payload));
+      inst->finished = true;
+      ++stats_.instances_finished;
+      return Status::OK();
+    }
+    case EventType::kChildSpawned:
+      return Status::OK();  // superseded by parent fields on INSTANCE_START
+    case EventType::kInstanceSuspended: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      return ApplySuspend(inst);
+    }
+    case EventType::kInstanceResumed: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      return ApplyResume(inst);
+    }
+    case EventType::kInstanceCancelled: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      return ApplyCancel(inst);
+    }
+  }
+  return Status::Corruption("unknown journal record type");
+}
+
+Status Engine::ResumeAfterReplay(ProcessInstance* inst) {
+  EXO_ASSIGN_OR_RETURN(std::vector<std::string> topo,
+                       inst->definition->TopologicalOrder());
+  for (const std::string& name : topo) {
+    ActivityRuntime& rt = inst->activities[name];
+    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                         inst->definition->FindActivity(name));
+    switch (rt.state) {
+      case ActivityState::kWaiting: {
+        if (inst->definition->IncomingControl(name).empty()) {
+          // Crash before the start activity was readied.
+          EXO_RETURN_NOT_OK(MakeReady(inst, name));
+        } else {
+          EXO_RETURN_NOT_OK(ApplyJoin(inst, name));
+        }
+        break;
+      }
+      case ActivityState::kReady: {
+        Audit(AuditKind::kRecoveryResumed, inst->id, name, "ready");
+        if (def->start_mode == wf::StartMode::kManual) {
+          if (worklists_ == nullptr) {
+            return Status::FailedPrecondition(
+                "manual activity " + name + " recovered without worklists");
+          }
+          EXO_ASSIGN_OR_RETURN(
+              org::WorkItemId item,
+              worklists_->Post(inst->id, name, def->role,
+                               def->notify_after_micros, def->notify_role));
+          rt.work_item = item;
+          Audit(AuditKind::kWorkItemPosted, inst->id, name,
+                std::to_string(item));
+        } else {
+          Enqueue(inst->id, name);
+        }
+        break;
+      }
+      case ActivityState::kRunning: {
+        if (def->is_process() && !rt.child_instance.empty()) {
+          EXO_ASSIGN_OR_RETURN(ProcessInstance* child,
+                               MutableInstance(rt.child_instance));
+          if (child->finished) {
+            // Crash between the child's completion and the parent's
+            // continuation: continue now.
+            EXO_RETURN_NOT_OK(ContinueParent(child));
+          }
+          // Otherwise the child resumes on its own and will continue us.
+          break;
+        }
+        // In-flight program (or a block whose child was never created):
+        // re-run from the beginning — the at-least-once contract.
+        Audit(AuditKind::kRecoveryResumed, inst->id, name, "was running");
+        EXO_RETURN_NOT_OK(Reschedule(inst, name, "recovery"));
+        break;
+      }
+      case ActivityState::kFinished: {
+        // Crash between FINISHED and the exit-condition outcome.
+        Audit(AuditKind::kRecoveryResumed, inst->id, name, "was finished");
+        EXO_RETURN_NOT_OK(HandleFinished(inst, name));
+        break;
+      }
+      case ActivityState::kTerminated: {
+        // Complete any connector evaluations that were cut short.
+        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, name, /*all_false=*/false));
+        break;
+      }
+      case ActivityState::kDead: {
+        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, name, /*all_false=*/true));
+        break;
+      }
+    }
+  }
+  return CheckInstanceCompletion(inst);
+}
+
+}  // namespace exotica::wfrt

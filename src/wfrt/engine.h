@@ -1,0 +1,273 @@
+// The workflow engine: instantiates process templates and navigates them
+// (paper §3.2's execution rules, including dead path elimination, exit
+// condition rescheduling, blocks, manual activities via worklists, and
+// §3.3's forward recovery from a navigation journal).
+
+#ifndef EXOTICA_WFRT_ENGINE_H_
+#define EXOTICA_WFRT_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "org/directory.h"
+#include "org/worklist.h"
+#include "wf/process.h"
+#include "wfjournal/journal.h"
+#include "wfrt/audit.h"
+#include "wfrt/instance.h"
+#include "wfrt/program.h"
+
+namespace exotica::wfrt {
+
+/// \brief Engine tuning knobs.
+struct EngineOptions {
+  /// Cap on exit-condition reschedules per activity; 0 = unlimited.
+  /// FlowMark loops forever; the cap turns runaway loops into errors in
+  /// tests and benches.
+  int max_exit_retries = 100000;
+
+  /// Program crashes tolerated per activity before the engine gives up.
+  int max_program_failures = 64;
+
+  /// Evaluate unevaluable transition conditions (unset data, type errors)
+  /// as false instead of failing navigation.
+  bool condition_error_is_false = false;
+
+  /// Clock for worklist deadlines and audit timestamps.
+  const Clock* clock = nullptr;  ///< defaults to SystemClock
+};
+
+/// \brief Aggregate navigation counters.
+struct EngineStats {
+  uint64_t instances_started = 0;
+  uint64_t instances_finished = 0;
+  uint64_t activities_executed = 0;
+  uint64_t connectors_evaluated = 0;
+  uint64_t dead_path_terminations = 0;
+  uint64_t reschedules = 0;
+  uint64_t program_failures = 0;
+};
+
+/// \brief The navigator.
+///
+/// Single-threaded and deterministic: automatic activities execute in FIFO
+/// ready order; every trace is reproducible given deterministic programs.
+/// Concurrency in the modelled world (parallel saga branches, alternative
+/// paths) is expressed by graph structure, not threads.
+class Engine {
+ public:
+  /// `definitions` and `programs` must outlive the engine.
+  Engine(const wf::DefinitionStore* definitions, ProgramRegistry* programs,
+         EngineOptions options = {});
+
+  /// Attaches a navigation journal. Must happen before any StartProcess.
+  /// Every navigation step is appended before it is applied.
+  Status AttachJournal(wfjournal::Journal* journal);
+
+  /// Attaches the organization; enables manual activities and worklists.
+  Status AttachOrganization(const org::Directory* directory);
+
+  // --- driving --------------------------------------------------------------
+
+  /// Creates an instance of `process_name`. `input` (optional) must match
+  /// the process input container type. Returns the instance id. The
+  /// instance does not advance until Run().
+  Result<std::string> StartProcess(const std::string& process_name,
+                                   const data::Container* input = nullptr);
+
+  /// Executes automatic activities until quiescent: every instance is
+  /// finished or blocked on manual work items.
+  Status Run();
+
+  /// Convenience: StartProcess + Run; fails if the instance stalls on
+  /// manual work. Returns the instance id.
+  Result<std::string> RunToCompletion(const std::string& process_name,
+                                      const data::Container* input = nullptr);
+
+  // --- inspection -----------------------------------------------------------
+
+  Result<const ProcessInstance*> FindInstance(const std::string& id) const;
+  bool IsFinished(const std::string& id) const;
+  bool IsCancelled(const std::string& id) const;
+  bool IsSuspended(const std::string& id) const;
+  /// Output container of a finished instance.
+  Result<data::Container> OutputOf(const std::string& id) const;
+  Result<wf::ActivityState> StateOf(const std::string& id,
+                                    const std::string& activity) const;
+
+  const AuditTrail& audit() const { return audit_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Live monitoring hook (§3.3): called synchronously for every audit
+  /// event as navigation produces it. Keep the callback cheap; it runs on
+  /// the navigation path. Pass nullptr to detach.
+  using AuditObserver = std::function<void(const AuditEvent&)>;
+  void SetObserver(AuditObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Instance ids in creation order.
+  const std::vector<std::string>& instance_order() const {
+    return instance_order_;
+  }
+
+  // --- manual work ----------------------------------------------------------
+
+  org::WorklistService* worklists() { return worklists_.get(); }
+
+  /// Claims a posted work item for `person` (withdraws it everywhere else).
+  Status Claim(org::WorkItemId id, const std::string& person);
+
+  /// Runs the claimed item's program as `person`, completes the item, and
+  /// navigates onward (Run()).
+  Status ExecuteWorkItem(org::WorkItemId id, const std::string& person);
+
+  /// Completion report for an asynchronous activity: a program that
+  /// returned Status::Pending left its activity running; the external
+  /// system reports the outcome here. Journals the result and navigates
+  /// onward (Run()).
+  Status CompleteAsync(const std::string& instance_id,
+                       const std::string& activity,
+                       const data::Container& output);
+
+  /// User intervention (§3.3: "The user can ... force it to finish"):
+  /// completes a ready activity with the given output container without
+  /// running its program, then navigates onward.
+  Status ForceFinish(const std::string& instance_id,
+                     const std::string& activity,
+                     const data::Container& output);
+
+  /// Raises deadline notifications for overdue work items.
+  std::vector<org::Notification> CheckDeadlines();
+
+  // --- instance lifecycle control (§3.3 user intervention) -------------------
+
+  /// Pauses navigation of a top-level instance (and its block children):
+  /// ready automatic activities stop being dispatched and posted work
+  /// items are withdrawn. Journaled, so a suspension survives a crash.
+  Status SuspendInstance(const std::string& instance_id);
+
+  /// Resumes a suspended instance: ready activities are re-dispatched and
+  /// manual work items reposted. Follow with Run().
+  Status ResumeSuspended(const std::string& instance_id);
+
+  /// User-initiated termination of a top-level instance: every unsettled
+  /// activity (recursively through block children) is terminated via dead
+  /// path, work items are withdrawn, and the instance finishes in the
+  /// `cancelled` state without continuing into successors.
+  Status CancelInstance(const std::string& instance_id);
+
+  // --- recovery ---------------------------------------------------------------
+
+  /// Rebuilds all instances from the attached journal (replay), then
+  /// resumes every unfinished instance from the exact point of failure:
+  /// in-flight program activities are rescheduled from the beginning
+  /// (at-least-once), interrupted navigation steps (connector evaluation,
+  /// exit checks, joins) are completed. Call on a fresh engine; follow
+  /// with Run().
+  Status Recover();
+
+ private:
+  // Journaling helper; no-op without a journal.
+  Status JournalAppend(wfjournal::EventType type, const std::string& instance,
+                       const std::string& activity = "",
+                       const std::string& to = "", bool flag = false,
+                       std::string payload = "", std::string extra = "");
+
+  void Audit(AuditKind kind, const std::string& instance,
+             const std::string& activity = "", std::string detail = "");
+
+  std::string NewInstanceId();
+  Result<ProcessInstance*> MutableInstance(const std::string& id);
+
+  /// Creates (and journals) a new instance; readies its start activities.
+  Result<std::string> CreateInstance(const wf::ProcessDefinition* definition,
+                                     const data::Container* input,
+                                     const std::string& parent_instance,
+                                     const std::string& parent_activity);
+
+  /// Allocates runtime state for every activity and applies process-input
+  /// data connectors.
+  Status InitializeRuntimes(ProcessInstance* inst);
+
+  Status ReadyStartActivities(ProcessInstance* inst);
+  Status MakeReady(ProcessInstance* inst, const std::string& activity);
+  void Enqueue(const std::string& instance, const std::string& activity);
+
+  /// Runs one ready activity (program call or block spawn).
+  Status StartExecution(ProcessInstance* inst, const std::string& activity,
+                        const std::string& person);
+
+  /// Post-execution: exit condition check → terminate or reschedule.
+  Status HandleFinished(ProcessInstance* inst, const std::string& activity);
+
+  Status Reschedule(ProcessInstance* inst, const std::string& activity,
+                    const std::string& reason);
+
+  Status Terminate(ProcessInstance* inst, const std::string& activity);
+
+  /// Dead path elimination for one activity.
+  Status MarkDead(ProcessInstance* inst, const std::string& activity);
+
+  /// Evaluates this activity's not-yet-evaluated outgoing control
+  /// connectors (all false when `all_false`), journals them, and delivers
+  /// the signals.
+  Status EvaluateOutgoing(ProcessInstance* inst, const std::string& activity,
+                          bool all_false);
+
+  Status DeliverSignal(ProcessInstance* inst, const std::string& target,
+                       size_t connector_index, bool value);
+
+  /// Applies the join decision for a waiting activity from its recorded
+  /// incoming evaluations. Used on signal delivery and during recovery.
+  Status ApplyJoin(ProcessInstance* inst, const std::string& activity);
+
+  /// Pushes data connectors whose source is `activity`.
+  Status PushData(ProcessInstance* inst, const std::string& activity);
+
+  Status CheckInstanceCompletion(ProcessInstance* inst);
+
+  /// Parent-side continuation when a block child finishes.
+  Status ContinueParent(ProcessInstance* child);
+
+  // Lifecycle helpers shared by the public API and journal replay.
+  Status ApplySuspend(ProcessInstance* inst);
+  Status ApplyResume(ProcessInstance* inst);
+  Status ApplyCancel(ProcessInstance* inst);
+
+  // Recovery passes.
+  Status ReplayRecord(const wfjournal::Record& record);
+  Status ResumeAfterReplay(ProcessInstance* inst);
+
+  const wf::DefinitionStore* definitions_;
+  ProgramRegistry* programs_;
+  EngineOptions options_;
+  const Clock* clock_;
+
+  wfjournal::Journal* journal_ = nullptr;
+  const org::Directory* directory_ = nullptr;
+  std::unique_ptr<org::WorklistService> worklists_;
+
+  std::map<std::string, ProcessInstance> instances_;
+  std::vector<std::string> instance_order_;
+  uint64_t next_instance_ = 1;
+
+  std::deque<std::pair<std::string, std::string>> ready_queue_;
+  std::set<std::pair<std::string, std::string>> enqueued_;
+
+  AuditTrail audit_;
+  AuditObserver observer_;
+  EngineStats stats_;
+  bool recovering_ = false;
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "wfrt/fleet.h"
+
+#include <thread>
+
+namespace exotica::wfrt {
+
+EngineFleet::EngineFleet(const wf::DefinitionStore* definitions,
+                         ProgramRegistry* programs, int engines,
+                         EngineOptions options)
+    : definitions_(definitions) {
+  if (engines < 1) engines = 1;
+  engines_.reserve(static_cast<size_t>(engines));
+  for (int i = 0; i < engines; ++i) {
+    engines_.push_back(std::make_unique<Engine>(definitions, programs,
+                                                options));
+  }
+}
+
+Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
+    const std::string& process_name, int count, const data::Container* input) {
+  EXO_RETURN_NOT_OK(definitions_->FindProcess(process_name).status());
+  if (count < 0) {
+    return Status::InvalidArgument("instance count must be non-negative");
+  }
+
+  // Per-engine share, round-robin remainder.
+  std::vector<int> share(engines_.size(), count / static_cast<int>(engines_.size()));
+  for (int i = 0; i < count % static_cast<int>(engines_.size()); ++i) {
+    ++share[static_cast<size_t>(i)];
+  }
+
+  BatchResult result;
+  result.errors.assign(engines_.size(), "");
+
+  std::vector<std::thread> workers;
+  workers.reserve(engines_.size());
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    workers.emplace_back([this, e, &share, &process_name, input, &result] {
+      Engine* engine = engines_[e].get();
+      for (int i = 0; i < share[e]; ++i) {
+        auto id = engine->StartProcess(process_name, input);
+        if (!id.ok()) {
+          result.errors[e] = id.status().ToString();
+          return;
+        }
+        Status st = engine->Run();
+        if (!st.ok()) {
+          result.errors[e] = st.ToString();
+          return;
+        }
+        if (!engine->IsFinished(*id)) {
+          result.errors[e] = "instance " + *id + " stalled (manual work?)";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  for (const auto& engine : engines_) {
+    const EngineStats& s = engine->stats();
+    result.aggregate.instances_started += s.instances_started;
+    result.aggregate.instances_finished += s.instances_finished;
+    result.aggregate.activities_executed += s.activities_executed;
+    result.aggregate.connectors_evaluated += s.connectors_evaluated;
+    result.aggregate.dead_path_terminations += s.dead_path_terminations;
+    result.aggregate.reschedules += s.reschedules;
+    result.aggregate.program_failures += s.program_failures;
+    result.instances_finished += s.instances_finished;
+  }
+  return result;
+}
+
+}  // namespace exotica::wfrt

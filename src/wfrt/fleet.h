@@ -1,0 +1,63 @@
+// EngineFleet: scale-out across engines (paper §3.3: workflow systems are
+// "orders of magnitude more heterogeneous and distributed than
+// databases").
+//
+// Each worker thread owns one Engine exclusively; the fleet shares only
+// immutable state (the DefinitionStore and the ProgramRegistry bindings —
+// both read-only while the fleet runs) plus whatever thread-safe
+// resources the bound programs touch (e.g. multidatabase sites). This is
+// the FlowMark deployment model in miniature: navigation is per-server,
+// the contended resources are the data sites.
+
+#ifndef EXOTICA_WFRT_FLEET_H_
+#define EXOTICA_WFRT_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wfrt/engine.h"
+
+namespace exotica::wfrt {
+
+/// \brief A set of independent engines driven by worker threads.
+class EngineFleet {
+ public:
+  /// `definitions` and `programs` must outlive the fleet and must not be
+  /// mutated while a batch runs. Program callables must be thread-safe.
+  EngineFleet(const wf::DefinitionStore* definitions,
+              ProgramRegistry* programs, int engines,
+              EngineOptions options = {});
+
+  int size() const { return static_cast<int>(engines_.size()); }
+  Engine* engine(int i) { return engines_[static_cast<size_t>(i)].get(); }
+
+  struct BatchResult {
+    uint64_t instances_finished = 0;
+    EngineStats aggregate;
+    /// First error per engine, if any (empty strings for clean engines).
+    std::vector<std::string> errors;
+    bool ok() const {
+      for (const std::string& e : errors) {
+        if (!e.empty()) return false;
+      }
+      return true;
+    }
+  };
+
+  /// Starts `count` instances of `process_name`, spread round-robin over
+  /// the engines, and drives them to completion in parallel (one thread
+  /// per engine). Instances must not stall on manual work.
+  Result<BatchResult> RunBatch(const std::string& process_name, int count,
+                               const data::Container* input = nullptr);
+
+ private:
+  const wf::DefinitionStore* definitions_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_FLEET_H_

@@ -1,0 +1,90 @@
+// Runtime state of process instances.
+
+#ifndef EXOTICA_WFRT_INSTANCE_H_
+#define EXOTICA_WFRT_INSTANCE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/container.h"
+#include "org/worklist.h"
+#include "wf/process.h"
+
+namespace exotica::wfrt {
+
+/// \brief Per-activity runtime state inside one instance.
+struct ActivityRuntime {
+  wf::ActivityState state = wf::ActivityState::kWaiting;
+
+  data::Container input;
+  data::Container output;
+
+  /// 1-based attempt counter (reschedules and program failures bump it).
+  int attempt = 0;
+
+  /// Consecutive program-crash count (reset on successful completion).
+  int failures = 0;
+
+  /// Incoming control connector evaluations: connector index → value.
+  std::map<size_t, bool> incoming_eval;
+
+  /// Outgoing control connector indices already evaluated (journaled).
+  std::map<size_t, bool> outgoing_eval;
+
+  /// Work item for manual activities currently posted/claimed.
+  std::optional<org::WorkItemId> work_item;
+
+  /// Child instance id for running process (block) activities.
+  std::string child_instance;
+};
+
+/// \brief One executing process.
+struct ProcessInstance {
+  std::string id;
+  const wf::ProcessDefinition* definition = nullptr;
+
+  data::Container input;
+  data::Container output;
+
+  std::map<std::string, ActivityRuntime> activities;
+
+  bool finished = false;
+  bool cancelled = false;  ///< finished via user termination
+  bool suspended = false;  ///< navigation paused by the user
+
+  /// Parent link for block children (empty for top-level instances).
+  std::string parent_instance;
+  std::string parent_activity;
+
+  bool is_child() const { return !parent_instance.empty(); }
+
+  /// Counts activities currently in `state`.
+  size_t CountInState(wf::ActivityState state) const {
+    size_t n = 0;
+    for (const auto& [name, rt] : activities) {
+      (void)name;
+      if (rt.state == state) ++n;
+    }
+    return n;
+  }
+
+  /// The process is finished when every activity is terminated or dead
+  /// (paper §3.2: "The process is considered finished when all its
+  /// activities are in the terminated state").
+  bool AllSettled() const {
+    for (const auto& [name, rt] : activities) {
+      (void)name;
+      if (rt.state != wf::ActivityState::kTerminated &&
+          rt.state != wf::ActivityState::kDead) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_INSTANCE_H_

@@ -1,0 +1,45 @@
+#include "wfrt/program.h"
+
+namespace exotica::wfrt {
+
+Status ProgramRegistry::Bind(const std::string& name, ProgramFn fn) {
+  if (name.empty()) {
+    return Status::InvalidArgument("program binding name may not be empty");
+  }
+  if (fns_.count(name) > 0) {
+    return Status::AlreadyExists("program already bound: " + name);
+  }
+  if (!fn) {
+    return Status::InvalidArgument("program binding for " + name + " is null");
+  }
+  fns_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+Status ProgramRegistry::Rebind(const std::string& name, ProgramFn fn) {
+  if (!fn) {
+    return Status::InvalidArgument("program binding for " + name + " is null");
+  }
+  fns_[name] = std::move(fn);
+  return Status::OK();
+}
+
+Result<const ProgramFn*> ProgramRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("no program bound for name: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ProgramRegistry::BoundNames() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace exotica::wfrt

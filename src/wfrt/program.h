@@ -1,0 +1,58 @@
+// Runtime program bindings.
+//
+// The definition layer declares programs (name + container shapes); the
+// runtime binds those names to callables. This mirrors FlowMark's split
+// between program registration and program execution (paper §3.3: "once a
+// program is registered it can be invoked from any activity. An API
+// interface is provided so the programs can access the data containers").
+
+#ifndef EXOTICA_WFRT_PROGRAM_H_
+#define EXOTICA_WFRT_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/container.h"
+
+namespace exotica::wfrt {
+
+/// \brief Execution context handed to a program invocation.
+struct ProgramContext {
+  std::string instance_id;   ///< process instance being navigated
+  std::string activity;      ///< activity name
+  int attempt = 1;           ///< 1-based; >1 after reschedules / failures
+  std::string person;        ///< who started it (manual activities), else ""
+};
+
+/// \brief A bound program. Reads the input container, writes the output
+/// container (by convention at least `RC`). Returning a non-OK Status
+/// models a program *crash* — FlowMark reschedules the activity from the
+/// beginning (at-least-once); a transaction that merely aborts is a
+/// *successful* program run that reports RC <> 0.
+using ProgramFn = std::function<Status(
+    const data::Container& input, data::Container* output,
+    const ProgramContext& context)>;
+
+/// \brief Name → callable bindings.
+class ProgramRegistry {
+ public:
+  Status Bind(const std::string& name, ProgramFn fn);
+
+  /// Replaces an existing binding (fault-injection tests rebind).
+  Status Rebind(const std::string& name, ProgramFn fn);
+
+  bool IsBound(const std::string& name) const { return fns_.count(name) > 0; }
+  Result<const ProgramFn*> Find(const std::string& name) const;
+  std::vector<std::string> BoundNames() const;
+
+ private:
+  std::map<std::string, ProgramFn> fns_;
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_PROGRAM_H_

@@ -1,0 +1,391 @@
+#include "wfsim/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "data/container.h"
+#include "expr/eval.h"
+
+namespace exotica::wfsim {
+
+Micros DurationModel::Sample(Rng* rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return a >= b ? a : rng->Uniform(a, b);
+    case Kind::kExponential: {
+      double u = rng->NextDouble();
+      if (u <= 0.0) u = 1e-12;
+      return static_cast<Micros>(-static_cast<double>(a) * std::log(u));
+    }
+  }
+  return 0;
+}
+
+int64_t ActivityProfile::SampleRc(Rng* rng) const {
+  double u = rng->NextDouble();
+  double acc = 0.0;
+  for (const auto& [rc, p] : rc_distribution) {
+    acc += p;
+    if (u < acc) return rc;
+  }
+  return rc_distribution.empty() ? 0 : rc_distribution.back().first;
+}
+
+Micros SimResult::MakespanMean() const {
+  if (makespans.empty()) return 0;
+  long double sum = 0;
+  for (Micros m : makespans) sum += static_cast<long double>(m);
+  return static_cast<Micros>(sum / static_cast<long double>(makespans.size()));
+}
+
+Micros SimResult::MakespanPercentile(double p) const {
+  if (makespans.empty()) return 0;
+  double idx = p * static_cast<double>(makespans.size() - 1);
+  return makespans[static_cast<size_t>(idx)];
+}
+
+Micros SimResult::MakespanMax() const {
+  return makespans.empty() ? 0 : makespans.back();
+}
+
+namespace {
+
+using wf::ActivityState;
+
+/// One virtual execution of one process tree.
+class Trial {
+ public:
+  Trial(const wf::DefinitionStore& store, const SimConfig& config, Rng* rng,
+        SimResult* result)
+      : store_(store), config_(config), rng_(rng), result_(result) {}
+
+  /// Runs the root process; returns the makespan.
+  Result<Micros> Run(const wf::ProcessDefinition* root) {
+    EXO_RETURN_NOT_OK(Spawn(root, 0, -1, ""));
+    EXO_RETURN_NOT_OK(Loop());
+    return finish_time_;
+  }
+
+ private:
+  struct SimActivity {
+    ActivityState state = ActivityState::kWaiting;
+    std::map<size_t, bool> incoming;
+    int attempts = 0;
+    int64_t rc = 0;
+    Micros queued_at = 0;  ///< manual: when it entered the role queue
+  };
+
+  struct SimInstance {
+    const wf::ProcessDefinition* def = nullptr;
+    std::map<std::string, SimActivity> acts;
+    bool finished = false;
+    int parent = -1;
+    std::string parent_activity;
+  };
+
+  struct Event {
+    Micros at;
+    uint64_t seq;
+    int instance;
+    std::string activity;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  const ActivityProfile& ProfileOf(const std::string& name) const {
+    auto it = config_.profiles.find(name);
+    return it == config_.profiles.end() ? config_.default_profile : it->second;
+  }
+
+  int RoleCapacity(const std::string& role) {
+    auto it = config_.role_capacity.find(role);
+    return it == config_.role_capacity.end() ? 1 : it->second;
+  }
+
+  Status Spawn(const wf::ProcessDefinition* def, Micros now, int parent,
+               const std::string& parent_activity) {
+    SimInstance inst;
+    inst.def = def;
+    inst.parent = parent;
+    inst.parent_activity = parent_activity;
+    for (const wf::Activity& a : def->activities()) {
+      inst.acts.emplace(a.name, SimActivity{});
+    }
+    instances_.push_back(std::move(inst));
+    int idx = static_cast<int>(instances_.size()) - 1;
+    for (const std::string& name : def->StartActivities()) {
+      EXO_RETURN_NOT_OK(MakeReady(idx, name, now));
+    }
+    return Status::OK();
+  }
+
+  Status MakeReady(int idx, const std::string& name, Micros now) {
+    SimInstance& inst = instances_[idx];
+    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                         inst.def->FindActivity(name));
+    inst.acts[name].state = ActivityState::kReady;
+    if (def->start_mode == wf::StartMode::kManual) {
+      // Queue for a person in the role.
+      std::string role = def->role;
+      int& available = role_available_.try_emplace(role, RoleCapacity(role))
+                           .first->second;
+      if (available > 0) {
+        --available;
+        return StartActivity(idx, name, now);
+      }
+      inst.acts[name].queued_at = now;
+      role_queue_[role].push_back({idx, name});
+      return Status::OK();
+    }
+    return StartActivity(idx, name, now);
+  }
+
+  Status StartActivity(int idx, const std::string& name, Micros now) {
+    SimInstance& inst = instances_[idx];
+    SimActivity& act = inst.acts[name];
+    act.state = ActivityState::kRunning;
+    ++act.attempts;
+    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                         inst.def->FindActivity(name));
+    ActivityStats& stats = result_->activities[name];
+    ++stats.executions;
+
+    if (def->is_process()) {
+      // Block: the child runs; completion is driven by the child's
+      // finish, not a sampled duration.
+      EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
+                           store_.FindProcess(def->subprocess));
+      return Spawn(sub, now, idx, name);
+    }
+    Micros duration = ProfileOf(name).duration.Sample(rng_);
+    stats.busy_micros += duration;
+    if (def->start_mode == wf::StartMode::kManual) {
+      RoleStats& rs = result_->roles[def->role];
+      rs.capacity = RoleCapacity(def->role);
+      rs.busy_micros += duration;
+    }
+    events_.push(Event{now + duration, seq_++, idx, name});
+    return Status::OK();
+  }
+
+  Status CompleteActivity(int idx, const std::string& name, Micros now) {
+    SimInstance& inst = instances_[idx];
+    SimActivity& act = inst.acts[name];
+    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                         inst.def->FindActivity(name));
+    act.rc = ProfileOf(name).SampleRc(rng_);
+
+    int64_t rc = act.rc;
+    int attempts = act.attempts;
+
+    // Release the person before the exit-condition check; a rescheduled
+    // manual activity queues again. (May start a queued waiter, which can
+    // spawn instances — use the local copies afterwards.)
+    if (def->start_mode == wf::StartMode::kManual) {
+      EXO_RETURN_NOT_OK(ReleaseRole(def->role, now));
+    }
+
+    // Exit condition over an RC-only view of the output container.
+    if (!def->exit_condition.is_trivial()) {
+      EXO_ASSIGN_OR_RETURN(bool ok, EvalCondition(def->exit_condition, *def,
+                                                  rc));
+      if (!ok) {
+        if (attempts >= config_.max_exit_retries) {
+          return Status::FailedPrecondition(
+              "simulated activity " + name + " exceeded exit retries");
+        }
+        return MakeReady(idx, name, now);
+      }
+    }
+    return Terminate(idx, name, now);
+  }
+
+  Status ReleaseRole(const std::string& role, Micros now) {
+    auto q = role_queue_.find(role);
+    if (q != role_queue_.end() && !q->second.empty()) {
+      auto [widx, wname] = q->second.front();
+      q->second.pop_front();
+      SimActivity& waiter = instances_[widx].acts[wname];
+      Micros waited = now - waiter.queued_at;
+      result_->activities[wname].queue_micros += waited;
+      result_->roles[role].queue_micros += waited;
+      return StartActivity(widx, wname, now);
+    }
+    ++role_available_[role];
+    return Status::OK();
+  }
+
+  Result<bool> EvalCondition(const expr::Condition& condition,
+                             const wf::Activity& def, int64_t rc) {
+    EXO_ASSIGN_OR_RETURN(data::Container out,
+                         data::Container::Create(store_.types(),
+                                                 def.output_type));
+    if (out.HasPath("RC")) {
+      EXO_RETURN_NOT_OK(out.Set("RC", data::Value(rc)));
+    }
+    expr::ContainerResolver resolver(out);
+    Result<bool> r = condition.Evaluate(resolver);
+    // Data flow is not simulated: conditions over unset members are
+    // design-time unknowns and evaluate false, like the engine's lenient
+    // mode.
+    if (!r.ok()) return false;
+    return r;
+  }
+
+  Status Terminate(int idx, const std::string& name, Micros now) {
+    SimInstance& inst = instances_[idx];
+    inst.acts[name].state = ActivityState::kTerminated;
+    EXO_RETURN_NOT_OK(EvaluateOutgoing(idx, name, /*all_false=*/false, now));
+    return CheckCompletion(idx, now);
+  }
+
+  Status MarkDead(int idx, const std::string& name, Micros now) {
+    SimInstance& inst = instances_[idx];
+    inst.acts[name].state = ActivityState::kDead;
+    ++result_->activities[name].dead;
+    EXO_RETURN_NOT_OK(EvaluateOutgoing(idx, name, /*all_false=*/true, now));
+    return CheckCompletion(idx, now);
+  }
+
+  Status EvaluateOutgoing(int idx, const std::string& name, bool all_false,
+                          Micros now) {
+    SimInstance& inst = instances_[idx];
+    const auto& connectors = inst.def->control_connectors();
+    std::vector<size_t> outs = inst.def->OutgoingControl(name);
+    bool any_true = false;
+    std::vector<std::pair<size_t, bool>> fresh;
+    for (size_t i : outs) {
+      const wf::ControlConnector& c = connectors[i];
+      if (c.is_otherwise) continue;
+      bool value = false;
+      if (!all_false) {
+        EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                             inst.def->FindActivity(name));
+        EXO_ASSIGN_OR_RETURN(value, EvalCondition(c.condition, *def,
+                                                  inst.acts[name].rc));
+      }
+      any_true = any_true || value;
+      fresh.emplace_back(i, value);
+    }
+    for (size_t i : outs) {
+      const wf::ControlConnector& c = connectors[i];
+      if (!c.is_otherwise) continue;
+      fresh.emplace_back(i, all_false ? false : !any_true);
+    }
+    for (auto [i, value] : fresh) {
+      EXO_RETURN_NOT_OK(Deliver(idx, connectors[i].to, i, value, now));
+    }
+    return Status::OK();
+  }
+
+  Status Deliver(int idx, const std::string& target, size_t connector,
+                 bool value, Micros now) {
+    SimInstance& inst = instances_[idx];
+    SimActivity& act = inst.acts[target];
+    act.incoming[connector] = value;
+    if (act.state != ActivityState::kWaiting) return Status::OK();
+    std::vector<size_t> incoming = inst.def->IncomingControl(target);
+    size_t evaluated = 0, trues = 0;
+    for (size_t i : incoming) {
+      auto it = act.incoming.find(i);
+      if (it == act.incoming.end()) continue;
+      ++evaluated;
+      if (it->second) ++trues;
+    }
+    if (evaluated < incoming.size()) return Status::OK();
+    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
+                         inst.def->FindActivity(target));
+    bool start = def->join == wf::JoinKind::kAnd ? trues == incoming.size()
+                                                 : trues > 0;
+    return start ? MakeReady(idx, target, now) : MarkDead(idx, target, now);
+  }
+
+  Status CheckCompletion(int idx, Micros now) {
+    SimInstance& inst = instances_[idx];
+    if (inst.finished) return Status::OK();
+    for (const auto& [name, act] : inst.acts) {
+      (void)name;
+      if (act.state != ActivityState::kTerminated &&
+          act.state != ActivityState::kDead) {
+        return Status::OK();
+      }
+    }
+    inst.finished = true;
+    if (inst.parent < 0) {
+      finish_time_ = now;
+      return Status::OK();
+    }
+    // Block continuation: the parent activity completes now.
+    int pidx = inst.parent;
+    std::string pact = inst.parent_activity;
+    return CompleteActivity(pidx, pact, now);
+  }
+
+  Status Loop() {
+    while (!events_.empty()) {
+      Event e = events_.top();
+      events_.pop();
+      EXO_RETURN_NOT_OK(CompleteActivity(e.instance, e.activity, e.at));
+    }
+    if (!instances_.empty() && !instances_[0].finished) {
+      return Status::Internal("simulation deadlocked: root never finished");
+    }
+    return Status::OK();
+  }
+
+  const wf::DefinitionStore& store_;
+  const SimConfig& config_;
+  Rng* rng_;
+  SimResult* result_;
+
+  // deque: references to instances stay valid while new ones are spawned.
+  std::deque<SimInstance> instances_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t seq_ = 0;
+  std::map<std::string, int> role_available_;
+  std::map<std::string, std::deque<std::pair<int, std::string>>> role_queue_;
+  Micros finish_time_ = 0;
+};
+
+}  // namespace
+
+Result<SimResult> Simulate(const wf::DefinitionStore& store,
+                           const std::string& process_name,
+                           const SimConfig& config) {
+  EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* root,
+                       store.FindProcess(process_name));
+  if (config.trials <= 0) {
+    return Status::InvalidArgument("trials must be positive");
+  }
+  for (const auto& [name, profile] : config.profiles) {
+    (void)name;
+    double total = 0;
+    for (const auto& [rc, p] : profile.rc_distribution) {
+      (void)rc;
+      if (p < 0) return Status::InvalidArgument("negative RC probability");
+      total += p;
+    }
+    if (total < 0.999 || total > 1.001) {
+      return Status::InvalidArgument(
+          "RC distribution for " + name + " sums to " + std::to_string(total));
+    }
+  }
+
+  SimResult result;
+  result.trials = config.trials;
+  Rng rng(config.seed);
+  for (int t = 0; t < config.trials; ++t) {
+    Trial trial(store, config, &rng, &result);
+    EXO_ASSIGN_OR_RETURN(Micros makespan, trial.Run(root));
+    result.makespans.push_back(makespan);
+  }
+  std::sort(result.makespans.begin(), result.makespans.end());
+  return result;
+}
+
+}  // namespace exotica::wfsim

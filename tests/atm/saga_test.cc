@@ -1,0 +1,196 @@
+// Native saga executor: the GMS87 guarantee — either T1..Tn runs, or
+// T1..Tj; Cj..C1 for some 0 <= j < n (paper §4.1).
+
+#include "atm/saga.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/multidb.h"
+
+namespace exotica::atm {
+namespace {
+
+SagaSpec LinearSaga(int n) {
+  SagaSpec spec("S");
+  for (int i = 1; i <= n; ++i) spec.Then("T" + std::to_string(i));
+  return spec;
+}
+
+TEST(SagaSpecTest, ValidationCatchesProblems) {
+  EXPECT_TRUE(SagaSpec("empty").Validate().IsValidationError());
+
+  SagaSpec dup("dup");
+  dup.Then("T1").Then("T1");
+  EXPECT_TRUE(dup.Validate().IsValidationError());
+
+  SagaSpec ghost("ghost");
+  ghost.Step("T1", {"T9"});
+  EXPECT_TRUE(ghost.Validate().IsValidationError());
+
+  SagaSpec self("self");
+  self.Step("T1", {"T1"});
+  EXPECT_TRUE(self.Validate().IsValidationError());
+
+  SagaSpec cyc("cyc");
+  cyc.Step("A", {"B"}).Step("B", {"A"});
+  EXPECT_TRUE(cyc.Validate().IsValidationError());
+
+  EXPECT_TRUE(LinearSaga(3).Validate().ok());
+}
+
+TEST(SagaSpecTest, LinearityDetection) {
+  EXPECT_TRUE(LinearSaga(4).IsLinear());
+  SagaSpec par("par");
+  par.Step("A", {}).Step("B", {}).Step("C", {"A", "B"});
+  EXPECT_FALSE(par.IsLinear());
+  EXPECT_TRUE(par.Validate().ok());
+}
+
+TEST(SagaSpecTest, ProgramNameDefaults) {
+  SagaSpec s("s");
+  s.Then("T1");
+  EXPECT_EQ(SagaSpec::ProgramOf(s.steps()[0]), "T1");
+  EXPECT_EQ(SagaSpec::CompensationProgramOf(s.steps()[0]), "T1_comp");
+  s.Then("T2").WithPrograms("book", "unbook");
+  EXPECT_EQ(SagaSpec::ProgramOf(s.steps()[1]), "book");
+  EXPECT_EQ(SagaSpec::CompensationProgramOf(s.steps()[1]), "unbook");
+}
+
+// The headline guarantee, checked at every abort point j of a 5-step
+// linear saga.
+class SagaGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SagaGuaranteeTest, EitherAllOrPrefixCompensatedInReverse) {
+  const int n = 5;
+  const int j = GetParam();  // steps before the aborting one
+  ScriptedRunner runner;
+  if (j < n) runner.AlwaysAbort("T" + std::to_string(j + 1));
+
+  SagaExecutor executor(&runner);
+  auto outcome = executor.Execute(LinearSaga(n));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  if (j == n) {
+    EXPECT_TRUE(outcome->committed);
+    EXPECT_EQ(outcome->executed.size(), static_cast<size_t>(n));
+    EXPECT_TRUE(outcome->compensated.empty());
+    return;
+  }
+  EXPECT_FALSE(outcome->committed);
+  // T1..Tj committed.
+  std::vector<std::string> want_executed;
+  for (int i = 1; i <= j; ++i) want_executed.push_back("T" + std::to_string(i));
+  EXPECT_EQ(outcome->executed, want_executed);
+  // Cj..C1 in reverse order.
+  std::vector<std::string> want_compensated(want_executed.rbegin(),
+                                            want_executed.rend());
+  EXPECT_EQ(outcome->compensated, want_compensated);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAbortPoints, SagaGuaranteeTest,
+                         ::testing::Range(0, 6));
+
+TEST(SagaExecutorTest, CompensationRetriedUntilSuccess) {
+  ScriptedRunner runner;
+  runner.AlwaysAbort("T3");
+  runner.FailCompensationFirst("T1", 4);
+  SagaExecutor executor(&runner);
+  auto outcome = executor.Execute(LinearSaga(3));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->committed);
+  EXPECT_EQ(runner.compensation_attempts("T1"), 5);
+  // The failed compensation attempts show in the trace.
+  int failures = 0;
+  for (const TraceEvent& e : outcome->trace) {
+    if (e.action == TraceAction::kCompensationFailed) ++failures;
+  }
+  EXPECT_EQ(failures, 4);
+}
+
+TEST(SagaExecutorTest, CompensationRetryCapIsAnError) {
+  ScriptedRunner runner;
+  runner.AlwaysAbort("T2");
+  runner.FailCompensationFirst("T1", 1000000);
+  SagaExecutor::Options opts;
+  opts.max_compensation_retries = 10;
+  SagaExecutor executor(&runner, opts);
+  auto outcome = executor.Execute(LinearSaga(2));
+  EXPECT_TRUE(outcome.status().IsFailedPrecondition());
+}
+
+TEST(SagaExecutorTest, ParallelSagaCompensatesCommittedInReverse) {
+  // A and B are independent; C needs both. B aborts: only A compensates.
+  SagaSpec spec("par");
+  spec.Step("A", {}).Step("B", {"A"}).Step("X", {"A"}).Step("C", {"B", "X"});
+  ScriptedRunner runner;
+  runner.AlwaysAbort("X");
+  SagaExecutor executor(&runner);
+  auto outcome = executor.Execute(spec);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->committed);
+  EXPECT_EQ(outcome->executed, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(outcome->compensated, (std::vector<std::string>{"B", "A"}));
+}
+
+TEST(SagaExecutorTest, RunsAgainstRealMultiDatabase) {
+  txn::MultiDatabase mdb;
+  ASSERT_TRUE(mdb.AddSite("bank").ok());
+  ASSERT_TRUE(mdb.AddSite("airline").ok());
+
+  MultiDbRunner runner(&mdb);
+  ASSERT_TRUE(runner
+                  .Register({"Pay", "bank",
+                             [](txn::Transaction& t) {
+                               return t.Put("balance",
+                                            data::Value(int64_t{-100}));
+                             },
+                             [](txn::Transaction& t) {
+                               return t.Put("balance", data::Value(int64_t{0}));
+                             }})
+                  .ok());
+  ASSERT_TRUE(runner
+                  .Register({"Book", "airline",
+                             [](txn::Transaction& t) {
+                               return t.Put("seat", data::Value("12A"));
+                             },
+                             [](txn::Transaction& t) { return t.Erase("seat"); }})
+                  .ok());
+
+  SagaSpec spec("trip");
+  spec.Then("Pay").Then("Book");
+
+  // Airline refuses: Pay must be compensated.
+  (*mdb.site("airline"))->FailNextCommits(1);
+  SagaExecutor executor(&runner);
+  auto outcome = executor.Execute(spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->committed);
+  EXPECT_EQ((*mdb.site("bank"))->ReadCommitted("balance")->as_long(), 0);
+  EXPECT_TRUE((*mdb.site("airline"))->ReadCommitted("seat")->is_null());
+
+  // Second try succeeds end to end.
+  auto retry = executor.Execute(spec);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->committed);
+  EXPECT_EQ((*mdb.site("bank"))->ReadCommitted("balance")->as_long(), -100);
+  EXPECT_EQ((*mdb.site("airline"))->ReadCommitted("seat")->as_string(), "12A");
+}
+
+TEST(MultiDbRunnerTest, MissingPiecesSurface) {
+  txn::MultiDatabase mdb;
+  ASSERT_TRUE(mdb.AddSite("s").ok());
+  MultiDbRunner runner(&mdb);
+  EXPECT_TRUE(runner.Run("ghost").status().IsNotFound());
+  EXPECT_TRUE(
+      runner.Register({"x", "nosite", [](txn::Transaction&) { return Status::OK(); },
+                       nullptr})
+          .IsNotFound());
+  ASSERT_TRUE(
+      runner.Register({"nc", "s", [](txn::Transaction&) { return Status::OK(); },
+                       nullptr})
+          .ok());
+  EXPECT_TRUE(runner.Compensate("nc").status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace exotica::atm

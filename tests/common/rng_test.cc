@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+TEST(RngTest, SkewedStaysInRangeAndSkews) {
+  Rng rng(4);
+  size_t low = 0;
+  constexpr size_t kN = 100;
+  for (int i = 0; i < 10000; ++i) {
+    size_t v = rng.Skewed(kN, 0.9);
+    ASSERT_LT(v, kN);
+    if (v < kN / 10) ++low;
+  }
+  // With strong skew most picks land in the low decile.
+  EXPECT_GT(low, 5000u);
+  EXPECT_EQ(rng.Skewed(1, 0.5), 0u);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/result.h"
+
+namespace exotica {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::NotFound("thing missing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "thing missing");
+  EXPECT_EQ(st.ToString(), "NotFound: thing missing");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kPending); ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 15u);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IOError("disk on fire").WithContext("writing journal");
+  EXPECT_EQ(st.message(), "writing journal: disk on fire");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualSemantics) {
+  Status a = Status::Aborted("x");
+  Status b = a;
+  EXPECT_TRUE(b.IsAborted());
+  EXPECT_EQ(b.message(), "x");
+}
+
+Status Fails() { return Status::Timeout("too slow"); }
+Status Propagates() {
+  EXO_RETURN_NOT_OK(Fails());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsTimeout());
+}
+
+Result<int> GiveInt(bool ok) {
+  if (!ok) return Status::InvalidArgument("nope");
+  return 41;
+}
+
+Result<int> UseInt(bool ok) {
+  EXO_ASSIGN_OR_RETURN(int v, GiveInt(ok));
+  return v + 1;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto good = UseInt(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  auto bad = UseInt(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(GiveInt(false).ValueOr(7), 7);
+  EXPECT_EQ(GiveInt(true).ValueOr(7), 41);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  auto make = [](bool ok) -> Result<std::unique_ptr<int>> {
+    if (!ok) return Status::NotFound("x");
+    return std::make_unique<int>(5);
+  };
+  auto r = make(true);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace exotica

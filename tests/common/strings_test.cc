@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, CaseConversions) {
+  EXPECT_EQ(ToUpper("MixedCase_1"), "MIXEDCASE_1");
+  EXPECT_EQ(ToLower("MixedCase_1"), "mixedcase_1");
+  EXPECT_TRUE(EqualsIgnoreCase("HeLLo", "hEllo"));
+  EXPECT_FALSE(EqualsIgnoreCase("hello", "hello "));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("exo_nop_x", "exo_nop_"));
+  EXPECT_FALSE(StartsWith("exo", "exo_nop_"));
+  EXPECT_TRUE(EndsWith("a.log", ".log"));
+  EXPECT_FALSE(EndsWith("log", ".log"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringsTest, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\rf";
+  std::string out;
+  ASSERT_TRUE(UnescapeQuoted(EscapeQuoted(nasty), &out));
+  EXPECT_EQ(out, nasty);
+}
+
+TEST(StringsTest, UnescapeRejectsBadEscapes) {
+  std::string out;
+  EXPECT_FALSE(UnescapeQuoted("bad\\x", &out));
+  EXPECT_FALSE(UnescapeQuoted("trailing\\", &out));
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,90 @@
+#include "data/types.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::data {
+namespace {
+
+TEST(TypesTest, DefaultTypeIsPreRegistered) {
+  TypeRegistry reg;
+  EXPECT_TRUE(reg.Has(TypeRegistry::kDefaultTypeName));
+  auto leaves = reg.Flatten(TypeRegistry::kDefaultTypeName);
+  ASSERT_TRUE(leaves.ok());
+  ASSERT_EQ(leaves->size(), 1u);
+  EXPECT_EQ((*leaves)[0].path, "RC");
+  EXPECT_EQ((*leaves)[0].type, ScalarType::kLong);
+  EXPECT_EQ((*leaves)[0].default_value, Value(int64_t{0}));
+}
+
+TEST(TypesTest, DuplicateMemberRejected) {
+  StructType t("T");
+  ASSERT_TRUE(t.AddScalar("a", ScalarType::kLong).ok());
+  EXPECT_TRUE(t.AddScalar("a", ScalarType::kString).IsAlreadyExists());
+  EXPECT_TRUE(t.AddStruct("a", "X").IsAlreadyExists());
+}
+
+TEST(TypesTest, NestedFlattening) {
+  TypeRegistry reg;
+  StructType addr("Addr");
+  ASSERT_TRUE(addr.AddScalar("City", ScalarType::kString).ok());
+  ASSERT_TRUE(addr.AddScalar("Zip", ScalarType::kLong).ok());
+  ASSERT_TRUE(reg.Register(std::move(addr)).ok());
+
+  StructType person("Person");
+  ASSERT_TRUE(person.AddScalar("Name", ScalarType::kString).ok());
+  ASSERT_TRUE(person.AddStruct("Home", "Addr").ok());
+  ASSERT_TRUE(person.AddStruct("Work", "Addr").ok());
+  ASSERT_TRUE(reg.Register(std::move(person)).ok());
+
+  auto leaves = reg.Flatten("Person");
+  ASSERT_TRUE(leaves.ok());
+  std::vector<std::string> paths;
+  for (const auto& l : *leaves) paths.push_back(l.path);
+  EXPECT_EQ(paths, (std::vector<std::string>{"Name", "Home.City", "Home.Zip",
+                                             "Work.City", "Work.Zip"}));
+}
+
+TEST(TypesTest, UnresolvedReferenceCaughtByValidate) {
+  TypeRegistry reg;
+  StructType t("T");
+  ASSERT_TRUE(t.AddStruct("x", "Missing").ok());
+  ASSERT_TRUE(reg.Register(std::move(t)).ok());
+  EXPECT_TRUE(reg.Validate().IsValidationError());
+  EXPECT_FALSE(reg.Flatten("T").ok());
+}
+
+TEST(TypesTest, RecursiveTypesRejected) {
+  TypeRegistry reg;
+  StructType a("A");
+  ASSERT_TRUE(a.AddStruct("b", "B").ok());
+  ASSERT_TRUE(reg.Register(std::move(a)).ok());
+  StructType b("B");
+  ASSERT_TRUE(b.AddStruct("a", "A").ok());
+  ASSERT_TRUE(reg.Register(std::move(b)).ok());
+  EXPECT_TRUE(reg.Validate().IsValidationError());
+}
+
+TEST(TypesTest, SelfRecursionRejected) {
+  TypeRegistry reg;
+  StructType a("A");
+  ASSERT_TRUE(a.AddStruct("self", "A").ok());
+  ASSERT_TRUE(reg.Register(std::move(a)).ok());
+  EXPECT_TRUE(reg.Flatten("A").status().IsValidationError());
+}
+
+TEST(TypesTest, DefaultValueCoercedAtDeclaration) {
+  StructType t("T");
+  ASSERT_TRUE(t.AddScalar("f", ScalarType::kFloat, Value(int64_t{2})).ok());
+  EXPECT_TRUE(t.members()[0].default_value.is_float());
+  EXPECT_TRUE(
+      t.AddScalar("bad", ScalarType::kLong, Value("nope")).IsInvalidArgument());
+}
+
+TEST(TypesTest, DuplicateTypeNameRejected) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.Register(StructType("T")).ok());
+  EXPECT_TRUE(reg.Register(StructType("T")).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace exotica::data

@@ -1,0 +1,86 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::data {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_long());
+  EXPECT_TRUE(Value(3.5).is_float());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+  EXPECT_EQ(Value(int64_t{-2}).as_long(), -2);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_EQ(*Value(int64_t{4}).ToDouble(), 4.0);
+  EXPECT_EQ(*Value(2.5).ToDouble(), 2.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value().ToDouble().ok());
+}
+
+TEST(ValueTest, EqualityIsTypeStrict) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(int64_t{0}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value(true), Value(false));
+}
+
+TEST(ValueTest, ToStringFromStringRoundTrip) {
+  const Value values[] = {
+      Value(),       Value(int64_t{0}),  Value(int64_t{-42}),
+      Value(3.5),    Value(1e300),       Value(-0.25),
+      Value(true),   Value(false),       Value(""),
+      Value("with \"quotes\" and \\ and \n newline"),
+      Value(7.0),  // float that prints like an integer
+  };
+  for (const Value& v : values) {
+    auto parsed = Value::FromString(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString() << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(*parsed, v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Value::FromString("").ok());
+  EXPECT_FALSE(Value::FromString("12x").ok());
+  EXPECT_FALSE(Value::FromString("\"unterminated").ok());
+  EXPECT_FALSE(Value::FromString("1.2.3").ok());
+}
+
+TEST(ValueTest, FloatKeepsMarkerInText) {
+  // 7.0 must not round-trip into a long.
+  EXPECT_TRUE(Value::FromString(Value(7.0).ToString())->is_float());
+  EXPECT_TRUE(Value::FromString("7")->is_long());
+}
+
+TEST(ValueTest, CoerceWidensLongToFloat) {
+  auto widened = Value(int64_t{3}).CoerceTo(ScalarType::kFloat);
+  ASSERT_TRUE(widened.ok());
+  EXPECT_TRUE(widened->is_float());
+  EXPECT_EQ(widened->as_float(), 3.0);
+
+  EXPECT_FALSE(Value(3.5).CoerceTo(ScalarType::kLong).ok());
+  EXPECT_FALSE(Value("x").CoerceTo(ScalarType::kBool).ok());
+  EXPECT_TRUE(Value().CoerceTo(ScalarType::kString).ok());  // null anywhere
+}
+
+TEST(ValueTest, ScalarTypeNames) {
+  EXPECT_EQ(*ScalarTypeFromName("long"), ScalarType::kLong);
+  EXPECT_EQ(*ScalarTypeFromName("FLOAT"), ScalarType::kFloat);
+  EXPECT_EQ(*ScalarTypeFromName("Boolean"), ScalarType::kBool);
+  EXPECT_EQ(*ScalarTypeFromName("STRING"), ScalarType::kString);
+  EXPECT_FALSE(ScalarTypeFromName("blob").ok());
+}
+
+}  // namespace
+}  // namespace exotica::data

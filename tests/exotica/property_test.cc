@@ -1,0 +1,320 @@
+// Property tests: for RANDOM sagas / flexible transactions and RANDOM
+// abort schedules, the workflow implementation must agree with the
+// native executor on outcome, committed set, and compensation order.
+// Everything is seeded, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include "atm/flex.h"
+#include "atm/saga.h"
+#include "common/rng.h"
+#include "exotica/flex_translate.h"
+#include "exotica/programs.h"
+#include "exotica/saga_translate.h"
+#include "wfrt/engine.h"
+
+namespace exotica {
+namespace {
+
+using atm::FlexStep;
+using atm::FlexStepPtr;
+using atm::ScriptedRunner;
+
+// ---- shared recording runner ------------------------------------------------
+
+class Recorder : public atm::SubTxnRunner {
+ public:
+  explicit Recorder(ScriptedRunner* inner) : inner_(inner) {}
+  Result<bool> Run(const std::string& name) override {
+    EXO_ASSIGN_OR_RETURN(bool committed, inner_->Run(name));
+    if (committed) effective_.push_back(name);
+    return committed;
+  }
+  Result<bool> Compensate(const std::string& name) override {
+    EXO_ASSIGN_OR_RETURN(bool done, inner_->Compensate(name));
+    if (done) {
+      compensations_.push_back(name);
+      for (auto it = effective_.rbegin(); it != effective_.rend(); ++it) {
+        if (*it == name) {
+          effective_.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+    return done;
+  }
+  std::vector<std::string> effective_;
+  std::vector<std::string> compensations_;
+
+ private:
+  ScriptedRunner* inner_;
+};
+
+// ---- random sagas -------------------------------------------------------------
+
+atm::SagaSpec RandomSaga(Rng* rng, int* num_steps) {
+  int n = static_cast<int>(rng->Uniform(1, 8));
+  *num_steps = n;
+  atm::SagaSpec spec("S");
+  std::vector<std::string> names;
+  for (int i = 1; i <= n; ++i) {
+    std::string name = "T" + std::to_string(i);
+    if (i == 1 || rng->Bernoulli(0.6)) {
+      // Linear-ish: depend on the previous step.
+      spec.Step(name, i == 1 ? std::vector<std::string>{}
+                             : std::vector<std::string>{names.back()});
+    } else {
+      // Random subset of earlier steps as predecessors (possibly none).
+      std::vector<std::string> preds;
+      for (const std::string& p : names) {
+        if (rng->Bernoulli(0.4)) preds.push_back(p);
+      }
+      spec.Step(name, std::move(preds));
+    }
+    names.push_back(name);
+  }
+  return spec;
+}
+
+void ConfigureRandomAborts(Rng* rng, int num_steps, ScriptedRunner* runner) {
+  for (int i = 1; i <= num_steps; ++i) {
+    if (rng->Bernoulli(0.25)) {
+      runner->AlwaysAbort("T" + std::to_string(i));
+    }
+    if (rng->Bernoulli(0.2)) {
+      runner->FailCompensationFirst("T" + std::to_string(i),
+                                    static_cast<int>(rng->Uniform(1, 3)));
+    }
+  }
+}
+
+class SagaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SagaPropertyTest, WorkflowAgreesWithNative) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int num_steps = 0;
+  atm::SagaSpec spec = RandomSaga(&rng, &num_steps);
+  ASSERT_TRUE(spec.Validate().ok());
+  uint64_t abort_seed = rng.generator()();
+
+  // Native.
+  Rng abort_rng1(abort_seed);
+  ScriptedRunner native_runner;
+  ConfigureRandomAborts(&abort_rng1, num_steps, &native_runner);
+  atm::SagaExecutor native(&native_runner);
+  auto baseline = native.Execute(spec);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Workflow.
+  Rng abort_rng2(abort_seed);
+  ScriptedRunner wf_scripted;
+  ConfigureRandomAborts(&abort_rng2, num_steps, &wf_scripted);
+  Recorder recorder(&wf_scripted);
+
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  ASSERT_TRUE(translation.ok()) << translation.status().ToString();
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &recorder, &programs).ok());
+  wfrt::Engine engine(&store, &programs);
+  auto id = engine.RunToCompletion(translation->root_process);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto out = engine.OutputOf(*id);
+  ASSERT_TRUE(out.ok());
+  bool committed = out->Get("RC")->as_long() == 0;
+
+  // Outcome always agrees: a saga commits iff every step commits, and the
+  // abort schedule is deterministic.
+  EXPECT_EQ(committed, baseline->committed);
+
+  if (spec.IsLinear()) {
+    // Linear sagas have one schedule: exact equality with the native
+    // executor, including compensation order.
+    EXPECT_EQ(recorder.compensations_, baseline->compensated);
+  } else {
+    // Parallel sagas: the native executor stops at the first abort while
+    // the workflow lets independent branches finish — both schedules are
+    // legal. Check the guarantee itself instead:
+    //  (a) compensation respects reverse precedence order;
+    //  (b) nothing downstream of an aborted step ever committed.
+    auto comp_index = [&](const std::string& name) -> int {
+      for (size_t i = 0; i < recorder.compensations_.size(); ++i) {
+        if (recorder.compensations_[i] == name) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    for (const atm::SagaStep& s : spec.steps()) {
+      int si = comp_index(s.name);
+      for (const std::string& p : s.predecessors) {
+        int pi = comp_index(p);
+        if (si >= 0 && pi >= 0) {
+          EXPECT_LT(si, pi) << "C_" << s.name << " must run before C_" << p;
+        }
+        // If the successor committed, the predecessor must have too.
+        if (si >= 0) {
+          EXPECT_GE(pi, 0) << s.name << " committed without " << p;
+        }
+      }
+    }
+  }
+  if (committed) {
+    EXPECT_EQ(recorder.effective_.size(), static_cast<size_t>(num_steps));
+    EXPECT_TRUE(recorder.compensations_.empty());
+  } else {
+    // Everything committed was compensated: net effect empty.
+    EXPECT_TRUE(recorder.effective_.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SagaPropertyTest, ::testing::Range(1, 41));
+
+// ---- random flexible transactions ----------------------------------------------
+
+// Generates a well-formed-by-construction tree:
+//   guaranteed(depth)   := Retriable | Seq of guaranteed | Alt(any, guaranteed)
+//   wellformed(depth)   := Seq[ compensatable*, pivot?, guaranteed-tail* ]
+//                        | Alt(wellformed, guaranteed) | leaf
+FlexStepPtr RandomGuaranteed(Rng* rng, int depth, int* counter);
+FlexStepPtr RandomWellFormed(Rng* rng, int depth, int* counter);
+
+/// A composite whose every leaf is compensatable — legal anywhere a
+/// compensatable leaf is (nested-saga shapes).
+FlexStepPtr RandomAllCompensatable(Rng* rng, int depth, int* counter);
+
+std::string NextName(const char* prefix, int* counter) {
+  return std::string(prefix) + std::to_string(++*counter);
+}
+
+FlexStepPtr RandomGuaranteed(Rng* rng, int depth, int* counter) {
+  if (depth <= 0 || rng->Bernoulli(0.5)) {
+    return FlexStep::Retriable(NextName("R", counter));
+  }
+  if (rng->Bernoulli(0.5)) {
+    std::vector<FlexStepPtr> children;
+    int n = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      children.push_back(RandomGuaranteed(rng, depth - 1, counter));
+    }
+    return FlexStep::Seq(std::move(children));
+  }
+  return FlexStep::Alt(RandomWellFormed(rng, depth - 1, counter),
+                       RandomGuaranteed(rng, depth - 1, counter));
+}
+
+FlexStepPtr RandomWellFormed(Rng* rng, int depth, int* counter) {
+  if (depth <= 0) {
+    return rng->Bernoulli(0.5) ? FlexStep::Compensatable(NextName("C", counter))
+                               : FlexStep::Pivot(NextName("P", counter));
+  }
+  if (rng->Bernoulli(0.3)) {
+    return FlexStep::Alt(RandomWellFormed(rng, depth - 1, counter),
+                         RandomGuaranteed(rng, depth - 1, counter));
+  }
+  // Seq shaped exactly like the checker's rule: a run of compensatable
+  // leaves (safe to abort), then ONE "last failable" element — a pivot
+  // leaf or a nested well-formed composite — then a guaranteed tail.
+  // (A non-all-compensatable composite earlier in the sequence would be
+  // rejected: if a later step failed pre-pivot, its committed
+  // non-compensatable work could not be undone.)
+  std::vector<FlexStepPtr> children;
+  int pre = static_cast<int>(rng->Uniform(0, 2));
+  for (int i = 0; i < pre; ++i) {
+    if (depth > 0 && rng->Bernoulli(0.3)) {
+      // Nested-saga shape: an all-compensatable composite mid-sequence.
+      children.push_back(RandomAllCompensatable(rng, depth - 1, counter));
+    } else {
+      children.push_back(
+          FlexStep::Sub(NextName("C", counter), true, rng->Bernoulli(0.3)));
+    }
+  }
+  bool pivot_leaf = rng->Bernoulli(0.6);
+  if (pivot_leaf) {
+    children.push_back(FlexStep::Pivot(NextName("P", counter)));
+  } else {
+    children.push_back(RandomWellFormed(rng, depth - 1, counter));
+  }
+  int tail = static_cast<int>(rng->Uniform(0, 2));
+  for (int i = 0; i < tail; ++i) {
+    children.push_back(RandomGuaranteed(rng, depth - 1, counter));
+  }
+  return FlexStep::Seq(std::move(children));
+}
+
+FlexStepPtr RandomAllCompensatable(Rng* rng, int depth, int* counter) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    return FlexStep::Sub(NextName("C", counter), true, rng->Bernoulli(0.3));
+  }
+  if (rng->Bernoulli(0.3)) {
+    return FlexStep::Alt(RandomAllCompensatable(rng, depth - 1, counter),
+                         RandomAllCompensatable(rng, depth - 1, counter));
+  }
+  std::vector<FlexStepPtr> children;
+  int n = static_cast<int>(rng->Uniform(1, 3));
+  for (int i = 0; i < n; ++i) {
+    children.push_back(RandomAllCompensatable(rng, depth - 1, counter));
+  }
+  return FlexStep::Seq(std::move(children));
+}
+
+class FlexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlexPropertyTest, WorkflowAgreesWithNative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  int counter = 0;
+  atm::FlexSpec spec("F", RandomWellFormed(&rng, 3, &counter));
+  ASSERT_TRUE(spec.Validate().ok())
+      << spec.Validate().ToString() << "\n" << spec.root().ToString();
+
+  // Random abort schedule: transient aborts everywhere; permanent aborts
+  // only for non-retriable subs (a permanently aborting retriable sub
+  // would hang both implementations, by design).
+  auto configure = [&spec](Rng* r, ScriptedRunner* runner) {
+    for (const FlexStep* sub : spec.Subs()) {
+      if (!sub->retriable && r->Bernoulli(0.3)) {
+        runner->AlwaysAbort(sub->name);
+      } else if (r->Bernoulli(0.3)) {
+        runner->AbortFirst(sub->name, static_cast<int>(r->Uniform(1, 2)));
+      }
+    }
+  };
+  uint64_t abort_seed = rng.generator()();
+
+  Rng r1(abort_seed);
+  ScriptedRunner native_runner;
+  configure(&r1, &native_runner);
+  atm::FlexExecutor native(&native_runner);
+  auto baseline = native.Execute(spec);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  Rng r2(abort_seed);
+  ScriptedRunner wf_scripted;
+  configure(&r2, &wf_scripted);
+  Recorder recorder(&wf_scripted);
+
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateFlex(spec, &store);
+  ASSERT_TRUE(translation.ok())
+      << translation.status().ToString() << "\n" << spec.root().ToString();
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(exo::BindFlexPrograms(spec, store, &recorder, &programs).ok());
+  wfrt::Engine engine(&store, &programs);
+  auto id = engine.RunToCompletion(translation->root_process);
+  ASSERT_TRUE(id.ok()) << id.status().ToString() << "\n"
+                       << spec.root().ToString();
+
+  auto out = engine.OutputOf(*id);
+  ASSERT_TRUE(out.ok());
+  bool committed = out->Get("RC")->as_long() == 0;
+  EXPECT_EQ(committed, baseline->committed) << spec.root().ToString();
+  EXPECT_EQ(recorder.effective_, baseline->effective)
+      << spec.root().ToString();
+  EXPECT_EQ(recorder.compensations_,
+            Select(baseline->trace, atm::TraceAction::kCompensated))
+      << spec.root().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlexPropertyTest, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,99 @@
+// §4.1's closing remark: "it is possible that users may require to
+// compensate an already completed saga. In these cases all activities
+// must be compensated." The translation already supports this: the
+// compensation block is a registered process of its own; feeding it a
+// fully-committed State image undoes the whole saga, in reverse order.
+
+#include <gtest/gtest.h>
+
+#include "atm/saga.h"
+#include "exotica/blocks.h"
+#include "exotica/programs.h"
+#include "exotica/saga_translate.h"
+#include "wfrt/engine.h"
+
+namespace exotica {
+namespace {
+
+TEST(SagaUndoTest, CompensationBlockUndoesACompletedSaga) {
+  atm::SagaSpec spec("S");
+  spec.Then("T1").Then("T2").Then("T3");
+
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  ASSERT_TRUE(translation.ok());
+
+  std::vector<std::string> compensated;
+  class Recorder : public atm::SubTxnRunner {
+   public:
+    explicit Recorder(std::vector<std::string>* out) : out_(out) {}
+    Result<bool> Run(const std::string&) override { return true; }
+    Result<bool> Compensate(const std::string& name) override {
+      out_->push_back(name);
+      return true;
+    }
+
+   private:
+    std::vector<std::string>* out_;
+  } recorder(&compensated);
+
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &recorder, &programs).ok());
+  wfrt::Engine engine(&store, &programs);
+
+  // 1. The saga runs to a clean commit: no compensation.
+  auto id = engine.RunToCompletion(translation->root_process);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+  EXPECT_TRUE(compensated.empty());
+
+  // 2. Later, the user demands the completed saga be undone: instantiate
+  //    the compensation block directly with an all-committed State image.
+  auto input = data::Container::Create(store.types(), translation->state_type);
+  ASSERT_TRUE(input.ok());
+  for (const atm::SagaStep& s : spec.steps()) {
+    ASSERT_TRUE(
+        input->Set(exo::StateField(s.name), data::Value(int64_t{1})).ok());
+  }
+  auto undo = engine.RunToCompletion(translation->comp_process, &*input);
+  ASSERT_TRUE(undo.ok()) << undo.status().ToString();
+
+  // All activities compensated, in reverse order.
+  EXPECT_EQ(compensated, (std::vector<std::string>{"T3", "T2", "T1"}));
+}
+
+TEST(SagaUndoTest, PartialStateImageCompensatesOnlyCommittedSteps) {
+  atm::SagaSpec spec("S2");
+  spec.Then("T1").Then("T2").Then("T3");
+  wf::DefinitionStore store;
+  auto translation = exo::TranslateSaga(spec, &store);
+  ASSERT_TRUE(translation.ok());
+
+  std::vector<std::string> compensated;
+  class Recorder : public atm::SubTxnRunner {
+   public:
+    explicit Recorder(std::vector<std::string>* out) : out_(out) {}
+    Result<bool> Run(const std::string&) override { return true; }
+    Result<bool> Compensate(const std::string& name) override {
+      out_->push_back(name);
+      return true;
+    }
+
+   private:
+    std::vector<std::string>* out_;
+  } recorder(&compensated);
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &recorder, &programs).ok());
+  wfrt::Engine engine(&store, &programs);
+
+  // Only T1 committed (a prefix, as a real saga would leave).
+  auto input = data::Container::Create(store.types(), translation->state_type);
+  ASSERT_TRUE(input.ok());
+  ASSERT_TRUE(input->Set("State_T1", data::Value(int64_t{1})).ok());
+  auto undo = engine.RunToCompletion(translation->comp_process, &*input);
+  ASSERT_TRUE(undo.ok()) << undo.status().ToString();
+  EXPECT_EQ(compensated, (std::vector<std::string>{"T1"}));
+}
+
+}  // namespace
+}  // namespace exotica

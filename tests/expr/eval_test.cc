@@ -1,0 +1,117 @@
+#include "expr/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+
+namespace exotica::expr {
+namespace {
+
+using data::ScalarType;
+using data::Value;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::StructType t("Vals");
+    ASSERT_TRUE(t.AddScalar("i", ScalarType::kLong).ok());
+    ASSERT_TRUE(t.AddScalar("f", ScalarType::kFloat).ok());
+    ASSERT_TRUE(t.AddScalar("s", ScalarType::kString).ok());
+    ASSERT_TRUE(t.AddScalar("b", ScalarType::kBool).ok());
+    ASSERT_TRUE(t.AddScalar("unset", ScalarType::kLong).ok());
+    ASSERT_TRUE(reg_.Register(std::move(t)).ok());
+    auto c = data::Container::Create(reg_, "Vals");
+    ASSERT_TRUE(c.ok());
+    container_ = std::make_unique<data::Container>(std::move(*c));
+    ASSERT_TRUE(container_->Set("i", Value(int64_t{6})).ok());
+    ASSERT_TRUE(container_->Set("f", Value(2.5)).ok());
+    ASSERT_TRUE(container_->Set("s", Value("abc")).ok());
+    ASSERT_TRUE(container_->Set("b", Value(true)).ok());
+  }
+
+  Result<Value> Eval(const std::string& src) {
+    auto node = Parse(src);
+    if (!node.ok()) return node.status();
+    ContainerResolver resolver(*container_);
+    return Evaluate(**node, resolver);
+  }
+
+  void ExpectBool(const std::string& src, bool want) {
+    auto v = Eval(src);
+    ASSERT_TRUE(v.ok()) << src << ": " << v.status().ToString();
+    ASSERT_TRUE(v->is_bool()) << src;
+    EXPECT_EQ(v->as_bool(), want) << src;
+  }
+
+  data::TypeRegistry reg_;
+  std::unique_ptr<data::Container> container_;
+};
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(*Eval("1 + 2 * 3"), Value(int64_t{7}));
+  EXPECT_EQ(*Eval("7 / 2"), Value(int64_t{3}));     // long division
+  EXPECT_EQ(*Eval("7.0 / 2"), Value(3.5));          // float contaminates
+  EXPECT_EQ(*Eval("7 % 3"), Value(int64_t{1}));
+  EXPECT_EQ(*Eval("-i"), Value(int64_t{-6}));
+  EXPECT_EQ(*Eval("i + f"), Value(8.5));
+}
+
+TEST_F(EvalTest, DivisionAndModuloByZero) {
+  EXPECT_TRUE(Eval("1 / 0").status().IsInvalidArgument());
+  EXPECT_TRUE(Eval("1.0 / 0.0").status().IsInvalidArgument());
+  EXPECT_TRUE(Eval("1 % 0").status().IsInvalidArgument());
+  EXPECT_TRUE(Eval("1.5 % 2").status().IsInvalidArgument());
+}
+
+TEST_F(EvalTest, Comparisons) {
+  ExpectBool("i = 6", true);
+  ExpectBool("i <> 6", false);
+  ExpectBool("i < 7", true);
+  ExpectBool("f >= 2.5", true);
+  ExpectBool("i = 6.0", true);  // numeric widening
+  ExpectBool("s = \"abc\"", true);
+  ExpectBool("s < \"abd\"", true);
+  ExpectBool("b = TRUE", true);
+}
+
+TEST_F(EvalTest, MixedKindComparisonFails) {
+  EXPECT_FALSE(Eval("s = 1").ok());
+  EXPECT_FALSE(Eval("b < TRUE").ok());
+  EXPECT_FALSE(Eval("s > 1.0").ok());
+}
+
+TEST_F(EvalTest, LogicAndShortCircuit) {
+  ExpectBool("TRUE AND FALSE", false);
+  ExpectBool("TRUE OR FALSE", true);
+  ExpectBool("NOT FALSE", true);
+  // Short circuit: the unevaluable right side is never touched.
+  ExpectBool("FALSE AND unset = 1", false);
+  ExpectBool("TRUE OR unset = 1", true);
+  // But it is touched when the left side does not decide.
+  EXPECT_FALSE(Eval("TRUE AND unset = 1").ok());
+}
+
+TEST_F(EvalTest, LogicTypeErrors) {
+  EXPECT_FALSE(Eval("1 AND TRUE").ok());
+  EXPECT_FALSE(Eval("NOT 3").ok());
+  EXPECT_FALSE(Eval("-s").ok());
+}
+
+TEST_F(EvalTest, UnsetDataIsAnError) {
+  auto st = Eval("unset = 0").status();
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+}
+
+TEST_F(EvalTest, UnknownIdentifierIsAnError) {
+  EXPECT_TRUE(Eval("ghost = 1").status().IsNotFound());
+}
+
+TEST_F(EvalTest, EvaluateBoolRejectsNonBoolean) {
+  auto node = Parse("1 + 1");
+  ASSERT_TRUE(node.ok());
+  ContainerResolver resolver(*container_);
+  EXPECT_FALSE(EvaluateBool(**node, resolver).ok());
+}
+
+}  // namespace
+}  // namespace exotica::expr

@@ -1,0 +1,77 @@
+#include "expr/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::expr {
+namespace {
+
+std::vector<TokenKind> KindsOf(const std::string& src) {
+  auto tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(ExprLexerTest, BasicOperators) {
+  EXPECT_EQ(KindsOf("a = 1"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kEq,
+                                    TokenKind::kLongLit, TokenKind::kEnd}));
+  EXPECT_EQ(KindsOf("<> <= >= < > != ="),
+            (std::vector<TokenKind>{TokenKind::kNeq, TokenKind::kLe,
+                                    TokenKind::kGe, TokenKind::kLt,
+                                    TokenKind::kGt, TokenKind::kNeq,
+                                    TokenKind::kEq, TokenKind::kEnd}));
+}
+
+TEST(ExprLexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("And oR nOt TRUE false");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kAnd);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kOr);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNot);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kTrue);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kFalse);
+}
+
+TEST(ExprLexerTest, DottedIdentifiers) {
+  auto tokens = Tokenize("Order.Ship.City State_1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "Order.Ship.City");
+  EXPECT_EQ((*tokens)[1].text, "State_1");
+}
+
+TEST(ExprLexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.5 1e3 2E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLongLit);
+  EXPECT_EQ((*tokens)[0].long_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kFloatLit);
+  EXPECT_EQ((*tokens)[1].float_value, 3.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloatLit);
+  EXPECT_EQ((*tokens)[2].float_value, 1000.0);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kFloatLit);
+}
+
+TEST(ExprLexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("\"ab\\\"c\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ((*tokens)[0].text, "ab\"c");
+}
+
+TEST(ExprLexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"open").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ExprLexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("   ");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace exotica::expr

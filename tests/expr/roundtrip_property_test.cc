@@ -1,0 +1,108 @@
+// Property: for random expression trees, ToString() reparses to an
+// identical tree (canonical-form fixpoint), and evaluation of the
+// reparsed tree matches the original.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/container.h"
+#include "expr/eval.h"
+#include "expr/parser.h"
+
+namespace exotica::expr {
+namespace {
+
+using data::ScalarType;
+using data::Value;
+
+NodePtr RandomExpr(Rng* rng, int depth);
+
+NodePtr RandomLeaf(Rng* rng) {
+  switch (rng->Uniform(0, 4)) {
+    case 0: return Node::Literal(Value(rng->Uniform(-100, 100)));
+    case 1: return Node::Literal(Value(rng->NextDouble() * 10));
+    case 2: return Node::Literal(Value(rng->Bernoulli(0.5)));
+    case 3: return Node::Identifier("i");
+    default: return Node::Identifier("f");
+  }
+}
+
+NodePtr RandomExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.3)) return RandomLeaf(rng);
+  switch (rng->Uniform(0, 7)) {
+    case 0:
+      return Node::Unary(UnaryOp::kNeg, RandomExpr(rng, depth - 1));
+    case 1: {
+      // NOT needs a boolean-ish operand for evaluation; for round-trip we
+      // only care about syntax, so wrap a comparison.
+      NodePtr cmp = Node::Binary(BinaryOp::kLt, RandomExpr(rng, depth - 1),
+                                 RandomExpr(rng, depth - 1));
+      return Node::Unary(UnaryOp::kNot, std::move(cmp));
+    }
+    case 2:
+      return Node::Binary(BinaryOp::kAdd, RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1));
+    case 3:
+      return Node::Binary(BinaryOp::kMul, RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1));
+    case 4:
+      return Node::Binary(BinaryOp::kSub, RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1));
+    case 5: {
+      NodePtr a = Node::Binary(BinaryOp::kLe, RandomExpr(rng, depth - 1),
+                               RandomExpr(rng, depth - 1));
+      NodePtr b = Node::Binary(BinaryOp::kNeq, RandomExpr(rng, depth - 1),
+                               RandomExpr(rng, depth - 1));
+      return Node::Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+    }
+    default: {
+      NodePtr a = Node::Binary(BinaryOp::kGt, RandomExpr(rng, depth - 1),
+                               RandomExpr(rng, depth - 1));
+      NodePtr b = Node::Binary(BinaryOp::kEq, RandomExpr(rng, depth - 1),
+                               RandomExpr(rng, depth - 1));
+      return Node::Binary(BinaryOp::kOr, std::move(a), std::move(b));
+    }
+  }
+}
+
+class ExprRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprRoundTripTest, CanonicalFormIsAFixpointAndEvaluatesEqually) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+
+  data::TypeRegistry reg;
+  data::StructType t("Env");
+  ASSERT_TRUE(t.AddScalar("i", ScalarType::kLong).ok());
+  ASSERT_TRUE(t.AddScalar("f", ScalarType::kFloat).ok());
+  ASSERT_TRUE(reg.Register(std::move(t)).ok());
+  auto env = data::Container::Create(reg, "Env");
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->Set("i", Value(rng.Uniform(-5, 5))).ok());
+  ASSERT_TRUE(env->Set("f", Value(rng.NextDouble())).ok());
+  ContainerResolver resolver(*env);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    NodePtr original = RandomExpr(&rng, 4);
+    std::string text = original->ToString();
+
+    auto reparsed = Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+    EXPECT_EQ((*reparsed)->ToString(), text) << "not a fixpoint: " << text;
+
+    // Evaluation agrees (both may fail identically, e.g. division issues
+    // don't occur here, type errors can).
+    auto v1 = Evaluate(*original, resolver);
+    auto v2 = Evaluate(**reparsed, resolver);
+    ASSERT_EQ(v1.ok(), v2.ok()) << text;
+    if (v1.ok()) {
+      EXPECT_EQ(*v1, *v2) << text;
+    } else {
+      EXPECT_EQ(v1.status().code(), v2.status().code()) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTripTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace exotica::expr

@@ -1,0 +1,119 @@
+// FDL closure fidelity on the heaviest real producer: the Figure-3
+// flexible-transaction translation (nine processes, shared types, helper
+// programs) must round-trip byte-for-byte, and the re-imported
+// definitions must execute identically.
+
+#include <gtest/gtest.h>
+
+#include "atm/flex.h"
+#include "exotica/flex_translate.h"
+#include "exotica/programs.h"
+#include "fdl/export.h"
+#include "fdl/import.h"
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+
+namespace exotica::fdl {
+namespace {
+
+TEST(FdlClosureTest, Figure3TranslationRoundTripsAndRuns) {
+  atm::FlexSpec spec = atm::MakeFigure3Spec();
+  wf::DefinitionStore original;
+  auto translation = exo::TranslateFlex(spec, &original);
+  ASSERT_TRUE(translation.ok()) << translation.status().ToString();
+
+  auto fdl1 = ExportClosure(original, {translation->root_process});
+  ASSERT_TRUE(fdl1.ok()) << fdl1.status().ToString();
+
+  wf::DefinitionStore reimported;
+  auto names = ImportFdl(*fdl1, &reimported);
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+  EXPECT_EQ(names->size(), translation->processes.size());
+
+  auto fdl2 = ExportClosure(reimported, {translation->root_process});
+  ASSERT_TRUE(fdl2.ok());
+  EXPECT_EQ(*fdl1, *fdl2);
+
+  // The re-imported process executes the appendix's T8-abort scenario
+  // exactly like the original.
+  for (wf::DefinitionStore* store : {&original, &reimported}) {
+    atm::ScriptedRunner runner;
+    runner.AlwaysAbort("T8");
+    wfrt::ProgramRegistry programs;
+    ASSERT_TRUE(exo::BindFlexPrograms(spec, *store, &runner, &programs).ok());
+    wfrt::Engine engine(store, &programs);
+    auto id = engine.RunToCompletion(translation->root_process);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);  // p2
+  }
+}
+
+TEST(FdlClosureTest, VersionedProcessesRoundTrip) {
+  wf::DefinitionStore store;
+  wf::ProgramDeclaration prog;
+  prog.name = "work";
+  ASSERT_TRUE(store.DeclareProgram(prog).ok());
+
+  wf::ProcessBuilder v1(&store, "P", 1);
+  v1.Program("A", "work");
+  ASSERT_TRUE(v1.Register().ok());
+  wf::ProcessBuilder v2(&store, "P", 2);
+  v2.Program("A", "work").Program("B", "work");
+  v2.Connect("A", "B");
+  ASSERT_TRUE(v2.Register().ok());
+
+  // The closure exports the latest version (the executable default).
+  auto fdl_text = ExportClosure(store, {"P"});
+  ASSERT_TRUE(fdl_text.ok());
+  EXPECT_NE(fdl_text->find("VERSION 2"), std::string::npos);
+
+  wf::DefinitionStore reimported;
+  ASSERT_TRUE(ImportFdl(*fdl_text, &reimported).ok());
+  auto p = reimported.FindProcess("P");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->version(), 2);
+  EXPECT_TRUE((*p)->HasActivity("B"));
+}
+
+TEST(FdlClosureTest, ImportNegativeCases) {
+  wf::DefinitionStore store;
+  // Duplicate activity in one process.
+  constexpr const char* kDupAct = R"(
+PROGRAM 'x' END 'x'
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'x' END 'A'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'x' END 'A'
+END 'P')";
+  EXPECT_TRUE(ImportFdl(kDupAct, &store).status().IsAlreadyExists());
+
+  // Unknown container type.
+  constexpr const char* kBadType = R"(
+PROGRAM 'x' ('Ghost', '_Default') END 'x')";
+  wf::DefinitionStore store2;
+  EXPECT_FALSE(ImportFdl(kBadType, &store2).ok());
+
+  // Control connector to a missing activity.
+  constexpr const char* kBadConn = R"(
+PROGRAM 'x' END 'x'
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'x' END 'A'
+  CONTROL FROM 'A' TO 'Missing'
+END 'P')";
+  wf::DefinitionStore store3;
+  EXPECT_TRUE(ImportFdl(kBadConn, &store3).status().IsNotFound());
+
+  // Cyclic control flow.
+  constexpr const char* kCycle = R"(
+PROGRAM 'x' END 'x'
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'x' END 'A'
+  PROGRAM_ACTIVITY 'B' PROGRAM 'x' END 'B'
+  CONTROL FROM 'A' TO 'B'
+  CONTROL FROM 'B' TO 'A'
+END 'P')";
+  wf::DefinitionStore store4;
+  EXPECT_TRUE(ImportFdl(kCycle, &store4).status().IsValidationError());
+}
+
+}  // namespace
+}  // namespace exotica::fdl

@@ -1,0 +1,72 @@
+#include "fdl/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "atm/saga.h"
+#include "exotica/saga_translate.h"
+#include "wf/builder.h"
+
+namespace exotica::fdl {
+namespace {
+
+TEST(DotExportTest, RendersActivitiesAndConnectors) {
+  wf::DefinitionStore store;
+  wf::ProgramDeclaration prog;
+  prog.name = "work";
+  ASSERT_TRUE(store.DeclareProgram(prog).ok());
+
+  wf::ProcessBuilder b(&store, "P");
+  b.Program("A", "work").Program("B", "work").Manual().Role("clerk")
+      .ExitWhen("RC = 0");
+  b.Program("C", "work");
+  b.Connect("A", "B", "RC = 0");
+  b.Otherwise("A", "C");
+  b.MapData("A", "B", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  auto dot = ExportDot(store, "P");
+  ASSERT_TRUE(dot.ok()) << dot.status().ToString();
+  EXPECT_NE(dot->find("digraph \"P\""), std::string::npos);
+  EXPECT_NE(dot->find("\"A\" -> \"B\" [label=\"RC = 0\"]"),
+            std::string::npos);
+  EXPECT_NE(dot->find("otherwise"), std::string::npos);
+  EXPECT_NE(dot->find("role: clerk"), std::string::npos);
+  EXPECT_NE(dot->find("exit: RC = 0"), std::string::npos);
+  EXPECT_NE(dot->find("RC->RC"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot->begin(), dot->end(), '{'),
+            std::count(dot->begin(), dot->end(), '}'));
+}
+
+TEST(DotExportTest, ExpandsBlocksAsClusters) {
+  atm::SagaSpec spec("S");
+  spec.Then("T1").Then("T2");
+  wf::DefinitionStore store;
+  ASSERT_TRUE(exo::TranslateSaga(spec, &store).ok());
+
+  auto dot = ExportDot(store, "S");
+  ASSERT_TRUE(dot.ok());
+  // The forward and compensation blocks appear as clusters; the paper's
+  // NOP trigger shows inside the compensation cluster.
+  EXPECT_NE(dot->find("subgraph \"cluster_FB\""), std::string::npos);
+  EXPECT_NE(dot->find("subgraph \"cluster_CB\""), std::string::npos);
+  EXPECT_NE(dot->find("CB/_NOP"), std::string::npos);
+  EXPECT_NE(dot->find("State_T1 = 1"), std::string::npos);
+  EXPECT_EQ(std::count(dot->begin(), dot->end(), '{'),
+            std::count(dot->begin(), dot->end(), '}'));
+
+  DotOptions flat;
+  flat.expand_blocks = false;
+  auto shallow = ExportDot(store, "S", flat);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow->find("subgraph"), std::string::npos);
+  EXPECT_NE(shallow->find("box3d"), std::string::npos);  // block node shape
+}
+
+TEST(DotExportTest, UnknownProcessFails) {
+  wf::DefinitionStore store;
+  EXPECT_TRUE(ExportDot(store, "ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace exotica::fdl

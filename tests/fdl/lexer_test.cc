@@ -1,0 +1,64 @@
+#include "fdl/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::fdl {
+namespace {
+
+TEST(FdlLexerTest, KeywordsUppercasedNamesPreserved) {
+  auto tokens = TokenizeFdl("process 'MyProc' End");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, FdlTokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "PROCESS");
+  EXPECT_EQ((*tokens)[1].kind, FdlTokenKind::kName);
+  EXPECT_EQ((*tokens)[1].text, "MyProc");
+  EXPECT_EQ((*tokens)[2].text, "END");
+}
+
+TEST(FdlLexerTest, QuoteEscaping) {
+  auto tokens = TokenizeFdl("'it''s quoted'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's quoted");
+}
+
+TEST(FdlLexerTest, CommentsSkipped) {
+  auto tokens = TokenizeFdl("PROCESS -- a comment\n'X'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // PROCESS, 'X', end
+  EXPECT_EQ((*tokens)[1].text, "X");
+  EXPECT_EQ((*tokens)[1].line, 2);
+}
+
+TEST(FdlLexerTest, NumbersIncludingNegative) {
+  auto tokens = TokenizeFdl("42 -17 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "-17");
+  EXPECT_EQ((*tokens)[2].text, "3.5");
+}
+
+TEST(FdlLexerTest, Punctuation) {
+  auto tokens = TokenizeFdl("( ) , : ;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, FdlTokenKind::kLParen);
+  EXPECT_EQ((*tokens)[1].kind, FdlTokenKind::kRParen);
+  EXPECT_EQ((*tokens)[2].kind, FdlTokenKind::kComma);
+  EXPECT_EQ((*tokens)[3].kind, FdlTokenKind::kColon);
+  EXPECT_EQ((*tokens)[4].kind, FdlTokenKind::kSemicolon);
+}
+
+TEST(FdlLexerTest, LineTracking) {
+  auto tokens = TokenizeFdl("A\nB\n\nC");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(FdlLexerTest, Errors) {
+  EXPECT_TRUE(TokenizeFdl("'unterminated").status().IsParseError());
+  EXPECT_TRUE(TokenizeFdl("@").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace exotica::fdl

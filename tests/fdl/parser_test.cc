@@ -1,0 +1,134 @@
+#include "fdl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::fdl {
+namespace {
+
+constexpr const char* kSample = R"(
+-- A full document exercising every clause.
+STRUCT 'TxnResult'
+  'RC' : LONG DEFAULT 1;
+  'Committed' : LONG DEFAULT 0;
+END 'TxnResult'
+
+STRUCT 'Order'
+  'Total' : FLOAT DEFAULT 3.5;
+  'Note' : STRING DEFAULT 'hi';
+  'Urgent' : BOOLEAN DEFAULT TRUE;
+  'Result' : 'TxnResult';
+END 'Order'
+
+PROGRAM 'reserve' ('_Default', 'TxnResult')
+  DESCRIPTION 'reserves a seat'
+END 'reserve'
+
+PROCESS 'Trip' ('_Default', 'TxnResult')
+  VERSION 3
+  DESCRIPTION 'books a trip'
+  PROGRAM_ACTIVITY 'T1' ('_Default', 'TxnResult')
+    PROGRAM 'reserve'
+    START MANUAL ROLE 'clerk'
+    EXIT WHEN 'RC = 0'
+    JOIN OR
+    NOTIFY 'boss' AFTER 5000
+  END 'T1'
+  PROCESS_ACTIVITY 'B' ('_Default', '_Default')
+    PROCESS 'Sub'
+  END 'B'
+  CONTROL FROM 'T1' TO 'B' WHEN 'RC = 0'
+  CONTROL FROM 'T1' TO 'B2' OTHERWISE
+  DATA FROM 'T1' TO 'B' MAP 'RC' TO 'RC'
+  DATA FROM INPUT TO 'T1' MAP 'RC' TO 'RC'
+  DATA FROM 'B' TO OUTPUT MAP 'RC' TO 'RC' MAP 'RC' TO 'Committed'
+END 'Trip'
+)";
+
+TEST(FdlParserTest, ParsesFullDocument) {
+  auto doc = ParseDocument(kSample);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->structs.size(), 2u);
+  ASSERT_EQ(doc->programs.size(), 1u);
+  ASSERT_EQ(doc->processes.size(), 1u);
+
+  const StructDecl& order = doc->structs[1];
+  EXPECT_EQ(order.members.size(), 4u);
+  EXPECT_EQ(order.members[0].type, "FLOAT");
+  EXPECT_EQ(*order.members[0].default_literal, "3.5");
+  EXPECT_EQ(*order.members[1].default_literal, "\"hi\"");
+  EXPECT_EQ(*order.members[2].default_literal, "TRUE");
+  EXPECT_TRUE(order.members[3].is_struct);
+  EXPECT_EQ(order.members[3].type, "TxnResult");
+
+  const ProcessDecl& trip = doc->processes[0];
+  EXPECT_EQ(trip.version, 3);
+  EXPECT_EQ(trip.description, "books a trip");
+  ASSERT_EQ(trip.activities.size(), 2u);
+  const ActivityDecl& t1 = trip.activities[0];
+  EXPECT_FALSE(t1.is_process_activity);
+  EXPECT_EQ(t1.body, "reserve");
+  EXPECT_TRUE(t1.manual);
+  EXPECT_EQ(t1.role, "clerk");
+  EXPECT_EQ(t1.exit_condition, "RC = 0");
+  EXPECT_TRUE(t1.or_join);
+  EXPECT_EQ(t1.notify_after_micros, 5000);
+  EXPECT_EQ(t1.notify_role, "boss");
+  EXPECT_TRUE(trip.activities[1].is_process_activity);
+
+  ASSERT_EQ(trip.controls.size(), 2u);
+  EXPECT_EQ(trip.controls[0].condition, "RC = 0");
+  EXPECT_TRUE(trip.controls[1].otherwise);
+
+  ASSERT_EQ(trip.datas.size(), 3u);
+  EXPECT_EQ(trip.datas[1].from.kind, DataEndpointDecl::Kind::kInput);
+  EXPECT_EQ(trip.datas[2].to.kind, DataEndpointDecl::Kind::kOutput);
+  EXPECT_EQ(trip.datas[2].maps.size(), 2u);
+}
+
+TEST(FdlParserTest, EndNameMustMatch) {
+  EXPECT_TRUE(ParseDocument("PROCESS 'A' END 'B'").status().IsParseError());
+  EXPECT_TRUE(
+      ParseDocument("STRUCT 'A' END 'Mismatch'").status().IsParseError());
+}
+
+TEST(FdlParserTest, ActivityNeedsBody) {
+  constexpr const char* kNoBody = R"(
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A'
+  END 'A'
+END 'P')";
+  EXPECT_TRUE(ParseDocument(kNoBody).status().IsParseError());
+}
+
+TEST(FdlParserTest, WrongBodyClauseRejected) {
+  constexpr const char* kMixed = R"(
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A'
+    PROCESS 'Sub'
+  END 'A'
+END 'P')";
+  EXPECT_TRUE(ParseDocument(kMixed).status().IsParseError());
+}
+
+TEST(FdlParserTest, DataClauseNeedsMaps) {
+  constexpr const char* kNoMap = R"(
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'x' END 'A'
+  DATA FROM 'A' TO OUTPUT
+END 'P')";
+  EXPECT_TRUE(ParseDocument(kNoMap).status().IsParseError());
+}
+
+TEST(FdlParserTest, TopLevelGarbageRejected) {
+  EXPECT_TRUE(ParseDocument("BANANA 'x'").status().IsParseError());
+}
+
+TEST(FdlParserTest, EmptyDocumentIsValid) {
+  auto doc = ParseDocument("-- nothing but a comment\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->structs.empty());
+  EXPECT_TRUE(doc->processes.empty());
+}
+
+}  // namespace
+}  // namespace exotica::fdl

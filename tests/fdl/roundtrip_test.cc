@@ -1,0 +1,160 @@
+// Export → parse → import → export fidelity: the FDL dialect is pinned by
+// requiring the second export to reproduce the first byte for byte, and
+// the imported definitions to pass full validation.
+
+#include <gtest/gtest.h>
+
+#include "fdl/export.h"
+#include "fdl/import.h"
+#include "fdl/parser.h"
+#include "wf/builder.h"
+
+namespace exotica::fdl {
+namespace {
+
+void BuildSimpleStore(wf::DefinitionStore* store) {
+  wf::ProgramDeclaration prog;
+  prog.name = "work";
+  ASSERT_TRUE(store->DeclareProgram(prog).ok());
+  wf::ProcessBuilder b(store, "Simple");
+  b.Program("A", "work").Program("B", "work");
+  b.Connect("A", "B", "RC = 0");
+  b.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+}
+
+void BuildRichStore(wf::DefinitionStore* store) {
+  data::StructType txn("TxnResult");
+  ASSERT_TRUE(txn.AddScalar("RC", data::ScalarType::kLong,
+                            data::Value(int64_t{1})).ok());
+  ASSERT_TRUE(txn.AddScalar("Note", data::ScalarType::kString,
+                            data::Value("it's fine")).ok());
+  ASSERT_TRUE(txn.AddScalar("Score", data::ScalarType::kFloat,
+                            data::Value(2.5)).ok());
+  ASSERT_TRUE(txn.AddScalar("Hot", data::ScalarType::kBool,
+                            data::Value(true)).ok());
+  ASSERT_TRUE(store->types().Register(std::move(txn)).ok());
+
+  data::StructType nest("Nest");
+  ASSERT_TRUE(nest.AddStruct("Inner", "TxnResult").ok());
+  ASSERT_TRUE(nest.AddScalar("Extra", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store->types().Register(std::move(nest)).ok());
+
+  wf::ProgramDeclaration prog;
+  prog.name = "work";
+  prog.description = "does the work";
+  prog.output_type = "TxnResult";
+  ASSERT_TRUE(store->DeclareProgram(prog).ok());
+
+  wf::ProgramDeclaration nestprog;
+  nestprog.name = "nested";
+  nestprog.input_type = "Nest";
+  nestprog.output_type = "Nest";
+  ASSERT_TRUE(store->DeclareProgram(nestprog).ok());
+
+  wf::ProcessBuilder sub(store, "Sub");
+  sub.OutputType("TxnResult");
+  sub.Program("X", "work");
+  sub.MapToOutput("X", {{"RC", "RC"}});
+  ASSERT_TRUE(sub.Register().ok());
+
+  wf::ProcessBuilder b(store, "Main");
+  b.Description("the main process");
+  b.InputType("Nest");
+  b.OutputType("TxnResult");
+  b.Program("T1", "work").Manual().Role("clerk").ExitWhen("RC = 0")
+      .NotifyAfter(1000, "boss");
+  b.Block("B", "Sub");
+  b.Program("T2", "work").OrJoin();
+  b.Program("T3", "nested");
+  b.Program("T4", "work");
+  b.Connect("T1", "B", "RC = 0");
+  b.Connect("B", "T2", "RC = 0");
+  b.Connect("B", "T3", "RC <> 0 AND RC < 5");
+  b.Otherwise("B", "T4");
+  b.MapFromInput("T3", {{"Inner.RC", "Inner.RC"}, {"Extra", "Extra"}});
+  b.MapData("B", "T2", {{"RC", "RC"}});
+  b.MapToOutput("T2", {{"RC", "RC"}});
+  Status st = b.Register();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(FdlRoundTripTest, SimpleProcess) {
+  wf::DefinitionStore store;
+  BuildSimpleStore(&store);
+  auto fdl1 = ExportClosure(store, {"Simple"});
+  ASSERT_TRUE(fdl1.ok()) << fdl1.status().ToString();
+
+  wf::DefinitionStore reimported;
+  auto names = ImportFdl(*fdl1, &reimported);
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+  EXPECT_EQ(*names, (std::vector<std::string>{"Simple"}));
+
+  auto fdl2 = ExportClosure(reimported, {"Simple"});
+  ASSERT_TRUE(fdl2.ok());
+  EXPECT_EQ(*fdl1, *fdl2);
+}
+
+TEST(FdlRoundTripTest, RichProcessWithEverything) {
+  wf::DefinitionStore store;
+  BuildRichStore(&store);
+  auto fdl1 = ExportClosure(store, {"Main"});
+  ASSERT_TRUE(fdl1.ok()) << fdl1.status().ToString();
+
+  wf::DefinitionStore reimported;
+  auto names = ImportFdl(*fdl1, &reimported);
+  ASSERT_TRUE(names.ok()) << names.status().ToString() << "\n" << *fdl1;
+  // Subprocess precedes the parent in the emitted closure.
+  EXPECT_EQ(*names, (std::vector<std::string>{"Sub", "Main"}));
+
+  auto fdl2 = ExportClosure(reimported, {"Main"});
+  ASSERT_TRUE(fdl2.ok());
+  EXPECT_EQ(*fdl1, *fdl2);
+
+  // Spot-check a few semantic properties survived.
+  auto main = reimported.FindProcess("Main");
+  ASSERT_TRUE(main.ok());
+  auto t1 = (*main)->FindActivity("T1");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ((*t1)->start_mode, wf::StartMode::kManual);
+  EXPECT_EQ((*t1)->role, "clerk");
+  EXPECT_EQ((*t1)->exit_condition.source(), "RC = 0");
+  EXPECT_EQ((*t1)->notify_after_micros, 1000);
+  auto nested_type = reimported.types().Find("Nest");
+  ASSERT_TRUE(nested_type.ok());
+  EXPECT_TRUE((*nested_type)->members()[0].is_struct());
+}
+
+TEST(FdlRoundTripTest, ImportIsIdempotentForSharedDefinitions) {
+  wf::DefinitionStore store;
+  BuildSimpleStore(&store);
+  auto fdl1 = ExportClosure(store, {"Simple"});
+  ASSERT_TRUE(fdl1.ok());
+
+  wf::DefinitionStore target;
+  ASSERT_TRUE(ImportFdl(*fdl1, &target).ok());
+  // A second import re-registers identical structs/programs (tolerated)
+  // but collides on the process name.
+  auto again = ImportFdl(*fdl1, &target);
+  EXPECT_TRUE(again.status().IsAlreadyExists());
+}
+
+TEST(FdlRoundTripTest, ConflictingStructRedefinitionRejected) {
+  wf::DefinitionStore store;
+  ASSERT_TRUE(ImportFdl("STRUCT 'S' 'a' : LONG; END 'S'", &store).ok());
+  auto st = ImportFdl("STRUCT 'S' 'a' : STRING; END 'S'", &store).status();
+  EXPECT_TRUE(st.IsAlreadyExists()) << st.ToString();
+}
+
+TEST(FdlRoundTripTest, ImportRunsSemanticValidation) {
+  // Syntactically fine, semantically broken: unknown program.
+  constexpr const char* kBroken = R"(
+PROCESS 'P'
+  PROGRAM_ACTIVITY 'A' PROGRAM 'ghost' END 'A'
+END 'P')";
+  wf::DefinitionStore store;
+  EXPECT_TRUE(ImportFdl(kBroken, &store).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace exotica::fdl

@@ -1,0 +1,95 @@
+#include "org/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::org {
+namespace {
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(dir_.AddRole("clerk", "handles paperwork").ok());
+    ASSERT_TRUE(dir_.AddRole("manager").ok());
+    ASSERT_TRUE(dir_.AddPerson("ann", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("bob", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("mia", 2, {"manager", "clerk"}, "").ok());
+  }
+
+  Directory dir_;
+};
+
+TEST_F(DirectoryTest, BasicRegistration) {
+  EXPECT_TRUE(dir_.HasRole("clerk"));
+  EXPECT_FALSE(dir_.HasRole("auditor"));
+  EXPECT_TRUE(dir_.HasPerson("ann"));
+  EXPECT_TRUE(dir_.AddRole("clerk").IsAlreadyExists());
+  EXPECT_TRUE(dir_.AddPerson("ann", 1, {}).IsAlreadyExists());
+  EXPECT_TRUE(dir_.AddPerson("zed", 1, {"ghost"}).IsNotFound());
+  EXPECT_TRUE(dir_.AddPerson("zed", 1, {}, "ghost").IsNotFound());
+}
+
+TEST_F(DirectoryTest, MultipleRolesPerPerson) {
+  auto mia = dir_.FindPerson("mia");
+  ASSERT_TRUE(mia.ok());
+  EXPECT_EQ((*mia)->roles.size(), 2u);
+  EXPECT_EQ(dir_.MembersOfRole("clerk"),
+            (std::vector<std::string>{"ann", "bob", "mia"}));
+}
+
+TEST_F(DirectoryTest, GrantRevoke) {
+  ASSERT_TRUE(dir_.GrantRole("ann", "manager").ok());
+  EXPECT_EQ(dir_.MembersOfRole("manager"),
+            (std::vector<std::string>{"ann", "mia"}));
+  ASSERT_TRUE(dir_.RevokeRole("ann", "manager").ok());
+  EXPECT_EQ(dir_.MembersOfRole("manager"), (std::vector<std::string>{"mia"}));
+  EXPECT_TRUE(dir_.GrantRole("ghost", "clerk").IsNotFound());
+  EXPECT_TRUE(dir_.GrantRole("ann", "ghost").IsNotFound());
+}
+
+TEST_F(DirectoryTest, StaffResolutionSkipsAbsentWithoutSubstitute) {
+  ASSERT_TRUE(dir_.SetAbsent("ann", true).ok());
+  auto staff = dir_.ResolveStaff("clerk");
+  ASSERT_TRUE(staff.ok());
+  EXPECT_EQ(*staff, (std::vector<std::string>{"bob", "mia"}));
+}
+
+TEST_F(DirectoryTest, SubstitutionChainFollowed) {
+  ASSERT_TRUE(dir_.SetAbsent("ann", true, "bob").ok());
+  ASSERT_TRUE(dir_.SetAbsent("bob", true, "mia").ok());
+  auto staff = dir_.ResolveStaff("clerk");
+  ASSERT_TRUE(staff.ok());
+  // ann -> bob -> mia; bob absent; mia also direct member. Dedup keeps one.
+  EXPECT_EQ(*staff, (std::vector<std::string>{"mia"}));
+}
+
+TEST_F(DirectoryTest, SubstitutionCycleDropsMember) {
+  ASSERT_TRUE(dir_.AddPerson("cy1", 1, {"clerk"}).ok());
+  ASSERT_TRUE(dir_.AddPerson("cy2", 1, {}).ok());
+  ASSERT_TRUE(dir_.SetAbsent("cy1", true, "cy2").ok());
+  ASSERT_TRUE(dir_.SetAbsent("cy2", true, "cy1").ok());
+  auto staff = dir_.ResolveStaff("clerk");
+  ASSERT_TRUE(staff.ok());
+  EXPECT_EQ(*staff, (std::vector<std::string>{"ann", "bob", "mia"}));
+}
+
+TEST_F(DirectoryTest, SelfSubstitutionRejected) {
+  EXPECT_TRUE(dir_.SetAbsent("ann", true, "ann").IsInvalidArgument());
+}
+
+TEST_F(DirectoryTest, UnknownRoleResolutionFails) {
+  EXPECT_TRUE(dir_.ResolveStaff("ghost").status().IsNotFound());
+}
+
+TEST_F(DirectoryTest, LevelsQuery) {
+  EXPECT_EQ(dir_.PersonsAtOrAbove(2), (std::vector<std::string>{"mia"}));
+  EXPECT_EQ(dir_.PersonsAtOrAbove(1).size(), 3u);
+}
+
+TEST_F(DirectoryTest, ManagerAssignment) {
+  ASSERT_TRUE(dir_.SetManager("ann", "mia").ok());
+  EXPECT_EQ((*dir_.FindPerson("ann"))->manager, "mia");
+  EXPECT_TRUE(dir_.SetManager("ann", "ghost").IsNotFound());
+}
+
+}  // namespace
+}  // namespace exotica::org

@@ -1,0 +1,109 @@
+#include "org/worklist.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::org {
+namespace {
+
+class WorklistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(dir_.AddRole("clerk").ok());
+    ASSERT_TRUE(dir_.AddRole("boss").ok());
+    ASSERT_TRUE(dir_.AddPerson("ann", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("bob", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("mia", 2, {"boss"}).ok());
+    service_ = std::make_unique<WorklistService>(&dir_, &clock_);
+  }
+
+  Directory dir_;
+  ManualClock clock_;
+  std::unique_ptr<WorklistService> service_;
+};
+
+TEST_F(WorklistTest, PostAppearsOnEveryEligibleWorklist) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service_->WorklistOf("ann").size(), 1u);
+  EXPECT_EQ(service_->WorklistOf("bob").size(), 1u);
+  EXPECT_TRUE(service_->WorklistOf("mia").empty());
+}
+
+TEST_F(WorklistTest, ClaimWithdrawsEverywhereElse) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service_->Claim(*id, "bob").ok());
+  EXPECT_TRUE(service_->WorklistOf("ann").empty());
+  ASSERT_EQ(service_->WorklistOf("bob").size(), 1u);
+  EXPECT_EQ(service_->WorklistOf("bob")[0]->state, WorkItemState::kClaimed);
+
+  // Double claim fails; claiming by another also fails.
+  EXPECT_TRUE(service_->Claim(*id, "ann").IsFailedPrecondition());
+}
+
+TEST_F(WorklistTest, IneligibleClaimRejected) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service_->Claim(*id, "mia").IsInvalidArgument());
+}
+
+TEST_F(WorklistTest, ReleasePutsItemBack) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service_->Claim(*id, "ann").ok());
+  ASSERT_TRUE(service_->Release(*id, "ann").ok());
+  EXPECT_EQ(service_->WorklistOf("bob").size(), 1u);
+  EXPECT_TRUE(service_->Release(*id, "ann").IsFailedPrecondition());
+}
+
+TEST_F(WorklistTest, CompleteLifecycle) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service_->Complete(*id, "ann").IsFailedPrecondition());  // unclaimed
+  ASSERT_TRUE(service_->Claim(*id, "ann").ok());
+  EXPECT_TRUE(service_->Complete(*id, "bob").IsFailedPrecondition());  // not owner
+  ASSERT_TRUE(service_->Complete(*id, "ann").ok());
+  EXPECT_EQ(service_->Count(WorkItemState::kDone), 1u);
+  EXPECT_TRUE(service_->WorklistOf("ann").empty());
+}
+
+TEST_F(WorklistTest, CancelRemovesItem) {
+  auto id = service_->Post("wf-1", "Approve", "clerk");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service_->Cancel(*id).ok());
+  EXPECT_TRUE(service_->WorklistOf("ann").empty());
+  EXPECT_TRUE(service_->Cancel(999).IsNotFound());
+}
+
+TEST_F(WorklistTest, EmptyRoleFailsAtPost) {
+  ASSERT_TRUE(dir_.AddRole("lonely").ok());
+  EXPECT_TRUE(
+      service_->Post("wf-1", "X", "lonely").status().IsFailedPrecondition());
+  EXPECT_TRUE(service_->Post("wf-1", "X", "ghost").status().IsNotFound());
+}
+
+TEST_F(WorklistTest, DeadlineNotificationOnceWithRecipients) {
+  auto id = service_->Post("wf-1", "Approve", "clerk", 1000, "boss");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service_->CheckDeadlines().empty());
+  clock_.Advance(999);
+  EXPECT_TRUE(service_->CheckDeadlines().empty());
+  clock_.Advance(1);
+  auto notes = service_->CheckDeadlines();
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].recipients, (std::vector<std::string>{"mia"}));
+  EXPECT_TRUE(service_->CheckDeadlines().empty());
+  EXPECT_EQ(service_->notifications().size(), 1u);
+}
+
+TEST_F(WorklistTest, DoneItemsEscapeDeadlines) {
+  auto id = service_->Post("wf-1", "Approve", "clerk", 1000, "boss");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service_->Claim(*id, "ann").ok());
+  ASSERT_TRUE(service_->Complete(*id, "ann").ok());
+  clock_.Advance(5000);
+  EXPECT_TRUE(service_->CheckDeadlines().empty());
+}
+
+}  // namespace
+}  // namespace exotica::org

@@ -1,0 +1,86 @@
+// Shared helpers for engine-level tests.
+
+#ifndef EXOTICA_TESTS_TESTUTIL_H_
+#define EXOTICA_TESTS_TESTUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/container.h"
+#include "wf/process.h"
+#include "wfrt/program.h"
+
+namespace exotica::test {
+
+/// Declares a program named `name` with default containers in `store`.
+inline Status DeclareDefaultProgram(wf::DefinitionStore* store,
+                                    const std::string& name) {
+  wf::ProgramDeclaration decl;
+  decl.name = name;
+  return store->DeclareProgram(std::move(decl));
+}
+
+/// Binds `name` to a program that writes RC = `rc`.
+inline Status BindConstRc(wfrt::ProgramRegistry* programs,
+                          const std::string& name, int64_t rc) {
+  return programs->Bind(
+      name, [rc](const data::Container&, data::Container* output,
+                 const wfrt::ProgramContext&) -> Status {
+        return output->Set("RC", data::Value(rc));
+      });
+}
+
+/// Binds `name` to a program that copies the input RC to the output RC.
+inline Status BindEchoRc(wfrt::ProgramRegistry* programs,
+                         const std::string& name) {
+  return programs->Bind(
+      name, [](const data::Container& input, data::Container* output,
+               const wfrt::ProgramContext&) -> Status {
+        EXO_ASSIGN_OR_RETURN(data::Value rc, input.Get("RC"));
+        return output->Set("RC", rc);
+      });
+}
+
+/// Binds `name` to a program whose RC depends on the attempt number:
+/// attempt k (1-based) yields rcs[min(k, n) - 1].
+inline Status BindScriptedRc(wfrt::ProgramRegistry* programs,
+                             const std::string& name,
+                             std::vector<int64_t> rcs) {
+  return programs->Bind(
+      name, [rcs = std::move(rcs)](const data::Container&,
+                                   data::Container* output,
+                                   const wfrt::ProgramContext& ctx) -> Status {
+        size_t idx = static_cast<size_t>(ctx.attempt) - 1;
+        if (idx >= rcs.size()) idx = rcs.size() - 1;
+        return output->Set("RC", data::Value(rcs[idx]));
+      });
+}
+
+/// Binds `name` to a program that crashes (error Status) on its first
+/// `failures` attempts, then writes RC = 0.
+inline Status BindCrashy(wfrt::ProgramRegistry* programs,
+                         const std::string& name, int failures) {
+  return programs->Bind(
+      name, [failures](const data::Container&, data::Container* output,
+                       const wfrt::ProgramContext& ctx) -> Status {
+        if (ctx.attempt <= failures) {
+          return Status::Internal("injected crash, attempt " +
+                                  std::to_string(ctx.attempt));
+        }
+        return output->Set("RC", data::Value(int64_t{0}));
+      });
+}
+
+/// Builds a `_Default` container with the given RC.
+inline data::Container DefaultInput(const wf::DefinitionStore& store,
+                                    int64_t rc) {
+  data::Container c = data::Container::Default(store.types());
+  Status st = c.Set("RC", data::Value(rc));
+  (void)st;
+  return c;
+}
+
+}  // namespace exotica::test
+
+#endif  // EXOTICA_TESTS_TESTUTIL_H_

@@ -1,0 +1,70 @@
+#include "txn/multidb.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::txn {
+namespace {
+
+using data::Value;
+
+TEST(MultiDatabaseTest, SitesAreIndependent) {
+  MultiDatabase mdb;
+  ASSERT_TRUE(mdb.AddSite("bank").ok());
+  ASSERT_TRUE(mdb.AddSite("airline").ok());
+  EXPECT_TRUE(mdb.AddSite("bank").IsAlreadyExists());
+  EXPECT_TRUE(mdb.AddSite("").IsInvalidArgument());
+  EXPECT_EQ(mdb.SiteNames(), (std::vector<std::string>{"bank", "airline"}));
+
+  auto bank = mdb.site("bank");
+  auto airline = mdb.site("airline");
+  ASSERT_TRUE(bank.ok());
+  ASSERT_TRUE(airline.ok());
+  EXPECT_TRUE(mdb.site("ghost").status().IsNotFound());
+
+  {
+    auto t = (*bank)->Begin();
+    ASSERT_TRUE(t->Put("balance", Value(int64_t{100})).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  // Same key on the other site is a different object.
+  EXPECT_TRUE((*airline)->ReadCommitted("balance")->is_null());
+  EXPECT_EQ((*bank)->ReadCommitted("balance")->as_long(), 100);
+}
+
+TEST(MultiDatabaseTest, NoGlobalAtomicity) {
+  // The defining property of the environment (paper §4.2): one site can
+  // commit while the other unilaterally aborts, and nothing in the
+  // substrate prevents the resulting partial state.
+  MultiDatabase mdb;
+  ASSERT_TRUE(mdb.AddSite("s1").ok());
+  ASSERT_TRUE(mdb.AddSite("s2").ok());
+  (*mdb.site("s2"))->FailNextCommits(1);
+
+  auto t1 = (*mdb.site("s1"))->Begin();
+  auto t2 = (*mdb.site("s2"))->Begin();
+  ASSERT_TRUE(t1->Put("x", Value(int64_t{1})).ok());
+  ASSERT_TRUE(t2->Put("y", Value(int64_t{2})).ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().IsAborted());
+
+  EXPECT_EQ((*mdb.site("s1"))->ReadCommitted("x")->as_long(), 1);
+  EXPECT_TRUE((*mdb.site("s2"))->ReadCommitted("y")->is_null());
+}
+
+TEST(MultiDatabaseTest, AggregateStats) {
+  MultiDatabase mdb;
+  ASSERT_TRUE(mdb.AddSite("a").ok());
+  ASSERT_TRUE(mdb.AddSite("b").ok());
+  for (const char* name : {"a", "b"}) {
+    auto t = (*mdb.site(name))->Begin();
+    ASSERT_TRUE(t->Put("k", Value(int64_t{1})).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  SiteStats agg = mdb.AggregateStats();
+  EXPECT_EQ(agg.begins, 2u);
+  EXPECT_EQ(agg.commits, 2u);
+  EXPECT_EQ(agg.writes, 2u);
+}
+
+}  // namespace
+}  // namespace exotica::txn

@@ -1,0 +1,149 @@
+#include "txn/site.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace exotica::txn {
+namespace {
+
+using data::Value;
+
+TEST(SiteTest, CommitMakesWritesVisible) {
+  Site site("s1");
+  auto t = site.Begin();
+  ASSERT_TRUE(t->Put("a", Value(int64_t{1})).ok());
+  ASSERT_TRUE(t->Put("b", Value("x")).ok());
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(*site.ReadCommitted("a"), Value(int64_t{1}));
+  EXPECT_EQ(*site.ReadCommitted("b"), Value("x"));
+  EXPECT_EQ(site.stats().commits, 1u);
+}
+
+TEST(SiteTest, AbortRollsBack) {
+  Site site("s1");
+  {
+    auto t = site.Begin();
+    ASSERT_TRUE(t->Put("a", Value(int64_t{1})).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto t = site.Begin();
+  ASSERT_TRUE(t->Put("a", Value(int64_t{2})).ok());
+  ASSERT_TRUE(t->Put("c", Value(int64_t{3})).ok());
+  ASSERT_TRUE(t->Erase("a").ok());
+  ASSERT_TRUE(t->Abort().ok());
+  EXPECT_EQ(*site.ReadCommitted("a"), Value(int64_t{1}));
+  EXPECT_TRUE(site.ReadCommitted("c")->is_null());
+}
+
+TEST(SiteTest, DestructorAbortsActiveTransaction) {
+  Site site("s1");
+  { auto t = site.Begin(); ASSERT_TRUE(t->Put("a", Value(int64_t{9})).ok()); }
+  EXPECT_TRUE(site.ReadCommitted("a")->is_null());
+  EXPECT_EQ(site.stats().aborts, 1u);
+}
+
+TEST(SiteTest, ReadYourOwnWrites) {
+  Site site("s1");
+  auto t = site.Begin();
+  ASSERT_TRUE(t->Put("a", Value(int64_t{5})).ok());
+  EXPECT_EQ(*t->Get("a"), Value(int64_t{5}));
+  ASSERT_TRUE(t->Erase("a").ok());
+  EXPECT_TRUE(t->Get("a")->is_null());
+  ASSERT_TRUE(t->Commit().ok());
+}
+
+TEST(SiteTest, OperationsAfterCommitRejected) {
+  Site site("s1");
+  auto t = site.Begin();
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_TRUE(t->Put("a", Value(int64_t{1})).IsFailedPrecondition());
+  EXPECT_TRUE(t->Get("a").status().IsFailedPrecondition());
+  EXPECT_TRUE(t->Commit().IsFailedPrecondition());
+  EXPECT_TRUE(t->Abort().IsFailedPrecondition());
+}
+
+TEST(SiteTest, ForcedUnilateralAbortAtCommit) {
+  Site site("s1");
+  site.FailNextCommits(1);
+  auto t = site.Begin();
+  ASSERT_TRUE(t->Put("a", Value(int64_t{1})).ok());
+  Status st = t->Commit();
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_TRUE(site.ReadCommitted("a")->is_null());
+  EXPECT_EQ(site.stats().unilateral_aborts, 1u);
+
+  // Next commit succeeds.
+  auto t2 = site.Begin();
+  ASSERT_TRUE(t2->Put("a", Value(int64_t{2})).ok());
+  EXPECT_TRUE(t2->Commit().ok());
+}
+
+TEST(SiteTest, ProbabilisticAbortIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Site site("s", {});
+    site.SetCommitFailureRate(0.5, seed);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      auto t = site.Begin();
+      EXPECT_TRUE(t->Put("k", Value(int64_t{i})).ok());
+      outcomes.push_back(t->Commit().ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SiteTest, CrashLosesStoreRestartRecoversFromWal) {
+  Site site("s1");
+  {
+    auto t = site.Begin();
+    ASSERT_TRUE(t->Put("a", Value(int64_t{1})).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto in_flight = site.Begin();
+  ASSERT_TRUE(in_flight->Put("b", Value(int64_t{2})).ok());
+
+  site.Crash();
+  EXPECT_TRUE(site.ReadCommitted("a").status().IsFailedPrecondition());
+  // The in-flight handle is poisoned.
+  EXPECT_TRUE(in_flight->Put("c", Value(int64_t{3})).IsAborted());
+
+  ASSERT_TRUE(site.Restart().ok());
+  EXPECT_EQ(*site.ReadCommitted("a"), Value(int64_t{1}));
+  EXPECT_TRUE(site.ReadCommitted("b")->is_null());  // loser's write gone
+  EXPECT_TRUE(site.Restart().IsFailedPrecondition());
+  (void)in_flight->Abort();
+}
+
+TEST(SiteTest, ConflictingWritersSerialize) {
+  Site site("s1");
+  {
+    auto t = site.Begin();
+    ASSERT_TRUE(t->Put("counter", Value(int64_t{0})).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&site] {
+      for (int j = 0; j < kIncrements; ++j) {
+        while (true) {
+          auto t = site.Begin();
+          auto v = t->Get("counter");
+          if (!v.ok()) continue;  // deadlock/timeout: retry
+          Status w = t->Put("counter", Value(v->as_long() + 1));
+          if (!w.ok()) continue;
+          if (t->Commit().ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(site.ReadCommitted("counter")->as_long(), kThreads * kIncrements);
+}
+
+}  // namespace
+}  // namespace exotica::txn

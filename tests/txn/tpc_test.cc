@@ -1,0 +1,110 @@
+#include "txn/tpc.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::txn {
+namespace {
+
+using data::Value;
+
+class TpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(mdb_.AddSite("a").ok());
+    ASSERT_TRUE(mdb_.AddSite("b").ok());
+  }
+
+  TpcBranch Write(const std::string& site, const std::string& key, int64_t v) {
+    return {site, [key, v](Transaction& t) { return t.Put(key, Value(v)); }};
+  }
+
+  MultiDatabase mdb_;
+};
+
+TEST_F(TpcTest, CommitsAtomicallyAcrossSites) {
+  TwoPhaseCommit tpc(&mdb_);
+  auto out = tpc.Execute({Write("a", "x", 1), Write("b", "y", 2)});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->committed);
+  EXPECT_EQ((*mdb_.site("a"))->ReadCommitted("x")->as_long(), 1);
+  EXPECT_EQ((*mdb_.site("b"))->ReadCommitted("y")->as_long(), 2);
+  EXPECT_EQ(tpc.stats().globals_committed, 1u);
+}
+
+TEST_F(TpcTest, NoVoteAbortsEverywhere) {
+  (*mdb_.site("b"))->FailNextCommits(1);  // b votes NO at prepare
+  TwoPhaseCommit tpc(&mdb_);
+  auto out = tpc.Execute({Write("a", "x", 1), Write("b", "y", 2)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->committed);
+  EXPECT_EQ(out->failed_branch, 1);
+  // Atomicity: neither write installed — unlike the bare multidatabase
+  // (MultiDatabaseTest.NoGlobalAtomicity).
+  EXPECT_TRUE((*mdb_.site("a"))->ReadCommitted("x")->is_null());
+  EXPECT_TRUE((*mdb_.site("b"))->ReadCommitted("y")->is_null());
+}
+
+TEST_F(TpcTest, BodyFailureAbortsEverywhere) {
+  TwoPhaseCommit tpc(&mdb_);
+  auto out = tpc.Execute(
+      {Write("a", "x", 1),
+       {"b", [](Transaction&) { return Status::Aborted("no stock"); }}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->committed);
+  EXPECT_EQ(out->failed_branch, 1);
+  EXPECT_TRUE((*mdb_.site("a"))->ReadCommitted("x")->is_null());
+}
+
+TEST_F(TpcTest, PreparedTransactionsCannotRefuseCommit) {
+  // Arm a single fault: it fires at prepare of the FIRST branch if it
+  // were evaluated at commit time it could break phase 2. With two
+  // faults armed on 'a', the first kills prepare; re-running with zero
+  // faults after a prepared vote must commit.
+  Site* a = *mdb_.site("a");
+  auto t = a->Begin();
+  ASSERT_TRUE(t->Put("k", Value(int64_t{1})).ok());
+  ASSERT_TRUE(t->Prepare().ok());
+  // Fault armed AFTER the vote: too late, the site promised.
+  a->FailNextCommits(1);
+  EXPECT_TRUE(t->Commit().ok());
+  EXPECT_EQ(a->ReadCommitted("k")->as_long(), 1);
+}
+
+TEST_F(TpcTest, NoWorkAfterPrepare) {
+  Site* a = *mdb_.site("a");
+  auto t = a->Begin();
+  ASSERT_TRUE(t->Put("k", Value(int64_t{1})).ok());
+  ASSERT_TRUE(t->Prepare().ok());
+  EXPECT_TRUE(t->Put("k2", Value(int64_t{2})).IsFailedPrecondition());
+  EXPECT_TRUE(t->Get("k").status().IsFailedPrecondition());
+  EXPECT_TRUE(t->Prepare().IsFailedPrecondition());
+  EXPECT_TRUE(t->Abort().ok());  // coordinator may still decide abort
+  EXPECT_TRUE(a->ReadCommitted("k")->is_null());
+}
+
+TEST_F(TpcTest, InDoubtTransactionsPresumedAbortAtRestart) {
+  Site* a = *mdb_.site("a");
+  auto t = a->Begin();
+  ASSERT_TRUE(t->Put("k", Value(int64_t{1})).ok());
+  ASSERT_TRUE(t->Prepare().ok());
+  // Crash with the vote logged but no outcome: in-doubt.
+  a->Crash();
+  EXPECT_EQ(a->wal().InDoubt().size(), 1u);
+  ASSERT_TRUE(a->Restart().ok());
+  // Presumed abort: the write is not installed.
+  EXPECT_TRUE(a->ReadCommitted("k")->is_null());
+  (void)t->Abort();
+}
+
+TEST_F(TpcTest, EmptyGlobalRejected) {
+  TwoPhaseCommit tpc(&mdb_);
+  EXPECT_TRUE(tpc.Execute({}).status().IsInvalidArgument());
+}
+
+TEST_F(TpcTest, UnknownSiteSurfaces) {
+  TwoPhaseCommit tpc(&mdb_);
+  EXPECT_TRUE(tpc.Execute({Write("ghost", "x", 1)}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace exotica::txn

@@ -1,0 +1,76 @@
+#include "txn/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::txn {
+namespace {
+
+using data::Value;
+
+WalRecord Update(uint64_t txn, const std::string& key, Value before,
+                 Value after) {
+  WalRecord r;
+  r.txn = txn;
+  r.type = WalRecordType::kUpdate;
+  r.key = key;
+  r.before = std::move(before);
+  r.after = std::move(after);
+  return r;
+}
+
+WalRecord Mark(uint64_t txn, WalRecordType type) {
+  WalRecord r;
+  r.txn = txn;
+  r.type = type;
+  return r;
+}
+
+TEST(WalTest, LsnsAreSequential) {
+  WriteAheadLog wal;
+  EXPECT_EQ(wal.Append(Mark(1, WalRecordType::kBegin)), 0u);
+  EXPECT_EQ(wal.Append(Mark(1, WalRecordType::kCommit)), 1u);
+  EXPECT_EQ(wal.size(), 2u);
+}
+
+TEST(WalTest, ReplayAppliesOnlyCommitted) {
+  WriteAheadLog wal;
+  wal.Append(Mark(1, WalRecordType::kBegin));
+  wal.Append(Update(1, "a", Value(), Value(int64_t{1})));
+  wal.Append(Mark(1, WalRecordType::kCommit));
+
+  wal.Append(Mark(2, WalRecordType::kBegin));
+  wal.Append(Update(2, "b", Value(), Value(int64_t{2})));
+  wal.Append(Mark(2, WalRecordType::kAbort));
+
+  wal.Append(Mark(3, WalRecordType::kBegin));
+  wal.Append(Update(3, "c", Value(), Value(int64_t{3})));
+  // txn 3 in-flight at crash: loser.
+
+  auto store = wal.Replay();
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.at("a"), Value(int64_t{1}));
+}
+
+TEST(WalTest, ReplayHonorsDeletes) {
+  WriteAheadLog wal;
+  wal.Append(Mark(1, WalRecordType::kBegin));
+  wal.Append(Update(1, "a", Value(), Value(int64_t{1})));
+  wal.Append(Mark(1, WalRecordType::kCommit));
+  wal.Append(Mark(2, WalRecordType::kBegin));
+  wal.Append(Update(2, "a", Value(int64_t{1}), Value()));  // delete
+  wal.Append(Mark(2, WalRecordType::kCommit));
+  EXPECT_TRUE(wal.Replay().empty());
+}
+
+TEST(WalTest, ReplayLastCommittedWins) {
+  WriteAheadLog wal;
+  for (uint64_t t = 1; t <= 3; ++t) {
+    wal.Append(Mark(t, WalRecordType::kBegin));
+    wal.Append(Update(t, "k", Value(), Value(static_cast<int64_t>(t))));
+    wal.Append(Mark(t, WalRecordType::kCommit));
+  }
+  EXPECT_EQ(wal.Replay().at("k"), Value(int64_t{3}));
+}
+
+}  // namespace
+}  // namespace exotica::txn

@@ -1,0 +1,96 @@
+#include "wf/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace exotica::wf {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProgramDeclaration p;
+    p.name = "prog";
+    ASSERT_TRUE(store_.DeclareProgram(p).ok());
+  }
+
+  DefinitionStore store_;
+};
+
+TEST_F(BuilderTest, FluentConstructionProducesDefinition) {
+  ProcessBuilder b(&store_, "trip", 2);
+  b.Description("books a trip")
+      .Program("Flight", "prog").WithDescription("reserve flight")
+      .Program("Hotel", "prog").Manual().Role("clerk").OrJoin()
+      .ExitWhen("RC = 0").NotifyAfter(500, "boss")
+      .Connect("Flight", "Hotel", "RC = 0");
+  auto p = b.Build();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->name(), "trip");
+  EXPECT_EQ(p->version(), 2);
+  EXPECT_EQ(p->activities().size(), 2u);
+  const Activity& hotel = p->activities()[1];
+  EXPECT_EQ(hotel.start_mode, StartMode::kManual);
+  EXPECT_EQ(hotel.role, "clerk");
+  EXPECT_EQ(hotel.join, JoinKind::kOr);
+  EXPECT_EQ(hotel.exit_condition.source(), "RC = 0");
+  EXPECT_EQ(hotel.notify_after_micros, 500);
+  EXPECT_EQ(hotel.notify_role, "boss");
+}
+
+TEST_F(BuilderTest, FirstErrorWinsAndLaterCallsAreNoOps) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog");
+  b.Program("A", "prog");  // duplicate: first error
+  b.Connect("A", "Ghost");  // would be NotFound, but masked
+  Status st = b.Register();
+  EXPECT_TRUE(st.IsAlreadyExists()) << st.ToString();
+}
+
+TEST_F(BuilderTest, ModifierBeforeActivityFails) {
+  ProcessBuilder b(&store_, "p");
+  b.Manual();
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST_F(BuilderTest, BadConditionSurfacesAsParseError) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").ExitWhen("RC = ");
+  EXPECT_TRUE(b.Build().status().IsParseError());
+
+  ProcessBuilder b2(&store_, "p2");
+  b2.Program("A", "prog").Program("B", "prog");
+  b2.Connect("A", "B", "((");
+  EXPECT_TRUE(b2.Build().status().IsParseError());
+}
+
+TEST_F(BuilderTest, RegisterPutsProcessInStore) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog");
+  ASSERT_TRUE(b.Register().ok());
+  EXPECT_TRUE(store_.HasProcess("p"));
+  // Second registration collides.
+  ProcessBuilder b2(&store_, "p");
+  b2.Program("A", "prog");
+  EXPECT_TRUE(b2.Register().IsAlreadyExists());
+}
+
+TEST_F(BuilderTest, ProgramShapesInheritedFromDeclaration) {
+  data::StructType t("S");
+  ASSERT_TRUE(t.AddScalar("X", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+  ProgramDeclaration p;
+  p.name = "shaped";
+  p.input_type = "S";
+  p.output_type = "S";
+  ASSERT_TRUE(store_.DeclareProgram(p).ok());
+
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "shaped");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->activities()[0].input_type, "S");
+  EXPECT_EQ(def->activities()[0].output_type, "S");
+}
+
+}  // namespace
+}  // namespace exotica::wf

@@ -1,0 +1,142 @@
+#include "wf/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wf/process.h"
+
+namespace exotica::wf {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProgramDeclaration p;
+    p.name = "prog";
+    ASSERT_TRUE(store_.DeclareProgram(p).ok());
+  }
+
+  DefinitionStore store_;
+};
+
+TEST_F(ValidateTest, AcceptsMinimalProcess) {
+  ProcessBuilder b(&store_, "ok");
+  b.Program("A", "prog");
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST_F(ValidateTest, UnknownProgramRejected) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "ghost");
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+}
+
+TEST_F(ValidateTest, ContainerShapeMismatchWithProgramRejected) {
+  data::StructType t("Other");
+  ASSERT_TRUE(t.AddScalar("X", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Containers("Other", "Other");
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, UnknownContainerTypeRejected) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Containers("Ghost", "_Default");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST_F(ValidateTest, TransitionConditionIdentifiersChecked) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Program("B", "prog");
+  b.Connect("A", "B", "Bogus = 1");
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, ExitConditionIdentifiersChecked) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").ExitWhen("Bogus = 1");
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, OtherwiseNeedsConditionedSibling) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Program("B", "prog").Program("C", "prog");
+  b.Otherwise("A", "B");
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+
+  ProcessBuilder b2(&store_, "p2");
+  b2.Program("A", "prog").Program("B", "prog").Program("C", "prog");
+  b2.Connect("A", "B", "RC = 0");
+  b2.Otherwise("A", "C");
+  EXPECT_TRUE(b2.Build().ok());
+}
+
+TEST_F(ValidateTest, DataConnectorRequiresControlPath) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Program("B", "prog");
+  // No control connector A -> B.
+  b.MapData("A", "B", {{"RC", "RC"}});
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, DataConnectorTypeChecked) {
+  data::StructType t("S");
+  ASSERT_TRUE(t.AddScalar("Name", data::ScalarType::kString).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+  ProgramDeclaration p;
+  p.name = "sprog";
+  p.output_type = "S";
+  ASSERT_TRUE(store_.DeclareProgram(p).ok());
+
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "sprog").Program("B", "prog");
+  b.Connect("A", "B");
+  b.MapData("A", "B", {{"Name", "RC"}});  // string -> long
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, EmptyMappingRejected) {
+  ProcessBuilder b(&store_, "p");
+  b.Program("A", "prog").Program("B", "prog");
+  b.Connect("A", "B");
+  b.MapData("A", "B", {});
+  EXPECT_TRUE(b.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, SubprocessMustBeRegisteredFirst) {
+  ProcessBuilder b(&store_, "parent");
+  b.Block("B", "child");
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+
+  ProcessBuilder child(&store_, "child");
+  child.Program("X", "prog");
+  ASSERT_TRUE(child.Register().ok());
+
+  ProcessBuilder b2(&store_, "parent");
+  b2.Block("B", "child");
+  EXPECT_TRUE(b2.Build().ok());
+}
+
+TEST_F(ValidateTest, DirectRecursionRejected) {
+  ProcessBuilder child(&store_, "selfref");
+  child.Block("B", "selfref");
+  EXPECT_TRUE(child.Build().status().IsValidationError());
+}
+
+TEST_F(ValidateTest, CyclicControlFlowRejected) {
+  ProcessDefinition p("cyclic");
+  for (const char* name : {"A", "B"}) {
+    Activity a;
+    a.name = name;
+    a.program = "prog";
+    ASSERT_TRUE(p.AddActivity(std::move(a)).ok());
+  }
+  ASSERT_TRUE(p.AddControlConnector({"A", "B", {}, false}).ok());
+  ASSERT_TRUE(p.AddControlConnector({"B", "A", {}, false}).ok());
+  EXPECT_TRUE(ValidateProcess(p, store_).IsValidationError());
+}
+
+}  // namespace
+}  // namespace exotica::wf

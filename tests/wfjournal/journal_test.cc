@@ -1,0 +1,112 @@
+#include "wfjournal/journal.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace exotica::wfjournal {
+namespace {
+
+Record MakeRecord(EventType type, const std::string& inst) {
+  Record r;
+  r.type = type;
+  r.instance = inst;
+  r.activity = "A";
+  r.to = "B";
+  r.flag = true;
+  r.payload = "RC=0\nState_1=1\n";
+  r.extra = "tab\there";
+  return r;
+}
+
+TEST(JournalRecordTest, EncodeDecodeRoundTrip) {
+  Record r = MakeRecord(EventType::kConnectorEval, "wf-3");
+  r.seq = 17;
+  auto decoded = Record::Decode(r.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 17u);
+  EXPECT_EQ(decoded->type, EventType::kConnectorEval);
+  EXPECT_EQ(decoded->instance, "wf-3");
+  EXPECT_EQ(decoded->activity, "A");
+  EXPECT_EQ(decoded->to, "B");
+  EXPECT_TRUE(decoded->flag);
+  EXPECT_EQ(decoded->payload, r.payload);
+  EXPECT_EQ(decoded->extra, r.extra);
+}
+
+TEST(JournalRecordTest, DecodeRejectsMalformedLines) {
+  EXPECT_TRUE(Record::Decode("").status().IsCorruption());
+  EXPECT_TRUE(Record::Decode("1\t2\t3").status().IsCorruption());
+  EXPECT_TRUE(Record::Decode("x\t0\ti\ta\tb\t0\tp\te").status().IsCorruption());
+  EXPECT_TRUE(Record::Decode("0\t99\ti\ta\tb\t0\tp\te").status().IsCorruption());
+  EXPECT_TRUE(Record::Decode("0\t0\ti\ta\tb\t7\tp\te").status().IsCorruption());
+  EXPECT_TRUE(Record::Decode("0\t0\ti\ta\tb\t0\tbad\\x\te").status().IsCorruption());
+}
+
+TEST(MemoryJournalTest, AppendAssignsSequence) {
+  MemoryJournal j;
+  ASSERT_TRUE(j.Append(MakeRecord(EventType::kInstanceStart, "wf-1")).ok());
+  ASSERT_TRUE(j.Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  auto all = j.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].seq, 0u);
+  EXPECT_EQ((*all)[1].seq, 1u);
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(MemoryJournalTest, TruncateSimulatesCrash) {
+  MemoryJournal j;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(j.Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  j.TruncateTo(2);
+  EXPECT_EQ(j.size(), 2u);
+  j.TruncateTo(10);  // no-op
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(FileJournalTest, PersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/exo_journal_test.log";
+  std::remove(path.c_str());
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok()) << j.status().ToString();
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kInstanceStart, "wf-1")).ok());
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    EXPECT_EQ((*j)->size(), 2u);
+    auto all = (*j)->ReadAll();
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), 2u);
+    EXPECT_EQ((*all)[1].type, EventType::kActivityReady);
+    // Appending continues the sequence.
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+    auto again = (*j)->ReadAll();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ((*again)[2].seq, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, DetectsSeqGapCorruption) {
+  std::string path = ::testing::TempDir() + "/exo_journal_gap.log";
+  std::remove(path.c_str());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    Record r = MakeRecord(EventType::kInstanceStart, "wf-1");
+    r.seq = 5;  // gap: first record should be 0
+    fprintf(f, "%s\n", r.Encode().c_str());
+    fclose(f);
+  }
+  auto j = FileJournal::Open(path);
+  EXPECT_TRUE(j.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace exotica::wfjournal

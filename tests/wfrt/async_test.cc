@@ -1,0 +1,137 @@
+// Asynchronous external activities (§3.3: activities "can be of any
+// type, not just computer programs, as long as there is a way to report
+// their progress to the WFMS").
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+using wf::ActivityState;
+
+class AsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "external").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+    // The external program only *launches* work: its result arrives later
+    // via CompleteAsync.
+    ASSERT_TRUE(programs_
+                    .Bind("external",
+                          [this](const data::Container&, data::Container*,
+                                 const wfrt::ProgramContext&) {
+                            ++launches_;
+                            return Status::Pending("fax sent, awaiting reply");
+                          })
+                    .ok());
+
+    wf::ProcessBuilder b(&store_, "proc");
+    b.Program("Pre", "ok");
+    b.Program("Fax", "external");
+    b.Program("Post", "ok");
+    b.Connect("Pre", "Fax", "RC = 0");
+    b.Connect("Fax", "Post", "RC = 0");
+    b.MapToOutput("Post", {{"RC", "RC"}});
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  data::Container RcContainer(int64_t rc) {
+    data::Container c = data::Container::Default(store_.types());
+    Status st = c.Set("RC", data::Value(rc));
+    (void)st;
+    return c;
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+  int launches_ = 0;
+};
+
+TEST_F(AsyncTest, PendingParksTheActivityUntilCompletion) {
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  EXPECT_FALSE(engine.IsFinished(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "Fax"), ActivityState::kRunning);
+  EXPECT_EQ(launches_, 1);
+
+  ASSERT_TRUE(engine.CompleteAsync(*id, "Fax", RcContainer(0)).ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+  EXPECT_EQ(*engine.StateOf(*id, "Post"), ActivityState::kTerminated);
+}
+
+TEST_F(AsyncTest, AsyncFailureRoutesLikeAnyAbort) {
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(engine.CompleteAsync(*id, "Fax", RcContainer(1)).ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "Post"), ActivityState::kDead);
+}
+
+TEST_F(AsyncTest, CompleteAsyncGuards) {
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  // Pre is ready but not running yet.
+  EXPECT_TRUE(engine.CompleteAsync(*id, "Pre", RcContainer(0))
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(engine.Run().ok());
+  // Post is waiting; Fax running. Unknown names / instances fail.
+  EXPECT_TRUE(engine.CompleteAsync(*id, "Post", RcContainer(0))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine.CompleteAsync("ghost", "Fax", RcContainer(0)).IsNotFound());
+  EXPECT_TRUE(engine.CompleteAsync(*id, "Ghost", RcContainer(0)).IsNotFound());
+  // Wrong container shape.
+  data::StructType t("Odd");
+  ASSERT_TRUE(t.AddScalar("X", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+  auto odd = data::Container::Create(store_.types(), "Odd");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_TRUE(engine.CompleteAsync(*id, "Fax", *odd).IsInvalidArgument());
+  // Double completion.
+  ASSERT_TRUE(engine.CompleteAsync(*id, "Fax", RcContainer(0)).ok());
+  EXPECT_TRUE(engine.CompleteAsync(*id, "Fax", RcContainer(0))
+                  .IsFailedPrecondition());
+}
+
+TEST_F(AsyncTest, CrashWhilePendingRelaunchesTheExternalWork) {
+  wfjournal::MemoryJournal journal;
+  std::string id;
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    auto r = engine.StartProcess("proc");
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    ASSERT_TRUE(engine.Run().ok());
+    EXPECT_EQ(launches_, 1);
+    // Crash while the fax is out.
+  }
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.Recover().ok());
+    ASSERT_TRUE(engine.Run().ok());
+    // At-least-once: the external work was re-launched.
+    EXPECT_EQ(launches_, 2);
+    EXPECT_EQ(*engine.StateOf(id, "Fax"), ActivityState::kRunning);
+    ASSERT_TRUE(engine.CompleteAsync(id, "Fax", RcContainer(0)).ok());
+    EXPECT_TRUE(engine.IsFinished(id));
+  }
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,139 @@
+// Audit trail accounting (§3.3 monitoring / accounting): per-activity
+// execution counts and active time, instance makespan, with a manual
+// clock so the timestamps are exact.
+
+#include "wfrt/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica::wfrt {
+namespace {
+
+TEST(AuditAccountingTest, SummarizesEngineRun) {
+  wf::DefinitionStore store;
+  ProgramRegistry programs;
+  ManualClock clock;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "tick").ok());
+  // The program advances the clock by 50 µs per run and reports RC by
+  // attempt: fail once, then succeed.
+  ASSERT_TRUE(programs
+                  .Bind("tick",
+                        [&clock](const data::Container&, data::Container* out,
+                                 const ProgramContext& ctx) -> Status {
+                          clock.Advance(50);
+                          return out->Set(
+                              "RC", data::Value(int64_t{ctx.attempt < 2 ? 1 : 0}));
+                        })
+                  .ok());
+
+  wf::ProcessBuilder b(&store, "p");
+  b.Program("A", "tick").ExitWhen("RC = 0");
+  b.Program("B", "tick").ExitWhen("RC < 2");  // first run passes (RC=1)
+  b.Program("Dead", "tick");
+  b.Connect("A", "B", "RC = 0");
+  b.Connect("A", "Dead", "RC = 9");  // never
+  ASSERT_TRUE(b.Register().ok());
+
+  EngineOptions opts;
+  opts.clock = &clock;
+  Engine engine(&store, &programs, opts);
+  auto id = engine.RunToCompletion("p");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto summary = engine.audit().Summarize(*id);
+  ASSERT_TRUE(summary.ok());
+  const auto& a = summary->at("A");
+  EXPECT_EQ(a.executions, 2);   // rescheduled once by the exit condition
+  EXPECT_EQ(a.reschedules, 1);
+  EXPECT_EQ(a.active_micros, 100);  // two 50 µs runs
+  EXPECT_GE(a.settled_at, a.first_ready);
+
+  const auto& b_sum = summary->at("B");
+  EXPECT_EQ(b_sum.executions, 1);
+  EXPECT_EQ(b_sum.active_micros, 50);
+
+  const auto& dead = summary->at("Dead");
+  EXPECT_EQ(dead.executions, 0);
+  EXPECT_EQ(dead.active_micros, 0);
+  EXPECT_GE(dead.settled_at, 0);  // settled via dead path
+
+  auto makespan = engine.audit().InstanceMakespan(*id);
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_EQ(*makespan, 150);  // three program runs total
+
+  EXPECT_TRUE(engine.audit().Summarize("ghost").status().IsNotFound());
+}
+
+TEST(AuditAccountingTest, UnfinishedInstanceHasNoMakespan) {
+  wf::DefinitionStore store;
+  ProgramRegistry programs;
+  org::Directory dir;
+  ASSERT_TRUE(dir.AddRole("r").ok());
+  ASSERT_TRUE(dir.AddPerson("p", 1, {"r"}).ok());
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "ok").ok());
+  ASSERT_TRUE(test::BindConstRc(&programs, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store, "manual");
+  b.Program("M", "ok").Manual().Role("r");
+  ASSERT_TRUE(b.Register().ok());
+
+  Engine engine(&store, &programs);
+  ASSERT_TRUE(engine.AttachOrganization(&dir).ok());
+  auto id = engine.StartProcess("manual");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(
+      engine.audit().InstanceMakespan(*id).status().IsFailedPrecondition());
+}
+
+TEST(AuditAccountingTest, ObserverSeesEventsLive) {
+  wf::DefinitionStore store;
+  ProgramRegistry programs;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "ok").ok());
+  ASSERT_TRUE(test::BindConstRc(&programs, "ok", 0).ok());
+  wf::ProcessBuilder b(&store, "p");
+  b.Program("A", "ok");
+  ASSERT_TRUE(b.Register().ok());
+
+  Engine engine(&store, &programs);
+  std::vector<std::string> seen;
+  engine.SetObserver([&seen](const AuditEvent& e) {
+    seen.push_back(e.Compact());
+  });
+  auto id = engine.RunToCompletion("p");
+  ASSERT_TRUE(id.ok());
+  // The observer saw exactly what the trail recorded.
+  std::vector<std::string> trail;
+  for (const AuditEvent& e : engine.audit().events()) {
+    trail.push_back(e.Compact());
+  }
+  EXPECT_EQ(seen, trail);
+  EXPECT_FALSE(seen.empty());
+
+  // Detach: no further callbacks.
+  engine.SetObserver(nullptr);
+  size_t before = seen.size();
+  ASSERT_TRUE(engine.RunToCompletion("p").ok());
+  EXPECT_EQ(seen.size(), before);
+}
+
+TEST(AuditAccountingTest, CompactFormats) {
+  AuditEvent e;
+  e.kind = AuditKind::kConnectorTrue;
+  e.activity = "A";
+  e.detail = "B";
+  EXPECT_EQ(e.Compact(), "A->B:true");
+  e.kind = AuditKind::kInstanceFinished;
+  e.instance = "wf-1";
+  EXPECT_EQ(e.Compact(), "wf-1:instance-finished");
+  e.kind = AuditKind::kActivityStarted;
+  EXPECT_EQ(e.Compact(), "A:started");
+}
+
+}  // namespace
+}  // namespace exotica::wfrt

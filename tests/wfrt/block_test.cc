@@ -1,0 +1,173 @@
+// Blocks (process activities, paper §3.2): nesting, data flow across the
+// block boundary, and loops built from exit conditions on blocks.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::BindEchoRc;
+using test::BindScriptedRc;
+using test::DeclareDefaultProgram;
+using test::DefaultInput;
+
+class BlockTest : public ::testing::Test {
+ protected:
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(BlockTest, ChildRunsAndReturnsOutput) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder inner(&store_, "inner");
+  inner.Program("X", "echo");
+  inner.MapFromInput("X", {{"RC", "RC"}});
+  inner.MapToOutput("X", {{"RC", "RC"}});
+  ASSERT_TRUE(inner.Register().ok());
+
+  wf::ProcessBuilder outer(&store_, "outer");
+  outer.Program("Pre", "echo");
+  outer.Block("B", "inner");
+  outer.Connect("Pre", "B");
+  outer.MapFromInput("Pre", {{"RC", "RC"}});
+  outer.MapData("Pre", "B", {{"RC", "RC"}});
+  outer.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(outer.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  data::Container in = DefaultInput(store_, 9);
+  auto id = engine.RunToCompletion("outer", &in);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 9);
+  // Parent + child instance.
+  EXPECT_EQ(engine.stats().instances_started, 2u);
+  EXPECT_EQ(engine.stats().instances_finished, 2u);
+}
+
+TEST_F(BlockTest, ThreeLevelNesting) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder l3(&store_, "level3");
+  l3.Program("X", "echo");
+  l3.MapFromInput("X", {{"RC", "RC"}});
+  l3.MapToOutput("X", {{"RC", "RC"}});
+  ASSERT_TRUE(l3.Register().ok());
+
+  wf::ProcessBuilder l2(&store_, "level2");
+  l2.Block("B", "level3");
+  l2.MapFromInput("B", {{"RC", "RC"}});
+  l2.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(l2.Register().ok());
+
+  wf::ProcessBuilder l1(&store_, "level1");
+  l1.Block("B", "level2");
+  l1.MapFromInput("B", {{"RC", "RC"}});
+  l1.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(l1.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  data::Container in = DefaultInput(store_, 5);
+  auto id = engine.RunToCompletion("level1", &in);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 5);
+  EXPECT_EQ(engine.stats().instances_finished, 3u);
+}
+
+TEST_F(BlockTest, ExitConditionLoopsBlock) {
+  // The paper: "Exit conditions can be used to implement loops, by
+  // embedding subprocesses within another process." The child reports
+  // RC=1 twice then RC=0; the block re-runs until the exit holds. Each
+  // block re-run spawns a fresh child instance (fresh attempt counters),
+  // so the flakiness must live outside the instance.
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "flaky").ok());
+  auto calls = std::make_shared<int>(0);
+  ASSERT_TRUE(programs_
+                  .Bind("flaky",
+                        [calls](const data::Container&, data::Container* out,
+                                const wfrt::ProgramContext&) -> Status {
+                          int64_t rc = ++*calls < 3 ? 1 : 0;
+                          return out->Set("RC", data::Value(rc));
+                        })
+                  .ok());
+
+  wf::ProcessBuilder inner(&store_, "body");
+  inner.Program("X", "flaky");
+  inner.MapToOutput("X", {{"RC", "RC"}});
+  ASSERT_TRUE(inner.Register().ok());
+
+  wf::ProcessBuilder outer(&store_, "looped");
+  outer.Block("B", "body").ExitWhen("RC = 0");
+  outer.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(outer.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("looped");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+  // One parent + three child instances (two rescheduled runs).
+  EXPECT_EQ(engine.stats().instances_started, 4u);
+  EXPECT_EQ(engine.stats().reschedules, 2u);
+}
+
+TEST_F(BlockTest, DeadBlockNeverSpawnsChild) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder inner(&store_, "inner2");
+  inner.Program("X", "echo");
+  ASSERT_TRUE(inner.Register().ok());
+
+  wf::ProcessBuilder outer(&store_, "outer2");
+  outer.Program("A", "fail");
+  outer.Block("B", "inner2");
+  outer.Connect("A", "B", "RC = 0");
+  ASSERT_TRUE(outer.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("outer2");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "B"), wf::ActivityState::kDead);
+  EXPECT_EQ(engine.stats().instances_started, 1u);  // parent only
+}
+
+TEST_F(BlockTest, SideBySideBlocksShareDefinition) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder inner(&store_, "shared");
+  inner.Program("X", "echo");
+  inner.MapFromInput("X", {{"RC", "RC"}});
+  inner.MapToOutput("X", {{"RC", "RC"}});
+  ASSERT_TRUE(inner.Register().ok());
+
+  wf::ProcessBuilder outer(&store_, "pair");
+  outer.Block("B1", "shared");
+  outer.Block("B2", "shared");
+  outer.Connect("B1", "B2");
+  outer.MapFromInput("B1", {{"RC", "RC"}});
+  outer.MapData("B1", "B2", {{"RC", "RC"}});
+  outer.MapToOutput("B2", {{"RC", "RC"}});
+  ASSERT_TRUE(outer.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  data::Container in = DefaultInput(store_, 3);
+  auto id = engine.RunToCompletion("pair", &in);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 3);
+  EXPECT_EQ(engine.stats().instances_finished, 3u);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,124 @@
+// Dead path elimination (paper §3.2): a false connector terminates the
+// target without running it, and the false propagates along every
+// outgoing connector of the dead activity.
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+using wf::ActivityState;
+
+class DpeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(DpeTest, CascadesThroughLongChain) {
+  constexpr int kLen = 50;
+  wf::ProcessBuilder b(&store_, "longchain");
+  b.Program("A0", "fail");
+  for (int i = 1; i < kLen; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i), "RC = 0");
+  }
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("longchain");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.stats().activities_executed, 1u);
+  EXPECT_EQ(engine.stats().dead_path_terminations,
+            static_cast<uint64_t>(kLen - 1));
+  for (int i = 1; i < kLen; ++i) {
+    EXPECT_EQ(*engine.StateOf(*id, "A" + std::to_string(i)),
+              ActivityState::kDead);
+  }
+}
+
+TEST_F(DpeTest, FanOutAllBranchesDie) {
+  constexpr int kFan = 20;
+  wf::ProcessBuilder b(&store_, "fan");
+  b.Program("Root", "fail");
+  for (int i = 0; i < kFan; ++i) {
+    b.Program("L" + std::to_string(i), "ok");
+    b.Connect("Root", "L" + std::to_string(i), "RC = 0");
+  }
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("fan");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine.stats().dead_path_terminations,
+            static_cast<uint64_t>(kFan));
+}
+
+TEST_F(DpeTest, DeadBranchDoesNotKillConvergingOrJoin) {
+  // A succeeds, B fails; M or-joins both and must still run.
+  wf::ProcessBuilder b(&store_, "converge");
+  b.Program("A", "ok").Program("B", "fail");
+  b.Program("M", "ok").OrJoin();
+  b.Connect("A", "M", "RC = 0");
+  b.Connect("B", "M", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("converge");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "M"), ActivityState::kTerminated);
+}
+
+TEST_F(DpeTest, DiamondWithDeadMiddleTerminatesProcess) {
+  // Root fails -> both middle branches die -> AND-join sink dies ->
+  // process still finishes (all activities settled).
+  wf::ProcessBuilder b(&store_, "diamond");
+  b.Program("Root", "fail").Program("L", "ok").Program("R", "ok")
+      .Program("Sink", "ok");
+  b.Connect("Root", "L", "RC = 0");
+  b.Connect("Root", "R", "RC = 0");
+  b.Connect("L", "Sink");
+  b.Connect("R", "Sink");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("diamond");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "Sink"), ActivityState::kDead);
+}
+
+TEST_F(DpeTest, PartialDiamondAndJoinDies) {
+  // L runs, R dies; the AND-join sink must die after both settle.
+  wf::ProcessBuilder b(&store_, "partial");
+  b.Program("A", "ok").Program("L", "ok").Program("R", "ok")
+      .Program("Sink", "ok");
+  b.Connect("A", "L", "RC = 0");
+  b.Connect("A", "R", "RC = 1");  // false
+  b.Connect("L", "Sink");
+  b.Connect("R", "Sink");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("partial");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "L"), ActivityState::kTerminated);
+  EXPECT_EQ(*engine.StateOf(*id, "R"), ActivityState::kDead);
+  EXPECT_EQ(*engine.StateOf(*id, "Sink"), ActivityState::kDead);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,136 @@
+// Error-path coverage for the engine's public API: every guard returns
+// the documented Status code and leaves state consistent.
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+
+class EngineErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+    wf::ProcessBuilder b(&store_, "p");
+    b.Program("A", "ok");
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(EngineErrorsTest, StartProcessGuards) {
+  wfrt::Engine engine(&store_, &programs_);
+  EXPECT_TRUE(engine.StartProcess("ghost").status().IsNotFound());
+
+  // Wrong input container type.
+  data::StructType t("Odd");
+  ASSERT_TRUE(t.AddScalar("X", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+  auto odd = data::Container::Create(store_.types(), "Odd");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_TRUE(engine.StartProcess("p", &*odd).status().IsInvalidArgument());
+}
+
+TEST_F(EngineErrorsTest, JournalMustAttachBeforeFirstInstance) {
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.StartProcess("p").ok());
+  wfjournal::MemoryJournal journal;
+  EXPECT_TRUE(engine.AttachJournal(&journal).IsFailedPrecondition());
+}
+
+TEST_F(EngineErrorsTest, InspectionGuards) {
+  wfrt::Engine engine(&store_, &programs_);
+  EXPECT_TRUE(engine.FindInstance("nope").status().IsNotFound());
+  EXPECT_FALSE(engine.IsFinished("nope"));
+  EXPECT_FALSE(engine.IsCancelled("nope"));
+  EXPECT_FALSE(engine.IsSuspended("nope"));
+  EXPECT_TRUE(engine.OutputOf("nope").status().IsNotFound());
+  EXPECT_TRUE(engine.StateOf("nope", "A").status().IsNotFound());
+
+  auto id = engine.StartProcess("p");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(engine.OutputOf(*id).status().IsFailedPrecondition());
+  EXPECT_TRUE(engine.StateOf(*id, "Ghost").status().IsNotFound());
+}
+
+TEST_F(EngineErrorsTest, ManualApisNeedAnOrganization) {
+  wfrt::Engine engine(&store_, &programs_);
+  EXPECT_TRUE(engine.Claim(1, "ann").IsFailedPrecondition());
+  EXPECT_TRUE(engine.ExecuteWorkItem(1, "ann").IsFailedPrecondition());
+  EXPECT_TRUE(engine.CheckDeadlines().empty());
+  EXPECT_EQ(engine.worklists(), nullptr);
+
+  // A manual activity without an attached organization fails to ready.
+  wf::ProcessBuilder b(&store_, "manual");
+  b.Program("M", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+  EXPECT_TRUE(engine.StartProcess("manual").status().IsFailedPrecondition());
+}
+
+TEST_F(EngineErrorsTest, ForceFinishGuards) {
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("p");
+  ASSERT_TRUE(id.ok());
+  data::Container out = data::Container::Default(store_.types());
+
+  // Ready works; terminated does not.
+  ASSERT_TRUE(engine.ForceFinish(*id, "A", out).ok());
+  EXPECT_TRUE(engine.ForceFinish(*id, "A", out).IsFailedPrecondition());
+  EXPECT_TRUE(engine.ForceFinish("nope", "A", out).IsNotFound());
+  EXPECT_TRUE(engine.ForceFinish(*id, "Ghost", out).IsNotFound());
+}
+
+TEST_F(EngineErrorsTest, ExecuteWorkItemStateChecks) {
+  org::Directory dir;
+  ASSERT_TRUE(dir.AddRole("clerk").ok());
+  ASSERT_TRUE(dir.AddPerson("ann", 1, {"clerk"}).ok());
+  ASSERT_TRUE(dir.AddPerson("bob", 1, {"clerk"}).ok());
+
+  wf::ProcessBuilder b(&store_, "manual2");
+  b.Program("M", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir).ok());
+  auto id = engine.StartProcess("manual2");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  auto items = engine.worklists()->WorklistOf("ann");
+  ASSERT_EQ(items.size(), 1u);
+  org::WorkItemId item = items[0]->id;
+
+  // Must be claimed, and by the executor.
+  EXPECT_TRUE(engine.ExecuteWorkItem(item, "ann").IsFailedPrecondition());
+  ASSERT_TRUE(engine.Claim(item, "ann").ok());
+  EXPECT_TRUE(engine.ExecuteWorkItem(item, "bob").IsFailedPrecondition());
+  EXPECT_TRUE(engine.ExecuteWorkItem(999, "ann").IsNotFound());
+  ASSERT_TRUE(engine.ExecuteWorkItem(item, "ann").ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+}
+
+TEST_F(EngineErrorsTest, RunToCompletionReportsStall) {
+  org::Directory dir;
+  ASSERT_TRUE(dir.AddRole("clerk").ok());
+  ASSERT_TRUE(dir.AddPerson("ann", 1, {"clerk"}).ok());
+  wf::ProcessBuilder b(&store_, "manual3");
+  b.Program("M", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir).ok());
+  auto r = engine.RunToCompletion("manual3");
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,161 @@
+// Engine property tests over random process graphs:
+//  * navigation always settles every activity (terminated or dead);
+//  * execution is deterministic (identical audit trails across runs);
+//  * an activity never runs unless its start condition held;
+//  * crash-recovery at random journal cuts reaches the same final state
+//    as the uninterrupted run.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::DeclareDefaultProgram;
+using wf::ActivityState;
+
+// Builds a random DAG process over n activities with random conditions
+// and joins. Programs emit RC in {0,1} chosen per-activity (fixed, so the
+// run is deterministic).
+struct RandomProcess {
+  std::string name;
+  int n = 0;
+  std::map<std::string, int64_t> rc;  // activity -> RC it reports
+};
+
+RandomProcess BuildRandomProcess(Rng* rng, int index,
+                                 wf::DefinitionStore* store,
+                                 wfrt::ProgramRegistry* programs) {
+  RandomProcess rp;
+  rp.name = "rand" + std::to_string(index);
+  rp.n = static_cast<int>(rng->Uniform(3, 12));
+
+  wf::ProcessBuilder b(store, rp.name);
+  for (int i = 0; i < rp.n; ++i) {
+    std::string act = "A" + std::to_string(i);
+    int64_t rc = rng->Bernoulli(0.25) ? 1 : 0;
+    rp.rc[act] = rc;
+    std::string program = rc == 0 ? "rc0" : "rc1";
+    b.Program(act, program);
+    if (rng->Bernoulli(0.3)) b.OrJoin();
+  }
+  // Random forward edges i -> j (i < j) with random conditions.
+  for (int j = 1; j < rp.n; ++j) {
+    int edges = static_cast<int>(rng->Uniform(1, std::min(j, 3)));
+    std::vector<int> sources;
+    for (int e = 0; e < edges; ++e) {
+      int i = static_cast<int>(rng->Uniform(0, j - 1));
+      bool dup = false;
+      for (int s : sources) dup = dup || s == i;
+      if (dup) continue;
+      sources.push_back(i);
+      const char* cond;
+      switch (rng->Uniform(0, 2)) {
+        case 0: cond = "RC = 0"; break;
+        case 1: cond = "RC <> 0"; break;
+        default: cond = ""; break;
+      }
+      b.Connect("A" + std::to_string(i), "A" + std::to_string(j), cond);
+    }
+  }
+  Status st = b.Register();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  if (!programs->IsBound("rc0")) {
+    EXPECT_TRUE(DeclareDefaultProgram(store, "rc0").ok() || true);
+  }
+  return rp;
+}
+
+void EnsurePrograms(wf::DefinitionStore* store,
+                    wfrt::ProgramRegistry* programs) {
+  for (const char* name : {"rc0", "rc1"}) {
+    if (!store->HasProgram(name)) {
+      ASSERT_TRUE(DeclareDefaultProgram(store, name).ok());
+    }
+    if (!programs->IsBound(name)) {
+      int64_t rc = name[2] == '0' ? 0 : 1;
+      ASSERT_TRUE(test::BindConstRc(programs, name, rc).ok());
+    }
+  }
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnginePropertyTest, SettlesDeterministicallyAndRecovers) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1313);
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  EnsurePrograms(&store, &programs);
+  RandomProcess rp = BuildRandomProcess(&rng, GetParam(), &store, &programs);
+
+  // Reference run with journal.
+  wfjournal::MemoryJournal journal;
+  wfrt::Engine engine(&store, &programs);
+  ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+  auto id = engine.RunToCompletion(rp.name);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // (1) Everything settled.
+  std::map<std::string, ActivityState> final_states;
+  for (int i = 0; i < rp.n; ++i) {
+    std::string act = "A" + std::to_string(i);
+    ActivityState s = *engine.StateOf(*id, act);
+    EXPECT_TRUE(s == ActivityState::kTerminated || s == ActivityState::kDead)
+        << act << " is " << wf::ActivityStateName(s);
+    final_states[act] = s;
+  }
+
+  // (2) Determinism: a second engine produces the identical audit trail.
+  {
+    wfrt::Engine engine2(&store, &programs);
+    auto id2 = engine2.RunToCompletion(rp.name);
+    ASSERT_TRUE(id2.ok());
+    EXPECT_EQ(engine.audit().CompactTrace(*id),
+              engine2.audit().CompactTrace(*id2));
+  }
+
+  // (3) An activity executed iff it terminated (no dead activity ran).
+  for (const auto& [act, state] : final_states) {
+    auto started = engine.audit().CompactTrace(
+        *id, {wfrt::AuditKind::kActivityStarted});
+    bool ran = false;
+    for (const std::string& line : started) {
+      if (line == act + ":started") ran = true;
+    }
+    EXPECT_EQ(ran, state == ActivityState::kTerminated) << act;
+  }
+
+  // (4) Recovery from three random cuts reaches the same final states.
+  auto records = journal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  for (int trial = 0; trial < 3; ++trial) {
+    uint64_t cut = static_cast<uint64_t>(
+        rng.Uniform(1, static_cast<int64_t>(records->size())));
+    wfjournal::MemoryJournal partial;
+    for (uint64_t i = 0; i < cut; ++i) {
+      ASSERT_TRUE(partial.Append((*records)[i]).ok());
+    }
+    wfrt::Engine recovered(&store, &programs);
+    ASSERT_TRUE(recovered.AttachJournal(&partial).ok());
+    ASSERT_TRUE(recovered.Recover().ok());
+    ASSERT_TRUE(recovered.Run().ok());
+    ASSERT_TRUE(recovered.IsFinished(*id)) << "cut=" << cut;
+    for (const auto& [act, state] : final_states) {
+      EXPECT_EQ(*recovered.StateOf(*id, act), state)
+          << act << " after cut " << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace exotica

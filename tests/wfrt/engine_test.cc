@@ -1,0 +1,336 @@
+// Core navigator behaviour: sequencing, conditions, data flow, exit-
+// condition loops, program failure handling.
+
+#include "wfrt/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::BindCrashy;
+using test::BindEchoRc;
+using test::BindScriptedRc;
+using test::DeclareDefaultProgram;
+using test::DefaultInput;
+using wf::ActivityState;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(EngineTest, LinearChainRunsInOrder) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "chain");
+  b.Program("A", "ok").Program("B", "ok").Program("C", "ok");
+  b.Connect("A", "B", "RC = 0").Connect("B", "C", "RC = 0");
+  b.MapToOutput("C", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok()) << b.Register().ToString();
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("chain");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(engine.IsFinished(*id));
+
+  auto out = engine.OutputOf(*id);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Get("RC")->as_long(), 0);
+
+  // Started order is A, B, C.
+  auto trace = engine.audit().CompactTrace(
+      *id, {wfrt::AuditKind::kActivityStarted});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], "A:started");
+  EXPECT_EQ(trace[1], "B:started");
+  EXPECT_EQ(trace[2], "C:started");
+  EXPECT_EQ(engine.stats().activities_executed, 3u);
+}
+
+TEST_F(EngineTest, FalseConditionKillsDownstream) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "p");
+  b.Program("A", "fail").Program("B", "ok").Program("C", "ok");
+  b.Connect("A", "B", "RC = 0").Connect("B", "C", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("p");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*engine.StateOf(*id, "A"), ActivityState::kTerminated);
+  EXPECT_EQ(*engine.StateOf(*id, "B"), ActivityState::kDead);
+  EXPECT_EQ(*engine.StateOf(*id, "C"), ActivityState::kDead);
+  EXPECT_EQ(engine.stats().dead_path_terminations, 2u);
+  EXPECT_EQ(engine.stats().activities_executed, 1u);
+}
+
+TEST_F(EngineTest, AndJoinNeedsAllTrue) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+
+  // A and B both feed J (AND join); B reports failure.
+  wf::ProcessBuilder b(&store_, "diamond");
+  b.Program("A", "ok").Program("B", "fail").Program("J", "ok");
+  b.Connect("A", "J", "RC = 0").Connect("B", "J", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("diamond");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*engine.StateOf(*id, "J"), ActivityState::kDead);
+}
+
+TEST_F(EngineTest, OrJoinStartsOnAnyTrueAfterAllEvaluated) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+
+  wf::ProcessBuilder b(&store_, "orjoin");
+  b.Program("A", "ok").Program("B", "fail");
+  b.Program("J", "ok").OrJoin();
+  b.Connect("A", "J", "RC = 0").Connect("B", "J", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("orjoin");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*engine.StateOf(*id, "J"), ActivityState::kTerminated);
+}
+
+TEST_F(EngineTest, OrJoinAllFalseIsDead) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "fail").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "fail", 1).ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "orjoin2");
+  b.Program("A", "fail").Program("B", "fail");
+  b.Program("J", "ok").OrJoin();
+  b.Connect("A", "J", "RC = 0").Connect("B", "J", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("orjoin2");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "J"), ActivityState::kDead);
+}
+
+TEST_F(EngineTest, OtherwiseConnectorFiresWhenAllConditionedAreFalse) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "two").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "two", 2).ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "switch");
+  b.Program("A", "two").Program("Zero", "ok").Program("One", "ok")
+      .Program("Other", "ok");
+  b.Connect("A", "Zero", "RC = 0");
+  b.Connect("A", "One", "RC = 1");
+  b.Otherwise("A", "Other");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("switch");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "Zero"), ActivityState::kDead);
+  EXPECT_EQ(*engine.StateOf(*id, "One"), ActivityState::kDead);
+  EXPECT_EQ(*engine.StateOf(*id, "Other"), ActivityState::kTerminated);
+}
+
+TEST_F(EngineTest, OtherwiseConnectorSkippedWhenSomeConditionHolds) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "switch2");
+  b.Program("A", "ok").Program("Zero", "ok").Program("Other", "ok");
+  b.Connect("A", "Zero", "RC = 0");
+  b.Otherwise("A", "Other");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("switch2");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*engine.StateOf(*id, "Zero"), ActivityState::kTerminated);
+  EXPECT_EQ(*engine.StateOf(*id, "Other"), ActivityState::kDead);
+}
+
+TEST_F(EngineTest, ExitConditionReschedulesUntilTrue) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "flaky").ok());
+  // Aborts twice, then succeeds.
+  ASSERT_TRUE(BindScriptedRc(&programs_, "flaky", {1, 1, 0}).ok());
+
+  wf::ProcessBuilder b(&store_, "loop");
+  b.Program("R", "flaky").ExitWhen("RC = 0");
+  b.MapToOutput("R", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("loop");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+  EXPECT_EQ(engine.stats().reschedules, 2u);
+  EXPECT_EQ(engine.stats().activities_executed, 3u);
+}
+
+TEST_F(EngineTest, ExitRetryCapSurfacesAsError) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "never").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "never", 1).ok());
+
+  wf::ProcessBuilder b(&store_, "hopeless");
+  b.Program("R", "never").ExitWhen("RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.max_exit_retries = 5;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("hopeless");
+  ASSERT_TRUE(id.ok());
+  Status st = engine.Run();
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+}
+
+TEST_F(EngineTest, DataFlowsAlongConnectors) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder b(&store_, "dataflow");
+  b.Program("A", "echo").Program("B", "echo");
+  b.Connect("A", "B");
+  b.MapFromInput("A", {{"RC", "RC"}});
+  b.MapData("A", "B", {{"RC", "RC"}});
+  b.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  data::Container input = DefaultInput(store_, 7);
+  auto id = engine.RunToCompletion("dataflow", &input);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 7);
+}
+
+TEST_F(EngineTest, ProgramCrashIsRetriedFromTheBeginning) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 2).ok());
+
+  wf::ProcessBuilder b(&store_, "crash");
+  b.Program("A", "crashy");
+  b.MapToOutput("A", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("crash");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+  EXPECT_EQ(engine.stats().program_failures, 2u);
+}
+
+TEST_F(EngineTest, ProgramFailureCapSurfacesAsError) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 100).ok());
+
+  wf::ProcessBuilder b(&store_, "crash2");
+  b.Program("A", "crashy");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.max_program_failures = 3;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("crash2");
+  ASSERT_TRUE(id.ok());
+  Status st = engine.Run();
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_EQ(engine.stats().program_failures, 3u);
+}
+
+TEST_F(EngineTest, UnboundProgramFailsNavigation) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ghost").ok());
+  wf::ProcessBuilder b(&store_, "ghostly");
+  b.Program("A", "ghost");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("ghostly");
+  ASSERT_TRUE(id.ok());
+  Status st = engine.Run();
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+}
+
+TEST_F(EngineTest, ConditionOverUnsetDataFailsNavigationByDefault) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "silent").ok());
+  // Writes nothing: RC keeps its declared default, but a condition over a
+  // never-written member of a custom type is an error. Use a custom type
+  // with no default.
+  data::StructType t("Bare");
+  ASSERT_TRUE(t.AddScalar("X", data::ScalarType::kLong).ok());
+  ASSERT_TRUE(store_.types().Register(std::move(t)).ok());
+  wf::ProgramDeclaration decl;
+  decl.name = "bare";
+  decl.output_type = "Bare";
+  ASSERT_TRUE(store_.DeclareProgram(std::move(decl)).ok());
+  ASSERT_TRUE(programs_
+                  .Bind("bare",
+                        [](const data::Container&, data::Container*,
+                           const wfrt::ProgramContext&) { return Status::OK(); })
+                  .ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+
+  wf::ProcessBuilder b(&store_, "unset");
+  b.Program("A", "bare").Program("B", "ok");
+  b.Connect("A", "B", "X = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("unset");
+  ASSERT_TRUE(id.ok());
+  Status st = engine.Run();
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+
+  // With the lenient option the connector evaluates false instead.
+  wfrt::EngineOptions opts;
+  opts.condition_error_is_false = true;
+  wfrt::Engine lenient(&store_, &programs_, opts);
+  auto id2 = lenient.RunToCompletion("unset");
+  ASSERT_TRUE(id2.ok()) << id2.status().ToString();
+  EXPECT_EQ(*lenient.StateOf(*id2, "B"), wf::ActivityState::kDead);
+}
+
+TEST_F(EngineTest, MultipleInstancesAreIndependent) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "echo").ok());
+  ASSERT_TRUE(BindEchoRc(&programs_, "echo").ok());
+
+  wf::ProcessBuilder b(&store_, "p");
+  b.Program("A", "echo");
+  b.MapFromInput("A", {{"RC", "RC"}});
+  b.MapToOutput("A", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  data::Container in1 = DefaultInput(store_, 1);
+  data::Container in2 = DefaultInput(store_, 2);
+  auto id1 = engine.StartProcess("p", &in1);
+  auto id2 = engine.StartProcess("p", &in2);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.OutputOf(*id1)->Get("RC")->as_long(), 1);
+  EXPECT_EQ(engine.OutputOf(*id2)->Get("RC")->as_long(), 2);
+  EXPECT_EQ(engine.stats().instances_finished, 2u);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,203 @@
+// Instance lifecycle control (§3.3 user intervention): suspend, resume,
+// cancel — including their interaction with worklists, block children,
+// and crash recovery.
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+using wf::ActivityState;
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+    ASSERT_TRUE(dir_.AddRole("clerk").ok());
+    ASSERT_TRUE(dir_.AddPerson("ann", 1, {"clerk"}).ok());
+
+    // Register -> ManualStep -> Finish.
+    wf::ProcessBuilder b(&store_, "proc");
+    b.Program("Register", "ok");
+    b.Program("ManualStep", "ok").Manual().Role("clerk");
+    b.Program("Finish", "ok");
+    b.Connect("Register", "ManualStep", "RC = 0");
+    b.Connect("ManualStep", "Finish", "RC = 0");
+    b.MapToOutput("Finish", {{"RC", "RC"}});
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+  org::Directory dir_;
+};
+
+TEST_F(LifecycleTest, SuspendParksAndResumeContinues) {
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_EQ(engine.worklists()->WorklistOf("ann").size(), 1u);
+
+  ASSERT_TRUE(engine.SuspendInstance(*id).ok());
+  EXPECT_TRUE(engine.IsSuspended(*id));
+  // The posted item was withdrawn.
+  EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+  // Double suspend is an error.
+  EXPECT_TRUE(engine.SuspendInstance(*id).IsFailedPrecondition());
+
+  ASSERT_TRUE(engine.ResumeSuspended(*id).ok());
+  EXPECT_FALSE(engine.IsSuspended(*id));
+  auto items = engine.worklists()->WorklistOf("ann");
+  ASSERT_EQ(items.size(), 1u);  // reposted
+  ASSERT_TRUE(engine.Claim(items[0]->id, "ann").ok());
+  ASSERT_TRUE(engine.ExecuteWorkItem(items[0]->id, "ann").ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_TRUE(engine.ResumeSuspended(*id).IsFailedPrecondition());
+}
+
+TEST_F(LifecycleTest, SuspendBlocksAutomaticDispatch) {
+  // A process with only automatic steps: suspend after start, Run does
+  // nothing, resume + Run completes.
+  wf::ProcessBuilder b(&store_, "autoproc");
+  b.Program("A", "ok").Program("B", "ok");
+  b.Connect("A", "B", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("autoproc");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.SuspendInstance(*id).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_FALSE(engine.IsFinished(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "A"), ActivityState::kReady);
+
+  ASSERT_TRUE(engine.ResumeSuspended(*id).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+}
+
+TEST_F(LifecycleTest, CancelSettlesEverythingWithoutSuccessors) {
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  ASSERT_TRUE(engine.CancelInstance(*id).ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_TRUE(engine.IsCancelled(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "Register"), ActivityState::kTerminated);
+  EXPECT_EQ(*engine.StateOf(*id, "ManualStep"), ActivityState::kDead);
+  EXPECT_EQ(*engine.StateOf(*id, "Finish"), ActivityState::kDead);
+  EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+  // Finished instances cannot be cancelled again.
+  EXPECT_TRUE(engine.CancelInstance(*id).IsFailedPrecondition());
+}
+
+TEST_F(LifecycleTest, CancelReachesBlockChildren) {
+  wf::ProcessBuilder inner(&store_, "inner");
+  inner.Program("X", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(inner.Register().ok());
+  wf::ProcessBuilder outer(&store_, "outer");
+  outer.Block("B", "inner");
+  ASSERT_TRUE(outer.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("outer");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_EQ(engine.worklists()->WorklistOf("ann").size(), 1u);
+
+  // Cancel must target the root, not the child.
+  ASSERT_EQ(engine.instance_order().size(), 2u);
+  std::string child = engine.instance_order()[1];
+  EXPECT_TRUE(engine.CancelInstance(child).IsInvalidArgument());
+  EXPECT_TRUE(engine.SuspendInstance(child).IsInvalidArgument());
+
+  ASSERT_TRUE(engine.CancelInstance(*id).ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_TRUE(engine.IsCancelled(child));
+  EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+}
+
+TEST_F(LifecycleTest, SuspensionSurvivesCrash) {
+  wfjournal::MemoryJournal journal;
+  std::string id;
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    auto r = engine.StartProcess("proc");
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    ASSERT_TRUE(engine.Run().ok());
+    ASSERT_TRUE(engine.SuspendInstance(id).ok());
+  }
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    ASSERT_TRUE(engine.Recover().ok());
+    ASSERT_TRUE(engine.Run().ok());
+    EXPECT_TRUE(engine.IsSuspended(id));
+    EXPECT_FALSE(engine.IsFinished(id));
+    // No work item reposted while suspended.
+    EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+
+    ASSERT_TRUE(engine.ResumeSuspended(id).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    auto items = engine.worklists()->WorklistOf("ann");
+    ASSERT_EQ(items.size(), 1u);
+    ASSERT_TRUE(engine.Claim(items[0]->id, "ann").ok());
+    ASSERT_TRUE(engine.ExecuteWorkItem(items[0]->id, "ann").ok());
+    EXPECT_TRUE(engine.IsFinished(id));
+  }
+}
+
+TEST_F(LifecycleTest, CancellationSurvivesCrash) {
+  wfjournal::MemoryJournal journal;
+  std::string id;
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    auto r = engine.StartProcess("proc");
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    ASSERT_TRUE(engine.Run().ok());
+    ASSERT_TRUE(engine.CancelInstance(id).ok());
+  }
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    ASSERT_TRUE(engine.Recover().ok());
+    EXPECT_TRUE(engine.IsFinished(id));
+    EXPECT_TRUE(engine.IsCancelled(id));
+    EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+  }
+}
+
+TEST_F(LifecycleTest, ResumeRequiresSuspended) {
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("proc");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(engine.ResumeSuspended(*id).IsFailedPrecondition());
+  EXPECT_TRUE(engine.SuspendInstance("ghost").IsNotFound());
+  EXPECT_TRUE(engine.CancelInstance("ghost").IsNotFound());
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,179 @@
+// Manual activities, worklists and user intervention (paper §3.3).
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+
+class ManualTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(dir_.AddRole("clerk").ok());
+    ASSERT_TRUE(dir_.AddRole("manager").ok());
+    ASSERT_TRUE(dir_.AddPerson("ann", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("bob", 1, {"clerk"}).ok());
+    ASSERT_TRUE(dir_.AddPerson("mia", 2, {"manager"}).ok());
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+  org::Directory dir_;
+  ManualClock clock_;
+};
+
+TEST_F(ManualTest, ManualActivityWaitsOnWorklistAndDisappearsOnClaim) {
+  wf::ProcessBuilder b(&store_, "approval");
+  b.Program("Approve", "ok").Manual().Role("clerk");
+  b.MapToOutput("Approve", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.clock = &clock_;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+
+  auto id = engine.StartProcess("approval");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_FALSE(engine.IsFinished(*id));  // waiting on a person
+
+  // The item shows on both clerks' worklists.
+  auto ann_list = engine.worklists()->WorklistOf("ann");
+  auto bob_list = engine.worklists()->WorklistOf("bob");
+  ASSERT_EQ(ann_list.size(), 1u);
+  ASSERT_EQ(bob_list.size(), 1u);
+  org::WorkItemId item = ann_list[0]->id;
+
+  // Claiming withdraws it from every other worklist.
+  ASSERT_TRUE(engine.Claim(item, "ann").ok());
+  EXPECT_TRUE(engine.worklists()->WorklistOf("bob").empty());
+
+  // Executing completes the activity and the process.
+  ASSERT_TRUE(engine.ExecuteWorkItem(item, "ann").ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_EQ(engine.OutputOf(*id)->Get("RC")->as_long(), 0);
+}
+
+TEST_F(ManualTest, IneligiblePersonCannotClaim) {
+  wf::ProcessBuilder b(&store_, "p1");
+  b.Program("Approve", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("p1");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto items = engine.worklists()->WorklistOf("ann");
+  ASSERT_EQ(items.size(), 1u);
+  Status st = engine.Claim(items[0]->id, "mia");
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST_F(ManualTest, AbsentPersonSubstituted) {
+  ASSERT_TRUE(dir_.SetAbsent("ann", true, "mia").ok());
+
+  wf::ProcessBuilder b(&store_, "p2");
+  b.Program("Approve", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  ASSERT_TRUE(engine.StartProcess("p2").ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  // mia stands in for ann; bob is present.
+  EXPECT_EQ(engine.worklists()->WorklistOf("mia").size(), 1u);
+  EXPECT_EQ(engine.worklists()->WorklistOf("bob").size(), 1u);
+  EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+}
+
+TEST_F(ManualTest, RoleResolvingToNobodyFails) {
+  ASSERT_TRUE(dir_.AddRole("auditor").ok());
+  wf::ProcessBuilder b(&store_, "p3");
+  b.Program("Audit", "ok").Manual().Role("auditor");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("p3");
+  EXPECT_TRUE(id.status().IsFailedPrecondition()) << id.status().ToString();
+}
+
+TEST_F(ManualTest, DeadlineRaisesNotificationOnce) {
+  wf::ProcessBuilder b(&store_, "p4");
+  b.Program("Approve", "ok").Manual().Role("clerk").NotifyAfter(1000, "manager");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.clock = &clock_;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  ASSERT_TRUE(engine.StartProcess("p4").ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  EXPECT_TRUE(engine.CheckDeadlines().empty());  // not yet due
+  clock_.Advance(2000);
+  auto notes = engine.CheckDeadlines();
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].activity, "Approve");
+  ASSERT_EQ(notes[0].recipients.size(), 1u);
+  EXPECT_EQ(notes[0].recipients[0], "mia");
+  EXPECT_TRUE(engine.CheckDeadlines().empty());  // raised only once
+}
+
+TEST_F(ManualTest, ForceFinishSkipsProgram) {
+  wf::ProcessBuilder b(&store_, "p5");
+  b.Program("Approve", "ok").Manual().Role("clerk");
+  b.Program("After", "ok");
+  b.Connect("Approve", "After", "RC = 0");
+  b.MapToOutput("Approve", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  auto id = engine.StartProcess("p5");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  data::Container forced = data::Container::Default(store_.types());
+  ASSERT_TRUE(forced.Set("RC", data::Value(int64_t{0})).ok());
+  ASSERT_TRUE(engine.ForceFinish(*id, "Approve", forced).ok());
+  EXPECT_TRUE(engine.IsFinished(*id));
+  EXPECT_EQ(*engine.StateOf(*id, "After"), wf::ActivityState::kTerminated);
+  // The pending work item was withdrawn.
+  EXPECT_TRUE(engine.worklists()->WorklistOf("ann").empty());
+}
+
+TEST_F(ManualTest, ReleaseReturnsItemToAllWorklists) {
+  wf::ProcessBuilder b(&store_, "p6");
+  b.Program("Approve", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+  ASSERT_TRUE(engine.StartProcess("p6").ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto items = engine.worklists()->WorklistOf("ann");
+  ASSERT_EQ(items.size(), 1u);
+  org::WorkItemId item = items[0]->id;
+  ASSERT_TRUE(engine.Claim(item, "ann").ok());
+  EXPECT_TRUE(engine.worklists()->WorklistOf("bob").empty());
+  ASSERT_TRUE(engine.worklists()->Release(item, "ann").ok());
+  EXPECT_EQ(engine.worklists()->WorklistOf("bob").size(), 1u);
+}
+
+}  // namespace
+}  // namespace exotica

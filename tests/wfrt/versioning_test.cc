@@ -1,0 +1,146 @@
+// Process versioning (§3.2: a process has "a name, version number, ...").
+// New instances bind the latest registered version; in-flight instances
+// stay pinned to theirs — including across crash recovery.
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+
+class VersioningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+    ASSERT_TRUE(dir_.AddRole("clerk").ok());
+    ASSERT_TRUE(dir_.AddPerson("ann", 1, {"clerk"}).ok());
+  }
+
+  // v1: single step. v2: two steps.
+  void RegisterV1() {
+    wf::ProcessBuilder b(&store_, "proc", 1);
+    b.Program("A", "ok");
+    ASSERT_TRUE(b.Register().ok());
+  }
+  void RegisterV2() {
+    wf::ProcessBuilder b(&store_, "proc", 2);
+    b.Program("A", "ok").Program("B", "ok");
+    b.Connect("A", "B");
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+  org::Directory dir_;
+};
+
+TEST_F(VersioningTest, StoreKeepsVersionsSideBySide) {
+  RegisterV1();
+  RegisterV2();
+  EXPECT_EQ(store_.VersionsOf("proc"), (std::vector<int>{1, 2}));
+  EXPECT_EQ((*store_.FindProcess("proc"))->version(), 2);  // latest wins
+  EXPECT_EQ((*store_.FindProcessVersion("proc", 1))->version(), 1);
+  EXPECT_TRUE(store_.FindProcessVersion("proc", 3).status().IsNotFound());
+
+  // Same (name, version) collides; a third version registers fine.
+  wf::ProcessBuilder dup(&store_, "proc", 2);
+  dup.Program("A", "ok");
+  EXPECT_TRUE(dup.Register().IsAlreadyExists());
+  wf::ProcessBuilder v3(&store_, "proc", 3);
+  v3.Program("A", "ok");
+  EXPECT_TRUE(v3.Register().ok());
+  EXPECT_EQ((*store_.FindProcess("proc"))->version(), 3);
+}
+
+TEST_F(VersioningTest, NewInstancesUseLatestVersion) {
+  RegisterV1();
+  wfrt::Engine engine(&store_, &programs_);
+  auto id1 = engine.RunToCompletion("proc");
+  ASSERT_TRUE(id1.ok());
+  EXPECT_FALSE((*engine.FindInstance(*id1))->definition->HasActivity("B"));
+
+  RegisterV2();
+  auto id2 = engine.RunToCompletion("proc");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_TRUE((*engine.FindInstance(*id2))->definition->HasActivity("B"));
+  EXPECT_EQ(*engine.StateOf(*id2, "B"), wf::ActivityState::kTerminated);
+}
+
+TEST_F(VersioningTest, RecoveryPinsTheOriginalVersion) {
+  // A v1 instance stalls on manual work; v2 registers; a crash and
+  // recovery must replay the instance against v1, not v2.
+  wf::ProcessBuilder b(&store_, "manualproc", 1);
+  b.Program("M", "ok").Manual().Role("clerk");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfjournal::MemoryJournal journal;
+  std::string id;
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    auto r = engine.StartProcess("manualproc");
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    ASSERT_TRUE(engine.Run().ok());
+  }
+
+  // v2 adds an automatic follow-up step.
+  wf::ProcessBuilder v2(&store_, "manualproc", 2);
+  v2.Program("M", "ok").Manual().Role("clerk");
+  v2.Program("After", "ok");
+  v2.Connect("M", "After");
+  ASSERT_TRUE(v2.Register().ok());
+
+  {
+    wfrt::Engine engine(&store_, &programs_);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    ASSERT_TRUE(engine.AttachOrganization(&dir_).ok());
+    ASSERT_TRUE(engine.Recover().ok());
+    auto inst = engine.FindInstance(id);
+    ASSERT_TRUE(inst.ok());
+    EXPECT_EQ((*inst)->definition->version(), 1);
+    EXPECT_FALSE((*inst)->definition->HasActivity("After"));
+
+    auto items = engine.worklists()->WorklistOf("ann");
+    ASSERT_EQ(items.size(), 1u);
+    ASSERT_TRUE(engine.Claim(items[0]->id, "ann").ok());
+    ASSERT_TRUE(engine.ExecuteWorkItem(items[0]->id, "ann").ok());
+    EXPECT_TRUE(engine.IsFinished(id));
+
+    // A fresh instance uses v2 and runs "After".
+    auto id2 = engine.RunToCompletion("manualproc");
+    EXPECT_TRUE(id2.status().IsFailedPrecondition());  // stalls on manual
+  }
+}
+
+TEST_F(VersioningTest, BlocksBindLatestSubprocessAtSpawn) {
+  wf::ProcessBuilder inner1(&store_, "inner", 1);
+  inner1.Program("X", "ok");
+  ASSERT_TRUE(inner1.Register().ok());
+  wf::ProcessBuilder outer(&store_, "outer", 1);
+  outer.Block("B", "inner");
+  ASSERT_TRUE(outer.Register().ok());
+
+  wf::ProcessBuilder inner2(&store_, "inner", 2);
+  inner2.Program("X", "ok").Program("Y", "ok");
+  inner2.Connect("X", "Y");
+  ASSERT_TRUE(inner2.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("outer");
+  ASSERT_TRUE(id.ok());
+  // Two activities ran in the child: the block picked up inner v2.
+  EXPECT_EQ(engine.stats().activities_executed, 3u);  // B's X + Y, outer's B
+}
+
+}  // namespace
+}  // namespace exotica

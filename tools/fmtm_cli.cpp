@@ -1,0 +1,168 @@
+// fmtm — the Exotica/FMTM command line.
+//
+//   fmtm compile <spec-file>              print the emitted FDL
+//   fmtm check <fdl-file>                 parse + import + validate FDL
+//   fmtm dot <spec-file>                  print a Graphviz rendering of
+//                                         the translated process (the
+//                                         paper's Figure 2 / Figure 4)
+//   fmtm run <spec-file> [--abort A,B]    compile and execute the model,
+//                                         aborting the named
+//                                         subtransactions, and print the
+//                                         execution trace
+//
+// The spec language is described in src/exotica/fmtm.h (SAGA ... END /
+// FLEXIBLE ... END).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atm/subtxn.h"
+#include "common/strings.h"
+#include "exotica/fmtm.h"
+#include "exotica/programs.h"
+#include "fdl/dot.h"
+#include "fdl/import.h"
+#include "wfrt/engine.h"
+
+using namespace exotica;  // NOLINT: tool brevity
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "fmtm: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Compile(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  wf::DefinitionStore store;
+  auto out = exo::CompileSpec(*text, &store);
+  if (!out.ok()) return Fail(out.status());
+  std::fputs(out->fdl.c_str(), stdout);
+  std::fprintf(stderr,
+               "fmtm: %s model '%s' compiled into %zu process(es)\n",
+               exo::ModelKindName(out->kind), out->root_process.c_str(),
+               out->processes.size());
+  return 0;
+}
+
+int Check(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  wf::DefinitionStore store;
+  auto names = fdl::ImportFdl(*text, &store);
+  if (!names.ok()) return Fail(names.status());
+  std::printf("OK: %zu process(es) imported and validated:\n", names->size());
+  for (const std::string& n : *names) {
+    auto p = store.FindProcess(n);
+    std::printf("  %-24s %zu activities, %zu control connectors\n",
+                n.c_str(), (*p)->activities().size(),
+                (*p)->control_connectors().size());
+  }
+  return 0;
+}
+
+int Dot(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  wf::DefinitionStore store;
+  auto out = exo::CompileSpec(*text, &store);
+  if (!out.ok()) return Fail(out.status());
+  auto dot = fdl::ExportDot(store, out->root_process);
+  if (!dot.ok()) return Fail(dot.status());
+  std::fputs(dot->c_str(), stdout);
+  return 0;
+}
+
+// Runner that prints every subtransaction event and aborts the listed
+// names (always).
+class NarratingRunner : public atm::SubTxnRunner {
+ public:
+  explicit NarratingRunner(std::vector<std::string> abort_list)
+      : abort_list_(std::move(abort_list)) {}
+
+  Result<bool> Run(const std::string& name) override {
+    bool abort = false;
+    for (const std::string& a : abort_list_) abort = abort || a == name;
+    std::printf("  %-12s -> %s\n", name.c_str(),
+                abort ? "ABORTED" : "committed");
+    return !abort;
+  }
+  Result<bool> Compensate(const std::string& name) override {
+    std::printf("  %-12s -> compensated\n", name.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::string> abort_list_;
+};
+
+int Run(const std::string& path, const std::string& abort_csv) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  wf::DefinitionStore store;
+  auto out = exo::CompileSpec(*text, &store);
+  if (!out.ok()) return Fail(out.status());
+
+  std::vector<std::string> aborts;
+  if (!abort_csv.empty()) aborts = Split(abort_csv, ',');
+  NarratingRunner runner(std::move(aborts));
+
+  wfrt::ProgramRegistry programs;
+  wfrt::EngineOptions opts;
+  opts.max_exit_retries = 100;  // an always-aborting retriable would hang
+  Status bind = out->kind == exo::ModelKind::kSaga
+                    ? exo::BindSagaPrograms(*out->saga, store, &runner,
+                                            &programs)
+                    : exo::BindFlexPrograms(*out->flex, store, &runner,
+                                            &programs);
+  if (!bind.ok()) return Fail(bind);
+
+  std::printf("running %s '%s':\n", exo::ModelKindName(out->kind),
+              out->root_process.c_str());
+  wfrt::Engine engine(&store, &programs, opts);
+  auto id = engine.RunToCompletion(out->root_process);
+  if (!id.ok()) return Fail(id.status());
+  auto output = engine.OutputOf(*id);
+  if (!output.ok()) return Fail(output.status());
+  bool committed = output->Get("RC")->as_long() == 0;
+  std::printf("outcome: %s\n", committed ? "COMMITTED" : "ABORTED");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() >= 2 && args[0] == "compile") return Compile(args[1]);
+  if (args.size() >= 2 && args[0] == "check") return Check(args[1]);
+  if (args.size() >= 2 && args[0] == "dot") return Dot(args[1]);
+  if (args.size() >= 2 && args[0] == "run") {
+    std::string abort_csv;
+    for (size_t i = 2; i + 1 < args.size(); ++i) {
+      if (args[i] == "--abort") abort_csv = args[i + 1];
+    }
+    return Run(args[1], abort_csv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fmtm compile <spec-file>\n"
+               "  fmtm check <fdl-file>\n"
+               "  fmtm dot <spec-file>\n"
+               "  fmtm run <spec-file> [--abort T1,T2,...]\n");
+  return 2;
+}
