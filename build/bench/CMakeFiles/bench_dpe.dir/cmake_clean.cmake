@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dpe.dir/bench_dpe.cpp.o"
+  "CMakeFiles/bench_dpe.dir/bench_dpe.cpp.o.d"
+  "bench_dpe"
+  "bench_dpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flex.dir/bench_flex.cpp.o"
+  "CMakeFiles/bench_flex.dir/bench_flex.cpp.o.d"
+  "bench_flex"
+  "bench_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

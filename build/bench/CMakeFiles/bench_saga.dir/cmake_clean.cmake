@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_saga.dir/bench_saga.cpp.o"
+  "CMakeFiles/bench_saga.dir/bench_saga.cpp.o.d"
+  "bench_saga"
+  "bench_saga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_saga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translator.dir/bench_translator.cpp.o"
+  "CMakeFiles/bench_translator.dir/bench_translator.cpp.o.d"
+  "bench_translator"
+  "bench_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

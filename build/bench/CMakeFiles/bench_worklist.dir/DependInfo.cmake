@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_worklist.cpp" "bench/CMakeFiles/bench_worklist.dir/bench_worklist.cpp.o" "gcc" "bench/CMakeFiles/bench_worklist.dir/bench_worklist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exotica/CMakeFiles/exo_exotica.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfrt/CMakeFiles/exo_wfrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfsim/CMakeFiles/exo_wfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdl/CMakeFiles/exo_fdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/exo_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/exo_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/exo_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfjournal/CMakeFiles/exo_wfjournal.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/exo_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/exo_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

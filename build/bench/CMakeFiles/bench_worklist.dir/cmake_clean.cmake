@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worklist.dir/bench_worklist.cpp.o"
+  "CMakeFiles/bench_worklist.dir/bench_worklist.cpp.o.d"
+  "bench_worklist"
+  "bench_worklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

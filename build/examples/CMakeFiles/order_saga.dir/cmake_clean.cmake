@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_saga.dir/order_saga.cpp.o"
+  "CMakeFiles/order_saga.dir/order_saga.cpp.o.d"
+  "order_saga"
+  "order_saga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_saga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

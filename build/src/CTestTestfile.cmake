@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("expr")
+subdirs("data")
+subdirs("wf")
+subdirs("org")
+subdirs("wfjournal")
+subdirs("wfrt")
+subdirs("wfsim")
+subdirs("fdl")
+subdirs("txn")
+subdirs("atm")
+subdirs("exotica")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/flex.cc" "src/atm/CMakeFiles/exo_atm.dir/flex.cc.o" "gcc" "src/atm/CMakeFiles/exo_atm.dir/flex.cc.o.d"
+  "/root/repo/src/atm/saga.cc" "src/atm/CMakeFiles/exo_atm.dir/saga.cc.o" "gcc" "src/atm/CMakeFiles/exo_atm.dir/saga.cc.o.d"
+  "/root/repo/src/atm/subtxn.cc" "src/atm/CMakeFiles/exo_atm.dir/subtxn.cc.o" "gcc" "src/atm/CMakeFiles/exo_atm.dir/subtxn.cc.o.d"
+  "/root/repo/src/atm/trace.cc" "src/atm/CMakeFiles/exo_atm.dir/trace.cc.o" "gcc" "src/atm/CMakeFiles/exo_atm.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/exo_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

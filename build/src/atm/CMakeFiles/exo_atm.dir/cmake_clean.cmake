@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_atm.dir/flex.cc.o"
+  "CMakeFiles/exo_atm.dir/flex.cc.o.d"
+  "CMakeFiles/exo_atm.dir/saga.cc.o"
+  "CMakeFiles/exo_atm.dir/saga.cc.o.d"
+  "CMakeFiles/exo_atm.dir/subtxn.cc.o"
+  "CMakeFiles/exo_atm.dir/subtxn.cc.o.d"
+  "CMakeFiles/exo_atm.dir/trace.cc.o"
+  "CMakeFiles/exo_atm.dir/trace.cc.o.d"
+  "libexo_atm.a"
+  "libexo_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

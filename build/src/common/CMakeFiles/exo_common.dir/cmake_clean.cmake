@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_common.dir/clock.cc.o"
+  "CMakeFiles/exo_common.dir/clock.cc.o.d"
+  "CMakeFiles/exo_common.dir/logging.cc.o"
+  "CMakeFiles/exo_common.dir/logging.cc.o.d"
+  "CMakeFiles/exo_common.dir/status.cc.o"
+  "CMakeFiles/exo_common.dir/status.cc.o.d"
+  "CMakeFiles/exo_common.dir/strings.cc.o"
+  "CMakeFiles/exo_common.dir/strings.cc.o.d"
+  "libexo_common.a"
+  "libexo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

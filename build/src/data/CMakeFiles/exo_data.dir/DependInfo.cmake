@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/container.cc" "src/data/CMakeFiles/exo_data.dir/container.cc.o" "gcc" "src/data/CMakeFiles/exo_data.dir/container.cc.o.d"
+  "/root/repo/src/data/types.cc" "src/data/CMakeFiles/exo_data.dir/types.cc.o" "gcc" "src/data/CMakeFiles/exo_data.dir/types.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/exo_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/exo_data.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

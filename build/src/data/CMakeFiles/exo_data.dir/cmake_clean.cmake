@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_data.dir/container.cc.o"
+  "CMakeFiles/exo_data.dir/container.cc.o.d"
+  "CMakeFiles/exo_data.dir/types.cc.o"
+  "CMakeFiles/exo_data.dir/types.cc.o.d"
+  "CMakeFiles/exo_data.dir/value.cc.o"
+  "CMakeFiles/exo_data.dir/value.cc.o.d"
+  "libexo_data.a"
+  "libexo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

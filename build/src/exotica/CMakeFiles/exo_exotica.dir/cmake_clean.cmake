@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_exotica.dir/blocks.cc.o"
+  "CMakeFiles/exo_exotica.dir/blocks.cc.o.d"
+  "CMakeFiles/exo_exotica.dir/flex_translate.cc.o"
+  "CMakeFiles/exo_exotica.dir/flex_translate.cc.o.d"
+  "CMakeFiles/exo_exotica.dir/fmtm.cc.o"
+  "CMakeFiles/exo_exotica.dir/fmtm.cc.o.d"
+  "CMakeFiles/exo_exotica.dir/programs.cc.o"
+  "CMakeFiles/exo_exotica.dir/programs.cc.o.d"
+  "CMakeFiles/exo_exotica.dir/saga_translate.cc.o"
+  "CMakeFiles/exo_exotica.dir/saga_translate.cc.o.d"
+  "libexo_exotica.a"
+  "libexo_exotica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_exotica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

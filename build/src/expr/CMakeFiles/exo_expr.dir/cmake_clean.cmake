@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_expr.dir/ast.cc.o"
+  "CMakeFiles/exo_expr.dir/ast.cc.o.d"
+  "CMakeFiles/exo_expr.dir/condition.cc.o"
+  "CMakeFiles/exo_expr.dir/condition.cc.o.d"
+  "CMakeFiles/exo_expr.dir/eval.cc.o"
+  "CMakeFiles/exo_expr.dir/eval.cc.o.d"
+  "CMakeFiles/exo_expr.dir/lexer.cc.o"
+  "CMakeFiles/exo_expr.dir/lexer.cc.o.d"
+  "CMakeFiles/exo_expr.dir/parser.cc.o"
+  "CMakeFiles/exo_expr.dir/parser.cc.o.d"
+  "libexo_expr.a"
+  "libexo_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

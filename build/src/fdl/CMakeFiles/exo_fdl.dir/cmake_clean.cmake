@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_fdl.dir/dot.cc.o"
+  "CMakeFiles/exo_fdl.dir/dot.cc.o.d"
+  "CMakeFiles/exo_fdl.dir/export.cc.o"
+  "CMakeFiles/exo_fdl.dir/export.cc.o.d"
+  "CMakeFiles/exo_fdl.dir/import.cc.o"
+  "CMakeFiles/exo_fdl.dir/import.cc.o.d"
+  "CMakeFiles/exo_fdl.dir/lexer.cc.o"
+  "CMakeFiles/exo_fdl.dir/lexer.cc.o.d"
+  "CMakeFiles/exo_fdl.dir/parser.cc.o"
+  "CMakeFiles/exo_fdl.dir/parser.cc.o.d"
+  "libexo_fdl.a"
+  "libexo_fdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_fdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

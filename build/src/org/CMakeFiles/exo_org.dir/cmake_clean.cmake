@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_org.dir/directory.cc.o"
+  "CMakeFiles/exo_org.dir/directory.cc.o.d"
+  "CMakeFiles/exo_org.dir/worklist.cc.o"
+  "CMakeFiles/exo_org.dir/worklist.cc.o.d"
+  "libexo_org.a"
+  "libexo_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/exo_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/exo_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/multidb.cc" "src/txn/CMakeFiles/exo_txn.dir/multidb.cc.o" "gcc" "src/txn/CMakeFiles/exo_txn.dir/multidb.cc.o.d"
+  "/root/repo/src/txn/site.cc" "src/txn/CMakeFiles/exo_txn.dir/site.cc.o" "gcc" "src/txn/CMakeFiles/exo_txn.dir/site.cc.o.d"
+  "/root/repo/src/txn/tpc.cc" "src/txn/CMakeFiles/exo_txn.dir/tpc.cc.o" "gcc" "src/txn/CMakeFiles/exo_txn.dir/tpc.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/txn/CMakeFiles/exo_txn.dir/wal.cc.o" "gcc" "src/txn/CMakeFiles/exo_txn.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exo_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

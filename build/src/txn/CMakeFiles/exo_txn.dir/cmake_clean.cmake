@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/exo_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/exo_txn.dir/multidb.cc.o"
+  "CMakeFiles/exo_txn.dir/multidb.cc.o.d"
+  "CMakeFiles/exo_txn.dir/site.cc.o"
+  "CMakeFiles/exo_txn.dir/site.cc.o.d"
+  "CMakeFiles/exo_txn.dir/tpc.cc.o"
+  "CMakeFiles/exo_txn.dir/tpc.cc.o.d"
+  "CMakeFiles/exo_txn.dir/wal.cc.o"
+  "CMakeFiles/exo_txn.dir/wal.cc.o.d"
+  "libexo_txn.a"
+  "libexo_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

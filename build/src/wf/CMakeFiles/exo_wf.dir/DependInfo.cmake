@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wf/builder.cc" "src/wf/CMakeFiles/exo_wf.dir/builder.cc.o" "gcc" "src/wf/CMakeFiles/exo_wf.dir/builder.cc.o.d"
+  "/root/repo/src/wf/process.cc" "src/wf/CMakeFiles/exo_wf.dir/process.cc.o" "gcc" "src/wf/CMakeFiles/exo_wf.dir/process.cc.o.d"
+  "/root/repo/src/wf/validate.cc" "src/wf/CMakeFiles/exo_wf.dir/validate.cc.o" "gcc" "src/wf/CMakeFiles/exo_wf.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/exo_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_wf.dir/builder.cc.o"
+  "CMakeFiles/exo_wf.dir/builder.cc.o.d"
+  "CMakeFiles/exo_wf.dir/process.cc.o"
+  "CMakeFiles/exo_wf.dir/process.cc.o.d"
+  "CMakeFiles/exo_wf.dir/validate.cc.o"
+  "CMakeFiles/exo_wf.dir/validate.cc.o.d"
+  "libexo_wf.a"
+  "libexo_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_wfjournal.dir/journal.cc.o"
+  "CMakeFiles/exo_wfjournal.dir/journal.cc.o.d"
+  "libexo_wfjournal.a"
+  "libexo_wfjournal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_wfjournal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

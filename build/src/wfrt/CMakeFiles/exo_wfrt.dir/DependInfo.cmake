@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wfrt/audit.cc" "src/wfrt/CMakeFiles/exo_wfrt.dir/audit.cc.o" "gcc" "src/wfrt/CMakeFiles/exo_wfrt.dir/audit.cc.o.d"
+  "/root/repo/src/wfrt/engine.cc" "src/wfrt/CMakeFiles/exo_wfrt.dir/engine.cc.o" "gcc" "src/wfrt/CMakeFiles/exo_wfrt.dir/engine.cc.o.d"
+  "/root/repo/src/wfrt/fleet.cc" "src/wfrt/CMakeFiles/exo_wfrt.dir/fleet.cc.o" "gcc" "src/wfrt/CMakeFiles/exo_wfrt.dir/fleet.cc.o.d"
+  "/root/repo/src/wfrt/program.cc" "src/wfrt/CMakeFiles/exo_wfrt.dir/program.cc.o" "gcc" "src/wfrt/CMakeFiles/exo_wfrt.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/exo_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/exo_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/exo_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfjournal/CMakeFiles/exo_wfjournal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

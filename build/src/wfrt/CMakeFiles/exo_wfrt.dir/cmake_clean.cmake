@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_wfrt.dir/audit.cc.o"
+  "CMakeFiles/exo_wfrt.dir/audit.cc.o.d"
+  "CMakeFiles/exo_wfrt.dir/engine.cc.o"
+  "CMakeFiles/exo_wfrt.dir/engine.cc.o.d"
+  "CMakeFiles/exo_wfrt.dir/fleet.cc.o"
+  "CMakeFiles/exo_wfrt.dir/fleet.cc.o.d"
+  "CMakeFiles/exo_wfrt.dir/program.cc.o"
+  "CMakeFiles/exo_wfrt.dir/program.cc.o.d"
+  "libexo_wfrt.a"
+  "libexo_wfrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_wfrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_wfsim.dir/sim.cc.o"
+  "CMakeFiles/exo_wfsim.dir/sim.cc.o.d"
+  "libexo_wfsim.a"
+  "libexo_wfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_wfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

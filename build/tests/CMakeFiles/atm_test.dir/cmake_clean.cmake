@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_test.dir/atm/flex_test.cc.o"
+  "CMakeFiles/atm_test.dir/atm/flex_test.cc.o.d"
+  "CMakeFiles/atm_test.dir/atm/saga_test.cc.o"
+  "CMakeFiles/atm_test.dir/atm/saga_test.cc.o.d"
+  "atm_test"
+  "atm_test.pdb"
+  "atm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

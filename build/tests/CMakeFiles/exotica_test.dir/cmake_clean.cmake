@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exotica_test.dir/exotica/flex_structure_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/flex_structure_test.cc.o.d"
+  "CMakeFiles/exotica_test.dir/exotica/flex_workflow_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/flex_workflow_test.cc.o.d"
+  "CMakeFiles/exotica_test.dir/exotica/fmtm_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/fmtm_test.cc.o.d"
+  "CMakeFiles/exotica_test.dir/exotica/property_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/property_test.cc.o.d"
+  "CMakeFiles/exotica_test.dir/exotica/saga_undo_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/saga_undo_test.cc.o.d"
+  "CMakeFiles/exotica_test.dir/exotica/saga_workflow_test.cc.o"
+  "CMakeFiles/exotica_test.dir/exotica/saga_workflow_test.cc.o.d"
+  "exotica_test"
+  "exotica_test.pdb"
+  "exotica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exotica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/org_test.dir/org/directory_test.cc.o"
+  "CMakeFiles/org_test.dir/org/directory_test.cc.o.d"
+  "CMakeFiles/org_test.dir/org/worklist_test.cc.o"
+  "CMakeFiles/org_test.dir/org/worklist_test.cc.o.d"
+  "org_test"
+  "org_test.pdb"
+  "org_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/org_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

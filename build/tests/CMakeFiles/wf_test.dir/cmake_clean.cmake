@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_test.dir/wf/builder_test.cc.o"
+  "CMakeFiles/wf_test.dir/wf/builder_test.cc.o.d"
+  "CMakeFiles/wf_test.dir/wf/process_test.cc.o"
+  "CMakeFiles/wf_test.dir/wf/process_test.cc.o.d"
+  "CMakeFiles/wf_test.dir/wf/validate_test.cc.o"
+  "CMakeFiles/wf_test.dir/wf/validate_test.cc.o.d"
+  "wf_test"
+  "wf_test.pdb"
+  "wf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfjournal_test.dir/wfjournal/journal_test.cc.o"
+  "CMakeFiles/wfjournal_test.dir/wfjournal/journal_test.cc.o.d"
+  "wfjournal_test"
+  "wfjournal_test.pdb"
+  "wfjournal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfjournal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

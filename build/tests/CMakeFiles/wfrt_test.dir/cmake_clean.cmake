@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfrt_test.dir/wfrt/async_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/async_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/audit_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/audit_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/block_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/block_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/dpe_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/dpe_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_errors_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_errors_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_property_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_property_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/engine_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/fleet_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/fleet_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/lifecycle_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/lifecycle_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/manual_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/manual_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/recovery_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/recovery_test.cc.o.d"
+  "CMakeFiles/wfrt_test.dir/wfrt/versioning_test.cc.o"
+  "CMakeFiles/wfrt_test.dir/wfrt/versioning_test.cc.o.d"
+  "wfrt_test"
+  "wfrt_test.pdb"
+  "wfrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

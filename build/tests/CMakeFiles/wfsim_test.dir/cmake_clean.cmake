@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsim_test.dir/wfsim/sim_test.cc.o"
+  "CMakeFiles/wfsim_test.dir/wfsim/sim_test.cc.o.d"
+  "wfsim_test"
+  "wfsim_test.pdb"
+  "wfsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

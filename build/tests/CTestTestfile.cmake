@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/wf_test[1]_include.cmake")
+include("/root/repo/build/tests/org_test[1]_include.cmake")
+include("/root/repo/build/tests/wfjournal_test[1]_include.cmake")
+include("/root/repo/build/tests/wfrt_test[1]_include.cmake")
+include("/root/repo/build/tests/wfsim_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_test[1]_include.cmake")
+include("/root/repo/build/tests/fdl_test[1]_include.cmake")
+include("/root/repo/build/tests/exotica_test[1]_include.cmake")

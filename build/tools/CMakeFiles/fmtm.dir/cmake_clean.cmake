@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtm.dir/fmtm_cli.cpp.o"
+  "CMakeFiles/fmtm.dir/fmtm_cli.cpp.o.d"
+  "fmtm"
+  "fmtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
