@@ -24,7 +24,7 @@ void BM_ChainNavigation(benchmark::State& state) {
   state.counters["activities/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ChainNavigation)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ChainNavigation)->Arg(1)->Arg(10)->Arg(20)->Arg(100)->Arg(1000);
 
 // Fan-out of width W from one source: parallel-branch navigation.
 void BM_FanOutNavigation(benchmark::State& state) {

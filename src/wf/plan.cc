@@ -1,0 +1,107 @@
+#include "wf/plan.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "wf/process.h"
+
+namespace exotica::wf {
+
+NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def) {
+  NavigationPlan plan;
+  const std::vector<Activity>& acts = def.activities();
+  const std::vector<ControlConnector>& control = def.control_connectors();
+  const std::vector<DataConnector>& data = def.data_connectors();
+  const uint32_t n = static_cast<uint32_t>(acts.size());
+
+  plan.activities_.resize(n);
+  for (uint32_t id = 0; id < n; ++id) {
+    const Activity& a = acts[id];
+    ActivityInfo& info = plan.activities_[id];
+    info.manual = a.start_mode == StartMode::kManual;
+    info.block = a.is_process();
+    info.or_join = a.join == JoinKind::kOr;
+    info.trivial_exit = a.exit_condition.is_trivial();
+  }
+
+  // Control connectors: resolve endpoints to ids and record each
+  // connector's slot within its source/target adjacency list. Adjacency
+  // lists are built in connector insertion order, matching the
+  // definition's own indexes.
+  plan.connectors_.resize(control.size());
+  for (uint32_t c = 0; c < control.size(); ++c) {
+    auto from = def.ActivityIndex(control[c].from);
+    auto to = def.ActivityIndex(control[c].to);
+    // Endpoints were validated at AddControlConnector time.
+    ConnectorInfo& info = plan.connectors_[c];
+    info.from = static_cast<uint32_t>(*from);
+    info.to = static_cast<uint32_t>(*to);
+    info.is_otherwise = control[c].is_otherwise;
+    info.trivial = control[c].condition.is_trivial();
+    ActivityInfo& src = plan.activities_[info.from];
+    ActivityInfo& dst = plan.activities_[info.to];
+    info.out_slot = static_cast<uint32_t>(src.out_control.size());
+    info.in_slot = static_cast<uint32_t>(dst.in_control.size());
+    src.out_control.push_back(c);
+    dst.in_control.push_back(c);
+  }
+  for (ActivityInfo& info : plan.activities_) {
+    info.join_fan_in = static_cast<uint32_t>(info.in_control.size());
+  }
+
+  // Data connectors: per-source fan-out lists plus resolved targets.
+  plan.data_.resize(data.size());
+  for (uint32_t d = 0; d < data.size(); ++d) {
+    const DataConnector& dc = data[d];
+    if (dc.from.is_activity()) {
+      auto from = def.ActivityIndex(dc.from.activity);
+      plan.activities_[*from].out_data.push_back(d);
+    } else {
+      plan.input_data_.push_back(d);
+    }
+    if (dc.to.is_activity()) {
+      auto to = def.ActivityIndex(dc.to.activity);
+      plan.data_[d].to = static_cast<uint32_t>(*to);
+    } else {
+      plan.data_[d].to = kProcessOutput;
+    }
+  }
+
+  // Start set: no incoming control, declaration order.
+  for (uint32_t id = 0; id < n; ++id) {
+    if (plan.activities_[id].in_control.empty()) plan.start_.push_back(id);
+  }
+
+  // Topological order: Kahn's algorithm visiting ids in declaration order,
+  // byte-identical to ProcessDefinition::TopologicalOrder on a DAG.
+  std::vector<uint32_t> indegree(n, 0);
+  for (const ConnectorInfo& c : plan.connectors_) ++indegree[c.to];
+  std::deque<uint32_t> frontier;
+  for (uint32_t id = 0; id < n; ++id) {
+    if (indegree[id] == 0) frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    uint32_t id = frontier.front();
+    frontier.pop_front();
+    plan.topo_.push_back(id);
+    for (uint32_t c : plan.activities_[id].out_control) {
+      uint32_t m = plan.connectors_[c].to;
+      if (--indegree[m] == 0) frontier.push_back(m);
+    }
+  }
+  // A cycle leaves topo_ short; registration validates acyclicity, so this
+  // only happens for hand-built unvalidated definitions, which never reach
+  // the navigator's recovery path (the only consumer of topo_).
+
+  // Name-sorted id list: the iteration order of a name-keyed map.
+  plan.by_name_.resize(n);
+  for (uint32_t id = 0; id < n; ++id) plan.by_name_[id] = id;
+  std::sort(plan.by_name_.begin(), plan.by_name_.end(),
+            [&acts](uint32_t a, uint32_t b) {
+              return acts[a].name < acts[b].name;
+            });
+
+  return plan;
+}
+
+}  // namespace exotica::wf

@@ -1,0 +1,109 @@
+// NavigationPlan: a compile-once/navigate-many index of a
+// ProcessDefinition.
+//
+// The navigator's inner loop (ready-queue dispatch, connector evaluation,
+// join decisions, data pushes) used to resolve every topology query
+// through string-keyed maps on the definition. The plan assigns each
+// activity a dense integer id (its index in activities()) and precomputes
+// every adjacency list, join fan-in, connector slot, and start set as
+// plain vectors of indices, so a navigation step touches only
+// integer-indexed arrays. String names survive solely at API boundaries,
+// audit events, and journal records — the on-disk format is unchanged.
+//
+// The plan holds *indices only*, never pointers into the definition, so a
+// copied definition can safely share its predecessor's plan as long as
+// the topology is identical (definitions are immutable after
+// validation; the Add* mutators invalidate any cached plan).
+
+#ifndef EXOTICA_WF_PLAN_H_
+#define EXOTICA_WF_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace exotica::wf {
+
+class ProcessDefinition;
+
+/// \brief Immutable compiled navigation index for one ProcessDefinition.
+class NavigationPlan {
+ public:
+  /// Sentinel target id for data connectors writing the process output.
+  static constexpr uint32_t kProcessOutput =
+      std::numeric_limits<uint32_t>::max();
+
+  /// \brief Per-activity adjacency and dispatch flags.
+  struct ActivityInfo {
+    /// Outgoing / incoming control connector indices, insertion order
+    /// (identical to ProcessDefinition::OutgoingControl / IncomingControl).
+    std::vector<uint32_t> out_control;
+    std::vector<uint32_t> in_control;
+    /// Data connector indices whose source is this activity's output.
+    std::vector<uint32_t> out_data;
+    /// Join fan-in (== in_control.size(), cached for the join decision).
+    uint32_t join_fan_in = 0;
+    bool manual = false;       ///< StartMode::kManual
+    bool block = false;        ///< ActivityKind::kProcess
+    bool or_join = false;      ///< JoinKind::kOr
+    bool trivial_exit = true;  ///< exit condition is always-true
+  };
+
+  /// \brief Per-control-connector endpoints and dedup slots.
+  struct ConnectorInfo {
+    uint32_t from = 0;      ///< source activity id
+    uint32_t to = 0;        ///< target activity id
+    uint32_t out_slot = 0;  ///< position in from's out_control list
+    uint32_t in_slot = 0;   ///< position in to's in_control list
+    bool is_otherwise = false;
+    bool trivial = true;    ///< always-true transition condition
+  };
+
+  /// \brief Per-data-connector target (source is implied by out_data /
+  /// input_data membership).
+  struct DataTarget {
+    uint32_t to = kProcessOutput;  ///< activity id, or kProcessOutput
+  };
+
+  /// Compiles `definition`. The definition must be a DAG (enforced by
+  /// ValidateProcess before registration).
+  static NavigationPlan Compile(const ProcessDefinition& definition);
+
+  uint32_t activity_count() const {
+    return static_cast<uint32_t>(activities_.size());
+  }
+  const ActivityInfo& activity(uint32_t id) const { return activities_[id]; }
+  const ConnectorInfo& connector(uint32_t index) const {
+    return connectors_[index];
+  }
+  const DataTarget& data_target(uint32_t index) const { return data_[index]; }
+
+  /// Activity ids with no incoming control connectors, declaration order.
+  const std::vector<uint32_t>& start_activities() const { return start_; }
+
+  /// Data connector indices sourced at the process input container,
+  /// insertion order.
+  const std::vector<uint32_t>& input_data() const { return input_data_; }
+
+  /// Topological order of activity ids (Kahn over declaration order —
+  /// matches ProcessDefinition::TopologicalOrder exactly).
+  const std::vector<uint32_t>& topological_order() const { return topo_; }
+
+  /// Activity ids sorted by activity name (the iteration order of the old
+  /// name-keyed runtime map; lifecycle sweeps preserve it for
+  /// deterministic audit ordering).
+  const std::vector<uint32_t>& ids_by_name() const { return by_name_; }
+
+ private:
+  std::vector<ActivityInfo> activities_;
+  std::vector<ConnectorInfo> connectors_;
+  std::vector<DataTarget> data_;
+  std::vector<uint32_t> start_;
+  std::vector<uint32_t> input_data_;
+  std::vector<uint32_t> topo_;
+  std::vector<uint32_t> by_name_;
+};
+
+}  // namespace exotica::wf
+
+#endif  // EXOTICA_WF_PLAN_H_

@@ -28,6 +28,7 @@ Status ProcessDefinition::AddActivity(Activity activity) {
     return Status::AlreadyExists("duplicate activity name: " + activity.name +
                                  " in process " + name_);
   }
+  plan_.reset();
   index_[activity.name] = activities_.size();
   activities_.push_back(std::move(activity));
   return Status::OK();
@@ -52,6 +53,7 @@ Status ProcessDefinition::AddControlConnector(ControlConnector connector) {
                                    connector.from + " -> " + connector.to);
     }
   }
+  plan_.reset();
   control_out_[connector.from].push_back(control_.size());
   control_in_[connector.to].push_back(control_.size());
   control_.push_back(std::move(connector));
@@ -76,6 +78,7 @@ Status ProcessDefinition::AddDataConnector(DataConnector connector) {
     return Status::ValidationError(
         "data connector may not write to the process input container");
   }
+  plan_.reset();
   data_out_[DataKey(connector.from)].push_back(data_.size());
   data_in_[DataKey(connector.to)].push_back(data_.size());
   data_.push_back(std::move(connector));
@@ -98,6 +101,21 @@ Result<const Activity*> ProcessDefinition::FindActivity(
     return Status::NotFound("no activity " + name + " in process " + name_);
   }
   return &activities_[it->second];
+}
+
+Result<size_t> ProcessDefinition::ActivityIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no activity " + name + " in process " + name_);
+  }
+  return it->second;
+}
+
+const NavigationPlan& ProcessDefinition::plan() const {
+  if (plan_ == nullptr) {
+    plan_ = std::make_shared<const NavigationPlan>(NavigationPlan::Compile(*this));
+  }
+  return *plan_;
 }
 
 namespace {
@@ -229,7 +247,13 @@ Status DefinitionStore::AddProcess(ProcessDefinition process) {
   }
   EXO_RETURN_NOT_OK_CTX(ValidateProcess(process, *this),
                         "validating process " + process.name());
-  processes_[process.name()].emplace(process.version(), std::move(process));
+  auto [vit, inserted] = processes_[process.name()].emplace(
+      process.version(), std::move(process));
+  (void)inserted;
+  // Compile the navigation plan eagerly: registered definitions are shared
+  // read-only across engine threads, so the lazy compile in plan() must
+  // never race. Registration is the last single-threaded moment.
+  (void)vit->second.plan();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #define EXOTICA_WF_PROCESS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/status.h"
 #include "wf/activity.h"
 #include "wf/connector.h"
+#include "wf/plan.h"
 
 namespace exotica::wf {
 
@@ -57,6 +59,16 @@ class ProcessDefinition {
   }
   Result<const Activity*> FindActivity(const std::string& name) const;
 
+  /// Dense activity id (index into activities()) for `name`. The runtime
+  /// resolves names to ids once at API boundaries and navigates on ids.
+  Result<size_t> ActivityIndex(const std::string& name) const;
+
+  /// The compiled navigation plan. Compiled lazily on first use and cached;
+  /// DefinitionStore::AddProcess compiles eagerly so registered
+  /// definitions can be shared across engine threads without races. Any
+  /// Add* mutation invalidates the cache.
+  const NavigationPlan& plan() const;
+
   /// Indices into control_connectors() with the given source / target.
   std::vector<size_t> OutgoingControl(const std::string& activity) const;
   std::vector<size_t> IncomingControl(const std::string& activity) const;
@@ -96,6 +108,11 @@ class ProcessDefinition {
   std::map<std::string, std::vector<size_t>> control_in_;
   std::map<std::string, std::vector<size_t>> data_out_;
   std::map<std::string, std::vector<size_t>> data_in_;
+
+  // Cached compiled plan. Index-based (no pointers into this object), so
+  // copies may share it. Mutable: plan() is a const accessor compiling on
+  // first use.
+  mutable std::shared_ptr<const NavigationPlan> plan_;
 };
 
 /// \brief Declaration of an executable program (definition side).

@@ -30,23 +30,27 @@ const char* EventTypeName(EventType type) {
   return "?";
 }
 
+void Record::EncodeTo(std::string* out) const {
+  *out += std::to_string(seq);
+  *out += '\t';
+  *out += std::to_string(static_cast<int>(type));
+  *out += '\t';
+  *out += instance;
+  *out += '\t';
+  *out += activity;
+  *out += '\t';
+  *out += to;
+  *out += '\t';
+  *out += flag ? '1' : '0';
+  *out += '\t';
+  *out += EscapeQuoted(payload);
+  *out += '\t';
+  *out += EscapeQuoted(extra);
+}
+
 std::string Record::Encode() const {
   std::string out;
-  out += std::to_string(seq);
-  out += '\t';
-  out += std::to_string(static_cast<int>(type));
-  out += '\t';
-  out += instance;
-  out += '\t';
-  out += activity;
-  out += '\t';
-  out += to;
-  out += '\t';
-  out += flag ? '1' : '0';
-  out += '\t';
-  out += EscapeQuoted(payload);
-  out += '\t';
-  out += EscapeQuoted(extra);
+  EncodeTo(&out);
   return out;
 }
 
@@ -93,6 +97,13 @@ Status MemoryJournal::Append(Record record) {
 
 Result<std::vector<Record>> MemoryJournal::ReadAll() const { return records_; }
 
+Status MemoryJournal::Visit(const RecordVisitor& visitor) const {
+  for (const Record& r : records_) {
+    EXO_RETURN_NOT_OK(visitor(r));
+  }
+  return Status::OK();
+}
+
 void MemoryJournal::TruncateTo(uint64_t keep) {
   if (keep < records_.size()) records_.resize(keep);
 }
@@ -101,9 +112,21 @@ Result<std::unique_ptr<FileJournal>> FileJournal::Open(const std::string& path,
                                                        bool fsync_each) {
   auto journal = std::unique_ptr<FileJournal>(new FileJournal(path, fsync_each));
   // Scan existing content to restore the sequence counter and verify
-  // integrity of what is already there.
-  EXO_ASSIGN_OR_RETURN(std::vector<Record> existing, journal->ReadAll());
-  journal->next_seq_ = existing.size();
+  // integrity of what is already there. A torn tail (crash mid-batch)
+  // is cut off so subsequent appends start at a record boundary.
+  uint64_t good_end = 0;
+  uint64_t count = 0;
+  EXO_RETURN_NOT_OK(journal->ScanFile(nullptr, &good_end, &count));
+  journal->next_seq_ = count;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe.is_open() &&
+        static_cast<uint64_t>(probe.tellg()) > good_end &&
+        ::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
+      return Status::IOError("cannot truncate torn journal tail in " + path +
+                             ": " + std::strerror(errno));
+    }
+  }
   journal->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (journal->fd_ < 0) {
     return Status::IOError("cannot open journal " + path + ": " +
@@ -113,44 +136,120 @@ Result<std::unique_ptr<FileJournal>> FileJournal::Open(const std::string& path,
 }
 
 FileJournal::~FileJournal() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    (void)FlushPending().ok();
+    ::close(fd_);
+  }
 }
 
 Status FileJournal::Append(Record record) {
   record.seq = next_seq_;
-  std::string line = record.Encode();
-  line += '\n';
-  ssize_t n = ::write(fd_, line.data(), line.size());
-  if (n != static_cast<ssize_t>(line.size())) {
-    return Status::IOError("short write to journal " + path_ + ": " +
-                           std::strerror(errno));
+  if (fsync_each_) {
+    // Write-through: flush anything buffered first so ordering holds, then
+    // write and fsync this record individually.
+    EXO_RETURN_NOT_OK(FlushPending());
+    std::string line;
+    record.EncodeTo(&line);
+    line += '\n';
+    ssize_t n = ::write(fd_, line.data(), line.size());
+    if (n != static_cast<ssize_t>(line.size())) {
+      return Status::IOError("short write to journal " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed on journal " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    ++next_seq_;
+    return Status::OK();
   }
-  if (fsync_each_ && ::fsync(fd_) != 0) {
-    return Status::IOError("fsync failed on journal " + path_ + ": " +
-                           std::strerror(errno));
-  }
+  record.EncodeTo(&pending_);
+  pending_ += '\n';
   ++next_seq_;
+  if (pending_.size() >= kAutoFlushBytes) return FlushPending();
+  return Status::OK();
+}
+
+Status FileJournal::Flush() { return FlushPending(); }
+
+Status FileJournal::FlushPending() const {
+  if (pending_.empty()) return Status::OK();
+  size_t off = 0;
+  while (off < pending_.size()) {
+    ssize_t n = ::write(fd_, pending_.data() + off, pending_.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("short write to journal " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+Status FileJournal::ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
+                             uint64_t* count) const {
+  *good_end = 0;
+  *count = 0;
+  std::ifstream in(path_);
+  if (!in.is_open()) return Status::OK();  // no file yet: empty journal
+  std::string line;
+  uint64_t offset = 0;
+  uint64_t expect = 0;
+  while (std::getline(in, line)) {
+    // getline hits EOF exactly when the line had no trailing newline — a
+    // record cut off mid-write.
+    bool terminated = !in.eof();
+    if (line.empty()) {
+      if (terminated) offset += 1;
+      continue;
+    }
+    Result<Record> r = Record::Decode(line);
+    if (!r.ok() || !terminated) {
+      if (!r.ok()) {
+        // Only the final record may be torn; garbage with well-formed
+        // lines after it is corruption, not a crash artifact.
+        std::string rest;
+        while (std::getline(in, rest)) {
+          if (!rest.empty()) return r.status();
+        }
+      }
+      break;
+    }
+    if (r->seq != expect) {
+      return Status::Corruption("journal " + path_ + " seq gap: got " +
+                                std::to_string(r->seq) + " want " +
+                                std::to_string(expect));
+    }
+    ++expect;
+    offset += line.size() + 1;
+    if (visitor) EXO_RETURN_NOT_OK(visitor(*r));
+  }
+  *good_end = offset;
+  *count = expect;
   return Status::OK();
 }
 
 Result<std::vector<Record>> FileJournal::ReadAll() const {
+  EXO_RETURN_NOT_OK(FlushPending());
   std::vector<Record> out;
-  std::ifstream in(path_);
-  if (!in.is_open()) return out;  // no file yet: empty journal
-  std::string line;
-  uint64_t expect = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    EXO_ASSIGN_OR_RETURN(Record r, Record::Decode(line));
-    if (r.seq != expect) {
-      return Status::Corruption("journal " + path_ + " seq gap: got " +
-                                std::to_string(r.seq) + " want " +
-                                std::to_string(expect));
-    }
-    ++expect;
-    out.push_back(std::move(r));
-  }
+  uint64_t good_end = 0;
+  uint64_t count = 0;
+  EXO_RETURN_NOT_OK(ScanFile(
+      [&out](const Record& r) {
+        out.push_back(r);
+        return Status::OK();
+      },
+      &good_end, &count));
   return out;
+}
+
+Status FileJournal::Visit(const RecordVisitor& visitor) const {
+  EXO_RETURN_NOT_OK(FlushPending());
+  uint64_t good_end = 0;
+  uint64_t count = 0;
+  return ScanFile(visitor, &good_end, &count);
 }
 
 }  // namespace exotica::wfjournal

@@ -8,11 +8,18 @@
 // crash, Engine::Recover replays the journal to rebuild every in-flight
 // instance. Activities that were started but not finished are re-run from
 // the beginning — the at-least-once caveat the paper spells out.
+//
+// FileJournal group-commits: appends accumulate in an in-memory arena and
+// reach the file in one write() per Flush() (the engine flushes at every
+// navigation quiescence point). fsync_each requests write-through: each
+// record is written and fsynced individually, preserving the strongest
+// durability setting exactly.
 
 #ifndef EXOTICA_WFJOURNAL_JOURNAL_H_
 #define EXOTICA_WFJOURNAL_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +60,9 @@ struct Record {
 
   /// Tab-separated single-line encoding (payloads escaped).
   std::string Encode() const;
+  /// Appends the encoding to `out` (no newline); lets appenders reuse one
+  /// buffer instead of allocating a string per record.
+  void EncodeTo(std::string* out) const;
   static Result<Record> Decode(const std::string& line);
 };
 
@@ -61,11 +71,23 @@ class Journal {
  public:
   virtual ~Journal() = default;
 
-  /// Durably appends `record` (seq is assigned, monotonically increasing).
+  /// Appends `record` (seq is assigned, monotonically increasing). The
+  /// record may be buffered until Flush(); with fsync_each it is durable
+  /// on return.
   virtual Status Append(Record record) = 0;
 
-  /// All records, in append order.
+  /// Pushes buffered appends to the backing store (group commit). No-op
+  /// for journals that write through.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// All records, in append order (includes buffered appends).
   virtual Result<std::vector<Record>> ReadAll() const = 0;
+
+  /// Streams every record, in append order, through `visitor` without
+  /// materializing a copy of the journal. Stops and returns the visitor's
+  /// status on the first non-OK result.
+  using RecordVisitor = std::function<Status(const Record&)>;
+  virtual Status Visit(const RecordVisitor& visitor) const = 0;
 
   /// Number of records appended so far.
   virtual uint64_t size() const = 0;
@@ -76,6 +98,7 @@ class MemoryJournal : public Journal {
  public:
   Status Append(Record record) override;
   Result<std::vector<Record>> ReadAll() const override;
+  Status Visit(const RecordVisitor& visitor) const override;
   uint64_t size() const override { return records_.size(); }
 
   /// Simulates a crash that loses every record after `keep` — used by the
@@ -89,23 +112,43 @@ class MemoryJournal : public Journal {
 /// \brief File-backed journal (one encoded record per line).
 class FileJournal : public Journal {
  public:
-  /// Opens (creating if necessary) and scans the file to restore seq.
+  /// Opens (creating if necessary) and scans the file to restore seq. A
+  /// torn final record — a crash mid-write of a group-committed batch —
+  /// is truncated away; anything else malformed is Corruption.
   static Result<std::unique_ptr<FileJournal>> Open(const std::string& path,
                                                    bool fsync_each = false);
   ~FileJournal() override;
 
   Status Append(Record record) override;
+  Status Flush() override;
   Result<std::vector<Record>> ReadAll() const override;
+  Status Visit(const RecordVisitor& visitor) const override;
   uint64_t size() const override { return next_seq_; }
 
  private:
   FileJournal(std::string path, bool fsync_each)
       : path_(std::move(path)), fsync_each_(fsync_each) {}
 
+  /// One write() for everything pending. Const so readers can flush
+  /// before scanning the file (pending_ is the only thing mutated).
+  Status FlushPending() const;
+
+  /// Streams the file's records through `visitor` (which may be null).
+  /// Reports the byte offset just past the last well-formed record and
+  /// the record count; a torn tail stops the scan without error.
+  Status ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
+                  uint64_t* count) const;
+
+  /// Buffered bytes beyond which Append flushes on its own, bounding arena
+  /// growth between quiescence points.
+  static constexpr size_t kAutoFlushBytes = 1 << 18;
+
   std::string path_;
   bool fsync_each_;
   int fd_ = -1;
   uint64_t next_seq_ = 0;
+  /// Group-commit arena: encoded records waiting for Flush().
+  mutable std::string pending_;
 };
 
 }  // namespace exotica::wfjournal

@@ -5,6 +5,7 @@
 #ifndef EXOTICA_WFRT_AUDIT_H_
 #define EXOTICA_WFRT_AUDIT_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,12 +47,28 @@ struct AuditEvent {
   std::string Compact() const;
 };
 
-/// \brief Append-only event list.
+/// \brief Append-only event list, optionally bounded.
+///
+/// With a bound set, the trail behaves as a ring over the most recent
+/// events: it retains at least `max_events` and at most twice that, with
+/// the oldest half dropped in one amortized erase — long fleet runs keep
+/// constant memory without paying a per-event shift.
 class AuditTrail {
  public:
-  void Add(AuditEvent event) { events_.push_back(std::move(event)); }
+  void Add(AuditEvent event) {
+    events_.push_back(std::move(event));
+    if (max_events_ > 0 && events_.size() >= 2 * max_events_) {
+      events_.erase(events_.begin(),
+                    events_.end() - static_cast<ptrdiff_t>(max_events_));
+    }
+  }
   const std::vector<AuditEvent>& events() const { return events_; }
   void Clear() { events_.clear(); }
+
+  /// Bounds retained events as described above; 0 (default) = unbounded.
+  /// Accounting queries see only retained events.
+  void set_max_events(size_t n) { max_events_ = n; }
+  size_t max_events() const { return max_events_; }
 
   /// Compact strings for one instance, in order. `kinds` empty = all kinds.
   std::vector<std::string> CompactTrace(
@@ -80,6 +97,7 @@ class AuditTrail {
 
  private:
   std::vector<AuditEvent> events_;
+  size_t max_events_ = 0;
 };
 
 }  // namespace exotica::wfrt

@@ -9,13 +9,27 @@ namespace exotica::wfrt {
 
 using wf::ActivityState;
 
+namespace {
+// Name of activity `aid` — journal records and audit events still speak
+// names; navigation itself stays on ids.
+inline const std::string& NameOf(const ProcessInstance* inst, uint32_t aid) {
+  return inst->definition->activities()[aid].name;
+}
+
+inline const wf::Activity& DefOf(const ProcessInstance* inst, uint32_t aid) {
+  return inst->definition->activities()[aid];
+}
+}  // namespace
+
 Engine::Engine(const wf::DefinitionStore* definitions, ProgramRegistry* programs,
                EngineOptions options)
     : definitions_(definitions),
       programs_(programs),
       options_(options),
       clock_(options.clock != nullptr ? options.clock
-                                      : SystemClock::Default()) {}
+                                      : SystemClock::Default()) {
+  audit_.set_max_events(options_.max_audit_events);
+}
 
 Status Engine::AttachJournal(wfjournal::Journal* journal) {
   if (!instances_.empty()) {
@@ -49,6 +63,11 @@ Status Engine::JournalAppend(wfjournal::EventType type,
   return journal_->Append(std::move(r));
 }
 
+Status Engine::FlushJournal() {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Flush();
+}
+
 void Engine::Audit(AuditKind kind, const std::string& instance,
                    const std::string& activity, std::string detail) {
   AuditEvent e;
@@ -66,34 +85,34 @@ std::string Engine::NewInstanceId() {
 }
 
 Result<ProcessInstance*> Engine::MutableInstance(const std::string& id) {
-  auto it = instances_.find(id);
-  if (it == instances_.end()) {
+  auto it = instance_index_.find(id);
+  if (it == instance_index_.end()) {
     return Status::NotFound("no such process instance: " + id);
   }
-  return &it->second;
+  return &instances_[it->second];
 }
 
 Result<const ProcessInstance*> Engine::FindInstance(const std::string& id) const {
-  auto it = instances_.find(id);
-  if (it == instances_.end()) {
+  auto it = instance_index_.find(id);
+  if (it == instance_index_.end()) {
     return Status::NotFound("no such process instance: " + id);
   }
-  return &it->second;
+  return &instances_[it->second];
 }
 
 bool Engine::IsFinished(const std::string& id) const {
-  auto it = instances_.find(id);
-  return it != instances_.end() && it->second.finished;
+  auto it = instance_index_.find(id);
+  return it != instance_index_.end() && instances_[it->second].finished;
 }
 
 bool Engine::IsCancelled(const std::string& id) const {
-  auto it = instances_.find(id);
-  return it != instances_.end() && it->second.cancelled;
+  auto it = instance_index_.find(id);
+  return it != instance_index_.end() && instances_[it->second].cancelled;
 }
 
 bool Engine::IsSuspended(const std::string& id) const {
-  auto it = instances_.find(id);
-  return it != instances_.end() && it->second.suspended;
+  auto it = instance_index_.find(id);
+  return it != instance_index_.end() && instances_[it->second].suspended;
 }
 
 Result<data::Container> Engine::OutputOf(const std::string& id) const {
@@ -107,11 +126,22 @@ Result<data::Container> Engine::OutputOf(const std::string& id) const {
 Result<wf::ActivityState> Engine::StateOf(const std::string& id,
                                           const std::string& activity) const {
   EXO_ASSIGN_OR_RETURN(const ProcessInstance* inst, FindInstance(id));
-  auto it = inst->activities.find(activity);
-  if (it == inst->activities.end()) {
+  Result<size_t> aid = inst->definition->ActivityIndex(activity);
+  if (!aid.ok()) {
     return Status::NotFound("no activity " + activity + " in instance " + id);
   }
-  return it->second.state;
+  return inst->activities[*aid].state;
+}
+
+Result<data::Container> Engine::NewContainer(const std::string& type_name) {
+  auto it = container_protos_.find(type_name);
+  if (it == container_protos_.end()) {
+    EXO_ASSIGN_OR_RETURN(
+        data::Container proto,
+        data::Container::Create(definitions_->types(), type_name));
+    it = container_protos_.emplace(type_name, std::move(proto)).first;
+  }
+  return it->second;
 }
 
 // --- instance creation ------------------------------------------------------
@@ -120,7 +150,9 @@ Result<std::string> Engine::StartProcess(const std::string& process_name,
                                          const data::Container* input) {
   EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* def,
                        definitions_->FindProcess(process_name));
-  return CreateInstance(def, input, "", "");
+  Result<std::string> id = CreateInstance(def, input, "", "");
+  EXO_RETURN_NOT_OK(FlushJournal());
+  return id;
 }
 
 Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
@@ -132,10 +164,10 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
   ProcessInstance inst;
   inst.id = id;
   inst.definition = def;
+  inst.plan = &def->plan();
   inst.parent_instance = parent_instance;
   inst.parent_activity = parent_activity;
-  EXO_ASSIGN_OR_RETURN(
-      inst.input, data::Container::Create(definitions_->types(), def->input_type()));
+  EXO_ASSIGN_OR_RETURN(inst.input, NewContainer(def->input_type()));
   if (input != nullptr) {
     if (input->type_name() != def->input_type()) {
       return Status::InvalidArgument(
@@ -144,32 +176,36 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
     }
     inst.input = *input;
   }
-  EXO_ASSIGN_OR_RETURN(
-      inst.output,
-      data::Container::Create(definitions_->types(), def->output_type()));
+  EXO_ASSIGN_OR_RETURN(inst.output, NewContainer(def->output_type()));
 
   // The payload pins the template version so recovery replays against the
   // exact definition this instance started with, even if newer versions
   // registered since.
-  EXO_RETURN_NOT_OK(JournalAppend(
-      wfjournal::EventType::kInstanceStart, id, parent_activity,
-      parent_instance, /*flag=*/false,
-      "v" + std::to_string(def->version()) + ":" + def->name(),
-      inst.input.Serialize()));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(
+        wfjournal::EventType::kInstanceStart, id, parent_activity,
+        parent_instance, /*flag=*/false,
+        "v" + std::to_string(def->version()) + ":" + def->name(),
+        inst.input.Serialize()));
+  }
 
-  auto [it, inserted] = instances_.emplace(id, std::move(inst));
-  (void)inserted;
+  uint32_t index = static_cast<uint32_t>(instances_.size());
+  inst.index = index;
+  instances_.push_back(std::move(inst));
+  instance_index_.emplace(id, index);
   instance_order_.push_back(id);
   ++stats_.instances_started;
   Audit(AuditKind::kInstanceStarted, id, "", def->name());
 
-  ProcessInstance* p = &it->second;
+  ProcessInstance* p = &instances_[index];
   EXO_RETURN_NOT_OK(InitializeRuntimes(p));
 
   if (!parent_instance.empty()) {
     EXO_ASSIGN_OR_RETURN(ProcessInstance* parent,
                          MutableInstance(parent_instance));
-    parent->activities[parent_activity].child_instance = id;
+    EXO_ASSIGN_OR_RETURN(size_t paid,
+                         parent->definition->ActivityIndex(parent_activity));
+    parent->activities[paid].child_instance = id;
   }
 
   EXO_RETURN_NOT_OK(ReadyStartActivities(p));
@@ -177,84 +213,98 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
 }
 
 Status Engine::InitializeRuntimes(ProcessInstance* inst) {
-  const data::TypeRegistry& types = definitions_->types();
-  for (const wf::Activity& a : inst->definition->activities()) {
-    ActivityRuntime rt;
-    EXO_ASSIGN_OR_RETURN(rt.input, data::Container::Create(types, a.input_type));
-    EXO_ASSIGN_OR_RETURN(rt.output, data::Container::Create(types, a.output_type));
-    inst->activities.emplace(a.name, std::move(rt));
+  const wf::NavigationPlan& plan = *inst->plan;
+  const std::vector<wf::Activity>& acts = inst->definition->activities();
+  uint32_t n = plan.activity_count();
+  inst->activities.resize(n);
+  inst->enqueued.assign(n, 0);
+  for (uint32_t aid = 0; aid < n; ++aid) {
+    ActivityRuntime& rt = inst->activities[aid];
+    EXO_ASSIGN_OR_RETURN(rt.input, NewContainer(acts[aid].input_type));
+    EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(acts[aid].output_type));
+    const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
+    rt.incoming_eval.assign(info.in_control.size(), -1);
+    rt.outgoing_eval.assign(info.out_control.size(), -1);
   }
   // Process-input data connectors materialize target inputs immediately.
-  for (size_t i :
-       inst->definition->OutgoingData(wf::DataEndpoint::ProcessInput())) {
-    const wf::DataConnector& d = inst->definition->data_connectors()[i];
-    data::Container* target = d.to.is_activity()
-                                  ? &inst->activities[d.to.activity].input
-                                  : &inst->output;
-    EXO_RETURN_NOT_OK(d.mapping.Apply(inst->input, target));
+  for (uint32_t d : plan.input_data()) {
+    const wf::DataConnector& dc = inst->definition->data_connectors()[d];
+    uint32_t to = plan.data_target(d).to;
+    data::Container* target = to == wf::NavigationPlan::kProcessOutput
+                                  ? &inst->output
+                                  : &inst->activities[to].input;
+    EXO_RETURN_NOT_OK(dc.mapping.Apply(inst->input, target));
   }
   return Status::OK();
 }
 
 Status Engine::ReadyStartActivities(ProcessInstance* inst) {
-  for (const std::string& name : inst->definition->StartActivities()) {
-    EXO_RETURN_NOT_OK(MakeReady(inst, name));
+  for (uint32_t aid : inst->plan->start_activities()) {
+    EXO_RETURN_NOT_OK(MakeReady(inst, aid));
   }
   return Status::OK();
 }
 
 // --- readiness and the run queue ---------------------------------------------
 
-Status Engine::MakeReady(ProcessInstance* inst, const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  rt.state = ActivityState::kReady;
-  EXO_RETURN_NOT_OK(
-      JournalAppend(wfjournal::EventType::kActivityReady, inst->id, activity));
-  Audit(AuditKind::kActivityReady, inst->id, activity);
-
-  if (def->start_mode == wf::StartMode::kManual) {
-    if (worklists_ == nullptr) {
-      return Status::FailedPrecondition(
-          "manual activity " + activity +
-          " requires an attached organization (AttachOrganization)");
-    }
-    EXO_ASSIGN_OR_RETURN(
-        org::WorkItemId item,
-        worklists_->Post(inst->id, activity, def->role,
-                         def->notify_after_micros, def->notify_role));
-    rt.work_item = item;
-    Audit(AuditKind::kWorkItemPosted, inst->id, activity,
-          std::to_string(item));
-  } else {
-    Enqueue(inst->id, activity);
+Status Engine::PostWorkItem(ProcessInstance* inst, uint32_t aid,
+                            const char* no_worklists_error) {
+  const wf::Activity& def = DefOf(inst, aid);
+  if (worklists_ == nullptr) {
+    return Status::FailedPrecondition("manual activity " + def.name +
+                                      no_worklists_error);
   }
+  EXO_ASSIGN_OR_RETURN(
+      org::WorkItemId item,
+      worklists_->Post(inst->id, def.name, def.role, def.notify_after_micros,
+                       def.notify_role));
+  inst->activities[aid].work_item = item;
+  Audit(AuditKind::kWorkItemPosted, inst->id, def.name, std::to_string(item));
   return Status::OK();
 }
 
-void Engine::Enqueue(const std::string& instance, const std::string& activity) {
-  auto key = std::make_pair(instance, activity);
-  if (enqueued_.insert(key).second) {
-    ready_queue_.push_back(key);
+Status Engine::MakeReady(ProcessInstance* inst, uint32_t aid) {
+  inst->SetState(aid, ActivityState::kReady);
+  const std::string& name = NameOf(inst, aid);
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kActivityReady, inst->id, name));
+  Audit(AuditKind::kActivityReady, inst->id, name);
+
+  if (inst->plan->activity(aid).manual) {
+    return PostWorkItem(inst, aid,
+                        " requires an attached organization "
+                        "(AttachOrganization)");
   }
+  Enqueue(inst, aid);
+  return Status::OK();
+}
+
+void Engine::Enqueue(ProcessInstance* inst, uint32_t aid) {
+  if (inst->enqueued[aid]) return;
+  inst->enqueued[aid] = 1;
+  ready_queue_.emplace_back(inst->index, aid);
+}
+
+Status Engine::Drain() {
+  while (!ready_queue_.empty()) {
+    auto [index, aid] = ready_queue_.front();
+    ready_queue_.pop_front();
+
+    ProcessInstance* inst = &instances_[index];
+    inst->enqueued[aid] = 0;
+    if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
+    if (inst->activities[aid].state != ActivityState::kReady) {
+      continue;  // stale entry
+    }
+    EXO_RETURN_NOT_OK(StartExecution(inst, aid, ""));
+  }
+  return Status::OK();
 }
 
 Status Engine::Run() {
-  while (!ready_queue_.empty()) {
-    auto [iid, act] = ready_queue_.front();
-    ready_queue_.pop_front();
-    enqueued_.erase({iid, act});
-
-    auto it = instances_.find(iid);
-    if (it == instances_.end()) continue;
-    ProcessInstance* inst = &it->second;
-    if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
-    ActivityRuntime& rt = inst->activities[act];
-    if (rt.state != ActivityState::kReady) continue;  // stale entry
-    EXO_RETURN_NOT_OK(StartExecution(inst, act, ""));
-  }
-  return Status::OK();
+  Status st = Drain();
+  Status fs = FlushJournal();
+  return st.ok() ? fs : st;
 }
 
 Result<std::string> Engine::RunToCompletion(const std::string& process_name,
@@ -271,40 +321,38 @@ Result<std::string> Engine::RunToCompletion(const std::string& process_name,
 
 // --- execution ----------------------------------------------------------------
 
-Status Engine::StartExecution(ProcessInstance* inst, const std::string& activity,
+Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
                               const std::string& person) {
-  ActivityRuntime& rt = inst->activities[activity];
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
+  ActivityRuntime& rt = inst->activities[aid];
+  const wf::Activity& def = DefOf(inst, aid);
 
   rt.attempt += 1;
-  rt.state = ActivityState::kRunning;
+  inst->SetState(aid, ActivityState::kRunning);
   // Fresh output container per attempt: a half-written image from a failed
   // attempt must not leak into the next one.
-  EXO_ASSIGN_OR_RETURN(
-      rt.output, data::Container::Create(definitions_->types(), def->output_type));
+  EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(def.output_type));
   EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
-                                  inst->id, activity, "", false,
+                                  inst->id, def.name, "", false,
                                   std::to_string(rt.attempt)));
-  Audit(AuditKind::kActivityStarted, inst->id, activity,
+  Audit(AuditKind::kActivityStarted, inst->id, def.name,
         "attempt=" + std::to_string(rt.attempt));
   ++stats_.activities_executed;
 
-  if (def->is_process()) {
+  if (def.is_process()) {
     // Block: spawn a child instance fed from this activity's input.
     EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
-                         definitions_->FindProcess(def->subprocess));
+                         definitions_->FindProcess(def.subprocess));
     EXO_ASSIGN_OR_RETURN(std::string child_id,
-                         CreateInstance(sub, &rt.input, inst->id, activity));
+                         CreateInstance(sub, &rt.input, inst->id, def.name));
     (void)child_id;  // continuation happens when the child finishes
     return Status::OK();
   }
 
   // Program activity.
-  EXO_ASSIGN_OR_RETURN(const ProgramFn* fn, programs_->Find(def->program));
+  EXO_ASSIGN_OR_RETURN(const ProgramFn* fn, programs_->Find(def.program));
   ProgramContext ctx;
   ctx.instance_id = inst->id;
-  ctx.activity = activity;
+  ctx.activity = def.name;
   ctx.attempt = rt.attempt;
   ctx.person = person;
   Status st = (*fn)(rt.input, &rt.output, ctx);
@@ -314,138 +362,139 @@ Status Engine::StartExecution(ProcessInstance* inst, const std::string& activity
     // activity stays running until CompleteAsync reports the outcome; a
     // crash meanwhile re-runs it from the beginning, the same
     // at-least-once contract as everything else.
-    Audit(AuditKind::kActivityPending, inst->id, activity, st.message());
+    Audit(AuditKind::kActivityPending, inst->id, def.name, st.message());
     return Status::OK();
   }
   if (!st.ok()) {
     // Program crash: reschedule from the beginning (paper §3.3).
     ++rt.failures;
     ++stats_.program_failures;
-    Audit(AuditKind::kProgramFailure, inst->id, activity, st.ToString());
+    Audit(AuditKind::kProgramFailure, inst->id, def.name, st.ToString());
     if (options_.max_program_failures > 0 &&
         rt.failures >= options_.max_program_failures) {
       return Status::FailedPrecondition(
           StrFormat("activity %s in %s failed %d times; last error: %s",
-                    activity.c_str(), inst->id.c_str(), rt.failures,
+                    def.name.c_str(), inst->id.c_str(), rt.failures,
                     st.ToString().c_str()));
     }
-    return Reschedule(inst, activity, "program-failure");
+    return Reschedule(inst, aid, "program-failure");
   }
 
   rt.failures = 0;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
-                                  inst->id, activity, "", false,
-                                  rt.output.Serialize()));
-  Audit(AuditKind::kActivityFinished, inst->id, activity);
-  return HandleFinished(inst, activity);
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                    inst->id, def.name, "", false,
+                                    rt.output.Serialize()));
+  }
+  Audit(AuditKind::kActivityFinished, inst->id, def.name);
+  return HandleFinished(inst, aid);
 }
 
-Status Engine::HandleFinished(ProcessInstance* inst,
-                              const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  rt.state = ActivityState::kFinished;
+Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
+  ActivityRuntime& rt = inst->activities[aid];
+  const wf::Activity& def = DefOf(inst, aid);
+  inst->SetState(aid, ActivityState::kFinished);
 
-  expr::ContainerResolver resolver(rt.output);
-  Result<bool> exit_result = def->exit_condition.Evaluate(resolver);
-  if (!exit_result.ok()) {
-    return exit_result.status().WithContext("exit condition of " + activity +
-                                            " in " + inst->id);
+  bool exit_ok;
+  if (inst->plan->activity(aid).trivial_exit) {
+    exit_ok = true;  // always-true exit condition: skip the resolver
+  } else {
+    expr::ContainerResolver resolver(rt.output);
+    Result<bool> exit_result = def.exit_condition.Evaluate(resolver);
+    if (!exit_result.ok()) {
+      return exit_result.status().WithContext("exit condition of " + def.name +
+                                              " in " + inst->id);
+    }
+    exit_ok = exit_result.value();
   }
-  bool exit_ok = exit_result.value();
   if (!exit_ok) {
     if (options_.max_exit_retries > 0 &&
         rt.attempt >= options_.max_exit_retries) {
       return Status::FailedPrecondition(StrFormat(
           "activity %s in %s: exit condition still false after %d attempts",
-          activity.c_str(), inst->id.c_str(), rt.attempt));
+          def.name.c_str(), inst->id.c_str(), rt.attempt));
     }
-    return Reschedule(inst, activity, "exit-condition");
+    return Reschedule(inst, aid, "exit-condition");
   }
-  return Terminate(inst, activity);
+  return Terminate(inst, aid);
 }
 
-Status Engine::Reschedule(ProcessInstance* inst, const std::string& activity,
+Status Engine::Reschedule(ProcessInstance* inst, uint32_t aid,
                           const std::string& reason) {
-  ActivityRuntime& rt = inst->activities[activity];
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  rt.state = ActivityState::kReady;
+  inst->SetState(aid, ActivityState::kReady);
   ++stats_.reschedules;
+  const std::string& name = NameOf(inst, aid);
   EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityRescheduled,
-                                  inst->id, activity, "", false, reason));
-  Audit(AuditKind::kActivityRescheduled, inst->id, activity, reason);
+                                  inst->id, name, "", false, reason));
+  Audit(AuditKind::kActivityRescheduled, inst->id, name, reason);
 
-  if (def->start_mode == wf::StartMode::kManual) {
-    if (worklists_ == nullptr) {
-      return Status::FailedPrecondition(
-          "manual activity " + activity + " rescheduled without worklists");
-    }
-    EXO_ASSIGN_OR_RETURN(
-        org::WorkItemId item,
-        worklists_->Post(inst->id, activity, def->role,
-                         def->notify_after_micros, def->notify_role));
-    rt.work_item = item;
-    Audit(AuditKind::kWorkItemPosted, inst->id, activity, std::to_string(item));
-  } else {
-    Enqueue(inst->id, activity);
+  if (inst->plan->activity(aid).manual) {
+    return PostWorkItem(inst, aid, " rescheduled without worklists");
   }
+  Enqueue(inst, aid);
   return Status::OK();
 }
 
-Status Engine::Terminate(ProcessInstance* inst, const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
-  rt.state = ActivityState::kTerminated;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityTerminated,
-                                  inst->id, activity));
-  Audit(AuditKind::kActivityTerminated, inst->id, activity);
-  EXO_RETURN_NOT_OK(PushData(inst, activity));
-  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, activity, /*all_false=*/false));
+Status Engine::Terminate(ProcessInstance* inst, uint32_t aid) {
+  inst->SetState(aid, ActivityState::kTerminated);
+  const std::string& name = NameOf(inst, aid);
+  EXO_RETURN_NOT_OK(
+      JournalAppend(wfjournal::EventType::kActivityTerminated, inst->id, name));
+  Audit(AuditKind::kActivityTerminated, inst->id, name);
+  EXO_RETURN_NOT_OK(PushData(inst, aid));
+  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/false));
   return CheckInstanceCompletion(inst);
 }
 
-Status Engine::MarkDead(ProcessInstance* inst, const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
-  rt.state = ActivityState::kDead;
+Status Engine::MarkDead(ProcessInstance* inst, uint32_t aid) {
+  ActivityRuntime& rt = inst->activities[aid];
+  inst->SetState(aid, ActivityState::kDead);
   ++stats_.dead_path_terminations;
+  const std::string& name = NameOf(inst, aid);
   EXO_RETURN_NOT_OK(
-      JournalAppend(wfjournal::EventType::kActivityDead, inst->id, activity));
-  Audit(AuditKind::kActivityDead, inst->id, activity);
+      JournalAppend(wfjournal::EventType::kActivityDead, inst->id, name));
+  Audit(AuditKind::kActivityDead, inst->id, name);
 
   if (rt.work_item.has_value() && worklists_ != nullptr) {
     // Best effort: the item may already be done (it should not be, since
     // the activity was still waiting, but recovery can race).
     (void)worklists_->Cancel(*rt.work_item);
-    Audit(AuditKind::kWorkItemCancelled, inst->id, activity,
+    Audit(AuditKind::kWorkItemCancelled, inst->id, name,
           std::to_string(*rt.work_item));
     rt.work_item.reset();
   }
-  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, activity, /*all_false=*/true));
+  EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/true));
   return CheckInstanceCompletion(inst);
 }
 
-Status Engine::EvaluateOutgoing(ProcessInstance* inst,
-                                const std::string& activity, bool all_false) {
-  ActivityRuntime& rt = inst->activities[activity];
-  const auto& connectors = inst->definition->control_connectors();
-  std::vector<size_t> outs = inst->definition->OutgoingControl(activity);
+Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
+                                bool all_false) {
+  ActivityRuntime& rt = inst->activities[aid];
+  const wf::NavigationPlan& plan = *inst->plan;
+  const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
+  const std::vector<wf::ControlConnector>& connectors =
+      inst->definition->control_connectors();
 
   bool any_true = false;
-  std::vector<std::pair<size_t, bool>> fresh;
+  // Fresh evaluations are delivered only after every sibling connector is
+  // journaled, so a successor's join never fires on a partial picture.
+  std::vector<std::pair<uint32_t, bool>> fresh;
 
   // Non-otherwise connectors first.
-  for (size_t idx : outs) {
-    const wf::ControlConnector& c = connectors[idx];
-    if (c.is_otherwise) continue;
+  for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
+    uint32_t cidx = info.out_control[slot];
+    const wf::NavigationPlan::ConnectorInfo& ci = plan.connector(cidx);
+    if (ci.is_otherwise) continue;
     bool value;
-    auto stored = rt.outgoing_eval.find(idx);
-    if (stored != rt.outgoing_eval.end()) {
-      value = stored->second;
+    if (rt.outgoing_eval[slot] >= 0) {
+      value = rt.outgoing_eval[slot] != 0;
     } else {
       if (all_false) {
         value = false;
+      } else if (ci.trivial) {
+        value = true;  // unconditioned connector: no resolver needed
       } else {
+        const wf::ControlConnector& c = connectors[cidx];
         expr::ContainerResolver resolver(rt.output);
         Result<bool> r = c.condition.Evaluate(resolver);
         if (!r.ok()) {
@@ -459,53 +508,55 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst,
           value = r.value();
         }
       }
-      rt.outgoing_eval[idx] = value;
+      rt.outgoing_eval[slot] = value ? 1 : 0;
       ++stats_.connectors_evaluated;
+      const wf::ControlConnector& c = connectors[cidx];
       EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
                                       inst->id, c.from, c.to, value));
       Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
             inst->id, c.from, c.to);
-      fresh.emplace_back(idx, value);
+      fresh.emplace_back(cidx, value);
     }
     any_true = any_true || value;
   }
 
   // Otherwise connector fires iff all conditioned siblings were false.
-  for (size_t idx : outs) {
-    const wf::ControlConnector& c = connectors[idx];
-    if (!c.is_otherwise) continue;
-    if (rt.outgoing_eval.count(idx) > 0) continue;
+  for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
+    uint32_t cidx = info.out_control[slot];
+    if (!plan.connector(cidx).is_otherwise) continue;
+    if (rt.outgoing_eval[slot] >= 0) continue;
     bool value = all_false ? false : !any_true;
-    rt.outgoing_eval[idx] = value;
+    rt.outgoing_eval[slot] = value ? 1 : 0;
     ++stats_.connectors_evaluated;
+    const wf::ControlConnector& c = connectors[cidx];
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
                                     inst->id, c.from, c.to, value));
     Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
           inst->id, c.from, c.to);
-    fresh.emplace_back(idx, value);
+    fresh.emplace_back(cidx, value);
   }
 
-  for (auto [idx, value] : fresh) {
-    EXO_RETURN_NOT_OK(DeliverSignal(inst, connectors[idx].to, idx, value));
+  for (auto [cidx, value] : fresh) {
+    EXO_RETURN_NOT_OK(DeliverSignal(inst, cidx, value));
   }
   return Status::OK();
 }
 
-Status Engine::DeliverSignal(ProcessInstance* inst, const std::string& target,
-                             size_t connector_index, bool value) {
-  ActivityRuntime& rt = inst->activities[target];
-  rt.incoming_eval[connector_index] = value;
+Status Engine::DeliverSignal(ProcessInstance* inst, uint32_t connector_index,
+                             bool value) {
+  const wf::NavigationPlan::ConnectorInfo& ci =
+      inst->plan->connector(connector_index);
+  ActivityRuntime& rt = inst->activities[ci.to];
+  rt.incoming_eval[ci.in_slot] = value ? 1 : 0;
   if (rt.state != ActivityState::kWaiting) return Status::OK();
-  return ApplyJoin(inst, target);
+  return ApplyJoin(inst, ci.to);
 }
 
-Status Engine::ApplyJoin(ProcessInstance* inst, const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
+Status Engine::ApplyJoin(ProcessInstance* inst, uint32_t aid) {
+  ActivityRuntime& rt = inst->activities[aid];
   if (rt.state != ActivityState::kWaiting) return Status::OK();
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  std::vector<size_t> incoming = inst->definition->IncomingControl(activity);
-  if (incoming.empty()) return Status::OK();
+  const wf::NavigationPlan::ActivityInfo& info = inst->plan->activity(aid);
+  if (info.join_fan_in == 0) return Status::OK();
 
   // The start condition is decided only once every incoming connector has
   // been evaluated (terminated sources evaluate their conditions; dead
@@ -513,29 +564,28 @@ Status Engine::ApplyJoin(ProcessInstance* inst, const std::string& activity) {
   // would let an OR-joined activity start before its siblings settle,
   // which breaks the reverse-order compensation pattern of the paper's
   // Figure 2.
-  size_t evaluated = 0, trues = 0;
-  for (size_t idx : incoming) {
-    auto it = rt.incoming_eval.find(idx);
-    if (it == rt.incoming_eval.end()) continue;
+  uint32_t evaluated = 0, trues = 0;
+  for (int8_t v : rt.incoming_eval) {
+    if (v < 0) continue;
     ++evaluated;
-    if (it->second) ++trues;
+    trues += static_cast<uint32_t>(v);
   }
-  if (evaluated < incoming.size()) return Status::OK();
+  if (evaluated < info.join_fan_in) return Status::OK();
 
-  bool start = def->join == wf::JoinKind::kAnd ? trues == incoming.size()
-                                               : trues > 0;
-  return start ? MakeReady(inst, activity) : MarkDead(inst, activity);
+  bool start = info.or_join ? trues > 0 : trues == info.join_fan_in;
+  return start ? MakeReady(inst, aid) : MarkDead(inst, aid);
 }
 
-Status Engine::PushData(ProcessInstance* inst, const std::string& activity) {
-  ActivityRuntime& rt = inst->activities[activity];
-  for (size_t i :
-       inst->definition->OutgoingData(wf::DataEndpoint::Of(activity))) {
-    const wf::DataConnector& d = inst->definition->data_connectors()[i];
-    data::Container* target = d.to.is_activity()
-                                  ? &inst->activities[d.to.activity].input
-                                  : &inst->output;
-    EXO_RETURN_NOT_OK(d.mapping.Apply(rt.output, target));
+Status Engine::PushData(ProcessInstance* inst, uint32_t aid) {
+  ActivityRuntime& rt = inst->activities[aid];
+  const wf::NavigationPlan& plan = *inst->plan;
+  for (uint32_t d : plan.activity(aid).out_data) {
+    const wf::DataConnector& dc = inst->definition->data_connectors()[d];
+    uint32_t to = plan.data_target(d).to;
+    data::Container* target = to == wf::NavigationPlan::kProcessOutput
+                                  ? &inst->output
+                                  : &inst->activities[to].input;
+    EXO_RETURN_NOT_OK(dc.mapping.Apply(rt.output, target));
   }
   return Status::OK();
 }
@@ -544,9 +594,11 @@ Status Engine::CheckInstanceCompletion(ProcessInstance* inst) {
   if (inst->finished || !inst->AllSettled()) return Status::OK();
   inst->finished = true;
   ++stats_.instances_finished;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceFinished,
-                                  inst->id, "", "", false,
-                                  inst->output.Serialize()));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceFinished,
+                                    inst->id, "", "", false,
+                                    inst->output.Serialize()));
+  }
   Audit(AuditKind::kInstanceFinished, inst->id);
   if (inst->is_child()) return ContinueParent(inst);
   return Status::OK();
@@ -555,15 +607,19 @@ Status Engine::CheckInstanceCompletion(ProcessInstance* inst) {
 Status Engine::ContinueParent(ProcessInstance* child) {
   EXO_ASSIGN_OR_RETURN(ProcessInstance* parent,
                        MutableInstance(child->parent_instance));
-  ActivityRuntime& rt = parent->activities[child->parent_activity];
+  EXO_ASSIGN_OR_RETURN(
+      size_t aid, parent->definition->ActivityIndex(child->parent_activity));
+  ActivityRuntime& rt = parent->activities[aid];
   if (rt.state != ActivityState::kRunning) return Status::OK();  // already done
   rt.output = child->output;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
-                                  parent->id, child->parent_activity, "", false,
-                                  rt.output.Serialize()));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                    parent->id, child->parent_activity, "",
+                                    false, rt.output.Serialize()));
+  }
   Audit(AuditKind::kActivityFinished, parent->id, child->parent_activity,
         "block child " + child->id);
-  return HandleFinished(parent, child->parent_activity);
+  return HandleFinished(parent, static_cast<uint32_t>(aid));
 }
 
 // --- manual work ---------------------------------------------------------------
@@ -588,14 +644,15 @@ Status Engine::ExecuteWorkItem(org::WorkItemId id, const std::string& person) {
   EXO_ASSIGN_OR_RETURN(ProcessInstance* inst,
                        MutableInstance(item->process_instance));
   std::string activity = item->activity;
-  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
+  ActivityRuntime& rt = inst->activities[aid];
   if (rt.state != ActivityState::kReady) {
     return Status::FailedPrecondition("activity " + activity +
                                       " is not ready in " + inst->id);
   }
   EXO_RETURN_NOT_OK(worklists_->Complete(id, person));
   rt.work_item.reset();
-  EXO_RETURN_NOT_OK(StartExecution(inst, activity, person));
+  EXO_RETURN_NOT_OK(StartExecution(inst, static_cast<uint32_t>(aid), person));
   return Run();
 }
 
@@ -603,30 +660,32 @@ Status Engine::CompleteAsync(const std::string& instance_id,
                              const std::string& activity,
                              const data::Container& output) {
   EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
+  const wf::Activity& def = DefOf(inst, static_cast<uint32_t>(aid));
+  ActivityRuntime& rt = inst->activities[aid];
   if (rt.state != ActivityState::kRunning) {
     return Status::FailedPrecondition(
         "activity " + activity + " in " + instance_id + " is " +
         ActivityStateName(rt.state) + "; only running activities complete");
   }
-  if (!def->is_program()) {
+  if (!def.is_program()) {
     return Status::FailedPrecondition(
         "block activity " + activity + " completes through its subprocess");
   }
-  if (output.type_name() != def->output_type) {
+  if (output.type_name() != def.output_type) {
     return Status::InvalidArgument("output container type " +
                                    output.type_name() + " does not match " +
-                                   def->output_type);
+                                   def.output_type);
   }
   rt.output = output;
   rt.failures = 0;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
-                                  inst->id, activity, "", false,
-                                  rt.output.Serialize()));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                    inst->id, activity, "", false,
+                                    rt.output.Serialize()));
+  }
   Audit(AuditKind::kActivityFinished, inst->id, activity, "async");
-  EXO_RETURN_NOT_OK(HandleFinished(inst, activity));
+  EXO_RETURN_NOT_OK(HandleFinished(inst, static_cast<uint32_t>(aid)));
   return Run();
 }
 
@@ -634,18 +693,18 @@ Status Engine::ForceFinish(const std::string& instance_id,
                            const std::string& activity,
                            const data::Container& output) {
   EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
-  EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                       inst->definition->FindActivity(activity));
-  ActivityRuntime& rt = inst->activities[activity];
+  EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
+  const wf::Activity& def = DefOf(inst, static_cast<uint32_t>(aid));
+  ActivityRuntime& rt = inst->activities[aid];
   if (rt.state != ActivityState::kReady) {
     return Status::FailedPrecondition(
         "only ready activities can be force-finished; " + activity + " is " +
         ActivityStateName(rt.state));
   }
-  if (output.type_name() != def->output_type) {
+  if (output.type_name() != def.output_type) {
     return Status::InvalidArgument("output container type " +
                                    output.type_name() + " does not match " +
-                                   def->output_type);
+                                   def.output_type);
   }
   if (rt.work_item.has_value() && worklists_ != nullptr) {
     (void)worklists_->Cancel(*rt.work_item);
@@ -658,11 +717,13 @@ Status Engine::ForceFinish(const std::string& instance_id,
                                   inst->id, activity, "", false,
                                   std::to_string(rt.attempt)));
   rt.output = output;
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
-                                  inst->id, activity, "", false,
-                                  rt.output.Serialize()));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
+                                    inst->id, activity, "", false,
+                                    rt.output.Serialize()));
+  }
   Audit(AuditKind::kForcedFinish, inst->id, activity);
-  EXO_RETURN_NOT_OK(HandleFinished(inst, activity));
+  EXO_RETURN_NOT_OK(HandleFinished(inst, static_cast<uint32_t>(aid)));
   return Run();
 }
 
@@ -689,13 +750,17 @@ Status Engine::SuspendInstance(const std::string& instance_id) {
   }
   EXO_RETURN_NOT_OK(
       JournalAppend(wfjournal::EventType::kInstanceSuspended, instance_id));
-  return ApplySuspend(inst);
+  EXO_RETURN_NOT_OK(ApplySuspend(inst));
+  return FlushJournal();
 }
 
 Status Engine::ApplySuspend(ProcessInstance* inst) {
   inst->suspended = true;
-  for (auto& [name, rt] : inst->activities) {
-    (void)name;
+  // Name order: the old runtime kept activities in a name-keyed map, and
+  // lifecycle sweeps preserve its iteration order so audit and worklist
+  // effects stay byte-identical.
+  for (uint32_t aid : inst->plan->ids_by_name()) {
+    ActivityRuntime& rt = inst->activities[aid];
     if (rt.work_item.has_value() && worklists_ != nullptr) {
       (void)worklists_->Cancel(*rt.work_item);
       rt.work_item.reset();
@@ -718,29 +783,22 @@ Status Engine::ResumeSuspended(const std::string& instance_id) {
   }
   EXO_RETURN_NOT_OK(
       JournalAppend(wfjournal::EventType::kInstanceResumed, instance_id));
-  return ApplyResume(inst);
+  EXO_RETURN_NOT_OK(ApplyResume(inst));
+  return FlushJournal();
 }
 
 Status Engine::ApplyResume(ProcessInstance* inst) {
   inst->suspended = false;
   if (recovering_) return Status::OK();  // ResumeAfterReplay re-dispatches
-  for (const wf::Activity& a : inst->definition->activities()) {
-    ActivityRuntime& rt = inst->activities[a.name];
+  uint32_t n = inst->plan->activity_count();
+  for (uint32_t aid = 0; aid < n; ++aid) {  // declaration order
+    ActivityRuntime& rt = inst->activities[aid];
     if (rt.state == ActivityState::kReady) {
-      if (a.start_mode == wf::StartMode::kManual) {
-        if (worklists_ == nullptr) {
-          return Status::FailedPrecondition(
-              "manual activity " + a.name + " resumed without worklists");
-        }
-        EXO_ASSIGN_OR_RETURN(
-            org::WorkItemId item,
-            worklists_->Post(inst->id, a.name, a.role, a.notify_after_micros,
-                             a.notify_role));
-        rt.work_item = item;
-        Audit(AuditKind::kWorkItemPosted, inst->id, a.name,
-              std::to_string(item));
+      if (inst->plan->activity(aid).manual) {
+        EXO_RETURN_NOT_OK(
+            PostWorkItem(inst, aid, " resumed without worklists"));
       } else {
-        Enqueue(inst->id, a.name);
+        Enqueue(inst, aid);
       }
     } else if (rt.state == ActivityState::kRunning &&
                !rt.child_instance.empty()) {
@@ -765,13 +823,15 @@ Status Engine::CancelInstance(const std::string& instance_id) {
   }
   EXO_RETURN_NOT_OK(
       JournalAppend(wfjournal::EventType::kInstanceCancelled, instance_id));
-  return ApplyCancel(inst);
+  EXO_RETURN_NOT_OK(ApplyCancel(inst));
+  return FlushJournal();
 }
 
 Status Engine::ApplyCancel(ProcessInstance* inst) {
   // Children first, so a block child is settled before its parent slot.
-  for (auto& [name, rt] : inst->activities) {
-    (void)name;
+  // Both sweeps run in name order (see ApplySuspend).
+  for (uint32_t aid : inst->plan->ids_by_name()) {
+    ActivityRuntime& rt = inst->activities[aid];
     if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
       auto child = MutableInstance(rt.child_instance);
       if (child.ok() && !(*child)->finished) {
@@ -779,18 +839,20 @@ Status Engine::ApplyCancel(ProcessInstance* inst) {
       }
     }
   }
-  for (auto& [name, rt] : inst->activities) {
+  for (uint32_t aid : inst->plan->ids_by_name()) {
+    ActivityRuntime& rt = inst->activities[aid];
     if (rt.state == ActivityState::kTerminated ||
         rt.state == ActivityState::kDead) {
       continue;
     }
+    const std::string& name = NameOf(inst, aid);
     if (rt.work_item.has_value() && worklists_ != nullptr) {
       (void)worklists_->Cancel(*rt.work_item);
       Audit(AuditKind::kWorkItemCancelled, inst->id, name,
             std::to_string(*rt.work_item));
       rt.work_item.reset();
     }
-    rt.state = ActivityState::kDead;
+    inst->SetState(aid, ActivityState::kDead);
     Audit(AuditKind::kActivityDead, inst->id, name, "cancelled");
   }
   inst->cancelled = true;
@@ -810,31 +872,30 @@ Status Engine::Recover() {
   if (!instances_.empty()) {
     return Status::FailedPrecondition("Recover requires a fresh engine");
   }
-  EXO_ASSIGN_OR_RETURN(std::vector<wfjournal::Record> records,
-                       journal_->ReadAll());
 
   recovering_ = true;
-  for (const wfjournal::Record& r : records) {
+  Status replay = journal_->Visit([this](const wfjournal::Record& r) {
     Status st = ReplayRecord(r);
     if (!st.ok()) {
-      recovering_ = false;
       return st.WithContext("replaying journal record seq " +
                             std::to_string(r.seq));
     }
-  }
+    return Status::OK();
+  });
   recovering_ = false;
+  EXO_RETURN_NOT_OK(replay);
 
   // Resume every unfinished instance from its exact failure point.
-  std::vector<std::string> order = instance_order_;
-  for (const std::string& id : order) {
-    ProcessInstance* inst = &instances_[id];
+  for (uint32_t i = 0; i < instances_.size(); ++i) {
+    ProcessInstance* inst = &instances_[i];
     // Suspended instances stay parked; ResumeSuspended re-dispatches them.
     // Suspension only happens at navigation quiescence, so they have no
     // interrupted steps to complete.
     if (inst->finished || inst->suspended) continue;
-    EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst), "resuming instance " + id);
+    EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst),
+                          "resuming instance " + inst->id);
   }
-  return Status::OK();
+  return FlushJournal();
 }
 
 Status Engine::ReplayRecord(const wfjournal::Record& r) {
@@ -854,25 +915,25 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       EXO_ASSIGN_OR_RETURN(
           const wf::ProcessDefinition* def,
           definitions_->FindProcessVersion(process_name, version));
+      if (instance_index_.count(r.instance) > 0) {
+        return Status::Corruption("duplicate INSTANCE_START for " + r.instance);
+      }
       ProcessInstance inst;
       inst.id = r.instance;
       inst.definition = def;
+      inst.plan = &def->plan();
       inst.parent_activity = r.activity;
       inst.parent_instance = r.to;
-      EXO_ASSIGN_OR_RETURN(inst.input,
-                           data::Container::Create(definitions_->types(),
-                                                   def->input_type()));
+      EXO_ASSIGN_OR_RETURN(inst.input, NewContainer(def->input_type()));
       EXO_RETURN_NOT_OK(inst.input.Deserialize(r.extra));
-      EXO_ASSIGN_OR_RETURN(inst.output,
-                           data::Container::Create(definitions_->types(),
-                                                   def->output_type()));
-      auto [it, inserted] = instances_.emplace(r.instance, std::move(inst));
-      if (!inserted) {
-        return Status::Corruption("duplicate INSTANCE_START for " + r.instance);
-      }
+      EXO_ASSIGN_OR_RETURN(inst.output, NewContainer(def->output_type()));
+      uint32_t index = static_cast<uint32_t>(instances_.size());
+      inst.index = index;
+      instances_.push_back(std::move(inst));
+      instance_index_.emplace(r.instance, index);
       instance_order_.push_back(r.instance);
       ++stats_.instances_started;
-      EXO_RETURN_NOT_OK(InitializeRuntimes(&it->second));
+      EXO_RETURN_NOT_OK(InitializeRuntimes(&instances_[index]));
       // Restore the id counter past any "wf-N" id seen.
       if (StartsWith(r.instance, "wf-")) {
         uint64_t n = std::strtoull(r.instance.c_str() + 3, nullptr, 10);
@@ -881,54 +942,73 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       // Wire the parent's block activity to this child.
       if (!r.to.empty()) {
         EXO_ASSIGN_OR_RETURN(ProcessInstance* parent, MutableInstance(r.to));
-        parent->activities[r.activity].child_instance = r.instance;
+        EXO_ASSIGN_OR_RETURN(size_t paid,
+                             parent->definition->ActivityIndex(r.activity));
+        parent->activities[paid].child_instance = r.instance;
       }
       return Status::OK();
     }
     case EventType::kActivityReady:
     case EventType::kActivityRescheduled: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      inst->activities[r.activity].state = ActivityState::kReady;
+      EXO_ASSIGN_OR_RETURN(size_t aid,
+                           inst->definition->ActivityIndex(r.activity));
+      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kReady);
       return Status::OK();
     }
     case EventType::kActivityStarted: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      ActivityRuntime& rt = inst->activities[r.activity];
-      rt.state = ActivityState::kRunning;
-      rt.attempt = static_cast<int>(std::strtol(r.payload.c_str(), nullptr, 10));
-      EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                           inst->definition->FindActivity(r.activity));
-      EXO_ASSIGN_OR_RETURN(rt.output,
-                           data::Container::Create(definitions_->types(),
-                                                   def->output_type));
+      EXO_ASSIGN_OR_RETURN(size_t aid,
+                           inst->definition->ActivityIndex(r.activity));
+      ActivityRuntime& rt = inst->activities[aid];
+      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kRunning);
+      rt.attempt =
+          static_cast<int>(std::strtol(r.payload.c_str(), nullptr, 10));
+      EXO_ASSIGN_OR_RETURN(
+          rt.output,
+          NewContainer(DefOf(inst, static_cast<uint32_t>(aid)).output_type));
       return Status::OK();
     }
     case EventType::kActivityFinished: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      ActivityRuntime& rt = inst->activities[r.activity];
+      EXO_ASSIGN_OR_RETURN(size_t aid,
+                           inst->definition->ActivityIndex(r.activity));
+      ActivityRuntime& rt = inst->activities[aid];
       EXO_RETURN_NOT_OK(rt.output.Deserialize(r.payload));
-      rt.state = ActivityState::kFinished;
+      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kFinished);
       return Status::OK();
     }
     case EventType::kActivityTerminated: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      inst->activities[r.activity].state = ActivityState::kTerminated;
-      inst->activities[r.activity].failures = 0;
+      EXO_ASSIGN_OR_RETURN(size_t aid,
+                           inst->definition->ActivityIndex(r.activity));
+      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kTerminated);
+      inst->activities[aid].failures = 0;
       // Re-derive the (volatile) data pushes from the journaled output.
-      return PushData(inst, r.activity);
+      return PushData(inst, static_cast<uint32_t>(aid));
     }
     case EventType::kActivityDead: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      inst->activities[r.activity].state = ActivityState::kDead;
+      EXO_ASSIGN_OR_RETURN(size_t aid,
+                           inst->definition->ActivityIndex(r.activity));
+      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kDead);
       return Status::OK();
     }
     case EventType::kConnectorEval: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
-      const auto& connectors = inst->definition->control_connectors();
-      for (size_t i = 0; i < connectors.size(); ++i) {
-        if (connectors[i].from == r.activity && connectors[i].to == r.to) {
-          inst->activities[r.activity].outgoing_eval[i] = r.flag;
-          inst->activities[r.to].incoming_eval[i] = r.flag;
+      const std::vector<wf::ControlConnector>& connectors =
+          inst->definition->control_connectors();
+      Result<size_t> from = inst->definition->ActivityIndex(r.activity);
+      if (from.ok()) {
+        const wf::NavigationPlan::ActivityInfo& info =
+            inst->plan->activity(static_cast<uint32_t>(*from));
+        for (uint32_t cidx : info.out_control) {
+          if (connectors[cidx].to != r.to) continue;
+          const wf::NavigationPlan::ConnectorInfo& ci =
+              inst->plan->connector(cidx);
+          inst->activities[ci.from].outgoing_eval[ci.out_slot] =
+              r.flag ? 1 : 0;
+          inst->activities[ci.to].incoming_eval[ci.in_slot] = r.flag ? 1 : 0;
           return Status::OK();
         }
       }
@@ -962,43 +1042,32 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
 }
 
 Status Engine::ResumeAfterReplay(ProcessInstance* inst) {
-  EXO_ASSIGN_OR_RETURN(std::vector<std::string> topo,
-                       inst->definition->TopologicalOrder());
-  for (const std::string& name : topo) {
-    ActivityRuntime& rt = inst->activities[name];
-    EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
-                         inst->definition->FindActivity(name));
+  for (uint32_t aid : inst->plan->topological_order()) {
+    ActivityRuntime& rt = inst->activities[aid];
+    const wf::NavigationPlan::ActivityInfo& info = inst->plan->activity(aid);
     switch (rt.state) {
       case ActivityState::kWaiting: {
-        if (inst->definition->IncomingControl(name).empty()) {
+        if (info.join_fan_in == 0) {
           // Crash before the start activity was readied.
-          EXO_RETURN_NOT_OK(MakeReady(inst, name));
+          EXO_RETURN_NOT_OK(MakeReady(inst, aid));
         } else {
-          EXO_RETURN_NOT_OK(ApplyJoin(inst, name));
+          EXO_RETURN_NOT_OK(ApplyJoin(inst, aid));
         }
         break;
       }
       case ActivityState::kReady: {
-        Audit(AuditKind::kRecoveryResumed, inst->id, name, "ready");
-        if (def->start_mode == wf::StartMode::kManual) {
-          if (worklists_ == nullptr) {
-            return Status::FailedPrecondition(
-                "manual activity " + name + " recovered without worklists");
-          }
-          EXO_ASSIGN_OR_RETURN(
-              org::WorkItemId item,
-              worklists_->Post(inst->id, name, def->role,
-                               def->notify_after_micros, def->notify_role));
-          rt.work_item = item;
-          Audit(AuditKind::kWorkItemPosted, inst->id, name,
-                std::to_string(item));
+        Audit(AuditKind::kRecoveryResumed, inst->id, NameOf(inst, aid),
+              "ready");
+        if (info.manual) {
+          EXO_RETURN_NOT_OK(
+              PostWorkItem(inst, aid, " recovered without worklists"));
         } else {
-          Enqueue(inst->id, name);
+          Enqueue(inst, aid);
         }
         break;
       }
       case ActivityState::kRunning: {
-        if (def->is_process() && !rt.child_instance.empty()) {
+        if (info.block && !rt.child_instance.empty()) {
           EXO_ASSIGN_OR_RETURN(ProcessInstance* child,
                                MutableInstance(rt.child_instance));
           if (child->finished) {
@@ -1011,23 +1080,25 @@ Status Engine::ResumeAfterReplay(ProcessInstance* inst) {
         }
         // In-flight program (or a block whose child was never created):
         // re-run from the beginning — the at-least-once contract.
-        Audit(AuditKind::kRecoveryResumed, inst->id, name, "was running");
-        EXO_RETURN_NOT_OK(Reschedule(inst, name, "recovery"));
+        Audit(AuditKind::kRecoveryResumed, inst->id, NameOf(inst, aid),
+              "was running");
+        EXO_RETURN_NOT_OK(Reschedule(inst, aid, "recovery"));
         break;
       }
       case ActivityState::kFinished: {
         // Crash between FINISHED and the exit-condition outcome.
-        Audit(AuditKind::kRecoveryResumed, inst->id, name, "was finished");
-        EXO_RETURN_NOT_OK(HandleFinished(inst, name));
+        Audit(AuditKind::kRecoveryResumed, inst->id, NameOf(inst, aid),
+              "was finished");
+        EXO_RETURN_NOT_OK(HandleFinished(inst, aid));
         break;
       }
       case ActivityState::kTerminated: {
         // Complete any connector evaluations that were cut short.
-        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, name, /*all_false=*/false));
+        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/false));
         break;
       }
       case ActivityState::kDead: {
-        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, name, /*all_false=*/true));
+        EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/true));
         break;
       }
     }

@@ -2,15 +2,25 @@
 // (paper §3.2's execution rules, including dead path elimination, exit
 // condition rescheduling, blocks, manual activities via worklists, and
 // §3.3's forward recovery from a navigation journal).
+//
+// Navigation runs on the definition's compiled NavigationPlan: activities
+// are dense integer ids, the ready queue holds (instance index, activity
+// id) pairs deduplicated by a per-instance bitmap, and string names appear
+// only at API boundaries, audit events, and journal records (the on-disk
+// journal format is unchanged). Journal writes are group-committed: the
+// attached journal may buffer appends, and the engine flushes at every
+// navigation quiescence point (Run() exit and each public mutation API).
 
 #ifndef EXOTICA_WFRT_ENGINE_H_
 #define EXOTICA_WFRT_ENGINE_H_
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -40,6 +50,12 @@ struct EngineOptions {
   /// as false instead of failing navigation.
   bool condition_error_is_false = false;
 
+  /// Bound on retained audit events; 0 = unbounded (default). When set,
+  /// the trail keeps at least the most recent `max_audit_events` events
+  /// (and at most twice that, amortized), so long-running fleets do not
+  /// grow memory without bound.
+  size_t max_audit_events = 0;
+
   /// Clock for worklist deadlines and audit timestamps.
   const Clock* clock = nullptr;  ///< defaults to SystemClock
 };
@@ -68,7 +84,8 @@ class Engine {
          EngineOptions options = {});
 
   /// Attaches a navigation journal. Must happen before any StartProcess.
-  /// Every navigation step is appended before it is applied.
+  /// Every navigation step is appended before it is applied; buffered
+  /// appends are flushed at every navigation quiescence point.
   Status AttachJournal(wfjournal::Journal* journal);
 
   /// Attaches the organization; enables manual activities and worklists.
@@ -171,21 +188,31 @@ class Engine {
   /// in-flight program activities are rescheduled from the beginning
   /// (at-least-once), interrupted navigation steps (connector evaluation,
   /// exit checks, joins) are completed. Call on a fresh engine; follow
-  /// with Run().
+  /// with Run(). Replay streams records through Journal::Visit, so the
+  /// journal is never copied wholesale into memory.
   Status Recover();
 
  private:
-  // Journaling helper; no-op without a journal.
+  // Journaling helper; no-op without a journal. Call sites with expensive
+  // payloads (container serialization) guard on journal_ themselves so the
+  // payload is never built when no journal is attached.
   Status JournalAppend(wfjournal::EventType type, const std::string& instance,
                        const std::string& activity = "",
                        const std::string& to = "", bool flag = false,
                        std::string payload = "", std::string extra = "");
+
+  /// Flushes group-committed journal writes; no-op without a journal.
+  Status FlushJournal();
 
   void Audit(AuditKind kind, const std::string& instance,
              const std::string& activity = "", std::string detail = "");
 
   std::string NewInstanceId();
   Result<ProcessInstance*> MutableInstance(const std::string& id);
+
+  /// Copy-from-prototype container construction: one registry walk per
+  /// type name per engine, then O(fields) copies.
+  Result<data::Container> NewContainer(const std::string& type_name);
 
   /// Creates (and journals) a new instance; readies its start activities.
   Result<std::string> CreateInstance(const wf::ProcessDefinition* definition,
@@ -198,39 +225,46 @@ class Engine {
   Status InitializeRuntimes(ProcessInstance* inst);
 
   Status ReadyStartActivities(ProcessInstance* inst);
-  Status MakeReady(ProcessInstance* inst, const std::string& activity);
-  void Enqueue(const std::string& instance, const std::string& activity);
+  Status MakeReady(ProcessInstance* inst, uint32_t aid);
+  void Enqueue(ProcessInstance* inst, uint32_t aid);
+
+  /// Posts a work item for a manual activity; `no_worklists_error` is the
+  /// site-specific message when no organization is attached.
+  Status PostWorkItem(ProcessInstance* inst, uint32_t aid,
+                      const char* no_worklists_error);
+
+  /// Drains the ready queue (the body of Run(), sans journal flush).
+  Status Drain();
 
   /// Runs one ready activity (program call or block spawn).
-  Status StartExecution(ProcessInstance* inst, const std::string& activity,
+  Status StartExecution(ProcessInstance* inst, uint32_t aid,
                         const std::string& person);
 
   /// Post-execution: exit condition check → terminate or reschedule.
-  Status HandleFinished(ProcessInstance* inst, const std::string& activity);
+  Status HandleFinished(ProcessInstance* inst, uint32_t aid);
 
-  Status Reschedule(ProcessInstance* inst, const std::string& activity,
+  Status Reschedule(ProcessInstance* inst, uint32_t aid,
                     const std::string& reason);
 
-  Status Terminate(ProcessInstance* inst, const std::string& activity);
+  Status Terminate(ProcessInstance* inst, uint32_t aid);
 
   /// Dead path elimination for one activity.
-  Status MarkDead(ProcessInstance* inst, const std::string& activity);
+  Status MarkDead(ProcessInstance* inst, uint32_t aid);
 
   /// Evaluates this activity's not-yet-evaluated outgoing control
   /// connectors (all false when `all_false`), journals them, and delivers
   /// the signals.
-  Status EvaluateOutgoing(ProcessInstance* inst, const std::string& activity,
-                          bool all_false);
+  Status EvaluateOutgoing(ProcessInstance* inst, uint32_t aid, bool all_false);
 
-  Status DeliverSignal(ProcessInstance* inst, const std::string& target,
-                       size_t connector_index, bool value);
+  Status DeliverSignal(ProcessInstance* inst, uint32_t connector_index,
+                       bool value);
 
   /// Applies the join decision for a waiting activity from its recorded
   /// incoming evaluations. Used on signal delivery and during recovery.
-  Status ApplyJoin(ProcessInstance* inst, const std::string& activity);
+  Status ApplyJoin(ProcessInstance* inst, uint32_t aid);
 
-  /// Pushes data connectors whose source is `activity`.
-  Status PushData(ProcessInstance* inst, const std::string& activity);
+  /// Pushes data connectors whose source is `aid`.
+  Status PushData(ProcessInstance* inst, uint32_t aid);
 
   Status CheckInstanceCompletion(ProcessInstance* inst);
 
@@ -255,12 +289,17 @@ class Engine {
   const org::Directory* directory_ = nullptr;
   std::unique_ptr<org::WorklistService> worklists_;
 
-  std::map<std::string, ProcessInstance> instances_;
+  /// Instances in creation order; deque for stable addresses. Never
+  /// erased, so a ready-queue (instance index, activity id) pair is always
+  /// resolvable in O(1).
+  std::deque<ProcessInstance> instances_;
+  std::map<std::string, uint32_t> instance_index_;
   std::vector<std::string> instance_order_;
   uint64_t next_instance_ = 1;
 
-  std::deque<std::pair<std::string, std::string>> ready_queue_;
-  std::set<std::pair<std::string, std::string>> enqueued_;
+  std::deque<std::pair<uint32_t, uint32_t>> ready_queue_;
+
+  std::unordered_map<std::string, data::Container> container_protos_;
 
   AuditTrail audit_;
   AuditObserver observer_;

@@ -1,15 +1,21 @@
 // Runtime state of process instances.
+//
+// Activity state is held in a dense vector indexed by the compiled plan's
+// activity ids; connector evaluations are small slot-indexed vectors
+// (slots come from the plan's adjacency lists) instead of maps. String
+// names appear only at API boundaries, audit events, and journal records.
 
 #ifndef EXOTICA_WFRT_INSTANCE_H_
 #define EXOTICA_WFRT_INSTANCE_H_
 
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "data/container.h"
 #include "org/worklist.h"
+#include "wf/plan.h"
 #include "wf/process.h"
 
 namespace exotica::wfrt {
@@ -27,11 +33,10 @@ struct ActivityRuntime {
   /// Consecutive program-crash count (reset on successful completion).
   int failures = 0;
 
-  /// Incoming control connector evaluations: connector index → value.
-  std::map<size_t, bool> incoming_eval;
-
-  /// Outgoing control connector indices already evaluated (journaled).
-  std::map<size_t, bool> outgoing_eval;
+  /// Connector evaluations, indexed by the plan's in/out slot for this
+  /// activity: -1 = not yet evaluated, 0 = false, 1 = true.
+  std::vector<int8_t> incoming_eval;
+  std::vector<int8_t> outgoing_eval;
 
   /// Work item for manual activities currently posted/claimed.
   std::optional<org::WorkItemId> work_item;
@@ -43,12 +48,25 @@ struct ActivityRuntime {
 /// \brief One executing process.
 struct ProcessInstance {
   std::string id;
+  /// Dense index of this instance in the engine (creation order).
+  uint32_t index = 0;
   const wf::ProcessDefinition* definition = nullptr;
+  /// The definition's compiled plan (owned by the definition).
+  const wf::NavigationPlan* plan = nullptr;
 
   data::Container input;
   data::Container output;
 
-  std::map<std::string, ActivityRuntime> activities;
+  /// Indexed by activity id (== index into definition->activities()).
+  std::vector<ActivityRuntime> activities;
+
+  /// Ready-queue dedup bitmap, indexed by activity id.
+  std::vector<uint8_t> enqueued;
+
+  /// Count of activities in kTerminated or kDead — the instance is
+  /// finished when every activity is settled, and the counter makes that
+  /// check O(1) instead of a full sweep per termination.
+  uint32_t settled = 0;
 
   bool finished = false;
   bool cancelled = false;  ///< finished via user termination
@@ -60,11 +78,23 @@ struct ProcessInstance {
 
   bool is_child() const { return !parent_instance.empty(); }
 
+  /// Transitions activity `id` to `next`, maintaining the settled counter.
+  /// Every state write (navigation and journal replay) goes through here.
+  void SetState(uint32_t id, wf::ActivityState next) {
+    wf::ActivityState prev = activities[id].state;
+    if (IsSettled(prev)) --settled;
+    if (IsSettled(next)) ++settled;
+    activities[id].state = next;
+  }
+
+  static bool IsSettled(wf::ActivityState s) {
+    return s == wf::ActivityState::kTerminated || s == wf::ActivityState::kDead;
+  }
+
   /// Counts activities currently in `state`.
   size_t CountInState(wf::ActivityState state) const {
     size_t n = 0;
-    for (const auto& [name, rt] : activities) {
-      (void)name;
+    for (const ActivityRuntime& rt : activities) {
       if (rt.state == state) ++n;
     }
     return n;
@@ -73,16 +103,7 @@ struct ProcessInstance {
   /// The process is finished when every activity is terminated or dead
   /// (paper §3.2: "The process is considered finished when all its
   /// activities are in the terminated state").
-  bool AllSettled() const {
-    for (const auto& [name, rt] : activities) {
-      (void)name;
-      if (rt.state != wf::ActivityState::kTerminated &&
-          rt.state != wf::ActivityState::kDead) {
-        return false;
-      }
-    }
-    return true;
-  }
+  bool AllSettled() const { return settled == activities.size(); }
 };
 
 }  // namespace exotica::wfrt

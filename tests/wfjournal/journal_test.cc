@@ -92,6 +92,139 @@ TEST(FileJournalTest, PersistsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+// Byte size of the journal file right now (0 if absent).
+uint64_t FileSize(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  fseek(f, 0, SEEK_END);
+  long n = ftell(f);
+  fclose(f);
+  return n < 0 ? 0 : static_cast<uint64_t>(n);
+}
+
+TEST(FileJournalTest, GroupCommitBuffersUntilFlush) {
+  std::string path = ::testing::TempDir() + "/exo_journal_group.log";
+  std::remove(path.c_str());
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  // Nothing reaches the file until Flush().
+  EXPECT_EQ(FileSize(path), 0u);
+  EXPECT_EQ((*j)->size(), 3u);
+  ASSERT_TRUE((*j)->Flush().ok());
+  uint64_t flushed = FileSize(path);
+  EXPECT_GT(flushed, 0u);
+  // Readers see buffered appends regardless of flush state.
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ((*all)[3].type, EventType::kActivityDead);
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, DestructorFlushesBufferedAppends) {
+  std::string path = ::testing::TempDir() + "/exo_journal_dtor.log";
+  std::remove(path.c_str());
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kInstanceStart, "wf-1")).ok());
+    EXPECT_EQ(FileSize(path), 0u);
+  }
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, FsyncEachWritesThrough) {
+  std::string path = ::testing::TempDir() + "/exo_journal_fsync.log";
+  std::remove(path.c_str());
+  auto j = FileJournal::Open(path, /*fsync_each=*/true);
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kInstanceStart, "wf-1")).ok());
+  EXPECT_GT(FileSize(path), 0u);  // durable without any Flush()
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, TornTailTruncatedOnOpen) {
+  std::string path = ::testing::TempDir() + "/exo_journal_torn.log";
+  std::remove(path.c_str());
+  std::string full;
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    }
+  }
+  // Simulate a crash mid-write: append half of a fourth record, no newline.
+  {
+    FILE* f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    fputs("3\t1\twf-1\tA", f);
+    fclose(f);
+  }
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ((*j)->size(), 3u);
+  // Appends land where the tear was cut, keeping seqs contiguous.
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+  ASSERT_TRUE((*j)->Flush().ok());
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ((*all)[3].seq, 3u);
+  EXPECT_EQ((*all)[3].type, EventType::kActivityDead);
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, GarbageBeforeValidRecordsIsCorruption) {
+  std::string path = ::testing::TempDir() + "/exo_journal_mid.log";
+  std::remove(path.c_str());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    Record r = MakeRecord(EventType::kInstanceStart, "wf-1");
+    r.seq = 0;
+    fprintf(f, "%s\n", r.Encode().c_str());
+    fputs("not a record\n", f);  // garbage in the middle...
+    r.seq = 1;
+    fprintf(f, "%s\n", r.Encode().c_str());  // ...with valid data after it
+    fclose(f);
+  }
+  // A torn tail only exists at the end of the file; this is corruption.
+  EXPECT_TRUE(FileJournal::Open(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(FileJournalTest, VisitStreamsAndStopsOnVisitorError) {
+  std::string path = ::testing::TempDir() + "/exo_journal_visit.log";
+  std::remove(path.c_str());
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  int seen = 0;
+  ASSERT_TRUE((*j)->Visit([&seen](const Record&) {
+    ++seen;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(seen, 5);
+  seen = 0;
+  Status st = (*j)->Visit([&seen](const Record&) {
+    ++seen;
+    return seen == 3 ? Status::Aborted("stop") : Status::OK();
+  });
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(seen, 3);
+  std::remove(path.c_str());
+}
+
 TEST(FileJournalTest, DetectsSeqGapCorruption) {
   std::string path = ::testing::TempDir() + "/exo_journal_gap.log";
   std::remove(path.c_str());

@@ -122,6 +122,54 @@ TEST(AuditAccountingTest, ObserverSeesEventsLive) {
   EXPECT_EQ(seen.size(), before);
 }
 
+TEST(AuditRingTest, BoundedTrailKeepsMostRecentEvents) {
+  AuditTrail trail;
+  trail.set_max_events(10);
+  for (int i = 0; i < 100; ++i) {
+    AuditEvent e;
+    e.kind = AuditKind::kActivityReady;
+    e.activity = "A" + std::to_string(i);
+    trail.Add(std::move(e));
+  }
+  // At least max_events retained, at most twice that (amortized erase).
+  ASSERT_GE(trail.events().size(), 10u);
+  ASSERT_LE(trail.events().size(), 20u);
+  // Whatever is retained is the most recent contiguous suffix.
+  EXPECT_EQ(trail.events().back().activity, "A99");
+  size_t n = trail.events().size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(trail.events()[i].activity,
+              "A" + std::to_string(100 - n + i));
+  }
+}
+
+TEST(AuditRingTest, EngineOptionBoundsTrail) {
+  wf::DefinitionStore store;
+  ProgramRegistry programs;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "ok").ok());
+  ASSERT_TRUE(test::BindConstRc(&programs, "ok", 0).ok());
+  wf::ProcessBuilder b(&store, "chain");
+  for (int i = 0; i < 20; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    if (i > 0) b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i));
+  }
+  ASSERT_TRUE(b.Register().ok());
+
+  EngineOptions options;
+  options.max_audit_events = 8;
+  Engine engine(&store, &programs, options);
+  ASSERT_TRUE(engine.RunToCompletion("chain").ok());
+  EXPECT_LE(engine.audit().events().size(), 16u);
+  // The tail of the run is still observable.
+  EXPECT_EQ(engine.audit().events().back().kind,
+            AuditKind::kInstanceFinished);
+
+  // Unbounded engines keep everything.
+  Engine unbounded(&store, &programs);
+  ASSERT_TRUE(unbounded.RunToCompletion("chain").ok());
+  EXPECT_GT(unbounded.audit().events().size(), 16u);
+}
+
 TEST(AuditAccountingTest, CompactFormats) {
   AuditEvent e;
   e.kind = AuditKind::kConnectorTrue;

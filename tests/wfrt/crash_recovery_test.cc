@@ -1,0 +1,172 @@
+// Crash recovery against a group-committed FileJournal: the file may end
+// mid-record (a torn batch tail). The test cuts the journal file at EVERY
+// byte offset and verifies Open() truncates the tear, Recover() replays the
+// surviving prefix, and navigation resumes to the reference outcome.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::BindScriptedRc;
+using test::DeclareDefaultProgram;
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "flaky").ok());
+
+    // Same shape as the recovery reference: data flow, a dead branch, a
+    // block, and an exit-condition loop.
+    wf::ProcessBuilder inner(&store_, "inner");
+    inner.Program("X", "ok");
+    inner.MapToOutput("X", {{"RC", "RC"}});
+    ASSERT_TRUE(inner.Register().ok());
+
+    wf::ProcessBuilder b(&store_, "ref");
+    b.Program("A", "ok");
+    b.Program("Dead", "ok");
+    b.Program("Loop", "flaky").ExitWhen("RC = 0");
+    b.Block("Blk", "inner");
+    b.Program("Z", "ok");
+    b.Connect("A", "Dead", "RC <> 0");  // never taken
+    b.Connect("A", "Loop", "RC = 0");
+    b.Connect("Loop", "Blk", "RC = 0");
+    b.Connect("Blk", "Z", "RC = 0");
+    b.MapToOutput("Z", {{"RC", "RC"}});
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  void BindAll(wfrt::ProgramRegistry* programs) {
+    ASSERT_TRUE(BindConstRc(programs, "ok", 0).ok());
+    ASSERT_TRUE(BindScriptedRc(programs, "flaky", {1, 0}).ok());
+  }
+
+  wf::DefinitionStore store_;
+};
+
+TEST_F(CrashRecoveryTest, TruncationAtEveryByteResumesToSameOutcome) {
+  std::string path = ::testing::TempDir() + "/exo_crash_ref.log";
+  std::remove(path.c_str());
+
+  // Reference run through a group-committed (non-fsync) file journal. The
+  // journal handle is dropped without an explicit Flush() to mirror the
+  // engine-level flush at Run() exit keeping the file complete.
+  std::string id;
+  {
+    auto journal = wfjournal::FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    wfrt::ProgramRegistry programs;
+    BindAll(&programs);
+    wfrt::Engine engine(&store_, &programs);
+    ASSERT_TRUE(engine.AttachJournal(journal->get()).ok());
+    auto r = engine.RunToCompletion("ref");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    id = *r;
+  }
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 100u);
+
+  std::string cut_path = ::testing::TempDir() + "/exo_crash_cut.log";
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    SCOPED_TRACE("crash after byte " + std::to_string(cut));
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    auto journal = wfjournal::FileJournal::Open(cut_path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    const uint64_t surviving = (*journal)->size();
+
+    wfrt::ProgramRegistry programs;
+    BindAll(&programs);
+    wfrt::Engine engine(&store_, &programs);
+    ASSERT_TRUE(engine.AttachJournal(journal->get()).ok());
+    Status rec = engine.Recover();
+    ASSERT_TRUE(rec.ok()) << rec.ToString();
+    Status run = engine.Run();
+    ASSERT_TRUE(run.ok()) << run.ToString();
+
+    if (surviving == 0) {
+      // The tear swallowed even the INSTANCE_START record: nothing to
+      // recover, nothing to finish.
+      EXPECT_TRUE(engine.instance_order().empty());
+      continue;
+    }
+    ASSERT_TRUE(engine.IsFinished(id));
+    auto out = engine.OutputOf(id);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->Get("RC")->as_long(), 0);
+    EXPECT_EQ(*engine.StateOf(id, "Dead"), wf::ActivityState::kDead);
+    EXPECT_EQ(*engine.StateOf(id, "Z"), wf::ActivityState::kTerminated);
+  }
+
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST_F(CrashRecoveryTest, ReopenedTornJournalContinuesSequence) {
+  std::string path = ::testing::TempDir() + "/exo_crash_seq.log";
+  std::remove(path.c_str());
+  {
+    auto journal = wfjournal::FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    wfrt::ProgramRegistry programs;
+    BindAll(&programs);
+    wfrt::Engine engine(&store_, &programs);
+    ASSERT_TRUE(engine.AttachJournal(journal->get()).ok());
+    ASSERT_TRUE(engine.RunToCompletion("ref").ok());
+  }
+  // Tear the final record in half.
+  uint64_t full_size;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    full_size = static_cast<uint64_t>(in.tellg());
+  }
+  ASSERT_GT(full_size, 3u);
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(full_size - 3)), 0);
+
+  // The reopened journal drops the tear; recovery completes the run and
+  // appends records continuing the surviving sequence.
+  auto journal = wfjournal::FileJournal::Open(path);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  uint64_t kept = (*journal)->size();
+  ASSERT_GT(kept, 0u);
+
+  wfrt::ProgramRegistry programs;
+  BindAll(&programs);
+  wfrt::Engine engine(&store_, &programs);
+  ASSERT_TRUE(engine.AttachJournal(journal->get()).ok());
+  ASSERT_TRUE(engine.Recover().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_GT((*journal)->size(), kept);
+  auto all = (*journal)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  for (uint64_t i = 0; i < all->size(); ++i) {
+    EXPECT_EQ((*all)[i].seq, i);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace exotica

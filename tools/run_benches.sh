@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the navigation-critical benchmarks (-O2 Release build) and merges
+# their JSON into one file for before/after comparisons.
+#
+# Usage: tools/run_benches.sh [output.json]
+#   BUILD_DIR=build-release  tools/run_benches.sh   # override build dir
+#
+# The output has one top-level key per benchmark binary, each holding the
+# raw Google Benchmark JSON (context + benchmarks array).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_nav.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCHES=(bench_navigation bench_fleet bench_recovery)
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${BENCHES[@]}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+for b in "${BENCHES[@]}"; do
+  echo "== $b ==" >&2
+  "$BUILD_DIR/bench/$b" --benchmark_format=json \
+    --benchmark_min_time=0.2 > "$tmpdir/$b.json"
+done
+
+python3 - "$OUT" "$tmpdir" "${BENCHES[@]}" <<'EOF'
+import json, sys
+out_path, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {}
+for b in benches:
+    with open(f"{tmpdir}/{b}.json") as f:
+        merged[b] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF
