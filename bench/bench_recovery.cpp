@@ -1,9 +1,12 @@
 // Experiment E2: forward recovery cost — journal replay + resume time as
-// a function of journal length, and the journaling write amplification.
+// a function of journal length, the journaling write amplification, and
+// (E2b) navigation throughput under injected program/journal faults.
 
 #include <benchmark/benchmark.h>
 
+#include "wfjournal/faulty.h"
 #include "wfjournal/journal.h"
+#include "wfrt/faults.h"
 #include "bench_common.h"
 
 namespace exotica::bench {
@@ -119,6 +122,77 @@ void BM_FileJournalAppend(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_FileJournalAppend)->Arg(0)->Arg(1);
+
+// E2b: navigation throughput with a deterministic transient-fault rate —
+// the retry tax of the paper's restart-from-the-beginning model. Arg is
+// the per-attempt crash probability in per-mille.
+void BM_NavigationUnderTransientFaults(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, 50);
+
+  wfrt::FaultPlan plan(1234);
+  wfrt::FaultProfile profile;
+  profile.transient_probability = rate;
+  plan.SetDefaultProfile(profile);
+  if (!plan.Instrument(&programs).ok()) std::abort();
+
+  uint64_t activities = 0, retries = 0;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    activities += engine.stats().activities_executed;
+    retries += engine.stats().retries;
+  }
+  state.counters["activities/s"] = benchmark::Counter(
+      static_cast<double>(activities), benchmark::Counter::kIsRate);
+  state.counters["retry_ratio"] =
+      static_cast<double>(retries) / static_cast<double>(activities);
+}
+BENCHMARK(BM_NavigationUnderTransientFaults)->Arg(0)->Arg(50)->Arg(200);
+
+// E2b: the full crash-recover-resume cycle when the journal device fails
+// mid-run — engine 1 dies on an injected append error at the journal
+// midpoint, engine 2 replays the surviving prefix and finishes the work.
+void BM_RecoveryUnderJournalFaults(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, n);
+
+  // Reference append count for the midpoint fault.
+  uint64_t total = 0;
+  {
+    wfjournal::MemoryJournal mem;
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&mem).ok()) std::abort();
+    if (!engine.RunToCompletion(process).ok()) std::abort();
+    total = mem.size();
+  }
+
+  for (auto _ : state) {
+    wfjournal::MemoryJournal mem;
+    wfjournal::FaultyJournal faulty(&mem);
+    faulty.FailAppendAt(total / 2, wfjournal::FaultyJournal::FaultMode::kAppendError);
+    {
+      wfrt::Engine engine(&store, &programs);
+      if (!engine.AttachJournal(&faulty).ok()) std::abort();
+      auto id = engine.StartProcess(process);
+      if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+      (void)engine.Run();  // dies on the injected fault
+    }
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&mem).ok()) std::abort();
+    Status st = engine.Recover();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    st = engine.Run();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["journal_records"] = static_cast<double>(total);
+}
+BENCHMARK(BM_RecoveryUnderJournalFaults)->Arg(50)->Arg(200);
 
 }  // namespace
 }  // namespace exotica::bench

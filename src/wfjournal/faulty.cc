@@ -1,0 +1,80 @@
+#include "wfjournal/faulty.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace exotica::wfjournal {
+
+Status FaultyJournal::RawWrite(const std::string& bytes) {
+  if (path_.empty()) {
+    return Status::InvalidArgument(
+        "FaultyJournal byte-level fault needs a file path");
+  }
+  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("FaultyJournal cannot open " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("FaultyJournal raw write to " + path_ +
+                             " failed: " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status FaultyJournal::Append(Record record) {
+  uint64_t index = appends_++;
+  if (!append_armed_ || index != fail_append_at_) {
+    return inner_->Append(std::move(record));
+  }
+  ++injected_;
+  switch (append_mode_) {
+    case FaultMode::kAppendError:
+      return Status::IOError("injected write failure (ENOSPC) at append " +
+                             std::to_string(index));
+    case FaultMode::kShortWrite: {
+      // Flush what came before so the file looks like a real crash: every
+      // earlier record whole, then a prefix of this one.
+      EXO_RETURN_NOT_OK(inner_->Flush());
+      record.seq = inner_->size();
+      std::string line = record.Encode();
+      EXO_RETURN_NOT_OK(RawWrite(line.substr(0, line.size() / 2)));
+      return Status::IOError("injected short write at append " +
+                             std::to_string(index));
+    }
+    case FaultMode::kGarbage: {
+      EXO_RETURN_NOT_OK(inner_->Flush());
+      EXO_RETURN_NOT_OK(RawWrite("\x7f!!corrupt-block!!\x01\x02\x03\n"));
+      // The write that clobbered the log was not the journal's own, so the
+      // append itself still succeeds.
+      return inner_->Append(std::move(record));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultyJournal::Flush() {
+  uint64_t index = flushes_++;
+  if (flush_armed_ && index == fail_flush_at_) {
+    ++injected_;
+    // Not forwarded: buffered records stay buffered, as after EIO from
+    // fsync. (A FileJournal still flushes them in its destructor; data
+    // loss is modelled with kAppendError / kShortWrite instead.)
+    return Status::IOError("injected fsync failure at flush " +
+                           std::to_string(index));
+  }
+  return inner_->Flush();
+}
+
+}  // namespace exotica::wfjournal

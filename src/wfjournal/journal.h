@@ -43,6 +43,8 @@ enum class EventType : int {
   kInstanceSuspended = 10,
   kInstanceResumed = 11,
   kInstanceCancelled = 12, ///< user-initiated termination
+  kInstanceFailed = 13,    ///< retry budget exhausted / permanent failure;
+                           ///< payload = failure reason
 };
 
 const char* EventTypeName(EventType type);

@@ -22,6 +22,9 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kForcedFinish: return "forced-finish";
     case AuditKind::kRecoveryResumed: return "recovery-resumed";
     case AuditKind::kActivityPending: return "pending";
+    case AuditKind::kRetryBackoff: return "retry-backoff";
+    case AuditKind::kPermanentFailure: return "permanent-failure";
+    case AuditKind::kInstanceFailed: return "instance-failed";
   }
   return "?";
 }
@@ -34,6 +37,7 @@ std::string AuditEvent::Compact() const {
       return activity + "->" + detail + ":false";
     case AuditKind::kInstanceStarted:
     case AuditKind::kInstanceFinished:
+    case AuditKind::kInstanceFailed:
       return instance + ":" + AuditKindName(kind);
     default:
       return activity + ":" + AuditKindName(kind);

@@ -32,6 +32,9 @@ enum class AuditKind : int {
   kForcedFinish,
   kRecoveryResumed,
   kActivityPending,
+  kRetryBackoff,       ///< crash retry delayed; detail = wait in micros
+  kPermanentFailure,   ///< program error classified permanent (no retry)
+  kInstanceFailed,     ///< instance quarantined; detail = reason
 };
 
 const char* AuditKindName(AuditKind kind);

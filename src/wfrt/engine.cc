@@ -19,7 +19,32 @@ inline const std::string& NameOf(const ProcessInstance* inst, uint32_t aid) {
 inline const wf::Activity& DefOf(const ProcessInstance* inst, uint32_t aid) {
   return inst->definition->activities()[aid];
 }
+
+// FNV-1a over a string, folded into `h` — the backoff-jitter key. A plain
+// hash (not an Rng stream) keeps the decision a pure function of
+// (seed, instance, activity, attempt), stable across recovery and
+// independent of how many other instances retried first.
+inline uint64_t HashMix(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 }  // namespace
+
+bool RetryPolicy::DefaultIsPermanent(const Status& error) {
+  return error.IsInvalidArgument() || error.IsUnsupported() ||
+         error.IsValidationError();
+}
 
 Engine::Engine(const wf::DefinitionStore* definitions, ProgramRegistry* programs,
                EngineOptions options)
@@ -115,8 +140,17 @@ bool Engine::IsSuspended(const std::string& id) const {
   return it != instance_index_.end() && instances_[it->second].suspended;
 }
 
+bool Engine::IsFailed(const std::string& id) const {
+  auto it = instance_index_.find(id);
+  return it != instance_index_.end() && instances_[it->second].failed;
+}
+
 Result<data::Container> Engine::OutputOf(const std::string& id) const {
   EXO_ASSIGN_OR_RETURN(const ProcessInstance* inst, FindInstance(id));
+  if (inst->failed) {
+    return Status::FailedPrecondition("instance " + id + " is quarantined: " +
+                                      inst->failure_reason);
+  }
   if (!inst->finished) {
     return Status::FailedPrecondition("instance " + id + " is not finished");
   }
@@ -293,6 +327,7 @@ Status Engine::Drain() {
     ProcessInstance* inst = &instances_[index];
     inst->enqueued[aid] = 0;
     if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
+    if (inst->failed) continue;     // quarantined
     if (inst->activities[aid].state != ActivityState::kReady) {
       continue;  // stale entry
     }
@@ -311,6 +346,11 @@ Result<std::string> Engine::RunToCompletion(const std::string& process_name,
                                             const data::Container* input) {
   EXO_ASSIGN_OR_RETURN(std::string id, StartProcess(process_name, input));
   EXO_RETURN_NOT_OK(Run());
+  if (IsFailed(id)) {
+    EXO_ASSIGN_OR_RETURN(const ProcessInstance* inst, FindInstance(id));
+    return Status::FailedPrecondition("instance " + id + " is quarantined: " +
+                                      inst->failure_reason);
+  }
   if (!IsFinished(id)) {
     return Status::FailedPrecondition(
         "instance " + id +
@@ -366,18 +406,7 @@ Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
     return Status::OK();
   }
   if (!st.ok()) {
-    // Program crash: reschedule from the beginning (paper §3.3).
-    ++rt.failures;
-    ++stats_.program_failures;
-    Audit(AuditKind::kProgramFailure, inst->id, def.name, st.ToString());
-    if (options_.max_program_failures > 0 &&
-        rt.failures >= options_.max_program_failures) {
-      return Status::FailedPrecondition(
-          StrFormat("activity %s in %s failed %d times; last error: %s",
-                    def.name.c_str(), inst->id.c_str(), rt.failures,
-                    st.ToString().c_str()));
-    }
-    return Reschedule(inst, aid, "program-failure");
+    return HandleProgramFailure(inst, aid, st);
   }
 
   rt.failures = 0;
@@ -388,6 +417,143 @@ Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
   }
   Audit(AuditKind::kActivityFinished, inst->id, def.name);
   return HandleFinished(inst, aid);
+}
+
+const RetryPolicy& Engine::PolicyFor(const std::string& activity) const {
+  auto it = options_.activity_retry.find(activity);
+  return it == options_.activity_retry.end() ? options_.retry : it->second;
+}
+
+Micros Engine::BackoffDelay(const RetryPolicy& policy, int failures,
+                            const std::string& instance,
+                            const std::string& activity) const {
+  if (policy.initial_backoff_micros <= 0) return 0;
+  double delay = static_cast<double>(policy.initial_backoff_micros);
+  double cap = policy.max_backoff_micros > 0
+                   ? static_cast<double>(policy.max_backoff_micros)
+                   : 0.0;
+  for (int k = 1; k < failures; ++k) {
+    delay *= policy.backoff_multiplier;
+    if (cap > 0 && delay >= cap) {
+      delay = cap;
+      break;
+    }
+  }
+  if (cap > 0 && delay > cap) delay = cap;
+  if (policy.jitter > 0) {
+    uint64_t h = HashMix(0xcbf29ce484222325ull, options_.retry_jitter_seed);
+    h = HashMix(h, instance);
+    h = HashMix(h, activity);
+    h = HashMix(h, static_cast<uint64_t>(failures));
+    double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    delay *= 1.0 + policy.jitter * (2.0 * u - 1.0);
+  }
+  return static_cast<Micros>(delay);
+}
+
+Status Engine::HandleProgramFailure(ProcessInstance* inst, uint32_t aid,
+                                    const Status& error) {
+  ActivityRuntime& rt = inst->activities[aid];
+  const std::string& name = NameOf(inst, aid);
+  ++rt.failures;
+  ++stats_.program_failures;
+  Audit(AuditKind::kProgramFailure, inst->id, name, error.ToString());
+
+  const RetryPolicy& policy = PolicyFor(name);
+  bool permanent = policy.is_permanent
+                       ? policy.is_permanent(error)
+                       : RetryPolicy::DefaultIsPermanent(error);
+  if (permanent) {
+    ++stats_.permanent_failures;
+    Audit(AuditKind::kPermanentFailure, inst->id, name, error.ToString());
+    return QuarantineInstance(
+        inst, StrFormat("activity %s in %s: permanent failure: %s",
+                        name.c_str(), inst->id.c_str(),
+                        error.ToString().c_str()));
+  }
+  if (policy.max_attempts > 0 && rt.failures >= policy.max_attempts) {
+    return QuarantineInstance(
+        inst, StrFormat("activity %s in %s failed %d times; last error: %s",
+                        name.c_str(), inst->id.c_str(), rt.failures,
+                        error.ToString().c_str()));
+  }
+  // The retry budget lives on the top-level instance, so block children
+  // draw from one shared allowance.
+  ProcessInstance* root = inst;
+  while (root->is_child()) {
+    EXO_ASSIGN_OR_RETURN(root, MutableInstance(root->parent_instance));
+  }
+  ++root->retries_used;
+  if (options_.retry.instance_retry_budget > 0 &&
+      root->retries_used > options_.retry.instance_retry_budget) {
+    return QuarantineInstance(
+        inst,
+        StrFormat("instance %s exhausted its retry budget of %d; "
+                  "last failing activity %s: %s",
+                  root->id.c_str(), options_.retry.instance_retry_budget,
+                  name.c_str(), error.ToString().c_str()));
+  }
+  ++stats_.retries;
+  Micros delay = BackoffDelay(policy, rt.failures, inst->id, name);
+  if (delay > 0) {
+    ++stats_.backoff_waits;
+    stats_.backoff_wait_micros += static_cast<uint64_t>(delay);
+    Audit(AuditKind::kRetryBackoff, inst->id, name, std::to_string(delay));
+    if (options_.on_backoff) options_.on_backoff(delay);
+  }
+  // Program crash: reschedule from the beginning (paper §3.3).
+  return Reschedule(inst, aid, "program-failure");
+}
+
+Status Engine::QuarantineInstance(ProcessInstance* inst, std::string reason) {
+  ProcessInstance* root = inst;
+  while (root->is_child()) {
+    EXO_ASSIGN_OR_RETURN(root, MutableInstance(root->parent_instance));
+  }
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceFailed,
+                                  root->id, "", "", false, reason));
+  return ApplyFailed(root, reason);
+}
+
+Status Engine::ApplyFailed(ProcessInstance* inst, const std::string& reason) {
+  // Children first, then the same name-ordered settle sweep as ApplyCancel;
+  // the instance keeps its journaled data state (a saga's compensation
+  // process stays runnable against the committed State image), it just
+  // stops navigating.
+  for (uint32_t aid : inst->plan->ids_by_name()) {
+    ActivityRuntime& rt = inst->activities[aid];
+    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
+      auto child = MutableInstance(rt.child_instance);
+      if (child.ok() && !(*child)->finished && !(*child)->failed) {
+        EXO_RETURN_NOT_OK(ApplyFailed(*child, reason));
+      }
+    }
+  }
+  for (uint32_t aid : inst->plan->ids_by_name()) {
+    ActivityRuntime& rt = inst->activities[aid];
+    if (rt.state == ActivityState::kTerminated ||
+        rt.state == ActivityState::kDead) {
+      continue;
+    }
+    const std::string& name = NameOf(inst, aid);
+    if (rt.work_item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*rt.work_item);
+      Audit(AuditKind::kWorkItemCancelled, inst->id, name,
+            std::to_string(*rt.work_item));
+      rt.work_item.reset();
+    }
+    inst->SetState(aid, ActivityState::kDead);
+    Audit(AuditKind::kActivityDead, inst->id, name, "failed");
+  }
+  inst->failed = true;
+  inst->failure_reason = reason;
+  inst->suspended = false;
+  if (!inst->is_child()) {
+    ++stats_.instances_failed;
+    failed_.push_back({inst->id, reason});
+  }
+  Audit(AuditKind::kInstanceFailed, inst->id, "", reason);
+  return Status::OK();
 }
 
 Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
@@ -591,7 +757,9 @@ Status Engine::PushData(ProcessInstance* inst, uint32_t aid) {
 }
 
 Status Engine::CheckInstanceCompletion(ProcessInstance* inst) {
-  if (inst->finished || !inst->AllSettled()) return Status::OK();
+  if (inst->finished || inst->failed || !inst->AllSettled()) {
+    return Status::OK();
+  }
   inst->finished = true;
   ++stats_.instances_finished;
   if (journal_ != nullptr) {
@@ -744,6 +912,10 @@ Status Engine::SuspendInstance(const std::string& instance_id) {
     return Status::FailedPrecondition("instance " + instance_id +
                                       " already finished");
   }
+  if (inst->failed) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " is quarantined");
+  }
   if (inst->suspended) {
     return Status::FailedPrecondition("instance " + instance_id +
                                       " already suspended");
@@ -767,7 +939,7 @@ Status Engine::ApplySuspend(ProcessInstance* inst) {
     }
     if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
       auto child = MutableInstance(rt.child_instance);
-      if (child.ok() && !(*child)->finished) {
+      if (child.ok() && !(*child)->finished && !(*child)->failed) {
         EXO_RETURN_NOT_OK(ApplySuspend(*child));
       }
     }
@@ -821,6 +993,10 @@ Status Engine::CancelInstance(const std::string& instance_id) {
     return Status::FailedPrecondition("instance " + instance_id +
                                       " already finished");
   }
+  if (inst->failed) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " is quarantined");
+  }
   EXO_RETURN_NOT_OK(
       JournalAppend(wfjournal::EventType::kInstanceCancelled, instance_id));
   EXO_RETURN_NOT_OK(ApplyCancel(inst));
@@ -834,7 +1010,7 @@ Status Engine::ApplyCancel(ProcessInstance* inst) {
     ActivityRuntime& rt = inst->activities[aid];
     if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
       auto child = MutableInstance(rt.child_instance);
-      if (child.ok() && !(*child)->finished) {
+      if (child.ok() && !(*child)->finished && !(*child)->failed) {
         EXO_RETURN_NOT_OK(ApplyCancel(*child));
       }
     }
@@ -890,8 +1066,8 @@ Status Engine::Recover() {
     ProcessInstance* inst = &instances_[i];
     // Suspended instances stay parked; ResumeSuspended re-dispatches them.
     // Suspension only happens at navigation quiescence, so they have no
-    // interrupted steps to complete.
-    if (inst->finished || inst->suspended) continue;
+    // interrupted steps to complete. Quarantined instances are terminal.
+    if (inst->finished || inst->failed || inst->suspended) continue;
     EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst),
                           "resuming instance " + inst->id);
   }
@@ -1036,6 +1212,10 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
     case EventType::kInstanceCancelled: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
       return ApplyCancel(inst);
+    }
+    case EventType::kInstanceFailed: {
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
+      return ApplyFailed(inst, r.payload);
     }
   }
   return Status::Corruption("unknown journal record type");

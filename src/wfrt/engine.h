@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,48 @@
 
 namespace exotica::wfrt {
 
+/// \brief How program crashes are retried before an instance is
+/// quarantined.
+///
+/// A program crash (a ProgramFn returning a non-OK, non-Pending Status) is
+/// the paper's §3.3 restart case: the activity is rescheduled and re-run
+/// from the beginning. The policy bounds that loop three ways — per
+/// activity, per instance, and by error class — and spaces retries with
+/// exponential backoff. Exhausting any bound quarantines the instance
+/// (terminal failed state) instead of poisoning the whole Run().
+struct RetryPolicy {
+  /// Consecutive crashes tolerated per activity before quarantine;
+  /// 0 = unlimited.
+  int max_attempts = 64;
+
+  /// Total crash retries allowed per top-level instance, shared with its
+  /// block children; 0 = unlimited. Read from the engine-wide policy
+  /// (EngineOptions::retry), not per-activity overrides.
+  int instance_retry_budget = 0;
+
+  /// Backoff before the k-th retry of an activity:
+  ///   min(max_backoff, initial * multiplier^(k-1)), +/- jitter.
+  /// 0 initial = retry immediately (the default; keeps traces stable).
+  Micros initial_backoff_micros = 0;
+  double backoff_multiplier = 2.0;
+  Micros max_backoff_micros = 60 * 1000 * 1000;
+
+  /// Jitter as a fraction of the delay in [0, 1]: the delay is scaled by
+  /// a factor drawn deterministically from [1 - jitter, 1 + jitter] keyed
+  /// off EngineOptions::retry_jitter_seed + (instance, activity, attempt).
+  double jitter = 0.0;
+
+  /// Classifies a program error as permanent: no retry, immediate
+  /// quarantine. Null uses DefaultIsPermanent.
+  std::function<bool(const Status&)> is_permanent;
+
+  /// Default classification: InvalidArgument, Unsupported, and
+  /// ValidationError are permanent (retrying a malformed request cannot
+  /// succeed); everything else — Internal, IOError, Timeout, ... — is
+  /// transient.
+  static bool DefaultIsPermanent(const Status& error);
+};
+
 /// \brief Engine tuning knobs.
 struct EngineOptions {
   /// Cap on exit-condition reschedules per activity; 0 = unlimited.
@@ -43,8 +86,22 @@ struct EngineOptions {
   /// tests and benches.
   int max_exit_retries = 100000;
 
-  /// Program crashes tolerated per activity before the engine gives up.
-  int max_program_failures = 64;
+  /// Crash-retry policy for program activities (replaces the old flat
+  /// max_program_failures counter).
+  RetryPolicy retry;
+
+  /// Per-activity policy overrides, keyed by activity name; activities
+  /// not listed use `retry`.
+  std::map<std::string, RetryPolicy> activity_retry;
+
+  /// Seed for deterministic backoff jitter.
+  uint64_t retry_jitter_seed = 42;
+
+  /// Invoked with each computed backoff delay. The engine is synchronous
+  /// and never sleeps on its own: production binds this to a sleeper,
+  /// tests advance a ManualClock. Null = the delay is only recorded
+  /// (stats + audit).
+  std::function<void(Micros)> on_backoff;
 
   /// Evaluate unevaluable transition conditions (unset data, type errors)
   /// as false instead of failing navigation.
@@ -69,6 +126,11 @@ struct EngineStats {
   uint64_t dead_path_terminations = 0;
   uint64_t reschedules = 0;
   uint64_t program_failures = 0;
+  uint64_t retries = 0;            ///< crash retries granted by the policy
+  uint64_t backoff_waits = 0;      ///< retries that carried a non-zero delay
+  uint64_t backoff_wait_micros = 0;///< total delay across backoff_waits
+  uint64_t permanent_failures = 0; ///< errors classified permanent
+  uint64_t instances_failed = 0;   ///< top-level instances quarantined
 };
 
 /// \brief The navigator.
@@ -114,6 +176,21 @@ class Engine {
   bool IsFinished(const std::string& id) const;
   bool IsCancelled(const std::string& id) const;
   bool IsSuspended(const std::string& id) const;
+  /// True if the instance was quarantined (terminal failed state).
+  bool IsFailed(const std::string& id) const;
+
+  /// \brief A quarantined top-level instance.
+  struct FailedInstance {
+    std::string id;
+    std::string reason;
+  };
+
+  /// Top-level instances quarantined so far, in failure order. Their
+  /// journaled state survives, so a saga's compensation process can still
+  /// be run against the committed-state image.
+  const std::vector<FailedInstance>& FailedInstances() const {
+    return failed_;
+  }
   /// Output container of a finished instance.
   Result<data::Container> OutputOf(const std::string& id) const;
   Result<wf::ActivityState> StateOf(const std::string& id,
@@ -240,6 +317,26 @@ class Engine {
   Status StartExecution(ProcessInstance* inst, uint32_t aid,
                         const std::string& person);
 
+  /// Crash-retry decision for a failed program attempt: retry (with
+  /// backoff) under the activity's RetryPolicy, or quarantine the
+  /// instance. Returns OK in both cases — navigation of other instances
+  /// continues.
+  Status HandleProgramFailure(ProcessInstance* inst, uint32_t aid,
+                              const Status& error);
+
+  /// Policy for `activity` (per-activity override or the engine default).
+  const RetryPolicy& PolicyFor(const std::string& activity) const;
+
+  /// Deterministic backoff delay before the `failures`-th retry.
+  Micros BackoffDelay(const RetryPolicy& policy, int failures,
+                      const std::string& instance,
+                      const std::string& activity) const;
+
+  /// Quarantines the top-level instance owning `inst`: journals the
+  /// failure, settles every unsettled activity (recursively through block
+  /// children), withdraws work items, and records the instance as failed.
+  Status QuarantineInstance(ProcessInstance* inst, std::string reason);
+
   /// Post-execution: exit condition check → terminate or reschedule.
   Status HandleFinished(ProcessInstance* inst, uint32_t aid);
 
@@ -275,6 +372,7 @@ class Engine {
   Status ApplySuspend(ProcessInstance* inst);
   Status ApplyResume(ProcessInstance* inst);
   Status ApplyCancel(ProcessInstance* inst);
+  Status ApplyFailed(ProcessInstance* inst, const std::string& reason);
 
   // Recovery passes.
   Status ReplayRecord(const wfjournal::Record& record);
@@ -304,6 +402,7 @@ class Engine {
   AuditTrail audit_;
   AuditObserver observer_;
   EngineStats stats_;
+  std::vector<FailedInstance> failed_;
   bool recovering_ = false;
 };
 

@@ -1,0 +1,124 @@
+#include "wfrt/faults.h"
+
+namespace exotica::wfrt {
+
+namespace {
+// FNV-1a; the same fold the engine uses for backoff jitter. Hash-based
+// decisions are order-independent — instance A retrying first never
+// changes what instance B draws.
+inline uint64_t HashMix(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kPermanent: return "permanent";
+    case FaultKind::kSlow: return "slow";
+  }
+  return "?";
+}
+
+void FaultPlan::CrashAt(const std::string& activity, int attempt,
+                        FaultKind kind) {
+  schedule_[{activity, attempt}] = Decision{kind, 0};
+}
+
+void FaultPlan::SlowAt(const std::string& activity, int attempt,
+                       Micros delay) {
+  schedule_[{activity, attempt}] = Decision{FaultKind::kSlow, delay};
+}
+
+void FaultPlan::SetProfile(const std::string& activity,
+                           FaultProfile profile) {
+  profiles_[activity] = profile;
+}
+
+void FaultPlan::SetDefaultProfile(FaultProfile profile) {
+  default_profile_ = profile;
+  has_default_profile_ = true;
+}
+
+FaultPlan::Decision FaultPlan::Decide(const std::string& instance,
+                                      const std::string& activity,
+                                      int attempt) const {
+  auto it = schedule_.find({activity, attempt});
+  if (it != schedule_.end()) return it->second;
+
+  const FaultProfile* profile = nullptr;
+  auto pit = profiles_.find(activity);
+  if (pit != profiles_.end()) {
+    profile = &pit->second;
+  } else if (has_default_profile_) {
+    profile = &default_profile_;
+  }
+  if (profile == nullptr) return Decision{};
+
+  uint64_t h = HashMix(0xcbf29ce484222325ull, seed_);
+  h = HashMix(h, instance);
+  h = HashMix(h, activity);
+  h = HashMix(h, static_cast<uint64_t>(attempt));
+  double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+
+  if (u < profile->transient_probability) {
+    return Decision{FaultKind::kTransient, 0};
+  }
+  u -= profile->transient_probability;
+  if (u < profile->permanent_probability) {
+    return Decision{FaultKind::kPermanent, 0};
+  }
+  u -= profile->permanent_probability;
+  if (u < profile->slow_probability) {
+    return Decision{FaultKind::kSlow, profile->slow_micros};
+  }
+  return Decision{};
+}
+
+Status FaultPlan::Instrument(ProgramRegistry* programs) {
+  for (const std::string& name : programs->BoundNames()) {
+    EXO_ASSIGN_OR_RETURN(const ProgramFn* found, programs->Find(name));
+    ProgramFn inner = *found;
+    EXO_RETURN_NOT_OK(programs->Rebind(
+        name,
+        [this, inner](const data::Container& input, data::Container* output,
+                      const ProgramContext& ctx) -> Status {
+          Decision d = Decide(ctx.instance_id, ctx.activity, ctx.attempt);
+          switch (d.kind) {
+            case FaultKind::kNone:
+              break;
+            case FaultKind::kTransient:
+              injected_.fetch_add(1);
+              return Status::Internal(
+                  "injected transient fault at (" + ctx.activity +
+                  ", attempt " + std::to_string(ctx.attempt) + ")");
+            case FaultKind::kPermanent:
+              injected_.fetch_add(1);
+              return Status::Unsupported(
+                  "injected permanent fault at (" + ctx.activity +
+                  ", attempt " + std::to_string(ctx.attempt) + ")");
+            case FaultKind::kSlow:
+              injected_.fetch_add(1);
+              if (on_delay_) on_delay_(d.delay_micros);
+              break;
+          }
+          return inner(input, output, ctx);
+        }));
+  }
+  return Status::OK();
+}
+
+}  // namespace exotica::wfrt

@@ -1,0 +1,111 @@
+// Deterministic program-fault injection (the engine-side half of the
+// fault plane; FaultyJournal in wfjournal/ is the storage-side half).
+//
+// A FaultPlan decides, for every (instance, activity, attempt) triple,
+// whether the program invocation crashes transiently, fails permanently,
+// or runs slow. Decisions come from either an exact schedule (CrashAt /
+// SlowAt — the torture harness enumerates these) or per-activity
+// probability profiles hashed off a seed. Both are pure functions of the
+// triple: the same run, and a recovery replaying into the same attempt
+// numbers, see the same faults — no hidden Rng stream whose position
+// depends on scheduling order.
+//
+// Instrument() wraps every binding in a ProgramRegistry so faults apply
+// underneath the engine without the engine knowing; the injected crash
+// Statuses are the ones RetryPolicy::DefaultIsPermanent classifies as
+// transient (Internal) and permanent (Unsupported).
+
+#ifndef EXOTICA_WFRT_FAULTS_H_
+#define EXOTICA_WFRT_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "wfrt/program.h"
+
+namespace exotica::wfrt {
+
+enum class FaultKind : int {
+  kNone = 0,
+  kTransient = 1,  ///< program crashes; the retry policy may re-run it
+  kPermanent = 2,  ///< program fails permanently; instance is quarantined
+  kSlow = 3,       ///< attempt is delayed, then runs normally
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief Per-activity fault probabilities for the hashed (seeded) mode.
+struct FaultProfile {
+  double transient_probability = 0.0;
+  double permanent_probability = 0.0;
+  double slow_probability = 0.0;
+  Micros slow_micros = 0;  ///< delay when a slow fault fires
+};
+
+/// \brief A deterministic schedule of program faults.
+///
+/// Thread-safe once configured: engines in a fleet may share one plan
+/// (configure before the batch starts; Decide only reads).
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 42) : seed_(seed) {}
+
+  // --- exact schedule (torture-harness mode) --------------------------------
+
+  /// The program of `activity` fails at exactly its `attempt`-th run
+  /// (1-based, any instance) with `kind`.
+  void CrashAt(const std::string& activity, int attempt,
+               FaultKind kind = FaultKind::kTransient);
+
+  /// The `attempt`-th run of `activity` is delayed by `delay` first.
+  void SlowAt(const std::string& activity, int attempt, Micros delay);
+
+  // --- probabilistic schedule -----------------------------------------------
+
+  void SetProfile(const std::string& activity, FaultProfile profile);
+  void SetDefaultProfile(FaultProfile profile);
+
+  // --- decisions ------------------------------------------------------------
+
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    Micros delay_micros = 0;
+  };
+
+  /// The fault (if any) for this invocation. Exact schedule entries win
+  /// over profiles. Pure in (seed, instance, activity, attempt).
+  Decision Decide(const std::string& instance, const std::string& activity,
+                  int attempt) const;
+
+  /// Wraps every program currently bound in `programs` with a
+  /// fault-consulting decorator. The plan must outlive the registry's use.
+  Status Instrument(ProgramRegistry* programs);
+
+  /// Hook for kSlow delays (advance a ManualClock, sleep, ...); null =
+  /// the delay is decided but not acted on.
+  void set_on_delay(std::function<void(Micros)> fn) {
+    on_delay_ = std::move(fn);
+  }
+
+  /// Faults injected so far (transient + permanent + slow).
+  uint64_t injected() const { return injected_.load(); }
+
+ private:
+  uint64_t seed_;
+  std::map<std::pair<std::string, int>, Decision> schedule_;
+  std::map<std::string, FaultProfile> profiles_;
+  FaultProfile default_profile_;
+  bool has_default_profile_ = false;
+  std::function<void(Micros)> on_delay_;
+  mutable std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_FAULTS_H_

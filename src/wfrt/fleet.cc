@@ -1,6 +1,7 @@
 #include "wfrt/fleet.h"
 
 #include <thread>
+#include <utility>
 
 namespace exotica::wfrt {
 
@@ -31,11 +32,15 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
 
   BatchResult result;
   result.errors.assign(engines_.size(), "");
+  // Per-engine scratch: workers only touch their own slot; merged after
+  // the join so failed_instances needs no lock.
+  std::vector<std::vector<InstanceError>> stalled(engines_.size());
 
   std::vector<std::thread> workers;
   workers.reserve(engines_.size());
   for (size_t e = 0; e < engines_.size(); ++e) {
-    workers.emplace_back([this, e, &share, &process_name, input, &result] {
+    workers.emplace_back([this, e, &share, &process_name, input, &result,
+                          &stalled] {
       Engine* engine = engines_[e].get();
       for (int i = 0; i < share[e]; ++i) {
         auto id = engine->StartProcess(process_name, input);
@@ -48,17 +53,21 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
           result.errors[e] = st.ToString();
           return;
         }
-        if (!engine->IsFinished(*id)) {
-          result.errors[e] = "instance " + *id + " stalled (manual work?)";
-          return;
+        // A quarantined or stalled instance is an instance-level outcome,
+        // not an engine failure: keep running the rest of the share.
+        if (!engine->IsFinished(*id) && !engine->IsFailed(*id)) {
+          stalled[e].push_back(InstanceError{
+              static_cast<int>(e), *id,
+              "instance " + *id + " stalled (manual work?)"});
         }
       }
     });
   }
   for (std::thread& w : workers) w.join();
 
-  for (const auto& engine : engines_) {
-    const EngineStats& s = engine->stats();
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    const Engine& engine = *engines_[e];
+    const EngineStats& s = engine.stats();
     result.aggregate.instances_started += s.instances_started;
     result.aggregate.instances_finished += s.instances_finished;
     result.aggregate.activities_executed += s.activities_executed;
@@ -66,7 +75,19 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.dead_path_terminations += s.dead_path_terminations;
     result.aggregate.reschedules += s.reschedules;
     result.aggregate.program_failures += s.program_failures;
+    result.aggregate.retries += s.retries;
+    result.aggregate.backoff_waits += s.backoff_waits;
+    result.aggregate.backoff_wait_micros += s.backoff_wait_micros;
+    result.aggregate.permanent_failures += s.permanent_failures;
+    result.aggregate.instances_failed += s.instances_failed;
     result.instances_finished += s.instances_finished;
+    for (const Engine::FailedInstance& f : engine.FailedInstances()) {
+      result.failed_instances.push_back(
+          InstanceError{static_cast<int>(e), f.id, f.reason});
+    }
+    for (InstanceError& err : stalled[e]) {
+      result.failed_instances.push_back(std::move(err));
+    }
   }
   return result;
 }

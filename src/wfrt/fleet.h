@@ -34,12 +34,26 @@ class EngineFleet {
   int size() const { return static_cast<int>(engines_.size()); }
   Engine* engine(int i) { return engines_[static_cast<size_t>(i)].get(); }
 
+  /// \brief One instance that did not finish cleanly in a batch.
+  struct InstanceError {
+    int engine = 0;      ///< index of the engine that ran it
+    std::string id;      ///< instance id (engine-local "wf-N" namespace)
+    std::string error;   ///< quarantine reason / stall description
+  };
+
   struct BatchResult {
     uint64_t instances_finished = 0;
     EngineStats aggregate;
-    /// First error per engine, if any (empty strings for clean engines).
+    /// Engine-level infrastructure errors (start failure, navigation
+    /// error, journal I/O), one slot per engine; empty string = clean.
+    /// The worker stops its engine's loop on these.
     std::vector<std::string> errors;
+    /// Per-instance failures: quarantined and stalled instances, across
+    /// all engines. One poisoned instance lands here without masking the
+    /// rest of the batch.
+    std::vector<InstanceError> failed_instances;
     bool ok() const {
+      if (!failed_instances.empty()) return false;
       for (const std::string& e : errors) {
         if (!e.empty()) return false;
       }

@@ -70,7 +70,16 @@ struct ProcessInstance {
 
   bool finished = false;
   bool cancelled = false;  ///< finished via user termination
+  bool failed = false;     ///< quarantined: retry budget exhausted or
+                           ///< permanent program failure
   bool suspended = false;  ///< navigation paused by the user
+
+  /// Why the instance was quarantined (empty unless failed).
+  std::string failure_reason;
+
+  /// Crash retries consumed by this instance, charged against
+  /// RetryPolicy::instance_retry_budget.
+  int retries_used = 0;
 
   /// Parent link for block children (empty for top-level instances).
   std::string parent_instance;

@@ -75,6 +75,7 @@ class Trial {
     ActivityState state = ActivityState::kWaiting;
     std::map<size_t, bool> incoming;
     int attempts = 0;
+    int crashes = 0;
     int64_t rc = 0;
     Micros queued_at = 0;  ///< manual: when it entered the role queue
   };
@@ -178,7 +179,26 @@ class Trial {
     SimActivity& act = inst.acts[name];
     EXO_ASSIGN_OR_RETURN(const wf::Activity* def,
                          inst.def->FindActivity(name));
-    act.rc = ProfileOf(name).SampleRc(rng_);
+    const ActivityProfile& profile = ProfileOf(name);
+
+    // Injected crash: the attempt's time is spent but it produces no RC;
+    // re-run from the beginning (the engine's at-least-once restart).
+    if (!def->is_process() && profile.crash_probability > 0.0 &&
+        rng_->NextDouble() < profile.crash_probability) {
+      ++act.crashes;
+      ++result_->activities[name].crashes;
+      if (def->start_mode == wf::StartMode::kManual) {
+        EXO_RETURN_NOT_OK(ReleaseRole(def->role, now));
+      }
+      if (config_.max_crash_retries > 0 &&
+          act.crashes >= config_.max_crash_retries) {
+        return Status::FailedPrecondition(
+            "simulated activity " + name + " exceeded crash retries");
+      }
+      return MakeReady(idx, name, now);
+    }
+
+    act.rc = profile.SampleRc(rng_);
 
     int64_t rc = act.rc;
     int attempts = act.attempts;

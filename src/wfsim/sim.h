@@ -53,6 +53,13 @@ struct ActivityProfile {
   /// sum to ~1. Default: always RC = 0.
   std::vector<std::pair<int64_t, double>> rc_distribution = {{0, 1.0}};
 
+  /// Probability that an attempt crashes (the engine's program-crash
+  /// fault class): the time is spent but no RC is produced and the
+  /// activity re-runs from the beginning — the same fault model the
+  /// runtime's FaultPlan injects, so design-time makespans account for
+  /// retry amplification.
+  double crash_probability = 0.0;
+
   int64_t SampleRc(Rng* rng) const;
 };
 
@@ -73,12 +80,17 @@ struct SimConfig {
 
   /// Cap on exit-condition reschedules per activity per instance.
   int max_exit_retries = 1000;
+
+  /// Cap on crash retries per activity per instance (mirrors the
+  /// runtime's RetryPolicy::max_attempts); 0 = unlimited.
+  int max_crash_retries = 64;
 };
 
 /// \brief Per-activity aggregate over all trials.
 struct ActivityStats {
   uint64_t executions = 0;     ///< times the activity actually ran
   uint64_t dead = 0;           ///< trials where it was dead-path-eliminated
+  uint64_t crashes = 0;        ///< attempts lost to injected crashes
   Micros busy_micros = 0;      ///< total virtual time spent executing
   Micros queue_micros = 0;     ///< manual: total time waiting for a person
 };

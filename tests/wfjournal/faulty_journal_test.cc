@@ -1,0 +1,212 @@
+// FaultyJournal decorator: injected append/flush faults leave exactly the
+// on-disk states a real crash would — a clean prefix (ENOSPC), a torn tail
+// (short write), or garbage *before* well-formed records (misdirected
+// write) — and FileJournal::Open() distinguishes the recoverable ones
+// (truncate-and-continue) from real corruption.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "wf/builder.h"
+#include "wfjournal/faulty.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using wfjournal::FaultyJournal;
+using wfjournal::FileJournal;
+using wfjournal::MemoryJournal;
+using wfjournal::Record;
+
+Record Rec(const std::string& instance, wfjournal::EventType type,
+           const std::string& activity = "") {
+  Record r;
+  r.instance = instance;
+  r.type = type;
+  r.activity = activity;
+  return r;
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(FaultyJournalTest, AppendErrorLosesOnlyTheArmedRecord) {
+  MemoryJournal mem;
+  FaultyJournal faulty(&mem);
+  faulty.FailAppendAt(2, FaultyJournal::FaultMode::kAppendError);
+
+  for (int i = 0; i < 5; ++i) {
+    Status st = faulty.Append(
+        Rec("wf-1", wfjournal::EventType::kActivityReady,
+            "A" + std::to_string(i)));
+    if (i == 2) {
+      EXPECT_TRUE(st.IsIOError()) << st.ToString();
+      EXPECT_NE(st.ToString().find("ENOSPC"), std::string::npos);
+    } else {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+
+  // The journal holds exactly the records whose appends succeeded, with
+  // contiguous seq numbers — the state a real ENOSPC leaves behind.
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+  auto all = mem.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ((*all)[2].activity, "A3");
+  for (size_t i = 0; i < all->size(); ++i) {
+    EXPECT_EQ((*all)[i].seq, i);
+  }
+}
+
+TEST(FaultyJournalTest, ShortWriteLeavesTornTailThatOpenTruncates) {
+  std::string path = TempPath("exo_faulty_short.log");
+  {
+    auto journal = FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    FaultyJournal faulty(journal->get(), path);
+    faulty.FailAppendAt(3, FaultyJournal::FaultMode::kShortWrite);
+
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(faulty
+                      .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                  "A" + std::to_string(i)))
+                      .ok());
+    }
+    Status st = faulty.Append(
+        Rec("wf-1", wfjournal::EventType::kActivityFinished, "A3"));
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    EXPECT_EQ(faulty.faults_injected(), 1u);
+  }
+
+  // Reopen: the torn tail is a crash mid-write of a batch — truncated
+  // away, the prefix survives, and the journal accepts new appends with
+  // continuous seq numbers.
+  auto reopened = FileJournal::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 3u);
+  ASSERT_TRUE((*reopened)
+                  ->Append(Rec("wf-1", wfjournal::EventType::kActivityFinished,
+                               "A3"))
+                  .ok());
+  ASSERT_TRUE((*reopened)->Flush().ok());
+
+  auto all = (*reopened)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ((*all)[3].seq, 3u);
+  EXPECT_EQ((*all)[3].activity, "A3");
+}
+
+TEST(FaultyJournalTest, GarbageBeforeValidRecordsIsCorruption) {
+  std::string path = TempPath("exo_faulty_garbage.log");
+  {
+    auto journal = FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    FaultyJournal faulty(journal->get(), path);
+    faulty.FailAppendAt(1, FaultyJournal::FaultMode::kGarbage);
+
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(faulty
+                      .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                  "A" + std::to_string(i)))
+                      .ok());
+    }
+    ASSERT_TRUE(faulty.Flush().ok());
+    EXPECT_EQ(faulty.faults_injected(), 1u);
+  }
+
+  // Garbage followed by well-formed records is NOT a torn tail: silently
+  // dropping it would discard the valid suffix too. Open must refuse.
+  auto reopened = FileJournal::Open(path);
+  EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+}
+
+TEST(FaultyJournalTest, GarbageAtTailAloneIsTruncatedLikeATear) {
+  std::string path = TempPath("exo_faulty_tail.log");
+  {
+    auto journal = FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE((*journal)
+                      ->Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                   "A" + std::to_string(i)))
+                      .ok());
+    }
+    ASSERT_TRUE((*journal)->Flush().ok());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "\x7f!!corrupt-block!!\x01\x02\x03\n";
+  }
+
+  // With nothing valid after it, the bad final line is indistinguishable
+  // from a torn batch tail: truncate and continue.
+  auto reopened = FileJournal::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 2u);
+}
+
+TEST(FaultyJournalTest, FlushFaultFiresOnceAndIsNotForwarded) {
+  MemoryJournal mem;
+  FaultyJournal faulty(&mem);
+  faulty.FailFlushAt(0);
+
+  Status st = faulty.Flush();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(faulty.Flush().ok());
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+  EXPECT_EQ(faulty.flushes(), 2u);
+}
+
+TEST(FaultyJournalTest, EngineSurfacesInjectedFaultAndRecoversFromPrefix) {
+  wf::DefinitionStore store;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "prog").ok());
+  wf::ProcessBuilder b(&store, "two_step");
+  b.Program("A", "prog");
+  b.Program("B", "prog");
+  b.Connect("A", "B", "RC = 0");
+  b.MapToOutput("B", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  MemoryJournal mem;
+  std::string id;
+  {
+    wfrt::ProgramRegistry programs;
+    ASSERT_TRUE(test::BindConstRc(&programs, "prog", 0).ok());
+    FaultyJournal faulty(&mem);
+    faulty.FailAppendAt(4, FaultyJournal::FaultMode::kAppendError);
+    wfrt::Engine engine(&store, &programs);
+    ASSERT_TRUE(engine.AttachJournal(&faulty).ok());
+    auto started = engine.StartProcess("two_step");
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    id = *started;
+    Status run = engine.Run();
+    EXPECT_TRUE(run.IsIOError()) << run.ToString();
+  }
+
+  // Recovery from the surviving prefix (the inner journal) re-runs the
+  // in-flight step and finishes the instance — §3.3 forward recovery.
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(test::BindConstRc(&programs, "prog", 0).ok());
+  wfrt::Engine engine(&store, &programs);
+  ASSERT_TRUE(engine.AttachJournal(&mem).ok());
+  ASSERT_TRUE(engine.Recover().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(engine.IsFinished(id));
+  auto out = engine.OutputOf(id);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->Get("RC")->as_long(), 0);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -238,7 +238,7 @@ TEST_F(EngineTest, ProgramCrashIsRetriedFromTheBeginning) {
   EXPECT_EQ(engine.stats().program_failures, 2u);
 }
 
-TEST_F(EngineTest, ProgramFailureCapSurfacesAsError) {
+TEST_F(EngineTest, ProgramFailureCapQuarantinesInstance) {
   ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
   ASSERT_TRUE(BindCrashy(&programs_, "crashy", 100).ok());
 
@@ -247,13 +247,22 @@ TEST_F(EngineTest, ProgramFailureCapSurfacesAsError) {
   ASSERT_TRUE(b.Register().ok());
 
   wfrt::EngineOptions opts;
-  opts.max_program_failures = 3;
+  opts.retry.max_attempts = 3;
   wfrt::Engine engine(&store_, &programs_, opts);
   auto id = engine.StartProcess("crash2");
   ASSERT_TRUE(id.ok());
+  // Exhausting the retry policy no longer poisons Run(): the instance is
+  // quarantined and navigation of everything else continues.
   Status st = engine.Run();
-  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(engine.IsFailed(*id));
+  EXPECT_FALSE(engine.IsFinished(*id));
   EXPECT_EQ(engine.stats().program_failures, 3u);
+  EXPECT_EQ(engine.stats().retries, 2u);
+  EXPECT_EQ(engine.stats().instances_failed, 1u);
+  ASSERT_EQ(engine.FailedInstances().size(), 1u);
+  EXPECT_EQ(engine.FailedInstances()[0].id, *id);
+  EXPECT_FALSE(engine.OutputOf(*id).ok());
 }
 
 TEST_F(EngineTest, UnboundProgramFailsNavigation) {

@@ -127,6 +127,51 @@ TEST(FleetTest, RoundRobinDistribution) {
   EXPECT_EQ(fleet.engine(2)->stats().instances_finished, 3u);
 }
 
+TEST(FleetTest, QuarantinedInstancesAreReportedAndDoNotMaskOthers) {
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "picky").ok());
+  wf::ProcessBuilder b(&store, "p");
+  b.Program("A", "picky");
+  b.MapToOutput("A", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  // Each engine numbers its instances independently, so "wf-1" exists once
+  // per engine: one poisoned instance per engine, permanently.
+  ASSERT_TRUE(programs
+                  .Bind("picky",
+                        [](const data::Container&, data::Container* out,
+                           const wfrt::ProgramContext& ctx) -> Status {
+                          if (ctx.instance_id == "wf-1") {
+                            return Status::Unsupported("bad instance");
+                          }
+                          out->Set("RC", data::Value(int64_t{0}));
+                          return Status::OK();
+                        })
+                  .ok());
+
+  wfrt::EngineFleet fleet(&store, &programs, 2);
+  auto result = fleet.RunBatch("p", 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // No engine-level error — the quarantine is an instance-level outcome —
+  // but the batch is not clean, and every healthy instance still finished.
+  for (const std::string& e : result->errors) {
+    EXPECT_TRUE(e.empty()) << e;
+  }
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->instances_finished, 4u);
+  EXPECT_EQ(result->aggregate.instances_failed, 2u);
+  EXPECT_EQ(result->aggregate.permanent_failures, 2u);
+  ASSERT_EQ(result->failed_instances.size(), 2u);
+  for (const wfrt::EngineFleet::InstanceError& err : result->failed_instances) {
+    EXPECT_EQ(err.id, "wf-1");
+    EXPECT_NE(err.error.find("permanent"), std::string::npos) << err.error;
+  }
+  EXPECT_NE(result->failed_instances[0].engine,
+            result->failed_instances[1].engine);
+}
+
 TEST(FleetTest, ErrorsSurfacePerEngine) {
   wf::DefinitionStore store;
   wfrt::ProgramRegistry programs;

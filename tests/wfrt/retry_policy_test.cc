@@ -1,0 +1,287 @@
+// RetryPolicy semantics: attempt counting across reschedules and crash
+// retries, exponential backoff over the injected clock, permanent-failure
+// short-circuit, per-activity overrides, the instance retry budget, and
+// the quarantine transitions they all feed.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "wf/builder.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindCrashy;
+using test::DeclareDefaultProgram;
+
+class RetryPolicyTest : public ::testing::Test {
+ protected:
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+// Regression for the ProgramContext.attempt contract ("1-based; >1 after
+// reschedules / failures"): the counter must keep incrementing across a
+// crash retry followed by exit-condition reschedules, not reset per cause.
+TEST_F(RetryPolicyTest, AttemptIncrementsAcrossReschedulesAndCrashRetries) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "rec").ok());
+  std::vector<int> attempts;
+  ASSERT_TRUE(programs_
+                  .Bind("rec",
+                        [&attempts](const data::Container&,
+                                    data::Container* output,
+                                    const wfrt::ProgramContext& ctx) -> Status {
+                          attempts.push_back(ctx.attempt);
+                          if (ctx.attempt == 1) {
+                            return Status::Internal("crash on first attempt");
+                          }
+                          return output->Set(
+                              "RC", data::Value(int64_t{ctx.attempt}));
+                        })
+                  .ok());
+
+  wf::ProcessBuilder b(&store_, "attempts");
+  // Attempt 1 crashes; attempts 2 and 3 run but only RC = 3 satisfies the
+  // exit condition, so attempt 2 is an exit-condition reschedule.
+  b.Program("A", "rec").ExitWhen("RC = 3");
+  b.MapToOutput("A", {{"RC", "RC"}});
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("attempts");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(attempts, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.stats().program_failures, 1u);
+  EXPECT_EQ(engine.stats().retries, 1u);
+  EXPECT_EQ(engine.stats().reschedules, 2u);  // 1 crash + 1 exit reschedule
+}
+
+TEST_F(RetryPolicyTest, ExponentialBackoffOverInjectedClock) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 3).ok());
+
+  wf::ProcessBuilder b(&store_, "backoff");
+  b.Program("A", "crashy");
+  ASSERT_TRUE(b.Register().ok());
+
+  ManualClock clock(1000);
+  wfrt::EngineOptions opts;
+  opts.clock = &clock;
+  opts.retry.initial_backoff_micros = 1000;
+  opts.retry.backoff_multiplier = 2.0;
+  opts.on_backoff = [&clock](Micros delay) { clock.Advance(delay); };
+  wfrt::Engine engine(&store_, &programs_, opts);
+
+  auto id = engine.RunToCompletion("backoff");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(engine.stats().retries, 3u);
+  EXPECT_EQ(engine.stats().backoff_waits, 3u);
+  // 1000 + 2000 + 4000.
+  EXPECT_EQ(engine.stats().backoff_wait_micros, 7000u);
+  EXPECT_EQ(clock.NowMicros(), 1000 + 7000);
+
+  auto trace =
+      engine.audit().CompactTrace(*id, {wfrt::AuditKind::kRetryBackoff});
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST_F(RetryPolicyTest, BackoffIsCappedAndJitterIsDeterministic) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+
+  wf::ProcessBuilder b(&store_, "capped");
+  b.Program("A", "crashy");
+  ASSERT_TRUE(b.Register().ok());
+
+  auto run = [&](uint64_t seed) {
+    wfrt::ProgramRegistry programs;
+    EXPECT_TRUE(BindCrashy(&programs, "crashy", 5).ok());
+    wfrt::EngineOptions opts;
+    opts.retry.initial_backoff_micros = 1000;
+    opts.retry.backoff_multiplier = 2.0;
+    opts.retry.max_backoff_micros = 3000;
+    opts.retry.jitter = 0.5;
+    opts.retry_jitter_seed = seed;
+    wfrt::Engine engine(&store_, &programs, opts);
+    EXPECT_TRUE(engine.RunToCompletion("capped").ok());
+    return engine.stats().backoff_wait_micros;
+  };
+
+  uint64_t a = run(7);
+  uint64_t b2 = run(7);
+  EXPECT_EQ(a, b2);  // same seed, same schedule
+  // Jitter stays within +/- 50% of the un-jittered (capped) total:
+  // 1000 + 2000 + 3000 + 3000 + 3000 = 12000.
+  EXPECT_GE(a, 6000u);
+  EXPECT_LE(a, 18000u);
+}
+
+TEST_F(RetryPolicyTest, PermanentFailureShortCircuitsRetries) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "broken").ok());
+  int calls = 0;
+  ASSERT_TRUE(programs_
+                  .Bind("broken",
+                        [&calls](const data::Container&, data::Container*,
+                                 const wfrt::ProgramContext&) -> Status {
+                          ++calls;
+                          return Status::Unsupported("bad request shape");
+                        })
+                  .ok());
+
+  wf::ProcessBuilder b(&store_, "permanent");
+  b.Program("A", "broken");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.StartProcess("permanent");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(calls, 1);  // no retry of a permanent error
+  EXPECT_TRUE(engine.IsFailed(*id));
+  EXPECT_EQ(engine.stats().permanent_failures, 1u);
+  EXPECT_EQ(engine.stats().retries, 0u);
+  auto trace =
+      engine.audit().CompactTrace(*id, {wfrt::AuditKind::kPermanentFailure});
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST_F(RetryPolicyTest, CustomPermanentClassifier) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 100).ok());
+
+  wf::ProcessBuilder b(&store_, "classified");
+  b.Program("A", "crashy");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  // Treat the (normally transient) Internal crash as permanent.
+  opts.retry.is_permanent = [](const Status& s) { return s.IsInternal(); };
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("classified");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.IsFailed(*id));
+  EXPECT_EQ(engine.stats().program_failures, 1u);
+}
+
+TEST_F(RetryPolicyTest, PerActivityOverrideBeatsEngineDefault) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy2").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 3).ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy2", 3).ok());
+
+  wf::ProcessBuilder b(&store_, "override");
+  b.Program("A", "crashy").Program("B", "crashy2");
+  b.Connect("A", "B");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.retry.max_attempts = 10;      // default would survive 3 crashes
+  opts.activity_retry["A"].max_attempts = 2;  // A gives up earlier
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("override");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.IsFailed(*id));
+  EXPECT_EQ(engine.stats().program_failures, 2u);
+  ASSERT_EQ(engine.FailedInstances().size(), 1u);
+  EXPECT_NE(engine.FailedInstances()[0].reason.find("activity A"),
+            std::string::npos);
+}
+
+TEST_F(RetryPolicyTest, InstanceRetryBudgetSpansActivities) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy2").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 2).ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy2", 2).ok());
+
+  wf::ProcessBuilder b(&store_, "budget");
+  b.Program("A", "crashy").Program("B", "crashy2");
+  b.Connect("A", "B");
+  ASSERT_TRUE(b.Register().ok());
+
+  // Four retries needed in total (two per activity); a budget of 3 lets A
+  // through but quarantines on B's second crash.
+  wfrt::EngineOptions opts;
+  opts.retry.instance_retry_budget = 3;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("budget");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.IsFailed(*id));
+  ASSERT_EQ(engine.FailedInstances().size(), 1u);
+  EXPECT_NE(engine.FailedInstances()[0].reason.find("retry budget"),
+            std::string::npos);
+
+  // A budget of 4 is enough for the same process to finish.
+  wfrt::ProgramRegistry programs2;
+  ASSERT_TRUE(BindCrashy(&programs2, "crashy", 2).ok());
+  ASSERT_TRUE(BindCrashy(&programs2, "crashy2", 2).ok());
+  wfrt::EngineOptions opts2;
+  opts2.retry.instance_retry_budget = 4;
+  wfrt::Engine engine2(&store_, &programs2, opts2);
+  EXPECT_TRUE(engine2.RunToCompletion("budget").ok());
+}
+
+TEST_F(RetryPolicyTest, QuarantinedInstanceDoesNotBlockOthers) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "picky").ok());
+  ASSERT_TRUE(programs_
+                  .Bind("picky",
+                        [](const data::Container&, data::Container* output,
+                           const wfrt::ProgramContext& ctx) -> Status {
+                          if (ctx.instance_id == "wf-1") {
+                            return Status::Internal("poisoned instance");
+                          }
+                          return output->Set("RC", data::Value(int64_t{0}));
+                        })
+                  .ok());
+
+  wf::ProcessBuilder b(&store_, "mixed");
+  b.Program("A", "picky");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.retry.max_attempts = 2;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = engine.StartProcess("mixed");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.IsFailed(ids[0]));
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_TRUE(engine.IsFinished(ids[i])) << ids[i];
+  }
+  EXPECT_EQ(engine.stats().instances_failed, 1u);
+  EXPECT_EQ(engine.stats().instances_finished, 4u);
+}
+
+// Lifecycle interactions with the terminal failed state.
+TEST_F(RetryPolicyTest, FailedInstanceRejectsLifecycleOperations) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "crashy").ok());
+  ASSERT_TRUE(BindCrashy(&programs_, "crashy", 100).ok());
+
+  wf::ProcessBuilder b(&store_, "terminal");
+  b.Program("A", "crashy");
+  ASSERT_TRUE(b.Register().ok());
+
+  wfrt::EngineOptions opts;
+  opts.retry.max_attempts = 1;
+  wfrt::Engine engine(&store_, &programs_, opts);
+  auto id = engine.StartProcess("terminal");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(engine.IsFailed(*id));
+  EXPECT_TRUE(engine.SuspendInstance(*id).IsFailedPrecondition());
+  EXPECT_TRUE(engine.CancelInstance(*id).IsFailedPrecondition());
+  // A second Run is a no-op, not an error.
+  EXPECT_TRUE(engine.Run().ok());
+}
+
+}  // namespace
+}  // namespace exotica

@@ -245,5 +245,41 @@ TEST_F(SimTest, ConfigValidation) {
   EXPECT_TRUE(Simulate(store_, "ghost", SimConfig{}).status().IsNotFound());
 }
 
+TEST_F(SimTest, CrashProbabilityAmplifiesRetriesAndMakespan) {
+  wf::ProcessBuilder b(&store_, "crashy");
+  b.Program("A", "prog");
+  ASSERT_TRUE(b.Register().ok());
+
+  SimConfig cfg;
+  cfg.trials = 500;
+  cfg.profiles["A"] = Fixed(100);
+  cfg.profiles["A"].crash_probability = 0.5;
+  auto r = Simulate(store_, "crashy", cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Every crash spends the attempt's time and re-runs the activity: runs
+  // exceed trials by exactly the crash count, and the mean makespan
+  // reflects the retry amplification (expected 2x at p = 0.5).
+  const ActivityStats& a = r->activities.at("A");
+  EXPECT_GT(a.crashes, 0u);
+  EXPECT_EQ(a.executions, static_cast<uint64_t>(cfg.trials) + a.crashes);
+  EXPECT_GT(r->MakespanMean(), 150);
+  EXPECT_EQ(a.busy_micros, static_cast<Micros>(a.executions) * 100);
+}
+
+TEST_F(SimTest, CrashRetryCapSurfacesAsError) {
+  wf::ProcessBuilder b(&store_, "hopeless");
+  b.Program("A", "prog");
+  ASSERT_TRUE(b.Register().ok());
+
+  SimConfig cfg;
+  cfg.trials = 3;
+  cfg.profiles["A"] = Fixed(10);
+  cfg.profiles["A"].crash_probability = 1.0;
+  cfg.max_crash_retries = 5;
+  auto r = Simulate(store_, "hopeless", cfg);
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status().ToString();
+}
+
 }  // namespace
 }  // namespace exotica::wfsim

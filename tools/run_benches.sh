@@ -4,14 +4,19 @@
 #
 # Usage: tools/run_benches.sh [output.json]
 #   BUILD_DIR=build-release  tools/run_benches.sh   # override build dir
+#   FAULTS_OUT=faults.json   tools/run_benches.sh   # override faults file
 #
 # The output has one top-level key per benchmark binary, each holding the
-# raw Google Benchmark JSON (context + benchmarks array).
+# raw Google Benchmark JSON (context + benchmarks array). The fault-
+# injection benchmarks (bench_recovery under FaultPlan/FaultyJournal) are
+# additionally emitted on their own into BENCH_faults.json so the
+# robustness numbers can be tracked separately from the navigation ones.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_nav.json}"
+FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_navigation bench_fleet bench_recovery)
 
@@ -26,6 +31,11 @@ for b in "${BENCHES[@]}"; do
     --benchmark_min_time=0.2 > "$tmpdir/$b.json"
 done
 
+echo "== bench_recovery (injected faults) ==" >&2
+"$BUILD_DIR/bench/bench_recovery" --benchmark_format=json \
+  --benchmark_filter='Fault' \
+  --benchmark_min_time=0.2 > "$tmpdir/bench_faults.json"
+
 python3 - "$OUT" "$tmpdir" "${BENCHES[@]}" <<'EOF'
 import json, sys
 out_path, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
@@ -33,6 +43,17 @@ merged = {}
 for b in benches:
     with open(f"{tmpdir}/{b}.json") as f:
         merged[b] = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF
+
+python3 - "$FAULTS_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_faults.json") as f:
+    merged = {"bench_recovery_faults": json.load(f)}
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
