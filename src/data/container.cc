@@ -8,12 +8,24 @@ Result<Container> Container::Create(const TypeRegistry& registry,
                                     const std::string& type_name) {
   EXO_ASSIGN_OR_RETURN(std::vector<TypeRegistry::Leaf> leaves,
                        registry.Flatten(type_name));
-  Container c;
-  c.type_name_ = type_name;
+  auto layout = std::make_shared<Layout>();
+  layout->type_name = type_name;
+  layout->paths.reserve(leaves.size());
+  layout->types.reserve(leaves.size());
+  layout->defaults.reserve(leaves.size());
   for (TypeRegistry::Leaf& leaf : leaves) {
-    c.order_.push_back(leaf.path);
-    c.slots_[leaf.path] = Slot{leaf.type, std::move(leaf.default_value), Value()};
+    layout->index.emplace(leaf.path,
+                          static_cast<uint32_t>(layout->paths.size()));
+    layout->paths.push_back(std::move(leaf.path));
+    layout->types.push_back(leaf.type);
+    layout->defaults.push_back(std::move(leaf.default_value));
   }
+  Container c;
+  // values_ stays empty until the first write: a never-written container
+  // needs no slot storage (reads fall back to the declared defaults), so
+  // copying a fresh container — the hot path in instance spin-up — moves
+  // no values at all.
+  c.layout_ = std::move(layout);
   return c;
 }
 
@@ -23,52 +35,45 @@ Container Container::Default(const TypeRegistry& registry) {
   return std::move(r).value();
 }
 
-Result<ScalarType> Container::TypeOf(const std::string& path) const {
-  auto it = slots_.find(path);
-  if (it == slots_.end()) {
-    return Status::NotFound("no member " + path + " in container of type " +
-                            type_name_);
+Result<uint32_t> Container::SlotOf(const std::string& path) const {
+  if (layout_ != nullptr) {
+    auto it = layout_->index.find(path);
+    if (it != layout_->index.end()) return it->second;
   }
-  return it->second.type;
+  return Status::NotFound("no member " + path + " in container of type " +
+                          type_name());
+}
+
+Result<ScalarType> Container::TypeOf(const std::string& path) const {
+  EXO_ASSIGN_OR_RETURN(uint32_t slot, SlotOf(path));
+  return layout_->types[slot];
 }
 
 Result<Value> Container::Get(const std::string& path) const {
-  auto it = slots_.find(path);
-  if (it == slots_.end()) {
-    return Status::NotFound("no member " + path + " in container of type " +
-                            type_name_);
-  }
-  const Slot& s = it->second;
-  return s.value.is_null() ? s.default_value : s.value;
+  EXO_ASSIGN_OR_RETURN(uint32_t slot, SlotOf(path));
+  if (slot >= values_.size()) return layout_->defaults[slot];
+  const Value& v = values_[slot];
+  return v.is_null() ? layout_->defaults[slot] : v;
 }
 
 Status Container::Set(const std::string& path, const Value& value) {
-  auto it = slots_.find(path);
-  if (it == slots_.end()) {
-    return Status::NotFound("no member " + path + " in container of type " +
-                            type_name_);
-  }
-  Slot& s = it->second;
-  EXO_ASSIGN_OR_RETURN(Value coerced, value.CoerceTo(s.type));
-  s.value = std::move(coerced);
+  EXO_ASSIGN_OR_RETURN(uint32_t slot, SlotOf(path));
+  EXO_ASSIGN_OR_RETURN(Value coerced, value.CoerceTo(layout_->types[slot]));
+  if (values_.size() <= slot) values_.resize(layout_->paths.size());
+  values_[slot] = std::move(coerced);
   return Status::OK();
 }
 
-void Container::Reset() {
-  for (auto& [path, slot] : slots_) {
-    (void)path;
-    slot.value = Value();
-  }
-}
+void Container::Reset() { values_.clear(); }
 
 std::string Container::Serialize() const {
   std::string out;
-  for (const std::string& path : order_) {
-    const Slot& s = slots_.at(path);
-    if (s.value.is_null()) continue;
-    out += path;
+  if (layout_ == nullptr) return out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].is_null()) continue;
+    out += layout_->paths[i];
     out += '=';
-    out += s.value.ToString();
+    out += values_[i].ToString();
     out += '\n';
   }
   return out;
@@ -92,8 +97,8 @@ Status Container::Deserialize(const std::string& image) {
 }
 
 bool Container::operator==(const Container& other) const {
-  if (type_name_ != other.type_name_) return false;
-  for (const std::string& path : order_) {
+  if (type_name() != other.type_name()) return false;
+  for (const std::string& path : paths()) {
     auto a = Get(path);
     auto b = other.Get(path);
     if (!a.ok() || !b.ok()) return false;

@@ -4,7 +4,9 @@
 #ifndef EXOTICA_DATA_CONTAINER_H_
 #define EXOTICA_DATA_CONTAINER_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,14 @@ namespace exotica::data {
 /// Containers are instantiated from a TypeRegistry, which fixes the set of
 /// legal paths and their scalar types. Reads of never-written members yield
 /// the declared default (or null). Writes are type-checked.
+///
+/// The shape (paths, types, defaults, path→slot index) is an immutable
+/// Layout shared by every copy of a container, so copying a container —
+/// the hot operation in instance spin-up, where every activity gets its
+/// input and output containers from a prototype — copies only the flat
+/// value vector and bumps the layout refcount. The value vector itself is
+/// allocated lazily on the first write, so copying a never-written
+/// container moves no values at all.
 class Container {
  public:
   /// Creates a container of shape `type_name`. Fails if the type is
@@ -30,12 +40,20 @@ class Container {
   /// An empty container of the built-in `_Default` shape (RC : LONG = 0).
   static Container Default(const TypeRegistry& registry);
 
-  const std::string& type_name() const { return type_name_; }
+  const std::string& type_name() const {
+    static const std::string kEmpty;
+    return layout_ ? layout_->type_name : kEmpty;
+  }
 
   /// All legal leaf paths, in declaration order.
-  const std::vector<std::string>& paths() const { return order_; }
+  const std::vector<std::string>& paths() const {
+    static const std::vector<std::string> kNone;
+    return layout_ ? layout_->paths : kNone;
+  }
 
-  bool HasPath(const std::string& path) const { return slots_.count(path) > 0; }
+  bool HasPath(const std::string& path) const {
+    return layout_ && layout_->index.count(path) > 0;
+  }
 
   /// Declared scalar type of a leaf. NotFound for unknown paths.
   Result<ScalarType> TypeOf(const std::string& path) const;
@@ -60,15 +78,21 @@ class Container {
   bool operator==(const Container& other) const;
 
  private:
-  struct Slot {
-    ScalarType type;
-    Value default_value;
-    Value value;  // null until written
+  /// Immutable shape, shared across all copies of a container.
+  struct Layout {
+    std::string type_name;
+    std::vector<std::string> paths;  ///< declaration order
+    std::vector<ScalarType> types;
+    std::vector<Value> defaults;
+    std::map<std::string, uint32_t> index;  ///< path → slot
   };
 
-  std::string type_name_;
-  std::map<std::string, Slot> slots_;
-  std::vector<std::string> order_;
+  Result<uint32_t> SlotOf(const std::string& path) const;
+
+  std::shared_ptr<const Layout> layout_;
+  /// One slot per path once anything has been written; empty until then.
+  /// Null (or absent) slots read as the declared default.
+  std::vector<Value> values_;
 };
 
 /// \brief One field-to-field mapping of a data connector.

@@ -49,6 +49,17 @@ NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def) {
     info.join_fan_in = static_cast<uint32_t>(info.in_control.size());
   }
 
+  // Flat eval-slot offsets: connector evaluations live in two
+  // instance-wide arrays (one alloc each per instance, not two per
+  // activity); each activity owns the contiguous range starting at its
+  // base.
+  for (ActivityInfo& info : plan.activities_) {
+    info.in_eval_base = plan.in_eval_total_;
+    info.out_eval_base = plan.out_eval_total_;
+    plan.in_eval_total_ += static_cast<uint32_t>(info.in_control.size());
+    plan.out_eval_total_ += static_cast<uint32_t>(info.out_control.size());
+  }
+
   // Data connectors: per-source fan-out lists plus resolved targets.
   plan.data_.resize(data.size());
   for (uint32_t d = 0; d < data.size(); ++d) {

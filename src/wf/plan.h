@@ -43,6 +43,11 @@ class NavigationPlan {
     std::vector<uint32_t> out_data;
     /// Join fan-in (== in_control.size(), cached for the join decision).
     uint32_t join_fan_in = 0;
+    /// Offsets of this activity's connector-evaluation slots inside the
+    /// instance-wide flat eval arrays (prefix sums of the in/out adjacency
+    /// sizes; see ProcessInstance::in_evals).
+    uint32_t in_eval_base = 0;
+    uint32_t out_eval_base = 0;
     bool manual = false;       ///< StartMode::kManual
     bool block = false;        ///< ActivityKind::kProcess
     bool or_join = false;      ///< JoinKind::kOr
@@ -94,6 +99,11 @@ class NavigationPlan {
   /// deterministic audit ordering).
   const std::vector<uint32_t>& ids_by_name() const { return by_name_; }
 
+  /// Total incoming / outgoing eval slots across all activities — the
+  /// sizes of the instance-wide flat eval arrays.
+  uint32_t in_eval_total() const { return in_eval_total_; }
+  uint32_t out_eval_total() const { return out_eval_total_; }
+
  private:
   std::vector<ActivityInfo> activities_;
   std::vector<ConnectorInfo> connectors_;
@@ -102,6 +112,8 @@ class NavigationPlan {
   std::vector<uint32_t> input_data_;
   std::vector<uint32_t> topo_;
   std::vector<uint32_t> by_name_;
+  uint32_t in_eval_total_ = 0;
+  uint32_t out_eval_total_ = 0;
 };
 
 }  // namespace exotica::wf

@@ -27,6 +27,8 @@ const char* EventTypeName(EventType type) {
     case EventType::kInstanceResumed: return "RESUMED";
     case EventType::kInstanceCancelled: return "CANCELLED";
     case EventType::kInstanceFailed: return "FAILED";
+    case EventType::kInstanceDetached: return "DETACHED";
+    case EventType::kInstanceAdopted: return "ADOPTED";
   }
   return "?";
 }
@@ -70,7 +72,7 @@ Result<Record> Record::Decode(const std::string& line) {
   }
   long type_val = std::strtol(fields[1].c_str(), &end, 10);
   if (end != fields[1].c_str() + fields[1].size() || type_val < 0 ||
-      type_val > static_cast<long>(EventType::kInstanceFailed)) {
+      type_val > static_cast<long>(EventType::kInstanceAdopted)) {
     return Status::Corruption("bad type in journal record: " + line);
   }
   r.type = static_cast<EventType>(type_val);

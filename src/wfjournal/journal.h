@@ -45,6 +45,13 @@ enum class EventType : int {
   kInstanceCancelled = 12, ///< user-initiated termination
   kInstanceFailed = 13,    ///< retry budget exhausted / permanent failure;
                            ///< payload = failure reason
+  kInstanceDetached = 14,  ///< instance migrated away (work stealing);
+                           ///< payload = full instance-family image, so a
+                           ///< handoff that never reached the adopter's
+                           ///< journal can be re-adopted after recovery
+  kInstanceAdopted = 15,   ///< instance migrated in; payload = the same
+                           ///< family image — makes the adopter's journal
+                           ///< self-contained for replay
 };
 
 const char* EventTypeName(EventType type);

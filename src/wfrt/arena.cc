@@ -1,0 +1,43 @@
+#include "wfrt/arena.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "wf/process.h"
+
+namespace exotica::wfrt {
+
+Result<InstanceArena> InstanceArena::Build(
+    const wf::ProcessDefinition& definition, const data::TypeRegistry& types) {
+  // Containers of the same type must share one Layout object: every
+  // instance spun up from this arena bumps the layout refcounts of all
+  // its containers, and one hot, shared layout beats forty cold ones.
+  std::unordered_map<std::string, data::Container> protos;
+  auto make = [&](const std::string& type) -> Result<data::Container> {
+    auto it = protos.find(type);
+    if (it == protos.end()) {
+      EXO_ASSIGN_OR_RETURN(data::Container proto,
+                           data::Container::Create(types, type));
+      it = protos.emplace(type, std::move(proto)).first;
+    }
+    return it->second;
+  };
+
+  InstanceArena arena;
+  EXO_ASSIGN_OR_RETURN(arena.input_, make(definition.input_type()));
+  EXO_ASSIGN_OR_RETURN(arena.output_, make(definition.output_type()));
+
+  const wf::NavigationPlan& plan = definition.plan();
+  const std::vector<wf::Activity>& acts = definition.activities();
+  uint32_t n = plan.activity_count();
+  arena.activities_.resize(n);
+  for (uint32_t aid = 0; aid < n; ++aid) {
+    ActivityRuntime& rt = arena.activities_[aid];
+    EXO_ASSIGN_OR_RETURN(rt.input, make(acts[aid].input_type));
+    EXO_ASSIGN_OR_RETURN(rt.output, make(acts[aid].output_type));
+  }
+  return arena;
+}
+
+}  // namespace exotica::wfrt

@@ -1,0 +1,64 @@
+// Per-plan instance spin-up arena.
+//
+// Instance initialization used to walk the engine's prototype map once per
+// activity container (two lookups + a container construction per activity,
+// per instance). The arena precomputes, once per process definition, a
+// fully preformatted image of the whole ActivityRuntime vector — every
+// input/output container instantiated — plus the process input/output
+// containers. Starting (or adopting) an instance then reduces to copying
+// that image: with the lazy-valued flat-layout containers this is a
+// handful of vector copies sharing the immutable container layouts (and
+// two flat connector-eval arrays sized per instance), instead of a
+// prototype-map walk per activity.
+//
+// Arenas are immutable after Build and hold no pointers into the engine,
+// so a fleet's engines could share one arena per definition; the engine
+// currently builds its own lazily on first use (per-engine memory, no
+// cross-thread coordination).
+
+#ifndef EXOTICA_WFRT_ARENA_H_
+#define EXOTICA_WFRT_ARENA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/container.h"
+#include "data/types.h"
+#include "wfrt/instance.h"
+
+namespace exotica::wf {
+class ProcessDefinition;
+}  // namespace exotica::wf
+
+namespace exotica::wfrt {
+
+/// \brief Preformatted spin-up image for one ProcessDefinition.
+class InstanceArena {
+ public:
+  /// Builds the image: one ActivityRuntime per activity with containers
+  /// instantiated from `types` (same-typed containers share one layout).
+  static Result<InstanceArena> Build(const wf::ProcessDefinition& definition,
+                                     const data::TypeRegistry& types);
+
+  /// Process input/output container prototypes.
+  const data::Container& input() const { return input_; }
+  const data::Container& output() const { return output_; }
+
+  /// The preformatted ActivityRuntime image, indexed by activity id.
+  const std::vector<ActivityRuntime>& activities() const {
+    return activities_;
+  }
+
+  uint32_t activity_count() const {
+    return static_cast<uint32_t>(activities_.size());
+  }
+
+ private:
+  data::Container input_;
+  data::Container output_;
+  std::vector<ActivityRuntime> activities_;
+};
+
+}  // namespace exotica::wfrt
+
+#endif  // EXOTICA_WFRT_ARENA_H_

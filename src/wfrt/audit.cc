@@ -25,6 +25,8 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kRetryBackoff: return "retry-backoff";
     case AuditKind::kPermanentFailure: return "permanent-failure";
     case AuditKind::kInstanceFailed: return "instance-failed";
+    case AuditKind::kInstanceDetached: return "instance-detached";
+    case AuditKind::kInstanceAdopted: return "instance-adopted";
   }
   return "?";
 }
@@ -38,6 +40,8 @@ std::string AuditEvent::Compact() const {
     case AuditKind::kInstanceStarted:
     case AuditKind::kInstanceFinished:
     case AuditKind::kInstanceFailed:
+    case AuditKind::kInstanceDetached:
+    case AuditKind::kInstanceAdopted:
       return instance + ":" + AuditKindName(kind);
     default:
       return activity + ":" + AuditKindName(kind);

@@ -35,6 +35,8 @@ enum class AuditKind : int {
   kRetryBackoff,       ///< crash retry delayed; detail = wait in micros
   kPermanentFailure,   ///< program error classified permanent (no retry)
   kInstanceFailed,     ///< instance quarantined; detail = reason
+  kInstanceDetached,   ///< instance migrated away; detail = family size
+  kInstanceAdopted,    ///< instance migrated in; detail = family size
 };
 
 const char* AuditKindName(AuditKind kind);

@@ -106,7 +106,7 @@ void Engine::Audit(AuditKind kind, const std::string& instance,
 }
 
 std::string Engine::NewInstanceId() {
-  return "wf-" + std::to_string(next_instance_++);
+  return options_.instance_id_prefix + "wf-" + std::to_string(next_instance_++);
 }
 
 Result<ProcessInstance*> Engine::MutableInstance(const std::string& id) {
@@ -246,20 +246,38 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
   return id;
 }
 
+Result<const InstanceArena*> Engine::ArenaFor(const wf::ProcessDefinition* def) {
+  auto it = arenas_.find(def);
+  if (it == arenas_.end()) {
+    EXO_ASSIGN_OR_RETURN(InstanceArena arena,
+                         InstanceArena::Build(*def, definitions_->types()));
+    it = arenas_.emplace(def, std::move(arena)).first;
+  }
+  return &it->second;
+}
+
 Status Engine::InitializeRuntimes(ProcessInstance* inst) {
   const wf::NavigationPlan& plan = *inst->plan;
-  const std::vector<wf::Activity>& acts = inst->definition->activities();
   uint32_t n = plan.activity_count();
-  inst->activities.resize(n);
-  inst->enqueued.assign(n, 0);
-  for (uint32_t aid = 0; aid < n; ++aid) {
-    ActivityRuntime& rt = inst->activities[aid];
-    EXO_ASSIGN_OR_RETURN(rt.input, NewContainer(acts[aid].input_type));
-    EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(acts[aid].output_type));
-    const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
-    rt.incoming_eval.assign(info.in_control.size(), -1);
-    rt.outgoing_eval.assign(info.out_control.size(), -1);
+  if (options_.spinup_arena) {
+    // One vector copy of the preformatted image; the flat-layout
+    // containers inside share their immutable layouts by refcount.
+    EXO_ASSIGN_OR_RETURN(const InstanceArena* arena,
+                         ArenaFor(inst->definition));
+    inst->activities = arena->activities();
+    ++stats_.arena_spinups;
+  } else {
+    const std::vector<wf::Activity>& acts = inst->definition->activities();
+    inst->activities.resize(n);
+    for (uint32_t aid = 0; aid < n; ++aid) {
+      ActivityRuntime& rt = inst->activities[aid];
+      EXO_ASSIGN_OR_RETURN(rt.input, NewContainer(acts[aid].input_type));
+      EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(acts[aid].output_type));
+    }
   }
+  inst->in_evals.assign(plan.in_eval_total(), -1);
+  inst->out_evals.assign(plan.out_eval_total(), -1);
+  inst->enqueued.assign(n, 0);
   // Process-input data connectors materialize target inputs immediately.
   for (uint32_t d : plan.input_data()) {
     const wf::DataConnector& dc = inst->definition->data_connectors()[d];
@@ -319,8 +337,11 @@ void Engine::Enqueue(ProcessInstance* inst, uint32_t aid) {
   ready_queue_.emplace_back(inst->index, aid);
 }
 
-Status Engine::Drain() {
+Status Engine::Drain(int limit) {
+  int steps = 0;
   while (!ready_queue_.empty()) {
+    if (limit > 0 && steps >= limit) break;
+    ++steps;
     auto [index, aid] = ready_queue_.front();
     ready_queue_.pop_front();
 
@@ -328,6 +349,7 @@ Status Engine::Drain() {
     inst->enqueued[aid] = 0;
     if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
     if (inst->failed) continue;     // quarantined
+    if (inst->detached) continue;   // migrated away; slot is a husk
     if (inst->activities[aid].state != ActivityState::kReady) {
       continue;  // stale entry
     }
@@ -337,8 +359,15 @@ Status Engine::Drain() {
 }
 
 Status Engine::Run() {
-  Status st = Drain();
+  Status st = Drain(0);
   Status fs = FlushJournal();
+  return st.ok() ? fs : st;
+}
+
+Status Engine::RunSlice(int max_steps, bool* quiescent) {
+  Status st = Drain(max_steps);
+  Status fs = FlushJournal();
+  if (quiescent != nullptr) *quiescent = ready_queue_.empty();
   return st.ok() ? fs : st;
 }
 
@@ -652,8 +681,8 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
     const wf::NavigationPlan::ConnectorInfo& ci = plan.connector(cidx);
     if (ci.is_otherwise) continue;
     bool value;
-    if (rt.outgoing_eval[slot] >= 0) {
-      value = rt.outgoing_eval[slot] != 0;
+    if (inst->out_evals[info.out_eval_base + slot] >= 0) {
+      value = inst->out_evals[info.out_eval_base + slot] != 0;
     } else {
       if (all_false) {
         value = false;
@@ -674,7 +703,7 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
           value = r.value();
         }
       }
-      rt.outgoing_eval[slot] = value ? 1 : 0;
+      inst->out_evals[info.out_eval_base + slot] = value ? 1 : 0;
       ++stats_.connectors_evaluated;
       const wf::ControlConnector& c = connectors[cidx];
       EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
@@ -690,9 +719,9 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
     uint32_t cidx = info.out_control[slot];
     if (!plan.connector(cidx).is_otherwise) continue;
-    if (rt.outgoing_eval[slot] >= 0) continue;
+    if (inst->out_evals[info.out_eval_base + slot] >= 0) continue;
     bool value = all_false ? false : !any_true;
-    rt.outgoing_eval[slot] = value ? 1 : 0;
+    inst->out_evals[info.out_eval_base + slot] = value ? 1 : 0;
     ++stats_.connectors_evaluated;
     const wf::ControlConnector& c = connectors[cidx];
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
@@ -713,7 +742,7 @@ Status Engine::DeliverSignal(ProcessInstance* inst, uint32_t connector_index,
   const wf::NavigationPlan::ConnectorInfo& ci =
       inst->plan->connector(connector_index);
   ActivityRuntime& rt = inst->activities[ci.to];
-  rt.incoming_eval[ci.in_slot] = value ? 1 : 0;
+  inst->in_eval(ci.to, ci.in_slot) = value ? 1 : 0;
   if (rt.state != ActivityState::kWaiting) return Status::OK();
   return ApplyJoin(inst, ci.to);
 }
@@ -731,7 +760,8 @@ Status Engine::ApplyJoin(ProcessInstance* inst, uint32_t aid) {
   // which breaks the reverse-order compensation pattern of the paper's
   // Figure 2.
   uint32_t evaluated = 0, trues = 0;
-  for (int8_t v : rt.incoming_eval) {
+  for (uint32_t s = 0; s < info.join_fan_in; ++s) {
+    int8_t v = inst->in_evals[info.in_eval_base + s];
     if (v < 0) continue;
     ++evaluated;
     trues += static_cast<uint32_t>(v);
@@ -1039,6 +1069,282 @@ Status Engine::ApplyCancel(ProcessInstance* inst) {
   return Status::OK();
 }
 
+// --- instance migration (work stealing) ------------------------------------------
+
+size_t Engine::unfinished_top_level() const {
+  size_t n = 0;
+  for (const ProcessInstance& inst : instances_) {
+    if (!inst.is_child() && !inst.finished && !inst.failed && !inst.detached) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Result<std::string> Engine::PickDetachable() const {
+  if (ready_queue_.empty()) {
+    return Status::NotFound("ready queue is empty");
+  }
+  auto root_of = [this](uint32_t index) -> const ProcessInstance* {
+    const ProcessInstance* p = &instances_[index];
+    while (p->is_child()) {
+      auto it = instance_index_.find(p->parent_instance);
+      if (it == instance_index_.end()) return nullptr;
+      p = &instances_[it->second];
+    }
+    return p;
+  };
+  auto family_size = [this](const ProcessInstance* root) -> size_t {
+    std::vector<const ProcessInstance*> frontier = {root};
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (const ActivityRuntime& rt : frontier[i]->activities) {
+        if (rt.child_instance.empty()) continue;
+        auto it = instance_index_.find(rt.child_instance);
+        if (it == instance_index_.end()) continue;
+        frontier.push_back(&instances_[it->second]);
+      }
+    }
+    return frontier.size();
+  };
+  // The head family stays: the victim is about to execute it, so stealing
+  // it would hand over the hottest cache lines and leave the victim idle.
+  // Among the rest, prefer the *smallest* family: it is the cheapest to
+  // serialize, and a deep block tree signals an expensive computation in
+  // flight that is better finished where it lives than re-homed mid-run.
+  const ProcessInstance* head = root_of(ready_queue_.front().first);
+  const ProcessInstance* best = nullptr;
+  size_t best_size = 0;
+  for (auto it = ready_queue_.rbegin(); it != ready_queue_.rend(); ++it) {
+    const ProcessInstance* root = root_of(it->first);
+    if (root == nullptr || root == head || root == best) continue;
+    if (root->finished || root->failed || root->detached || root->suspended) {
+      continue;
+    }
+    size_t size = family_size(root);
+    if (best == nullptr || size < best_size) {
+      best = root;
+      best_size = size;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("ready queue holds a single instance family");
+  }
+  return best->id;
+}
+
+Status Engine::CollectFamily(ProcessInstance* root,
+                             std::vector<ProcessInstance*>* family) {
+  family->push_back(root);
+  // Breadth-first, so parents always precede their children in the image
+  // list — the order Adopt materializes them in.
+  for (size_t i = 0; i < family->size(); ++i) {
+    ProcessInstance* m = (*family)[i];
+    for (const ActivityRuntime& rt : m->activities) {
+      if (rt.child_instance.empty()) continue;
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* child,
+                           MutableInstance(rt.child_instance));
+      family->push_back(child);
+    }
+  }
+  return Status::OK();
+}
+
+void Engine::ReleaseSlot(ProcessInstance* inst) {
+  inst->detached = true;
+  std::fill(inst->enqueued.begin(), inst->enqueued.end(), 0);
+  instance_index_.erase(inst->id);
+  instance_order_.erase(
+      std::remove(instance_order_.begin(), instance_order_.end(), inst->id),
+      instance_order_.end());
+}
+
+Result<DetachedInstance> Engine::Detach(const std::string& instance_id) {
+  EXO_ASSIGN_OR_RETURN(ProcessInstance* root, MutableInstance(instance_id));
+  if (root->is_child()) {
+    return Status::InvalidArgument("detach the top-level instance, not block child " +
+                                   instance_id);
+  }
+  if (root->finished) {
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " already finished");
+  }
+  if (root->failed) {
+    // Quarantine is engine-local state (FailedInstances); migrating a
+    // quarantined instance would strand its failure record.
+    return Status::FailedPrecondition("instance " + instance_id +
+                                      " is quarantined; it stays put");
+  }
+  std::vector<ProcessInstance*> family;
+  EXO_RETURN_NOT_OK(CollectFamily(root, &family));
+  for (ProcessInstance* m : family) {
+    for (uint32_t aid = 0; aid < m->activities.size(); ++aid) {
+      const ActivityRuntime& rt = m->activities[aid];
+      if (rt.work_item.has_value()) {
+        return Status::FailedPrecondition(
+            "instance " + instance_id +
+            " has posted work items; manual work does not migrate");
+      }
+      if (rt.state == ActivityState::kRunning &&
+          !m->plan->activity(aid).block) {
+        // A Pending program will report back to *this* engine
+        // (CompleteAsync); migrating underneath it would lose the report.
+        return Status::FailedPrecondition(
+            "instance " + instance_id +
+            " has an in-flight asynchronous program");
+      }
+    }
+  }
+
+  DetachedInstance detached;
+  detached.root_id = instance_id;
+  detached.images.reserve(family.size());
+  for (ProcessInstance* m : family) {
+    detached.images.push_back(EncodeInstanceImage(*m));
+  }
+  // Journal + flush the full image *before* releasing the slots: if the
+  // handoff dies between here and the adopter's journal, recovery replays
+  // this record into detached_images_ and the fleet re-adopts from there.
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceDetached,
+                                  instance_id, "", "", false,
+                                  detached.EncodePayload()));
+  EXO_RETURN_NOT_OK(FlushJournal());
+  for (ProcessInstance* m : family) ReleaseSlot(m);
+  ready_queue_.erase(
+      std::remove_if(ready_queue_.begin(), ready_queue_.end(),
+                     [this](const std::pair<uint32_t, uint32_t>& e) {
+                       return instances_[e.first].detached;
+                     }),
+      ready_queue_.end());
+  ++stats_.instances_detached;
+  Audit(AuditKind::kInstanceDetached, instance_id, "",
+        std::to_string(family.size()) + " instances");
+  return detached;
+}
+
+Status Engine::Adopt(const DetachedInstance& detached) {
+  // Materialize first: a rejected image must leave no trace in the
+  // journal, or replay would fail on the same bad record forever.
+  // Materialization emits no navigation records, so appending the adopt
+  // record afterwards still keeps this journal self-contained — every
+  // later record for the family lands after it.
+  EXO_RETURN_NOT_OK(ApplyAdopt(detached));
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kInstanceAdopted,
+                                  detached.root_id, "", "", false,
+                                  detached.EncodePayload()));
+  return FlushJournal();
+}
+
+Status Engine::ApplyAdopt(const DetachedInstance& detached) {
+  // Decode and validate everything before touching engine state, so a bad
+  // image cannot leave a half-adopted family behind.
+  std::vector<InstanceImage> images;
+  images.reserve(detached.images.size());
+  for (const std::string& encoded : detached.images) {
+    EXO_ASSIGN_OR_RETURN(InstanceImage image, DecodeInstanceImage(encoded));
+    if (instance_index_.count(image.id) > 0) {
+      return Status::FailedPrecondition("instance id collision adopting " +
+                                        image.id +
+                                        " (fleet id prefixes not set?)");
+    }
+    EXO_RETURN_NOT_OK(definitions_
+                          ->FindProcessVersion(image.process_name,
+                                               image.version)
+                          .status());
+    images.push_back(std::move(image));
+  }
+  if (images.empty() || images[0].id != detached.root_id) {
+    return Status::InvalidArgument("detached payload root mismatch for " +
+                                   detached.root_id);
+  }
+  for (const InstanceImage& image : images) {
+    EXO_RETURN_NOT_OK(MaterializeImage(image));
+  }
+  ++stats_.instances_stolen;
+  Audit(AuditKind::kInstanceAdopted, detached.root_id, "",
+        std::to_string(images.size()) + " instances");
+  return Status::OK();
+}
+
+Status Engine::MaterializeImage(const InstanceImage& image) {
+  EXO_ASSIGN_OR_RETURN(
+      const wf::ProcessDefinition* def,
+      definitions_->FindProcessVersion(image.process_name, image.version));
+  ProcessInstance inst;
+  inst.id = image.id;
+  inst.definition = def;
+  inst.plan = &def->plan();
+  inst.parent_instance = image.parent_instance;
+  inst.parent_activity = image.parent_activity;
+  EXO_ASSIGN_OR_RETURN(inst.input, NewContainer(def->input_type()));
+  EXO_RETURN_NOT_OK(inst.input.Deserialize(image.input_image));
+  EXO_ASSIGN_OR_RETURN(inst.output, NewContainer(def->output_type()));
+  EXO_RETURN_NOT_OK(inst.output.Deserialize(image.output_image));
+
+  uint32_t index = static_cast<uint32_t>(instances_.size());
+  inst.index = index;
+  instances_.push_back(std::move(inst));
+  instance_index_.emplace(image.id, index);
+  instance_order_.push_back(image.id);
+  ProcessInstance* p = &instances_[index];
+  // Arena spin-up, then overlay the imaged state on the fresh runtimes.
+  EXO_RETURN_NOT_OK(InitializeRuntimes(p));
+  if (image.activities.size() != p->activities.size()) {
+    return Status::Corruption("instance image for " + image.id + " has " +
+                              std::to_string(image.activities.size()) +
+                              " activities; definition has " +
+                              std::to_string(p->activities.size()));
+  }
+  for (uint32_t aid = 0; aid < p->activities.size(); ++aid) {
+    const InstanceImage::ActivityImage& a = image.activities[aid];
+    ActivityRuntime& rt = p->activities[aid];
+    const wf::NavigationPlan::ActivityInfo& info = p->plan->activity(aid);
+    if (a.incoming_eval.size() != info.in_control.size() ||
+        a.outgoing_eval.size() != info.out_control.size()) {
+      return Status::Corruption("connector-evaluation arity mismatch in image of " +
+                                image.id);
+    }
+    p->SetState(aid, static_cast<ActivityState>(a.state));
+    rt.attempt = a.attempt;
+    rt.failures = a.failures;
+    rt.child_instance = a.child_instance;
+    std::copy(a.incoming_eval.begin(), a.incoming_eval.end(),
+              p->in_evals.begin() + info.in_eval_base);
+    std::copy(a.outgoing_eval.begin(), a.outgoing_eval.end(),
+              p->out_evals.begin() + info.out_eval_base);
+    EXO_RETURN_NOT_OK(rt.input.Deserialize(a.input_image));
+    EXO_RETURN_NOT_OK(rt.output.Deserialize(a.output_image));
+  }
+  p->finished = image.finished;
+  p->cancelled = image.cancelled;
+  p->failed = image.failed;
+  p->suspended = image.suspended;
+  p->failure_reason = image.failure_reason;
+  p->retries_used = image.retries_used;
+
+  // During journal replay, later records (and ResumeAfterReplay) drive the
+  // family onward; live adoption re-dispatches the ready work here.
+  if (!recovering_ && !p->suspended && !p->finished && !p->failed) {
+    uint32_t n = p->plan->activity_count();
+    for (uint32_t aid = 0; aid < n; ++aid) {
+      if (p->activities[aid].state == ActivityState::kReady &&
+          !p->plan->activity(aid).manual) {
+        Enqueue(p, aid);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<DetachedInstance> Engine::TakeDetachedImage(const std::string& root_id) {
+  auto it = detached_images_.find(root_id);
+  if (it == detached_images_.end()) {
+    return Status::NotFound("no retained detach image for " + root_id);
+  }
+  DetachedInstance detached = std::move(it->second);
+  detached_images_.erase(it);
+  return detached;
+}
+
 // --- recovery --------------------------------------------------------------------
 
 Status Engine::Recover() {
@@ -1066,8 +1372,11 @@ Status Engine::Recover() {
     ProcessInstance* inst = &instances_[i];
     // Suspended instances stay parked; ResumeSuspended re-dispatches them.
     // Suspension only happens at navigation quiescence, so they have no
-    // interrupted steps to complete. Quarantined instances are terminal.
-    if (inst->finished || inst->failed || inst->suspended) continue;
+    // interrupted steps to complete. Quarantined instances are terminal,
+    // and detached husks belong to whichever engine adopted them.
+    if (inst->finished || inst->failed || inst->suspended || inst->detached) {
+      continue;
+    }
     EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst),
                           "resuming instance " + inst->id);
   }
@@ -1110,10 +1419,16 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       instance_order_.push_back(r.instance);
       ++stats_.instances_started;
       EXO_RETURN_NOT_OK(InitializeRuntimes(&instances_[index]));
-      // Restore the id counter past any "wf-N" id seen.
-      if (StartsWith(r.instance, "wf-")) {
-        uint64_t n = std::strtoull(r.instance.c_str() + 3, nullptr, 10);
-        if (n + 1 > next_instance_) next_instance_ = n + 1;
+      // Restore the id counter past any "<prefix>wf-N" id seen. Foreign
+      // prefixes (adopted instances) never collide with ours, so only our
+      // own prefix advances the counter.
+      std::string_view local = r.instance;
+      if (StartsWith(local, options_.instance_id_prefix)) {
+        local.remove_prefix(options_.instance_id_prefix.size());
+        if (StartsWith(local, "wf-")) {
+          uint64_t n = std::strtoull(local.data() + 3, nullptr, 10);
+          if (n + 1 > next_instance_) next_instance_ = n + 1;
+        }
       }
       // Wire the parent's block activity to this child.
       if (!r.to.empty()) {
@@ -1182,9 +1497,8 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
           if (connectors[cidx].to != r.to) continue;
           const wf::NavigationPlan::ConnectorInfo& ci =
               inst->plan->connector(cidx);
-          inst->activities[ci.from].outgoing_eval[ci.out_slot] =
-              r.flag ? 1 : 0;
-          inst->activities[ci.to].incoming_eval[ci.in_slot] = r.flag ? 1 : 0;
+          inst->out_eval(ci.from, ci.out_slot) = r.flag ? 1 : 0;
+          inst->in_eval(ci.to, ci.in_slot) = r.flag ? 1 : 0;
           return Status::OK();
         }
       }
@@ -1216,6 +1530,31 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
     case EventType::kInstanceFailed: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
       return ApplyFailed(inst, r.payload);
+    }
+    case EventType::kInstanceDetached: {
+      EXO_ASSIGN_OR_RETURN(
+          DetachedInstance detached,
+          DetachedInstance::DecodePayload(r.instance, r.payload));
+      for (const std::string& encoded : detached.images) {
+        EXO_ASSIGN_OR_RETURN(InstanceImage image, DecodeInstanceImage(encoded));
+        auto it = instance_index_.find(image.id);
+        if (it == instance_index_.end()) {
+          return Status::Corruption("DETACHED for unknown instance " +
+                                    image.id);
+        }
+        ReleaseSlot(&instances_[it->second]);
+      }
+      ++stats_.instances_detached;
+      // Retain the image: if no engine's journal shows the adopt, the
+      // handoff died in flight and the fleet re-adopts from here.
+      detached_images_[r.instance] = std::move(detached);
+      return Status::OK();
+    }
+    case EventType::kInstanceAdopted: {
+      EXO_ASSIGN_OR_RETURN(
+          DetachedInstance detached,
+          DetachedInstance::DecodePayload(r.instance, r.payload));
+      return ApplyAdopt(detached);
     }
   }
   return Status::Corruption("unknown journal record type");

@@ -31,8 +31,10 @@
 #include "org/worklist.h"
 #include "wf/process.h"
 #include "wfjournal/journal.h"
+#include "wfrt/arena.h"
 #include "wfrt/audit.h"
 #include "wfrt/instance.h"
+#include "wfrt/migrate.h"
 #include "wfrt/program.h"
 
 namespace exotica::wfrt {
@@ -113,6 +115,16 @@ struct EngineOptions {
   /// grow memory without bound.
   size_t max_audit_events = 0;
 
+  /// Prepended to every generated instance id ("wf-N" becomes
+  /// "<prefix>wf-N"). Fleets with work stealing enabled give each engine a
+  /// distinct prefix so an instance id stays unique after migration.
+  std::string instance_id_prefix;
+
+  /// Spin instances up by copying a per-definition preformatted image
+  /// (InstanceArena) instead of walking the container prototype map once
+  /// per activity. Off = the legacy walk (kept for A/B benchmarking).
+  bool spinup_arena = true;
+
   /// Clock for worklist deadlines and audit timestamps.
   const Clock* clock = nullptr;  ///< defaults to SystemClock
 };
@@ -131,6 +143,10 @@ struct EngineStats {
   uint64_t backoff_wait_micros = 0;///< total delay across backoff_waits
   uint64_t permanent_failures = 0; ///< errors classified permanent
   uint64_t instances_failed = 0;   ///< top-level instances quarantined
+  uint64_t instances_detached = 0; ///< families migrated away (victim side)
+  uint64_t instances_stolen = 0;   ///< families adopted (thief side)
+  uint64_t steals_failed = 0;      ///< steal attempts that found nothing
+  uint64_t arena_spinups = 0;      ///< instances spun up from an arena image
 };
 
 /// \brief The navigator.
@@ -164,6 +180,12 @@ class Engine {
   /// Executes automatic activities until quiescent: every instance is
   /// finished or blocked on manual work items.
   Status Run();
+
+  /// Bounded Run(): pops at most `max_steps` ready-queue entries, then
+  /// flushes the journal and reports whether the queue drained. The fleet's
+  /// work-stealing driver runs engines in slices so steal requests are
+  /// served at bounded latency; `max_steps <= 0` behaves like Run().
+  Status RunSlice(int max_steps, bool* quiescent);
 
   /// Convenience: StartProcess + Run; fails if the instance stalls on
   /// manual work. Returns the instance id.
@@ -258,6 +280,45 @@ class Engine {
   /// `cancelled` state without continuing into successors.
   Status CancelInstance(const std::string& instance_id);
 
+  // --- instance migration (work stealing) ------------------------------------
+
+  /// Picks a top-level instance suitable for Detach: the tail-most ready
+  /// family that is not the one at the head of the queue, so the victim
+  /// always keeps work. NotFound when the queue holds fewer than two
+  /// distinct families.
+  Result<std::string> PickDetachable() const;
+
+  /// Detaches a top-level instance and its block-child subtree for
+  /// migration to another engine. Journals the full family image
+  /// (kInstanceDetached) and flushes before releasing it, so a handoff
+  /// that crashes mid-flight is recoverable from this journal; the local
+  /// slots become dead husks (ready-queue entries purged, ids unindexed).
+  /// Refuses block children, finished/quarantined/already-detached
+  /// instances, posted work items, and in-flight asynchronous programs.
+  Result<DetachedInstance> Detach(const std::string& instance_id);
+
+  /// Adopts a detached family: journals the image (kInstanceAdopted, so
+  /// this journal replays self-contained), materializes every member via
+  /// the spin-up arena, overlays the imaged state, and enqueues ready
+  /// automatic activities. Fails without touching engine state on
+  /// malformed images, unknown definitions, or id collisions.
+  Status Adopt(const DetachedInstance& detached);
+
+  /// Depth of the ready queue — the load metric workers publish to the
+  /// fleet's steal coordinator.
+  size_t ready_depth() const { return ready_queue_.size(); }
+
+  /// Top-level instances that are neither finished, failed, nor detached.
+  size_t unfinished_top_level() const;
+
+  /// Counts a steal attempt that came back empty (stats only).
+  void NoteStealFailed() { ++stats_.steals_failed; }
+
+  /// Surrenders the retained image of an instance this engine detached
+  /// before a crash, as recovered from the journal. The fleet re-adopts a
+  /// dangling handoff from here when no engine's journal shows the adopt.
+  Result<DetachedInstance> TakeDetachedImage(const std::string& root_id);
+
   // --- recovery ---------------------------------------------------------------
 
   /// Rebuilds all instances from the attached journal (replay), then
@@ -297,9 +358,29 @@ class Engine {
                                      const std::string& parent_instance,
                                      const std::string& parent_activity);
 
-  /// Allocates runtime state for every activity and applies process-input
+  /// Allocates runtime state for every activity (arena copy, or the legacy
+  /// prototype walk when spinup_arena is off) and applies process-input
   /// data connectors.
   Status InitializeRuntimes(ProcessInstance* inst);
+
+  /// Lazily built per-definition spin-up image.
+  Result<const InstanceArena*> ArenaFor(const wf::ProcessDefinition* def);
+
+  /// Root + block-child subtree, parents before children.
+  Status CollectFamily(ProcessInstance* root,
+                       std::vector<ProcessInstance*>* family);
+
+  /// Decode + validate + materialize a detached family; shared by Adopt
+  /// and kInstanceAdopted replay (journaling is the caller's business).
+  Status ApplyAdopt(const DetachedInstance& detached);
+
+  /// Rebuilds one family member from its image via the arena, overlays the
+  /// imaged state, and (outside recovery) enqueues its ready activities.
+  Status MaterializeImage(const InstanceImage& image);
+
+  /// Marks a family member's slot as a dead husk: detached flag, purged
+  /// ready-queue entries, id unindexed.
+  void ReleaseSlot(ProcessInstance* inst);
 
   Status ReadyStartActivities(ProcessInstance* inst);
   Status MakeReady(ProcessInstance* inst, uint32_t aid);
@@ -310,8 +391,9 @@ class Engine {
   Status PostWorkItem(ProcessInstance* inst, uint32_t aid,
                       const char* no_worklists_error);
 
-  /// Drains the ready queue (the body of Run(), sans journal flush).
-  Status Drain();
+  /// Drains the ready queue (the body of Run(), sans journal flush);
+  /// `limit > 0` bounds the number of entries popped.
+  Status Drain(int limit);
 
   /// Runs one ready activity (program call or block spawn).
   Status StartExecution(ProcessInstance* inst, uint32_t aid,
@@ -398,6 +480,11 @@ class Engine {
   std::deque<std::pair<uint32_t, uint32_t>> ready_queue_;
 
   std::unordered_map<std::string, data::Container> container_protos_;
+  std::unordered_map<const wf::ProcessDefinition*, InstanceArena> arenas_;
+
+  /// Images of families this engine detached, retained during journal
+  /// replay for dangling-handoff recovery (TakeDetachedImage).
+  std::map<std::string, DetachedInstance> detached_images_;
 
   AuditTrail audit_;
   AuditObserver observer_;

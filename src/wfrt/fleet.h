@@ -8,6 +8,18 @@
 // resources the bound programs touch (e.g. multidatabase sites). This is
 // the FlowMark deployment model in miniature: navigation is per-server,
 // the contended resources are the data sites.
+//
+// Two batch schedulers:
+//
+//   - static: seeds are assigned up front by current queue depth (a fresh
+//     fleet degenerates to round-robin) and each worker drives its own
+//     share to completion, never touching another engine;
+//   - work stealing (default): workers run their engines in bounded
+//     slices, publish their ready depth to a coordinator, and when idle
+//     steal a whole instance *family* from the most-loaded peer via
+//     Engine::Detach/Adopt. All cross-thread traffic flows through one
+//     mutex-protected coordinator; engines themselves stay
+//     single-threaded.
 
 #ifndef EXOTICA_WFRT_FLEET_H_
 #define EXOTICA_WFRT_FLEET_H_
@@ -22,6 +34,18 @@
 
 namespace exotica::wfrt {
 
+/// \brief Fleet-level scheduling knobs.
+struct FleetOptions {
+  /// Idle workers steal instance families from loaded peers. Gives every
+  /// engine a distinct instance-id prefix ("e<i>:") so ids stay unique
+  /// across migration.
+  bool work_stealing = true;
+
+  /// Ready-queue pops a worker executes between steal-coordination
+  /// checks. Smaller = lower steal latency, more coordination overhead.
+  int steal_slice = 32;
+};
+
 /// \brief A set of independent engines driven by worker threads.
 class EngineFleet {
  public:
@@ -29,15 +53,16 @@ class EngineFleet {
   /// mutated while a batch runs. Program callables must be thread-safe.
   EngineFleet(const wf::DefinitionStore* definitions,
               ProgramRegistry* programs, int engines,
-              EngineOptions options = {});
+              EngineOptions options = {}, FleetOptions fleet_options = {});
 
   int size() const { return static_cast<int>(engines_.size()); }
   Engine* engine(int i) { return engines_[static_cast<size_t>(i)].get(); }
+  const FleetOptions& fleet_options() const { return fleet_; }
 
   /// \brief One instance that did not finish cleanly in a batch.
   struct InstanceError {
-    int engine = 0;      ///< index of the engine that ran it
-    std::string id;      ///< instance id (engine-local "wf-N" namespace)
+    int engine = 0;      ///< index of the engine that ran (finished) it
+    std::string id;      ///< instance id
     std::string error;   ///< quarantine reason / stall description
   };
 
@@ -61,14 +86,40 @@ class EngineFleet {
     }
   };
 
-  /// Starts `count` instances of `process_name`, spread round-robin over
-  /// the engines, and drives them to completion in parallel (one thread
-  /// per engine). Instances must not stall on manual work.
+  /// \brief One instance to start in a batch: a process name plus an
+  /// optional input container (null = process defaults). The pointer must
+  /// outlive RunBatch.
+  struct BatchSeed {
+    std::string process;
+    const data::Container* input = nullptr;
+  };
+
+  /// Starts `count` instances of `process_name`, spread over the engines
+  /// by current queue depth, and drives them to completion in parallel
+  /// (one thread per engine, work stealing per FleetOptions). Instances
+  /// must not stall on manual work.
   Result<BatchResult> RunBatch(const std::string& process_name, int count,
                                const data::Container* input = nullptr);
 
+  /// Heterogeneous batch: one instance per seed. This is where stealing
+  /// earns its keep — a batch mixing heavy and light processes no longer
+  /// bounds the wall clock by whichever engine drew the heavy ones.
+  Result<BatchResult> RunBatch(const std::vector<BatchSeed>& seeds);
+
  private:
+  /// Greedy depth-aware seed assignment (satisfies argmin of current
+  /// unfinished load + already-assigned count); fresh fleets degenerate
+  /// to round-robin without the old low-index remainder bias.
+  std::vector<std::vector<const BatchSeed*>> AssignSeeds(
+      const std::vector<BatchSeed>& seeds) const;
+
+  void RunStatic(const std::vector<std::vector<const BatchSeed*>>& assigned,
+                 BatchResult* result);
+  void RunStealing(const std::vector<std::vector<const BatchSeed*>>& assigned,
+                   BatchResult* result);
+
   const wf::DefinitionStore* definitions_;
+  FleetOptions fleet_;
   std::vector<std::unique_ptr<Engine>> engines_;
 };
 

@@ -1,9 +1,10 @@
 // Runtime state of process instances.
 //
 // Activity state is held in a dense vector indexed by the compiled plan's
-// activity ids; connector evaluations are small slot-indexed vectors
-// (slots come from the plan's adjacency lists) instead of maps. String
-// names appear only at API boundaries, audit events, and journal records.
+// activity ids; connector evaluations live in two instance-wide flat
+// arrays indexed by the plan's precomputed per-activity slot offsets.
+// String names appear only at API boundaries, audit events, and journal
+// records.
 
 #ifndef EXOTICA_WFRT_INSTANCE_H_
 #define EXOTICA_WFRT_INSTANCE_H_
@@ -33,11 +34,6 @@ struct ActivityRuntime {
   /// Consecutive program-crash count (reset on successful completion).
   int failures = 0;
 
-  /// Connector evaluations, indexed by the plan's in/out slot for this
-  /// activity: -1 = not yet evaluated, 0 = false, 1 = true.
-  std::vector<int8_t> incoming_eval;
-  std::vector<int8_t> outgoing_eval;
-
   /// Work item for manual activities currently posted/claimed.
   std::optional<org::WorkItemId> work_item;
 
@@ -60,6 +56,14 @@ struct ProcessInstance {
   /// Indexed by activity id (== index into definition->activities()).
   std::vector<ActivityRuntime> activities;
 
+  /// Connector evaluations for the whole instance, flat: activity `aid`'s
+  /// slot `s` lives at `plan->activity(aid).in_eval_base + s` (resp.
+  /// out_eval_base). -1 = not yet evaluated, 0 = false, 1 = true. Two
+  /// allocations per instance instead of two per activity, so spin-up
+  /// copies them wholesale.
+  std::vector<int8_t> in_evals;
+  std::vector<int8_t> out_evals;
+
   /// Ready-queue dedup bitmap, indexed by activity id.
   std::vector<uint8_t> enqueued;
 
@@ -73,6 +77,9 @@ struct ProcessInstance {
   bool failed = false;     ///< quarantined: retry budget exhausted or
                            ///< permanent program failure
   bool suspended = false;  ///< navigation paused by the user
+  bool detached = false;   ///< migrated to another engine (work stealing);
+                           ///< the slot is a dead husk kept only so ready
+                           ///< queue indices stay resolvable
 
   /// Why the instance was quarantined (empty unless failed).
   std::string failure_reason;
@@ -98,6 +105,20 @@ struct ProcessInstance {
 
   static bool IsSettled(wf::ActivityState s) {
     return s == wf::ActivityState::kTerminated || s == wf::ActivityState::kDead;
+  }
+
+  /// Flat-array accessors for activity `aid`'s connector-evaluation slots.
+  int8_t& in_eval(uint32_t aid, uint32_t slot) {
+    return in_evals[plan->activity(aid).in_eval_base + slot];
+  }
+  int8_t in_eval(uint32_t aid, uint32_t slot) const {
+    return in_evals[plan->activity(aid).in_eval_base + slot];
+  }
+  int8_t& out_eval(uint32_t aid, uint32_t slot) {
+    return out_evals[plan->activity(aid).out_eval_base + slot];
+  }
+  int8_t out_eval(uint32_t aid, uint32_t slot) const {
+    return out_evals[plan->activity(aid).out_eval_base + slot];
   }
 
   /// Counts activities currently in `state`.

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "atm/saga.h"
+#include "common/strings.h"
 #include "exotica/programs.h"
 #include "exotica/saga_translate.h"
 #include "txn/multidb.h"
@@ -116,7 +117,10 @@ TEST(FleetTest, RoundRobinDistribution) {
   b.Program("A", "ok");
   ASSERT_TRUE(b.Register().ok());
 
-  wfrt::EngineFleet fleet(&store, &programs, 3);
+  // Static scheduling (stealing off) so per-engine counts are exact.
+  wfrt::FleetOptions fo;
+  fo.work_stealing = false;
+  wfrt::EngineFleet fleet(&store, &programs, 3, {}, fo);
   auto result = fleet.RunBatch("p", 10);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->ok());
@@ -136,13 +140,15 @@ TEST(FleetTest, QuarantinedInstancesAreReportedAndDoNotMaskOthers) {
   b.MapToOutput("A", {{"RC", "RC"}});
   ASSERT_TRUE(b.Register().ok());
 
-  // Each engine numbers its instances independently, so "wf-1" exists once
-  // per engine: one poisoned instance per engine, permanently.
+  // Each engine numbers its instances independently, so exactly one
+  // "<prefix>wf-1" exists per engine: one poisoned instance per engine,
+  // permanently.
   ASSERT_TRUE(programs
                   .Bind("picky",
                         [](const data::Container&, data::Container* out,
                            const wfrt::ProgramContext& ctx) -> Status {
-                          if (ctx.instance_id == "wf-1") {
+                          if (EndsWith(ctx.instance_id, ":wf-1") ||
+                              ctx.instance_id == "wf-1") {
                             return Status::Unsupported("bad instance");
                           }
                           out->Set("RC", data::Value(int64_t{0}));
@@ -165,11 +171,10 @@ TEST(FleetTest, QuarantinedInstancesAreReportedAndDoNotMaskOthers) {
   EXPECT_EQ(result->aggregate.permanent_failures, 2u);
   ASSERT_EQ(result->failed_instances.size(), 2u);
   for (const wfrt::EngineFleet::InstanceError& err : result->failed_instances) {
-    EXPECT_EQ(err.id, "wf-1");
+    EXPECT_TRUE(EndsWith(err.id, "wf-1")) << err.id;
     EXPECT_NE(err.error.find("permanent"), std::string::npos) << err.error;
   }
-  EXPECT_NE(result->failed_instances[0].engine,
-            result->failed_instances[1].engine);
+  EXPECT_NE(result->failed_instances[0].id, result->failed_instances[1].id);
 }
 
 TEST(FleetTest, ErrorsSurfacePerEngine) {

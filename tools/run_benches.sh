@@ -5,18 +5,24 @@
 # Usage: tools/run_benches.sh [output.json]
 #   BUILD_DIR=build-release  tools/run_benches.sh   # override build dir
 #   FAULTS_OUT=faults.json   tools/run_benches.sh   # override faults file
+#   FLEET_OUT=fleet.json     tools/run_benches.sh   # override fleet file
 #
 # The output has one top-level key per benchmark binary, each holding the
 # raw Google Benchmark JSON (context + benchmarks array). The fault-
 # injection benchmarks (bench_recovery under FaultPlan/FaultyJournal) are
 # additionally emitted on their own into BENCH_faults.json so the
 # robustness numbers can be tracked separately from the navigation ones.
+# The scheduler head-to-heads (bench_fleet's SkewedBatch and
+# StartInstance, static vs stealing / legacy vs arena) are likewise
+# emitted into BENCH_fleet.json, with aggregate repetitions so the
+# speedup ratios are robust to scheduling noise.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_nav.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
+FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_navigation bench_fleet bench_recovery)
 
@@ -35,6 +41,21 @@ echo "== bench_recovery (injected faults) ==" >&2
 "$BUILD_DIR/bench/bench_recovery" --benchmark_format=json \
   --benchmark_filter='Fault' \
   --benchmark_min_time=0.2 > "$tmpdir/bench_faults.json"
+
+# Spin-up first: the skewed-batch benchmark spends most of its wall
+# clock in sleeps, which lets the frequency governor downclock and
+# taints any timing run after it.
+echo "== bench_fleet (arena spin-up) ==" >&2
+"$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
+  --benchmark_filter='StartInstance' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_fleet_spinup.json"
+
+echo "== bench_fleet (scheduler head-to-head) ==" >&2
+"$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
+  --benchmark_filter='SkewedBatch' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_fleet_sched.json"
 
 python3 - "$OUT" "$tmpdir" "${BENCHES[@]}" <<'EOF'
 import json, sys
@@ -58,4 +79,40 @@ with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
 print(f"wrote {out_path}")
+EOF
+
+python3 - "$FLEET_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_fleet_sched.json") as f:
+    sched = json.load(f)
+with open(f"{tmpdir}/bench_fleet_spinup.json") as f:
+    spinup = json.load(f)
+
+# Headline speedups from the median aggregates: static vs stealing on the
+# skewed batch, legacy vs arena on spin-up.
+medians = {}
+for b in sched.get("benchmarks", []) + spinup.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b
+
+summary = {}
+def speedup(name, base_key, test_key):
+    base, test = medians.get(base_key), medians.get(test_key)
+    if base and test:
+        summary[name] = round(base["real_time"] / test["real_time"], 3)
+
+speedup("skewed_batch_speedup_stealing",
+        "BM_FleetSkewedBatch/stealing:0/real_time",
+        "BM_FleetSkewedBatch/stealing:1/real_time")
+speedup("start_instance_speedup_arena",
+        "BM_FleetStartInstance/arena:0",
+        "BM_FleetStartInstance/arena:1")
+
+merged = {"bench_fleet_scheduler": sched, "bench_fleet_spinup": spinup,
+          "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {summary}")
 EOF
