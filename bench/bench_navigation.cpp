@@ -107,6 +107,41 @@ void BM_DataFlowNavigation(benchmark::State& state) {
 }
 BENCHMARK(BM_DataFlowNavigation)->Arg(1)->Arg(16)->Arg(64);
 
+// Chain with a non-trivial condition on every hop: each transition pays
+// a three-clause short-circuit evaluation, through the compiled VM
+// (vm:1) or the tree-walk reference (vm:0).
+void BM_ConditionedChainNavigation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_vm = state.range(1) != 0;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  SetupConstProgram(&store, &programs, "ok", 0);
+  std::string process = "cchain" + std::to_string(n);
+  wf::ProcessBuilder b(&store, process);
+  for (int i = 0; i < n; ++i) {
+    b.Program("A" + std::to_string(i), "ok");
+    if (i > 0) {
+      b.Connect("A" + std::to_string(i - 1), "A" + std::to_string(i),
+                "RC >= 0 AND RC < 100 AND NOT (RC = 9)");
+    }
+  }
+  if (!b.Register().ok()) std::abort();
+
+  wfrt::EngineOptions options;
+  options.use_condition_vm = use_vm;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs, options);
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["activities/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConditionedChainNavigation)
+    ->ArgNames({"n", "vm"})
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({1000, 0})->Args({1000, 1});
+
 // Journaling overhead: the same chain with an attached journal.
 void BM_ChainWithJournal(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -51,9 +51,7 @@ Result<ScalarType> Container::TypeOf(const std::string& path) const {
 
 Result<Value> Container::Get(const std::string& path) const {
   EXO_ASSIGN_OR_RETURN(uint32_t slot, SlotOf(path));
-  if (slot >= values_.size()) return layout_->defaults[slot];
-  const Value& v = values_[slot];
-  return v.is_null() ? layout_->defaults[slot] : v;
+  return GetSlot(slot);
 }
 
 Status Container::Set(const std::string& path, const Value& value) {

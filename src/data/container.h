@@ -55,6 +55,32 @@ class Container {
     return layout_ && layout_->index.count(path) > 0;
   }
 
+  /// Sentinel returned by SlotIndex for unknown paths.
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Number of member slots in this container's layout.
+  uint32_t slot_count() const {
+    return layout_ ? static_cast<uint32_t>(layout_->paths.size()) : 0;
+  }
+
+  /// Slot index of a leaf path (stable across every container of this
+  /// layout), or kNoSlot. Resolve once, then read via GetSlot.
+  uint32_t SlotIndex(const std::string& path) const {
+    if (!layout_) return kNoSlot;
+    auto it = layout_->index.find(path);
+    return it == layout_->index.end() ? kNoSlot : it->second;
+  }
+
+  /// Current value of slot `slot` (declared default if never written).
+  /// The slot must be < slot_count(); no bounds check — this is the
+  /// compiled-condition VM's read path.
+  const Value& GetSlot(uint32_t slot) const {
+    if (slot < values_.size() && !values_[slot].is_null()) {
+      return values_[slot];
+    }
+    return layout_->defaults[slot];
+  }
+
   /// Declared scalar type of a leaf. NotFound for unknown paths.
   Result<ScalarType> TypeOf(const std::string& path) const;
 

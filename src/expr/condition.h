@@ -39,6 +39,10 @@ class Condition {
   /// Identifiers referenced by this condition (empty for trivial).
   std::vector<std::string> Identifiers() const;
 
+  /// The parsed expression, or null for trivial conditions. Used by the
+  /// condition compiler (compile.h); the tree stays owned by this Condition.
+  const Node* root() const { return root_.get(); }
+
  private:
   std::shared_ptr<const Node> root_;  // shared: Conditions copy freely
   std::string source_;

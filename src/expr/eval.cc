@@ -23,6 +23,18 @@ Status NullOperand(const Node& node) {
 }
 
 Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
+  return internal::CompareOp(op, a, b);
+}
+
+Result<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
+  return internal::ArithmeticOp(op, a, b);
+}
+
+}  // namespace
+
+namespace internal {
+
+Result<Value> CompareOp(BinaryOp op, const Value& a, const Value& b) {
   // Equality on same-kind or numeric pairs.
   if (op == BinaryOp::kEq || op == BinaryOp::kNeq) {
     bool eq;
@@ -60,7 +72,7 @@ Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
   return Value(r);
 }
 
-Result<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
+Result<Value> ArithmeticOp(BinaryOp op, const Value& a, const Value& b) {
   if (!a.is_numeric() || !b.is_numeric()) {
     return TypeError("arithmetic", a, b);
   }
@@ -101,7 +113,7 @@ Result<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
   return Status::Internal("Arithmetic called with non-arithmetic op");
 }
 
-}  // namespace
+}  // namespace internal
 
 Result<Value> Evaluate(const Node& node, const ValueResolver& resolver) {
   switch (node.kind) {

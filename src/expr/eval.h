@@ -51,6 +51,18 @@ Result<data::Value> Evaluate(const Node& node, const ValueResolver& resolver);
 /// \brief Evaluates and requires a boolean result.
 Result<bool> EvaluateBool(const Node& node, const ValueResolver& resolver);
 
+namespace internal {
+
+/// Binary-operator kernels shared by the tree-walk evaluator and the
+/// compiled-condition VM (vm.h), so the two implementations cannot drift
+/// semantically. Not part of the public expression API.
+Result<data::Value> CompareOp(BinaryOp op, const data::Value& a,
+                              const data::Value& b);
+Result<data::Value> ArithmeticOp(BinaryOp op, const data::Value& a,
+                                 const data::Value& b);
+
+}  // namespace internal
+
 }  // namespace exotica::expr
 
 #endif  // EXOTICA_EXPR_EVAL_H_

@@ -2,12 +2,61 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
+#include <string>
 
+#include "expr/compile.h"
 #include "wf/process.h"
 
 namespace exotica::wf {
 
-NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def) {
+namespace {
+
+/// Caches one shape container per output type while compiling a
+/// definition's conditions; activities routinely share types.
+class ShapeCache {
+ public:
+  explicit ShapeCache(const data::TypeRegistry& types) : types_(types) {}
+
+  /// The shape container for `type_name`, or null if the type can't be
+  /// instantiated (unknown/recursive — validation would have rejected it,
+  /// so this only trips on unvalidated definitions).
+  const data::Container* Shape(const std::string& type_name) {
+    auto it = shapes_.find(type_name);
+    if (it == shapes_.end()) {
+      Result<data::Container> c = data::Container::Create(types_, type_name);
+      it = shapes_
+               .emplace(type_name, c.ok() ? std::make_unique<data::Container>(
+                                                std::move(c).value())
+                                          : nullptr)
+               .first;
+    }
+    return it->second.get();
+  }
+
+ private:
+  const data::TypeRegistry& types_;
+  std::map<std::string, std::unique_ptr<data::Container>> shapes_;
+};
+
+/// Compiles one condition against `shape`, appending the program to
+/// `programs`. Returns the program index, or -1 when the condition can't
+/// be lowered (the runtime tree-walks it instead).
+int32_t CompileCondition(const expr::Condition& cond,
+                         const data::Container* shape,
+                         std::vector<expr::CompiledCondition>* programs) {
+  if (shape == nullptr) return -1;
+  Result<expr::CompiledCondition> prog =
+      expr::ConditionCompiler::Compile(cond.root(), *shape);
+  if (!prog.ok()) return -1;
+  programs->push_back(std::move(prog).value());
+  return static_cast<int32_t>(programs->size() - 1);
+}
+
+}  // namespace
+
+NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def,
+                                       const data::TypeRegistry* types) {
   NavigationPlan plan;
   const std::vector<Activity>& acts = def.activities();
   const std::vector<ControlConnector>& control = def.control_connectors();
@@ -47,6 +96,29 @@ NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def) {
   }
   for (ActivityInfo& info : plan.activities_) {
     info.join_fan_in = static_cast<uint32_t>(info.in_control.size());
+  }
+
+  // Lower non-trivial conditions to slot-resolved VM programs. Exit
+  // conditions read the activity's own output container; transition
+  // conditions read the *source* activity's output container. Anything
+  // the compiler can't bind keeps its -1 and tree-walks at runtime.
+  if (types != nullptr) {
+    ShapeCache shapes(*types);
+    for (uint32_t id = 0; id < n; ++id) {
+      if (plan.activities_[id].trivial_exit) continue;
+      plan.activities_[id].exit_vm =
+          CompileCondition(acts[id].exit_condition,
+                           shapes.Shape(acts[id].output_type),
+                           &plan.vm_programs_);
+    }
+    for (uint32_t c = 0; c < control.size(); ++c) {
+      ConnectorInfo& info = plan.connectors_[c];
+      if (info.trivial || info.is_otherwise) continue;
+      info.cond_vm =
+          CompileCondition(control[c].condition,
+                           shapes.Shape(acts[info.from].output_type),
+                           &plan.vm_programs_);
+    }
   }
 
   // Flat eval-slot offsets: connector evaluations live in two

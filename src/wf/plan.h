@@ -22,6 +22,8 @@
 #include <limits>
 #include <vector>
 
+#include "expr/vm.h"
+
 namespace exotica::wf {
 
 class ProcessDefinition;
@@ -52,6 +54,9 @@ class NavigationPlan {
     bool block = false;        ///< ActivityKind::kProcess
     bool or_join = false;      ///< JoinKind::kOr
     bool trivial_exit = true;  ///< exit condition is always-true
+    /// Compiled exit-condition program (index into vm_program()), or -1
+    /// when the condition is trivial or couldn't be bound (tree-walk).
+    int32_t exit_vm = -1;
   };
 
   /// \brief Per-control-connector endpoints and dedup slots.
@@ -62,6 +67,9 @@ class NavigationPlan {
     uint32_t in_slot = 0;   ///< position in to's in_control list
     bool is_otherwise = false;
     bool trivial = true;    ///< always-true transition condition
+    /// Compiled transition-condition program (index into vm_program()),
+    /// or -1 when trivial/OTHERWISE or unbindable (tree-walk fallback).
+    int32_t cond_vm = -1;
   };
 
   /// \brief Per-data-connector target (source is implied by out_data /
@@ -71,8 +79,15 @@ class NavigationPlan {
   };
 
   /// Compiles `definition`. The definition must be a DAG (enforced by
-  /// ValidateProcess before registration).
-  static NavigationPlan Compile(const ProcessDefinition& definition);
+  /// ValidateProcess before registration). When `types` is given (the
+  /// registry the definition was validated against), every non-trivial
+  /// exit/transition condition is additionally lowered to a
+  /// CompiledCondition bound to its activity's output-container layout;
+  /// without a registry — the lazy plan() path for hand-built definitions
+  /// — no programs are compiled and the runtime tree-walks every
+  /// condition.
+  static NavigationPlan Compile(const ProcessDefinition& definition,
+                                const data::TypeRegistry* types = nullptr);
 
   uint32_t activity_count() const {
     return static_cast<uint32_t>(activities_.size());
@@ -104,6 +119,15 @@ class NavigationPlan {
   uint32_t in_eval_total() const { return in_eval_total_; }
   uint32_t out_eval_total() const { return out_eval_total_; }
 
+  /// Compiled condition program `index` (an ActivityInfo::exit_vm or
+  /// ConnectorInfo::cond_vm value >= 0).
+  const expr::CompiledCondition& vm_program(int32_t index) const {
+    return vm_programs_[static_cast<size_t>(index)];
+  }
+  /// Number of compiled condition programs (0 when compiled without a
+  /// TypeRegistry).
+  size_t vm_program_count() const { return vm_programs_.size(); }
+
  private:
   std::vector<ActivityInfo> activities_;
   std::vector<ConnectorInfo> connectors_;
@@ -112,6 +136,7 @@ class NavigationPlan {
   std::vector<uint32_t> input_data_;
   std::vector<uint32_t> topo_;
   std::vector<uint32_t> by_name_;
+  std::vector<expr::CompiledCondition> vm_programs_;
   uint32_t in_eval_total_ = 0;
   uint32_t out_eval_total_ = 0;
 };

@@ -118,6 +118,11 @@ const NavigationPlan& ProcessDefinition::plan() const {
   return *plan_;
 }
 
+void ProcessDefinition::CompilePlan(const data::TypeRegistry& types) const {
+  plan_ = std::make_shared<const NavigationPlan>(
+      NavigationPlan::Compile(*this, &types));
+}
+
 namespace {
 std::vector<size_t> Lookup(const std::map<std::string, std::vector<size_t>>& m,
                            const std::string& key) {
@@ -252,8 +257,10 @@ Status DefinitionStore::AddProcess(ProcessDefinition process) {
   (void)inserted;
   // Compile the navigation plan eagerly: registered definitions are shared
   // read-only across engine threads, so the lazy compile in plan() must
-  // never race. Registration is the last single-threaded moment.
-  (void)vit->second.plan();
+  // never race. Registration is the last single-threaded moment — and the
+  // only one with the TypeRegistry at hand, so this is also where every
+  // condition is lowered to a slot-bound VM program.
+  vit->second.CompilePlan(types_);
   return Status::OK();
 }
 

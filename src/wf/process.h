@@ -69,6 +69,12 @@ class ProcessDefinition {
   /// Add* mutation invalidates the cache.
   const NavigationPlan& plan() const;
 
+  /// Recompiles the plan with condition programs bound against `types`
+  /// (the registry the definition was validated under). Called by
+  /// DefinitionStore::AddProcess; the lazy plan() path never binds
+  /// conditions and the runtime tree-walks them instead.
+  void CompilePlan(const data::TypeRegistry& types) const;
+
   /// Indices into control_connectors() with the given source / target.
   std::vector<size_t> OutgoingControl(const std::string& activity) const;
   std::vector<size_t> IncomingControl(const std::string& activity) const;

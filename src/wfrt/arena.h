@@ -12,9 +12,13 @@
 // prototype-map walk per activity.
 //
 // Arenas are immutable after Build and hold no pointers into the engine,
-// so a fleet's engines could share one arena per definition; the engine
-// currently builds its own lazily on first use (per-engine memory, no
-// cross-thread coordination).
+// so a fleet shares one arena per definition across all of its engines:
+// EngineFleet::PrepareArenas builds them single-threaded before workers
+// launch and registers each via Engine::ShareArena. An engine outside a
+// fleet still builds its own lazily on first use. The shared container
+// layouts the arena hands out are also what the plan's compiled condition
+// programs (expr/vm.h) resolve their member slots against — one layout
+// per type, fixed at registration, read by every engine thread.
 
 #ifndef EXOTICA_WFRT_ARENA_H_
 #define EXOTICA_WFRT_ARENA_H_

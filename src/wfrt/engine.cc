@@ -247,6 +247,11 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
 }
 
 Result<const InstanceArena*> Engine::ArenaFor(const wf::ProcessDefinition* def) {
+  auto shared = shared_arenas_.find(def);
+  if (shared != shared_arenas_.end()) {
+    ++stats_.arena_shared_hits;
+    return shared->second;
+  }
   auto it = arenas_.find(def);
   if (it == arenas_.end()) {
     EXO_ASSIGN_OR_RETURN(InstanceArena arena,
@@ -591,11 +596,19 @@ Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
   inst->SetState(aid, ActivityState::kFinished);
 
   bool exit_ok;
-  if (inst->plan->activity(aid).trivial_exit) {
+  const wf::NavigationPlan::ActivityInfo& info = inst->plan->activity(aid);
+  if (info.trivial_exit) {
     exit_ok = true;  // always-true exit condition: skip the resolver
   } else {
-    expr::ContainerResolver resolver(rt.output);
-    Result<bool> exit_result = def.exit_condition.Evaluate(resolver);
+    Result<bool> exit_result = [&]() -> Result<bool> {
+      if (info.exit_vm >= 0 && options_.use_condition_vm) {
+        ++stats_.vm_condition_evals;
+        return inst->plan->vm_program(info.exit_vm).EvaluateBool(rt.output);
+      }
+      ++stats_.tree_condition_evals;
+      expr::ContainerResolver resolver(rt.output);
+      return def.exit_condition.Evaluate(resolver);
+    }();
     if (!exit_result.ok()) {
       return exit_result.status().WithContext("exit condition of " + def.name +
                                               " in " + inst->id);
@@ -675,6 +688,10 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   // journaled, so a successor's join never fires on a partial picture.
   std::vector<std::pair<uint32_t, bool>> fresh;
 
+  // Every outgoing connector reads the same source output container, so
+  // one resolver serves the whole sweep (the VM path doesn't need one).
+  expr::ContainerResolver resolver(rt.output);
+
   // Non-otherwise connectors first.
   for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
     uint32_t cidx = info.out_control[slot];
@@ -690,8 +707,14 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
         value = true;  // unconditioned connector: no resolver needed
       } else {
         const wf::ControlConnector& c = connectors[cidx];
-        expr::ContainerResolver resolver(rt.output);
-        Result<bool> r = c.condition.Evaluate(resolver);
+        Result<bool> r = [&]() -> Result<bool> {
+          if (ci.cond_vm >= 0 && options_.use_condition_vm) {
+            ++stats_.vm_condition_evals;
+            return plan.vm_program(ci.cond_vm).EvaluateBool(rt.output);
+          }
+          ++stats_.tree_condition_evals;
+          return c.condition.Evaluate(resolver);
+        }();
         if (!r.ok()) {
           if (options_.condition_error_is_false) {
             value = false;

@@ -125,6 +125,13 @@ struct EngineOptions {
   /// per activity. Off = the legacy walk (kept for A/B benchmarking).
   bool spinup_arena = true;
 
+  /// Evaluate exit/transition conditions through the plan's compiled
+  /// CompiledCondition programs (slot-resolved bytecode) where available.
+  /// Off = the tree-walk reference evaluator everywhere (kept for A/B
+  /// benchmarking); conditions the compiler couldn't bind always
+  /// tree-walk regardless.
+  bool use_condition_vm = true;
+
   /// Clock for worklist deadlines and audit timestamps.
   const Clock* clock = nullptr;  ///< defaults to SystemClock
 };
@@ -147,6 +154,9 @@ struct EngineStats {
   uint64_t instances_stolen = 0;   ///< families adopted (thief side)
   uint64_t steals_failed = 0;      ///< steal attempts that found nothing
   uint64_t arena_spinups = 0;      ///< instances spun up from an arena image
+  uint64_t arena_shared_hits = 0;  ///< spin-ups served from a fleet-shared arena
+  uint64_t vm_condition_evals = 0;   ///< conditions run on the compiled VM
+  uint64_t tree_condition_evals = 0; ///< conditions run on the tree-walk
 };
 
 /// \brief The navigator.
@@ -313,6 +323,14 @@ class Engine {
 
   /// Counts a steal attempt that came back empty (stats only).
   void NoteStealFailed() { ++stats_.steals_failed; }
+
+  /// Registers a fleet-owned spin-up arena for `def`. Shared arenas are
+  /// immutable once built and consulted before the engine's private cache,
+  /// so every engine in a fleet spins instances of `def` up from one image
+  /// instead of each building its own. `arena` must outlive the engine.
+  void ShareArena(const wf::ProcessDefinition* def, const InstanceArena* arena) {
+    shared_arenas_[def] = arena;
+  }
 
   /// Surrenders the retained image of an instance this engine detached
   /// before a crash, as recovered from the journal. The fleet re-adopts a
@@ -481,6 +499,9 @@ class Engine {
 
   std::unordered_map<std::string, data::Container> container_protos_;
   std::unordered_map<const wf::ProcessDefinition*, InstanceArena> arenas_;
+  /// Fleet-shared arenas (ShareArena), checked before the private cache.
+  std::unordered_map<const wf::ProcessDefinition*, const InstanceArena*>
+      shared_arenas_;
 
   /// Images of families this engine detached, retained during journal
   /// replay for dangling-handoff recovery (TakeDetachedImage).

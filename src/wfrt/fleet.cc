@@ -86,11 +86,45 @@ EngineFleet::AssignSeeds(const std::vector<BatchSeed>& seeds) const {
   return assigned;
 }
 
+Status EngineFleet::PrepareArenas(const std::vector<BatchSeed>& seeds) {
+  // Transitive closure over subprocess (block) activities, so a block
+  // spin-up mid-batch also hits a shared arena.
+  std::vector<const wf::ProcessDefinition*> frontier;
+  for (const BatchSeed& seed : seeds) {
+    EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* def,
+                         definitions_->FindProcess(seed.process));
+    frontier.push_back(def);
+  }
+  while (!frontier.empty()) {
+    const wf::ProcessDefinition* def = frontier.back();
+    frontier.pop_back();
+    if (arenas_.count(def) > 0) continue;
+    EXO_ASSIGN_OR_RETURN(InstanceArena arena,
+                         InstanceArena::Build(*def, definitions_->types()));
+    auto [it, inserted] =
+        arenas_.emplace(def, std::make_unique<InstanceArena>(std::move(arena)));
+    (void)inserted;
+    for (std::unique_ptr<Engine>& engine : engines_) {
+      engine->ShareArena(def, it->second.get());
+    }
+    for (const wf::Activity& a : def->activities()) {
+      if (!a.is_process()) continue;
+      EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
+                           definitions_->FindProcess(a.subprocess));
+      frontier.push_back(sub);
+    }
+  }
+  return Status::OK();
+}
+
 Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     const std::vector<BatchSeed>& seeds) {
   for (const BatchSeed& seed : seeds) {
     EXO_RETURN_NOT_OK(definitions_->FindProcess(seed.process).status());
   }
+  // Single-threaded moment: build (or reuse) the shared spin-up arenas
+  // before any worker thread exists.
+  EXO_RETURN_NOT_OK(PrepareArenas(seeds));
   std::vector<std::vector<const BatchSeed*>> assigned = AssignSeeds(seeds);
 
   BatchResult result;
@@ -124,6 +158,9 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.instances_stolen += s.instances_stolen;
     result.aggregate.steals_failed += s.steals_failed;
     result.aggregate.arena_spinups += s.arena_spinups;
+    result.aggregate.arena_shared_hits += s.arena_shared_hits;
+    result.aggregate.vm_condition_evals += s.vm_condition_evals;
+    result.aggregate.tree_condition_evals += s.tree_condition_evals;
     result.instances_finished += s.instances_finished;
     for (const Engine::FailedInstance& f : engine.FailedInstances()) {
       result.failed_instances.push_back(

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -113,6 +114,14 @@ class EngineFleet {
   std::vector<std::vector<const BatchSeed*>> AssignSeeds(
       const std::vector<BatchSeed>& seeds) const;
 
+  /// Builds one fleet-owned InstanceArena per definition a batch can
+  /// reach (seed processes plus their transitive subprocess closure) and
+  /// registers it with every engine, so N engines spin instances up from
+  /// one image instead of building N private copies. Runs single-threaded
+  /// before the workers launch; arenas are immutable afterwards. Arenas
+  /// persist across batches and are only built once per definition.
+  Status PrepareArenas(const std::vector<BatchSeed>& seeds);
+
   void RunStatic(const std::vector<std::vector<const BatchSeed*>>& assigned,
                  BatchResult* result);
   void RunStealing(const std::vector<std::vector<const BatchSeed*>>& assigned,
@@ -121,6 +130,12 @@ class EngineFleet {
   const wf::DefinitionStore* definitions_;
   FleetOptions fleet_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  /// Fleet-owned spin-up arenas, one per reachable definition
+  /// (PrepareArenas); unique_ptr for address stability — engines hold
+  /// raw pointers.
+  std::unordered_map<const wf::ProcessDefinition*,
+                     std::unique_ptr<InstanceArena>>
+      arenas_;
 };
 
 }  // namespace exotica::wfrt

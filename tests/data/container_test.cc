@@ -113,5 +113,42 @@ TEST_F(ContainerTest, DefaultContainerHasRc) {
   EXPECT_EQ(c.Get("RC")->as_long(), 0);
 }
 
+TEST_F(ContainerTest, SlotIndexMatchesDeclarationOrder) {
+  auto c = Container::Create(reg_, "Order");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->slot_count(), 3u);
+  // Slots follow paths(): the flatten order, stable for every container
+  // of this layout.
+  for (uint32_t i = 0; i < c->slot_count(); ++i) {
+    EXPECT_EQ(c->SlotIndex(c->paths()[i]), i);
+  }
+  EXPECT_EQ(c->SlotIndex("NoSuch"), Container::kNoSlot);
+  EXPECT_EQ(Container().SlotIndex("Id"), Container::kNoSlot);
+  EXPECT_EQ(Container().slot_count(), 0u);
+}
+
+TEST_F(ContainerTest, GetSlotTracksGetExactly) {
+  auto c = Container::Create(reg_, "Order");
+  ASSERT_TRUE(c.ok());
+  // Never-written container: no slot storage, reads hit the defaults.
+  EXPECT_TRUE(c->GetSlot(c->SlotIndex("Id")).is_null());
+  EXPECT_EQ(c->GetSlot(c->SlotIndex("Total")), Value(0.0));
+
+  ASSERT_TRUE(c->Set("Id", Value(int64_t{7})).ok());
+  EXPECT_EQ(c->GetSlot(c->SlotIndex("Id")), Value(int64_t{7}));
+  // Setting one member materializes the value vector; unwritten (null)
+  // slots must still read their declared defaults.
+  EXPECT_EQ(c->GetSlot(c->SlotIndex("Total")), Value(0.0));
+  EXPECT_TRUE(c->GetSlot(c->SlotIndex("Ship.City")).is_null());
+
+  for (const std::string& path : c->paths()) {
+    EXPECT_EQ(*c->Get(path), c->GetSlot(c->SlotIndex(path))) << path;
+  }
+
+  c->Reset();
+  EXPECT_TRUE(c->GetSlot(c->SlotIndex("Id")).is_null());
+  EXPECT_EQ(c->GetSlot(c->SlotIndex("Total")), Value(0.0));
+}
+
 }  // namespace
 }  // namespace exotica::data

@@ -108,6 +108,45 @@ TEST(FleetTest, SagaGuaranteeHoldsAcrossConcurrentEngines) {
   }
 }
 
+TEST(FleetTest, SharedArenasCoverSubprocessClosure) {
+  // A batch seeding only the outer process must still serve *inner*
+  // (block) spin-ups from fleet-shared arenas: PrepareArenas walks the
+  // transitive subprocess closure before the workers launch.
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "ok").ok());
+  ASSERT_TRUE(test::BindConstRc(&programs, "ok", 0).ok());
+
+  wf::ProcessBuilder inner(&store, "inner");
+  inner.Program("X", "ok").Program("Y", "ok");
+  inner.Connect("X", "Y", "RC = 0");
+  ASSERT_TRUE(inner.Register().ok());
+
+  wf::ProcessBuilder outer(&store, "outer");
+  outer.Program("A", "ok");
+  outer.Block("B", "inner");
+  outer.Connect("A", "B", "RC = 0");
+  ASSERT_TRUE(outer.Register().ok());
+
+  constexpr int kEngines = 3;
+  constexpr int kInstances = 12;
+  wfrt::EngineFleet fleet(&store, &programs, kEngines);
+  auto result = fleet.RunBatch("outer", kInstances);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok());
+  // Block children count as instances too: one inner per outer.
+  EXPECT_EQ(result->instances_finished, 2u * kInstances);
+  // One spin-up for each outer instance plus one for each inner block
+  // child — every single one from a shared arena, none private.
+  EXPECT_EQ(result->aggregate.arena_spinups, 2u * kInstances);
+  EXPECT_EQ(result->aggregate.arena_shared_hits, 2u * kInstances);
+
+  // A second batch reuses the same arenas without rebuilding.
+  auto again = fleet.RunBatch("outer", kEngines);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ok());
+}
+
 TEST(FleetTest, RoundRobinDistribution) {
   wf::DefinitionStore store;
   wfrt::ProgramRegistry programs;

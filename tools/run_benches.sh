@@ -6,6 +6,7 @@
 #   BUILD_DIR=build-release  tools/run_benches.sh   # override build dir
 #   FAULTS_OUT=faults.json   tools/run_benches.sh   # override faults file
 #   FLEET_OUT=fleet.json     tools/run_benches.sh   # override fleet file
+#   COND_OUT=cond.json       tools/run_benches.sh   # override condition file
 #
 # The output has one top-level key per benchmark binary, each holding the
 # raw Google Benchmark JSON (context + benchmarks array). The fault-
@@ -15,7 +16,10 @@
 # The scheduler head-to-heads (bench_fleet's SkewedBatch and
 # StartInstance, static vs stealing / legacy vs arena) are likewise
 # emitted into BENCH_fleet.json, with aggregate repetitions so the
-# speedup ratios are robust to scheduling noise.
+# speedup ratios are robust to scheduling noise. The condition-VM
+# head-to-heads (bench_condition plus bench_navigation's
+# ConditionedChain, tree-walk vs compiled VM) land in BENCH_cond.json
+# the same way.
 
 set -euo pipefail
 
@@ -23,8 +27,9 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_nav.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
+COND_OUT="${COND_OUT:-BENCH_cond.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
-BENCHES=(bench_navigation bench_fleet bench_recovery)
+BENCHES=(bench_navigation bench_fleet bench_recovery bench_condition)
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${BENCHES[@]}"
@@ -50,6 +55,18 @@ echo "== bench_fleet (arena spin-up) ==" >&2
   --benchmark_filter='StartInstance' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   > "$tmpdir/bench_fleet_spinup.json"
+
+echo "== bench_condition (tree-walk vs VM) ==" >&2
+"$BUILD_DIR/bench/bench_condition" --benchmark_format=json \
+  --benchmark_filter='BM_ConditionEval' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_cond_eval.json"
+
+echo "== bench_navigation (conditioned chain, tree-walk vs VM) ==" >&2
+"$BUILD_DIR/bench/bench_navigation" --benchmark_format=json \
+  --benchmark_filter='ConditionedChain' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_cond_nav.json"
 
 echo "== bench_fleet (scheduler head-to-head) ==" >&2
 "$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
@@ -110,6 +127,44 @@ speedup("start_instance_speedup_arena",
         "BM_FleetStartInstance/arena:1")
 
 merged = {"bench_fleet_scheduler": sched, "bench_fleet_spinup": spinup,
+          "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {summary}")
+EOF
+
+python3 - "$COND_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_cond_eval.json") as f:
+    micro = json.load(f)
+with open(f"{tmpdir}/bench_cond_nav.json") as f:
+    nav = json.load(f)
+
+# Headline speedups from the median aggregates: tree-walk (vm:0) vs
+# compiled VM (vm:1), per expression shape and end-to-end.
+medians = {}
+for b in micro.get("benchmarks", []) + nav.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b
+
+summary = {}
+def speedup(name, base_key, test_key):
+    base, test = medians.get(base_key), medians.get(test_key)
+    if base and test:
+        summary[name] = round(base["real_time"] / test["real_time"], 3)
+
+for expr, label in [(0, "trivial"), (1, "guard"), (2, "wide")]:
+    speedup(f"condition_eval_speedup_vm_{label}",
+            f"BM_ConditionEval/expr:{expr}/vm:0",
+            f"BM_ConditionEval/expr:{expr}/vm:1")
+for n in (100, 1000):
+    speedup(f"conditioned_chain_{n}_speedup_vm",
+            f"BM_ConditionedChainNavigation/n:{n}/vm:0",
+            f"BM_ConditionedChainNavigation/n:{n}/vm:1")
+
+merged = {"bench_condition_eval": micro, "bench_conditioned_navigation": nav,
           "summary": summary}
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
