@@ -48,10 +48,13 @@ data::TypeRegistry* WideRegistry() {
   return reg;
 }
 
-// args: {expression index, vm on/off}. Reported as evals/s.
+// args: {expression index, evaluator}. Reported as evals/s.
+// Evaluator 0 = tree-walk, 1 = generic VM (operand-kind dispatch per op),
+// 2 = typed monomorphic VM (the "Wide" members are all longs, so every
+// expression above types statically).
 void BM_ConditionEval(benchmark::State& state) {
   const auto expr_idx = static_cast<size_t>(state.range(0));
-  const bool use_vm = state.range(1) != 0;
+  const int evaluator = static_cast<int>(state.range(1));
 
   auto container = data::Container::Create(*WideRegistry(), "Wide");
   if (!container.ok()) std::abort();
@@ -66,10 +69,17 @@ void BM_ConditionEval(benchmark::State& state) {
   if (!cond.ok()) std::abort();
   auto prog = expr::ConditionCompiler::Compile(cond->root(), *container);
   if (!prog.ok()) std::abort();
+  if (evaluator == 2 && !prog->typed()) std::abort();
 
-  if (use_vm) {
+  if (evaluator == 2) {
     for (auto _ : state) {
-      auto r = prog->EvaluateBool(*container);
+      auto r = prog->EvaluateBool(*container);  // runs the typed program
+      if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+      benchmark::DoNotOptimize(r);
+    }
+  } else if (evaluator == 1) {
+    for (auto _ : state) {
+      auto r = prog->EvaluateBoolGeneric(*container);
       if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
       benchmark::DoNotOptimize(r);
     }
@@ -86,9 +96,9 @@ void BM_ConditionEval(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionEval)
     ->ArgNames({"expr", "vm"})
-    ->Args({0, 0})->Args({0, 1})
-    ->Args({1, 0})->Args({1, 1})
-    ->Args({2, 0})->Args({2, 1});
+    ->Args({0, 0})->Args({0, 1})->Args({0, 2})
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2});
 
 // Compilation cost itself: what plan registration pays per condition.
 void BM_ConditionCompile(benchmark::State& state) {

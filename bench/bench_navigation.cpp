@@ -107,17 +107,13 @@ void BM_DataFlowNavigation(benchmark::State& state) {
 }
 BENCHMARK(BM_DataFlowNavigation)->Arg(1)->Arg(16)->Arg(64);
 
-// Chain with a non-trivial condition on every hop: each transition pays
-// a three-clause short-circuit evaluation, through the compiled VM
-// (vm:1) or the tree-walk reference (vm:0).
-void BM_ConditionedChainNavigation(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const bool use_vm = state.range(1) != 0;
-  wf::DefinitionStore store;
-  wfrt::ProgramRegistry programs;
-  SetupConstProgram(&store, &programs, "ok", 0);
+// Builds the conditioned chain: N activities, a three-clause
+// short-circuit condition on every hop.
+std::string SetupConditionedChain(wf::DefinitionStore* store,
+                                  wfrt::ProgramRegistry* programs, int n) {
+  SetupConstProgram(store, programs, "ok", 0);
   std::string process = "cchain" + std::to_string(n);
-  wf::ProcessBuilder b(&store, process);
+  wf::ProcessBuilder b(store, process);
   for (int i = 0; i < n; ++i) {
     b.Program("A" + std::to_string(i), "ok");
     if (i > 0) {
@@ -126,9 +122,26 @@ void BM_ConditionedChainNavigation(benchmark::State& state) {
     }
   }
   if (!b.Register().ok()) std::abort();
+  return process;
+}
+
+// Chain with a non-trivial condition on every hop: each transition pays
+// a three-clause short-circuit evaluation, through the compiled VM
+// (vm:1) or the tree-walk reference (vm:0). Typed programs and step
+// fusion are pinned OFF so this series keeps measuring exactly what the
+// committed BENCH_cond.json baseline measured; the ladder's upper rungs
+// are BM_StepChainNavigation's business.
+void BM_ConditionedChainNavigation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_vm = state.range(1) != 0;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupConditionedChain(&store, &programs, n);
 
   wfrt::EngineOptions options;
   options.use_condition_vm = use_vm;
+  options.use_typed_conditions = false;
+  options.use_step_programs = false;
   for (auto _ : state) {
     wfrt::Engine engine(&store, &programs, options);
     auto id = engine.RunToCompletion(process);
@@ -139,6 +152,32 @@ void BM_ConditionedChainNavigation(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionedChainNavigation)
     ->ArgNames({"n", "vm"})
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({1000, 0})->Args({1000, 1});
+
+// The same conditioned chain at the top of the compilation ladder: typed
+// condition programs plus (step:1) the fused per-activity step programs,
+// vs (step:0) the interpreted sweep over the same typed programs. Against
+// BM_ConditionedChainNavigation/vm:1 this isolates the two new rungs.
+void BM_StepChainNavigation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_step = state.range(1) != 0;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupConditionedChain(&store, &programs, n);
+
+  wfrt::EngineOptions options;  // condition VM + typed programs on
+  options.use_step_programs = use_step;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs, options);
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["activities/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StepChainNavigation)
+    ->ArgNames({"n", "step"})
     ->Args({100, 0})->Args({100, 1})
     ->Args({1000, 0})->Args({1000, 1});
 

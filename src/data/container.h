@@ -81,6 +81,18 @@ class Container {
     return layout_->defaults[slot];
   }
 
+  /// Declared scalar type of slot `slot` (no bounds check). Set() coerces
+  /// every write to the declared type (long widens to float), so a
+  /// non-null slot value always has exactly this type — the invariant the
+  /// typed condition compiler monomorphizes against.
+  ScalarType SlotType(uint32_t slot) const { return layout_->types[slot]; }
+
+  /// Typed slot reads for callers that have proven the declared type and
+  /// non-nullness (the typed condition VM: null-check GetSlot first).
+  int64_t GetSlotLong(uint32_t slot) const { return GetSlot(slot).as_long(); }
+  double GetSlotFloat(uint32_t slot) const { return GetSlot(slot).as_float(); }
+  bool GetSlotBool(uint32_t slot) const { return GetSlot(slot).as_bool(); }
+
   /// Declared scalar type of a leaf. NotFound for unknown paths.
   Result<ScalarType> TypeOf(const std::string& path) const;
 

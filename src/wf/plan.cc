@@ -132,6 +132,50 @@ NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def,
     plan.out_eval_total_ += static_cast<uint32_t>(info.out_control.size());
   }
 
+  // Fuse each activity's outgoing sweep into a straight-line step
+  // program: non-otherwise connectors in slot order (the interpreted
+  // sweep's first loop), then otherwise connectors in slot order (its
+  // second loop), then kEnd. Eval kinds, connector indices, absolute
+  // out_evals slots, and condition program ids are all resolved here so
+  // the runtime dispatch does no per-connector discovery. The resolver
+  // bits ride along: a sweep needs an expr::ContainerResolver only for
+  // tree-walked conditions (needs_resolver), or for any condition at all
+  // when the engine runs with the condition VM off (has_cond_out).
+  for (uint32_t id = 0; id < n; ++id) {
+    ActivityInfo& info = plan.activities_[id];
+    info.step_base = static_cast<uint32_t>(plan.step_code_.size());
+    for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
+      const uint32_t cidx = info.out_control[slot];
+      const ConnectorInfo& ci = plan.connectors_[cidx];
+      if (ci.is_otherwise) continue;
+      StepInstr si;
+      si.cidx = cidx;
+      si.out_idx = info.out_eval_base + slot;
+      if (ci.trivial) {
+        si.op = StepInstr::Op::kTrivial;
+      } else if (ci.cond_vm >= 0) {
+        si.op = StepInstr::Op::kVm;
+        si.prog = ci.cond_vm;
+        info.has_cond_out = true;
+      } else {
+        si.op = StepInstr::Op::kTree;
+        info.needs_resolver = true;
+        info.has_cond_out = true;
+      }
+      plan.step_code_.push_back(si);
+    }
+    for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
+      const uint32_t cidx = info.out_control[slot];
+      if (!plan.connectors_[cidx].is_otherwise) continue;
+      StepInstr si;
+      si.op = StepInstr::Op::kOtherwise;
+      si.cidx = cidx;
+      si.out_idx = info.out_eval_base + slot;
+      plan.step_code_.push_back(si);
+    }
+    plan.step_code_.push_back(StepInstr{});  // kEnd
+  }
+
   // Data connectors: per-source fan-out lists plus resolved targets.
   plan.data_.resize(data.size());
   for (uint32_t d = 0; d < data.size(); ++d) {

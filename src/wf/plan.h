@@ -28,6 +28,33 @@ namespace exotica::wf {
 
 class ProcessDefinition;
 
+/// \brief One instruction of an activity's fused outgoing-sweep *step
+/// program* (see docs/specs/step_program.md).
+///
+/// At plan build time the entire outgoing sweep of each activity — the
+/// non-otherwise connector loop, otherwise resolution, and the journal /
+/// audit emission order — is compiled into one straight-line instruction
+/// sequence: connector indices, absolute out_evals slots, and condition
+/// program ids are resolved here so the runtime dispatch loop
+/// (Engine::RunStepProgram) does no per-connector kind discovery. The
+/// instruction stream for activity `a` starts at
+/// ActivityInfo::step_base and is terminated by kEnd; non-otherwise
+/// instructions always precede kOtherwise ones, preserving the
+/// interpreted sweep's journal record order byte for byte.
+struct StepInstr {
+  enum class Op : uint8_t {
+    kTrivial,    ///< unconditioned connector: fires true
+    kVm,         ///< conditioned, VM-compiled: run vm_program(prog)
+    kTree,       ///< conditioned, unbindable: tree-walk the condition
+    kOtherwise,  ///< OTHERWISE connector: true iff no sibling fired
+    kEnd,        ///< end of this activity's program
+  };
+  Op op = Op::kEnd;
+  uint32_t cidx = 0;     ///< control connector index
+  uint32_t out_idx = 0;  ///< absolute slot in the instance's out_evals
+  int32_t prog = -1;     ///< kVm: index into vm_program()
+};
+
 /// \brief Immutable compiled navigation index for one ProcessDefinition.
 class NavigationPlan {
  public:
@@ -50,10 +77,20 @@ class NavigationPlan {
     /// sizes; see ProcessInstance::in_evals).
     uint32_t in_eval_base = 0;
     uint32_t out_eval_base = 0;
+    /// Start of this activity's step program inside step_program(0)'s
+    /// flat instruction array (terminated by StepInstr::Op::kEnd).
+    uint32_t step_base = 0;
     bool manual = false;       ///< StartMode::kManual
     bool block = false;        ///< ActivityKind::kProcess
     bool or_join = false;      ///< JoinKind::kOr
     bool trivial_exit = true;  ///< exit condition is always-true
+    /// True when some outgoing connector must tree-walk its condition
+    /// (non-trivial, non-otherwise, and not VM-compiled) — the only case
+    /// the sweep needs an expr::ContainerResolver when the VM is on.
+    bool needs_resolver = false;
+    /// True when any outgoing connector carries a non-trivial condition
+    /// (the sweep needs a resolver whenever the condition VM is off).
+    bool has_cond_out = false;
     /// Compiled exit-condition program (index into vm_program()), or -1
     /// when the condition is trivial or couldn't be bound (tree-walk).
     int32_t exit_vm = -1;
@@ -128,6 +165,13 @@ class NavigationPlan {
   /// TypeRegistry).
   size_t vm_program_count() const { return vm_programs_.size(); }
 
+  /// The step program starting at `base` (an ActivityInfo::step_base).
+  /// The returned pointer stays valid for the plan's lifetime; the
+  /// program ends at its kEnd instruction.
+  const StepInstr* step_program(uint32_t base) const {
+    return &step_code_[base];
+  }
+
  private:
   std::vector<ActivityInfo> activities_;
   std::vector<ConnectorInfo> connectors_;
@@ -137,6 +181,8 @@ class NavigationPlan {
   std::vector<uint32_t> topo_;
   std::vector<uint32_t> by_name_;
   std::vector<expr::CompiledCondition> vm_programs_;
+  /// Concatenated per-activity step programs (each kEnd-terminated).
+  std::vector<StepInstr> step_code_;
   uint32_t in_eval_total_ = 0;
   uint32_t out_eval_total_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "wfrt/engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/strings.h"
 #include "expr/eval.h"
@@ -602,8 +603,7 @@ Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
   } else {
     Result<bool> exit_result = [&]() -> Result<bool> {
       if (info.exit_vm >= 0 && options_.use_condition_vm) {
-        ++stats_.vm_condition_evals;
-        return inst->plan->vm_program(info.exit_vm).EvaluateBool(rt.output);
+        return EvalVmCondition(inst, info.exit_vm, rt.output);
       }
       ++stats_.tree_condition_evals;
       expr::ContainerResolver resolver(rt.output);
@@ -675,8 +675,22 @@ Status Engine::MarkDead(ProcessInstance* inst, uint32_t aid) {
   return CheckInstanceCompletion(inst);
 }
 
+Result<bool> Engine::EvalVmCondition(const ProcessInstance* inst,
+                                     int32_t index,
+                                     const data::Container& input) {
+  ++stats_.vm_condition_evals;
+  const expr::CompiledCondition& prog = inst->plan->vm_program(index);
+  if (prog.typed() && options_.use_typed_conditions) {
+    ++stats_.typed_condition_evals;
+    return prog.EvaluateBool(input);
+  }
+  return prog.EvaluateBoolGeneric(input);
+}
+
 Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
                                 bool all_false) {
+  if (options_.use_step_programs) return RunStepProgram(inst, aid, all_false);
+
   ActivityRuntime& rt = inst->activities[aid];
   const wf::NavigationPlan& plan = *inst->plan;
   const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
@@ -689,8 +703,15 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   std::vector<std::pair<uint32_t, bool>> fresh;
 
   // Every outgoing connector reads the same source output container, so
-  // one resolver serves the whole sweep (the VM path doesn't need one).
-  expr::ContainerResolver resolver(rt.output);
+  // one resolver serves the whole sweep — but only tree-walked conditions
+  // consult it, so the plan's resolver bits let trivial/VM-only sweeps
+  // (and all-false dead-path sweeps) skip constructing it entirely.
+  std::optional<expr::ContainerResolver> resolver;
+  if (!all_false &&
+      (info.needs_resolver ||
+       (info.has_cond_out && !options_.use_condition_vm))) {
+    resolver.emplace(rt.output);
+  }
 
   // Non-otherwise connectors first.
   for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
@@ -709,11 +730,10 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
         const wf::ControlConnector& c = connectors[cidx];
         Result<bool> r = [&]() -> Result<bool> {
           if (ci.cond_vm >= 0 && options_.use_condition_vm) {
-            ++stats_.vm_condition_evals;
-            return plan.vm_program(ci.cond_vm).EvaluateBool(rt.output);
+            return EvalVmCondition(inst, ci.cond_vm, rt.output);
           }
           ++stats_.tree_condition_evals;
-          return c.condition.Evaluate(resolver);
+          return c.condition.Evaluate(*resolver);
         }();
         if (!r.ok()) {
           if (options_.condition_error_is_false) {

@@ -132,6 +132,19 @@ struct EngineOptions {
   /// tree-walk regardless.
   bool use_condition_vm = true;
 
+  /// Run conditions through their typed (monomorphic) programs where the
+  /// compiler emitted one. Off = the generic operand-kind-dispatching
+  /// program even when a typed one exists (A/B benchmarking). Only
+  /// meaningful with use_condition_vm on.
+  bool use_typed_conditions = true;
+
+  /// Run each activity's outgoing connector sweep through the plan's
+  /// fused step program (threaded dispatch; see
+  /// docs/specs/step_program.md). Off = the interpreted per-slot sweep
+  /// (kept as the A/B reference; journal records and errors are
+  /// byte-identical either way).
+  bool use_step_programs = true;
+
   /// Clock for worklist deadlines and audit timestamps.
   const Clock* clock = nullptr;  ///< defaults to SystemClock
 };
@@ -157,6 +170,11 @@ struct EngineStats {
   uint64_t arena_shared_hits = 0;  ///< spin-ups served from a fleet-shared arena
   uint64_t vm_condition_evals = 0;   ///< conditions run on the compiled VM
   uint64_t tree_condition_evals = 0; ///< conditions run on the tree-walk
+  /// VM evaluations that ran the typed (monomorphic) program — a subset
+  /// of vm_condition_evals.
+  uint64_t typed_condition_evals = 0;
+  uint64_t step_program_dispatches = 0; ///< outgoing sweeps run fused
+  uint64_t steal_slice_shrinks = 0;  ///< adaptive slice halvings (fleet)
 };
 
 /// \brief The navigator.
@@ -324,6 +342,10 @@ class Engine {
   /// Counts a steal attempt that came back empty (stats only).
   void NoteStealFailed() { ++stats_.steals_failed; }
 
+  /// Counts an adaptive steal-slice halving (stats only; the fleet's
+  /// worker loop owns the slice itself).
+  void NoteStealSliceShrink() { ++stats_.steal_slice_shrinks; }
+
   /// Registers a fleet-owned spin-up arena for `def`. Shared arenas are
   /// immutable once built and consulted before the engine's private cache,
   /// so every engine in a fleet spins instances of `def` up from one image
@@ -450,8 +472,21 @@ class Engine {
 
   /// Evaluates this activity's not-yet-evaluated outgoing control
   /// connectors (all false when `all_false`), journals them, and delivers
-  /// the signals.
+  /// the signals. Dispatches to RunStepProgram when
+  /// EngineOptions::use_step_programs is on.
   Status EvaluateOutgoing(ProcessInstance* inst, uint32_t aid, bool all_false);
+
+  /// The fused-sweep equivalent of the interpreted EvaluateOutgoing body:
+  /// executes the activity's plan-compiled step program on a threaded
+  /// dispatch loop (step.cc). Byte-identical journal records, audit
+  /// events, stats, and error messages.
+  Status RunStepProgram(ProcessInstance* inst, uint32_t aid, bool all_false);
+
+  /// Evaluates compiled condition program `index` of `inst`'s plan
+  /// against `input`, honoring use_typed_conditions and counting
+  /// vm/typed stats.
+  Result<bool> EvalVmCondition(const ProcessInstance* inst, int32_t index,
+                               const data::Container& input);
 
   Status DeliverSignal(ProcessInstance* inst, uint32_t connector_index,
                        bool value);
@@ -506,6 +541,12 @@ class Engine {
   /// Images of families this engine detached, retained during journal
   /// replay for dangling-handoff recovery (TakeDetachedImage).
   std::map<std::string, DetachedInstance> detached_images_;
+
+  /// Pooled scratch for the outgoing sweep's fresh-evaluation list
+  /// (swapped out for the duration of a sweep, so the reentrant
+  /// DeliverSignal → ApplyJoin → MarkDead → sweep chain never aliases an
+  /// in-use buffer; a nested sweep just starts from an empty pool).
+  std::vector<std::pair<uint32_t, bool>> fresh_scratch_;
 
   AuditTrail audit_;
   AuditObserver observer_;

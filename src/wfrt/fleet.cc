@@ -161,6 +161,9 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.arena_shared_hits += s.arena_shared_hits;
     result.aggregate.vm_condition_evals += s.vm_condition_evals;
     result.aggregate.tree_condition_evals += s.tree_condition_evals;
+    result.aggregate.typed_condition_evals += s.typed_condition_evals;
+    result.aggregate.step_program_dispatches += s.step_program_dispatches;
+    result.aggregate.steal_slice_shrinks += s.steal_slice_shrinks;
     result.instances_finished += s.instances_finished;
     for (const Engine::FailedInstance& f : engine.FailedInstances()) {
       result.failed_instances.push_back(
@@ -276,15 +279,30 @@ void EngineFleet::RunStealing(
         }
       };
 
-      // Phase 2: drive in slices; steal when quiescent.
+      // Phase 2: drive in slices; steal when quiescent. The slice adapts
+      // to thief pressure: thieves found queued at a boundary mean the
+      // whole slice was steal latency for them, so the next slice is
+      // halved; quiet boundaries double it back toward the configured
+      // width.
+      int cur_slice = fleet_.steal_slice;
       while (!engine_dead) {
         lock.unlock();
         bool quiescent = false;
-        Status st = engine->RunSlice(fleet_.steal_slice, &quiescent);
+        Status st = engine->RunSlice(cur_slice, &quiescent);
         lock.lock();
         if (!st.ok()) {
           result->errors[e] = st.ToString();
           break;
+        }
+        if (fleet_.adaptive_steal_slice) {
+          if (!co.requests[e].empty()) {
+            if (cur_slice > 1) {
+              cur_slice /= 2;
+              engine->NoteStealSliceShrink();
+            }
+          } else if (cur_slice < fleet_.steal_slice) {
+            cur_slice = std::min(fleet_.steal_slice, cur_slice * 2);
+          }
         }
         serve_request();
         co.depth[e] = engine->ready_depth();

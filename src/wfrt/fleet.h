@@ -45,6 +45,13 @@ struct FleetOptions {
   /// Ready-queue pops a worker executes between steal-coordination
   /// checks. Smaller = lower steal latency, more coordination overhead.
   int steal_slice = 32;
+
+  /// Adapt the slice to thief pressure: a worker that finds thieves
+  /// queued at its slice boundary halves its slice (floor 1) so the next
+  /// batch of requests is served sooner, and doubles it back toward
+  /// steal_slice at quiet boundaries. Halvings are counted in
+  /// EngineStats::steal_slice_shrinks.
+  bool adaptive_steal_slice = true;
 };
 
 /// \brief A set of independent engines driven by worker threads.

@@ -1,0 +1,194 @@
+// Engine::RunStepProgram: the fused outgoing-sweep dispatch loop.
+//
+// The interpreted sweep (Engine::EvaluateOutgoing's legacy body) walks an
+// activity's adjacency list twice, re-discovering each connector's kind —
+// otherwise? trivial? VM-compiled? — on every navigation step. The plan
+// already knows all of it, so NavigationPlan::Compile fuses each
+// activity's whole sweep into one straight-line wf::StepInstr program
+// (docs/specs/step_program.md) and this loop merely executes it: computed
+// goto from handler to handler on GCC/Clang (one indirect branch per
+// instruction, per-opcode branch prediction), a switch loop elsewhere.
+//
+// Everything observable is byte-identical to the interpreted sweep —
+// journal record order, audit events, stats counters, error messages, and
+// the post-journal signal delivery order — which the step-program golden
+// test asserts record for record. The one deliberate difference is pure
+// mechanics: the fresh-evaluation list is pooled in the engine
+// (fresh_scratch_) instead of reallocated per sweep. The pool is swapped
+// out for the duration of the sweep, so the reentrant DeliverSignal →
+// ApplyJoin → MarkDead → sweep chain sees an empty pool rather than an
+// aliased buffer.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "expr/eval.h"
+#include "wfrt/engine.h"
+
+// Threaded dispatch needs the address-of-label extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define EXO_STEP_THREADED 1
+#endif
+
+namespace exotica::wfrt {
+
+Status Engine::RunStepProgram(ProcessInstance* inst, uint32_t aid,
+                              bool all_false) {
+  using Op = wf::StepInstr::Op;
+  ++stats_.step_program_dispatches;
+  ActivityRuntime& rt = inst->activities[aid];
+  const wf::NavigationPlan& plan = *inst->plan;
+  const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
+  const std::vector<wf::ControlConnector>& connectors =
+      inst->definition->control_connectors();
+
+  bool any_true = false;
+  bool value = false;
+  std::vector<std::pair<uint32_t, bool>> fresh;
+  fresh.swap(fresh_scratch_);
+  fresh.clear();
+
+  // Only tree-walked conditions read through a resolver; the plan's
+  // resolver bits let trivial/VM-only sweeps skip constructing one, and a
+  // dead-path sweep (all_false) never evaluates conditions at all.
+  std::optional<expr::ContainerResolver> resolver;
+  if (!all_false &&
+      (info.needs_resolver ||
+       (info.has_cond_out && !options_.use_condition_vm))) {
+    resolver.emplace(rt.output);
+  }
+
+  // Tree-walk of one connector's condition (the kTree handler, and kVm
+  // when the engine runs with the condition VM off).
+  auto tree_eval = [&](uint32_t cidx) -> Result<bool> {
+    ++stats_.tree_condition_evals;
+    expr::ContainerResolver& r = *resolver;
+    return connectors[cidx].condition.Evaluate(r);
+  };
+
+  const wf::StepInstr* ip = plan.step_program(info.step_base);
+
+#ifdef EXO_STEP_THREADED
+  static const void* kDispatch[] = {&&do_trivial, &&do_vm, &&do_tree,
+                                    &&do_otherwise, &&do_end};
+#define EXO_STEP_DISPATCH() goto* kDispatch[static_cast<size_t>(ip->op)]
+#else
+#define EXO_STEP_DISPATCH() goto dispatch
+dispatch:
+  switch (ip->op) {
+    case Op::kTrivial: goto do_trivial;
+    case Op::kVm: goto do_vm;
+    case Op::kTree: goto do_tree;
+    case Op::kOtherwise: goto do_otherwise;
+    case Op::kEnd: goto do_end;
+  }
+#endif
+  EXO_STEP_DISPATCH();
+
+do_trivial: {
+  const int8_t prior = inst->out_evals[ip->out_idx];
+  if (prior >= 0) {
+    any_true = any_true || prior != 0;
+    ++ip;
+    EXO_STEP_DISPATCH();
+  }
+  value = !all_false;
+  any_true = any_true || value;
+  goto record;
+}
+
+do_vm: {
+  const int8_t prior = inst->out_evals[ip->out_idx];
+  if (prior >= 0) {
+    any_true = any_true || prior != 0;
+    ++ip;
+    EXO_STEP_DISPATCH();
+  }
+  if (all_false) {
+    value = false;
+    goto record;
+  }
+  Result<bool> r = options_.use_condition_vm
+                       ? EvalVmCondition(inst, ip->prog, rt.output)
+                       : tree_eval(ip->cidx);
+  if (!r.ok()) {
+    if (!options_.condition_error_is_false) {
+      const wf::ControlConnector& c = connectors[ip->cidx];
+      return r.status().WithContext("transition condition " + c.from +
+                                    " -> " + c.to + " in " + inst->id);
+    }
+    value = false;
+  } else {
+    value = r.value();
+  }
+  any_true = any_true || value;
+  goto record;
+}
+
+do_tree: {
+  const int8_t prior = inst->out_evals[ip->out_idx];
+  if (prior >= 0) {
+    any_true = any_true || prior != 0;
+    ++ip;
+    EXO_STEP_DISPATCH();
+  }
+  if (all_false) {
+    value = false;
+    goto record;
+  }
+  Result<bool> r = tree_eval(ip->cidx);
+  if (!r.ok()) {
+    if (!options_.condition_error_is_false) {
+      const wf::ControlConnector& c = connectors[ip->cidx];
+      return r.status().WithContext("transition condition " + c.from +
+                                    " -> " + c.to + " in " + inst->id);
+    }
+    value = false;
+  } else {
+    value = r.value();
+  }
+  any_true = any_true || value;
+  goto record;
+}
+
+do_otherwise: {
+  if (inst->out_evals[ip->out_idx] >= 0) {
+    ++ip;
+    EXO_STEP_DISPATCH();
+  }
+  // Fires iff no conditioned sibling fired. Deliberately does NOT feed
+  // back into any_true (the interpreted sweep's otherwise loop doesn't),
+  // so sibling otherwise connectors all decide from the same picture.
+  value = all_false ? false : !any_true;
+  goto record;
+}
+
+record: {
+  inst->out_evals[ip->out_idx] = value ? 1 : 0;
+  ++stats_.connectors_evaluated;
+  const wf::ControlConnector& c = connectors[ip->cidx];
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                  inst->id, c.from, c.to, value));
+  Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
+        inst->id, c.from, c.to);
+  fresh.emplace_back(ip->cidx, value);
+  ++ip;
+  EXO_STEP_DISPATCH();
+}
+
+do_end: {
+  // Deliver only after the whole sweep is journaled, so a successor's
+  // join never fires on a partial picture.
+  for (auto [cidx, v] : fresh) {
+    EXO_RETURN_NOT_OK(DeliverSignal(inst, cidx, v));
+  }
+  fresh.clear();
+  fresh_scratch_.swap(fresh);
+  return Status::OK();
+}
+
+#undef EXO_STEP_DISPATCH
+}
+
+}  // namespace exotica::wfrt

@@ -2,7 +2,10 @@
 // the tree-walk evaluator on every expression it accepts — same value on
 // success, same status (code AND message) on error — across randomized
 // expressions and randomized container states, including null members and
-// type errors.
+// type errors. Three-way since the typed programs landed: tree-walk vs
+// the generic VM (EvaluateGeneric) vs the typed monomorphic VM
+// (Evaluate, which runs the typed program whenever the compiler emitted
+// one) must all be byte-identical.
 
 #include <gtest/gtest.h>
 
@@ -121,7 +124,7 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
   Rng rng(20260806);
   ExprGen gen(&rng);
 
-  int compiled = 0, agreed_values = 0, agreed_errors = 0;
+  int compiled = 0, agreed_values = 0, agreed_errors = 0, typed = 0;
   constexpr int kExpressions = 12000;
   for (int i = 0; i < kExpressions; ++i) {
     NodePtr node = gen.Gen(5);
@@ -133,11 +136,19 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
     ASSERT_TRUE(prog.ok()) << node->ToString() << ": "
                            << prog.status().ToString();
     ++compiled;
+    if (prog->typed()) ++typed;
 
     ContainerResolver resolver(container);
     Result<Value> tree = Evaluate(*node, resolver);
-    Result<Value> vm = prog->Evaluate(container);
+    Result<Value> generic = prog->EvaluateGeneric(container);
+    Result<Value> vm = prog->Evaluate(container);  // typed when available
 
+    ASSERT_EQ(tree.ok(), generic.ok())
+        << node->ToString() << "\n tree:    "
+        << (tree.ok() ? tree->ToString() : tree.status().ToString())
+        << "\n generic: "
+        << (generic.ok() ? generic->ToString()
+                         : generic.status().ToString());
     ASSERT_EQ(tree.ok(), vm.ok())
         << node->ToString() << "\n tree: "
         << (tree.ok() ? tree->ToString() : tree.status().ToString())
@@ -145,9 +156,12 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
     if (tree.ok()) {
       // No NaN can occur (division by zero errors out, % is long-only),
       // so structural Value equality is exact.
+      ASSERT_EQ(*tree, *generic) << node->ToString();
       ASSERT_EQ(*tree, *vm) << node->ToString();
       ++agreed_values;
     } else {
+      ASSERT_EQ(tree.status().ToString(), generic.status().ToString())
+          << node->ToString();
       ASSERT_EQ(tree.status().ToString(), vm.status().ToString())
           << node->ToString();
       ++agreed_errors;
@@ -171,9 +185,13 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
     }
   }
   EXPECT_EQ(compiled, kExpressions);
-  // Sanity: the generator must actually exercise both regimes.
+  // Sanity: the generator must actually exercise both regimes, and the
+  // typing pass must monomorphize a meaningful share of the corpus (the
+  // generator mixes string identifiers/literals in, so never all of it).
   EXPECT_GT(agreed_values, 1000);
   EXPECT_GT(agreed_errors, 1000);
+  EXPECT_GT(typed, 1000);
+  EXPECT_LT(typed, kExpressions);
 }
 
 TEST_F(VmDifferentialTest, BoolCoercionAgreesUnderEvaluateBool) {
@@ -187,11 +205,16 @@ TEST_F(VmDifferentialTest, BoolCoercionAgreesUnderEvaluateBool) {
 
     ContainerResolver resolver(container);
     Result<bool> tree = EvaluateBool(*node, resolver);
-    Result<bool> vm = prog->EvaluateBool(container);
+    Result<bool> generic = prog->EvaluateBoolGeneric(container);
+    Result<bool> vm = prog->EvaluateBool(container);  // typed when available
+    ASSERT_EQ(tree.ok(), generic.ok()) << node->ToString();
     ASSERT_EQ(tree.ok(), vm.ok()) << node->ToString();
     if (tree.ok()) {
+      ASSERT_EQ(*tree, *generic) << node->ToString();
       ASSERT_EQ(*tree, *vm) << node->ToString();
     } else {
+      ASSERT_EQ(tree.status().ToString(), generic.status().ToString())
+          << node->ToString();
       ASSERT_EQ(tree.status().ToString(), vm.status().ToString())
           << node->ToString();
     }

@@ -85,6 +85,9 @@ TEST_F(ConditionVmTest, NavigationUsesVmAndCountsIt) {
   EXPECT_TRUE(engine.IsFinished(*id));
   EXPECT_EQ(engine.stats().vm_condition_evals, 2u);
   EXPECT_EQ(engine.stats().tree_condition_evals, 0u);
+  // Both conditions read only RC (a long), so the typing pass
+  // monomorphizes them: every VM eval ran the typed program.
+  EXPECT_EQ(engine.stats().typed_condition_evals, 2u);
 }
 
 TEST_F(ConditionVmTest, ToggleOffFallsBackToTreeWalk) {
@@ -134,6 +137,7 @@ TEST_F(ConditionVmTest, ExitConditionLoopsThroughVm) {
   EXPECT_TRUE(engine.IsFinished(*id));
   EXPECT_EQ(engine.stats().reschedules, 2u);
   EXPECT_EQ(engine.stats().vm_condition_evals, 3u);
+  EXPECT_EQ(engine.stats().typed_condition_evals, 3u);
 }
 
 TEST_F(ConditionVmTest, ConditionErrorIsFalseStillHonoredOnVmPath) {
@@ -181,6 +185,10 @@ TEST_F(ConditionVmTest, FleetSharesOneArenaPerDefinition) {
   EXPECT_EQ(result->aggregate.arena_shared_hits, 32u);
   EXPECT_GT(result->aggregate.vm_condition_evals, 0u);
   EXPECT_EQ(result->aggregate.tree_condition_evals, 0u);
+  // Typed programs and step dispatches flow through BatchResult too.
+  EXPECT_EQ(result->aggregate.typed_condition_evals,
+            result->aggregate.vm_condition_evals);
+  EXPECT_GT(result->aggregate.step_program_dispatches, 0u);
 }
 
 }  // namespace

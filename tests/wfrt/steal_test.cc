@@ -507,6 +507,38 @@ TEST(FleetStealTest, SkewedSleepBatchBalancesAcrossEngines) {
   EXPECT_GE(result->aggregate.arena_spinups, 25u);
 }
 
+TEST(FleetStealTest, AdaptiveSliceShrinksUnderThiefPressure) {
+  // One engine draws a long chain whose slices take tens of milliseconds;
+  // the others drain their light seeds, go idle, and queue steal requests
+  // at the loaded engine. Finding thieves queued at a slice boundary must
+  // shrink the slice (counted per halving), whether or not the steal
+  // itself is ultimately served or declined.
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(DeclareDefaultProgram(&store, "slow_step").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store, "quick_step").ok());
+  BindSleeper(&programs, "slow_step", wfsim::DurationModel::Fixed(1500));
+  BindSleeper(&programs, "quick_step", wfsim::DurationModel::Fixed(200));
+  RegisterChain(&store, "long", 80, "slow_step");
+  RegisterChain(&store, "short", 2, "quick_step");
+
+  wfrt::FleetOptions fo;
+  fo.work_stealing = true;
+  fo.steal_slice = 32;  // slices outlive the light engines' whole share
+  fo.adaptive_steal_slice = true;
+  wfrt::EngineFleet fleet(&store, &programs, 4, {}, fo);
+
+  std::vector<wfrt::EngineFleet::BatchSeed> seeds;
+  seeds.push_back({"long", nullptr});
+  for (int i = 0; i < 12; ++i) seeds.push_back({"short", nullptr});
+
+  auto result = fleet.RunBatch(seeds);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->instances_finished, 13u);
+  EXPECT_GE(result->aggregate.steal_slice_shrinks, 1u);
+}
+
 TEST(FleetStealTest, DisabledStealingKeepsEnginesIndependent) {
   wf::DefinitionStore store;
   wfrt::ProgramRegistry programs;

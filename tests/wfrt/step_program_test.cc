@@ -1,0 +1,189 @@
+// Golden equivalence of the fused step programs (Engine::RunStepProgram)
+// against the interpreted outgoing sweep: on the same definition and
+// inputs, every engine-observable artifact — the journal record stream
+// (order AND content, connector evals included), the audit trace, and the
+// instance output — must be byte-identical across all four combinations
+// of {step programs, condition VM} on/off. Also pins the plan-side step
+// program structure and the typed/step stats counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+using wf::ActivityState;
+
+class StepProgramTest : public ::testing::Test {
+ protected:
+  /// A diamond with conditioned, otherwise, and trivial connectors plus an
+  /// OR-join, so one run exercises every step opcode and the dead-path
+  /// (all_false) sweep:
+  ///
+  ///       A --RC=0--> B ----> D (OR-join)
+  ///       A --OTHERWISE--> C -/
+  ///
+  /// With rc=0 the top path fires and C dies; with rc=1 the otherwise
+  /// path fires and B dies. Either way D's join sees one true and one
+  /// false, and the dead branch's sweep runs all_false.
+  void RegisterDiamond(const std::string& name, int64_t rc) {
+    const std::string prog = name + "_prog";
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, prog).ok());
+    ASSERT_TRUE(BindConstRc(&programs_, prog, rc).ok());
+    wf::ProcessBuilder b(&store_, name);
+    b.Program("A", prog).Program("B", prog).Program("C", prog);
+    b.Program("D", prog).OrJoin();
+    b.Connect("A", "B", "RC = 0");
+    b.Otherwise("A", "C");
+    b.Connect("B", "D");
+    b.Connect("C", "D");
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  /// Runs `process` once under the given toggles against a fresh memory
+  /// journal; returns the encoded record stream + the audit trace.
+  struct RunResult {
+    std::vector<std::string> records;
+    std::vector<std::string> trace;
+    wfrt::EngineStats stats;
+  };
+  RunResult RunOnce(const std::string& process, bool use_step, bool use_vm) {
+    RunResult out;
+    wfjournal::MemoryJournal journal;
+    wfrt::EngineOptions options;
+    options.use_step_programs = use_step;
+    options.use_condition_vm = use_vm;
+    wfrt::Engine engine(&store_, &programs_, options);
+    EXPECT_TRUE(engine.AttachJournal(&journal).ok());
+    auto id = engine.RunToCompletion(process);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (id.ok()) {
+      EXPECT_TRUE(engine.IsFinished(*id));
+      out.trace = engine.audit().CompactTrace(*id, {});
+    }
+    auto records = journal.ReadAll();
+    EXPECT_TRUE(records.ok());
+    for (const wfjournal::Record& r : *records) {
+      out.records.push_back(r.Encode());
+    }
+    out.stats = engine.stats();
+    return out;
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(StepProgramTest, PlanCompilesOneProgramPerActivity) {
+  RegisterDiamond("diamond", 0);
+  auto def = store_.FindProcess("diamond");
+  ASSERT_TRUE(def.ok());
+  const wf::NavigationPlan& plan = (*def)->plan();
+
+  // A's program: the conditioned connector (VM-compiled), then the
+  // otherwise connector, then kEnd — non-otherwise strictly first.
+  const wf::NavigationPlan::ActivityInfo& a = plan.activity(0);
+  const wf::StepInstr* p = plan.step_program(a.step_base);
+  ASSERT_EQ(p[0].op, wf::StepInstr::Op::kVm);
+  EXPECT_GE(p[0].prog, 0);
+  ASSERT_EQ(p[1].op, wf::StepInstr::Op::kOtherwise);
+  ASSERT_EQ(p[2].op, wf::StepInstr::Op::kEnd);
+  // "RC = 0" is fully typeable against _Default (RC : LONG), and the
+  // sweep needs no resolver (no tree-walk fallbacks).
+  EXPECT_TRUE(plan.vm_program(p[0].prog).typed());
+  EXPECT_FALSE(a.needs_resolver);
+  EXPECT_TRUE(a.has_cond_out);
+
+  // B's program: one trivial connector.
+  const wf::StepInstr* pb = plan.step_program(plan.activity(1).step_base);
+  ASSERT_EQ(pb[0].op, wf::StepInstr::Op::kTrivial);
+  EXPECT_EQ(pb[1].op, wf::StepInstr::Op::kEnd);
+  EXPECT_FALSE(plan.activity(1).has_cond_out);
+
+  // D is a sink: its program is just kEnd.
+  EXPECT_EQ(plan.step_program(plan.activity(3).step_base)[0].op,
+            wf::StepInstr::Op::kEnd);
+}
+
+TEST_F(StepProgramTest, JournalByteIdenticalAcrossAllEvaluationPaths) {
+  RegisterDiamond("top", 0);   // conditioned path fires, C dies
+  RegisterDiamond("other", 1); // otherwise path fires, B dies
+  for (const char* process : {"top", "other"}) {
+    SCOPED_TRACE(process);
+
+    RunResult golden = RunOnce(process, /*use_step=*/false, /*use_vm=*/true);
+    ASSERT_FALSE(golden.records.empty());
+    EXPECT_EQ(golden.stats.step_program_dispatches, 0u);
+
+    for (bool use_vm : {true, false}) {
+      RunResult fused = RunOnce(process, /*use_step=*/true, use_vm);
+      SCOPED_TRACE(std::string("vm=") + (use_vm ? "on" : "off"));
+      // Record for record: same order, same content — connector evals
+      // (from, to, value) exactly where the interpreted sweep put them.
+      EXPECT_EQ(golden.records, fused.records);
+      EXPECT_EQ(golden.trace, fused.trace);
+      EXPECT_GT(fused.stats.step_program_dispatches, 0u);
+      EXPECT_EQ(fused.stats.connectors_evaluated,
+                golden.stats.connectors_evaluated);
+    }
+    RunResult tree = RunOnce(process, /*use_step=*/false, /*use_vm=*/false);
+    EXPECT_EQ(golden.records, tree.records);
+    EXPECT_EQ(golden.trace, tree.trace);
+  }
+}
+
+TEST_F(StepProgramTest, ConditionErrorMessagesMatchInterpretedSweep) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "ok").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "ok", 0).ok());
+  wf::ProcessBuilder b(&store_, "err");
+  b.Program("A", "ok").Program("B", "ok");
+  // Type error at evaluation time: RC is a long, "x" a string. The typed
+  // compiler rejects the program (string operand) and the generic VM
+  // reproduces the tree-walk's error.
+  b.Connect("A", "B", "RC < \"x\"");
+  ASSERT_TRUE(b.Register().ok());
+
+  std::vector<std::string> errors;
+  for (bool use_step : {true, false}) {
+    wfrt::EngineOptions options;
+    options.use_step_programs = use_step;
+    wfrt::Engine engine(&store_, &programs_, options);
+    auto id = engine.StartProcess("err");
+    ASSERT_TRUE(id.ok());
+    Status st = engine.Run();
+    ASSERT_FALSE(st.ok());
+    errors.push_back(st.ToString());
+  }
+  EXPECT_EQ(errors[0], errors[1]);
+}
+
+TEST_F(StepProgramTest, TypedStatsCountSubsetOfVmEvals) {
+  RegisterDiamond("diamond", 0);
+  wfrt::Engine engine(&store_, &programs_);
+  auto id = engine.RunToCompletion("diamond");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // "RC = 0" runs once, on the typed program, through a step dispatch.
+  EXPECT_EQ(engine.stats().vm_condition_evals, 1u);
+  EXPECT_EQ(engine.stats().typed_condition_evals, 1u);
+  EXPECT_GT(engine.stats().step_program_dispatches, 0u);
+
+  // Forcing the generic program keeps the vm count but drops typed.
+  wfrt::EngineOptions options;
+  options.use_typed_conditions = false;
+  wfrt::Engine generic(&store_, &programs_, options);
+  ASSERT_TRUE(generic.RunToCompletion("diamond").ok());
+  EXPECT_EQ(generic.stats().vm_condition_evals, 1u);
+  EXPECT_EQ(generic.stats().typed_condition_evals, 0u);
+}
+
+}  // namespace
+}  // namespace exotica

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the conditioned-chain navigation numbers.
+
+Compares a fresh bench_navigation run against the committed
+BENCH_cond.json baseline. Absolute times are not comparable across
+machines, so the check is ratio-based: the fresh run re-measures both
+sides of each head-to-head (tree-walk vm:0 vs compiled VM vm:1) and the
+resulting speedup must not drop more than --tolerance (default 10%)
+below the baseline's recorded speedup. A drop means a change slowed the
+compiled path relative to the tree-walk reference — the regression the
+gate exists to catch.
+
+Optionally (--min-step-speedup R) also requires the fused step-program
+chain (BM_StepChainNavigation step:1) to beat the same run's
+interpreted-VM conditioned chain (vm:1) by at least R on the best chain
+length — the compilation-ladder acceptance number tracked in
+BENCH_step.json.
+
+Usage:
+  build/bench/bench_navigation --benchmark_format=json \
+      --benchmark_filter='ConditionedChain|StepChain' \
+      --benchmark_repetitions=3 > fresh_nav.json
+  tools/check_bench_regression.py --baseline BENCH_cond.json \
+      --fresh fresh_nav.json [--tolerance 0.10] [--min-step-speedup 1.2]
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = missing data.
+"""
+
+import argparse
+import json
+import sys
+
+
+def median_times(bench_json):
+    """run_name -> representative real_time.
+
+    Prefers the 'median' aggregate (repetition runs); falls back to the
+    mean of raw iteration entries so a plain single-rep smoke run works.
+    """
+    medians = {}
+    raw = {}
+    for b in bench_json.get("benchmarks", []):
+        name = b.get("run_name", b.get("name"))
+        if b.get("aggregate_name") == "median":
+            medians[name] = b["real_time"]
+        elif b.get("run_type") != "aggregate":
+            raw.setdefault(name, []).append(b["real_time"])
+    for name, times in raw.items():
+        medians.setdefault(name, sum(times) / len(times))
+    return medians
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_cond.json (summary holds the "
+                         "conditioned_chain_*_speedup_vm ratios)")
+    ap.add_argument("--fresh", required=True,
+                    help="google-benchmark JSON from a fresh "
+                         "bench_navigation run (ConditionedChain, and "
+                         "StepChain if --min-step-speedup is used)")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative drop in the vm speedup "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--min-step-speedup", type=float, default=None,
+                    help="if set, require step:1 vs vm:1 >= R on the "
+                         "best chain length")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base_summary = baseline.get("summary", {})
+    times = median_times(fresh)
+
+    def ratio(base_key, test_key):
+        base, test = times.get(base_key), times.get(test_key)
+        if base is None or test is None or test == 0:
+            return None
+        return base / test
+
+    failures = []
+    checked = 0
+    for n in (100, 1000):
+        key = f"conditioned_chain_{n}_speedup_vm"
+        base_speedup = base_summary.get(key)
+        if base_speedup is None:
+            continue
+        fresh_speedup = ratio(
+            f"BM_ConditionedChainNavigation/n:{n}/vm:0",
+            f"BM_ConditionedChainNavigation/n:{n}/vm:1")
+        if fresh_speedup is None:
+            print(f"MISSING {key}: fresh run has no n:{n} vm rows")
+            return 2
+        checked += 1
+        floor = (1.0 - args.tolerance) * base_speedup
+        verdict = "ok" if fresh_speedup >= floor else "REGRESSION"
+        print(f"{verdict} {key}: fresh {fresh_speedup:.3f} vs baseline "
+              f"{base_speedup:.3f} (floor {floor:.3f})")
+        if fresh_speedup < floor:
+            failures.append(key)
+
+    if checked == 0:
+        print("MISSING: baseline summary has no conditioned_chain keys")
+        return 2
+
+    if args.min_step_speedup is not None:
+        ladder = {}
+        for n in (100, 1000):
+            r = ratio(f"BM_ConditionedChainNavigation/n:{n}/vm:1",
+                      f"BM_StepChainNavigation/n:{n}/step:1")
+            if r is not None:
+                ladder[n] = r
+        if not ladder:
+            print("MISSING: fresh run has no StepChain step:1 rows")
+            return 2
+        best_n = max(ladder, key=ladder.get)
+        best = ladder[best_n]
+        verdict = "ok" if best >= args.min_step_speedup else "REGRESSION"
+        print(f"{verdict} step ladder: best {best:.3f}x at n:{best_n} "
+              f"(all: {({k: round(v, 3) for k, v in ladder.items()})}), "
+              f"required >= {args.min_step_speedup}")
+        if best < args.min_step_speedup:
+            failures.append("step_ladder")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #   FAULTS_OUT=faults.json   tools/run_benches.sh   # override faults file
 #   FLEET_OUT=fleet.json     tools/run_benches.sh   # override fleet file
 #   COND_OUT=cond.json       tools/run_benches.sh   # override condition file
+#   STEP_OUT=step.json       tools/run_benches.sh   # override step file
 #
 # The output has one top-level key per benchmark binary, each holding the
 # raw Google Benchmark JSON (context + benchmarks array). The fault-
@@ -19,7 +20,11 @@
 # speedup ratios are robust to scheduling noise. The condition-VM
 # head-to-heads (bench_condition plus bench_navigation's
 # ConditionedChain, tree-walk vs compiled VM) land in BENCH_cond.json
-# the same way.
+# the same way. The compilation-ladder upper rungs — typed condition
+# programs (ConditionEval vm:2) and the fused step programs
+# (StepChainNavigation) — land in BENCH_step.json, with ladder speedups
+# measured against the same run's interpreted-VM conditioned chain so
+# they compare like with like on this machine.
 
 set -euo pipefail
 
@@ -28,6 +33,7 @@ OUT="${1:-BENCH_nav.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
 COND_OUT="${COND_OUT:-BENCH_cond.json}"
+STEP_OUT="${STEP_OUT:-BENCH_step.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_navigation bench_fleet bench_recovery bench_condition)
 
@@ -67,6 +73,12 @@ echo "== bench_navigation (conditioned chain, tree-walk vs VM) ==" >&2
   --benchmark_filter='ConditionedChain' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   > "$tmpdir/bench_cond_nav.json"
+
+echo "== bench_navigation (fused step programs) ==" >&2
+"$BUILD_DIR/bench/bench_navigation" --benchmark_format=json \
+  --benchmark_filter='StepChain' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_step_nav.json"
 
 echo "== bench_fleet (scheduler head-to-head) ==" >&2
 "$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
@@ -166,6 +178,55 @@ for n in (100, 1000):
 
 merged = {"bench_condition_eval": micro, "bench_conditioned_navigation": nav,
           "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {summary}")
+EOF
+
+python3 - "$STEP_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_cond_eval.json") as f:
+    micro = json.load(f)
+with open(f"{tmpdir}/bench_cond_nav.json") as f:
+    nav = json.load(f)
+with open(f"{tmpdir}/bench_step_nav.json") as f:
+    step = json.load(f)
+
+# Headline speedups from the median aggregates, one per ladder rung:
+# typed programs vs tree-walk and vs the generic VM (micro), step fusion
+# vs the interpreted sweep over the same typed programs (A/B), and the
+# acceptance number — the fully fused chain vs this run's interpreted-VM
+# conditioned chain, i.e. what BENCH_cond.json's vm:1 series measures.
+medians = {}
+for b in (micro.get("benchmarks", []) + nav.get("benchmarks", []) +
+          step.get("benchmarks", [])):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b
+
+summary = {}
+def speedup(name, base_key, test_key):
+    base, test = medians.get(base_key), medians.get(test_key)
+    if base and test:
+        summary[name] = round(base["real_time"] / test["real_time"], 3)
+
+for expr, label in [(0, "trivial"), (1, "guard"), (2, "wide")]:
+    speedup(f"condition_eval_speedup_typed_{label}",
+            f"BM_ConditionEval/expr:{expr}/vm:0",
+            f"BM_ConditionEval/expr:{expr}/vm:2")
+    speedup(f"condition_eval_speedup_typed_vs_generic_{label}",
+            f"BM_ConditionEval/expr:{expr}/vm:1",
+            f"BM_ConditionEval/expr:{expr}/vm:2")
+for n in (100, 1000):
+    speedup(f"step_chain_{n}_speedup_fused",
+            f"BM_StepChainNavigation/n:{n}/step:0",
+            f"BM_StepChainNavigation/n:{n}/step:1")
+    speedup(f"conditioned_chain_{n}_speedup_ladder",
+            f"BM_ConditionedChainNavigation/n:{n}/vm:1",
+            f"BM_StepChainNavigation/n:{n}/step:1")
+
+merged = {"bench_step_navigation": step, "summary": summary}
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
