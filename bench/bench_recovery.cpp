@@ -4,9 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "wfjournal/faulty.h"
 #include "wfjournal/journal.h"
 #include "wfrt/faults.h"
+#include "wfrt/fleet.h"
 #include "bench_common.h"
 
 namespace exotica::bench {
@@ -122,6 +126,92 @@ void BM_FileJournalAppend(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_FileJournalAppend)->Arg(0)->Arg(1);
+
+// E2c: snapshot checkpoints flatten recovery cost against history
+// length. The journal holds `history` finished instances plus one live
+// suspended one; with snap:1 a checkpoint truncates the finished history
+// behind a snapshot, so replay cost tracks the live set, not the past.
+void BM_RecoverAfterHistory(benchmark::State& state) {
+  const int history = static_cast<int>(state.range(0));
+  const bool snapshot = state.range(1) == 1;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, 20);
+
+  wfjournal::MemoryJournal journal;
+  {
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&journal).ok()) std::abort();
+    for (int i = 0; i < history; ++i) {
+      if (!engine.RunToCompletion(process).ok()) std::abort();
+    }
+    auto live = engine.StartProcess(process);
+    if (!live.ok()) std::abort();
+    if (!engine.SuspendInstance(*live).ok()) std::abort();
+    if (!engine.Run().ok()) std::abort();
+    if (snapshot && !engine.Checkpoint().ok()) std::abort();
+  }
+
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs);
+    if (!engine.AttachJournal(&journal).ok()) std::abort();
+    Status st = engine.Recover();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    replayed = engine.stats().recovery_records_replayed;
+  }
+  state.counters["records_replayed"] = static_cast<double>(replayed);
+  state.counters["journal_records"] =
+      static_cast<double>(journal.size() - journal.first_seq());
+}
+BENCHMARK(BM_RecoverAfterHistory)
+    ->ArgsProduct({{10, 100}, {0, 1}})
+    ->ArgNames({"history", "snap"});
+
+// E2c: parallel sharded recovery — the same total history replays across
+// 1 vs 4 per-engine journal shards, one recovery thread per shard.
+void BM_FleetRecoverSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  // Large enough that replay work dwarfs the per-iteration thread
+  // spawn/join cost the parallel path pays.
+  const int kTotalInstances = 1024;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, 20);
+
+  // Build each shard's history directly on its engine: deterministic
+  // shard contents, no steal traffic muddying the comparison.
+  std::vector<std::unique_ptr<wfjournal::MemoryJournal>> owned;
+  std::vector<wfjournal::Journal*> journals;
+  for (int e = 0; e < shards; ++e) {
+    owned.push_back(std::make_unique<wfjournal::MemoryJournal>());
+    journals.push_back(owned.back().get());
+  }
+  {
+    wfrt::EngineFleet fleet(&store, &programs, shards);
+    if (!fleet.AttachJournals(journals).ok()) std::abort();
+    for (int e = 0; e < shards; ++e) {
+      for (int i = 0; i < kTotalInstances / shards; ++i) {
+        if (!fleet.engine(e)->RunToCompletion(process).ok()) std::abort();
+      }
+      auto live = fleet.engine(e)->StartProcess(process);
+      if (!live.ok()) std::abort();
+      if (!fleet.engine(e)->SuspendInstance(*live).ok()) std::abort();
+      if (!fleet.engine(e)->Run().ok()) std::abort();
+    }
+  }
+
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    wfrt::EngineFleet fleet(&store, &programs, shards);
+    if (!fleet.AttachJournals(journals).ok()) std::abort();
+    auto report = fleet.Recover();
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    replayed = report->records_replayed;
+  }
+  state.counters["records_replayed"] = static_cast<double>(replayed);
+}
+BENCHMARK(BM_FleetRecoverSharded)->Arg(1)->Arg(4)->ArgName("shards");
 
 // E2b: navigation throughput with a deterministic transient-fault rate —
 // the retry tax of the paper's restart-from-the-beginning model. Arg is

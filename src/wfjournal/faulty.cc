@@ -9,13 +9,18 @@
 namespace exotica::wfjournal {
 
 Status FaultyJournal::RawWrite(const std::string& bytes) {
-  if (path_.empty()) {
+  // After a segment rotation the legacy constructor path is a stale
+  // (possibly deleted) segment; the bytes a torn write would clobber live
+  // in the inner journal's active segment.
+  std::string target = inner_->active_path();
+  if (target.empty()) target = path_;
+  if (target.empty()) {
     return Status::InvalidArgument(
         "FaultyJournal byte-level fault needs a file path");
   }
-  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  int fd = ::open(target.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::IOError("FaultyJournal cannot open " + path_ + ": " +
+    return Status::IOError("FaultyJournal cannot open " + target + ": " +
                            std::strerror(errno));
   }
   size_t off = 0;
@@ -24,13 +29,25 @@ Status FaultyJournal::RawWrite(const std::string& bytes) {
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       ::close(fd);
-      return Status::IOError("FaultyJournal raw write to " + path_ +
+      return Status::IOError("FaultyJournal raw write to " + target +
                              " failed: " + std::strerror(errno));
     }
     off += static_cast<size_t>(n);
   }
   ::close(fd);
   return Status::OK();
+}
+
+Result<uint64_t> FaultyJournal::TruncateBefore(uint64_t seq) {
+  uint64_t index = truncates_++;
+  if (truncate_armed_ && index == fail_truncate_at_) {
+    ++injected_;
+    // Not forwarded: every pre-snapshot segment survives, exactly the
+    // state a crash between snapshot flush and truncation leaves.
+    return Status::IOError("injected truncate failure at truncate " +
+                           std::to_string(index));
+  }
+  return inner_->TruncateBefore(seq);
 }
 
 Status FaultyJournal::Append(Record record) {

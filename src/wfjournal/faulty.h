@@ -60,8 +60,18 @@ class FaultyJournal : public Journal {
     fail_flush_at_ = flush_index;
   }
 
+  /// Arms a failure at the `truncate_index`-th TruncateBefore call
+  /// (0-based). The truncation is not forwarded — this models a crash
+  /// after the snapshot record is durable but before the journal prefix
+  /// was dropped.
+  void FailTruncateAt(uint64_t truncate_index) {
+    truncate_armed_ = true;
+    fail_truncate_at_ = truncate_index;
+  }
+
   uint64_t appends() const { return appends_; }
   uint64_t flushes() const { return flushes_; }
+  uint64_t truncates() const { return truncates_; }
   uint64_t faults_injected() const { return injected_; }
 
   Status Append(Record record) override;
@@ -73,9 +83,15 @@ class FaultyJournal : public Journal {
     return inner_->Visit(visitor);
   }
   uint64_t size() const override { return inner_->size(); }
+  Status RotateSegment() override { return inner_->RotateSegment(); }
+  Result<uint64_t> TruncateBefore(uint64_t seq) override;
+  uint64_t first_seq() const override { return inner_->first_seq(); }
+  std::string active_path() const override { return inner_->active_path(); }
 
  private:
-  /// Appends `bytes` to path_ directly, bypassing the inner journal.
+  /// Appends `bytes` raw to the inner journal's active segment (falling
+  /// back to the constructor path), bypassing the inner journal — after a
+  /// rotation the torn bytes must land where the next real write would.
   Status RawWrite(const std::string& bytes);
 
   Journal* inner_;
@@ -88,8 +104,12 @@ class FaultyJournal : public Journal {
   bool flush_armed_ = false;
   uint64_t fail_flush_at_ = 0;
 
+  bool truncate_armed_ = false;
+  uint64_t fail_truncate_at_ = 0;
+
   uint64_t appends_ = 0;
   uint64_t flushes_ = 0;
+  uint64_t truncates_ = 0;
   uint64_t injected_ = 0;
 };
 

@@ -1,8 +1,10 @@
 #include "wfjournal/journal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -29,6 +31,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kInstanceFailed: return "FAILED";
     case EventType::kInstanceDetached: return "DETACHED";
     case EventType::kInstanceAdopted: return "ADOPTED";
+    case EventType::kSnapshot: return "SNAPSHOT";
   }
   return "?";
 }
@@ -72,7 +75,7 @@ Result<Record> Record::Decode(const std::string& line) {
   }
   long type_val = std::strtol(fields[1].c_str(), &end, 10);
   if (end != fields[1].c_str() + fields[1].size() || type_val < 0 ||
-      type_val > static_cast<long>(EventType::kInstanceAdopted)) {
+      type_val > static_cast<long>(EventType::kSnapshot)) {
     return Status::Corruption("bad type in journal record: " + line);
   }
   r.type = static_cast<EventType>(type_val);
@@ -93,7 +96,7 @@ Result<Record> Record::Decode(const std::string& line) {
 }
 
 Status MemoryJournal::Append(Record record) {
-  record.seq = records_.size();
+  record.seq = base_seq_ + records_.size();
   records_.push_back(std::move(record));
   return Status::OK();
 }
@@ -107,35 +110,96 @@ Status MemoryJournal::Visit(const RecordVisitor& visitor) const {
   return Status::OK();
 }
 
+Result<uint64_t> MemoryJournal::TruncateBefore(uint64_t seq) {
+  if (seq <= base_seq_) return static_cast<uint64_t>(0);
+  uint64_t cut = std::min<uint64_t>(seq, base_seq_ + records_.size());
+  uint64_t dropped = cut - base_seq_;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(dropped));
+  base_seq_ = cut;
+  return dropped;
+}
+
 void MemoryJournal::TruncateTo(uint64_t keep) {
-  if (keep < records_.size()) records_.resize(keep);
+  if (keep <= base_seq_) {
+    records_.clear();
+  } else if (keep - base_seq_ < records_.size()) {
+    records_.resize(keep - base_seq_);
+  }
 }
 
 Result<std::unique_ptr<FileJournal>> FileJournal::Open(const std::string& path,
                                                        bool fsync_each) {
   auto journal = std::unique_ptr<FileJournal>(new FileJournal(path, fsync_each));
-  // Scan existing content to restore the sequence counter and verify
-  // integrity of what is already there. A torn tail (crash mid-batch)
-  // is cut off so subsequent appends start at a record boundary.
-  uint64_t good_end = 0;
-  uint64_t count = 0;
-  EXO_RETURN_NOT_OK(journal->ScanFile(nullptr, &good_end, &count));
-  journal->next_seq_ = count;
-  {
-    std::ifstream probe(path, std::ios::binary | std::ios::ate);
-    if (probe.is_open() &&
-        static_cast<uint64_t>(probe.tellg()) > good_end &&
-        ::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
-      return Status::IOError("cannot truncate torn journal tail in " + path +
-                             ": " + std::strerror(errno));
+  EXO_RETURN_NOT_OK(journal->LoadSegments());
+  // Scan existing content to restore the sequence counters and verify
+  // integrity of what is already there. A torn tail in the active segment
+  // (crash mid-batch) is cut off so subsequent appends start at a record
+  // boundary; damage anywhere behind it is corruption.
+  uint64_t expect = journal->segments_.front().start;
+  journal->first_seq_ = expect;
+  for (size_t i = 0; i < journal->segments_.size(); ++i) {
+    const Segment& seg = journal->segments_[i];
+    bool active = i + 1 == journal->segments_.size();
+    if (seg.start != expect) {
+      return Status::Corruption("journal segment " + seg.path +
+                                " starts at seq " + std::to_string(seg.start) +
+                                " want " + std::to_string(expect));
+    }
+    uint64_t good_end = 0;
+    EXO_RETURN_NOT_OK(
+        journal->ScanSegment(seg, active, nullptr, &expect, &good_end));
+    if (active) {
+      std::ifstream probe(seg.path, std::ios::binary | std::ios::ate);
+      if (probe.is_open() &&
+          static_cast<uint64_t>(probe.tellg()) > good_end &&
+          ::truncate(seg.path.c_str(), static_cast<off_t>(good_end)) != 0) {
+        return Status::IOError("cannot truncate torn journal tail in " +
+                               seg.path + ": " + std::strerror(errno));
+      }
     }
   }
-  journal->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  journal->next_seq_ = expect;
+  const std::string& active_file = journal->segments_.back().path;
+  journal->fd_ =
+      ::open(active_file.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (journal->fd_ < 0) {
-    return Status::IOError("cannot open journal " + path + ": " +
+    return Status::IOError("cannot open journal " + active_file + ": " +
                            std::strerror(errno));
   }
   return journal;
+}
+
+Status FileJournal::LoadSegments() {
+  segments_.clear();
+  {
+    std::ifstream probe(path_, std::ios::binary);
+    if (probe.is_open()) segments_.push_back({0, path_});
+  }
+  // Rotation files live next to the base path as `<base>.<startseq>`.
+  size_t slash = path_.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path_.substr(0, slash);
+  std::string base =
+      slash == std::string::npos ? path_ : path_.substr(slash + 1);
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (!StartsWith(name, base + ".")) continue;
+      std::string suffix = name.substr(base.size() + 1);
+      if (suffix.empty() ||
+          suffix.find_first_not_of("0123456789") != std::string::npos) {
+        continue;  // unrelated sibling (e.g. a fleet shard "journal.e1")
+      }
+      segments_.push_back(
+          {std::strtoull(suffix.c_str(), nullptr, 10), dir + "/" + name});
+    }
+    ::closedir(d);
+  }
+  if (segments_.empty()) segments_.push_back({0, path_});
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return Status::OK();
 }
 
 FileJournal::~FileJournal() {
@@ -156,12 +220,12 @@ Status FileJournal::Append(Record record) {
     line += '\n';
     ssize_t n = ::write(fd_, line.data(), line.size());
     if (n != static_cast<ssize_t>(line.size())) {
-      return Status::IOError("short write to journal " + path_ + ": " +
+      return Status::IOError("short write to journal " + active_path() + ": " +
                              std::strerror(errno));
     }
     if (::fsync(fd_) != 0) {
-      return Status::IOError("fsync failed on journal " + path_ + ": " +
-                             std::strerror(errno));
+      return Status::IOError("fsync failed on journal " + active_path() +
+                             ": " + std::strerror(errno));
     }
     ++next_seq_;
     return Status::OK();
@@ -175,6 +239,45 @@ Status FileJournal::Append(Record record) {
 
 Status FileJournal::Flush() { return FlushPending(); }
 
+Status FileJournal::RotateSegment() {
+  EXO_RETURN_NOT_OK(FlushPending());
+  // Rotating twice with nothing in between would reuse the same file name;
+  // the still-empty active segment already satisfies the contract.
+  if (segments_.back().start == next_seq_) return Status::OK();
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on journal " + active_path() + ": " +
+                           std::strerror(errno));
+  }
+  std::string path = path_ + "." + std::to_string(next_seq_);
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open journal segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = fd;
+  segments_.push_back({next_seq_, std::move(path)});
+  return Status::OK();
+}
+
+Result<uint64_t> FileJournal::TruncateBefore(uint64_t seq) {
+  uint64_t dropped = 0;
+  // A segment is droppable when the *next* segment starts at or before
+  // `seq` — every record it holds is then < seq. The active segment is
+  // never dropped.
+  while (segments_.size() > 1 && segments_[1].start <= seq) {
+    if (::unlink(segments_.front().path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("cannot unlink journal segment " +
+                             segments_.front().path + ": " +
+                             std::strerror(errno));
+    }
+    dropped += segments_[1].start - segments_.front().start;
+    segments_.erase(segments_.begin());
+  }
+  first_seq_ = segments_.front().start;
+  return dropped;
+}
+
 Status FileJournal::FlushPending() const {
   if (pending_.empty()) return Status::OK();
   size_t off = 0;
@@ -182,7 +285,7 @@ Status FileJournal::FlushPending() const {
     ssize_t n = ::write(fd_, pending_.data() + off, pending_.size() - off);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return Status::IOError("short write to journal " + path_ + ": " +
+      return Status::IOError("short write to journal " + active_path() + ": " +
                              std::strerror(errno));
     }
     off += static_cast<size_t>(n);
@@ -191,15 +294,14 @@ Status FileJournal::FlushPending() const {
   return Status::OK();
 }
 
-Status FileJournal::ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
-                             uint64_t* count) const {
+Status FileJournal::ScanSegment(const Segment& segment, bool allow_torn,
+                                const RecordVisitor& visitor, uint64_t* expect,
+                                uint64_t* good_end) const {
   *good_end = 0;
-  *count = 0;
-  std::ifstream in(path_);
-  if (!in.is_open()) return Status::OK();  // no file yet: empty journal
+  std::ifstream in(segment.path);
+  if (!in.is_open()) return Status::OK();  // no file yet: empty segment
   std::string line;
   uint64_t offset = 0;
-  uint64_t expect = 0;
   while (std::getline(in, line)) {
     // getline hits EOF exactly when the line had no trailing newline — a
     // record cut off mid-write.
@@ -210,6 +312,12 @@ Status FileJournal::ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
     }
     Result<Record> r = Record::Decode(line);
     if (!r.ok() || !terminated) {
+      if (!allow_torn) {
+        return r.ok() ? Status::Corruption("journal segment " + segment.path +
+                                           " has a torn tail behind the "
+                                           "active segment")
+                      : r.status();
+      }
       if (!r.ok()) {
         // Only the final record may be torn; garbage with well-formed
         // lines after it is corruption, not a crash artifact.
@@ -220,39 +328,38 @@ Status FileJournal::ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
       }
       break;
     }
-    if (r->seq != expect) {
-      return Status::Corruption("journal " + path_ + " seq gap: got " +
+    if (r->seq != *expect) {
+      return Status::Corruption("journal " + segment.path + " seq gap: got " +
                                 std::to_string(r->seq) + " want " +
-                                std::to_string(expect));
+                                std::to_string(*expect));
     }
-    ++expect;
+    ++*expect;
     offset += line.size() + 1;
     if (visitor) EXO_RETURN_NOT_OK(visitor(*r));
   }
   *good_end = offset;
-  *count = expect;
   return Status::OK();
 }
 
 Result<std::vector<Record>> FileJournal::ReadAll() const {
-  EXO_RETURN_NOT_OK(FlushPending());
   std::vector<Record> out;
-  uint64_t good_end = 0;
-  uint64_t count = 0;
-  EXO_RETURN_NOT_OK(ScanFile(
-      [&out](const Record& r) {
-        out.push_back(r);
-        return Status::OK();
-      },
-      &good_end, &count));
+  EXO_RETURN_NOT_OK(Visit([&out](const Record& r) {
+    out.push_back(r);
+    return Status::OK();
+  }));
   return out;
 }
 
 Status FileJournal::Visit(const RecordVisitor& visitor) const {
   EXO_RETURN_NOT_OK(FlushPending());
-  uint64_t good_end = 0;
-  uint64_t count = 0;
-  return ScanFile(visitor, &good_end, &count);
+  uint64_t expect = segments_.front().start;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    uint64_t good_end = 0;
+    EXO_RETURN_NOT_OK(ScanSegment(segments_[i],
+                                  i + 1 == segments_.size(), visitor, &expect,
+                                  &good_end));
+  }
+  return Status::OK();
 }
 
 }  // namespace exotica::wfjournal

@@ -14,6 +14,16 @@
 // navigation quiescence point). fsync_each requests write-through: each
 // record is written and fsynced individually, preserving the strongest
 // durability setting exactly.
+//
+// Long-lived engines checkpoint: a kSnapshot record carries the full set
+// of live-instance images, and everything behind it can be discarded.
+// FileJournal supports this with segment files — the base path is the
+// initial segment (starting at seq 0), RotateSegment() starts a fresh
+// `path.<seq>` file, and TruncateBefore(seq) unlinks segments that lie
+// wholly behind `seq`. Sequence numbers stay monotonic across rotation
+// and truncation, so a truncated journal replays exactly like the
+// untruncated one minus the dropped prefix. See
+// docs/specs/snapshot_recovery.md.
 
 #ifndef EXOTICA_WFJOURNAL_JOURNAL_H_
 #define EXOTICA_WFJOURNAL_JOURNAL_H_
@@ -52,6 +62,11 @@ enum class EventType : int {
   kInstanceAdopted = 15,   ///< instance migrated in; payload = the same
                            ///< family image — makes the adopter's journal
                            ///< self-contained for replay
+  kSnapshot = 16,          ///< engine checkpoint; payload = one escaped
+                           ///< family image per line for every live
+                           ///< instance; extra = next-instance counter.
+                           ///< Replay resets the engine to exactly this
+                           ///< state; records behind it are redundant.
 };
 
 const char* EventTypeName(EventType type);
@@ -89,17 +104,42 @@ class Journal {
   /// for journals that write through.
   virtual Status Flush() { return Status::OK(); }
 
-  /// All records, in append order (includes buffered appends).
+  /// All retained records, in append order (includes buffered appends).
   virtual Result<std::vector<Record>> ReadAll() const = 0;
 
-  /// Streams every record, in append order, through `visitor` without
-  /// materializing a copy of the journal. Stops and returns the visitor's
-  /// status on the first non-OK result.
+  /// Streams every retained record, in append order, through `visitor`
+  /// without materializing a copy of the journal. Stops and returns the
+  /// visitor's status on the first non-OK result.
   using RecordVisitor = std::function<Status(const Record&)>;
   virtual Status Visit(const RecordVisitor& visitor) const = 0;
 
-  /// Number of records appended so far.
+  /// Sequence number the next append will get (== total records ever
+  /// appended, including any later truncated away).
   virtual uint64_t size() const = 0;
+
+  /// Starts a fresh backing segment so the next record appended is the
+  /// first of its segment — called right before a snapshot record so
+  /// TruncateBefore(snapshot seq) can drop every earlier segment whole.
+  /// No-op for journals without segmented storage.
+  virtual Status RotateSegment() { return Status::OK(); }
+
+  /// Discards storage for records with seq < `seq` where that can be done
+  /// in whole units (FileJournal: whole segment files; MemoryJournal:
+  /// individual records). Returns how many records were dropped. Never
+  /// touches the active segment.
+  virtual Result<uint64_t> TruncateBefore(uint64_t seq) {
+    (void)seq;
+    return static_cast<uint64_t>(0);
+  }
+
+  /// Seq of the oldest record still retained (0 when nothing was ever
+  /// truncated).
+  virtual uint64_t first_seq() const { return 0; }
+
+  /// Path of the file appends currently land in; empty for journals
+  /// without file-backed storage. Fault injectors use this to corrupt the
+  /// bytes a torn write would actually hit.
+  virtual std::string active_path() const { return {}; }
 };
 
 /// \brief Volatile journal for tests and benchmarks.
@@ -108,22 +148,29 @@ class MemoryJournal : public Journal {
   Status Append(Record record) override;
   Result<std::vector<Record>> ReadAll() const override;
   Status Visit(const RecordVisitor& visitor) const override;
-  uint64_t size() const override { return records_.size(); }
+  uint64_t size() const override { return base_seq_ + records_.size(); }
+  Result<uint64_t> TruncateBefore(uint64_t seq) override;
+  uint64_t first_seq() const override { return base_seq_; }
 
-  /// Simulates a crash that loses every record after `keep` — used by the
-  /// recovery tests to explore "failure at every navigation step".
+  /// Simulates a crash that loses every record with seq >= `keep` — used
+  /// by the recovery tests to explore "failure at every navigation step".
   void TruncateTo(uint64_t keep);
 
  private:
   std::vector<Record> records_;
+  /// Seq of records_[0]; nonzero once TruncateBefore dropped a prefix.
+  uint64_t base_seq_ = 0;
 };
 
-/// \brief File-backed journal (one encoded record per line).
+/// \brief File-backed journal (one encoded record per line), optionally
+/// split across segment files by RotateSegment/TruncateBefore.
 class FileJournal : public Journal {
  public:
-  /// Opens (creating if necessary) and scans the file to restore seq. A
-  /// torn final record — a crash mid-write of a group-committed batch —
-  /// is truncated away; anything else malformed is Corruption.
+  /// Opens (creating if necessary) the base file plus any `path.<seq>`
+  /// segments and scans them in seq order to restore the counters. A torn
+  /// final record in the *active* (last) segment — a crash mid-write of a
+  /// group-committed batch — is truncated away; a torn or malformed
+  /// record anywhere else is Corruption.
   static Result<std::unique_ptr<FileJournal>> Open(const std::string& path,
                                                    bool fsync_each = false);
   ~FileJournal() override;
@@ -133,20 +180,39 @@ class FileJournal : public Journal {
   Result<std::vector<Record>> ReadAll() const override;
   Status Visit(const RecordVisitor& visitor) const override;
   uint64_t size() const override { return next_seq_; }
+  Status RotateSegment() override;
+  Result<uint64_t> TruncateBefore(uint64_t seq) override;
+  uint64_t first_seq() const override { return first_seq_; }
+  std::string active_path() const override { return segments_.back().path; }
+
+  /// Number of live segment files (≥ 1).
+  size_t segment_count() const { return segments_.size(); }
 
  private:
+  /// One backing file holding records [start, next segment's start).
+  struct Segment {
+    uint64_t start = 0;
+    std::string path;
+  };
+
   FileJournal(std::string path, bool fsync_each)
       : path_(std::move(path)), fsync_each_(fsync_each) {}
+
+  /// Discovers existing segment files for path_ (the base file is the
+  /// seq-0 segment when present) and orders them by start seq.
+  Status LoadSegments();
 
   /// One write() for everything pending. Const so readers can flush
   /// before scanning the file (pending_ is the only thing mutated).
   Status FlushPending() const;
 
-  /// Streams the file's records through `visitor` (which may be null).
-  /// Reports the byte offset just past the last well-formed record and
-  /// the record count; a torn tail stops the scan without error.
-  Status ScanFile(const RecordVisitor& visitor, uint64_t* good_end,
-                  uint64_t* count) const;
+  /// Streams one segment's records through `visitor` (which may be null).
+  /// `expect` carries the required next seq across segments. Reports the
+  /// byte offset just past the last well-formed record; a torn tail stops
+  /// the scan without error iff `allow_torn` (the active segment).
+  Status ScanSegment(const Segment& segment, bool allow_torn,
+                     const RecordVisitor& visitor, uint64_t* expect,
+                     uint64_t* good_end) const;
 
   /// Buffered bytes beyond which Append flushes on its own, bounding arena
   /// growth between quiescence points.
@@ -154,8 +220,10 @@ class FileJournal : public Journal {
 
   std::string path_;
   bool fsync_each_;
-  int fd_ = -1;
+  int fd_ = -1;  ///< open on the active (last) segment
   uint64_t next_seq_ = 0;
+  uint64_t first_seq_ = 0;
+  std::vector<Segment> segments_;
   /// Group-commit arena: encoded records waiting for Flush().
   mutable std::string pending_;
 };

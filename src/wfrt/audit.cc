@@ -27,6 +27,7 @@ const char* AuditKindName(AuditKind kind) {
     case AuditKind::kInstanceFailed: return "instance-failed";
     case AuditKind::kInstanceDetached: return "instance-detached";
     case AuditKind::kInstanceAdopted: return "instance-adopted";
+    case AuditKind::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

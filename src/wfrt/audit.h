@@ -37,6 +37,7 @@ enum class AuditKind : int {
   kInstanceFailed,     ///< instance quarantined; detail = reason
   kInstanceDetached,   ///< instance migrated away; detail = family size
   kInstanceAdopted,    ///< instance migrated in; detail = family size
+  kCheckpoint,         ///< snapshot written; detail = live/truncated counts
 };
 
 const char* AuditKindName(AuditKind kind);

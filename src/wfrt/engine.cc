@@ -86,7 +86,9 @@ Status Engine::JournalAppend(wfjournal::EventType type,
   r.flag = flag;
   r.payload = std::move(payload);
   r.extra = std::move(extra);
-  return journal_->Append(std::move(r));
+  EXO_RETURN_NOT_OK(journal_->Append(std::move(r)));
+  ++records_since_snapshot_;
+  return Status::OK();
 }
 
 Status Engine::FlushJournal() {
@@ -367,14 +369,18 @@ Status Engine::Drain(int limit) {
 Status Engine::Run() {
   Status st = Drain(0);
   Status fs = FlushJournal();
-  return st.ok() ? fs : st;
+  if (!st.ok()) return st;
+  EXO_RETURN_NOT_OK(fs);
+  return MaybeCheckpoint();
 }
 
 Status Engine::RunSlice(int max_steps, bool* quiescent) {
   Status st = Drain(max_steps);
   Status fs = FlushJournal();
   if (quiescent != nullptr) *quiescent = ready_queue_.empty();
-  return st.ok() ? fs : st;
+  if (!st.ok()) return st;
+  EXO_RETURN_NOT_OK(fs);
+  return MaybeCheckpoint();
 }
 
 Result<std::string> Engine::RunToCompletion(const std::string& process_name,
@@ -1388,6 +1394,73 @@ Result<DetachedInstance> Engine::TakeDetachedImage(const std::string& root_id) {
   return detached;
 }
 
+std::vector<std::string> Engine::RetainedDetachedRoots() const {
+  std::vector<std::string> roots;
+  roots.reserve(detached_images_.size());
+  for (const auto& entry : detached_images_) roots.push_back(entry.first);
+  return roots;
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+Status Engine::Checkpoint() {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition("no journal attached");
+  }
+  // Collect live images in creation (index) order, so parents precede
+  // their block children — the order MaterializeImage rebuilds them in.
+  // Finished (including cancelled) top-level families are dropped; that is
+  // what makes recovery O(live state). Quarantined families stay: their
+  // committed-state image is the saga compensation source.
+  std::string payload;
+  size_t live = 0;
+  for (const ProcessInstance& inst : instances_) {
+    if (inst.detached) continue;
+    const ProcessInstance* root = &inst;
+    while (root->is_child()) {
+      auto it = instance_index_.find(root->parent_instance);
+      if (it == instance_index_.end()) break;
+      root = &instances_[it->second];
+    }
+    if (root->finished && !root->failed) continue;
+    payload += EscapeQuoted(EncodeInstanceImage(inst));
+    payload += '\n';
+    ++live;
+  }
+  // Order of operations is the crash contract (see
+  // docs/specs/snapshot_recovery.md): flush navigation records, rotate so
+  // the snapshot is the first record of a fresh segment, append + flush
+  // the snapshot, and only then truncate — a crash anywhere in between
+  // leaves either a journal that fully replays or a durable snapshot.
+  EXO_RETURN_NOT_OK(FlushJournal());
+  EXO_RETURN_NOT_OK(journal_->RotateSegment());
+  uint64_t snapshot_seq = journal_->size();
+  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kSnapshot, "", "", "",
+                                  /*flag=*/false, std::move(payload),
+                                  std::to_string(next_instance_)));
+  EXO_RETURN_NOT_OK(FlushJournal());
+  ++stats_.snapshots_written;
+  records_since_snapshot_ = 0;
+  // Retained dangling-handoff images had their re-adoption window (the
+  // fleet's post-recovery pass); a checkpoint closes it.
+  detached_images_.clear();
+  EXO_ASSIGN_OR_RETURN(uint64_t dropped,
+                       journal_->TruncateBefore(snapshot_seq));
+  stats_.records_truncated += dropped;
+  Audit(AuditKind::kCheckpoint, "", "",
+        std::to_string(live) + " live, " + std::to_string(dropped) +
+            " truncated");
+  return Status::OK();
+}
+
+Status Engine::MaybeCheckpoint() {
+  if (journal_ == nullptr || recovering_ || options_.snapshot_interval == 0 ||
+      records_since_snapshot_ < options_.snapshot_interval) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
 // --- recovery --------------------------------------------------------------------
 
 Status Engine::Recover() {
@@ -1399,7 +1472,10 @@ Status Engine::Recover() {
   }
 
   recovering_ = true;
+  replay_saw_snapshot_ = false;
+  replay_snapshot_seq_ = 0;
   Status replay = journal_->Visit([this](const wfjournal::Record& r) {
+    ++stats_.recovery_records_replayed;
     Status st = ReplayRecord(r);
     if (!st.ok()) {
       return st.WithContext("replaying journal record seq " +
@@ -1422,6 +1498,17 @@ Status Engine::Recover() {
     }
     EXO_RETURN_NOT_OK_CTX(ResumeAfterReplay(inst),
                           "resuming instance " + inst->id);
+  }
+  // A crash between the snapshot flush and its truncation left the
+  // pre-snapshot segments behind; finish the job now that replay proved
+  // the snapshot complete.
+  if (replay_saw_snapshot_) {
+    EXO_ASSIGN_OR_RETURN(uint64_t dropped,
+                         journal_->TruncateBefore(replay_snapshot_seq_));
+    stats_.records_truncated += dropped;
+    records_since_snapshot_ = journal_->size() - replay_snapshot_seq_ - 1;
+  } else {
+    records_since_snapshot_ = journal_->size() - journal_->first_seq();
   }
   return FlushJournal();
 }
@@ -1462,17 +1549,7 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       instance_order_.push_back(r.instance);
       ++stats_.instances_started;
       EXO_RETURN_NOT_OK(InitializeRuntimes(&instances_[index]));
-      // Restore the id counter past any "<prefix>wf-N" id seen. Foreign
-      // prefixes (adopted instances) never collide with ours, so only our
-      // own prefix advances the counter.
-      std::string_view local = r.instance;
-      if (StartsWith(local, options_.instance_id_prefix)) {
-        local.remove_prefix(options_.instance_id_prefix.size());
-        if (StartsWith(local, "wf-")) {
-          uint64_t n = std::strtoull(local.data() + 3, nullptr, 10);
-          if (n + 1 > next_instance_) next_instance_ = n + 1;
-        }
-      }
+      NoteRecoveredId(r.instance);
       // Wire the parent's block activity to this child.
       if (!r.to.empty()) {
         EXO_ASSIGN_OR_RETURN(ProcessInstance* parent, MutableInstance(r.to));
@@ -1597,10 +1674,79 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       EXO_ASSIGN_OR_RETURN(
           DetachedInstance detached,
           DetachedInstance::DecodePayload(r.instance, r.payload));
+      // The handoff reached an adopter's journal: any image retained from
+      // an earlier kInstanceDetached replay (detach + adopt-back through
+      // the same journal) is dead weight — drop it.
+      detached_images_.erase(r.instance);
       return ApplyAdopt(detached);
     }
+    case EventType::kSnapshot:
+      return ReplaySnapshot(r);
   }
   return Status::Corruption("unknown journal record type");
+}
+
+Status Engine::ReplaySnapshot(const wfjournal::Record& r) {
+  // A checkpoint supersedes everything replayed so far. Normally nothing
+  // precedes it — the record opens its segment and truncation dropped the
+  // rest — but a crash between the snapshot flush and its truncation
+  // leaves the prefix behind, and replaying through it must land in the
+  // same state as replaying the truncated journal.
+  instances_.clear();
+  instance_index_.clear();
+  instance_order_.clear();
+  ready_queue_.clear();
+  failed_.clear();
+  detached_images_.clear();
+  next_instance_ = 1;
+  stats_.instances_started = 0;
+  stats_.instances_finished = 0;
+  stats_.instances_failed = 0;
+  stats_.instances_detached = 0;
+  stats_.instances_stolen = 0;
+  replay_saw_snapshot_ = true;
+  replay_snapshot_seq_ = r.seq;
+
+  for (const std::string& line : Split(r.payload, '\n')) {
+    if (line.empty()) continue;
+    std::string encoded;
+    if (!UnescapeQuoted(line, &encoded)) {
+      return Status::Corruption("bad image escape in snapshot record seq " +
+                                std::to_string(r.seq));
+    }
+    EXO_ASSIGN_OR_RETURN(InstanceImage image, DecodeInstanceImage(encoded));
+    EXO_RETURN_NOT_OK(MaterializeImage(image));
+    ProcessInstance* p = &instances_.back();
+    ++stats_.instances_started;
+    if (p->finished) ++stats_.instances_finished;
+    if (p->failed && !p->is_child()) {
+      ++stats_.instances_failed;
+      failed_.push_back({p->id, p->failure_reason});
+    }
+    NoteRecoveredId(p->id);
+  }
+  // The snapshot pins the id counter explicitly too: instances created
+  // after the imaged ones and already finished (hence absent above) must
+  // not get their ids reused.
+  if (!r.extra.empty()) {
+    uint64_t n = std::strtoull(r.extra.c_str(), nullptr, 10);
+    if (n > next_instance_) next_instance_ = n;
+  }
+  return Status::OK();
+}
+
+void Engine::NoteRecoveredId(const std::string& id) {
+  // Restore the id counter past any "<prefix>wf-N" id seen. Foreign
+  // prefixes (adopted instances) never collide with ours, so only our own
+  // prefix advances the counter.
+  std::string_view local = id;
+  if (StartsWith(local, options_.instance_id_prefix)) {
+    local.remove_prefix(options_.instance_id_prefix.size());
+    if (StartsWith(local, "wf-")) {
+      uint64_t n = std::strtoull(local.data() + 3, nullptr, 10);
+      if (n + 1 > next_instance_) next_instance_ = n + 1;
+    }
+  }
 }
 
 Status Engine::ResumeAfterReplay(ProcessInstance* inst) {

@@ -145,6 +145,13 @@ struct EngineOptions {
   /// byte-identical either way).
   bool use_step_programs = true;
 
+  /// Committed journal records between automatic snapshot checkpoints
+  /// (kSnapshot record + truncation of the journal behind it; see
+  /// docs/specs/snapshot_recovery.md). Checked at every navigation
+  /// quiescence point (Run()/RunSlice() exit). 0 = never automatic;
+  /// Engine::Checkpoint() always works explicitly.
+  uint64_t snapshot_interval = 0;
+
   /// Clock for worklist deadlines and audit timestamps.
   const Clock* clock = nullptr;  ///< defaults to SystemClock
 };
@@ -175,6 +182,9 @@ struct EngineStats {
   uint64_t typed_condition_evals = 0;
   uint64_t step_program_dispatches = 0; ///< outgoing sweeps run fused
   uint64_t steal_slice_shrinks = 0;  ///< adaptive slice halvings (fleet)
+  uint64_t snapshots_written = 0;    ///< checkpoint records appended
+  uint64_t records_truncated = 0;    ///< journal records dropped behind snapshots
+  uint64_t recovery_records_replayed = 0; ///< records Recover() streamed
 };
 
 /// \brief The navigator.
@@ -359,6 +369,22 @@ class Engine {
   /// dangling handoff from here when no engine's journal shows the adopt.
   Result<DetachedInstance> TakeDetachedImage(const std::string& root_id);
 
+  /// Root ids of every retained dangling-handoff image (journal-replay
+  /// kInstanceDetached records with no matching adopt seen yet) — the
+  /// fleet's post-recovery pass resolves these.
+  std::vector<std::string> RetainedDetachedRoots() const;
+
+  // --- checkpointing ----------------------------------------------------------
+
+  /// Writes a snapshot checkpoint: rotates the journal to a fresh segment,
+  /// appends one kSnapshot record carrying the image of every live
+  /// instance family (finished/cancelled top-level trees are dropped —
+  /// that is what makes recovery O(live state)), flushes, and truncates
+  /// every journal segment wholly behind the snapshot. Also drops retained
+  /// dangling-handoff images — their re-adoption window (the fleet's
+  /// post-recovery pass) is over. Requires an attached journal.
+  Status Checkpoint();
+
   // --- recovery ---------------------------------------------------------------
 
   /// Rebuilds all instances from the attached journal (replay), then
@@ -509,9 +535,19 @@ class Engine {
   Status ApplyCancel(ProcessInstance* inst);
   Status ApplyFailed(ProcessInstance* inst, const std::string& reason);
 
+  /// Checkpoint() when snapshot_interval committed records have
+  /// accumulated since the last snapshot; no-op otherwise.
+  Status MaybeCheckpoint();
+
   // Recovery passes.
   Status ReplayRecord(const wfjournal::Record& record);
+  /// kSnapshot replay: resets the engine and materializes the snapshot's
+  /// images (the record supersedes everything replayed before it).
+  Status ReplaySnapshot(const wfjournal::Record& record);
   Status ResumeAfterReplay(ProcessInstance* inst);
+
+  /// Advances next_instance_ past a recovered "<prefix>wf-N" id.
+  void NoteRecoveredId(const std::string& id);
 
   const wf::DefinitionStore* definitions_;
   ProgramRegistry* programs_;
@@ -553,6 +589,13 @@ class Engine {
   EngineStats stats_;
   std::vector<FailedInstance> failed_;
   bool recovering_ = false;
+
+  /// Committed records since the last snapshot (drives snapshot_interval).
+  uint64_t records_since_snapshot_ = 0;
+  /// Seq of the snapshot record seen during the current/last replay, if
+  /// any — Recover() finishes an interrupted truncation behind it.
+  uint64_t replay_snapshot_seq_ = 0;
+  bool replay_saw_snapshot_ = false;
 };
 
 }  // namespace exotica::wfrt

@@ -57,6 +57,102 @@ EngineFleet::EngineFleet(const wf::DefinitionStore* definitions,
   }
 }
 
+Status EngineFleet::AttachJournals(
+    const std::vector<wfjournal::Journal*>& journals) {
+  if (journals.size() != engines_.size()) {
+    return Status::InvalidArgument(
+        "journal shard count " + std::to_string(journals.size()) +
+        " does not match fleet size " + std::to_string(engines_.size()));
+  }
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    EXO_RETURN_NOT_OK_CTX(engines_[e]->AttachJournal(journals[e]),
+                          "attaching journal shard " + std::to_string(e));
+  }
+  journals_ = journals;
+  return Status::OK();
+}
+
+Status EngineFleet::OpenJournalShards(const std::string& base_path,
+                                      bool fsync_each) {
+  std::vector<std::unique_ptr<wfjournal::FileJournal>> opened;
+  std::vector<wfjournal::Journal*> raw;
+  opened.reserve(engines_.size());
+  raw.reserve(engines_.size());
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    std::string path = base_path + ".e" + std::to_string(e);
+    EXO_ASSIGN_OR_RETURN(std::unique_ptr<wfjournal::FileJournal> journal,
+                         wfjournal::FileJournal::Open(path, fsync_each));
+    raw.push_back(journal.get());
+    opened.push_back(std::move(journal));
+  }
+  EXO_RETURN_NOT_OK(AttachJournals(raw));
+  owned_journals_ = std::move(opened);
+  return Status::OK();
+}
+
+Result<EngineFleet::RecoveryReport> EngineFleet::Recover() {
+  size_t n = engines_.size();
+  if (journals_.size() != n) {
+    return Status::FailedPrecondition(
+        "no journal shards attached (AttachJournals/OpenJournalShards)");
+  }
+  // Phase 1: every engine replays its own shard, in parallel. Engines
+  // share only immutable state (definitions, type registry, shared
+  // arenas), so recovery needs no coordination until the handoff pass.
+  std::vector<Status> statuses(n);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t e = 0; e < n; ++e) {
+      workers.emplace_back(
+          [this, e, &statuses] { statuses[e] = engines_[e]->Recover(); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (size_t e = 0; e < n; ++e) {
+    EXO_RETURN_NOT_OK_CTX(statuses[e],
+                          "recovering journal shard " + std::to_string(e));
+  }
+
+  RecoveryReport report;
+  for (size_t e = 0; e < n; ++e) {
+    report.records_replayed += engines_[e]->stats().recovery_records_replayed;
+  }
+
+  // Phase 2 (single-threaded): resolve dangling handoffs. A victim's
+  // replay retained the family image of every detach; if no shard's
+  // kInstanceAdopted re-hosted the family, the handoff died in flight and
+  // the image is the only surviving copy — re-adopt it on the
+  // least-loaded engine (Adopt journals it there, so the next crash
+  // replays cleanly).
+  for (size_t v = 0; v < n; ++v) {
+    for (const std::string& root : engines_[v]->RetainedDetachedRoots()) {
+      bool hosted = false;
+      for (size_t a = 0; a < n && !hosted; ++a) {
+        Result<const ProcessInstance*> found = engines_[a]->FindInstance(root);
+        hosted = found.ok() && !(*found)->detached;
+      }
+      EXO_ASSIGN_OR_RETURN(DetachedInstance image,
+                           engines_[v]->TakeDetachedImage(root));
+      if (hosted) {
+        ++report.handoff_images_dropped;
+        continue;
+      }
+      size_t best = 0;
+      for (size_t a = 1; a < n; ++a) {
+        if (engines_[a]->unfinished_top_level() <
+            engines_[best]->unfinished_top_level()) {
+          best = a;
+        }
+      }
+      EXO_RETURN_NOT_OK_CTX(engines_[best]->Adopt(image),
+                            "re-adopting dangling handoff " + root);
+      ++report.handoffs_readopted;
+    }
+  }
+  return report;
+}
+
 Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     const std::string& process_name, int count, const data::Container* input) {
   if (count < 0) {
@@ -164,6 +260,9 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.typed_condition_evals += s.typed_condition_evals;
     result.aggregate.step_program_dispatches += s.step_program_dispatches;
     result.aggregate.steal_slice_shrinks += s.steal_slice_shrinks;
+    result.aggregate.snapshots_written += s.snapshots_written;
+    result.aggregate.records_truncated += s.records_truncated;
+    result.aggregate.recovery_records_replayed += s.recovery_records_replayed;
     result.instances_finished += s.instances_finished;
     for (const Engine::FailedInstance& f : engine.FailedInstances()) {
       result.failed_instances.push_back(

@@ -31,6 +31,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "wfjournal/journal.h"
 #include "wfrt/engine.h"
 
 namespace exotica::wfrt {
@@ -114,6 +115,43 @@ class EngineFleet {
   /// bounds the wall clock by whichever engine drew the heavy ones.
   Result<BatchResult> RunBatch(const std::vector<BatchSeed>& seeds);
 
+  // --- durability (per-engine journal shards) --------------------------------
+
+  /// Attaches one pre-opened journal per engine (`journals[i]` ↔ engine
+  /// i). Size must equal size(); every engine must be fresh. The journals
+  /// are not owned and must outlive the fleet.
+  Status AttachJournals(const std::vector<wfjournal::Journal*>& journals);
+
+  /// Opens (creating if necessary) one segmented FileJournal shard per
+  /// engine at `<base_path>.e<i>` and attaches them. The fleet owns these
+  /// journals. Shard ↔ engine pairing is positional, so reopening the
+  /// same base path with the same fleet size after a crash hands every
+  /// engine its own history back.
+  Status OpenJournalShards(const std::string& base_path,
+                           bool fsync_each = false);
+
+  /// Journal attached to engine `i`, or null if none.
+  wfjournal::Journal* journal_shard(int i) {
+    size_t e = static_cast<size_t>(i);
+    return e < journals_.size() ? journals_[e] : nullptr;
+  }
+
+  struct RecoveryReport {
+    uint64_t records_replayed = 0;    ///< across all shards
+    uint64_t handoffs_readopted = 0;  ///< dangling detaches re-adopted
+    uint64_t handoff_images_dropped = 0;  ///< detach images whose adopt
+                                          ///< was found in another shard
+  };
+
+  /// Parallel sharded recovery: every engine replays its own journal
+  /// shard concurrently (one thread per engine — engines share only
+  /// immutable state), then a single-threaded pass resolves dangling
+  /// handoffs: a kInstanceDetached image retained by a victim's replay is
+  /// re-adopted onto the least-loaded engine unless some shard's
+  /// kInstanceAdopted already re-hosted the family. Follow with
+  /// RunBatch({}) (or per-engine Run()) to drive recovered work.
+  Result<RecoveryReport> Recover();
+
  private:
   /// Greedy depth-aware seed assignment (satisfies argmin of current
   /// unfinished load + already-assigned count); fresh fleets degenerate
@@ -137,6 +175,11 @@ class EngineFleet {
   const wf::DefinitionStore* definitions_;
   FleetOptions fleet_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  /// Journal shard per engine (AttachJournals/OpenJournalShards); empty
+  /// until one of those is called.
+  std::vector<wfjournal::Journal*> journals_;
+  /// Backing storage for OpenJournalShards.
+  std::vector<std::unique_ptr<wfjournal::FileJournal>> owned_journals_;
   /// Fleet-owned spin-up arenas, one per reachable definition
   /// (PrepareArenas); unique_ptr for address stability — engines hold
   /// raw pointers.

@@ -168,6 +168,97 @@ TEST(FaultyJournalTest, FlushFaultFiresOnceAndIsNotForwarded) {
   EXPECT_EQ(faulty.flushes(), 2u);
 }
 
+TEST(FaultyJournalTest, FaultIndexCountsAcrossSegmentRotation) {
+  std::string path = TempPath("exo_faulty_rotate.log");
+  std::remove((path + ".2").c_str());
+  auto journal = FileJournal::Open(path);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  FaultyJournal faulty(journal->get(), path);
+  faulty.FailAppendAt(3, FaultyJournal::FaultMode::kAppendError);
+
+  // Appends 0-1 land in the base segment, 2-4 in the rotated one; the
+  // armed index keeps counting across the rotation and fires on the
+  // fourth append overall.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(faulty
+                    .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                "A" + std::to_string(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(faulty.RotateSegment().ok());
+  for (int i = 2; i < 5; ++i) {
+    Status st = faulty.Append(
+        Rec("wf-1", wfjournal::EventType::kActivityReady,
+            "A" + std::to_string(i)));
+    EXPECT_EQ(st.ok(), i != 3) << i << ": " << st.ToString();
+  }
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+  auto all = (*journal)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);  // A3 lost, seqs stay contiguous
+  EXPECT_EQ((*all)[3].activity, "A4");
+  EXPECT_EQ((*all)[3].seq, 3u);
+  std::remove(path.c_str());
+  std::remove((path + ".2").c_str());
+}
+
+TEST(FaultyJournalTest, ShortWriteAfterRotationTearsTheActiveSegment) {
+  std::string path = TempPath("exo_faulty_segshort.log");
+  std::remove((path + ".1").c_str());
+  {
+    auto journal = FileJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    FaultyJournal faulty(journal->get(), path);
+    ASSERT_TRUE(faulty
+                    .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                "A0"))
+                    .ok());
+    ASSERT_TRUE(faulty.RotateSegment().ok());
+    ASSERT_TRUE(faulty
+                    .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                "A1"))
+                    .ok());
+    faulty.FailAppendAt(2, FaultyJournal::FaultMode::kShortWrite);
+    Status st = faulty.Append(
+        Rec("wf-1", wfjournal::EventType::kActivityFinished, "A2"));
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  }
+
+  // The torn bytes must land in the *active* segment file, where Open's
+  // torn-tail rule applies; the sealed base segment stays pristine.
+  auto reopened = FileJournal::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 2u);
+  EXPECT_EQ((*reopened)->segment_count(), 2u);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(FaultyJournalTest, TruncateFaultFiresOnceAndIsNotForwarded) {
+  MemoryJournal mem;
+  FaultyJournal faulty(&mem);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(faulty
+                    .Append(Rec("wf-1", wfjournal::EventType::kActivityReady,
+                                "A" + std::to_string(i)))
+                    .ok());
+  }
+  faulty.FailTruncateAt(0);
+
+  // The armed truncate fails without reaching the inner journal — the
+  // crash window after a snapshot commits but before truncation runs.
+  auto dropped = faulty.TruncateBefore(3);
+  EXPECT_TRUE(dropped.status().IsIOError()) << dropped.status().ToString();
+  EXPECT_EQ(mem.first_seq(), 0u);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+
+  dropped = faulty.TruncateBefore(3);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 3u);
+  EXPECT_EQ(mem.first_seq(), 3u);
+  EXPECT_EQ(faulty.truncates(), 2u);
+}
+
 TEST(FaultyJournalTest, EngineSurfacesInjectedFaultAndRecoversFromPrefix) {
   wf::DefinitionStore store;
   ASSERT_TRUE(test::DeclareDefaultProgram(&store, "prog").ok());

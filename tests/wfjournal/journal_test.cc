@@ -225,6 +225,219 @@ TEST(FileJournalTest, VisitStreamsAndStopsOnVisitorError) {
   std::remove(path.c_str());
 }
 
+TEST(MemoryJournalTest, TruncateBeforeDropsPrefixKeepsSeqs) {
+  MemoryJournal j;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(j.Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  auto dropped = j.TruncateBefore(3);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 3u);
+  EXPECT_EQ(j.first_seq(), 3u);
+  EXPECT_EQ(j.size(), 5u);  // next seq unchanged
+  auto all = j.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].seq, 3u);
+  // Appends continue the original numbering.
+  ASSERT_TRUE(j.Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+  all = j.ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->back().seq, 5u);
+  // Truncating behind the retained range is a no-op.
+  dropped = j.TruncateBefore(1);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0u);
+}
+
+// Removes the base file and any `path.<n>` segments.
+void RemoveSegments(const std::string& path) {
+  std::remove(path.c_str());
+  for (uint64_t n = 0; n < 4096; ++n) {
+    std::remove((path + "." + std::to_string(n)).c_str());
+  }
+}
+
+TEST(SegmentedJournalTest, RotateKeepsSequenceAndSurvivesReopen) {
+  std::string path = ::testing::TempDir() + "/exo_journal_rotate.log";
+  RemoveSegments(path);
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    }
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    EXPECT_EQ((*j)->segment_count(), 2u);
+    EXPECT_EQ((*j)->active_path(), path + ".3");
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(
+          (*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+    }
+    auto all = (*j)->ReadAll();
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ((*all)[i].seq, i);
+  }
+  // Reopen discovers both segments and continues the sequence.
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ((*j)->size(), 5u);
+  EXPECT_EQ((*j)->segment_count(), 2u);
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->back().seq, 5u);
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, RotateWithEmptyActiveSegmentIsNoOp) {
+  std::string path = ::testing::TempDir() + "/exo_journal_rotate2.log";
+  RemoveSegments(path);
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  ASSERT_TRUE((*j)->RotateSegment().ok());
+  ASSERT_TRUE((*j)->RotateSegment().ok());  // nothing appended in between
+  EXPECT_EQ((*j)->segment_count(), 2u);
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, TruncateBeforeDeletesWholeSegmentsOnly) {
+  std::string path = ::testing::TempDir() + "/exo_journal_trunc.log";
+  RemoveSegments(path);
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  ASSERT_TRUE((*j)->RotateSegment().ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+  }
+  ASSERT_TRUE((*j)->Flush().ok());
+  // seq 4 is mid-active-segment: only the base segment (0..2) is behind it.
+  auto dropped = (*j)->TruncateBefore(4);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 3u);
+  EXPECT_EQ((*j)->first_seq(), 3u);
+  EXPECT_EQ((*j)->segment_count(), 1u);
+  EXPECT_EQ(FileSize(path), 0u);  // base segment unlinked
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].seq, 3u);
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, ReopensAfterTruncationWithoutBaseFile) {
+  std::string path = ::testing::TempDir() + "/exo_journal_nobase.log";
+  RemoveSegments(path);
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    }
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+    ASSERT_TRUE((*j)->Flush().ok());
+    ASSERT_TRUE((*j)->TruncateBefore(3).ok());
+  }
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ((*j)->size(), 4u);
+  EXPECT_EQ((*j)->first_seq(), 3u);
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].seq, 3u);
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, TornTailInActiveSegmentTruncatedOnOpen) {
+  std::string path = ::testing::TempDir() + "/exo_journal_segtorn.log";
+  RemoveSegments(path);
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  {
+    FILE* f = fopen((path + ".1").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    fputs("2\t1\twf-1\tA", f);  // half a record, no newline
+    fclose(f);
+  }
+  auto j = FileJournal::Open(path);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ((*j)->size(), 2u);
+  ASSERT_TRUE((*j)->Append(MakeRecord(EventType::kActivityDead, "wf-1")).ok());
+  ASSERT_TRUE((*j)->Flush().ok());
+  auto all = (*j)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ(all->back().seq, 2u);
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, TornTailBehindActiveSegmentIsCorruption) {
+  std::string path = ::testing::TempDir() + "/exo_journal_segmid.log";
+  RemoveSegments(path);
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  {
+    FILE* f = fopen(path.c_str(), "ab");  // damage the *base* segment
+    ASSERT_NE(f, nullptr);
+    fputs("1\t1\twf-1\tA", f);
+    fclose(f);
+  }
+  EXPECT_TRUE(FileJournal::Open(path).status().IsCorruption());
+  RemoveSegments(path);
+}
+
+TEST(SegmentedJournalTest, MissingMiddleSegmentIsCorruption) {
+  std::string path = ::testing::TempDir() + "/exo_journal_seggap.log";
+  RemoveSegments(path);
+  {
+    auto j = FileJournal::Open(path);
+    ASSERT_TRUE(j.ok());
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(
+          (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    }
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(
+          (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+    }
+    ASSERT_TRUE((*j)->RotateSegment().ok());
+    ASSERT_TRUE(
+        (*j)->Append(MakeRecord(EventType::kActivityReady, "wf-1")).ok());
+  }
+  // A vanished *middle* segment leaves a seq gap no truncation could
+  // produce (truncation only ever drops a prefix). Open must refuse.
+  std::remove((path + ".2").c_str());
+  EXPECT_TRUE(FileJournal::Open(path).status().IsCorruption());
+  RemoveSegments(path);
+}
+
 TEST(FileJournalTest, DetectsSeqGapCorruption) {
   std::string path = ::testing::TempDir() + "/exo_journal_gap.log";
   std::remove(path.c_str());

@@ -398,6 +398,235 @@ TEST(FaultTortureTest, FlexSurvivesJournalFaultAtEveryAppendIndex) {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot boundaries: re-run the journal-fault enumerations with
+// checkpoints firing mid-workflow (small snapshot_interval, RunSlice(1)
+// driving so MaybeCheckpoint sees live instances at slice quiescence).
+// The crash-at-every-append-index sweep now also lands on the kSnapshot
+// append itself (a torn snapshot) and on the records right after a
+// completed checkpoint (post-truncate); the truncate-failure sweep covers
+// the remaining window, a crash after the snapshot commits but before
+// truncation runs. Every schedule must recover to the unfaulted terminal
+// state.
+
+// Drives the engine one navigation step at a time until quiescent or an
+// injected fault surfaces. Checkpoints fire at slice boundaries, so a
+// small snapshot_interval snapshots *live* instances mid-workflow.
+Status DriveInSlices(wfrt::Engine* engine) {
+  while (true) {
+    bool quiescent = false;
+    Status st = engine->RunSlice(1, &quiescent);
+    if (!st.ok()) return st;
+    if (quiescent) return Status::OK();
+  }
+}
+
+wfrt::EngineOptions SnapshotEvery(uint64_t records) {
+  wfrt::EngineOptions opts;
+  opts.snapshot_interval = records;
+  return opts;
+}
+
+TEST(SnapshotTortureTest, SagaSurvivesJournalFaultAtEveryAppendIndex) {
+  atm::SagaSpec spec = TripSaga();
+  wf::DefinitionStore store;
+  auto t = exo::TranslateSaga(spec, &store);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  for (int abort_at = 0; abort_at <= 3; ++abort_at) {
+    const std::set<std::string> aborts = AbortSetFor(abort_at);
+
+    // Reference run with checkpoints on: count the appends and make sure
+    // the schedule actually crosses snapshot boundaries mid-workflow.
+    uint64_t total_appends = 0;
+    {
+      IdempotentRunner runner(aborts);
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+      MemoryJournal mem;
+      FaultyJournal counting(&mem);
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+      ASSERT_TRUE(engine.AttachJournal(&counting).ok());
+      ASSERT_TRUE(engine.StartProcess(t->root_process).ok());
+      ASSERT_TRUE(DriveInSlices(&engine).ok());
+      ASSERT_GE(engine.stats().snapshots_written, 2u);
+      CheckSagaGuarantee(runner, abort_at);
+      total_appends = counting.appends();
+    }
+
+    for (uint64_t k = 0; k < total_appends; ++k) {
+      SCOPED_TRACE("abort_at=" + std::to_string(abort_at) +
+                   " journal fault at append " + std::to_string(k));
+      IdempotentRunner runner(aborts);
+      MemoryJournal mem;
+      FaultyJournal faulty(&mem);
+      faulty.FailAppendAt(k, FaultyJournal::FaultMode::kAppendError);
+
+      // First life: the fault may hit a navigation append, the kSnapshot
+      // append itself, or an append right after a completed truncation.
+      {
+        wfrt::ProgramRegistry programs;
+        ASSERT_TRUE(
+            exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+        wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+        ASSERT_TRUE(engine.AttachJournal(&faulty).ok());
+        auto started = engine.StartProcess(t->root_process);
+        if (started.ok()) {
+          EXPECT_FALSE(DriveInSlices(&engine).ok());
+        }
+        EXPECT_EQ(faulty.faults_injected(), 1u);
+      }
+
+      // Second life: recover from what survives — possibly a snapshot
+      // plus a suffix — under the same checkpoint policy.
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+      ASSERT_TRUE(engine.AttachJournal(&mem).ok());
+      ASSERT_TRUE(engine.Recover().ok());
+      ASSERT_TRUE(engine.Run().ok());
+
+      if (mem.size() == 0) {
+        EXPECT_TRUE(runner.effective().empty());
+        EXPECT_TRUE(runner.comp_order().empty());
+        continue;
+      }
+      // A snapshot may have truncated the finished instance away; the
+      // guarantee lives in the external world either way.
+      if (!engine.instance_order().empty()) {
+        EXPECT_TRUE(engine.IsFinished(engine.instance_order()[0]));
+      }
+      CheckSagaGuarantee(runner, abort_at);
+    }
+  }
+}
+
+TEST(SnapshotTortureTest, SagaSurvivesTruncateFailureAtEveryCheckpoint) {
+  atm::SagaSpec spec = TripSaga();
+  wf::DefinitionStore store;
+  auto t = exo::TranslateSaga(spec, &store);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  for (int abort_at = 0; abort_at <= 3; ++abort_at) {
+    const std::set<std::string> aborts = AbortSetFor(abort_at);
+
+    uint64_t total_truncates = 0;
+    {
+      IdempotentRunner runner(aborts);
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+      MemoryJournal mem;
+      FaultyJournal counting(&mem);
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+      ASSERT_TRUE(engine.AttachJournal(&counting).ok());
+      ASSERT_TRUE(engine.StartProcess(t->root_process).ok());
+      ASSERT_TRUE(DriveInSlices(&engine).ok());
+      total_truncates = counting.truncates();
+    }
+    ASSERT_GE(total_truncates, 2u);
+
+    for (uint64_t k = 0; k < total_truncates; ++k) {
+      SCOPED_TRACE("abort_at=" + std::to_string(abort_at) +
+                   " truncate failure at checkpoint " + std::to_string(k));
+      IdempotentRunner runner(aborts);
+      MemoryJournal mem;
+      FaultyJournal faulty(&mem);
+      faulty.FailTruncateAt(k);
+
+      // First life dies in the window where the k-th snapshot is durable
+      // but the history behind it still exists.
+      {
+        wfrt::ProgramRegistry programs;
+        ASSERT_TRUE(
+            exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+        wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+        ASSERT_TRUE(engine.AttachJournal(&faulty).ok());
+        ASSERT_TRUE(engine.StartProcess(t->root_process).ok());
+        EXPECT_FALSE(DriveInSlices(&engine).ok());
+        EXPECT_EQ(faulty.faults_injected(), 1u);
+      }
+
+      // Recovery lands on the snapshot, ignores the stale prefix, and
+      // finishes both the truncation and the workflow.
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindSagaPrograms(spec, store, &runner, &programs).ok());
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(5));
+      ASSERT_TRUE(engine.AttachJournal(&mem).ok());
+      ASSERT_TRUE(engine.Recover().ok());
+      EXPECT_GT(mem.first_seq(), 0u);  // interrupted truncation completed
+      ASSERT_TRUE(engine.Run().ok());
+      if (!engine.instance_order().empty()) {
+        EXPECT_TRUE(engine.IsFinished(engine.instance_order()[0]));
+      }
+      CheckSagaGuarantee(runner, abort_at);
+    }
+  }
+}
+
+TEST(SnapshotTortureTest, FlexSurvivesJournalFaultAtEveryAppendIndex) {
+  atm::FlexSpec spec = atm::MakeFigure3Spec();
+  wf::DefinitionStore store;
+  auto t = exo::TranslateFlex(spec, &store);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  for (const FlexCase& c : FlexCases()) {
+    const std::set<std::string> reference =
+        FlexReference(spec, store, t->root_process, c, nullptr);
+
+    uint64_t total_appends = 0;
+    {
+      IdempotentRunner runner(c.aborts);
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindFlexPrograms(spec, store, &runner, &programs).ok());
+      MemoryJournal mem;
+      FaultyJournal counting(&mem);
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(8));
+      ASSERT_TRUE(engine.AttachJournal(&counting).ok());
+      ASSERT_TRUE(engine.StartProcess(t->root_process).ok());
+      ASSERT_TRUE(DriveInSlices(&engine).ok());
+      ASSERT_GE(engine.stats().snapshots_written, 1u);
+      EXPECT_EQ(AsSet(runner.effective()), reference);
+      total_appends = counting.appends();
+    }
+
+    for (uint64_t k = 0; k < total_appends; ++k) {
+      SCOPED_TRACE(std::string(c.name) + " journal fault at append " +
+                   std::to_string(k));
+      IdempotentRunner runner(c.aborts);
+      MemoryJournal mem;
+      FaultyJournal faulty(&mem);
+      faulty.FailAppendAt(k, FaultyJournal::FaultMode::kAppendError);
+      {
+        wfrt::ProgramRegistry programs;
+        ASSERT_TRUE(
+            exo::BindFlexPrograms(spec, store, &runner, &programs).ok());
+        wfrt::Engine engine(&store, &programs, SnapshotEvery(8));
+        ASSERT_TRUE(engine.AttachJournal(&faulty).ok());
+        auto started = engine.StartProcess(t->root_process);
+        if (started.ok()) {
+          EXPECT_FALSE(DriveInSlices(&engine).ok());
+        }
+      }
+
+      wfrt::ProgramRegistry programs;
+      ASSERT_TRUE(exo::BindFlexPrograms(spec, store, &runner, &programs).ok());
+      wfrt::Engine engine(&store, &programs, SnapshotEvery(8));
+      ASSERT_TRUE(engine.AttachJournal(&mem).ok());
+      ASSERT_TRUE(engine.Recover().ok());
+      ASSERT_TRUE(engine.Run().ok());
+
+      if (mem.size() == 0) {
+        EXPECT_TRUE(runner.effective().empty());
+        continue;
+      }
+      if (!engine.instance_order().empty()) {
+        EXPECT_TRUE(engine.IsFinished(engine.instance_order()[0]));
+      }
+      EXPECT_EQ(AsSet(runner.effective()), reference);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Quarantine under randomized faults: a batch on one engine keeps going —
 // every instance ends finished or quarantined, never wedged, and the
 // poisoned ones are reported.

@@ -16,12 +16,26 @@ interpreted-VM conditioned chain (vm:1) by at least R on the best chain
 length — the compilation-ladder acceptance number tracked in
 BENCH_step.json.
 
+Optionally (--recovery-fresh FILE) gates the snapshot-recovery numbers
+from a fresh bench_recovery run (RecoverAfterHistory rows): with
+checkpoints on, recovering at 10x the history must stay flat —
+t(history:100/snap:1) / t(history:10/snap:1) <= --max-snapshot-flatness
+(default 1.2) — and the checkpointed recovery must beat full replay at
+the long history by at least --min-snapshot-speedup (default 2.0).
+These ratios come from one run on one machine, so they need no
+committed baseline. The sharded-recovery speedup is deliberately NOT
+gated: it tracks the machine's core count.
+
 Usage:
   build/bench/bench_navigation --benchmark_format=json \
       --benchmark_filter='ConditionedChain|StepChain' \
       --benchmark_repetitions=3 > fresh_nav.json
+  build/bench/bench_recovery --benchmark_format=json \
+      --benchmark_filter='RecoverAfterHistory' \
+      --benchmark_repetitions=3 > fresh_recovery.json
   tools/check_bench_regression.py --baseline BENCH_cond.json \
-      --fresh fresh_nav.json [--tolerance 0.10] [--min-step-speedup 1.2]
+      --fresh fresh_nav.json [--tolerance 0.10] [--min-step-speedup 1.2] \
+      [--recovery-fresh fresh_recovery.json]
 
 Exit status: 0 = all gates pass, 1 = regression, 2 = missing data.
 """
@@ -65,6 +79,16 @@ def main():
     ap.add_argument("--min-step-speedup", type=float, default=None,
                     help="if set, require step:1 vs vm:1 >= R on the "
                          "best chain length")
+    ap.add_argument("--recovery-fresh", default=None,
+                    help="google-benchmark JSON from a fresh "
+                         "bench_recovery RecoverAfterHistory run; "
+                         "enables the snapshot-recovery gates")
+    ap.add_argument("--max-snapshot-flatness", type=float, default=1.2,
+                    help="max allowed t(history:100)/t(history:10) with "
+                         "snapshots on (default 1.2)")
+    ap.add_argument("--min-snapshot-speedup", type=float, default=2.0,
+                    help="min required snap:0/snap:1 recovery speedup at "
+                         "history:100 (default 2.0)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -124,6 +148,40 @@ def main():
               f"required >= {args.min_step_speedup}")
         if best < args.min_step_speedup:
             failures.append("step_ladder")
+
+    if args.recovery_fresh is not None:
+        with open(args.recovery_fresh) as f:
+            recovery = json.load(f)
+        rec_times = median_times(recovery)
+
+        def rec_ratio(base_key, test_key):
+            base, test = rec_times.get(base_key), rec_times.get(test_key)
+            if base is None or test is None or test == 0:
+                return None
+            return base / test
+
+        flatness = rec_ratio("BM_RecoverAfterHistory/history:100/snap:1",
+                             "BM_RecoverAfterHistory/history:10/snap:1")
+        speedup = rec_ratio("BM_RecoverAfterHistory/history:100/snap:0",
+                            "BM_RecoverAfterHistory/history:100/snap:1")
+        if flatness is None or speedup is None:
+            print("MISSING: recovery run has no RecoverAfterHistory "
+                  "history/snap rows")
+            return 2
+        verdict = "ok" if flatness <= args.max_snapshot_flatness \
+            else "REGRESSION"
+        print(f"{verdict} snapshot flatness: 10x history costs "
+              f"{flatness:.3f}x with checkpoints on, required <= "
+              f"{args.max_snapshot_flatness}")
+        if flatness > args.max_snapshot_flatness:
+            failures.append("snapshot_flatness")
+        verdict = "ok" if speedup >= args.min_snapshot_speedup \
+            else "REGRESSION"
+        print(f"{verdict} snapshot speedup: checkpointed recovery beats "
+              f"full replay {speedup:.3f}x at history:100, required >= "
+              f"{args.min_snapshot_speedup}")
+        if speedup < args.min_snapshot_speedup:
+            failures.append("snapshot_speedup")
 
     return 1 if failures else 0
 

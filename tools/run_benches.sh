@@ -8,6 +8,7 @@
 #   FLEET_OUT=fleet.json     tools/run_benches.sh   # override fleet file
 #   COND_OUT=cond.json       tools/run_benches.sh   # override condition file
 #   STEP_OUT=step.json       tools/run_benches.sh   # override step file
+#   RECOVERY_OUT=rec.json    tools/run_benches.sh   # override recovery file
 #
 # The output has one top-level key per benchmark binary, each holding the
 # raw Google Benchmark JSON (context + benchmarks array). The fault-
@@ -24,7 +25,11 @@
 # programs (ConditionEval vm:2) and the fused step programs
 # (StepChainNavigation) — land in BENCH_step.json, with ladder speedups
 # measured against the same run's interpreted-VM conditioned chain so
-# they compare like with like on this machine.
+# they compare like with like on this machine. The snapshot-recovery
+# head-to-heads (bench_recovery's RecoverAfterHistory with/without
+# checkpoints and FleetRecoverSharded 1-vs-4 shards) land in
+# BENCH_recovery.json; note the sharded speedup tracks the machine's
+# core count (a 1-core box reports ~1.0).
 
 set -euo pipefail
 
@@ -34,6 +39,7 @@ FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
 COND_OUT="${COND_OUT:-BENCH_cond.json}"
 STEP_OUT="${STEP_OUT:-BENCH_step.json}"
+RECOVERY_OUT="${RECOVERY_OUT:-BENCH_recovery.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_navigation bench_fleet bench_recovery bench_condition)
 
@@ -79,6 +85,12 @@ echo "== bench_navigation (fused step programs) ==" >&2
   --benchmark_filter='StepChain' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   > "$tmpdir/bench_step_nav.json"
+
+echo "== bench_recovery (snapshot + sharded recovery) ==" >&2
+"$BUILD_DIR/bench/bench_recovery" --benchmark_format=json \
+  --benchmark_filter='RecoverAfterHistory|FleetRecoverSharded' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_recovery_snap.json"
 
 echo "== bench_fleet (scheduler head-to-head) ==" >&2
 "$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
@@ -140,6 +152,49 @@ speedup("start_instance_speedup_arena",
 
 merged = {"bench_fleet_scheduler": sched, "bench_fleet_spinup": spinup,
           "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {summary}")
+EOF
+
+python3 - "$RECOVERY_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_recovery_snap.json") as f:
+    rec = json.load(f)
+
+# Headline ratios from the median aggregates. The acceptance number is
+# recovery_snapshot_flatness: with checkpoints on, recovery at 10x the
+# history must stay flat (<= 1.2x) while full replay grows ~linearly
+# (recovery_full_replay_growth). recovery_sharded_speedup is wall-clock
+# 1-shard vs 4-shard parallel replay and tracks the core count.
+medians = {}
+for b in rec.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b
+
+summary = {}
+def ratio(name, base_key, test_key):
+    base, test = medians.get(base_key), medians.get(test_key)
+    if base and test:
+        summary[name] = round(base["real_time"] / test["real_time"], 3)
+
+for n in (10, 100):
+    ratio(f"recovery_snapshot_speedup_{n}",
+          f"BM_RecoverAfterHistory/history:{n}/snap:0",
+          f"BM_RecoverAfterHistory/history:{n}/snap:1")
+ratio("recovery_snapshot_flatness",
+      "BM_RecoverAfterHistory/history:100/snap:1",
+      "BM_RecoverAfterHistory/history:10/snap:1")
+ratio("recovery_full_replay_growth",
+      "BM_RecoverAfterHistory/history:100/snap:0",
+      "BM_RecoverAfterHistory/history:10/snap:0")
+ratio("recovery_sharded_speedup",
+      "BM_FleetRecoverSharded/shards:1",
+      "BM_FleetRecoverSharded/shards:4")
+
+merged = {"bench_snapshot_recovery": rec, "summary": summary}
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
