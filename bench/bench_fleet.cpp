@@ -190,6 +190,51 @@ void BM_FleetStartInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetStartInstance)->Arg(0)->Arg(1)->ArgName("arena");
 
+// Spin-up layout A/B with the arena on (the shipping configuration):
+// packed:1 copies one preformatted byte block plus a default-constructed
+// cold vector, packed:0 copies the full ActivityRuntime vector with its
+// container refcount traffic. Audit is off in both arms (layout-neutral
+// string traffic). Kept separate from BM_FleetStartInstance so its
+// arena:0/arena:1 series stays comparable to committed baselines.
+void BM_PackedStartInstance(benchmark::State& state) {
+  constexpr int kBatch = 256;
+  const int n = static_cast<int>(state.range(0));
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupChainProcess(&store, &programs, n);
+
+  wfrt::EngineOptions eo;
+  eo.packed_instance_state = state.range(1) != 0;
+  eo.audit_enabled = false;
+
+  // One fleet-style shared arena, as in BM_PackedChainNavigation: the
+  // per-engine arena rebuild is layout-neutral and would dilute the A/B.
+  auto def = store.FindProcess(process);
+  if (!def.ok()) std::abort();
+  auto arena = wfrt::InstanceArena::Build(**def, store.types());
+  if (!arena.ok()) std::abort();
+
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs, eo);
+    engine.ShareArena(*def, &*arena);
+    for (int i = 0; i < kBatch; ++i) {
+      auto id = engine.StartProcess(process);
+      if (!id.ok()) {
+        state.SkipWithError("start failed");
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(engine.stats().instances_started);
+  }
+  state.counters["starts/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackedStartInstance)
+    ->ArgNames({"n", "packed"})
+    ->Args({20, 0})->Args({20, 1})
+    ->Args({100, 0})->Args({100, 1});
+
 }  // namespace
 }  // namespace exotica::bench
 

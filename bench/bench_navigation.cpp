@@ -181,6 +181,47 @@ BENCHMARK(BM_StepChainNavigation)
     ->Args({100, 0})->Args({100, 1})
     ->Args({1000, 0})->Args({1000, 1});
 
+// Instance-layout A/B on the fully fused chain (condition VM + typed
+// programs + step programs all on, i.e. what the engine ships with):
+// packed:1 runs the SoA hot/cold split, packed:0 the legacy
+// vector<ActivityRuntime>. Audit is off in both arms — trail bookkeeping
+// is layout-independent string traffic that would otherwise be ~2/3 of
+// the runtime and bury the navigation cost this pair isolates: the
+// packed arm's dense hot block and arena-prototype container sourcing
+// vs the legacy arm's ~144-byte struct strides and per-attempt
+// type-registry walks.
+void BM_PackedChainNavigation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool packed = state.range(1) != 0;
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  std::string process = SetupConditionedChain(&store, &programs, n);
+
+  wfrt::EngineOptions options;  // full compilation ladder on
+  options.packed_instance_state = packed;
+  options.audit_enabled = false;
+
+  // One fleet-style shared arena: per-engine arena rebuild is
+  // layout-neutral setup cost that would dilute the A/B signal.
+  auto def = store.FindProcess(process);
+  if (!def.ok()) std::abort();
+  auto arena = wfrt::InstanceArena::Build(**def, store.types());
+  if (!arena.ok()) std::abort();
+
+  for (auto _ : state) {
+    wfrt::Engine engine(&store, &programs, options);
+    engine.ShareArena(*def, &*arena);
+    auto id = engine.RunToCompletion(process);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+  }
+  state.counters["activities/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackedChainNavigation)
+    ->ArgNames({"n", "packed"})
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({1000, 0})->Args({1000, 1});
+
 // Journaling overhead: the same chain with an attached journal.
 void BM_ChainWithJournal(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

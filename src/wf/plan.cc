@@ -131,6 +131,8 @@ NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def,
     plan.in_eval_total_ += static_cast<uint32_t>(info.in_control.size());
     plan.out_eval_total_ += static_cast<uint32_t>(info.out_control.size());
   }
+  plan.hot_ =
+      HotLayout::Compute(n, plan.in_eval_total_, plan.out_eval_total_);
 
   // Fuse each activity's outgoing sweep into a straight-line step
   // program: non-otherwise connectors in slot order (the interpreted

@@ -28,6 +28,53 @@ namespace exotica::wf {
 
 class ProcessDefinition;
 
+/// \brief Byte offsets of the packed per-instance *hot block* (see
+/// docs/specs/instance_layout.md).
+///
+/// With EngineOptions::packed_instance_state the per-activity hot fields
+/// live in one contiguous byte block instead of striding fat
+/// ActivityRuntime structs: a dense state byte per activity, the
+/// ready-queue dedup byte, the two connector-eval planes, and 4-aligned
+/// int32 attempt/failures arrays. The layout is fixed per plan, so an
+/// InstanceArena can preformat the whole block as a single memcpy-able
+/// image. Cold per-activity state (containers, work items, child links)
+/// stays out of the block entirely.
+struct HotLayout {
+  uint32_t state_base = 0;     ///< n bytes: ActivityState per activity
+  uint32_t enqueued_base = 0;  ///< n bytes: ready-queue dedup bitmap
+  uint32_t in_eval_base = 0;   ///< in_eval_total int8 slots
+  uint32_t out_eval_base = 0;  ///< out_eval_total int8 slots
+  uint32_t attempt_base = 0;   ///< n int32 (4-aligned)
+  uint32_t failures_base = 0;  ///< n int32
+  uint32_t size = 0;           ///< total block size in bytes
+
+  static constexpr HotLayout Compute(uint32_t n, uint32_t in_total,
+                                     uint32_t out_total) {
+    HotLayout l;
+    l.state_base = 0;
+    l.enqueued_base = n;
+    l.in_eval_base = 2 * n;
+    l.out_eval_base = 2 * n + in_total;
+    l.attempt_base = (2 * n + in_total + out_total + 3u) & ~3u;
+    l.failures_base = l.attempt_base + 4 * n;
+    l.size = l.failures_base + 4 * n;
+    return l;
+  }
+};
+
+// Layout regressions fail at compile time: the byte planes are dense and
+// adjacent, the int32 planes 4-aligned, and the block never pads beyond
+// the alignment gap.
+static_assert(HotLayout::Compute(4, 3, 5).enqueued_base == 4);
+static_assert(HotLayout::Compute(4, 3, 5).in_eval_base == 8);
+static_assert(HotLayout::Compute(4, 3, 5).out_eval_base == 11);
+static_assert(HotLayout::Compute(4, 3, 5).attempt_base == 16);
+static_assert(HotLayout::Compute(4, 3, 5).failures_base == 32);
+static_assert(HotLayout::Compute(4, 3, 5).size == 48);
+static_assert(HotLayout::Compute(1, 0, 0).attempt_base % 4 == 0);
+static_assert(HotLayout::Compute(1000, 999, 999).attempt_base % 4 == 0);
+static_assert(HotLayout::Compute(0, 0, 0).size == 0);
+
 /// \brief One instruction of an activity's fused outgoing-sweep *step
 /// program* (see docs/specs/step_program.md).
 ///
@@ -156,6 +203,10 @@ class NavigationPlan {
   uint32_t in_eval_total() const { return in_eval_total_; }
   uint32_t out_eval_total() const { return out_eval_total_; }
 
+  /// Byte offsets of the packed per-instance hot block (computed from the
+  /// activity count and eval totals at plan build).
+  const HotLayout& hot() const { return hot_; }
+
   /// Compiled condition program `index` (an ActivityInfo::exit_vm or
   /// ConnectorInfo::cond_vm value >= 0).
   const expr::CompiledCondition& vm_program(int32_t index) const {
@@ -185,6 +236,7 @@ class NavigationPlan {
   std::vector<StepInstr> step_code_;
   uint32_t in_eval_total_ = 0;
   uint32_t out_eval_total_ = 0;
+  HotLayout hot_;
 };
 
 }  // namespace exotica::wf

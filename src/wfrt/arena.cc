@@ -1,5 +1,6 @@
 #include "wfrt/arena.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -37,6 +38,18 @@ Result<InstanceArena> InstanceArena::Build(
     EXO_ASSIGN_OR_RETURN(rt.input, make(acts[aid].input_type));
     EXO_ASSIGN_OR_RETURN(rt.output, make(acts[aid].output_type));
   }
+
+  // Preformat the packed hot block: all planes zero (kWaiting states, no
+  // enqueued bits, attempt/failures 0) except the connector-eval planes,
+  // which start at -1 (not yet evaluated).
+  const wf::HotLayout& hl = plan.hot();
+  arena.hot_.assign(hl.size, 0);
+  std::fill(arena.hot_.begin() + hl.in_eval_base,
+            arena.hot_.begin() + hl.in_eval_base + plan.in_eval_total(),
+            static_cast<uint8_t>(-1));
+  std::fill(arena.hot_.begin() + hl.out_eval_base,
+            arena.hot_.begin() + hl.out_eval_base + plan.out_eval_total(),
+            static_cast<uint8_t>(-1));
   return arena;
 }
 

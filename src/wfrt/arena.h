@@ -48,10 +48,17 @@ class InstanceArena {
   const data::Container& input() const { return input_; }
   const data::Container& output() const { return output_; }
 
-  /// The preformatted ActivityRuntime image, indexed by activity id.
+  /// The preformatted ActivityRuntime image, indexed by activity id. In
+  /// the packed layout this doubles as the prototype source that cold
+  /// containers materialize from on first touch.
   const std::vector<ActivityRuntime>& activities() const {
     return activities_;
   }
+
+  /// The preformatted packed hot block (plan->hot() layout): zeroed state
+  /// / enqueued / attempt / failures planes, connector-eval planes filled
+  /// with -1 (not yet evaluated). Packed spin-up is one copy of this.
+  const std::vector<uint8_t>& hot_image() const { return hot_; }
 
   uint32_t activity_count() const {
     return static_cast<uint32_t>(activities_.size());
@@ -61,6 +68,7 @@ class InstanceArena {
   data::Container input_;
   data::Container output_;
   std::vector<ActivityRuntime> activities_;
+  std::vector<uint8_t> hot_;
 };
 
 }  // namespace exotica::wfrt

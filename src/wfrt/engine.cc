@@ -98,6 +98,7 @@ Status Engine::FlushJournal() {
 
 void Engine::Audit(AuditKind kind, const std::string& instance,
                    const std::string& activity, std::string detail) {
+  if (!options_.audit_enabled) return;
   AuditEvent e;
   e.at = clock_->NowMicros();
   e.kind = kind;
@@ -167,7 +168,7 @@ Result<wf::ActivityState> Engine::StateOf(const std::string& id,
   if (!aid.ok()) {
     return Status::NotFound("no activity " + activity + " in instance " + id);
   }
-  return inst->activities[*aid].state;
+  return inst->state(static_cast<uint32_t>(*aid));
 }
 
 Result<data::Container> Engine::NewContainer(const std::string& type_name) {
@@ -242,7 +243,7 @@ Result<std::string> Engine::CreateInstance(const wf::ProcessDefinition* def,
                          MutableInstance(parent_instance));
     EXO_ASSIGN_OR_RETURN(size_t paid,
                          parent->definition->ActivityIndex(parent_activity));
-    parent->activities[paid].child_instance = id;
+    parent->child_instance(static_cast<uint32_t>(paid)) = id;
   }
 
   EXO_RETURN_NOT_OK(ReadyStartActivities(p));
@@ -267,7 +268,30 @@ Result<const InstanceArena*> Engine::ArenaFor(const wf::ProcessDefinition* def) 
 Status Engine::InitializeRuntimes(ProcessInstance* inst) {
   const wf::NavigationPlan& plan = *inst->plan;
   uint32_t n = plan.activity_count();
-  if (options_.spinup_arena) {
+  if (options_.packed_instance_state) {
+    // Packed layout: one copy of the arena's preformatted hot block plus
+    // a default-constructed cold sidecar — no per-activity container
+    // copies at spin-up; cold containers materialize on first touch.
+    inst->packed = true;
+    inst->hl = plan.hot();
+    if (options_.spinup_arena) {
+      EXO_ASSIGN_OR_RETURN(const InstanceArena* arena,
+                           ArenaFor(inst->definition));
+      inst->arena = arena;
+      inst->hot = arena->hot_image();
+      ++stats_.arena_spinups;
+    } else {
+      const wf::HotLayout& hl = plan.hot();
+      inst->hot.assign(hl.size, 0);
+      std::fill(inst->hot.begin() + hl.in_eval_base,
+                inst->hot.begin() + hl.in_eval_base + plan.in_eval_total(),
+                static_cast<uint8_t>(-1));
+      std::fill(inst->hot.begin() + hl.out_eval_base,
+                inst->hot.begin() + hl.out_eval_base + plan.out_eval_total(),
+                static_cast<uint8_t>(-1));
+    }
+    inst->cold.resize(n);
+  } else if (options_.spinup_arena) {
     // One vector copy of the preformatted image; the flat-layout
     // containers inside share their immutable layouts by refcount.
     EXO_ASSIGN_OR_RETURN(const InstanceArena* arena,
@@ -283,18 +307,50 @@ Status Engine::InitializeRuntimes(ProcessInstance* inst) {
       EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(acts[aid].output_type));
     }
   }
-  inst->in_evals.assign(plan.in_eval_total(), -1);
-  inst->out_evals.assign(plan.out_eval_total(), -1);
-  inst->enqueued.assign(n, 0);
+  if (!inst->packed) {
+    inst->in_evals.assign(plan.in_eval_total(), -1);
+    inst->out_evals.assign(plan.out_eval_total(), -1);
+    inst->enqueued.assign(n, 0);
+  }
   // Process-input data connectors materialize target inputs immediately.
   for (uint32_t d : plan.input_data()) {
     const wf::DataConnector& dc = inst->definition->data_connectors()[d];
     uint32_t to = plan.data_target(d).to;
-    data::Container* target = to == wf::NavigationPlan::kProcessOutput
-                                  ? &inst->output
-                                  : &inst->activities[to].input;
+    data::Container* target;
+    if (to == wf::NavigationPlan::kProcessOutput) {
+      target = &inst->output;
+    } else {
+      EXO_RETURN_NOT_OK(MaterializeActivityInput(inst, to));
+      target = &inst->activity_input(to);
+    }
     EXO_RETURN_NOT_OK(dc.mapping.Apply(inst->input, target));
   }
+  return Status::OK();
+}
+
+Status Engine::MaterializeActivityInput(ProcessInstance* inst, uint32_t aid) {
+  if (!inst->packed) return Status::OK();
+  data::Container& c = inst->cold[aid].input;
+  if (!c.type_name().empty()) return Status::OK();
+  if (inst->arena != nullptr) {
+    c = inst->arena->activities()[aid].input;
+    return Status::OK();
+  }
+  EXO_ASSIGN_OR_RETURN(
+      c, NewContainer(inst->definition->activities()[aid].input_type));
+  return Status::OK();
+}
+
+Status Engine::MaterializeActivityOutput(ProcessInstance* inst, uint32_t aid) {
+  if (!inst->packed) return Status::OK();
+  data::Container& c = inst->cold[aid].output;
+  if (!c.type_name().empty()) return Status::OK();
+  if (inst->arena != nullptr) {
+    c = inst->arena->activities()[aid].output;
+    return Status::OK();
+  }
+  EXO_ASSIGN_OR_RETURN(
+      c, NewContainer(inst->definition->activities()[aid].output_type));
   return Status::OK();
 }
 
@@ -318,7 +374,7 @@ Status Engine::PostWorkItem(ProcessInstance* inst, uint32_t aid,
       org::WorkItemId item,
       worklists_->Post(inst->id, def.name, def.role, def.notify_after_micros,
                        def.notify_role));
-  inst->activities[aid].work_item = item;
+  inst->work_item(aid) = item;
   Audit(AuditKind::kWorkItemPosted, inst->id, def.name, std::to_string(item));
   return Status::OK();
 }
@@ -326,8 +382,10 @@ Status Engine::PostWorkItem(ProcessInstance* inst, uint32_t aid,
 Status Engine::MakeReady(ProcessInstance* inst, uint32_t aid) {
   inst->SetState(aid, ActivityState::kReady);
   const std::string& name = NameOf(inst, aid);
-  EXO_RETURN_NOT_OK(
-      JournalAppend(wfjournal::EventType::kActivityReady, inst->id, name));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(
+        JournalAppend(wfjournal::EventType::kActivityReady, inst->id, name));
+  }
   Audit(AuditKind::kActivityReady, inst->id, name);
 
   if (inst->plan->activity(aid).manual) {
@@ -340,8 +398,9 @@ Status Engine::MakeReady(ProcessInstance* inst, uint32_t aid) {
 }
 
 void Engine::Enqueue(ProcessInstance* inst, uint32_t aid) {
-  if (inst->enqueued[aid]) return;
-  inst->enqueued[aid] = 1;
+  uint8_t& flag = inst->enqueued_flag(aid);
+  if (flag) return;
+  flag = 1;
   ready_queue_.emplace_back(inst->index, aid);
 }
 
@@ -354,11 +413,11 @@ Status Engine::Drain(int limit) {
     ready_queue_.pop_front();
 
     ProcessInstance* inst = &instances_[index];
-    inst->enqueued[aid] = 0;
+    inst->enqueued_flag(aid) = 0;
     if (inst->suspended) continue;  // parked; ResumeSuspended re-enqueues
     if (inst->failed) continue;     // quarantined
     if (inst->detached) continue;   // migrated away; slot is a husk
-    if (inst->activities[aid].state != ActivityState::kReady) {
+    if (inst->state(aid) != ActivityState::kReady) {
       continue;  // stale entry
     }
     EXO_RETURN_NOT_OK(StartExecution(inst, aid, ""));
@@ -404,27 +463,38 @@ Result<std::string> Engine::RunToCompletion(const std::string& process_name,
 
 Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
                               const std::string& person) {
-  ActivityRuntime& rt = inst->activities[aid];
   const wf::Activity& def = DefOf(inst, aid);
 
-  rt.attempt += 1;
+  const int32_t attempt = ++inst->attempt(aid);
   inst->SetState(aid, ActivityState::kRunning);
+  EXO_RETURN_NOT_OK(MaterializeActivityInput(inst, aid));
   // Fresh output container per attempt: a half-written image from a failed
-  // attempt must not leak into the next one.
-  EXO_ASSIGN_OR_RETURN(rt.output, NewContainer(def.output_type));
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
-                                  inst->id, def.name, "", false,
-                                  std::to_string(rt.attempt)));
+  // attempt must not leak into the next one. The packed layout takes the
+  // fresh container from the arena's preformatted prototype — one
+  // container copy instead of a type-registry walk (the prototype IS
+  // NewContainer's result, so the two paths are indistinguishable).
+  if (inst->packed && inst->arena != nullptr) {
+    inst->cold[aid].output = inst->arena->activities()[aid].output;
+  } else {
+    EXO_ASSIGN_OR_RETURN(inst->activity_output(aid),
+                         NewContainer(def.output_type));
+  }
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
+                                    inst->id, def.name, "", false,
+                                    std::to_string(attempt)));
+  }
   Audit(AuditKind::kActivityStarted, inst->id, def.name,
-        "attempt=" + std::to_string(rt.attempt));
+        "attempt=" + std::to_string(attempt));
   ++stats_.activities_executed;
 
   if (def.is_process()) {
     // Block: spawn a child instance fed from this activity's input.
     EXO_ASSIGN_OR_RETURN(const wf::ProcessDefinition* sub,
                          definitions_->FindProcess(def.subprocess));
-    EXO_ASSIGN_OR_RETURN(std::string child_id,
-                         CreateInstance(sub, &rt.input, inst->id, def.name));
+    EXO_ASSIGN_OR_RETURN(
+        std::string child_id,
+        CreateInstance(sub, &inst->activity_input(aid), inst->id, def.name));
     (void)child_id;  // continuation happens when the child finishes
     return Status::OK();
   }
@@ -434,9 +504,22 @@ Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
   ProgramContext ctx;
   ctx.instance_id = inst->id;
   ctx.activity = def.name;
-  ctx.attempt = rt.attempt;
+  ctx.attempt = attempt;
   ctx.person = person;
-  Status st = (*fn)(rt.input, &rt.output, ctx);
+  // Every 8th execution is wall-clock sampled into the activity-cost EWMA
+  // (mean_activity_cost_micros) so the fleet's cost-aware steal victim
+  // picking has a load signal without two clock reads per dispatch.
+  const bool sample_cost = (cost_sample_tick_++ & 7) == 0;
+  const Micros cost_t0 = sample_cost ? clock_->NowMicros() : 0;
+  Status st = (*fn)(inst->activity_input(aid), &inst->activity_output(aid),
+                    ctx);
+  if (sample_cost) {
+    const double cost = static_cast<double>(clock_->NowMicros() - cost_t0);
+    cost_ewma_micros_ = cost_ewma_micros_ == 0.0
+                            ? cost
+                            : cost_ewma_micros_ +
+                                  0.2 * (cost - cost_ewma_micros_);
+  }
   if (st.IsPending()) {
     // Asynchronous external work (§3.3: activities "can be of any type
     // ... as long as there is a way to report their progress"). The
@@ -450,11 +533,11 @@ Status Engine::StartExecution(ProcessInstance* inst, uint32_t aid,
     return HandleProgramFailure(inst, aid, st);
   }
 
-  rt.failures = 0;
+  inst->failures(aid) = 0;
   if (journal_ != nullptr) {
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
                                     inst->id, def.name, "", false,
-                                    rt.output.Serialize()));
+                                    inst->activity_output(aid).Serialize()));
   }
   Audit(AuditKind::kActivityFinished, inst->id, def.name);
   return HandleFinished(inst, aid);
@@ -494,9 +577,8 @@ Micros Engine::BackoffDelay(const RetryPolicy& policy, int failures,
 
 Status Engine::HandleProgramFailure(ProcessInstance* inst, uint32_t aid,
                                     const Status& error) {
-  ActivityRuntime& rt = inst->activities[aid];
   const std::string& name = NameOf(inst, aid);
-  ++rt.failures;
+  const int32_t failures = ++inst->failures(aid);
   ++stats_.program_failures;
   Audit(AuditKind::kProgramFailure, inst->id, name, error.ToString());
 
@@ -512,10 +594,10 @@ Status Engine::HandleProgramFailure(ProcessInstance* inst, uint32_t aid,
                         name.c_str(), inst->id.c_str(),
                         error.ToString().c_str()));
   }
-  if (policy.max_attempts > 0 && rt.failures >= policy.max_attempts) {
+  if (policy.max_attempts > 0 && failures >= policy.max_attempts) {
     return QuarantineInstance(
         inst, StrFormat("activity %s in %s failed %d times; last error: %s",
-                        name.c_str(), inst->id.c_str(), rt.failures,
+                        name.c_str(), inst->id.c_str(), failures,
                         error.ToString().c_str()));
   }
   // The retry budget lives on the top-level instance, so block children
@@ -535,7 +617,7 @@ Status Engine::HandleProgramFailure(ProcessInstance* inst, uint32_t aid,
                   name.c_str(), error.ToString().c_str()));
   }
   ++stats_.retries;
-  Micros delay = BackoffDelay(policy, rt.failures, inst->id, name);
+  Micros delay = BackoffDelay(policy, failures, inst->id, name);
   if (delay > 0) {
     ++stats_.backoff_waits;
     stats_.backoff_wait_micros += static_cast<uint64_t>(delay);
@@ -562,26 +644,26 @@ Status Engine::ApplyFailed(ProcessInstance* inst, const std::string& reason) {
   // process stays runnable against the committed State image), it just
   // stops navigating.
   for (uint32_t aid : inst->plan->ids_by_name()) {
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
-      auto child = MutableInstance(rt.child_instance);
+    if (inst->state(aid) == ActivityState::kRunning &&
+        !inst->child_instance(aid).empty()) {
+      auto child = MutableInstance(inst->child_instance(aid));
       if (child.ok() && !(*child)->finished && !(*child)->failed) {
         EXO_RETURN_NOT_OK(ApplyFailed(*child, reason));
       }
     }
   }
   for (uint32_t aid : inst->plan->ids_by_name()) {
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.state == ActivityState::kTerminated ||
-        rt.state == ActivityState::kDead) {
+    ActivityState s = inst->state(aid);
+    if (s == ActivityState::kTerminated || s == ActivityState::kDead) {
       continue;
     }
     const std::string& name = NameOf(inst, aid);
-    if (rt.work_item.has_value() && worklists_ != nullptr) {
-      (void)worklists_->Cancel(*rt.work_item);
+    std::optional<org::WorkItemId>& item = inst->work_item(aid);
+    if (item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*item);
       Audit(AuditKind::kWorkItemCancelled, inst->id, name,
-            std::to_string(*rt.work_item));
-      rt.work_item.reset();
+            std::to_string(*item));
+      item.reset();
     }
     inst->SetState(aid, ActivityState::kDead);
     Audit(AuditKind::kActivityDead, inst->id, name, "failed");
@@ -598,7 +680,6 @@ Status Engine::ApplyFailed(ProcessInstance* inst, const std::string& reason) {
 }
 
 Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
-  ActivityRuntime& rt = inst->activities[aid];
   const wf::Activity& def = DefOf(inst, aid);
   inst->SetState(aid, ActivityState::kFinished);
 
@@ -607,12 +688,13 @@ Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
   if (info.trivial_exit) {
     exit_ok = true;  // always-true exit condition: skip the resolver
   } else {
+    const data::Container& out = inst->activity_output(aid);
     Result<bool> exit_result = [&]() -> Result<bool> {
       if (info.exit_vm >= 0 && options_.use_condition_vm) {
-        return EvalVmCondition(inst, info.exit_vm, rt.output);
+        return EvalVmCondition(inst, info.exit_vm, out);
       }
       ++stats_.tree_condition_evals;
-      expr::ContainerResolver resolver(rt.output);
+      expr::ContainerResolver resolver(out);
       return def.exit_condition.Evaluate(resolver);
     }();
     if (!exit_result.ok()) {
@@ -622,11 +704,12 @@ Status Engine::HandleFinished(ProcessInstance* inst, uint32_t aid) {
     exit_ok = exit_result.value();
   }
   if (!exit_ok) {
+    const int32_t attempt = inst->attempt(aid);
     if (options_.max_exit_retries > 0 &&
-        rt.attempt >= options_.max_exit_retries) {
+        attempt >= options_.max_exit_retries) {
       return Status::FailedPrecondition(StrFormat(
           "activity %s in %s: exit condition still false after %d attempts",
-          def.name.c_str(), inst->id.c_str(), rt.attempt));
+          def.name.c_str(), inst->id.c_str(), attempt));
     }
     return Reschedule(inst, aid, "exit-condition");
   }
@@ -652,8 +735,10 @@ Status Engine::Reschedule(ProcessInstance* inst, uint32_t aid,
 Status Engine::Terminate(ProcessInstance* inst, uint32_t aid) {
   inst->SetState(aid, ActivityState::kTerminated);
   const std::string& name = NameOf(inst, aid);
-  EXO_RETURN_NOT_OK(
-      JournalAppend(wfjournal::EventType::kActivityTerminated, inst->id, name));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityTerminated,
+                                    inst->id, name));
+  }
   Audit(AuditKind::kActivityTerminated, inst->id, name);
   EXO_RETURN_NOT_OK(PushData(inst, aid));
   EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/false));
@@ -661,21 +746,23 @@ Status Engine::Terminate(ProcessInstance* inst, uint32_t aid) {
 }
 
 Status Engine::MarkDead(ProcessInstance* inst, uint32_t aid) {
-  ActivityRuntime& rt = inst->activities[aid];
   inst->SetState(aid, ActivityState::kDead);
   ++stats_.dead_path_terminations;
   const std::string& name = NameOf(inst, aid);
-  EXO_RETURN_NOT_OK(
-      JournalAppend(wfjournal::EventType::kActivityDead, inst->id, name));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(
+        JournalAppend(wfjournal::EventType::kActivityDead, inst->id, name));
+  }
   Audit(AuditKind::kActivityDead, inst->id, name);
 
-  if (rt.work_item.has_value() && worklists_ != nullptr) {
+  std::optional<org::WorkItemId>& item = inst->work_item(aid);
+  if (item.has_value() && worklists_ != nullptr) {
     // Best effort: the item may already be done (it should not be, since
     // the activity was still waiting, but recovery can race).
-    (void)worklists_->Cancel(*rt.work_item);
+    (void)worklists_->Cancel(*item);
     Audit(AuditKind::kWorkItemCancelled, inst->id, name,
-          std::to_string(*rt.work_item));
-    rt.work_item.reset();
+          std::to_string(*item));
+    item.reset();
   }
   EXO_RETURN_NOT_OK(EvaluateOutgoing(inst, aid, /*all_false=*/true));
   return CheckInstanceCompletion(inst);
@@ -697,7 +784,6 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
                                 bool all_false) {
   if (options_.use_step_programs) return RunStepProgram(inst, aid, all_false);
 
-  ActivityRuntime& rt = inst->activities[aid];
   const wf::NavigationPlan& plan = *inst->plan;
   const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
   const std::vector<wf::ControlConnector>& connectors =
@@ -708,6 +794,13 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   // journaled, so a successor's join never fires on a partial picture.
   std::vector<std::pair<uint32_t, bool>> fresh;
 
+  // A conditioned sweep reads the source output container (packed cold
+  // containers materialize on first touch).
+  if (!all_false && info.has_cond_out) {
+    EXO_RETURN_NOT_OK(MaterializeActivityOutput(inst, aid));
+  }
+  const data::Container& out = inst->activity_output(aid);
+
   // Every outgoing connector reads the same source output container, so
   // one resolver serves the whole sweep — but only tree-walked conditions
   // consult it, so the plan's resolver bits let trivial/VM-only sweeps
@@ -716,7 +809,7 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   if (!all_false &&
       (info.needs_resolver ||
        (info.has_cond_out && !options_.use_condition_vm))) {
-    resolver.emplace(rt.output);
+    resolver.emplace(out);
   }
 
   // Non-otherwise connectors first.
@@ -725,8 +818,8 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
     const wf::NavigationPlan::ConnectorInfo& ci = plan.connector(cidx);
     if (ci.is_otherwise) continue;
     bool value;
-    if (inst->out_evals[info.out_eval_base + slot] >= 0) {
-      value = inst->out_evals[info.out_eval_base + slot] != 0;
+    if (inst->out_eval_abs(info.out_eval_base + slot) >= 0) {
+      value = inst->out_eval_abs(info.out_eval_base + slot) != 0;
     } else {
       if (all_false) {
         value = false;
@@ -736,7 +829,7 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
         const wf::ControlConnector& c = connectors[cidx];
         Result<bool> r = [&]() -> Result<bool> {
           if (ci.cond_vm >= 0 && options_.use_condition_vm) {
-            return EvalVmCondition(inst, ci.cond_vm, rt.output);
+            return EvalVmCondition(inst, ci.cond_vm, out);
           }
           ++stats_.tree_condition_evals;
           return c.condition.Evaluate(*resolver);
@@ -752,11 +845,13 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
           value = r.value();
         }
       }
-      inst->out_evals[info.out_eval_base + slot] = value ? 1 : 0;
+      inst->out_eval_abs(info.out_eval_base + slot) = value ? 1 : 0;
       ++stats_.connectors_evaluated;
       const wf::ControlConnector& c = connectors[cidx];
-      EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
-                                      inst->id, c.from, c.to, value));
+      if (journal_ != nullptr) {
+        EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                        inst->id, c.from, c.to, value));
+      }
       Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
             inst->id, c.from, c.to);
       fresh.emplace_back(cidx, value);
@@ -768,13 +863,15 @@ Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
   for (uint32_t slot = 0; slot < info.out_control.size(); ++slot) {
     uint32_t cidx = info.out_control[slot];
     if (!plan.connector(cidx).is_otherwise) continue;
-    if (inst->out_evals[info.out_eval_base + slot] >= 0) continue;
+    if (inst->out_eval_abs(info.out_eval_base + slot) >= 0) continue;
     bool value = all_false ? false : !any_true;
-    inst->out_evals[info.out_eval_base + slot] = value ? 1 : 0;
+    inst->out_eval_abs(info.out_eval_base + slot) = value ? 1 : 0;
     ++stats_.connectors_evaluated;
     const wf::ControlConnector& c = connectors[cidx];
-    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
-                                    inst->id, c.from, c.to, value));
+    if (journal_ != nullptr) {
+      EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                      inst->id, c.from, c.to, value));
+    }
     Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
           inst->id, c.from, c.to);
     fresh.emplace_back(cidx, value);
@@ -790,15 +887,13 @@ Status Engine::DeliverSignal(ProcessInstance* inst, uint32_t connector_index,
                              bool value) {
   const wf::NavigationPlan::ConnectorInfo& ci =
       inst->plan->connector(connector_index);
-  ActivityRuntime& rt = inst->activities[ci.to];
   inst->in_eval(ci.to, ci.in_slot) = value ? 1 : 0;
-  if (rt.state != ActivityState::kWaiting) return Status::OK();
+  if (inst->state(ci.to) != ActivityState::kWaiting) return Status::OK();
   return ApplyJoin(inst, ci.to);
 }
 
 Status Engine::ApplyJoin(ProcessInstance* inst, uint32_t aid) {
-  ActivityRuntime& rt = inst->activities[aid];
-  if (rt.state != ActivityState::kWaiting) return Status::OK();
+  if (inst->state(aid) != ActivityState::kWaiting) return Status::OK();
   const wf::NavigationPlan::ActivityInfo& info = inst->plan->activity(aid);
   if (info.join_fan_in == 0) return Status::OK();
 
@@ -810,7 +905,7 @@ Status Engine::ApplyJoin(ProcessInstance* inst, uint32_t aid) {
   // Figure 2.
   uint32_t evaluated = 0, trues = 0;
   for (uint32_t s = 0; s < info.join_fan_in; ++s) {
-    int8_t v = inst->in_evals[info.in_eval_base + s];
+    int8_t v = inst->in_eval_abs(info.in_eval_base + s);
     if (v < 0) continue;
     ++evaluated;
     trues += static_cast<uint32_t>(v);
@@ -822,15 +917,21 @@ Status Engine::ApplyJoin(ProcessInstance* inst, uint32_t aid) {
 }
 
 Status Engine::PushData(ProcessInstance* inst, uint32_t aid) {
-  ActivityRuntime& rt = inst->activities[aid];
   const wf::NavigationPlan& plan = *inst->plan;
+  if (!plan.activity(aid).out_data.empty()) {
+    EXO_RETURN_NOT_OK(MaterializeActivityOutput(inst, aid));
+  }
   for (uint32_t d : plan.activity(aid).out_data) {
     const wf::DataConnector& dc = inst->definition->data_connectors()[d];
     uint32_t to = plan.data_target(d).to;
-    data::Container* target = to == wf::NavigationPlan::kProcessOutput
-                                  ? &inst->output
-                                  : &inst->activities[to].input;
-    EXO_RETURN_NOT_OK(dc.mapping.Apply(rt.output, target));
+    data::Container* target;
+    if (to == wf::NavigationPlan::kProcessOutput) {
+      target = &inst->output;
+    } else {
+      EXO_RETURN_NOT_OK(MaterializeActivityInput(inst, to));
+      target = &inst->activity_input(to);
+    }
+    EXO_RETURN_NOT_OK(dc.mapping.Apply(inst->activity_output(aid), target));
   }
   return Status::OK();
 }
@@ -856,13 +957,15 @@ Status Engine::ContinueParent(ProcessInstance* child) {
                        MutableInstance(child->parent_instance));
   EXO_ASSIGN_OR_RETURN(
       size_t aid, parent->definition->ActivityIndex(child->parent_activity));
-  ActivityRuntime& rt = parent->activities[aid];
-  if (rt.state != ActivityState::kRunning) return Status::OK();  // already done
-  rt.output = child->output;
+  if (parent->state(static_cast<uint32_t>(aid)) != ActivityState::kRunning) {
+    return Status::OK();  // already done
+  }
+  data::Container& out = parent->activity_output(static_cast<uint32_t>(aid));
+  out = child->output;
   if (journal_ != nullptr) {
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
                                     parent->id, child->parent_activity, "",
-                                    false, rt.output.Serialize()));
+                                    false, out.Serialize()));
   }
   Audit(AuditKind::kActivityFinished, parent->id, child->parent_activity,
         "block child " + child->id);
@@ -892,13 +995,12 @@ Status Engine::ExecuteWorkItem(org::WorkItemId id, const std::string& person) {
                        MutableInstance(item->process_instance));
   std::string activity = item->activity;
   EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
-  ActivityRuntime& rt = inst->activities[aid];
-  if (rt.state != ActivityState::kReady) {
+  if (inst->state(static_cast<uint32_t>(aid)) != ActivityState::kReady) {
     return Status::FailedPrecondition("activity " + activity +
                                       " is not ready in " + inst->id);
   }
   EXO_RETURN_NOT_OK(worklists_->Complete(id, person));
-  rt.work_item.reset();
+  inst->work_item(static_cast<uint32_t>(aid)).reset();
   EXO_RETURN_NOT_OK(StartExecution(inst, static_cast<uint32_t>(aid), person));
   return Run();
 }
@@ -909,11 +1011,11 @@ Status Engine::CompleteAsync(const std::string& instance_id,
   EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
   EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
   const wf::Activity& def = DefOf(inst, static_cast<uint32_t>(aid));
-  ActivityRuntime& rt = inst->activities[aid];
-  if (rt.state != ActivityState::kRunning) {
+  ActivityState s = inst->state(static_cast<uint32_t>(aid));
+  if (s != ActivityState::kRunning) {
     return Status::FailedPrecondition(
         "activity " + activity + " in " + instance_id + " is " +
-        ActivityStateName(rt.state) + "; only running activities complete");
+        ActivityStateName(s) + "; only running activities complete");
   }
   if (!def.is_program()) {
     return Status::FailedPrecondition(
@@ -924,12 +1026,13 @@ Status Engine::CompleteAsync(const std::string& instance_id,
                                    output.type_name() + " does not match " +
                                    def.output_type);
   }
-  rt.output = output;
-  rt.failures = 0;
+  data::Container& out = inst->activity_output(static_cast<uint32_t>(aid));
+  out = output;
+  inst->failures(static_cast<uint32_t>(aid)) = 0;
   if (journal_ != nullptr) {
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
                                     inst->id, activity, "", false,
-                                    rt.output.Serialize()));
+                                    out.Serialize()));
   }
   Audit(AuditKind::kActivityFinished, inst->id, activity, "async");
   EXO_RETURN_NOT_OK(HandleFinished(inst, static_cast<uint32_t>(aid)));
@@ -941,33 +1044,36 @@ Status Engine::ForceFinish(const std::string& instance_id,
                            const data::Container& output) {
   EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(instance_id));
   EXO_ASSIGN_OR_RETURN(size_t aid, inst->definition->ActivityIndex(activity));
-  const wf::Activity& def = DefOf(inst, static_cast<uint32_t>(aid));
-  ActivityRuntime& rt = inst->activities[aid];
-  if (rt.state != ActivityState::kReady) {
+  const uint32_t uaid = static_cast<uint32_t>(aid);
+  const wf::Activity& def = DefOf(inst, uaid);
+  ActivityState s = inst->state(uaid);
+  if (s != ActivityState::kReady) {
     return Status::FailedPrecondition(
         "only ready activities can be force-finished; " + activity + " is " +
-        ActivityStateName(rt.state));
+        ActivityStateName(s));
   }
   if (output.type_name() != def.output_type) {
     return Status::InvalidArgument("output container type " +
                                    output.type_name() + " does not match " +
                                    def.output_type);
   }
-  if (rt.work_item.has_value() && worklists_ != nullptr) {
-    (void)worklists_->Cancel(*rt.work_item);
+  std::optional<org::WorkItemId>& item = inst->work_item(uaid);
+  if (item.has_value() && worklists_ != nullptr) {
+    (void)worklists_->Cancel(*item);
     Audit(AuditKind::kWorkItemCancelled, inst->id, activity,
-          std::to_string(*rt.work_item));
-    rt.work_item.reset();
+          std::to_string(*item));
+    item.reset();
   }
-  rt.attempt += 1;
+  const int32_t attempt = ++inst->attempt(uaid);
   EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityStarted,
                                   inst->id, activity, "", false,
-                                  std::to_string(rt.attempt)));
-  rt.output = output;
+                                  std::to_string(attempt)));
+  data::Container& out = inst->activity_output(uaid);
+  out = output;
   if (journal_ != nullptr) {
     EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kActivityFinished,
                                     inst->id, activity, "", false,
-                                    rt.output.Serialize()));
+                                    out.Serialize()));
   }
   Audit(AuditKind::kForcedFinish, inst->id, activity);
   EXO_RETURN_NOT_OK(HandleFinished(inst, static_cast<uint32_t>(aid)));
@@ -1011,13 +1117,14 @@ Status Engine::ApplySuspend(ProcessInstance* inst) {
   // lifecycle sweeps preserve its iteration order so audit and worklist
   // effects stay byte-identical.
   for (uint32_t aid : inst->plan->ids_by_name()) {
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.work_item.has_value() && worklists_ != nullptr) {
-      (void)worklists_->Cancel(*rt.work_item);
-      rt.work_item.reset();
+    std::optional<org::WorkItemId>& item = inst->work_item(aid);
+    if (item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*item);
+      item.reset();
     }
-    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
-      auto child = MutableInstance(rt.child_instance);
+    if (inst->state(aid) == ActivityState::kRunning &&
+        !inst->child_instance(aid).empty()) {
+      auto child = MutableInstance(inst->child_instance(aid));
       if (child.ok() && !(*child)->finished && !(*child)->failed) {
         EXO_RETURN_NOT_OK(ApplySuspend(*child));
       }
@@ -1043,17 +1150,17 @@ Status Engine::ApplyResume(ProcessInstance* inst) {
   if (recovering_) return Status::OK();  // ResumeAfterReplay re-dispatches
   uint32_t n = inst->plan->activity_count();
   for (uint32_t aid = 0; aid < n; ++aid) {  // declaration order
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.state == ActivityState::kReady) {
+    ActivityState s = inst->state(aid);
+    if (s == ActivityState::kReady) {
       if (inst->plan->activity(aid).manual) {
         EXO_RETURN_NOT_OK(
             PostWorkItem(inst, aid, " resumed without worklists"));
       } else {
         Enqueue(inst, aid);
       }
-    } else if (rt.state == ActivityState::kRunning &&
-               !rt.child_instance.empty()) {
-      auto child = MutableInstance(rt.child_instance);
+    } else if (s == ActivityState::kRunning &&
+               !inst->child_instance(aid).empty()) {
+      auto child = MutableInstance(inst->child_instance(aid));
       if (child.ok() && (*child)->suspended) {
         EXO_RETURN_NOT_OK(ApplyResume(*child));
       }
@@ -1086,26 +1193,26 @@ Status Engine::ApplyCancel(ProcessInstance* inst) {
   // Children first, so a block child is settled before its parent slot.
   // Both sweeps run in name order (see ApplySuspend).
   for (uint32_t aid : inst->plan->ids_by_name()) {
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.state == ActivityState::kRunning && !rt.child_instance.empty()) {
-      auto child = MutableInstance(rt.child_instance);
+    if (inst->state(aid) == ActivityState::kRunning &&
+        !inst->child_instance(aid).empty()) {
+      auto child = MutableInstance(inst->child_instance(aid));
       if (child.ok() && !(*child)->finished && !(*child)->failed) {
         EXO_RETURN_NOT_OK(ApplyCancel(*child));
       }
     }
   }
   for (uint32_t aid : inst->plan->ids_by_name()) {
-    ActivityRuntime& rt = inst->activities[aid];
-    if (rt.state == ActivityState::kTerminated ||
-        rt.state == ActivityState::kDead) {
+    ActivityState s = inst->state(aid);
+    if (s == ActivityState::kTerminated || s == ActivityState::kDead) {
       continue;
     }
     const std::string& name = NameOf(inst, aid);
-    if (rt.work_item.has_value() && worklists_ != nullptr) {
-      (void)worklists_->Cancel(*rt.work_item);
+    std::optional<org::WorkItemId>& item = inst->work_item(aid);
+    if (item.has_value() && worklists_ != nullptr) {
+      (void)worklists_->Cancel(*item);
       Audit(AuditKind::kWorkItemCancelled, inst->id, name,
-            std::to_string(*rt.work_item));
-      rt.work_item.reset();
+            std::to_string(*item));
+      item.reset();
     }
     inst->SetState(aid, ActivityState::kDead);
     Audit(AuditKind::kActivityDead, inst->id, name, "cancelled");
@@ -1146,9 +1253,12 @@ Result<std::string> Engine::PickDetachable() const {
   auto family_size = [this](const ProcessInstance* root) -> size_t {
     std::vector<const ProcessInstance*> frontier = {root};
     for (size_t i = 0; i < frontier.size(); ++i) {
-      for (const ActivityRuntime& rt : frontier[i]->activities) {
-        if (rt.child_instance.empty()) continue;
-        auto it = instance_index_.find(rt.child_instance);
+      const ProcessInstance* m = frontier[i];
+      const uint32_t n = m->activity_count();
+      for (uint32_t aid = 0; aid < n; ++aid) {
+        const std::string& child_id = m->child_instance(aid);
+        if (child_id.empty()) continue;
+        auto it = instance_index_.find(child_id);
         if (it == instance_index_.end()) continue;
         frontier.push_back(&instances_[it->second]);
       }
@@ -1188,10 +1298,11 @@ Status Engine::CollectFamily(ProcessInstance* root,
   // list — the order Adopt materializes them in.
   for (size_t i = 0; i < family->size(); ++i) {
     ProcessInstance* m = (*family)[i];
-    for (const ActivityRuntime& rt : m->activities) {
-      if (rt.child_instance.empty()) continue;
-      EXO_ASSIGN_OR_RETURN(ProcessInstance* child,
-                           MutableInstance(rt.child_instance));
+    const uint32_t n = m->activity_count();
+    for (uint32_t aid = 0; aid < n; ++aid) {
+      const std::string& child_id = m->child_instance(aid);
+      if (child_id.empty()) continue;
+      EXO_ASSIGN_OR_RETURN(ProcessInstance* child, MutableInstance(child_id));
       family->push_back(child);
     }
   }
@@ -1200,7 +1311,7 @@ Status Engine::CollectFamily(ProcessInstance* root,
 
 void Engine::ReleaseSlot(ProcessInstance* inst) {
   inst->detached = true;
-  std::fill(inst->enqueued.begin(), inst->enqueued.end(), 0);
+  inst->ResetEnqueued();
   instance_index_.erase(inst->id);
   instance_order_.erase(
       std::remove(instance_order_.begin(), instance_order_.end(), inst->id),
@@ -1226,14 +1337,14 @@ Result<DetachedInstance> Engine::Detach(const std::string& instance_id) {
   std::vector<ProcessInstance*> family;
   EXO_RETURN_NOT_OK(CollectFamily(root, &family));
   for (ProcessInstance* m : family) {
-    for (uint32_t aid = 0; aid < m->activities.size(); ++aid) {
-      const ActivityRuntime& rt = m->activities[aid];
-      if (rt.work_item.has_value()) {
+    const uint32_t n = m->activity_count();
+    for (uint32_t aid = 0; aid < n; ++aid) {
+      if (m->work_item(aid).has_value()) {
         return Status::FailedPrecondition(
             "instance " + instance_id +
             " has posted work items; manual work does not migrate");
       }
-      if (rt.state == ActivityState::kRunning &&
+      if (m->state(aid) == ActivityState::kRunning &&
           !m->plan->activity(aid).block) {
         // A Pending program will report back to *this* engine
         // (CompleteAsync); migrating underneath it would lose the report.
@@ -1337,15 +1448,14 @@ Status Engine::MaterializeImage(const InstanceImage& image) {
   ProcessInstance* p = &instances_[index];
   // Arena spin-up, then overlay the imaged state on the fresh runtimes.
   EXO_RETURN_NOT_OK(InitializeRuntimes(p));
-  if (image.activities.size() != p->activities.size()) {
+  if (image.activities.size() != p->activity_count()) {
     return Status::Corruption("instance image for " + image.id + " has " +
                               std::to_string(image.activities.size()) +
                               " activities; definition has " +
-                              std::to_string(p->activities.size()));
+                              std::to_string(p->activity_count()));
   }
-  for (uint32_t aid = 0; aid < p->activities.size(); ++aid) {
+  for (uint32_t aid = 0; aid < p->activity_count(); ++aid) {
     const InstanceImage::ActivityImage& a = image.activities[aid];
-    ActivityRuntime& rt = p->activities[aid];
     const wf::NavigationPlan::ActivityInfo& info = p->plan->activity(aid);
     if (a.incoming_eval.size() != info.in_control.size() ||
         a.outgoing_eval.size() != info.out_control.size()) {
@@ -1353,15 +1463,25 @@ Status Engine::MaterializeImage(const InstanceImage& image) {
                                 image.id);
     }
     p->SetState(aid, static_cast<ActivityState>(a.state));
-    rt.attempt = a.attempt;
-    rt.failures = a.failures;
-    rt.child_instance = a.child_instance;
-    std::copy(a.incoming_eval.begin(), a.incoming_eval.end(),
-              p->in_evals.begin() + info.in_eval_base);
-    std::copy(a.outgoing_eval.begin(), a.outgoing_eval.end(),
-              p->out_evals.begin() + info.out_eval_base);
-    EXO_RETURN_NOT_OK(rt.input.Deserialize(a.input_image));
-    EXO_RETURN_NOT_OK(rt.output.Deserialize(a.output_image));
+    p->attempt(aid) = a.attempt;
+    p->failures(aid) = a.failures;
+    p->child_instance(aid) = a.child_instance;
+    for (uint32_t s = 0; s < a.incoming_eval.size(); ++s) {
+      p->in_eval_abs(info.in_eval_base + s) = a.incoming_eval[s];
+    }
+    for (uint32_t s = 0; s < a.outgoing_eval.size(); ++s) {
+      p->out_eval_abs(info.out_eval_base + s) = a.outgoing_eval[s];
+    }
+    // A pristine container round-trips through an empty image, so skip
+    // materializing cold containers that the image carries nothing for.
+    if (!a.input_image.empty()) {
+      EXO_RETURN_NOT_OK(MaterializeActivityInput(p, aid));
+      EXO_RETURN_NOT_OK(p->activity_input(aid).Deserialize(a.input_image));
+    }
+    if (!a.output_image.empty()) {
+      EXO_RETURN_NOT_OK(MaterializeActivityOutput(p, aid));
+      EXO_RETURN_NOT_OK(p->activity_output(aid).Deserialize(a.output_image));
+    }
   }
   p->finished = image.finished;
   p->cancelled = image.cancelled;
@@ -1375,7 +1495,7 @@ Status Engine::MaterializeImage(const InstanceImage& image) {
   if (!recovering_ && !p->suspended && !p->finished && !p->failed) {
     uint32_t n = p->plan->activity_count();
     for (uint32_t aid = 0; aid < n; ++aid) {
-      if (p->activities[aid].state == ActivityState::kReady &&
+      if (p->state(aid) == ActivityState::kReady &&
           !p->plan->activity(aid).manual) {
         Enqueue(p, aid);
       }
@@ -1555,7 +1675,7 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
         EXO_ASSIGN_OR_RETURN(ProcessInstance* parent, MutableInstance(r.to));
         EXO_ASSIGN_OR_RETURN(size_t paid,
                              parent->definition->ActivityIndex(r.activity));
-        parent->activities[paid].child_instance = r.instance;
+        parent->child_instance(static_cast<uint32_t>(paid)) = r.instance;
       }
       return Status::OK();
     }
@@ -1571,22 +1691,22 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
       EXO_ASSIGN_OR_RETURN(size_t aid,
                            inst->definition->ActivityIndex(r.activity));
-      ActivityRuntime& rt = inst->activities[aid];
-      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kRunning);
-      rt.attempt =
-          static_cast<int>(std::strtol(r.payload.c_str(), nullptr, 10));
-      EXO_ASSIGN_OR_RETURN(
-          rt.output,
-          NewContainer(DefOf(inst, static_cast<uint32_t>(aid)).output_type));
+      const uint32_t uaid = static_cast<uint32_t>(aid);
+      inst->SetState(uaid, ActivityState::kRunning);
+      inst->attempt(uaid) =
+          static_cast<int32_t>(std::strtol(r.payload.c_str(), nullptr, 10));
+      EXO_ASSIGN_OR_RETURN(inst->activity_output(uaid),
+                           NewContainer(DefOf(inst, uaid).output_type));
       return Status::OK();
     }
     case EventType::kActivityFinished: {
       EXO_ASSIGN_OR_RETURN(ProcessInstance* inst, MutableInstance(r.instance));
       EXO_ASSIGN_OR_RETURN(size_t aid,
                            inst->definition->ActivityIndex(r.activity));
-      ActivityRuntime& rt = inst->activities[aid];
-      EXO_RETURN_NOT_OK(rt.output.Deserialize(r.payload));
-      inst->SetState(static_cast<uint32_t>(aid), ActivityState::kFinished);
+      const uint32_t uaid = static_cast<uint32_t>(aid);
+      EXO_RETURN_NOT_OK(MaterializeActivityOutput(inst, uaid));
+      EXO_RETURN_NOT_OK(inst->activity_output(uaid).Deserialize(r.payload));
+      inst->SetState(uaid, ActivityState::kFinished);
       return Status::OK();
     }
     case EventType::kActivityTerminated: {
@@ -1594,7 +1714,7 @@ Status Engine::ReplayRecord(const wfjournal::Record& r) {
       EXO_ASSIGN_OR_RETURN(size_t aid,
                            inst->definition->ActivityIndex(r.activity));
       inst->SetState(static_cast<uint32_t>(aid), ActivityState::kTerminated);
-      inst->activities[aid].failures = 0;
+      inst->failures(static_cast<uint32_t>(aid)) = 0;
       // Re-derive the (volatile) data pushes from the journaled output.
       return PushData(inst, static_cast<uint32_t>(aid));
     }
@@ -1751,9 +1871,8 @@ void Engine::NoteRecoveredId(const std::string& id) {
 
 Status Engine::ResumeAfterReplay(ProcessInstance* inst) {
   for (uint32_t aid : inst->plan->topological_order()) {
-    ActivityRuntime& rt = inst->activities[aid];
     const wf::NavigationPlan::ActivityInfo& info = inst->plan->activity(aid);
-    switch (rt.state) {
+    switch (inst->state(aid)) {
       case ActivityState::kWaiting: {
         if (info.join_fan_in == 0) {
           // Crash before the start activity was readied.
@@ -1775,9 +1894,9 @@ Status Engine::ResumeAfterReplay(ProcessInstance* inst) {
         break;
       }
       case ActivityState::kRunning: {
-        if (info.block && !rt.child_instance.empty()) {
+        if (info.block && !inst->child_instance(aid).empty()) {
           EXO_ASSIGN_OR_RETURN(ProcessInstance* child,
-                               MutableInstance(rt.child_instance));
+                               MutableInstance(inst->child_instance(aid)));
           if (child->finished) {
             // Crash between the child's completion and the parent's
             // continuation: continue now.

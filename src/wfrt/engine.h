@@ -109,6 +109,15 @@ struct EngineOptions {
   /// as false instead of failing navigation.
   bool condition_error_is_false = false;
 
+  /// Record audit events at all (§3.3 monitoring/accounting). FlowMark
+  /// sets an audit level per process — full, condensed, or none — and
+  /// this is "none": no events are recorded, CompactTrace and the
+  /// accounting queries see an empty trail, and the monitoring observer
+  /// never fires. The journal (the recovery source of truth) is
+  /// unaffected. Navigation-throughput benchmarks turn this off so they
+  /// measure navigation rather than trail bookkeeping.
+  bool audit_enabled = true;
+
   /// Bound on retained audit events; 0 = unbounded (default). When set,
   /// the trail keeps at least the most recent `max_audit_events` events
   /// (and at most twice that, amortized), so long-running fleets do not
@@ -144,6 +153,15 @@ struct EngineOptions {
   /// (kept as the A/B reference; journal records and errors are
   /// byte-identical either way).
   bool use_step_programs = true;
+
+  /// Hold per-activity hot state (state/enqueued/eval/attempt/failures)
+  /// in one contiguous per-instance byte block laid out by the plan
+  /// (wf::HotLayout) with containers/work-items in a cold sidecar, so the
+  /// settle sweeps scan dense bytes instead of striding ActivityRuntime
+  /// structs (see docs/specs/instance_layout.md). Off = the legacy AoS
+  /// layout (kept as the A/B reference; journal, audit, and error output
+  /// are byte-identical either way).
+  bool packed_instance_state = true;
 
   /// Committed journal records between automatic snapshot checkpoints
   /// (kSnapshot record + truncation of the journal behind it; see
@@ -182,6 +200,9 @@ struct EngineStats {
   uint64_t typed_condition_evals = 0;
   uint64_t step_program_dispatches = 0; ///< outgoing sweeps run fused
   uint64_t steal_slice_shrinks = 0;  ///< adaptive slice halvings (fleet)
+  /// Steal-victim selections where the cost-aware score picked a
+  /// different victim than plain deepest-queue would have (fleet).
+  uint64_t steal_victim_cost_picks = 0;
   uint64_t snapshots_written = 0;    ///< checkpoint records appended
   uint64_t records_truncated = 0;    ///< journal records dropped behind snapshots
   uint64_t recovery_records_replayed = 0; ///< records Recover() streamed
@@ -356,6 +377,16 @@ class Engine {
   /// worker loop owns the slice itself).
   void NoteStealSliceShrink() { ++stats_.steal_slice_shrinks; }
 
+  /// Counts a cost-aware victim selection that diverged from plain
+  /// deepest-queue (stats only; the fleet's worker loop picks victims).
+  void NoteStealCostPick() { ++stats_.steal_victim_cost_picks; }
+
+  /// EWMA of observed automatic-program execution cost in microseconds —
+  /// the per-engine activity-cost signal the fleet's cost-aware steal
+  /// victim picking multiplies into queue depth. 0 until the first
+  /// sampled execution.
+  double mean_activity_cost_micros() const { return cost_ewma_micros_; }
+
   /// Registers a fleet-owned spin-up arena for `def`. Shared arenas are
   /// immutable once built and consulted before the engine's private cache,
   /// so every engine in a fleet spins instances of `def` up from one image
@@ -428,6 +459,13 @@ class Engine {
   /// prototype walk when spinup_arena is off) and applies process-input
   /// data connectors.
   Status InitializeRuntimes(ProcessInstance* inst);
+
+  /// Packed layout: cold containers start default-constructed; these
+  /// materialize them (arena prototype copy, or a registry walk without
+  /// an arena) on first touch. No-ops on the legacy layout and on
+  /// already-materialized containers.
+  Status MaterializeActivityInput(ProcessInstance* inst, uint32_t aid);
+  Status MaterializeActivityOutput(ProcessInstance* inst, uint32_t aid);
 
   /// Lazily built per-definition spin-up image.
   Result<const InstanceArena*> ArenaFor(const wf::ProcessDefinition* def);
@@ -589,6 +627,12 @@ class Engine {
   EngineStats stats_;
   std::vector<FailedInstance> failed_;
   bool recovering_ = false;
+
+  /// EWMA of automatic-program execution cost (mean_activity_cost_micros).
+  /// Sampled every 8th execution so the hot path pays two clock reads
+  /// only occasionally.
+  double cost_ewma_micros_ = 0.0;
+  uint64_t cost_sample_tick_ = 0;
 
   /// Committed records since the last snapshot (drives snapshot_interval).
   uint64_t records_since_snapshot_ = 0;

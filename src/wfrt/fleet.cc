@@ -17,6 +17,7 @@ namespace {
 struct StealCoordinator {
   explicit StealCoordinator(size_t n)
       : depth(n, 0),
+        cost(n, 0.0),
         active(n, 1),
         idle(n, 0),
         barred(n, 0),
@@ -28,6 +29,7 @@ struct StealCoordinator {
   std::condition_variable cv;
 
   std::vector<size_t> depth;  ///< published ready depth per engine
+  std::vector<double> cost;   ///< published mean activity cost (EWMA µs)
   std::vector<char> active;   ///< worker has not retired
   std::vector<char> idle;     ///< worker is quiescent, hunting for work
   std::vector<char> barred;   ///< declined a steal; skipped as victim
@@ -260,6 +262,7 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.typed_condition_evals += s.typed_condition_evals;
     result.aggregate.step_program_dispatches += s.step_program_dispatches;
     result.aggregate.steal_slice_shrinks += s.steal_slice_shrinks;
+    result.aggregate.steal_victim_cost_picks += s.steal_victim_cost_picks;
     result.aggregate.snapshots_written += s.snapshots_written;
     result.aggregate.records_truncated += s.records_truncated;
     result.aggregate.recovery_records_replayed += s.recovery_records_replayed;
@@ -405,6 +408,7 @@ void EngineFleet::RunStealing(
         }
         serve_request();
         co.depth[e] = engine->ready_depth();
+        co.cost[e] = engine->mean_activity_cost_micros();
         co.cv.notify_all();
         if (co.depth[e] > 0) continue;
 
@@ -417,14 +421,34 @@ void EngineFleet::RunStealing(
             serve_request();  // declines: our queue is empty
             continue;
           }
+          // Victim hunt. The plain pick is the deepest queue; with
+          // cost_aware_victims the pick maximizes depth x (mean activity
+          // cost + 1), so a short queue of expensive activities can
+          // outrank a deeper queue of trivial ones. With no cost signal
+          // yet (all EWMAs zero) the score degenerates to plain depth.
           int victim = -1;
+          int deepest = -1;
           size_t best_depth = 0;
+          double best_score = 0.0;
           for (size_t v = 0; v < n; ++v) {
             if (v == e || !co.active[v] || co.barred[v]) continue;
             if (co.depth[v] > best_depth) {
               best_depth = co.depth[v];
-              victim = static_cast<int>(v);
+              deepest = static_cast<int>(v);
             }
+            if (fleet_.cost_aware_victims && co.depth[v] > 0) {
+              double score =
+                  static_cast<double>(co.depth[v]) * (co.cost[v] + 1.0);
+              if (score > best_score) {
+                best_score = score;
+                victim = static_cast<int>(v);
+              }
+            }
+          }
+          if (!fleet_.cost_aware_victims) {
+            victim = deepest;
+          } else if (victim >= 0 && victim != deepest) {
+            engine->NoteStealCostPick();
           }
           if (victim >= 0) {
             co.requests[static_cast<size_t>(victim)].push_back(self);
@@ -452,6 +476,7 @@ void EngineFleet::RunStealing(
             }
             co.idle[e] = 0;
             co.depth[e] = engine->ready_depth();
+            co.cost[e] = engine->mean_activity_cost_micros();
             co.cv.notify_all();
             break;  // back to slicing
           }

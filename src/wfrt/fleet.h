@@ -53,6 +53,16 @@ struct FleetOptions {
   /// steal_slice at quiet boundaries. Halvings are counted in
   /// EngineStats::steal_slice_shrinks.
   bool adaptive_steal_slice = true;
+
+  /// Weight steal victims by outstanding *work*, not just queue depth:
+  /// each worker publishes its engine's observed mean activity cost (an
+  /// EWMA sampled by the engine) alongside its ready depth, and thieves
+  /// pick the victim maximizing depth x (mean cost + 1). A queue of 10
+  /// slow activities then outranks a queue of 12 trivial ones. Picks that
+  /// diverge from the plain deepest-queue choice are counted in
+  /// EngineStats::steal_victim_cost_picks. Off = exact legacy
+  /// deepest-queue selection.
+  bool cost_aware_victims = true;
 };
 
 /// \brief A set of independent engines driven by worker threads.

@@ -17,19 +17,7 @@ int ParseInt(const std::string& s, bool* ok) {
   return static_cast<int>(v);
 }
 
-// Encodes a slice of an eval array as a compact digit string:
-// '-' = -1, '0', '1'.
-std::string EncodeEvals(const std::vector<int8_t>& evals, size_t base,
-                        size_t count) {
-  std::string out;
-  out.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    int8_t v = evals[base + i];
-    out += v < 0 ? '-' : (v == 0 ? '0' : '1');
-  }
-  return out;
-}
-
+// Evals travel as a compact digit string: '-' = -1, '0', '1'.
 bool DecodeEvals(const std::string& s, std::vector<int8_t>* out) {
   out->clear();
   out->reserve(s.size());
@@ -97,22 +85,29 @@ std::string EncodeInstanceImage(const ProcessInstance& inst) {
   out += "D\t" + EscapeQuoted(inst.input.Serialize()) + '\t' +
          EscapeQuoted(inst.output.Serialize()) + '\n';
   // A <state> <attempt> <failures> <child> <in evals> <out evals> <in> <out>
-  // The wire format keeps evals per-activity even though the runtime holds
-  // them in two instance-wide flat arrays — images stay readable and
-  // version-stable regardless of the in-memory layout.
-  for (uint32_t aid = 0; aid < inst.activities.size(); ++aid) {
-    const ActivityRuntime& rt = inst.activities[aid];
+  // The wire format keeps evals per-activity and goes through the layout-
+  // neutral accessors — images stay readable, version-stable, and
+  // byte-identical regardless of the in-memory layout. Unmaterialized
+  // packed containers serialize as "" exactly like pristine legacy ones.
+  for (uint32_t aid = 0; aid < inst.activity_count(); ++aid) {
     const wf::NavigationPlan::ActivityInfo& info = inst.plan->activity(aid);
-    out += "A\t" + std::to_string(static_cast<int>(rt.state)) + '\t' +
-           std::to_string(rt.attempt) + '\t' + std::to_string(rt.failures) +
-           '\t' + EscapeQuoted(rt.child_instance) + '\t' +
-           EncodeEvals(inst.in_evals, info.in_eval_base,
-                       info.in_control.size()) +
-           '\t' +
-           EncodeEvals(inst.out_evals, info.out_eval_base,
-                       info.out_control.size()) +
-           '\t' + EscapeQuoted(rt.input.Serialize()) + '\t' +
-           EscapeQuoted(rt.output.Serialize()) + '\n';
+    std::string in_evals, out_evals;
+    in_evals.reserve(info.in_control.size());
+    for (size_t s = 0; s < info.in_control.size(); ++s) {
+      int8_t v = inst.in_eval(aid, static_cast<uint32_t>(s));
+      in_evals += v < 0 ? '-' : (v == 0 ? '0' : '1');
+    }
+    out_evals.reserve(info.out_control.size());
+    for (size_t s = 0; s < info.out_control.size(); ++s) {
+      int8_t v = inst.out_eval(aid, static_cast<uint32_t>(s));
+      out_evals += v < 0 ? '-' : (v == 0 ? '0' : '1');
+    }
+    out += "A\t" + std::to_string(static_cast<int>(inst.state(aid))) + '\t' +
+           std::to_string(inst.attempt(aid)) + '\t' +
+           std::to_string(inst.failures(aid)) + '\t' +
+           EscapeQuoted(inst.child_instance(aid)) + '\t' + in_evals + '\t' +
+           out_evals + '\t' + EscapeQuoted(inst.activity_input(aid).Serialize()) +
+           '\t' + EscapeQuoted(inst.activity_output(aid).Serialize()) + '\n';
   }
   return out;
 }

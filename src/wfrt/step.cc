@@ -37,11 +37,17 @@ Status Engine::RunStepProgram(ProcessInstance* inst, uint32_t aid,
                               bool all_false) {
   using Op = wf::StepInstr::Op;
   ++stats_.step_program_dispatches;
-  ActivityRuntime& rt = inst->activities[aid];
   const wf::NavigationPlan& plan = *inst->plan;
   const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
   const std::vector<wf::ControlConnector>& connectors =
       inst->definition->control_connectors();
+
+  // Conditions read the activity's output; in the packed layout it may
+  // still be unmaterialized (dead-path sweeps never touch it).
+  if (!all_false && (info.has_cond_out || info.needs_resolver)) {
+    EXO_RETURN_NOT_OK(MaterializeActivityOutput(inst, aid));
+  }
+  const data::Container& out = inst->activity_output(aid);
 
   bool any_true = false;
   bool value = false;
@@ -56,7 +62,7 @@ Status Engine::RunStepProgram(ProcessInstance* inst, uint32_t aid,
   if (!all_false &&
       (info.needs_resolver ||
        (info.has_cond_out && !options_.use_condition_vm))) {
-    resolver.emplace(rt.output);
+    resolver.emplace(out);
   }
 
   // Tree-walk of one connector's condition (the kTree handler, and kVm
@@ -87,7 +93,7 @@ dispatch:
   EXO_STEP_DISPATCH();
 
 do_trivial: {
-  const int8_t prior = inst->out_evals[ip->out_idx];
+  const int8_t prior = inst->out_eval_abs(ip->out_idx);
   if (prior >= 0) {
     any_true = any_true || prior != 0;
     ++ip;
@@ -99,7 +105,7 @@ do_trivial: {
 }
 
 do_vm: {
-  const int8_t prior = inst->out_evals[ip->out_idx];
+  const int8_t prior = inst->out_eval_abs(ip->out_idx);
   if (prior >= 0) {
     any_true = any_true || prior != 0;
     ++ip;
@@ -110,7 +116,7 @@ do_vm: {
     goto record;
   }
   Result<bool> r = options_.use_condition_vm
-                       ? EvalVmCondition(inst, ip->prog, rt.output)
+                       ? EvalVmCondition(inst, ip->prog, out)
                        : tree_eval(ip->cidx);
   if (!r.ok()) {
     if (!options_.condition_error_is_false) {
@@ -127,7 +133,7 @@ do_vm: {
 }
 
 do_tree: {
-  const int8_t prior = inst->out_evals[ip->out_idx];
+  const int8_t prior = inst->out_eval_abs(ip->out_idx);
   if (prior >= 0) {
     any_true = any_true || prior != 0;
     ++ip;
@@ -153,7 +159,7 @@ do_tree: {
 }
 
 do_otherwise: {
-  if (inst->out_evals[ip->out_idx] >= 0) {
+  if (inst->out_eval_abs(ip->out_idx) >= 0) {
     ++ip;
     EXO_STEP_DISPATCH();
   }
@@ -165,11 +171,13 @@ do_otherwise: {
 }
 
 record: {
-  inst->out_evals[ip->out_idx] = value ? 1 : 0;
+  inst->out_eval_abs(ip->out_idx) = value ? 1 : 0;
   ++stats_.connectors_evaluated;
   const wf::ControlConnector& c = connectors[ip->cidx];
-  EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
-                                  inst->id, c.from, c.to, value));
+  if (journal_ != nullptr) {
+    EXO_RETURN_NOT_OK(JournalAppend(wfjournal::EventType::kConnectorEval,
+                                    inst->id, c.from, c.to, value));
+  }
   Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
         inst->id, c.from, c.to);
   fresh.emplace_back(ip->cidx, value);

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "wf/builder.h"
+#include "wfjournal/journal.h"
 #include "wfrt/engine.h"
 #include "../testutil.h"
 
@@ -168,6 +169,45 @@ TEST(AuditRingTest, EngineOptionBoundsTrail) {
   Engine unbounded(&store, &programs);
   ASSERT_TRUE(unbounded.RunToCompletion("chain").ok());
   EXPECT_GT(unbounded.audit().events().size(), 16u);
+}
+
+TEST(AuditAccountingTest, AuditLevelNoneRecordsNothing) {
+  // FlowMark's per-process audit level "none": the trail stays empty,
+  // the observer never fires, but navigation and the journal (the
+  // recovery source of truth) are untouched.
+  wf::DefinitionStore store;
+  ProgramRegistry programs;
+  ASSERT_TRUE(test::DeclareDefaultProgram(&store, "ok").ok());
+  ASSERT_TRUE(test::BindConstRc(&programs, "ok", 0).ok());
+  wf::ProcessBuilder b(&store, "p");
+  b.Program("A", "ok");
+  b.Program("B", "ok");
+  b.Connect("A", "B");
+  ASSERT_TRUE(b.Register().ok());
+
+  EngineOptions options;
+  options.audit_enabled = false;
+  Engine engine(&store, &programs, options);
+  wfjournal::MemoryJournal journal;
+  ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+  int observer_calls = 0;
+  engine.SetObserver([&observer_calls](const AuditEvent&) {
+    ++observer_calls;
+  });
+  auto id = engine.RunToCompletion("p");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  EXPECT_TRUE(engine.audit().events().empty());
+  EXPECT_EQ(observer_calls, 0);
+  EXPECT_GT(journal.size(), 0u);
+
+  // Same run with auditing on, for contrast: same journal, full trail.
+  Engine audited(&store, &programs);
+  wfjournal::MemoryJournal audited_journal;
+  ASSERT_TRUE(audited.AttachJournal(&audited_journal).ok());
+  ASSERT_TRUE(audited.RunToCompletion("p").ok());
+  EXPECT_FALSE(audited.audit().events().empty());
+  EXPECT_EQ(audited_journal.size(), journal.size());
 }
 
 TEST(AuditAccountingTest, CompactFormats) {

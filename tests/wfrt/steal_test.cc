@@ -539,6 +539,51 @@ TEST(FleetStealTest, AdaptiveSliceShrinksUnderThiefPressure) {
   EXPECT_GE(result->aggregate.steal_slice_shrinks, 1u);
 }
 
+TEST(FleetStealTest, CostAwareVictimsDrainSkewedBatch) {
+  // Two loaded engines: one with many light seeds (deep queue, cheap
+  // work), one with few heavy seeds (shallow queue, expensive work). With
+  // cost-aware victim picking the thieves weigh queue depth by the
+  // victims' published mean activity cost, and the batch must still
+  // drain with stealing intact. The cost EWMA is thread-local to each
+  // engine and published only under the coordinator lock, which is what
+  // TSan checks here.
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(DeclareDefaultProgram(&store, "heavy_step").ok());
+  ASSERT_TRUE(DeclareDefaultProgram(&store, "light_step").ok());
+  BindSleeper(&programs, "heavy_step", wfsim::DurationModel::Fixed(4000));
+  BindSleeper(&programs, "light_step", wfsim::DurationModel::Fixed(300));
+  RegisterChain(&store, "heavy", 8, "heavy_step");
+  RegisterChain(&store, "light", 2, "light_step");
+
+  for (bool cost_aware : {true, false}) {
+    SCOPED_TRACE(cost_aware ? "cost-aware" : "plain depth");
+    wfrt::FleetOptions fo;
+    fo.work_stealing = true;
+    fo.steal_slice = 1;
+    fo.cost_aware_victims = cost_aware;
+    wfrt::EngineFleet fleet(&store, &programs, 4, {}, fo);
+
+    // [heavy, heavy, light x 14]: greedy assignment lands both heavies
+    // on engines 0 and 1, the lights spread over all four.
+    std::vector<wfrt::EngineFleet::BatchSeed> seeds;
+    seeds.push_back({"heavy", nullptr});
+    seeds.push_back({"heavy", nullptr});
+    for (int i = 0; i < 14; ++i) seeds.push_back({"light", nullptr});
+
+    auto result = fleet.RunBatch(seeds);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->ok());
+    EXPECT_EQ(result->instances_finished, 16u);
+    EXPECT_GE(result->aggregate.instances_stolen, 1u);
+    // The stat only counts picks diverging from the plain-depth argmax,
+    // so with the toggle off it must stay zero.
+    if (!cost_aware) {
+      EXPECT_EQ(result->aggregate.steal_victim_cost_picks, 0u);
+    }
+  }
+}
+
 TEST(FleetStealTest, DisabledStealingKeepsEnginesIndependent) {
   wf::DefinitionStore store;
   wfrt::ProgramRegistry programs;
