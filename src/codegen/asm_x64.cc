@@ -1,0 +1,479 @@
+#include "codegen/asm_x64.h"
+
+namespace exotica::codegen {
+
+namespace {
+constexpr int kRsp = 4;  // low-3-bits encodings that force a SIB byte
+constexpr int kRbp = 5;  // ...and that force a displacement under mod 00
+}  // namespace
+
+void Assembler::Emit32(uint32_t v) {
+  Emit8(static_cast<uint8_t>(v));
+  Emit8(static_cast<uint8_t>(v >> 8));
+  Emit8(static_cast<uint8_t>(v >> 16));
+  Emit8(static_cast<uint8_t>(v >> 24));
+}
+
+void Assembler::Emit64(uint64_t v) {
+  Emit32(static_cast<uint32_t>(v));
+  Emit32(static_cast<uint32_t>(v >> 32));
+}
+
+void Assembler::EmitRex(bool w, int reg, int index, int base, bool force) {
+  uint8_t rex = 0x40;
+  if (w) rex |= 0x08;
+  if (reg >= 8) rex |= 0x04;
+  if (index >= 8) rex |= 0x02;
+  if (base >= 8) rex |= 0x01;
+  if (rex != 0x40 || force) Emit8(rex);
+}
+
+void Assembler::EmitRexForByteOp(int reg_field, int base_or_rm) {
+  // spl/bpl/sil/dil are only addressable with a REX prefix (otherwise the
+  // encodings mean ah/ch/dh/bh).
+  const bool force = (reg_field >= 4 && reg_field <= 7) ||
+                     (base_or_rm >= 4 && base_or_rm <= 7);
+  EmitRex(false, reg_field, 0, base_or_rm, force);
+}
+
+void Assembler::EmitMem(int reg_field, Reg base, int32_t disp) {
+  const int b = static_cast<int>(base) & 7;
+  const bool need_sib = (b == kRsp);
+  int mod;
+  if (disp == 0 && b != kRbp) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  Emit8(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) |
+                             (need_sib ? 4 : b)));
+  if (need_sib) Emit8(0x24);  // scale 1, no index, base rsp/r12
+  if (mod == 1) {
+    Emit8(static_cast<uint8_t>(disp));
+  } else if (mod == 2) {
+    Emit32(static_cast<uint32_t>(disp));
+  }
+}
+
+void Assembler::EmitMemIdx8(int reg_field, Reg base, Reg index, int32_t disp) {
+  if (index == Reg::rsp) {  // encoding 4 means "no index"
+    ok_ = false;
+    return;
+  }
+  const int b = static_cast<int>(base) & 7;
+  int mod;
+  if (disp == 0 && b != kRbp) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  Emit8(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) | 4));
+  Emit8(static_cast<uint8_t>((3 << 6) | ((static_cast<int>(index) & 7) << 3) |
+                             b));
+  if (mod == 1) {
+    Emit8(static_cast<uint8_t>(disp));
+  } else if (mod == 2) {
+    Emit32(static_cast<uint32_t>(disp));
+  }
+}
+
+Assembler::Label Assembler::NewLabel() {
+  label_offsets_.push_back(-1);
+  return Label{static_cast<uint32_t>(label_offsets_.size() - 1)};
+}
+
+void Assembler::Bind(Label l) {
+  label_offsets_[l.id] = static_cast<int64_t>(code_.size());
+}
+
+// --- moves -------------------------------------------------------------------
+
+void Assembler::mov_ri(Reg dst, uint64_t imm) {
+  const int d = static_cast<int>(dst);
+  if (imm <= 0xFFFFFFFFull) {
+    // mov r32, imm32 zero-extends.
+    EmitRex(false, 0, 0, d);
+    Emit8(static_cast<uint8_t>(0xB8 + (d & 7)));
+    Emit32(static_cast<uint32_t>(imm));
+    return;
+  }
+  const int64_t s = static_cast<int64_t>(imm);
+  if (s >= INT32_MIN && s <= INT32_MAX) {
+    // mov r64, imm32 (sign-extended).
+    EmitRex(true, 0, 0, d);
+    Emit8(0xC7);
+    Emit8(static_cast<uint8_t>(0xC0 | (d & 7)));
+    Emit32(static_cast<uint32_t>(imm));
+    return;
+  }
+  EmitRex(true, 0, 0, d);
+  Emit8(static_cast<uint8_t>(0xB8 + (d & 7)));
+  Emit64(imm);
+}
+
+void Assembler::mov_rr(Reg dst, Reg src) {
+  EmitRex(true, static_cast<int>(src), 0, static_cast<int>(dst));
+  Emit8(0x89);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(src) & 7) << 3) |
+                             (static_cast<int>(dst) & 7)));
+}
+
+void Assembler::mov_rm(Reg dst, Reg base, int32_t disp) {
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x8B);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::mov_mr(Reg base, int32_t disp, Reg src) {
+  EmitRex(true, static_cast<int>(src), 0, static_cast<int>(base));
+  Emit8(0x89);
+  EmitMem(static_cast<int>(src), base, disp);
+}
+
+void Assembler::mov_mr8(Reg base, int32_t disp, Reg src) {
+  const int s = static_cast<int>(src);
+  EmitRex(false, s, 0, static_cast<int>(base), s >= 4 && s <= 7);
+  Emit8(0x88);
+  EmitMem(s, base, disp);
+}
+
+void Assembler::mov_mi8(Reg base, int32_t disp, uint8_t imm) {
+  EmitRex(false, 0, 0, static_cast<int>(base));
+  Emit8(0xC6);
+  EmitMem(0, base, disp);
+  Emit8(imm);
+}
+
+void Assembler::movzx_rm8(Reg dst, Reg base, int32_t disp) {
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0xB6);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::mov_mi32_idx8(Reg base, Reg index, int32_t disp, uint32_t imm) {
+  EmitRex(false, 0, static_cast<int>(index), static_cast<int>(base));
+  Emit8(0xC7);
+  EmitMemIdx8(0, base, index, disp);
+  Emit32(imm);
+}
+
+void Assembler::mov_mr8_idx8(Reg base, Reg index, int32_t disp, Reg src) {
+  const int s = static_cast<int>(src);
+  EmitRex(false, s, static_cast<int>(index), static_cast<int>(base),
+          s >= 4 && s <= 7);
+  Emit8(0x88);
+  EmitMemIdx8(s, base, index, disp);
+}
+
+// --- integer arithmetic / logic ----------------------------------------------
+
+void Assembler::add_ri(Reg dst, int32_t imm) {
+  EmitRex(true, 0, 0, static_cast<int>(dst));
+  if (imm >= -128 && imm <= 127) {
+    Emit8(0x83);
+    Emit8(static_cast<uint8_t>(0xC0 | (static_cast<int>(dst) & 7)));
+    Emit8(static_cast<uint8_t>(imm));
+  } else {
+    Emit8(0x81);
+    Emit8(static_cast<uint8_t>(0xC0 | (static_cast<int>(dst) & 7)));
+    Emit32(static_cast<uint32_t>(imm));
+  }
+}
+
+void Assembler::sub_ri(Reg dst, int32_t imm) {
+  EmitRex(true, 0, 0, static_cast<int>(dst));
+  if (imm >= -128 && imm <= 127) {
+    Emit8(0x83);
+    Emit8(static_cast<uint8_t>(0xE8 | (static_cast<int>(dst) & 7)));
+    Emit8(static_cast<uint8_t>(imm));
+  } else {
+    Emit8(0x81);
+    Emit8(static_cast<uint8_t>(0xE8 | (static_cast<int>(dst) & 7)));
+    Emit32(static_cast<uint32_t>(imm));
+  }
+}
+
+void Assembler::add_rm(Reg dst, Reg base, int32_t disp) {
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x03);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::sub_rm(Reg dst, Reg base, int32_t disp) {
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x2B);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::imul_rm(Reg dst, Reg base, int32_t disp) {
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0xAF);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::neg_m64(Reg base, int32_t disp) {
+  EmitRex(true, 0, 0, static_cast<int>(base));
+  Emit8(0xF7);
+  EmitMem(3, base, disp);
+}
+
+void Assembler::inc_r(Reg r) {
+  EmitRex(true, 0, 0, static_cast<int>(r));
+  Emit8(0xFF);
+  Emit8(static_cast<uint8_t>(0xC0 | (static_cast<int>(r) & 7)));
+}
+
+void Assembler::inc_m64(Reg base, int32_t disp) {
+  EmitRex(true, 0, 0, static_cast<int>(base));
+  Emit8(0xFF);
+  EmitMem(0, base, disp);
+}
+
+void Assembler::xor_rr32(Reg dst, Reg src) {
+  EmitRex(false, static_cast<int>(src), 0, static_cast<int>(dst));
+  Emit8(0x31);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(src) & 7) << 3) |
+                             (static_cast<int>(dst) & 7)));
+}
+
+void Assembler::xor_mr64(Reg base, int32_t disp, Reg src) {
+  EmitRex(true, static_cast<int>(src), 0, static_cast<int>(base));
+  Emit8(0x31);
+  EmitMem(static_cast<int>(src), base, disp);
+}
+
+void Assembler::xor_mi8(Reg base, int32_t disp, uint8_t imm) {
+  EmitRex(false, 0, 0, static_cast<int>(base));
+  Emit8(0x80);
+  EmitMem(6, base, disp);
+  Emit8(imm);
+}
+
+void Assembler::or_r8r8(Reg dst, Reg src) {
+  EmitRexForByteOp(static_cast<int>(src), static_cast<int>(dst));
+  Emit8(0x08);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(src) & 7) << 3) |
+                             (static_cast<int>(dst) & 7)));
+}
+
+void Assembler::and_r8r8(Reg dst, Reg src) {
+  EmitRexForByteOp(static_cast<int>(src), static_cast<int>(dst));
+  Emit8(0x20);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(src) & 7) << 3) |
+                             (static_cast<int>(dst) & 7)));
+}
+
+void Assembler::test_r8r8(Reg a, Reg b) {
+  EmitRexForByteOp(static_cast<int>(b), static_cast<int>(a));
+  Emit8(0x84);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(b) & 7) << 3) |
+                             (static_cast<int>(a) & 7)));
+}
+
+void Assembler::test_mi8(Reg base, int32_t disp, uint8_t imm) {
+  EmitRex(false, 0, 0, static_cast<int>(base));
+  Emit8(0xF6);
+  EmitMem(0, base, disp);
+  Emit8(imm);
+}
+
+void Assembler::test_rr(Reg a, Reg b) {
+  EmitRex(true, static_cast<int>(b), 0, static_cast<int>(a));
+  Emit8(0x85);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(b) & 7) << 3) |
+                             (static_cast<int>(a) & 7)));
+}
+
+void Assembler::cmp_r8r8(Reg a, Reg b) {
+  EmitRexForByteOp(static_cast<int>(b), static_cast<int>(a));
+  Emit8(0x38);  // cmp r/m8, r8 computes a - b
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(b) & 7) << 3) |
+                             (static_cast<int>(a) & 7)));
+}
+
+void Assembler::cmp_mi8(Reg base, int32_t disp, uint8_t imm) {
+  EmitRex(false, 0, 0, static_cast<int>(base));
+  Emit8(0x80);
+  EmitMem(7, base, disp);
+  Emit8(imm);
+}
+
+void Assembler::cmp_mi32(Reg base, int32_t disp, int32_t imm) {
+  EmitRex(true, 0, 0, static_cast<int>(base));
+  Emit8(0x81);
+  EmitMem(7, base, disp);
+  Emit32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::cqo() {
+  Emit8(0x48);
+  Emit8(0x99);
+}
+
+void Assembler::idiv_r(Reg divisor) {
+  EmitRex(true, 0, 0, static_cast<int>(divisor));
+  Emit8(0xF7);
+  Emit8(static_cast<uint8_t>(0xF8 | (static_cast<int>(divisor) & 7)));
+}
+
+// --- flags → values, branches ------------------------------------------------
+
+void Assembler::setcc(Cond cc, Reg dst8) {
+  EmitRexForByteOp(0, static_cast<int>(dst8));
+  Emit8(0x0F);
+  Emit8(static_cast<uint8_t>(0x90 | static_cast<uint8_t>(cc)));
+  Emit8(static_cast<uint8_t>(0xC0 | (static_cast<int>(dst8) & 7)));
+}
+
+void Assembler::jcc(Cond cc, Label target) {
+  Emit8(0x0F);
+  Emit8(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(cc)));
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit32(0);
+}
+
+void Assembler::jmp(Label target) {
+  Emit8(0xE9);
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit32(0);
+}
+
+void Assembler::call_m(Reg base, int32_t disp) {
+  EmitRex(false, 0, 0, static_cast<int>(base));
+  Emit8(0xFF);
+  EmitMem(2, base, disp);
+}
+
+void Assembler::ret() { Emit8(0xC3); }
+
+void Assembler::push_r(Reg r) {
+  EmitRex(false, 0, 0, static_cast<int>(r));
+  Emit8(static_cast<uint8_t>(0x50 + (static_cast<int>(r) & 7)));
+}
+
+void Assembler::pop_r(Reg r) {
+  EmitRex(false, 0, 0, static_cast<int>(r));
+  Emit8(static_cast<uint8_t>(0x58 + (static_cast<int>(r) & 7)));
+}
+
+// --- SSE2 scalar double ------------------------------------------------------
+
+void Assembler::movsd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x10);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::movsd_mx(Reg base, int32_t disp, Xmm src) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(src), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x11);
+  EmitMem(static_cast<int>(src), base, disp);
+}
+
+void Assembler::movq_xr(Xmm dst, Reg src) {
+  Emit8(0x66);
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(src));
+  Emit8(0x0F);
+  Emit8(0x6E);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(dst) & 7) << 3) |
+                             (static_cast<int>(src) & 7)));
+}
+
+void Assembler::cvtsi2sd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(true, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x2A);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::ucomisd_xx(Xmm a, Xmm b) {
+  Emit8(0x66);
+  EmitRex(false, static_cast<int>(a), 0, static_cast<int>(b));
+  Emit8(0x0F);
+  Emit8(0x2E);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(a) & 7) << 3) |
+                             (static_cast<int>(b) & 7)));
+}
+
+namespace {
+}  // namespace
+
+void Assembler::addsd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x58);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::subsd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x5C);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::mulsd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x59);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::divsd_xm(Xmm dst, Reg base, int32_t disp) {
+  Emit8(0xF2);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(base));
+  Emit8(0x0F);
+  Emit8(0x5E);
+  EmitMem(static_cast<int>(dst), base, disp);
+}
+
+void Assembler::xorpd_xx(Xmm dst, Xmm src) {
+  Emit8(0x66);
+  EmitRex(false, static_cast<int>(dst), 0, static_cast<int>(src));
+  Emit8(0x0F);
+  Emit8(0x57);
+  Emit8(static_cast<uint8_t>(0xC0 | ((static_cast<int>(dst) & 7) << 3) |
+                             (static_cast<int>(src) & 7)));
+}
+
+bool Assembler::Finalize() {
+  if (finalized_) {
+    ok_ = false;
+    return false;
+  }
+  finalized_ = true;
+  for (const Fixup& f : fixups_) {
+    const int64_t target = label_offsets_[f.label];
+    if (target < 0) {
+      ok_ = false;
+      return false;
+    }
+    const int64_t rel = target - static_cast<int64_t>(f.pos + 4);
+    if (rel < INT32_MIN || rel > INT32_MAX) {
+      ok_ = false;
+      return false;
+    }
+    const uint32_t v = static_cast<uint32_t>(static_cast<int32_t>(rel));
+    code_[f.pos] = static_cast<uint8_t>(v);
+    code_[f.pos + 1] = static_cast<uint8_t>(v >> 8);
+    code_[f.pos + 2] = static_cast<uint8_t>(v >> 16);
+    code_[f.pos + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  return ok_;
+}
+
+}  // namespace exotica::codegen

@@ -1,0 +1,161 @@
+// A small from-scratch x86-64 assembler: exactly the instruction subset
+// the native step-program emitter needs, nothing more.
+//
+// The compilation ladder's last rung (docs/specs/native_codegen.md)
+// lowers fused wf::StepInstr programs and their embedded typed condition
+// programs to straight-line machine code. The programs are tiny (tens of
+// instructions), branch only forward, and call out through one function
+// pointer, so the assembler stays deliberately primitive: a byte buffer,
+// REX/ModRM/SIB encoding for register and [base+disp] / [base+index*8+disp]
+// operands, rel32 branches with label fixups patched at Finalize(), and
+// the SSE2 scalar-double forms the condition semantics require (ucomisd,
+// cvtsi2sd, the arithmetic -sd family). No section handling, no
+// relocations, no instruction scheduling: emitted code is position-
+// independent by construction (all branches are relative, all data lives
+// behind the context register or in immediates).
+//
+// Condition-code naming and operand order follow Intel syntax: mov_rm is
+// "mov reg, [mem]", mov_mr is "mov [mem], reg".
+
+#ifndef EXOTICA_CODEGEN_ASM_X64_H_
+#define EXOTICA_CODEGEN_ASM_X64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exotica::codegen {
+
+/// \brief General-purpose registers, numbered as the hardware encodes them.
+enum class Reg : uint8_t {
+  rax = 0, rcx = 1, rdx = 2, rbx = 3, rsp = 4, rbp = 5, rsi = 6, rdi = 7,
+  r8 = 8, r9 = 9, r10 = 10, r11 = 11, r12 = 12, r13 = 13, r14 = 14, r15 = 15,
+};
+
+/// \brief SSE registers.
+enum class Xmm : uint8_t {
+  xmm0 = 0, xmm1 = 1, xmm2 = 2, xmm3 = 3, xmm4 = 4, xmm5 = 5,
+};
+
+/// \brief Condition codes (the low nibble of the 0F 8x / 0F 9x opcodes).
+enum class Cond : uint8_t {
+  o = 0x0, no = 0x1, b = 0x2, ae = 0x3, e = 0x4, ne = 0x5, be = 0x6, a = 0x7,
+  s = 0x8, ns = 0x9, p = 0xA, np = 0xB, l = 0xC, ge = 0xD, le = 0xE, g = 0xF,
+};
+
+/// \brief Emits machine code into an internal byte buffer.
+///
+/// Labels: NewLabel() mints one, Bind() pins it to the current offset,
+/// jcc()/jmp() reference it (forward or backward). Finalize() patches all
+/// rel32 fixups and must be called exactly once, after which code() is the
+/// finished function image. ok() goes false on misuse (unbound label,
+/// displacement overflow) instead of asserting, so callers can bail out of
+/// native compilation gracefully.
+class Assembler {
+ public:
+  struct Label {
+    uint32_t id = 0;
+  };
+
+  Label NewLabel();
+  void Bind(Label l);
+
+  // --- moves ---------------------------------------------------------------
+  void mov_ri(Reg dst, uint64_t imm);               ///< best-form mov reg, imm
+  void mov_rr(Reg dst, Reg src);                    ///< mov r64, r64
+  void mov_rm(Reg dst, Reg base, int32_t disp);     ///< mov r64, [base+disp]
+  void mov_mr(Reg base, int32_t disp, Reg src);     ///< mov [base+disp], r64
+  void mov_mr8(Reg base, int32_t disp, Reg src);    ///< mov [base+disp], r8
+  void mov_mi8(Reg base, int32_t disp, uint8_t imm);
+  void movzx_rm8(Reg dst, Reg base, int32_t disp);  ///< movzx r32, byte [..]
+  /// mov dword [base + index*8 + disp], imm32
+  void mov_mi32_idx8(Reg base, Reg index, int32_t disp, uint32_t imm);
+  /// mov byte [base + index*8 + disp], r8
+  void mov_mr8_idx8(Reg base, Reg index, int32_t disp, Reg src);
+
+  // --- integer arithmetic / logic ------------------------------------------
+  void add_ri(Reg dst, int32_t imm);
+  void sub_ri(Reg dst, int32_t imm);
+  void add_rm(Reg dst, Reg base, int32_t disp);   ///< add r64, [base+disp]
+  void sub_rm(Reg dst, Reg base, int32_t disp);
+  void imul_rm(Reg dst, Reg base, int32_t disp);  ///< imul r64, [base+disp]
+  void neg_m64(Reg base, int32_t disp);
+  void inc_r(Reg r);
+  void inc_m64(Reg base, int32_t disp);           ///< inc qword [base+disp]
+  void xor_rr32(Reg dst, Reg src);                ///< xor r32, r32 (zeroing)
+  void xor_mr64(Reg base, int32_t disp, Reg src); ///< xor [base+disp], r64
+  void xor_mi8(Reg base, int32_t disp, uint8_t imm);
+  void or_r8r8(Reg dst, Reg src);                 ///< or r8, r8
+  void and_r8r8(Reg dst, Reg src);
+  void test_r8r8(Reg a, Reg b);
+  void test_mi8(Reg base, int32_t disp, uint8_t imm);
+  void test_rr(Reg a, Reg b);                     ///< test r64, r64
+  void cmp_r8r8(Reg a, Reg b);
+  void cmp_mi8(Reg base, int32_t disp, uint8_t imm);
+  void cmp_mi32(Reg base, int32_t disp, int32_t imm);  ///< cmp qword [..], imm32
+  void cqo();
+  void idiv_r(Reg divisor);
+
+  // --- flags → values, branches --------------------------------------------
+  void setcc(Cond cc, Reg dst8);
+  void jcc(Cond cc, Label target);
+  void jmp(Label target);
+  void call_m(Reg base, int32_t disp);  ///< call qword [base+disp]
+  void ret();
+  void push_r(Reg r);
+  void pop_r(Reg r);
+
+  // --- SSE2 scalar double --------------------------------------------------
+  void movsd_xm(Xmm dst, Reg base, int32_t disp);   ///< movsd xmm, [..]
+  void movsd_mx(Reg base, int32_t disp, Xmm src);   ///< movsd [..], xmm
+  void movq_xr(Xmm dst, Reg src);
+  void cvtsi2sd_xm(Xmm dst, Reg base, int32_t disp);  ///< from qword [..]
+  void ucomisd_xx(Xmm a, Xmm b);
+  void addsd_xm(Xmm dst, Reg base, int32_t disp);
+  void subsd_xm(Xmm dst, Reg base, int32_t disp);
+  void mulsd_xm(Xmm dst, Reg base, int32_t disp);
+  void divsd_xm(Xmm dst, Reg base, int32_t disp);
+  void xorpd_xx(Xmm dst, Xmm src);
+
+  /// Patches every label fixup. Must be called once, before code().
+  /// Returns false (and poisons ok()) if any referenced label is unbound.
+  bool Finalize();
+
+  /// True while no encoding/fixup error has occurred.
+  bool ok() const { return ok_; }
+
+  size_t size() const { return code_.size(); }
+  const std::vector<uint8_t>& code() const { return code_; }
+
+ private:
+  void Emit8(uint8_t b) { code_.push_back(b); }
+  void Emit32(uint32_t v);
+  void Emit64(uint64_t v);
+
+  /// REX prefix for (reg_field, index, base); emitted when any extension
+  /// bit or W is set, or when `force` (8-bit ops touching spl..dil).
+  void EmitRex(bool w, int reg, int index, int base, bool force = false);
+
+  /// ModRM (+SIB) + displacement for reg_field, [base + disp].
+  void EmitMem(int reg_field, Reg base, int32_t disp);
+  /// ModRM + SIB + displacement for reg_field, [base + index*8 + disp].
+  void EmitMemIdx8(int reg_field, Reg base, Reg index, int32_t disp);
+
+  /// Shared encoder for the 8-bit-operand forms.
+  void EmitRexForByteOp(int reg_field, int base_or_rm);
+
+  struct Fixup {
+    size_t pos;     ///< offset of the rel32 placeholder
+    uint32_t label;
+  };
+
+  std::vector<uint8_t> code_;
+  std::vector<int64_t> label_offsets_;  ///< -1 = unbound
+  std::vector<Fixup> fixups_;
+  bool ok_ = true;
+  bool finalized_ = false;
+};
+
+}  // namespace exotica::codegen
+
+#endif  // EXOTICA_CODEGEN_ASM_X64_H_

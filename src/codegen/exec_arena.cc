@@ -1,0 +1,71 @@
+#include "codegen/exec_arena.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EXOTICA_EXEC_ARENA_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define EXOTICA_EXEC_ARENA_MMAP 0
+#endif
+
+namespace exotica::codegen {
+
+#if EXOTICA_EXEC_ARENA_MMAP
+
+namespace {
+size_t PageRound(size_t n) {
+  const long page = sysconf(_SC_PAGESIZE);
+  const size_t p = page > 0 ? static_cast<size_t>(page) : 4096;
+  return ((n + p - 1) / p) * p;
+}
+}  // namespace
+
+std::unique_ptr<ExecArena> ExecArena::Build(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  const size_t bytes = PageRound(capacity);
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return nullptr;
+  return std::unique_ptr<ExecArena>(
+      new ExecArena(static_cast<uint8_t*>(base), bytes));
+}
+
+ExecArena::~ExecArena() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+const void* ExecArena::Add(const std::vector<uint8_t>& code) {
+  if (finalized_ || base_ == nullptr) return nullptr;
+  // Keep every entry point 16-byte aligned.
+  const size_t at = (used_ + 15) & ~size_t{15};
+  if (at + code.size() > capacity_) return nullptr;
+  std::memcpy(base_ + at, code.data(), code.size());
+  used_ = at + code.size();
+  return base_ + at;
+}
+
+bool ExecArena::Finalize() {
+  if (finalized_ || base_ == nullptr) return false;
+  if (::mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0) {
+    // Strict W^X environment refused the flip: unmap eagerly so no caller
+    // can execute (or keep writing) the stale RW slab.
+    ::munmap(base_, capacity_);
+    base_ = nullptr;
+    return false;
+  }
+  finalized_ = true;
+  return true;
+}
+
+#else  // !EXOTICA_EXEC_ARENA_MMAP
+
+std::unique_ptr<ExecArena> ExecArena::Build(size_t) { return nullptr; }
+ExecArena::~ExecArena() = default;
+const void* ExecArena::Add(const std::vector<uint8_t>&) { return nullptr; }
+bool ExecArena::Finalize() { return false; }
+
+#endif  // EXOTICA_EXEC_ARENA_MMAP
+
+}  // namespace exotica::codegen

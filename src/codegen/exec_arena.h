@@ -1,0 +1,64 @@
+// ExecArena: a W^X executable-memory slab for JIT-compiled step programs.
+//
+// Lifecycle is strictly two-phase: the arena is mmap'd read-write, code is
+// copied in with Add(), then Finalize() flips the whole slab to read-execute
+// with mprotect. The mapping is never writable and executable at the same
+// time, so the arena is safe under strict W^X policies; platforms that deny
+// even the RW→RX transition (or that aren't unix at all) make Build() or
+// Finalize() fail, which callers treat as "native codegen unavailable" and
+// fall back to the threaded-code interpreter.
+//
+// One arena backs all native functions of one wf::NavigationPlan, so code
+// lifetime tracks the plan that owns the programs the code was compiled
+// from: when the plan's shared_ptr<NativeStepUnit> dies, the slab unmaps.
+
+#ifndef EXOTICA_CODEGEN_EXEC_ARENA_H_
+#define EXOTICA_CODEGEN_EXEC_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace exotica::codegen {
+
+/// \brief A single mmap'd slab that starts RW, accepts code blobs, and is
+/// sealed RX exactly once.
+class ExecArena {
+ public:
+  /// Maps a RW slab of at least `capacity` bytes (rounded up to the page
+  /// size). Returns nullptr when mapping fails or the platform has no
+  /// executable-memory support compiled in.
+  static std::unique_ptr<ExecArena> Build(size_t capacity);
+
+  ~ExecArena();
+
+  ExecArena(const ExecArena&) = delete;
+  ExecArena& operator=(const ExecArena&) = delete;
+
+  /// Copies `code` into the slab and returns the (not yet executable)
+  /// address, or nullptr when the slab is full or already sealed.
+  const void* Add(const std::vector<uint8_t>& code);
+
+  /// Seals the slab read-execute. Returns false when mprotect is refused
+  /// (strict W^X-denying environments); the arena is then unusable and
+  /// callers must discard every pointer Add() handed out.
+  bool Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t used() const { return used_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  ExecArena(uint8_t* base, size_t capacity)
+      : base_(base), capacity_(capacity) {}
+
+  uint8_t* base_ = nullptr;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace exotica::codegen
+
+#endif  // EXOTICA_CODEGEN_EXEC_ARENA_H_

@@ -1,0 +1,979 @@
+#include "codegen/step_jit.h"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <new>
+#include <utility>
+
+#include "codegen/exec_arena.h"
+#include "expr/kernels.h"
+#include "wf/plan.h"
+
+// The emitter proper exists only on x86-64 unix builds with the CMake
+// option on; everything else compiles the all-bailout stubs at the bottom
+// of this file (the forced-fallback CI configuration exercises them).
+#if defined(EXOTICA_NATIVE_CODEGEN) && EXOTICA_NATIVE_CODEGEN && \
+    defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+#define EXO_NATIVE_JIT 1
+#else
+#define EXO_NATIVE_JIT 0
+#endif
+
+#if EXO_NATIVE_JIT
+#include "codegen/asm_x64.h"
+#endif
+
+namespace exotica::codegen {
+
+NativeStepUnit::NativeStepUnit() = default;
+NativeStepUnit::~NativeStepUnit() = default;
+NativeCondition::~NativeCondition() = default;
+
+size_t NativeStepUnit::code_bytes() const {
+  return arena_ ? arena_->used() : 0;
+}
+
+#if EXO_NATIVE_JIT
+
+namespace {
+
+using expr::CompiledCondition;
+using TOp = CompiledCondition::TOp;
+using TInstr = CompiledCondition::TInstr;
+using Label = Assembler::Label;
+
+// ---------------------------------------------------------------------------
+// data::Value layout probe.
+//
+// The generated code reads container slots as raw bytes: an 8-byte payload
+// at a fixed offset inside each ~40-byte Value, and a one-byte variant
+// discriminant. The standard library does not document that layout, so it
+// is discovered at runtime by constructing Values in pre-zeroed storage
+// and diffing the bytes; any surprise — multiple differing bytes, payload
+// not where expected — fails the probe and disables native codegen
+// entirely (a clean bailout, not a miscompile).
+// ---------------------------------------------------------------------------
+
+struct ValueLayout {
+  uint32_t stride = 0;
+  int32_t payload_off = -1;
+  int32_t disc_off = -1;
+  uint8_t disc_null = 0;
+  uint8_t disc_long = 0;
+  uint8_t disc_float = 0;
+  uint8_t disc_bool = 0;
+  bool ok = false;
+};
+
+struct ProbeBuf {
+  alignas(data::Value) unsigned char bytes[sizeof(data::Value)];
+  data::Value* v = nullptr;
+
+  template <typename... Args>
+  data::Value* Make(Args&&... args) {
+    std::memset(bytes, 0, sizeof(bytes));
+    // Barrier between the zero-fill and the placement new: the new
+    // object's lifetime lets the compiler dead-store-eliminate the
+    // memset (the ctor-untouched bytes then read as stack garbage and
+    // the probe sees a nondeterministic background). The clobber pins
+    // the zeros as observable before construction.
+    asm volatile("" : : "r"(bytes) : "memory");
+    v = new (bytes) data::Value(std::forward<Args>(args)...);
+    asm volatile("" : : "r"(bytes) : "memory");
+    return v;
+  }
+
+  // Object representation of the live Value, read through the pointer
+  // placement-new returned (scanning the original array directly is the
+  // dual folding hazard: those reads constant-fold to the memset zeros
+  // in IPA clones of the probe).
+  void Snapshot(unsigned char* out) const {
+    asm volatile("" : : "r"(v) : "memory");
+    std::memcpy(out, reinterpret_cast<const unsigned char*>(v),
+                sizeof(data::Value));
+  }
+};
+
+ValueLayout ProbeValueLayout() {
+  ValueLayout l;
+  l.stride = static_cast<uint32_t>(sizeof(data::Value));
+  ProbeBuf a, b;
+
+  unsigned char ia[sizeof(data::Value)];
+  unsigned char ib[sizeof(data::Value)];
+
+  // Payload offset: a magic int64 must appear at exactly one offset.
+  const int64_t magic = static_cast<int64_t>(0x5AD0BEEF12345678ll);
+  data::Value* v = a.Make(magic);
+  a.Snapshot(ia);
+  v->~Value();
+  int payload = -1;
+  for (size_t off = 0; off + 8 <= sizeof(data::Value); ++off) {
+    int64_t got;
+    std::memcpy(&got, ia + off, 8);
+    if (got == magic) {
+      if (payload >= 0) return l;
+      payload = static_cast<int>(off);
+    }
+  }
+  if (payload < 0) return l;
+
+  // Doubles must share the same payload offset (one union).
+  uint64_t dbits = 0x400921FB54442D18ull;  // pi
+  double dmagic;
+  std::memcpy(&dmagic, &dbits, 8);
+  v = a.Make(dmagic);
+  a.Snapshot(ia);
+  v->~Value();
+  uint64_t got;
+  std::memcpy(&got, ia + payload, 8);
+  if (got != dbits) return l;
+
+  // Discriminant: with identical (all-zero) payload bits, a long 0 and a
+  // float 0.0 may differ in exactly one byte.
+  data::Value* x = a.Make(static_cast<int64_t>(0));
+  data::Value* y = b.Make(0.0);
+  a.Snapshot(ia);
+  b.Snapshot(ib);
+  x->~Value();
+  y->~Value();
+  int disc = -1;
+  for (size_t off = 0; off < sizeof(data::Value); ++off) {
+    if (ia[off] != ib[off]) {
+      if (disc >= 0) return l;
+      disc = static_cast<int>(off);
+    }
+  }
+  if (disc < 0) return l;
+  // The discriminant must not alias the payload.
+  if (disc >= payload && disc < payload + 8) return l;
+
+  l.payload_off = payload;
+  l.disc_off = disc;
+
+  v = a.Make();
+  a.Snapshot(ia);
+  v->~Value();
+  l.disc_null = ia[disc];
+  v = a.Make(static_cast<int64_t>(0));
+  a.Snapshot(ia);
+  v->~Value();
+  l.disc_long = ia[disc];
+  v = a.Make(0.0);
+  a.Snapshot(ia);
+  v->~Value();
+  l.disc_float = ia[disc];
+  v = a.Make(true);
+  a.Snapshot(ia);
+  v->~Value();
+  l.disc_bool = ia[disc];
+  if (ia[payload] != 1) return l;
+
+  // Distinct codes, or the null check below would misfire.
+  const uint8_t codes[] = {l.disc_null, l.disc_long, l.disc_float,
+                           l.disc_bool};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      if (codes[i] == codes[j]) return l;
+    }
+  }
+  l.ok = true;
+  return l;
+}
+
+const ValueLayout& GetValueLayout() {
+  static const ValueLayout layout = ProbeValueLayout();
+  return layout;
+}
+
+// ---------------------------------------------------------------------------
+// Typed condition body: static analysis + emission.
+//
+// Typed programs are postfix with exclusively forward jumps, so the
+// operand-stack depth at every pc is a static property. The emitter
+// verifies that (bailing out on any inconsistency rather than trusting
+// the compiler) and then assigns stack cell d the frame slot [rsp + 8d] —
+// no stack-pointer register, every operand access a fixed displacement.
+// ---------------------------------------------------------------------------
+
+struct TypedAnalysis {
+  std::vector<int> depth;  ///< depth *before* each pc; [n] = final depth
+  int max_depth = 0;
+  bool ok = false;
+};
+
+TypedAnalysis AnalyzeTyped(const CompiledCondition& prog,
+                           const ValueLayout& vl) {
+  TypedAnalysis an;
+  const std::vector<TInstr>& code = prog.typed_code();
+  const size_t n = code.size();
+  if (n == 0) return an;
+  an.depth.assign(n + 1, -1);
+  an.depth[0] = 0;
+
+  auto merge = [&](size_t pc, int d) {
+    if (an.depth[pc] < 0) {
+      an.depth[pc] = d;
+      return true;
+    }
+    return an.depth[pc] == d;
+  };
+
+  for (size_t pc = 0; pc < n; ++pc) {
+    const TInstr& in = code[pc];
+    const int d = an.depth[pc];
+    if (d < 0) return an;  // unreachable instruction: bail
+    int nd;
+    switch (in.op) {
+      case TOp::kConstI64:
+      case TOp::kConstF64:
+      case TOp::kConstB:
+        if (in.a >= prog.typed_consts().size()) return an;
+        nd = d + 1;
+        break;
+      case TOp::kLoadI64:
+      case TOp::kLoadF64:
+      case TOp::kLoadB: {
+        // Slot displacements must encode as int32.
+        const uint64_t end =
+            (static_cast<uint64_t>(in.a) + 1) * vl.stride + 8;
+        if (end > 0x7FFF0000ull) return an;
+        if (in.b >= prog.names().size()) return an;
+        nd = d + 1;
+        break;
+      }
+      case TOp::kI64ToF64:
+      case TOp::kNotB:
+      case TOp::kNegI64:
+      case TOp::kNegF64:
+        if (d < 1) return an;
+        nd = d;
+        break;
+      case TOp::kI64ToF64Under:
+        if (d < 2) return an;
+        nd = d;
+        break;
+      case TOp::kCmpEqI64:
+      case TOp::kCmpNeI64:
+      case TOp::kCmpLtI64:
+      case TOp::kCmpLeI64:
+      case TOp::kCmpGtI64:
+      case TOp::kCmpGeI64:
+      case TOp::kCmpEqF64:
+      case TOp::kCmpNeF64:
+      case TOp::kCmpLtF64:
+      case TOp::kCmpLeF64:
+      case TOp::kCmpGtF64:
+      case TOp::kCmpGeF64:
+      case TOp::kCmpEqB:
+      case TOp::kCmpNeB:
+      case TOp::kAddI64:
+      case TOp::kSubI64:
+      case TOp::kMulI64:
+      case TOp::kDivI64:
+      case TOp::kModI64:
+      case TOp::kAddF64:
+      case TOp::kSubF64:
+      case TOp::kMulF64:
+      case TOp::kDivF64:
+        if (d < 2) return an;
+        nd = d - 1;
+        break;
+      case TOp::kAndJumpFalse:
+      case TOp::kOrJumpTrue: {
+        if (d < 1) return an;
+        // Jump target: strictly forward (the compiler only emits forward
+        // short-circuit jumps), lands at depth d (pop, push the constant).
+        if (in.a <= pc || in.a > n) return an;
+        if (!merge(in.a, d)) return an;
+        nd = d - 1;
+        break;
+      }
+      default:
+        return an;  // future opcode: bail, don't miscompile
+    }
+    if (nd > an.max_depth) an.max_depth = nd;
+    if (nd > static_cast<int>(CompiledCondition::kMaxStack)) return an;
+    if (!merge(pc + 1, nd)) return an;
+  }
+  if (an.depth[n] != 1) return an;
+  an.ok = true;
+  return an;
+}
+
+/// Maps (kind, aux) to an error-exit label; implementations collect the
+/// requests and emit the stubs after the main body.
+using ErrSink = std::function<Label(uint64_t kind, uint32_t aux)>;
+
+enum class CmpKind { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Emits one NaN-correct double comparison of [rsp+xo] vs [rsp+yo]
+/// (widening from int64 when `i64`), leaving the 0/1 result byte at
+/// [rsp+xo]. Each sequence computes exactly expr::internal::CompareDouble:
+/// kLe/kGe are the kernel's !(x>y) / !(x<y), true on NaN.
+void EmitCompare(Assembler& as, CmpKind k, int32_t xo, int32_t yo, bool i64) {
+  if (i64) {
+    as.cvtsi2sd_xm(Xmm::xmm0, Reg::rsp, xo);
+    as.cvtsi2sd_xm(Xmm::xmm1, Reg::rsp, yo);
+  } else {
+    as.movsd_xm(Xmm::xmm0, Reg::rsp, xo);
+    as.movsd_xm(Xmm::xmm1, Reg::rsp, yo);
+  }
+  switch (k) {
+    case CmpKind::kEq:  // x == y: ZF set and not unordered
+      as.ucomisd_xx(Xmm::xmm0, Xmm::xmm1);
+      as.setcc(Cond::e, Reg::rax);
+      as.setcc(Cond::np, Reg::rcx);
+      as.and_r8r8(Reg::rax, Reg::rcx);
+      break;
+    case CmpKind::kNe:  // x != y: not-equal or unordered
+      as.ucomisd_xx(Xmm::xmm0, Xmm::xmm1);
+      as.setcc(Cond::ne, Reg::rax);
+      as.setcc(Cond::p, Reg::rcx);
+      as.or_r8r8(Reg::rax, Reg::rcx);
+      break;
+    case CmpKind::kLt:  // x < y  ⇔ y > x; unordered → false
+      as.ucomisd_xx(Xmm::xmm1, Xmm::xmm0);
+      as.setcc(Cond::a, Reg::rax);
+      break;
+    case CmpKind::kLe:  // !(x > y); unordered → true
+      as.ucomisd_xx(Xmm::xmm0, Xmm::xmm1);
+      as.setcc(Cond::be, Reg::rax);
+      break;
+    case CmpKind::kGt:  // x > y; unordered → false
+      as.ucomisd_xx(Xmm::xmm0, Xmm::xmm1);
+      as.setcc(Cond::a, Reg::rax);
+      break;
+    case CmpKind::kGe:  // !(x < y) ⇔ !(y > x); unordered → true
+      as.ucomisd_xx(Xmm::xmm1, Xmm::xmm0);
+      as.setcc(Cond::be, Reg::rax);
+      break;
+  }
+  as.mov_mr8(Reg::rsp, xo, Reg::rax);
+}
+
+/// GetSlot + null check, transcribing Container::GetSlot and RunTyped's
+/// is_null guard: prefer values_[slot] when present and non-null, fall
+/// back to the layout default, and error (names[name_idx]) when the
+/// default is null too. Kind-independent: the payload is copied as raw
+/// 8 bytes (the union's full width), so one sequence serves I64/F64/B
+/// loads exactly like the interpreter's per-kind as_long/as_float/as_bool
+/// reads of the same payload.
+void EmitSlotLoad(Assembler& as, Reg ctx, const ValueLayout& vl, uint32_t slot,
+                  uint32_t name_idx, int32_t dest_disp, const ErrSink& err) {
+  const int32_t base = static_cast<int32_t>(slot * vl.stride);
+  Label use_defaults = as.NewLabel();
+  Label done = as.NewLabel();
+  as.mov_rm(Reg::rax, ctx, 0);                          // values_.data()
+  as.cmp_mi32(ctx, 8, static_cast<int32_t>(slot));      // values_.size()
+  as.jcc(Cond::be, use_defaults);                       // size <= slot
+  as.cmp_mi8(Reg::rax, base + vl.disc_off, vl.disc_null);
+  as.jcc(Cond::e, use_defaults);
+  as.mov_rm(Reg::rcx, Reg::rax, base + vl.payload_off);
+  as.jmp(done);
+  as.Bind(use_defaults);
+  as.mov_rm(Reg::rax, ctx, 16);                         // defaults.data()
+  as.cmp_mi8(Reg::rax, base + vl.disc_off, vl.disc_null);
+  as.jcc(Cond::e, err(native_err::kNullRead, name_idx));
+  as.mov_rm(Reg::rcx, Reg::rax, base + vl.payload_off);
+  as.Bind(done);
+  as.mov_mr(Reg::rsp, dest_disp, Reg::rcx);
+}
+
+/// Emits the full typed program body. Operand cells live at [rsp + 8d];
+/// on success the result cell is [rsp + 0]. Data-dependent errors jump to
+/// `err` labels. Returns false only on internal inconsistency (analysis
+/// already vetted the program).
+bool EmitTypedBody(Assembler& as, const CompiledCondition& prog,
+                   const TypedAnalysis& an, Reg ctx, const ValueLayout& vl,
+                   const ErrSink& err) {
+  const std::vector<TInstr>& code = prog.typed_code();
+  const std::vector<CompiledCondition::TCell>& consts = prog.typed_consts();
+  const size_t n = code.size();
+
+  std::map<uint32_t, Label> targets;
+  for (const TInstr& in : code) {
+    if (in.op == TOp::kAndJumpFalse || in.op == TOp::kOrJumpTrue) {
+      if (targets.find(in.a) == targets.end()) {
+        targets.emplace(in.a, as.NewLabel());
+      }
+    }
+  }
+
+  for (size_t pc = 0; pc < n; ++pc) {
+    auto t = targets.find(static_cast<uint32_t>(pc));
+    if (t != targets.end()) as.Bind(t->second);
+    const TInstr& in = code[pc];
+    const int d = an.depth[pc];
+    const int32_t top = 8 * (d - 1);     // unary operand / jump operand
+    const int32_t xo = 8 * (d - 2);      // binary lhs (also the result)
+    const int32_t yo = 8 * (d - 1);      // binary rhs
+    const int32_t push = 8 * d;          // slot a push lands in
+    switch (in.op) {
+      case TOp::kConstI64:
+        as.mov_ri(Reg::rax, static_cast<uint64_t>(consts[in.a].i));
+        as.mov_mr(Reg::rsp, push, Reg::rax);
+        break;
+      case TOp::kConstF64: {
+        uint64_t bits;
+        std::memcpy(&bits, &consts[in.a].f, 8);
+        as.mov_ri(Reg::rax, bits);
+        as.mov_mr(Reg::rsp, push, Reg::rax);
+        break;
+      }
+      case TOp::kConstB:
+        as.mov_ri(Reg::rax, consts[in.a].b ? 1 : 0);
+        as.mov_mr(Reg::rsp, push, Reg::rax);
+        break;
+      case TOp::kLoadI64:
+      case TOp::kLoadF64:
+      case TOp::kLoadB:
+        EmitSlotLoad(as, ctx, vl, in.a, in.b, push, err);
+        break;
+      case TOp::kI64ToF64:
+        as.cvtsi2sd_xm(Xmm::xmm0, Reg::rsp, top);
+        as.movsd_mx(Reg::rsp, top, Xmm::xmm0);
+        break;
+      case TOp::kI64ToF64Under:
+        as.cvtsi2sd_xm(Xmm::xmm0, Reg::rsp, 8 * (d - 2));
+        as.movsd_mx(Reg::rsp, 8 * (d - 2), Xmm::xmm0);
+        break;
+      case TOp::kNotB:
+        as.xor_mi8(Reg::rsp, top, 1);
+        break;
+      case TOp::kNegI64:
+        as.neg_m64(Reg::rsp, top);
+        break;
+      case TOp::kNegF64:
+        // Flip the sign bit, exactly -double (works for NaN/inf/±0 too).
+        as.mov_ri(Reg::rax, 0x8000000000000000ull);
+        as.xor_mr64(Reg::rsp, top, Reg::rax);
+        break;
+      case TOp::kCmpEqI64: EmitCompare(as, CmpKind::kEq, xo, yo, true); break;
+      case TOp::kCmpNeI64: EmitCompare(as, CmpKind::kNe, xo, yo, true); break;
+      case TOp::kCmpLtI64: EmitCompare(as, CmpKind::kLt, xo, yo, true); break;
+      case TOp::kCmpLeI64: EmitCompare(as, CmpKind::kLe, xo, yo, true); break;
+      case TOp::kCmpGtI64: EmitCompare(as, CmpKind::kGt, xo, yo, true); break;
+      case TOp::kCmpGeI64: EmitCompare(as, CmpKind::kGe, xo, yo, true); break;
+      case TOp::kCmpEqF64: EmitCompare(as, CmpKind::kEq, xo, yo, false); break;
+      case TOp::kCmpNeF64: EmitCompare(as, CmpKind::kNe, xo, yo, false); break;
+      case TOp::kCmpLtF64: EmitCompare(as, CmpKind::kLt, xo, yo, false); break;
+      case TOp::kCmpLeF64: EmitCompare(as, CmpKind::kLe, xo, yo, false); break;
+      case TOp::kCmpGtF64: EmitCompare(as, CmpKind::kGt, xo, yo, false); break;
+      case TOp::kCmpGeF64: EmitCompare(as, CmpKind::kGe, xo, yo, false); break;
+      case TOp::kCmpEqB:
+      case TOp::kCmpNeB:
+        as.movzx_rm8(Reg::rax, Reg::rsp, xo);
+        as.movzx_rm8(Reg::rcx, Reg::rsp, yo);
+        as.cmp_r8r8(Reg::rax, Reg::rcx);
+        as.setcc(in.op == TOp::kCmpEqB ? Cond::e : Cond::ne, Reg::rax);
+        as.mov_mr8(Reg::rsp, xo, Reg::rax);
+        break;
+      case TOp::kAddI64:
+        as.mov_rm(Reg::rax, Reg::rsp, xo);
+        as.add_rm(Reg::rax, Reg::rsp, yo);
+        as.mov_mr(Reg::rsp, xo, Reg::rax);
+        break;
+      case TOp::kSubI64:
+        as.mov_rm(Reg::rax, Reg::rsp, xo);
+        as.sub_rm(Reg::rax, Reg::rsp, yo);
+        as.mov_mr(Reg::rsp, xo, Reg::rax);
+        break;
+      case TOp::kMulI64:
+        as.mov_rm(Reg::rax, Reg::rsp, xo);
+        as.imul_rm(Reg::rax, Reg::rsp, yo);
+        as.mov_mr(Reg::rsp, xo, Reg::rax);
+        break;
+      case TOp::kDivI64:
+      case TOp::kModI64:
+        // Zero-check the divisor before touching the dividend, like the
+        // interpreter's pre-pop guard.
+        as.mov_rm(Reg::rcx, Reg::rsp, yo);
+        as.test_rr(Reg::rcx, Reg::rcx);
+        as.jcc(Cond::e, err(in.op == TOp::kDivI64 ? native_err::kDivZero
+                                                  : native_err::kModZero,
+                            0));
+        as.mov_rm(Reg::rax, Reg::rsp, xo);
+        as.cqo();
+        as.idiv_r(Reg::rcx);
+        as.mov_mr(Reg::rsp, xo,
+                  in.op == TOp::kDivI64 ? Reg::rax : Reg::rdx);
+        break;
+      case TOp::kAddF64:
+        as.movsd_xm(Xmm::xmm0, Reg::rsp, xo);
+        as.addsd_xm(Xmm::xmm0, Reg::rsp, yo);
+        as.movsd_mx(Reg::rsp, xo, Xmm::xmm0);
+        break;
+      case TOp::kSubF64:
+        as.movsd_xm(Xmm::xmm0, Reg::rsp, xo);
+        as.subsd_xm(Xmm::xmm0, Reg::rsp, yo);
+        as.movsd_mx(Reg::rsp, xo, Xmm::xmm0);
+        break;
+      case TOp::kMulF64:
+        as.movsd_xm(Xmm::xmm0, Reg::rsp, xo);
+        as.mulsd_xm(Xmm::xmm0, Reg::rsp, yo);
+        as.movsd_mx(Reg::rsp, xo, Xmm::xmm0);
+        break;
+      case TOp::kDivF64: {
+        // y == 0.0 errors (both zeroes); NaN is not zero. ucomisd sets
+        // ZF on equal *or* unordered, so route parity around the check.
+        Label nonzero = as.NewLabel();
+        as.movsd_xm(Xmm::xmm1, Reg::rsp, yo);
+        as.xorpd_xx(Xmm::xmm2, Xmm::xmm2);
+        as.ucomisd_xx(Xmm::xmm1, Xmm::xmm2);
+        as.jcc(Cond::p, nonzero);
+        as.jcc(Cond::e, err(native_err::kDivZero, 0));
+        as.Bind(nonzero);
+        as.movsd_xm(Xmm::xmm0, Reg::rsp, xo);
+        as.divsd_xm(Xmm::xmm0, Reg::rsp, yo);
+        as.movsd_mx(Reg::rsp, xo, Xmm::xmm0);
+        break;
+      }
+      case TOp::kAndJumpFalse:
+        // Pop v; if false, push false and jump. The popped byte is
+        // already 0 on the taken path, so the "push" is a no-op in the
+        // fixed-slot frame.
+        as.movzx_rm8(Reg::rax, Reg::rsp, top);
+        as.test_r8r8(Reg::rax, Reg::rax);
+        as.jcc(Cond::e, targets.at(in.a));
+        break;
+      case TOp::kOrJumpTrue:
+        as.movzx_rm8(Reg::rax, Reg::rsp, top);
+        as.test_r8r8(Reg::rax, Reg::rax);
+        as.jcc(Cond::ne, targets.at(in.a));
+        break;
+      default:
+        return false;
+    }
+  }
+  auto t = targets.find(static_cast<uint32_t>(n));
+  if (t != targets.end()) as.Bind(t->second);
+  return as.ok();
+}
+
+// ---------------------------------------------------------------------------
+// Step-program emission (one native function per activity).
+//
+// Register plan (SysV):
+//   rbx  NativeStepCtx*                r12b  any_true
+//   r13  fresh_count                   r14   out_evals plane base
+//   rax/rcx/rdx, xmm0-2 scratch; the frame holds the typed operand cells.
+// Five callee-saved pushes put rsp ≡ 0 (mod 16) before the frame, and the
+// frame is a multiple of 16, so the record-thunk call site is aligned.
+// ---------------------------------------------------------------------------
+
+constexpr int32_t kOffValues = 0;
+constexpr int32_t kOffValuesSize = 8;
+constexpr int32_t kOffOutEvals = 24;
+constexpr int32_t kOffFresh = 32;
+constexpr int32_t kOffFreshCount = 40;
+constexpr int32_t kOffFlags = 48;
+constexpr int32_t kOffStatConnectors = 56;
+constexpr int32_t kOffStatVm = 64;
+constexpr int32_t kOffStatTyped = 72;
+constexpr int32_t kOffThunk = 80;
+
+struct ErrStub {
+  Label label;
+  uint64_t code;
+  Label resume;  ///< condition_error_is_false continuation (value = false)
+};
+
+/// One recorded connector: out_eval write, connectors_evaluated, the
+/// fresh-list store, and the journal/audit thunk — the interpreter's
+/// `record:` block instruction for instruction (the thunk covers the
+/// journal append and audit event; a non-zero thunk return aborts the
+/// sweep exactly like EXO_RETURN_NOT_OK(JournalAppend(...))).
+/// On entry al holds the 0/1 value.
+void EmitRecord(Assembler& as, uint32_t step_idx, uint32_t out_idx,
+                uint32_t cidx, Label ret_label) {
+  as.mov_mr8(Reg::r14, static_cast<int32_t>(out_idx), Reg::rax);
+  as.mov_rm(Reg::rcx, Reg::rbx, kOffStatConnectors);
+  as.inc_m64(Reg::rcx, 0);
+  as.mov_rm(Reg::rdx, Reg::rbx, kOffFresh);
+  as.mov_mi32_idx8(Reg::rdx, Reg::r13, 0, cidx);
+  as.mov_mr8_idx8(Reg::rdx, Reg::r13, 4, Reg::rax);
+  as.inc_r(Reg::r13);
+  Label skip = as.NewLabel();
+  as.test_mi8(Reg::rbx, kOffFlags, static_cast<uint8_t>(kFlagRecord));
+  as.jcc(Cond::e, skip);
+  as.mov_ri(Reg::rsi, step_idx);
+  as.mov_rr(Reg::rdi, Reg::rbx);
+  as.call_m(Reg::rbx, kOffThunk);
+  as.test_rr(Reg::rax, Reg::rax);
+  as.jcc(Cond::ne, ret_label);
+  as.Bind(skip);
+}
+
+/// Lowers activity `aid`'s whole step program. Returns false (bailout)
+/// when any instruction cannot be emitted; on success `code` holds the
+/// finished function image and `min_slots_out` the layout floor its
+/// embedded conditions assume.
+bool CompileActivity(const wf::NavigationPlan& plan, uint32_t aid,
+                     const ValueLayout& vl, std::vector<uint8_t>* code,
+                     uint32_t* min_slots_out) {
+  using Op = wf::StepInstr::Op;
+  const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
+  const wf::StepInstr* steps = plan.step_program(info.step_base);
+
+  // Vet every instruction before emitting anything.
+  std::vector<const TypedAnalysis*> analyses;  // parallel to steps, kVm only
+  std::map<uint32_t, TypedAnalysis> analysis_by_step;
+  uint32_t n_steps = 0;
+  int max_depth = 0;
+  uint32_t min_slots = 0;
+  for (uint32_t i = 0;; ++i) {
+    const wf::StepInstr& in = steps[i];
+    if (in.op == Op::kEnd) {
+      n_steps = i;
+      break;
+    }
+    switch (in.op) {
+      case Op::kTrivial:
+      case Op::kOtherwise:
+        break;
+      case Op::kVm: {
+        if (in.prog < 0) return false;
+        const CompiledCondition& prog = plan.vm_program(in.prog);
+        if (!prog.typed() ||
+            prog.typed_result() != data::ScalarType::kBool) {
+          return false;
+        }
+        TypedAnalysis an = AnalyzeTyped(prog, vl);
+        if (!an.ok) return false;
+        if (an.max_depth > max_depth) max_depth = an.max_depth;
+        if (prog.min_slots() > min_slots) min_slots = prog.min_slots();
+        analysis_by_step.emplace(i, std::move(an));
+        break;
+      }
+      case Op::kTree:
+      default:
+        return false;  // tree-walked conditions stay on the interpreter
+    }
+  }
+
+  const int32_t frame = (8 * max_depth + 15) & ~15;
+
+  Assembler as;
+  as.push_r(Reg::rbp);
+  as.push_r(Reg::rbx);
+  as.push_r(Reg::r12);
+  as.push_r(Reg::r13);
+  as.push_r(Reg::r14);
+  if (frame != 0) as.sub_ri(Reg::rsp, frame);
+  as.mov_rr(Reg::rbx, Reg::rdi);
+  as.xor_rr32(Reg::r12, Reg::r12);
+  as.xor_rr32(Reg::r13, Reg::r13);
+  as.mov_rm(Reg::r14, Reg::rbx, kOffOutEvals);
+
+  Label ret_label = as.NewLabel();
+  std::vector<ErrStub> stubs;
+
+  for (uint32_t i = 0; i < n_steps; ++i) {
+    const wf::StepInstr& in = steps[i];
+    const int32_t out_idx = static_cast<int32_t>(in.out_idx);
+    Label next = as.NewLabel();
+    switch (in.op) {
+      case Op::kTrivial: {
+        Label fresh_eval = as.NewLabel();
+        as.movzx_rm8(Reg::rax, Reg::r14, out_idx);
+        as.test_r8r8(Reg::rax, Reg::rax);
+        as.jcc(Cond::s, fresh_eval);      // prior < 0: evaluate
+        as.or_r8r8(Reg::r12, Reg::rax);   // any_true |= prior != 0
+        as.jmp(next);
+        as.Bind(fresh_eval);
+        as.test_mi8(Reg::rbx, kOffFlags, static_cast<uint8_t>(kFlagAllFalse));
+        as.setcc(Cond::e, Reg::rax);      // value = !all_false
+        as.or_r8r8(Reg::r12, Reg::rax);
+        EmitRecord(as, i, in.out_idx, in.cidx, ret_label);
+        break;
+      }
+      case Op::kVm: {
+        Label fresh_eval = as.NewLabel();
+        Label value_false = as.NewLabel();
+        Label do_record = as.NewLabel();
+        as.movzx_rm8(Reg::rax, Reg::r14, out_idx);
+        as.test_r8r8(Reg::rax, Reg::rax);
+        as.jcc(Cond::s, fresh_eval);
+        as.or_r8r8(Reg::r12, Reg::rax);
+        as.jmp(next);
+        as.Bind(fresh_eval);
+        as.test_mi8(Reg::rbx, kOffFlags, static_cast<uint8_t>(kFlagAllFalse));
+        as.jcc(Cond::ne, value_false);    // dead-path sweep: false, no eval
+        // EvalVmCondition's counters, bumped before the evaluation —
+        // every native condition run is a vm run and a typed run.
+        as.mov_rm(Reg::rax, Reg::rbx, kOffStatVm);
+        as.inc_m64(Reg::rax, 0);
+        as.mov_rm(Reg::rax, Reg::rbx, kOffStatTyped);
+        as.inc_m64(Reg::rax, 0);
+        const CompiledCondition& prog = plan.vm_program(in.prog);
+        const TypedAnalysis& an = analysis_by_step.at(i);
+        std::map<std::pair<uint64_t, uint32_t>, Label> local;
+        ErrSink sink = [&](uint64_t kind, uint32_t aux) {
+          auto key = std::make_pair(kind, aux);
+          auto it = local.find(key);
+          if (it != local.end()) return it->second;
+          Label l = as.NewLabel();
+          local.emplace(key, l);
+          stubs.push_back(
+              ErrStub{l, native_err::Make(kind, i, aux), value_false});
+          return l;
+        };
+        if (!EmitTypedBody(as, prog, an, Reg::rbx, vl, sink)) return false;
+        as.movzx_rm8(Reg::rax, Reg::rsp, 0);  // the boolean result cell
+        as.or_r8r8(Reg::r12, Reg::rax);
+        as.jmp(do_record);
+        as.Bind(value_false);
+        as.xor_rr32(Reg::rax, Reg::rax);
+        as.Bind(do_record);
+        EmitRecord(as, i, in.out_idx, in.cidx, ret_label);
+        break;
+      }
+      case Op::kOtherwise: {
+        Label do_record = as.NewLabel();
+        as.movzx_rm8(Reg::rax, Reg::r14, out_idx);
+        as.test_r8r8(Reg::rax, Reg::rax);
+        as.jcc(Cond::ns, next);           // prior >= 0: skip, no any_true
+        // value = all_false ? false : !any_true; does NOT feed any_true.
+        as.xor_rr32(Reg::rax, Reg::rax);
+        as.test_mi8(Reg::rbx, kOffFlags, static_cast<uint8_t>(kFlagAllFalse));
+        as.jcc(Cond::ne, do_record);
+        as.test_r8r8(Reg::r12, Reg::r12);
+        as.setcc(Cond::e, Reg::rax);
+        as.Bind(do_record);
+        EmitRecord(as, i, in.out_idx, in.cidx, ret_label);
+        break;
+      }
+      default:
+        return false;
+    }
+    as.Bind(next);
+  }
+
+  // kEnd: success epilogue (also the error exit with rax pre-loaded).
+  as.xor_rr32(Reg::rax, Reg::rax);
+  as.Bind(ret_label);
+  as.mov_mr(Reg::rbx, kOffFreshCount, Reg::r13);
+  if (frame != 0) as.add_ri(Reg::rsp, frame);
+  as.pop_r(Reg::r14);
+  as.pop_r(Reg::r13);
+  as.pop_r(Reg::r12);
+  as.pop_r(Reg::rbx);
+  as.pop_r(Reg::rbp);
+  as.ret();
+
+  for (const ErrStub& stub : stubs) {
+    as.Bind(stub.label);
+    as.test_mi8(Reg::rbx, kOffFlags, static_cast<uint8_t>(kFlagErrFalse));
+    as.jcc(Cond::ne, stub.resume);  // condition_error_is_false: record false
+    as.mov_ri(Reg::rax, stub.code);
+    as.jmp(ret_label);
+  }
+
+  if (!as.Finalize() || !as.ok()) return false;
+  *code = as.code();
+  *min_slots_out = min_slots;
+  return true;
+}
+
+}  // namespace
+
+bool NativeCodegenAvailable() {
+  static const bool available = [] {
+    if (!GetValueLayout().ok) return false;
+    // Smoke-test the whole W^X pipeline once: mov rax, 42; ret.
+    auto arena = ExecArena::Build(64);
+    if (!arena) return false;
+    const std::vector<uint8_t> code = {0x48, 0xC7, 0xC0, 0x2A,
+                                       0x00, 0x00, 0x00, 0xC3};
+    const void* p = arena->Add(code);
+    if (p == nullptr || !arena->Finalize()) return false;
+    auto fn = reinterpret_cast<uint64_t (*)()>(
+        reinterpret_cast<uintptr_t>(p));
+    return fn() == 42;
+  }();
+  return available;
+}
+
+std::shared_ptr<const NativeStepUnit> CompileStepPrograms(
+    const wf::NavigationPlan& plan) {
+  if (!NativeCodegenAvailable()) return nullptr;
+  const ValueLayout& vl = GetValueLayout();
+  const uint32_t n = plan.activity_count();
+  std::shared_ptr<NativeStepUnit> unit(new NativeStepUnit());
+  unit->entries_.assign(n, nullptr);
+  unit->min_slots_.assign(n, 0);
+
+  std::vector<std::vector<uint8_t>> blobs(n);
+  std::vector<bool> compiled(n, false);
+  size_t total = 0;
+  for (uint32_t aid = 0; aid < n; ++aid) {
+    uint32_t min_slots = 0;
+    if (CompileActivity(plan, aid, vl, &blobs[aid], &min_slots)) {
+      compiled[aid] = true;
+      unit->min_slots_[aid] = min_slots;
+      total += blobs[aid].size() + 16;  // +16: entry alignment padding
+    } else {
+      ++unit->bailouts_;
+    }
+  }
+  if (total == 0) return unit;  // every activity bailed; still reportable
+
+  unit->arena_ = ExecArena::Build(total);
+  if (!unit->arena_) return nullptr;
+  std::vector<const void*> addrs(n, nullptr);
+  for (uint32_t aid = 0; aid < n; ++aid) {
+    if (!compiled[aid]) continue;
+    addrs[aid] = unit->arena_->Add(blobs[aid]);
+    if (addrs[aid] == nullptr) return nullptr;
+  }
+  if (!unit->arena_->Finalize()) return nullptr;
+  for (uint32_t aid = 0; aid < n; ++aid) {
+    if (!compiled[aid]) continue;
+    unit->entries_[aid] = reinterpret_cast<NativeStepUnit::StepFn>(
+        reinterpret_cast<uintptr_t>(addrs[aid]));
+    ++unit->compiled_;
+  }
+  return unit;
+}
+
+std::unique_ptr<NativeCondition> NativeCondition::Compile(
+    const expr::CompiledCondition& prog) {
+  if (!NativeCodegenAvailable()) return nullptr;
+  if (prog.code().empty() || !prog.typed()) return nullptr;
+  const data::ScalarType rt = prog.typed_result();
+  if (rt != data::ScalarType::kLong && rt != data::ScalarType::kFloat &&
+      rt != data::ScalarType::kBool) {
+    return nullptr;
+  }
+  const ValueLayout& vl = GetValueLayout();
+  TypedAnalysis an = AnalyzeTyped(prog, vl);
+  if (!an.ok) return nullptr;
+
+  Assembler as;
+  const int32_t frame = 8 * an.max_depth;  // leaf: no alignment constraint
+  if (frame != 0) as.sub_ri(Reg::rsp, frame);
+  Label ret_label = as.NewLabel();
+  std::vector<std::pair<Label, uint64_t>> stubs;
+  std::map<std::pair<uint64_t, uint32_t>, Label> dedup;
+  ErrSink sink = [&](uint64_t kind, uint32_t aux) {
+    auto key = std::make_pair(kind, aux);
+    auto it = dedup.find(key);
+    if (it != dedup.end()) return it->second;
+    Label l = as.NewLabel();
+    dedup.emplace(key, l);
+    stubs.emplace_back(l, native_err::Make(kind, 0, aux));
+    return l;
+  };
+  if (!EmitTypedBody(as, prog, an, Reg::rdi, vl, sink)) return nullptr;
+  as.mov_rm(Reg::rcx, Reg::rsp, 0);
+  as.mov_mr(Reg::rdi, 24, Reg::rcx);  // ctx->result
+  as.xor_rr32(Reg::rax, Reg::rax);
+  as.Bind(ret_label);
+  if (frame != 0) as.add_ri(Reg::rsp, frame);
+  as.ret();
+  for (const auto& [label, errc] : stubs) {
+    as.Bind(label);
+    as.mov_ri(Reg::rax, errc);
+    as.jmp(ret_label);
+  }
+  if (!as.Finalize() || !as.ok()) return nullptr;
+
+  std::unique_ptr<NativeCondition> nc(new NativeCondition());
+  nc->arena_ = ExecArena::Build(as.size() + 16);
+  if (!nc->arena_) return nullptr;
+  const void* p = nc->arena_->Add(as.code());
+  if (p == nullptr || !nc->arena_->Finalize()) return nullptr;
+  nc->fn_ = reinterpret_cast<CondFn>(reinterpret_cast<uintptr_t>(p));
+  nc->result_type_ = rt;
+  nc->names_ = prog.names();
+  nc->source_ = prog.source();
+  nc->bound_type_ = prog.bound_type();
+  nc->min_slots_ = prog.min_slots();
+  return nc;
+}
+
+#else  // !EXO_NATIVE_JIT
+
+bool NativeCodegenAvailable() { return false; }
+
+std::shared_ptr<const NativeStepUnit> CompileStepPrograms(
+    const wf::NavigationPlan&) {
+  return nullptr;
+}
+
+std::unique_ptr<NativeCondition> NativeCondition::Compile(
+    const expr::CompiledCondition&) {
+  return nullptr;
+}
+
+#endif  // EXO_NATIVE_JIT
+
+// --- NativeCondition evaluation (layout-independent) -------------------------
+
+Result<uint64_t> NativeCondition::Run(const data::Container& c) const {
+  if (fn_ == nullptr) {
+    return Status::Internal("native condition has no compiled function");
+  }
+  if (c.slot_count() < min_slots_) {
+    // CompiledCondition::CheckReadable's exact message.
+    return Status::Internal("compiled condition bound against container type " +
+                            bound_type_ + " cannot read a container of type " +
+                            c.type_name());
+  }
+  NativeCondCtx ctx;
+  ctx.slot_values = c.slot_values_data();
+  ctx.slot_values_size = c.slot_values_size();
+  ctx.slot_defaults = c.slot_defaults_data();
+  const uint64_t rc = fn_(&ctx);
+  if (rc != native_err::kNone) {
+    switch (native_err::Kind(rc)) {
+      case native_err::kNullRead:
+        return Status::FailedPrecondition(expr::internal::kUnsetDataPrefix +
+                                          names_[native_err::Aux(rc)]);
+      case native_err::kDivZero:
+        return Status::InvalidArgument(expr::internal::kDivisionByZero);
+      case native_err::kModZero:
+        return Status::InvalidArgument(expr::internal::kModuloByZero);
+      default:
+        return Status::Internal("unknown native condition error code");
+    }
+  }
+  return ctx.result;
+}
+
+Result<data::Value> NativeCondition::Evaluate(
+    const data::Container& container) const {
+  EXO_ASSIGN_OR_RETURN(uint64_t cell, Run(container));
+  switch (result_type_) {
+    case data::ScalarType::kLong:
+      return data::Value(static_cast<int64_t>(cell));
+    case data::ScalarType::kFloat: {
+      double f;
+      std::memcpy(&f, &cell, 8);
+      return data::Value(f);
+    }
+    case data::ScalarType::kBool:
+      return data::Value((cell & 0xFF) != 0);
+    default:
+      break;
+  }
+  return Status::Internal("typed condition program has no result type");
+}
+
+Result<bool> NativeCondition::EvaluateBool(
+    const data::Container& container) const {
+  if (result_type_ == data::ScalarType::kBool) {
+    EXO_ASSIGN_OR_RETURN(uint64_t cell, Run(container));
+    return (cell & 0xFF) != 0;
+  }
+  EXO_ASSIGN_OR_RETURN(data::Value v, Evaluate(container));
+  if (!v.is_bool()) {
+    return Status::InvalidArgument("condition did not evaluate to a boolean: " +
+                                   source_ + " = " + v.ToString());
+  }
+  return v.as_bool();
+}
+
+}  // namespace exotica::codegen

@@ -1,0 +1,263 @@
+// Native x86-64 code generation for fused step programs — the last rung
+// of the compilation ladder (tree-walk → generic VM → typed VM → fused
+// threaded-code step programs → native code).
+//
+// CompileStepPrograms lowers each activity's wf::StepInstr program — and
+// the typed expr::CompiledCondition programs its kVm steps embed — into
+// one straight-line native function per activity, emitted with the
+// in-tree assembler (asm_x64.h) into a W^X ExecArena whose lifetime
+// tracks the owning NavigationPlan. The generated code replicates
+// Engine::RunStepProgram's observable behaviour exactly: connector
+// evaluation order, the out_evals/fresh bookkeeping, stats counters, and
+// — through a single C++ record thunk — journal records and audit events
+// byte for byte. Typed condition bodies are a transcription of
+// CompiledCondition::RunTyped with the operand stack laid out as fixed
+// frame slots (the stack depth at every pc is statically known), long
+// comparisons widening through cvtsi2sd exactly like
+// expr::internal::CompareDouble, and ucomisd sequences chosen so NaN
+// orders identically to the kernels (docs/specs/native_codegen.md spells
+// out each lowering).
+//
+// Bailout is per activity and total-by-default: any step the emitter
+// cannot lower (kTree instructions, conditions without a typed boolean
+// program, operand-depth inconsistencies) leaves that activity on the
+// threaded-code interpreter and counts a bailout; platforms without
+// x86-64, without executable memory, with an unrecognized data::Value
+// layout, or built with EXOTICA_NATIVE_CODEGEN=OFF compile nothing at
+// all and CompileStepPrograms returns null. Every caller must treat null
+// entries as "run the interpreter".
+
+#ifndef EXOTICA_CODEGEN_STEP_JIT_H_
+#define EXOTICA_CODEGEN_STEP_JIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/container.h"
+#include "data/value.h"
+#include "expr/vm.h"
+
+namespace exotica::wf {
+class NavigationPlan;
+}  // namespace exotica::wf
+
+namespace exotica::codegen {
+
+class ExecArena;
+
+/// \brief One fresh connector evaluation recorded by a native sweep
+/// (the native image of the interpreter's fresh.emplace_back(cidx, value)).
+/// POD with a fixed 8-byte stride: the generated code stores through
+/// [fresh + i*8].
+struct FreshSignal {
+  uint32_t cidx = 0;   ///< control connector index
+  uint8_t value = 0;   ///< 0 / 1
+};
+static_assert(sizeof(FreshSignal) == 8, "native code assumes an 8-byte stride");
+static_assert(offsetof(FreshSignal, cidx) == 0);
+static_assert(offsetof(FreshSignal, value) == 4);
+
+/// \brief Calling context of a native step function. The generated code
+/// addresses these fields by fixed byte offset (static_asserted below),
+/// so the struct is a frozen ABI between the emitter and the engine
+/// wrapper — append only.
+struct NativeStepCtx {
+  /// Activity-output slot storage: the container's lazily allocated value
+  /// vector (may be null when nothing was written), its size, and the
+  /// layout's defaults. The first three fields deliberately mirror
+  /// NativeCondCtx so one condition-body emitter serves both entry kinds.
+  const data::Value* slot_values = nullptr;  // offset 0
+  uint64_t slot_values_size = 0;             // offset 8
+  const data::Value* slot_defaults = nullptr;  // offset 16
+
+  /// Base of the instance's out_evals plane (absolute StepInstr::out_idx
+  /// slots; -1 unevaluated, 0/1 evaluated).
+  int8_t* out_evals = nullptr;  // offset 24
+
+  /// Fresh-evaluation output buffer, capacity >= the activity's step
+  /// count; the function stores fresh_count entries.
+  FreshSignal* fresh = nullptr;  // offset 32
+  uint64_t fresh_count = 0;      // offset 40
+
+  uint64_t flags = 0;  // offset 48 (kFlag* below)
+
+  /// Stats counters bumped natively, exactly where the interpreter bumps
+  /// them: connectors_evaluated per recorded connector, vm/typed per
+  /// condition actually evaluated.
+  uint64_t* stat_connectors = nullptr;  // offset 56
+  uint64_t* stat_vm = nullptr;          // offset 64
+  uint64_t* stat_typed = nullptr;       // offset 72
+
+  /// Journal + audit emission for one recorded connector, in the
+  /// interpreter's exact order. The thunk reads the just-stored value back
+  /// from out_evals[steps[step_idx].out_idx]. Returns 0, or a native_err
+  /// code whose Status the thunk has stashed engine-side. Called only when
+  /// kFlagRecord is set.
+  uint64_t (*record_thunk)(NativeStepCtx* ctx,
+                           uint32_t step_idx) = nullptr;  // offset 80
+
+  void* engine = nullptr;  // offset 88: the wfrt::Engine, for the thunk
+  void* inst = nullptr;    // offset 96: the ProcessInstance, for the thunk
+  /// The activity's StepInstr array (the thunk maps step_idx → connector).
+  const void* steps = nullptr;  // offset 104
+};
+
+static_assert(offsetof(NativeStepCtx, slot_values) == 0);
+static_assert(offsetof(NativeStepCtx, slot_values_size) == 8);
+static_assert(offsetof(NativeStepCtx, slot_defaults) == 16);
+static_assert(offsetof(NativeStepCtx, out_evals) == 24);
+static_assert(offsetof(NativeStepCtx, fresh) == 32);
+static_assert(offsetof(NativeStepCtx, fresh_count) == 40);
+static_assert(offsetof(NativeStepCtx, flags) == 48);
+static_assert(offsetof(NativeStepCtx, stat_connectors) == 56);
+static_assert(offsetof(NativeStepCtx, stat_vm) == 64);
+static_assert(offsetof(NativeStepCtx, stat_typed) == 72);
+static_assert(offsetof(NativeStepCtx, record_thunk) == 80);
+static_assert(offsetof(NativeStepCtx, engine) == 88);
+static_assert(offsetof(NativeStepCtx, inst) == 96);
+static_assert(offsetof(NativeStepCtx, steps) == 104);
+
+/// NativeStepCtx::flags bits.
+inline constexpr uint64_t kFlagAllFalse = 1;  ///< dead-path sweep
+inline constexpr uint64_t kFlagRecord = 2;    ///< journal or audit attached
+/// EngineOptions::condition_error_is_false: condition errors evaluate the
+/// connector false instead of aborting the sweep.
+inline constexpr uint64_t kFlagErrFalse = 4;
+
+/// \brief Calling context of a standalone native condition function
+/// (NativeCondition below; mainly the differential test). Field layout of
+/// the first three members matches NativeStepCtx by design.
+struct NativeCondCtx {
+  const data::Value* slot_values = nullptr;    // offset 0
+  uint64_t slot_values_size = 0;               // offset 8
+  const data::Value* slot_defaults = nullptr;  // offset 16
+  /// Raw 8-byte result cell (expr::CompiledCondition::TCell image); the
+  /// statically known result type says which bytes mean what.
+  uint64_t result = 0;  // offset 24
+};
+static_assert(offsetof(NativeCondCtx, slot_values) == 0);
+static_assert(offsetof(NativeCondCtx, slot_values_size) == 8);
+static_assert(offsetof(NativeCondCtx, slot_defaults) == 16);
+static_assert(offsetof(NativeCondCtx, result) == 24);
+
+/// \brief Error codes returned in rax by native functions. 0 is success;
+/// otherwise the low byte is the kind, bits 8..31 the step index (step
+/// functions) and bits 32..63 an auxiliary operand (the identifier-name
+/// index for null reads).
+namespace native_err {
+inline constexpr uint64_t kNone = 0;
+inline constexpr uint64_t kNullRead = 1;   ///< aux = name index
+inline constexpr uint64_t kDivZero = 2;
+inline constexpr uint64_t kModZero = 3;
+inline constexpr uint64_t kRecordFailed = 4;  ///< thunk stashed the Status
+
+inline uint64_t Make(uint64_t kind, uint32_t step_idx, uint32_t aux) {
+  return kind | (static_cast<uint64_t>(step_idx & 0xFFFFFF) << 8) |
+         (static_cast<uint64_t>(aux) << 32);
+}
+inline uint32_t Kind(uint64_t code) { return static_cast<uint32_t>(code & 0xFF); }
+inline uint32_t StepIndex(uint64_t code) {
+  return static_cast<uint32_t>((code >> 8) & 0xFFFFFF);
+}
+inline uint32_t Aux(uint64_t code) {
+  return static_cast<uint32_t>(code >> 32);
+}
+}  // namespace native_err
+
+/// \brief The native functions of one NavigationPlan: one entry per
+/// activity (null where the emitter bailed out), backed by one sealed
+/// ExecArena. Immutable after CompileStepPrograms; shared by every engine
+/// navigating the plan.
+class NativeStepUnit {
+ public:
+  using StepFn = uint64_t (*)(NativeStepCtx*);
+
+  ~NativeStepUnit();
+  NativeStepUnit(const NativeStepUnit&) = delete;
+  NativeStepUnit& operator=(const NativeStepUnit&) = delete;
+
+  /// Native entry for activity `aid`, or null (interpreter fallback).
+  StepFn entry(uint32_t aid) const { return entries_[aid]; }
+
+  /// Minimum container slot count the activity's conditions were compiled
+  /// against (max over its kVm programs; 0 when unconditioned). Callers
+  /// must fall back to the interpreter for smaller containers, which then
+  /// raises CompiledCondition's exact layout error.
+  uint32_t min_slots(uint32_t aid) const { return min_slots_[aid]; }
+
+  uint32_t activity_count() const {
+    return static_cast<uint32_t>(entries_.size());
+  }
+  /// Activities successfully lowered / left to the interpreter.
+  uint32_t programs_compiled() const { return compiled_; }
+  uint32_t bailouts() const { return bailouts_; }
+  /// Finished machine-code bytes in the arena.
+  size_t code_bytes() const;
+
+ private:
+  friend std::shared_ptr<const NativeStepUnit> CompileStepPrograms(
+      const wf::NavigationPlan& plan);
+
+  NativeStepUnit();
+
+  std::unique_ptr<ExecArena> arena_;
+  std::vector<StepFn> entries_;
+  std::vector<uint32_t> min_slots_;
+  uint32_t compiled_ = 0;
+  uint32_t bailouts_ = 0;
+};
+
+/// True when this build can emit and run native code at all (x86-64, an
+/// executable-memory arena, a recognized data::Value layout, and
+/// EXOTICA_NATIVE_CODEGEN compiled in).
+bool NativeCodegenAvailable();
+
+/// Compiles every activity step program of `plan` that the emitter can
+/// lower. Returns null when native codegen is unavailable or executable
+/// memory was refused — callers fall back wholesale; per-activity
+/// bailouts are reported through the unit.
+std::shared_ptr<const NativeStepUnit> CompileStepPrograms(
+    const wf::NavigationPlan& plan);
+
+/// \brief A single typed condition program compiled to native code —
+/// the differential test's fourth arm, mirroring
+/// expr::CompiledCondition::Evaluate / EvaluateBool (same values, same
+/// Status messages) for every expression whose typed program the emitter
+/// supports.
+class NativeCondition {
+ public:
+  /// Null when `prog` has no typed program, uses an unsupported op, or
+  /// native codegen is unavailable.
+  static std::unique_ptr<NativeCondition> Compile(
+      const expr::CompiledCondition& prog);
+
+  ~NativeCondition();
+  NativeCondition(const NativeCondition&) = delete;
+  NativeCondition& operator=(const NativeCondition&) = delete;
+
+  Result<data::Value> Evaluate(const data::Container& container) const;
+  Result<bool> EvaluateBool(const data::Container& container) const;
+
+ private:
+  NativeCondition() = default;
+
+  Result<uint64_t> Run(const data::Container& container) const;
+
+  using CondFn = uint64_t (*)(NativeCondCtx*);
+
+  std::unique_ptr<ExecArena> arena_;
+  CondFn fn_ = nullptr;
+  data::ScalarType result_type_ = data::ScalarType::kNull;
+  std::vector<std::string> names_;  ///< null-read error identifiers
+  std::string source_;
+  std::string bound_type_;
+  uint32_t min_slots_ = 0;
+};
+
+}  // namespace exotica::codegen
+
+#endif  // EXOTICA_CODEGEN_STEP_JIT_H_

@@ -35,10 +35,14 @@ class LogMessage {
 }  // namespace internal
 }  // namespace exotica
 
-#define EXO_LOG(level)                                                   \
-  if (static_cast<int>(::exotica::LogLevel::k##level) <                  \
-      static_cast<int>(::exotica::Logger::level())) {                    \
-  } else                                                                 \
-    ::exotica::internal::LogMessage(::exotica::LogLevel::k##level).stream()
+// The parameter must not be named `level`: the expansion calls
+// Logger::level(), which the preprocessor would otherwise rewrite into
+// Logger::<severity>().
+#define EXO_LOG(severity)                                                 \
+  if (static_cast<int>(::exotica::LogLevel::k##severity) <                \
+      static_cast<int>(::exotica::Logger::level())) {                     \
+  } else                                                                  \
+    ::exotica::internal::LogMessage(::exotica::LogLevel::k##severity)     \
+        .stream()
 
 #endif  // EXOTICA_COMMON_LOGGING_H_

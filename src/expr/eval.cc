@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "expr/kernels.h"
 
 namespace exotica::expr {
 
@@ -18,8 +19,8 @@ Status TypeError(const char* what, const Value& a, const Value& b) {
 }
 
 Status NullOperand(const Node& node) {
-  return Status::FailedPrecondition(
-      "condition references unset data: " + node.ToString());
+  return Status::FailedPrecondition(internal::kUnsetDataPrefix +
+                                    node.ToString());
 }
 
 Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
@@ -35,27 +36,24 @@ Result<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
 namespace internal {
 
 Result<Value> CompareOp(BinaryOp op, const Value& a, const Value& b) {
-  // Equality on same-kind or numeric pairs.
-  if (op == BinaryOp::kEq || op == BinaryOp::kNeq) {
-    bool eq;
-    if (a.is_numeric() && b.is_numeric()) {
-      EXO_ASSIGN_OR_RETURN(double da, a.ToDouble());
-      EXO_ASSIGN_OR_RETURN(double db, b.ToDouble());
-      eq = da == db;
-    } else if (a.type() == b.type()) {
-      eq = a == b;
-    } else {
-      return TypeError("equality", a, b);
-    }
-    return Value(op == BinaryOp::kEq ? eq : !eq);
-  }
-  // Ordering on numerics or strings.
-  int cmp;
+  // Numeric pairs all route through the one shared double comparison
+  // (kernels.h), which every other evaluator replicates or transcribes.
   if (a.is_numeric() && b.is_numeric()) {
     EXO_ASSIGN_OR_RETURN(double da, a.ToDouble());
     EXO_ASSIGN_OR_RETURN(double db, b.ToDouble());
-    cmp = da < db ? -1 : (da > db ? 1 : 0);
-  } else if (a.is_string() && b.is_string()) {
+    return Value(CompareDouble(op, da, db));
+  }
+  // Equality on same-kind pairs.
+  if (op == BinaryOp::kEq || op == BinaryOp::kNeq) {
+    if (a.type() != b.type()) {
+      return TypeError("equality", a, b);
+    }
+    const bool eq = a == b;
+    return Value(op == BinaryOp::kEq ? eq : !eq);
+  }
+  // Ordering on strings.
+  int cmp;
+  if (a.is_string() && b.is_string()) {
     cmp = a.as_string().compare(b.as_string());
     cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
   } else {
@@ -81,7 +79,7 @@ Result<Value> ArithmeticOp(BinaryOp op, const Value& a, const Value& b) {
       return TypeError("'%'", a, b);
     }
     if (b.as_long() == 0) {
-      return Status::InvalidArgument("modulo by zero in condition");
+      return Status::InvalidArgument(kModuloByZero);
     }
     return Value(a.as_long() % b.as_long());
   }
@@ -93,7 +91,7 @@ Result<Value> ArithmeticOp(BinaryOp op, const Value& a, const Value& b) {
       case BinaryOp::kSub: return Value(x - y);
       case BinaryOp::kMul: return Value(x * y);
       case BinaryOp::kDiv:
-        if (y == 0) return Status::InvalidArgument("division by zero in condition");
+        if (y == 0) return Status::InvalidArgument(kDivisionByZero);
         return Value(x / y);
       default: break;
     }
@@ -106,7 +104,7 @@ Result<Value> ArithmeticOp(BinaryOp op, const Value& a, const Value& b) {
     case BinaryOp::kSub: return Value(x - y);
     case BinaryOp::kMul: return Value(x * y);
     case BinaryOp::kDiv:
-      if (y == 0.0) return Status::InvalidArgument("division by zero in condition");
+      if (y == 0.0) return Status::InvalidArgument(kDivisionByZero);
       return Value(x / y);
     default: break;
   }

@@ -4,6 +4,7 @@
 
 #include "expr/ast.h"
 #include "expr/eval.h"
+#include "expr/kernels.h"
 
 namespace exotica::expr {
 
@@ -75,8 +76,8 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
       case TOp::kLoadI64: {
         const Value& v = c.GetSlot(in.a);
         if (v.is_null()) {
-          return Status::FailedPrecondition(
-              "condition references unset data: " + names_[in.b]);
+          return Status::FailedPrecondition(internal::kUnsetDataPrefix +
+                                            names_[in.b]);
         }
         stack[sp++].i = v.as_long();
         break;
@@ -84,8 +85,8 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
       case TOp::kLoadF64: {
         const Value& v = c.GetSlot(in.a);
         if (v.is_null()) {
-          return Status::FailedPrecondition(
-              "condition references unset data: " + names_[in.b]);
+          return Status::FailedPrecondition(internal::kUnsetDataPrefix +
+                                            names_[in.b]);
         }
         stack[sp++].f = v.as_float();
         break;
@@ -93,8 +94,8 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
       case TOp::kLoadB: {
         const Value& v = c.GetSlot(in.a);
         if (v.is_null()) {
-          return Status::FailedPrecondition(
-              "condition references unset data: " + names_[in.b]);
+          return Status::FailedPrecondition(internal::kUnsetDataPrefix +
+                                            names_[in.b]);
         }
         stack[sp++].b = v.as_bool();
         break;
@@ -115,29 +116,30 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
         stack[sp - 1].f = -stack[sp - 1].f;
         break;
       // Long comparisons widen through double so they order exactly like
-      // internal::CompareOp (which compares every numeric pair as double).
-      // kLe/kGe are the kernel's cmp<=0 / cmp>=0, i.e. !(x>y) / !(x<y).
-#define EXO_TCMP(OPC, EXPR_I, EXPR_F)                              \
+      // internal::CompareOp; both widths run the one shared kernel
+      // (internal::CompareDouble, kernels.h), which constant-folds per
+      // case since the operator is a compile-time constant here.
+#define EXO_TCMP(OPC, BOP)                                         \
   case TOp::OPC##I64: {                                            \
-    const double x = static_cast<double>(stack[sp - 2].i);         \
-    const double y = static_cast<double>(stack[sp - 1].i);         \
+    const double x = internal::WidenLong(stack[sp - 2].i);         \
+    const double y = internal::WidenLong(stack[sp - 1].i);         \
     --sp;                                                          \
-    stack[sp - 1].b = (EXPR_I);                                    \
+    stack[sp - 1].b = internal::CompareDouble(BinaryOp::BOP, x, y); \
     break;                                                         \
   }                                                                \
   case TOp::OPC##F64: {                                            \
     const double x = stack[sp - 2].f;                              \
     const double y = stack[sp - 1].f;                              \
     --sp;                                                          \
-    stack[sp - 1].b = (EXPR_F);                                    \
+    stack[sp - 1].b = internal::CompareDouble(BinaryOp::BOP, x, y); \
     break;                                                         \
   }
-      EXO_TCMP(kCmpEq, x == y, x == y)
-      EXO_TCMP(kCmpNe, x != y, x != y)
-      EXO_TCMP(kCmpLt, x < y, x < y)
-      EXO_TCMP(kCmpLe, !(x > y), !(x > y))
-      EXO_TCMP(kCmpGt, x > y, x > y)
-      EXO_TCMP(kCmpGe, !(x < y), !(x < y))
+      EXO_TCMP(kCmpEq, kEq)
+      EXO_TCMP(kCmpNe, kNeq)
+      EXO_TCMP(kCmpLt, kLt)
+      EXO_TCMP(kCmpLe, kLe)
+      EXO_TCMP(kCmpGt, kGt)
+      EXO_TCMP(kCmpGe, kGe)
 #undef EXO_TCMP
       case TOp::kCmpEqB: {
         const bool r = stack[sp - 2].b == stack[sp - 1].b;
@@ -167,7 +169,7 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
         const int64_t y = stack[sp - 1].i;
         if (y == 0) {
           // The kernel's exact error (internal::ArithmeticOp).
-          return Status::InvalidArgument("division by zero in condition");
+          return Status::InvalidArgument(internal::kDivisionByZero);
         }
         --sp;
         stack[sp - 1].i = stack[sp - 1].i / y;
@@ -176,7 +178,7 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
       case TOp::kModI64: {
         const int64_t y = stack[sp - 1].i;
         if (y == 0) {
-          return Status::InvalidArgument("modulo by zero in condition");
+          return Status::InvalidArgument(internal::kModuloByZero);
         }
         --sp;
         stack[sp - 1].i = stack[sp - 1].i % y;
@@ -197,7 +199,7 @@ Result<CompiledCondition::TCell> CompiledCondition::RunTyped(
       case TOp::kDivF64: {
         const double y = stack[sp - 1].f;
         if (y == 0.0) {
-          return Status::InvalidArgument("division by zero in condition");
+          return Status::InvalidArgument(internal::kDivisionByZero);
         }
         --sp;
         stack[sp - 1].f = stack[sp - 1].f / y;
@@ -238,8 +240,8 @@ Result<Value> CompiledCondition::Run(const data::Container& c,
       case Op::kLoad: {
         const Value& v = c.GetSlot(in.a);
         if (v.is_null()) {
-          return Status::FailedPrecondition(
-              "condition references unset data: " + names_[in.b]);
+          return Status::FailedPrecondition(internal::kUnsetDataPrefix +
+                                            names_[in.b]);
         }
         stack[sp++] = v;
         break;
@@ -317,14 +319,18 @@ Result<Value> CompiledCondition::Run(const data::Container& c,
               b.is_long() ? static_cast<double>(b.as_long()) : b.as_float();
           bool done = true;
           switch (in.op) {
-            case Op::kEq:  a = Value(x == y); break;
-            case Op::kNeq: a = Value(x != y); break;
-            // The kernel orders via cmp = x<y ? -1 : (x>y ? 1 : 0);
-            // kLe/kGe are its cmp<=0 / cmp>=0, i.e. !(x>y) / !(x<y).
-            case Op::kLt:  a = Value(x < y); break;
-            case Op::kLe:  a = Value(!(x > y)); break;
-            case Op::kGt:  a = Value(x > y); break;
-            case Op::kGe:  a = Value(!(x < y)); break;
+            // Comparisons: the shared kernel (kernels.h), folded per case.
+#define EXO_GCMP(OPC, BOP) \
+  case Op::OPC:            \
+    a = Value(internal::CompareDouble(BinaryOp::BOP, x, y)); \
+    break;
+            EXO_GCMP(kEq, kEq)
+            EXO_GCMP(kNeq, kNeq)
+            EXO_GCMP(kLt, kLt)
+            EXO_GCMP(kLe, kLe)
+            EXO_GCMP(kGt, kGt)
+            EXO_GCMP(kGe, kGe)
+#undef EXO_GCMP
             case Op::kAdd: a = longs ? Value(lx + ly) : Value(x + y); break;
             case Op::kSub: a = longs ? Value(lx - ly) : Value(x - y); break;
             case Op::kMul: a = longs ? Value(lx * ly) : Value(x * y); break;

@@ -149,6 +149,14 @@ class CompiledCondition {
   /// True when the typing pass emitted a monomorphic program.
   bool typed() const { return !typed_code_.empty(); }
   const std::vector<TInstr>& typed_code() const { return typed_code_; }
+  /// Typed-program constant pool (TInstr::a of the kConst* ops). Exported
+  /// for the native step-program emitter, which folds these cells into
+  /// immediates at code-generation time.
+  const std::vector<TCell>& typed_consts() const { return tconsts_; }
+  /// Identifier text per load instruction's TInstr::b / Instr::b (error
+  /// messages only). Exported so the native emitter's bailout wrapper can
+  /// rebuild the exact null-read error string.
+  const std::vector<std::string>& names() const { return names_; }
   /// Statically inferred scalar type of the result (kNull when untyped).
   data::ScalarType typed_result() const { return typed_result_; }
   /// Canonical source text of the compiled expression ("TRUE" if empty).

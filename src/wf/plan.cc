@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "codegen/step_jit.h"
 #include "expr/compile.h"
 #include "wf/process.h"
 
@@ -229,6 +230,11 @@ NavigationPlan NavigationPlan::Compile(const ProcessDefinition& def,
             [&acts](uint32_t a, uint32_t b) {
               return acts[a].name < acts[b].name;
             });
+
+  // Last ladder rung: lower the step programs (and their typed condition
+  // programs) to native code. Always attempted — the engine option only
+  // gates dispatch — and null on platforms without the emitter.
+  plan.native_unit_ = codegen::CompileStepPrograms(plan);
 
   return plan;
 }

@@ -20,9 +20,14 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "expr/vm.h"
+
+namespace exotica::codegen {
+class NativeStepUnit;
+}  // namespace exotica::codegen
 
 namespace exotica::wf {
 
@@ -223,6 +228,15 @@ class NavigationPlan {
     return &step_code_[base];
   }
 
+  /// Native x86-64 functions compiled from the step programs, or null when
+  /// native codegen is unavailable on this build/platform (and on plans
+  /// whose arena could not be sealed). Shared so engines can pin the code
+  /// past the plan if they ever need to; dispatch is gated engine-side by
+  /// EngineOptions::use_native_step_programs.
+  const std::shared_ptr<const codegen::NativeStepUnit>& native_unit() const {
+    return native_unit_;
+  }
+
  private:
   std::vector<ActivityInfo> activities_;
   std::vector<ConnectorInfo> connectors_;
@@ -237,6 +251,7 @@ class NavigationPlan {
   uint32_t in_eval_total_ = 0;
   uint32_t out_eval_total_ = 0;
   HotLayout hot_;
+  std::shared_ptr<const codegen::NativeStepUnit> native_unit_;
 };
 
 }  // namespace exotica::wf

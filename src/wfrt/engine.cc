@@ -55,6 +55,10 @@ Engine::Engine(const wf::DefinitionStore* definitions, ProgramRegistry* programs
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Default()) {
   audit_.set_max_events(options_.max_audit_events);
+  // Native dispatch sits on top of the whole ladder: it inlines typed
+  // condition programs, so turning any lower rung off turns it off too.
+  native_enabled_ = options_.use_native_step_programs &&
+                    options_.use_condition_vm && options_.use_typed_conditions;
 }
 
 Status Engine::AttachJournal(wfjournal::Journal* journal) {
@@ -782,7 +786,15 @@ Result<bool> Engine::EvalVmCondition(const ProcessInstance* inst,
 
 Status Engine::EvaluateOutgoing(ProcessInstance* inst, uint32_t aid,
                                 bool all_false) {
-  if (options_.use_step_programs) return RunStepProgram(inst, aid, all_false);
+  if (options_.use_step_programs) {
+    if (native_enabled_) {
+      Status native_status = Status::OK();
+      if (TryNativeStepProgram(inst, aid, all_false, &native_status)) {
+        return native_status;
+      }
+    }
+    return RunStepProgram(inst, aid, all_false);
+  }
 
   const wf::NavigationPlan& plan = *inst->plan;
   const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);

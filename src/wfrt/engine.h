@@ -19,11 +19,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "codegen/step_jit.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -154,6 +156,16 @@ struct EngineOptions {
   /// byte-identical either way).
   bool use_step_programs = true;
 
+  /// Dispatch outgoing sweeps to the plan's native x86-64 step functions
+  /// where the emitter compiled one (the last rung of the compilation
+  /// ladder; see docs/specs/native_codegen.md). Requires
+  /// use_step_programs, use_condition_vm, and use_typed_conditions;
+  /// activities the emitter bailed out on — and whole platforms without
+  /// the emitter — fall back to the threaded-code step program. Journal
+  /// records, audit events, and error messages are byte-identical either
+  /// way.
+  bool use_native_step_programs = true;
+
   /// Hold per-activity hot state (state/enqueued/eval/attempt/failures)
   /// in one contiguous per-instance byte block laid out by the plan
   /// (wf::HotLayout) with containers/work-items in a cold sidecar, so the
@@ -206,6 +218,14 @@ struct EngineStats {
   uint64_t snapshots_written = 0;    ///< checkpoint records appended
   uint64_t records_truncated = 0;    ///< journal records dropped behind snapshots
   uint64_t recovery_records_replayed = 0; ///< records Recover() streamed
+  /// Outgoing sweeps dispatched to a native step function (these do NOT
+  /// also count in step_program_dispatches).
+  uint64_t native_step_dispatches = 0;
+  /// Activities whose step program could not be lowered to native code
+  /// (counted once per plan, first time the engine navigates it).
+  uint64_t native_compile_bailouts = 0;
+  /// Activities with a native step function (same per-plan accounting).
+  uint64_t native_programs_compiled = 0;
 };
 
 /// \brief The navigator.
@@ -546,6 +566,29 @@ class Engine {
   /// events, stats, and error messages.
   Status RunStepProgram(ProcessInstance* inst, uint32_t aid, bool all_false);
 
+  /// Dispatches the sweep to the plan's native step function when one was
+  /// compiled for this activity (native_step.cc). Returns true when the
+  /// native path ran to a decision (*out_status holds the sweep's result),
+  /// false when the caller must fall back to RunStepProgram.
+  bool TryNativeStepProgram(ProcessInstance* inst, uint32_t aid,
+                            bool all_false, Status* out_status);
+
+  /// Cold half of the native dispatch: first-encounter compile accounting
+  /// for a plan this engine has not navigated before.
+  void NoteNativePlan(const wf::NavigationPlan& plan,
+                      const codegen::NativeStepUnit* unit);
+
+  /// The C++ half of a native sweep's record block: journal + audit for
+  /// one freshly evaluated connector, in RunStepProgram's exact order.
+  /// Returns 0 or a native_err code (the Status is stashed in
+  /// native_record_status_).
+  static uint64_t NativeRecordThunk(codegen::NativeStepCtx* ctx,
+                                    uint32_t step_idx);
+
+  /// Rebuilds the interpreter's exact Status from a native error code.
+  Status DecodeNativeError(const ProcessInstance* inst, uint32_t aid,
+                           uint64_t code);
+
   /// Evaluates compiled condition program `index` of `inst`'s plan
   /// against `input`, honoring use_typed_conditions and counting
   /// vm/typed stats.
@@ -621,6 +664,22 @@ class Engine {
   /// DeliverSignal → ApplyJoin → MarkDead → sweep chain never aliases an
   /// in-use buffer; a nested sweep just starts from an empty pool).
   std::vector<std::pair<uint32_t, bool>> fresh_scratch_;
+
+  /// Native-dispatch gate, resolved once in the constructor:
+  /// use_native_step_programs requires the whole ladder below it.
+  bool native_enabled_ = false;
+  /// Plans whose native compile outcome was already folded into stats_
+  /// (first-navigation accounting of programs_compiled / bailouts).
+  /// native_last_plan_ short-circuits the set lookup on the dispatch hot
+  /// path: sweeps overwhelmingly repeat the plan they just navigated.
+  std::set<const wf::NavigationPlan*> native_counted_;
+  const wf::NavigationPlan* native_last_plan_ = nullptr;
+  /// Pooled fresh-signal buffer for native sweeps (same swap-out
+  /// reentrancy discipline as fresh_scratch_).
+  std::vector<codegen::FreshSignal> native_fresh_scratch_;
+  /// Journal/audit failure stashed by NativeRecordThunk for the sweep
+  /// wrapper to re-raise (native code can only return an integer).
+  Status native_record_status_;
 
   AuditTrail audit_;
   AuditObserver observer_;

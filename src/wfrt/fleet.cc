@@ -266,6 +266,9 @@ Result<EngineFleet::BatchResult> EngineFleet::RunBatch(
     result.aggregate.snapshots_written += s.snapshots_written;
     result.aggregate.records_truncated += s.records_truncated;
     result.aggregate.recovery_records_replayed += s.recovery_records_replayed;
+    result.aggregate.native_step_dispatches += s.native_step_dispatches;
+    result.aggregate.native_compile_bailouts += s.native_compile_bailouts;
+    result.aggregate.native_programs_compiled += s.native_programs_compiled;
     result.instances_finished += s.instances_finished;
     for (const Engine::FailedInstance& f : engine.FailedInstances()) {
       result.failed_instances.push_back(

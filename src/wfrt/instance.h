@@ -248,6 +248,15 @@ struct ProcessInstance {
                   : out_evals[idx];
   }
 
+  /// Base of the whole out-eval plane, for native step code that indexes
+  /// absolute StepInstr::out_idx slots directly. data()-based so it is
+  /// well-defined even on an empty legacy vector (activities without
+  /// connectors).
+  int8_t* out_eval_plane() {
+    return packed ? reinterpret_cast<int8_t*>(hot.data() + hl.out_eval_base)
+                  : out_evals.data();
+  }
+
   /// Per-activity-slot accessors for activity `aid`'s connector
   /// evaluations.
   int8_t& in_eval(uint32_t aid, uint32_t slot) {

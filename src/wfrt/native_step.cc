@@ -1,0 +1,183 @@
+// Engine::TryNativeStepProgram: the engine half of the native outgoing
+// sweep — the last rung of the compilation ladder.
+//
+// The native functions (codegen/step_jit.cc) execute the whole sweep —
+// prior-eval skips, typed condition bodies, out_evals/fresh bookkeeping,
+// stats — in straight-line machine code, and call back into
+// NativeRecordThunk for the two things that genuinely need C++: journal
+// appends and audit events. Everything observable is byte-identical to
+// RunStepProgram (which the golden test asserts record for record); the
+// wrapper here exists to populate the NativeStepCtx, decide the
+// fall-back cases the emitter left to the interpreter, and rebuild the
+// interpreter's exact Status from a native error code.
+
+#include <utility>
+
+#include "codegen/step_jit.h"
+#include "common/logging.h"
+#include "expr/kernels.h"
+#include "wfrt/engine.h"
+
+namespace exotica::wfrt {
+
+uint64_t Engine::NativeRecordThunk(codegen::NativeStepCtx* ctx,
+                                   uint32_t step_idx) {
+  Engine* engine = static_cast<Engine*>(ctx->engine);
+  ProcessInstance* inst = static_cast<ProcessInstance*>(ctx->inst);
+  const wf::StepInstr* steps = static_cast<const wf::StepInstr*>(ctx->steps);
+  const wf::StepInstr& in = steps[step_idx];
+  const bool value = ctx->out_evals[in.out_idx] != 0;
+  const wf::ControlConnector& c =
+      inst->definition->control_connectors()[in.cidx];
+  if (engine->journal_ != nullptr) {
+    Status st = engine->JournalAppend(wfjournal::EventType::kConnectorEval,
+                                      inst->id, c.from, c.to, value);
+    if (!st.ok()) {
+      engine->native_record_status_ = std::move(st);
+      return codegen::native_err::Make(codegen::native_err::kRecordFailed,
+                                       step_idx, 0);
+    }
+  }
+  engine->Audit(value ? AuditKind::kConnectorTrue : AuditKind::kConnectorFalse,
+                inst->id, c.from, c.to);
+  return 0;
+}
+
+Status Engine::DecodeNativeError(const ProcessInstance* inst, uint32_t aid,
+                                 uint64_t code) {
+  namespace ne = codegen::native_err;
+  if (ne::Kind(code) == ne::kRecordFailed) {
+    return std::move(native_record_status_);
+  }
+  const wf::NavigationPlan& plan = *inst->plan;
+  const wf::StepInstr& in =
+      plan.step_program(plan.activity(aid).step_base)[ne::StepIndex(code)];
+  Status st = Status::OK();
+  switch (ne::Kind(code)) {
+    case ne::kNullRead:
+      st = Status::FailedPrecondition(
+          expr::internal::kUnsetDataPrefix +
+          plan.vm_program(in.prog).names()[ne::Aux(code)]);
+      break;
+    case ne::kDivZero:
+      st = Status::InvalidArgument(expr::internal::kDivisionByZero);
+      break;
+    case ne::kModZero:
+      st = Status::InvalidArgument(expr::internal::kModuloByZero);
+      break;
+    default:
+      st = Status::Internal("unknown native step error code");
+      break;
+  }
+  const wf::ControlConnector& c =
+      inst->definition->control_connectors()[in.cidx];
+  return st.WithContext("transition condition " + c.from + " -> " + c.to +
+                        " in " + inst->id);
+}
+
+void Engine::NoteNativePlan(const wf::NavigationPlan& plan,
+                            const codegen::NativeStepUnit* unit) {
+  native_last_plan_ = &plan;
+  // Per-plan compile accounting, folded in the first time this engine
+  // navigates the plan (plans are fleet-shared; the unit is immutable).
+  if (!native_counted_.insert(&plan).second) return;
+  if (unit != nullptr) {
+    stats_.native_programs_compiled += unit->programs_compiled();
+    stats_.native_compile_bailouts += unit->bailouts();
+    if (unit->programs_compiled() == 0 && unit->activity_count() > 0) {
+      EXO_LOG(Warn) << "native step codegen: every activity of plan bailed "
+                       "out; sweeps stay on the threaded-code interpreter";
+    }
+  } else {
+    stats_.native_compile_bailouts += plan.activity_count();
+    EXO_LOG(Warn) << "native step codegen unavailable for this plan; "
+                     "sweeps stay on the threaded-code interpreter";
+  }
+}
+
+bool Engine::TryNativeStepProgram(ProcessInstance* inst, uint32_t aid,
+                                  bool all_false, Status* out_status) {
+  const wf::NavigationPlan& plan = *inst->plan;
+  const codegen::NativeStepUnit* unit = plan.native_unit().get();
+
+  // Sweeps overwhelmingly repeat the plan they just navigated; the
+  // pointer check keeps the set insert off the dispatch hot path.
+  if (&plan != native_last_plan_) NoteNativePlan(plan, unit);
+
+  if (unit == nullptr) return false;
+  codegen::NativeStepUnit::StepFn fn = unit->entry(aid);
+  if (fn == nullptr) return false;
+
+  const wf::NavigationPlan::ActivityInfo& info = plan.activity(aid);
+  if (!all_false && (info.has_cond_out || info.needs_resolver)) {
+    Status st = MaterializeActivityOutput(inst, aid);
+    if (!st.ok()) {
+      *out_status = std::move(st);
+      return true;
+    }
+  }
+  const data::Container& out = inst->activity_output(aid);
+
+  // The compiled condition bodies index container slots by immediate; a
+  // container narrower than the compiled layout must take the interpreter
+  // path, which raises CompiledCondition's exact layout error.
+  if (!all_false && info.has_cond_out &&
+      out.slot_count() < unit->min_slots(aid)) {
+    return false;
+  }
+
+  ++stats_.native_step_dispatches;
+
+  // Same swap-out reentrancy discipline as RunStepProgram's fresh pool:
+  // a nested sweep (DeliverSignal → ApplyJoin → MarkDead) starts from an
+  // empty pool instead of aliasing this buffer. The pooled buffer keeps
+  // its size across sweeps — the native code writes entries [0, count)
+  // before bumping fresh_count, so stale tail entries are never read and
+  // the grow-only resize runs once per engine, not once per dispatch.
+  std::vector<codegen::FreshSignal> fresh;
+  fresh.swap(native_fresh_scratch_);
+  if (fresh.size() < info.out_control.size()) {
+    fresh.resize(info.out_control.size());
+  }
+
+  codegen::NativeStepCtx ctx;
+  ctx.slot_values = out.slot_values_data();
+  ctx.slot_values_size = out.slot_values_size();
+  ctx.slot_defaults = out.slot_defaults_data();
+  ctx.out_evals = inst->out_eval_plane();
+  ctx.fresh = fresh.data();
+  ctx.fresh_count = 0;
+  ctx.flags = (all_false ? codegen::kFlagAllFalse : 0) |
+              ((journal_ != nullptr || options_.audit_enabled)
+                   ? codegen::kFlagRecord
+                   : 0) |
+              (options_.condition_error_is_false ? codegen::kFlagErrFalse : 0);
+  ctx.stat_connectors = &stats_.connectors_evaluated;
+  ctx.stat_vm = &stats_.vm_condition_evals;
+  ctx.stat_typed = &stats_.typed_condition_evals;
+  ctx.record_thunk = &Engine::NativeRecordThunk;
+  ctx.engine = this;
+  ctx.inst = inst;
+  ctx.steps = plan.step_program(info.step_base);
+
+  const uint64_t rc = fn(&ctx);
+  if (rc != codegen::native_err::kNone) {
+    *out_status = DecodeNativeError(inst, aid, rc);
+    return true;
+  }
+
+  // Deliver only after the whole sweep is journaled, exactly like the
+  // interpreter's do_end block.
+  for (uint64_t i = 0; i < ctx.fresh_count; ++i) {
+    Status st = DeliverSignal(inst, fresh[i].cidx, fresh[i].value != 0);
+    if (!st.ok()) {
+      *out_status = std::move(st);
+      return true;
+    }
+  }
+  native_fresh_scratch_.swap(fresh);
+  *out_status = Status::OK();
+  return true;
+}
+
+}  // namespace exotica::wfrt

@@ -1,0 +1,278 @@
+// Byte-exact encoding tests for the in-tree x86-64 assembler, checked
+// against hand-assembled reference bytes (Intel SDM encodings), plus
+// execution round trips through the W^X ExecArena for the trickier
+// codepaths (SIB forms, rel32 fixups, cqo/idiv, SSE2).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/asm_x64.h"
+#include "codegen/exec_arena.h"
+
+namespace exotica::codegen {
+namespace {
+
+std::vector<uint8_t> Emit(void (*build)(Assembler*)) {
+  Assembler as;
+  build(&as);
+  EXPECT_TRUE(as.Finalize());
+  EXPECT_TRUE(as.ok());
+  return as.code();
+}
+
+TEST(AsmX64Test, MovImmediatePicksTheShortestForm) {
+  // 32-bit zero-extending form, no REX needed for rax.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_ri(Reg::rax, 42); }),
+            (std::vector<uint8_t>{0xB8, 0x2A, 0x00, 0x00, 0x00}));
+  // High register: REX.B.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_ri(Reg::r13, 7); }),
+            (std::vector<uint8_t>{0x41, 0xBD, 0x07, 0x00, 0x00, 0x00}));
+  // Negative values sign-extend through the C7 form.
+  EXPECT_EQ(Emit([](Assembler* as) {
+              as->mov_ri(Reg::rax, static_cast<uint64_t>(-1));
+            }),
+            (std::vector<uint8_t>{0x48, 0xC7, 0xC0, 0xFF, 0xFF, 0xFF, 0xFF}));
+  // Full 64-bit immediate.
+  EXPECT_EQ(Emit([](Assembler* as) {
+              as->mov_ri(Reg::rcx, 0x123456789ABCDEF0ull);
+            }),
+            (std::vector<uint8_t>{0x48, 0xB9, 0xF0, 0xDE, 0xBC, 0x9A, 0x78,
+                                  0x56, 0x34, 0x12}));
+}
+
+TEST(AsmX64Test, MemoryOperandsEncodeSibAndDispCorrectly) {
+  // Plain [rbx].
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_rm(Reg::rax, Reg::rbx, 0); }),
+            (std::vector<uint8_t>{0x48, 0x8B, 0x03}));
+  // rsp base always takes a SIB byte.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_rm(Reg::rcx, Reg::rsp, 8); }),
+            (std::vector<uint8_t>{0x48, 0x8B, 0x4C, 0x24, 0x08}));
+  // rbp/r13 base cannot use mod 00 — disp8 zero instead.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_rm(Reg::rax, Reg::rbp, 0); }),
+            (std::vector<uint8_t>{0x48, 0x8B, 0x45, 0x00}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_rm(Reg::rax, Reg::r13, 0); }),
+            (std::vector<uint8_t>{0x49, 0x8B, 0x45, 0x00}));
+  // Store with a high source register.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_mr(Reg::rbx, 40, Reg::r13); }),
+            (std::vector<uint8_t>{0x4C, 0x89, 0x6B, 0x28}));
+  // Wide displacement → mod 10 + disp32.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_rm(Reg::rax, Reg::rbx, 0x200); }),
+            (std::vector<uint8_t>{0x48, 0x8B, 0x83, 0x00, 0x02, 0x00, 0x00}));
+}
+
+TEST(AsmX64Test, ByteOperationsForceRexForSplBplSilDil) {
+  // al needs no REX.
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_mr8(Reg::rsp, 0, Reg::rax); }),
+            (std::vector<uint8_t>{0x88, 0x04, 0x24}));
+  // sil requires the bare REX 0x40 (otherwise the encoding means dh).
+  EXPECT_EQ(Emit([](Assembler* as) { as->mov_mr8(Reg::rsp, 0, Reg::rsi); }),
+            (std::vector<uint8_t>{0x40, 0x88, 0x34, 0x24}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->movzx_rm8(Reg::rax, Reg::r14, 16); }),
+            (std::vector<uint8_t>{0x41, 0x0F, 0xB6, 0x46, 0x10}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->setcc(Cond::e, Reg::rax); }),
+            (std::vector<uint8_t>{0x0F, 0x94, 0xC0}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->setcc(Cond::np, Reg::rcx); }),
+            (std::vector<uint8_t>{0x0F, 0x9B, 0xC1}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->or_r8r8(Reg::r12, Reg::rax); }),
+            (std::vector<uint8_t>{0x41, 0x08, 0xC4}));
+}
+
+TEST(AsmX64Test, ScaledIndexFormsUseSibScale8) {
+  // mov dword [rdx + r13*8], imm32.
+  EXPECT_EQ(Emit([](Assembler* as) {
+              as->mov_mi32_idx8(Reg::rdx, Reg::r13, 0, 7);
+            }),
+            (std::vector<uint8_t>{0x42, 0xC7, 0x04, 0xEA, 0x07, 0x00, 0x00,
+                                  0x00}));
+  // mov byte [rdx + r13*8 + 4], al.
+  EXPECT_EQ(Emit([](Assembler* as) {
+              as->mov_mr8_idx8(Reg::rdx, Reg::r13, 4, Reg::rax);
+            }),
+            (std::vector<uint8_t>{0x42, 0x88, 0x44, 0xEA, 0x04}));
+}
+
+TEST(AsmX64Test, StackAndCallEncodings) {
+  EXPECT_EQ(Emit([](Assembler* as) { as->push_r(Reg::rbp); }),
+            (std::vector<uint8_t>{0x55}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->push_r(Reg::r12); }),
+            (std::vector<uint8_t>{0x41, 0x54}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->pop_r(Reg::r14); }),
+            (std::vector<uint8_t>{0x41, 0x5E}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->sub_ri(Reg::rsp, 16); }),
+            (std::vector<uint8_t>{0x48, 0x83, 0xEC, 0x10}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->sub_ri(Reg::rsp, 128); }),
+            (std::vector<uint8_t>{0x48, 0x81, 0xEC, 0x80, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->call_m(Reg::rbx, 80); }),
+            (std::vector<uint8_t>{0xFF, 0x53, 0x50}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->xor_rr32(Reg::r12, Reg::r12); }),
+            (std::vector<uint8_t>{0x45, 0x31, 0xE4}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->inc_r(Reg::r13); }),
+            (std::vector<uint8_t>{0x49, 0xFF, 0xC5}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->cqo(); }),
+            (std::vector<uint8_t>{0x48, 0x99}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->idiv_r(Reg::rcx); }),
+            (std::vector<uint8_t>{0x48, 0xF7, 0xF9}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->test_mi8(Reg::rbx, 48, 1); }),
+            (std::vector<uint8_t>{0xF6, 0x43, 0x30, 0x01}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->cmp_mi8(Reg::rax, 3, 7); }),
+            (std::vector<uint8_t>{0x80, 0x78, 0x03, 0x07}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->cmp_mi32(Reg::rdi, 8, 5); }),
+            (std::vector<uint8_t>{0x48, 0x81, 0x7F, 0x08, 0x05, 0x00, 0x00,
+                                  0x00}));
+}
+
+TEST(AsmX64Test, SseEncodingsPutMandatoryPrefixBeforeRex) {
+  EXPECT_EQ(Emit([](Assembler* as) { as->ucomisd_xx(Xmm::xmm0, Xmm::xmm1); }),
+            (std::vector<uint8_t>{0x66, 0x0F, 0x2E, 0xC1}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->movsd_xm(Xmm::xmm0, Reg::rsp, 0); }),
+            (std::vector<uint8_t>{0xF2, 0x0F, 0x10, 0x04, 0x24}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->movsd_mx(Reg::rsp, 0, Xmm::xmm0); }),
+            (std::vector<uint8_t>{0xF2, 0x0F, 0x11, 0x04, 0x24}));
+  EXPECT_EQ(
+      Emit([](Assembler* as) { as->cvtsi2sd_xm(Xmm::xmm0, Reg::rsp, 8); }),
+      (std::vector<uint8_t>{0xF2, 0x48, 0x0F, 0x2A, 0x44, 0x24, 0x08}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->addsd_xm(Xmm::xmm0, Reg::rsp, 8); }),
+            (std::vector<uint8_t>{0xF2, 0x0F, 0x58, 0x44, 0x24, 0x08}));
+  EXPECT_EQ(Emit([](Assembler* as) { as->xorpd_xx(Xmm::xmm2, Xmm::xmm2); }),
+            (std::vector<uint8_t>{0x66, 0x0F, 0x57, 0xD2}));
+}
+
+TEST(AsmX64Test, ForwardJumpFixupPatchesRel32) {
+  Assembler as;
+  Assembler::Label l = as.NewLabel();
+  as.jmp(l);
+  as.ret();
+  as.Bind(l);
+  as.mov_ri(Reg::rax, 1);
+  ASSERT_TRUE(as.Finalize());
+  // jmp rel32 skips exactly the one-byte ret.
+  EXPECT_EQ(as.code()[0], 0xE9);
+  EXPECT_EQ(as.code()[1], 0x01);
+  EXPECT_EQ(as.code()[5], 0xC3);
+}
+
+TEST(AsmX64Test, UnboundLabelPoisonsFinalize) {
+  Assembler as;
+  Assembler::Label l = as.NewLabel();
+  as.jmp(l);
+  EXPECT_FALSE(as.Finalize());
+  EXPECT_FALSE(as.ok());
+}
+
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+
+using Fn2 = int64_t (*)(int64_t, int64_t);
+
+Fn2 Seal(const Assembler& as, std::unique_ptr<ExecArena>* arena) {
+  *arena = ExecArena::Build(as.size());
+  if (!*arena) return nullptr;
+  const void* p = (*arena)->Add(as.code());
+  if (p == nullptr || !(*arena)->Finalize()) return nullptr;
+  return reinterpret_cast<Fn2>(reinterpret_cast<uintptr_t>(p));
+}
+
+TEST(AsmX64ExecTest, StackFrameLoadAddStoreRoundTrip) {
+  Assembler as;
+  as.sub_ri(Reg::rsp, 16);
+  as.mov_mr(Reg::rsp, 0, Reg::rdi);
+  as.mov_mr(Reg::rsp, 8, Reg::rsi);
+  as.mov_rm(Reg::rax, Reg::rsp, 0);
+  as.add_rm(Reg::rax, Reg::rsp, 8);
+  as.add_ri(Reg::rsp, 16);
+  as.ret();
+  ASSERT_TRUE(as.Finalize());
+  std::unique_ptr<ExecArena> arena;
+  Fn2 fn = Seal(as, &arena);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(2, 40), 42);
+  EXPECT_EQ(fn(-10, 3), -7);
+}
+
+TEST(AsmX64ExecTest, ConditionalBranchAndNegate) {
+  // abs(x) through test / jcc(ns) / neg_m64.
+  Assembler as;
+  Assembler::Label skip = as.NewLabel();
+  as.sub_ri(Reg::rsp, 8);
+  as.mov_mr(Reg::rsp, 0, Reg::rdi);
+  as.test_rr(Reg::rdi, Reg::rdi);
+  as.jcc(Cond::ns, skip);
+  as.neg_m64(Reg::rsp, 0);
+  as.Bind(skip);
+  as.mov_rm(Reg::rax, Reg::rsp, 0);
+  as.add_ri(Reg::rsp, 8);
+  as.ret();
+  ASSERT_TRUE(as.Finalize());
+  std::unique_ptr<ExecArena> arena;
+  Fn2 fn = Seal(as, &arena);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(-5, 0), 5);
+  EXPECT_EQ(fn(7, 0), 7);
+  EXPECT_EQ(fn(0, 0), 0);
+}
+
+TEST(AsmX64ExecTest, SignedDivisionTruncatesTowardZero) {
+  Assembler as;
+  as.mov_rr(Reg::rax, Reg::rdi);
+  as.mov_rr(Reg::rcx, Reg::rsi);
+  as.cqo();
+  as.idiv_r(Reg::rcx);
+  as.ret();
+  ASSERT_TRUE(as.Finalize());
+  std::unique_ptr<ExecArena> arena;
+  Fn2 fn = Seal(as, &arena);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(42, 5), 8);
+  EXPECT_EQ(fn(-7, 2), -3);
+  EXPECT_EQ(fn(7, -2), -3);
+}
+
+TEST(AsmX64ExecTest, ScalarDoubleArithmetic) {
+  // fn(a, b) = a + b over doubles (SysV passes them in xmm0/xmm1).
+  Assembler as;
+  as.sub_ri(Reg::rsp, 8);
+  as.movsd_mx(Reg::rsp, 0, Xmm::xmm1);
+  as.addsd_xm(Xmm::xmm0, Reg::rsp, 0);
+  as.add_ri(Reg::rsp, 8);
+  as.ret();
+  ASSERT_TRUE(as.Finalize());
+  std::unique_ptr<ExecArena> arena = ExecArena::Build(as.size());
+  ASSERT_NE(arena, nullptr);
+  const void* p = arena->Add(as.code());
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(arena->Finalize());
+  auto fn = reinterpret_cast<double (*)(double, double)>(
+      reinterpret_cast<uintptr_t>(p));
+  EXPECT_EQ(fn(1.5, 2.25), 3.75);
+  EXPECT_EQ(fn(-1.0, 1.0), 0.0);
+}
+
+TEST(AsmX64ExecTest, ArenaRefusesWritesAfterSeal) {
+  auto arena = ExecArena::Build(64);
+  ASSERT_NE(arena, nullptr);
+  const std::vector<uint8_t> code = {0xC3};  // ret
+  ASSERT_NE(arena->Add(code), nullptr);
+  ASSERT_TRUE(arena->Finalize());
+  EXPECT_TRUE(arena->finalized());
+  EXPECT_EQ(arena->Add(code), nullptr);
+}
+
+TEST(AsmX64ExecTest, ArenaAlignsEntriesTo16Bytes) {
+  auto arena = ExecArena::Build(256);
+  ASSERT_NE(arena, nullptr);
+  const std::vector<uint8_t> code = {0xC3};
+  const void* a = arena->Add(code);
+  const void* b = arena->Add(code);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) - reinterpret_cast<uintptr_t>(a),
+            16u);
+}
+
+#endif  // x86-64 unix
+
+}  // namespace
+}  // namespace exotica::codegen

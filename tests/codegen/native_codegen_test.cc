@@ -1,0 +1,236 @@
+// Unit tests for the native step/condition emitter (step_jit.h): exact
+// value and Status parity between NativeCondition and the typed VM on
+// handwritten conditions (the differential test covers the randomized
+// corpus), and plan-level NativeStepUnit compilation — one entry per
+// activity, per-activity bailout for conditions the emitter cannot
+// lower, min_slots propagation, and the sealed-arena bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "codegen/step_jit.h"
+#include "data/container.h"
+#include "expr/compile.h"
+#include "expr/parser.h"
+#include "wf/builder.h"
+#include "../testutil.h"
+
+namespace exotica::codegen {
+namespace {
+
+using data::ScalarType;
+using data::Value;
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+
+class NativeCodegenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!NativeCodegenAvailable()) {
+      GTEST_SKIP() << "native codegen unavailable on this build/platform";
+    }
+    data::StructType t("Probe");
+    ASSERT_TRUE(t.AddScalar("l", ScalarType::kLong).ok());
+    ASSERT_TRUE(t.AddScalar("lz", ScalarType::kLong).ok());
+    ASSERT_TRUE(t.AddScalar("ln", ScalarType::kLong).ok());
+    ASSERT_TRUE(t.AddScalar("f", ScalarType::kFloat).ok());
+    ASSERT_TRUE(t.AddScalar("g", ScalarType::kFloat).ok());
+    ASSERT_TRUE(t.AddScalar("b", ScalarType::kBool).ok());
+    ASSERT_TRUE(reg_.Register(std::move(t)).ok());
+  }
+
+  data::Container MakeProbe() {
+    auto c = data::Container::Create(reg_, "Probe");
+    EXPECT_TRUE(c.ok());
+    data::Container container = std::move(*c);
+    EXPECT_TRUE(container.Set("l", Value(int64_t{7})).ok());
+    EXPECT_TRUE(container.Set("lz", Value(int64_t{0})).ok());
+    // "ln" stays unwritten: null read.
+    EXPECT_TRUE(container.Set("f", Value(2.5)).ok());
+    EXPECT_TRUE(container.Set("g", Value(-0.5)).ok());
+    EXPECT_TRUE(container.Set("b", Value(true)).ok());
+    return container;
+  }
+
+  /// Compiles `source` against the Probe container; the condition must be
+  /// typed (the emitter only accepts typed programs) and the native
+  /// compile must succeed.
+  struct Compiled {
+    expr::CompiledCondition prog;
+    std::unique_ptr<NativeCondition> native;
+  };
+  Compiled MustCompile(const std::string& source,
+                       const data::Container& container) {
+    auto node = expr::Parse(source);
+    EXPECT_TRUE(node.ok()) << source;
+    auto prog = expr::ConditionCompiler::Compile(node->get(), container);
+    EXPECT_TRUE(prog.ok()) << source << ": " << prog.status().ToString();
+    EXPECT_TRUE(prog->typed()) << source << " did not monomorphize";
+    auto native = NativeCondition::Compile(*prog);
+    EXPECT_NE(native, nullptr) << source;
+    return Compiled{std::move(*prog), std::move(native)};
+  }
+
+  data::TypeRegistry reg_;
+};
+
+TEST_F(NativeCodegenTest, AvailabilityProbeIsStable) {
+  // The probe result is cached; repeated calls must agree (and we only
+  // reach here when the fixture saw it available).
+  EXPECT_TRUE(NativeCodegenAvailable());
+  EXPECT_TRUE(NativeCodegenAvailable());
+}
+
+TEST_F(NativeCodegenTest, HandwrittenConditionsMatchTypedVmExactly) {
+  data::Container container = MakeProbe();
+  // Success paths across every lowered kernel: long arithmetic, float
+  // arithmetic with int widening, all six comparisons in both domains,
+  // NaN-safe forms, negation, not, and short-circuit and/or.
+  const char* kSources[] = {
+      "l + 2 * l - 3",
+      "l / 2",
+      "l % 3",
+      "-l + 10",
+      "f + g",
+      "f * g - 1.5",
+      "f / g",
+      "-f",
+      "l = 7", "l != 7", "l < 8", "l <= 7", "l > 6", "l >= 7",
+      "f = 2.5", "f != 2.5", "f < g", "f <= g", "f > g", "f >= g",
+      "l < f", "f >= l",
+      "b", "not b",
+      "b and l = 7", "b or l = 0", "not b or f > 0",
+      "l = 7 and f > 0 and not (g > 0)",
+      // Error paths: null read (ln unwritten, no default), division and
+      // modulo by zero in both operand orders reached through loads.
+      "ln + 1", "1 + ln", "not (ln = 0)",
+      "l / lz", "l % lz", "f / (lz + 0)",
+      "b and ln = 1",   // error on the taken branch
+      "b or ln = 1",    // short-circuits: no error
+  };
+  for (const char* source : kSources) {
+    SCOPED_TRACE(source);
+    Compiled c = MustCompile(source, container);
+    Result<Value> vm = c.prog.Evaluate(container);
+    Result<Value> nat = c.native->Evaluate(container);
+    ASSERT_EQ(vm.ok(), nat.ok())
+        << "vm: " << (vm.ok() ? vm->ToString() : vm.status().ToString())
+        << "\nnative: "
+        << (nat.ok() ? nat->ToString() : nat.status().ToString());
+    if (vm.ok()) {
+      EXPECT_EQ(*vm, *nat);
+    } else {
+      EXPECT_EQ(vm.status().ToString(), nat.status().ToString());
+    }
+  }
+}
+
+TEST_F(NativeCodegenTest, EvaluateBoolMatchesIncludingNonBooleanError) {
+  data::Container container = MakeProbe();
+  for (const char* source : {"l > 3", "not b", "l + 1", "f", "ln = 0"}) {
+    SCOPED_TRACE(source);
+    Compiled c = MustCompile(source, container);
+    Result<bool> vm = c.prog.EvaluateBool(container);
+    Result<bool> nat = c.native->EvaluateBool(container);
+    ASSERT_EQ(vm.ok(), nat.ok());
+    if (vm.ok()) {
+      EXPECT_EQ(*vm, *nat);
+    } else {
+      // "condition did not evaluate to a boolean: ..." and the null-read
+      // message must match byte for byte.
+      EXPECT_EQ(vm.status().ToString(), nat.status().ToString());
+    }
+  }
+}
+
+TEST_F(NativeCodegenTest, UndersizedContainerRaisesTheVmLayoutError) {
+  // Compile against a fully written container, evaluate against a fresh
+  // one whose value vector is shorter (nothing written): Run()'s
+  // min_slots_ guard must reproduce CompiledCondition's exact
+  // bound-layout error instead of reading out of bounds.
+  data::Container full = MakeProbe();
+  Compiled c = MustCompile("b and l = 7", full);
+
+  data::StructType small("Small");
+  ASSERT_TRUE(small.AddScalar("x", ScalarType::kLong).ok());
+  ASSERT_TRUE(reg_.Register(std::move(small)).ok());
+  auto sc = data::Container::Create(reg_, "Small");
+  ASSERT_TRUE(sc.ok());
+
+  Result<Value> vm = c.prog.Evaluate(*sc);
+  Result<Value> nat = c.native->Evaluate(*sc);
+  ASSERT_FALSE(vm.ok());
+  ASSERT_FALSE(nat.ok());
+  EXPECT_EQ(vm.status().ToString(), nat.status().ToString());
+}
+
+class NativeStepUnitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!NativeCodegenAvailable()) {
+      GTEST_SKIP() << "native codegen unavailable on this build/platform";
+    }
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(NativeStepUnitTest, FullyTypedDiamondCompilesEveryActivity) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "p").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "p", 0).ok());
+  wf::ProcessBuilder b(&store_, "diamond");
+  b.Program("A", "p").Program("B", "p").Program("C", "p");
+  b.Program("D", "p").OrJoin();
+  b.Connect("A", "B", "RC = 0");
+  b.Otherwise("A", "C");
+  b.Connect("B", "D");
+  b.Connect("C", "D");
+  ASSERT_TRUE(b.Register().ok());
+
+  auto def = store_.FindProcess("diamond");
+  ASSERT_TRUE(def.ok());
+  const auto& unit = (*def)->plan().native_unit();
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->activity_count(), 4u);
+  EXPECT_EQ(unit->programs_compiled(), 4u);
+  EXPECT_EQ(unit->bailouts(), 0u);
+  EXPECT_GT(unit->code_bytes(), 0u);
+  for (uint32_t aid = 0; aid < unit->activity_count(); ++aid) {
+    EXPECT_NE(unit->entry(aid), nullptr) << "activity " << aid;
+  }
+  // A's condition reads RC from _Default, so its sweep demands at least
+  // one readable slot; the unconditioned activities demand none.
+  EXPECT_GE(unit->min_slots(0), 1u);
+  EXPECT_EQ(unit->min_slots(1), 0u);
+}
+
+TEST_F(NativeStepUnitTest, TreeWalkConditionBailsOutJustThatActivity) {
+  ASSERT_TRUE(DeclareDefaultProgram(&store_, "q").ok());
+  ASSERT_TRUE(BindConstRc(&programs_, "q", 0).ok());
+  wf::ProcessBuilder b(&store_, "mixed");
+  b.Program("A", "q").Program("B", "q").Program("C", "q");
+  // String comparison never gets a typed program — the plan keeps a
+  // kTree/untyped step for A and the emitter must bail on A only.
+  b.Connect("A", "B", "RC < \"x\"");
+  b.Otherwise("A", "C");
+  b.Connect("B", "C", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  auto def = store_.FindProcess("mixed");
+  ASSERT_TRUE(def.ok());
+  const auto& unit = (*def)->plan().native_unit();
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->activity_count(), 3u);
+  EXPECT_EQ(unit->bailouts(), 1u);
+  EXPECT_EQ(unit->programs_compiled(), 2u);
+  EXPECT_EQ(unit->entry(0), nullptr);   // A: bailed
+  EXPECT_NE(unit->entry(1), nullptr);   // B: typed condition, compiled
+  EXPECT_NE(unit->entry(2), nullptr);   // C: sink
+}
+
+}  // namespace
+}  // namespace exotica::codegen

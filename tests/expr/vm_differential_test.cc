@@ -2,10 +2,12 @@
 // the tree-walk evaluator on every expression it accepts — same value on
 // success, same status (code AND message) on error — across randomized
 // expressions and randomized container states, including null members and
-// type errors. Three-way since the typed programs landed: tree-walk vs
-// the generic VM (EvaluateGeneric) vs the typed monomorphic VM
-// (Evaluate, which runs the typed program whenever the compiler emitted
-// one) must all be byte-identical.
+// type errors. Four-way since native codegen landed: tree-walk vs the
+// generic VM (EvaluateGeneric) vs the typed monomorphic VM (Evaluate,
+// which runs the typed program whenever the compiler emitted one) vs the
+// native x86-64 function (codegen::NativeCondition, compiled from the
+// same typed program) must all be byte-identical. The native arm skips
+// itself on builds without the emitter.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/step_jit.h"
 #include "common/rng.h"
 #include "data/container.h"
 #include "expr/ast.h"
@@ -124,7 +127,9 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
   Rng rng(20260806);
   ExprGen gen(&rng);
 
+  const bool native_available = codegen::NativeCodegenAvailable();
   int compiled = 0, agreed_values = 0, agreed_errors = 0, typed = 0;
+  int native_compiled = 0;
   constexpr int kExpressions = 12000;
   for (int i = 0; i < kExpressions; ++i) {
     NodePtr node = gen.Gen(5);
@@ -142,6 +147,28 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
     Result<Value> tree = Evaluate(*node, resolver);
     Result<Value> generic = prog->EvaluateGeneric(container);
     Result<Value> vm = prog->Evaluate(container);  // typed when available
+
+    // Fourth arm: the typed program lowered to machine code. Every typed
+    // program uses only ops the emitter supports, so compilation must
+    // succeed whenever a typed program exists at all.
+    std::unique_ptr<codegen::NativeCondition> native;
+    if (native_available && prog->typed()) {
+      native = codegen::NativeCondition::Compile(*prog);
+      ASSERT_NE(native, nullptr) << node->ToString();
+      ++native_compiled;
+      Result<Value> nat = native->Evaluate(container);
+      ASSERT_EQ(vm.ok(), nat.ok())
+          << node->ToString() << "\n vm:     "
+          << (vm.ok() ? vm->ToString() : vm.status().ToString())
+          << "\n native: "
+          << (nat.ok() ? nat->ToString() : nat.status().ToString());
+      if (vm.ok()) {
+        ASSERT_EQ(*vm, *nat) << node->ToString();
+      } else {
+        ASSERT_EQ(vm.status().ToString(), nat.status().ToString())
+            << node->ToString();
+      }
+    }
 
     ASSERT_EQ(tree.ok(), generic.ok())
         << node->ToString() << "\n tree:    "
@@ -192,6 +219,11 @@ TEST_F(VmDifferentialTest, TenThousandRandomExpressionsAgree) {
   EXPECT_GT(agreed_errors, 1000);
   EXPECT_GT(typed, 1000);
   EXPECT_LT(typed, kExpressions);
+  // On emitter-enabled builds the native arm must have actually run over
+  // the full typed share of the corpus.
+  if (native_available) {
+    EXPECT_EQ(native_compiled, typed);
+  }
 }
 
 TEST_F(VmDifferentialTest, BoolCoercionAgreesUnderEvaluateBool) {
@@ -209,6 +241,18 @@ TEST_F(VmDifferentialTest, BoolCoercionAgreesUnderEvaluateBool) {
     Result<bool> vm = prog->EvaluateBool(container);  // typed when available
     ASSERT_EQ(tree.ok(), generic.ok()) << node->ToString();
     ASSERT_EQ(tree.ok(), vm.ok()) << node->ToString();
+    if (codegen::NativeCodegenAvailable() && prog->typed()) {
+      auto native = codegen::NativeCondition::Compile(*prog);
+      ASSERT_NE(native, nullptr) << node->ToString();
+      Result<bool> nat = native->EvaluateBool(container);
+      ASSERT_EQ(vm.ok(), nat.ok()) << node->ToString();
+      if (vm.ok()) {
+        ASSERT_EQ(*vm, *nat) << node->ToString();
+      } else {
+        ASSERT_EQ(vm.status().ToString(), nat.status().ToString())
+            << node->ToString();
+      }
+    }
     if (tree.ok()) {
       ASSERT_EQ(*tree, *generic) << node->ToString();
       ASSERT_EQ(*tree, *vm) << node->ToString();

@@ -1,0 +1,291 @@
+// Golden equivalence of the native x86-64 step functions
+// (EngineOptions::use_native_step_programs) against the threaded-code
+// interpreter: on the same definition and inputs, every engine-observable
+// artifact — the journal record stream (order AND content, connector
+// evals included), the audit trace, the instance output, and error
+// strings — must be byte-identical across the toggle. Exercised over the
+// Trip saga (compensation path) and the Figure 3 flexible transaction
+// (alternative path), mirroring instance_layout_test.cc, plus targeted
+// error-path and stats/fleet-aggregation coverage. On builds without the
+// emitter the toggle is a no-op and every assertion still holds — that
+// is the fallback contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "atm/flex.h"
+#include "atm/saga.h"
+#include "atm/subtxn.h"
+#include "codegen/step_jit.h"
+#include "exotica/flex_translate.h"
+#include "exotica/programs.h"
+#include "exotica/saga_translate.h"
+#include "wf/builder.h"
+#include "wfjournal/journal.h"
+#include "wfrt/engine.h"
+#include "wfrt/fleet.h"
+#include "../testutil.h"
+
+namespace exotica {
+namespace {
+
+using test::BindConstRc;
+using test::DeclareDefaultProgram;
+using wfjournal::MemoryJournal;
+
+class AbortingRunner : public atm::SubTxnRunner {
+ public:
+  explicit AbortingRunner(std::set<std::string> aborts)
+      : aborts_(std::move(aborts)) {}
+  Result<bool> Run(const std::string& name) override {
+    return aborts_.count(name) == 0;
+  }
+  Result<bool> Compensate(const std::string&) override { return true; }
+
+ private:
+  std::set<std::string> aborts_;
+};
+
+struct RunResult {
+  std::vector<std::string> records;
+  std::vector<std::string> trace;
+  std::string output;
+  wfrt::EngineStats stats;
+};
+
+RunResult RunOnce(const wf::DefinitionStore& store,
+                  wfrt::ProgramRegistry* programs, const std::string& process,
+                  bool use_native) {
+  RunResult out;
+  MemoryJournal journal;
+  wfrt::EngineOptions options;
+  options.use_native_step_programs = use_native;
+  wfrt::Engine engine(&store, programs, options);
+  EXPECT_TRUE(engine.AttachJournal(&journal).ok());
+  auto id = engine.RunToCompletion(process);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  if (id.ok()) {
+    EXPECT_TRUE(engine.IsFinished(*id));
+    out.trace = engine.audit().CompactTrace(*id, {});
+    auto o = engine.OutputOf(*id);
+    if (o.ok()) out.output = o->Serialize();
+  }
+  auto records = journal.ReadAll();
+  EXPECT_TRUE(records.ok());
+  for (const wfjournal::Record& r : *records) {
+    out.records.push_back(r.Encode());
+  }
+  out.stats = engine.stats();
+  return out;
+}
+
+class NativeStepTest : public ::testing::Test {
+ protected:
+  std::string SetupTripSaga() {
+    atm::SagaSpec spec("Trip");
+    spec.Then("Flight").Then("Hotel").Then("Car");
+    auto t = exo::TranslateSaga(spec, &store_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    runner_ = std::make_unique<AbortingRunner>(std::set<std::string>{"Hotel"});
+    EXPECT_TRUE(
+        exo::BindSagaPrograms(spec, store_, runner_.get(), &programs_).ok());
+    return t->root_process;
+  }
+
+  std::string SetupFigure3() {
+    atm::FlexSpec flex = atm::MakeFigure3Spec();
+    auto t = exo::TranslateFlex(flex, &store_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    runner_ = std::make_unique<AbortingRunner>(std::set<std::string>{"T5"});
+    EXPECT_TRUE(
+        exo::BindFlexPrograms(flex, store_, runner_.get(), &programs_).ok());
+    return t->root_process;
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+  std::unique_ptr<AbortingRunner> runner_;
+};
+
+TEST_F(NativeStepTest, TripSagaByteIdenticalAcrossNativeToggle) {
+  std::string process = SetupTripSaga();
+  RunResult threaded = RunOnce(store_, &programs_, process, /*use_native=*/false);
+  ASSERT_FALSE(threaded.records.empty());
+  EXPECT_EQ(threaded.stats.native_step_dispatches, 0u);
+
+  RunResult native = RunOnce(store_, &programs_, process, /*use_native=*/true);
+  EXPECT_EQ(threaded.records, native.records);
+  EXPECT_EQ(threaded.trace, native.trace);
+  EXPECT_EQ(threaded.output, native.output);
+  EXPECT_EQ(threaded.stats.activities_executed, native.stats.activities_executed);
+  EXPECT_EQ(threaded.stats.connectors_evaluated,
+            native.stats.connectors_evaluated);
+  EXPECT_EQ(threaded.stats.dead_path_terminations,
+            native.stats.dead_path_terminations);
+  EXPECT_EQ(threaded.stats.vm_condition_evals, native.stats.vm_condition_evals);
+  EXPECT_EQ(threaded.stats.typed_condition_evals,
+            native.stats.typed_condition_evals);
+  // Every sweep ran through exactly one of the two dispatchers.
+  EXPECT_EQ(native.stats.native_step_dispatches +
+                native.stats.step_program_dispatches,
+            threaded.stats.step_program_dispatches);
+  if (codegen::NativeCodegenAvailable()) {
+    EXPECT_GT(native.stats.native_step_dispatches, 0u);
+    EXPECT_GT(native.stats.native_programs_compiled, 0u);
+  } else {
+    EXPECT_EQ(native.stats.native_step_dispatches, 0u);
+  }
+}
+
+TEST_F(NativeStepTest, Figure3ByteIdenticalAcrossNativeToggle) {
+  std::string process = SetupFigure3();
+  RunResult threaded = RunOnce(store_, &programs_, process, /*use_native=*/false);
+  ASSERT_FALSE(threaded.records.empty());
+  RunResult native = RunOnce(store_, &programs_, process, /*use_native=*/true);
+  EXPECT_EQ(threaded.records, native.records);
+  EXPECT_EQ(threaded.trace, native.trace);
+  EXPECT_EQ(threaded.output, native.output);
+  EXPECT_EQ(native.stats.native_step_dispatches +
+                native.stats.step_program_dispatches,
+            threaded.stats.step_program_dispatches);
+}
+
+// Null reads surface the exact interpreter Status: the emitter's error
+// stub carries the identifier-name index and the engine rebuilds
+// "condition references unset data: <name>" with the same transition
+// context the interpreted sweep attaches.
+class NativeStepErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::StructType gate("Gate");
+    // FLAG has no default: a program that never writes it leaves a null
+    // the condition trips over at evaluation time.
+    ASSERT_TRUE(gate.AddScalar("FLAG", data::ScalarType::kLong).ok());
+    ASSERT_TRUE(store_.types().Register(std::move(gate)).ok());
+    wf::ProgramDeclaration decl;
+    decl.name = "gated";
+    decl.output_type = "Gate";
+    ASSERT_TRUE(store_.DeclareProgram(std::move(decl)).ok());
+    ASSERT_TRUE(programs_
+                    .Bind("gated",
+                          [](const data::Container&, data::Container*,
+                             const wfrt::ProgramContext&) -> Status {
+                            return Status::OK();  // FLAG stays unset
+                          })
+                    .ok());
+    ASSERT_TRUE(DeclareDefaultProgram(&store_, "plain").ok());
+    ASSERT_TRUE(BindConstRc(&programs_, "plain", 0).ok());
+
+    wf::ProcessBuilder b(&store_, "nullread");
+    b.Program("A", "gated").Program("B", "plain").Program("C", "plain");
+    b.Connect("A", "B", "FLAG = 1");
+    b.Otherwise("A", "C");
+    ASSERT_TRUE(b.Register().ok());
+  }
+
+  wf::DefinitionStore store_;
+  wfrt::ProgramRegistry programs_;
+};
+
+TEST_F(NativeStepErrorTest, NullReadErrorStringsMatchInterpreter) {
+  std::vector<std::string> errors;
+  for (bool use_native : {false, true}) {
+    wfrt::EngineOptions options;
+    options.use_native_step_programs = use_native;
+    wfrt::Engine engine(&store_, &programs_, options);
+    ASSERT_TRUE(engine.StartProcess("nullread").ok());
+    Status st = engine.Run();
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("condition references unset data: FLAG"),
+              std::string::npos)
+        << st.ToString();
+    errors.push_back(st.ToString());
+  }
+  EXPECT_EQ(errors[0], errors[1]);
+}
+
+TEST_F(NativeStepErrorTest, ConditionErrorIsFalseParity) {
+  // With condition_error_is_false the null read demotes to "connector
+  // false" and the otherwise path fires — identically on both paths,
+  // journal included.
+  std::vector<RunResult> runs;
+  for (bool use_native : {false, true}) {
+    RunResult out;
+    MemoryJournal journal;
+    wfrt::EngineOptions options;
+    options.use_native_step_programs = use_native;
+    options.condition_error_is_false = true;
+    wfrt::Engine engine(&store_, &programs_, options);
+    ASSERT_TRUE(engine.AttachJournal(&journal).ok());
+    auto id = engine.RunToCompletion("nullread");
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.IsFinished(*id));
+    out.trace = engine.audit().CompactTrace(*id, {});
+    auto records = journal.ReadAll();
+    ASSERT_TRUE(records.ok());
+    for (const wfjournal::Record& r : *records) {
+      out.records.push_back(r.Encode());
+    }
+    out.stats = engine.stats();
+    runs.push_back(std::move(out));
+  }
+  ASSERT_FALSE(runs[0].records.empty());
+  EXPECT_EQ(runs[0].records, runs[1].records);
+  EXPECT_EQ(runs[0].trace, runs[1].trace);
+  EXPECT_EQ(runs[0].stats.connectors_evaluated,
+            runs[1].stats.connectors_evaluated);
+}
+
+TEST(NativeStepStatsTest, CompileAccountingAndFleetAggregation) {
+  wf::DefinitionStore store;
+  wfrt::ProgramRegistry programs;
+  ASSERT_TRUE(DeclareDefaultProgram(&store, "p").ok());
+  ASSERT_TRUE(BindConstRc(&programs, "p", 0).ok());
+  wf::ProcessBuilder b(&store, "chain");
+  b.Program("A", "p").Program("B", "p").Program("C", "p");
+  b.Connect("A", "B", "RC = 0");
+  b.Otherwise("A", "C");
+  b.Connect("B", "C", "RC = 0");
+  ASSERT_TRUE(b.Register().ok());
+
+  // Single engine: the plan is counted once (first encounter), repeat
+  // runs only grow the dispatch counter.
+  wfrt::Engine engine(&store, &programs);
+  ASSERT_TRUE(engine.RunToCompletion("chain").ok());
+  wfrt::EngineStats first = engine.stats();
+  ASSERT_TRUE(engine.RunToCompletion("chain").ok());
+  wfrt::EngineStats second = engine.stats();
+  EXPECT_EQ(first.native_programs_compiled, second.native_programs_compiled);
+  EXPECT_EQ(first.native_compile_bailouts, second.native_compile_bailouts);
+  if (codegen::NativeCodegenAvailable()) {
+    EXPECT_EQ(first.native_programs_compiled, 3u);
+    EXPECT_EQ(first.native_compile_bailouts, 0u);
+    EXPECT_EQ(second.native_step_dispatches,
+              2 * first.native_step_dispatches);
+    EXPECT_GT(first.native_step_dispatches, 0u);
+  }
+
+  // Fleet batch: the aggregate carries the native counters across
+  // engines, and sweeps dispatch native wherever the build compiled them.
+  wfrt::EngineFleet fleet(&store, &programs, 2);
+  auto result = fleet.RunBatch("chain", 8);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->instances_finished, 8u);
+  // Dispatch-count conservation: every sweep in the batch went through
+  // exactly one of the two dispatchers, 8 instances' worth.
+  EXPECT_EQ(result->aggregate.native_step_dispatches +
+                result->aggregate.step_program_dispatches,
+            8 * (first.native_step_dispatches + first.step_program_dispatches));
+  if (codegen::NativeCodegenAvailable()) {
+    EXPECT_GT(result->aggregate.native_step_dispatches, 0u);
+    EXPECT_GT(result->aggregate.native_programs_compiled, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace exotica

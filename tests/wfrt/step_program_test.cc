@@ -56,12 +56,14 @@ class StepProgramTest : public ::testing::Test {
     std::vector<std::string> trace;
     wfrt::EngineStats stats;
   };
-  RunResult RunOnce(const std::string& process, bool use_step, bool use_vm) {
+  RunResult RunOnce(const std::string& process, bool use_step, bool use_vm,
+                    bool use_native = false) {
     RunResult out;
     wfjournal::MemoryJournal journal;
     wfrt::EngineOptions options;
     options.use_step_programs = use_step;
     options.use_condition_vm = use_vm;
+    options.use_native_step_programs = use_native;
     wfrt::Engine engine(&store_, &programs_, options);
     EXPECT_TRUE(engine.AttachJournal(&journal).ok());
     auto id = engine.RunToCompletion(process);
@@ -124,6 +126,7 @@ TEST_F(StepProgramTest, JournalByteIdenticalAcrossAllEvaluationPaths) {
     ASSERT_FALSE(golden.records.empty());
     EXPECT_EQ(golden.stats.step_program_dispatches, 0u);
 
+    uint64_t fused_dispatches = 0;
     for (bool use_vm : {true, false}) {
       RunResult fused = RunOnce(process, /*use_step=*/true, use_vm);
       SCOPED_TRACE(std::string("vm=") + (use_vm ? "on" : "off"));
@@ -134,10 +137,22 @@ TEST_F(StepProgramTest, JournalByteIdenticalAcrossAllEvaluationPaths) {
       EXPECT_GT(fused.stats.step_program_dispatches, 0u);
       EXPECT_EQ(fused.stats.connectors_evaluated,
                 golden.stats.connectors_evaluated);
+      if (use_vm) fused_dispatches = fused.stats.step_program_dispatches;
     }
     RunResult tree = RunOnce(process, /*use_step=*/false, /*use_vm=*/false);
     EXPECT_EQ(golden.records, tree.records);
     EXPECT_EQ(golden.trace, tree.trace);
+
+    // The native rung: byte-identical again. On builds without the
+    // emitter the option is a no-op and the sweep stays fused — still
+    // byte-identical, which is exactly the fallback contract.
+    RunResult native =
+        RunOnce(process, /*use_step=*/true, /*use_vm=*/true, /*use_native=*/true);
+    EXPECT_EQ(golden.records, native.records);
+    EXPECT_EQ(golden.trace, native.trace);
+    EXPECT_EQ(native.stats.native_step_dispatches +
+                  native.stats.step_program_dispatches,
+              fused_dispatches);
   }
 }
 
@@ -168,13 +183,25 @@ TEST_F(StepProgramTest, ConditionErrorMessagesMatchInterpretedSweep) {
 
 TEST_F(StepProgramTest, TypedStatsCountSubsetOfVmEvals) {
   RegisterDiamond("diamond", 0);
-  wfrt::Engine engine(&store_, &programs_);
+  wfrt::EngineOptions threaded;
+  threaded.use_native_step_programs = false;
+  wfrt::Engine engine(&store_, &programs_, threaded);
   auto id = engine.RunToCompletion("diamond");
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   // "RC = 0" runs once, on the typed program, through a step dispatch.
   EXPECT_EQ(engine.stats().vm_condition_evals, 1u);
   EXPECT_EQ(engine.stats().typed_condition_evals, 1u);
   EXPECT_GT(engine.stats().step_program_dispatches, 0u);
+
+  // The default engine dispatches the same sweeps natively (where this
+  // build compiled them) and counts the same condition stats.
+  wfrt::Engine native_engine(&store_, &programs_);
+  ASSERT_TRUE(native_engine.RunToCompletion("diamond").ok());
+  EXPECT_EQ(native_engine.stats().vm_condition_evals, 1u);
+  EXPECT_EQ(native_engine.stats().typed_condition_evals, 1u);
+  EXPECT_EQ(native_engine.stats().native_step_dispatches +
+                native_engine.stats().step_program_dispatches,
+            engine.stats().step_program_dispatches);
 
   // Forcing the generic program keeps the vm count but drops typed.
   wfrt::EngineOptions options;

@@ -40,6 +40,15 @@ within run-to-run noise, so the floor is wide (recorded, not gated
 high — see docs/specs/instance_layout.md). Single-run ratio gates, no
 committed baseline.
 
+Optionally (--native-fresh FILE) gates the native-codegen numbers from
+a fresh bench_navigation NativeChain/NativeConditionedChain run: the
+x86-64 step functions (native:1) must beat the threaded-code
+interpreter (native:0) by at least --min-native-speedup (default 1.15)
+at n:100 on the better of the two chain shapes. Single-run ratio gate,
+no committed baseline; only meaningful on emitter-enabled builds (an
+EXOTICA_NATIVE_CODEGEN=OFF build runs threaded code in both arms and
+the ratio sits at ~1.0, so that configuration must not pass this flag).
+
 Usage:
   build/bench/bench_navigation --benchmark_format=json \
       --benchmark_filter='ConditionedChain|StepChain' \
@@ -124,6 +133,14 @@ def main():
                     help="min required packed:0/packed:1 StartInstance "
                          "speedup at n:100 — the headline layout gate "
                          "(default 1.15)")
+    ap.add_argument("--native-fresh", default=None,
+                    help="google-benchmark JSON from a fresh "
+                         "bench_navigation NativeChain/"
+                         "NativeConditionedChain run; enables the "
+                         "native-codegen gate (emitter builds only)")
+    ap.add_argument("--min-native-speedup", type=float, default=1.15,
+                    help="min required native:0/native:1 speedup at "
+                         "n:100 on the better chain shape (default 1.15)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -253,6 +270,37 @@ def main():
                   f"at n:100, required >= {args.min_packed_spinup}")
             if spinup < args.min_packed_spinup:
                 failures.append("packed_spinup")
+
+    if args.native_fresh is not None:
+        with open(args.native_fresh) as f:
+            native = json.load(f)
+        nat_times = median_times(native)
+
+        def nat_ratio(base_key, test_key):
+            base, test = nat_times.get(base_key), nat_times.get(test_key)
+            if base is None or test is None or test == 0:
+                return None
+            return base / test
+
+        shapes = {}
+        for bench in ("BM_NativeChainNavigation",
+                      "BM_NativeConditionedChain"):
+            r = nat_ratio(f"{bench}/n:100/native:0",
+                          f"{bench}/n:100/native:1")
+            if r is not None:
+                shapes[bench] = r
+        if not shapes:
+            print("MISSING: native run has no NativeChain n:100 rows")
+            return 2
+        best_shape = max(shapes, key=shapes.get)
+        best = shapes[best_shape]
+        verdict = "ok" if best >= args.min_native_speedup else "REGRESSION"
+        print(f"{verdict} native codegen: best {best:.3f}x at n:100 "
+              f"({best_shape}; all: "
+              f"{({k: round(v, 3) for k, v in shapes.items()})}), "
+              f"required >= {args.min_native_speedup}")
+        if best < args.min_native_speedup:
+            failures.append("native_codegen")
 
     return 1 if failures else 0
 

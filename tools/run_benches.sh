@@ -10,6 +10,7 @@
 #   STEP_OUT=step.json       tools/run_benches.sh   # override step file
 #   RECOVERY_OUT=rec.json    tools/run_benches.sh   # override recovery file
 #   LAYOUT_OUT=layout.json   tools/run_benches.sh   # override layout file
+#   NATIVE_OUT=native.json   tools/run_benches.sh   # override native file
 #
 # The output has one top-level key per benchmark binary, each holding the
 # raw Google Benchmark JSON (context + benchmarks array). The fault-
@@ -34,6 +35,11 @@
 # head-to-heads (PackedChainNavigation and PackedStartInstance, packed
 # SoA hot/cold split vs the legacy AoS runtime vector, plus the skewed
 # steal batch for cost-aware-victim context) land in BENCH_layout.json.
+# The native-codegen head-to-heads (NativeChainNavigation and
+# NativeConditionedChain, x86-64 step functions vs the threaded-code
+# interpreter on the same fused plans) land in BENCH_native.json; on
+# builds without the emitter both arms run threaded code and the ratios
+# collapse to ~1.
 
 set -euo pipefail
 
@@ -45,6 +51,7 @@ COND_OUT="${COND_OUT:-BENCH_cond.json}"
 STEP_OUT="${STEP_OUT:-BENCH_step.json}"
 RECOVERY_OUT="${RECOVERY_OUT:-BENCH_recovery.json}"
 LAYOUT_OUT="${LAYOUT_OUT:-BENCH_layout.json}"
+NATIVE_OUT="${NATIVE_OUT:-BENCH_native.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_navigation bench_fleet bench_recovery bench_condition)
 
@@ -102,6 +109,12 @@ echo "== bench_navigation (packed vs legacy layout) ==" >&2
   --benchmark_filter='PackedChain' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   > "$tmpdir/bench_layout_nav.json"
+
+echo "== bench_navigation (native codegen vs threaded code) ==" >&2
+"$BUILD_DIR/bench/bench_navigation" --benchmark_format=json \
+  --benchmark_filter='NativeChain|NativeConditionedChain' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  > "$tmpdir/bench_native_nav.json"
 
 echo "== bench_fleet (packed spin-up) ==" >&2
 "$BUILD_DIR/bench/bench_fleet" --benchmark_format=json \
@@ -353,6 +366,46 @@ for n in (100, 1000):
             f"BM_StepChainNavigation/n:{n}/step:1")
 
 merged = {"bench_step_navigation": step, "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {summary}")
+EOF
+
+python3 - "$NATIVE_OUT" "$tmpdir" <<'EOF'
+import json, sys
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(f"{tmpdir}/bench_native_nav.json") as f:
+    nav = json.load(f)
+
+# Headline speedups from the median aggregates: the native x86-64 step
+# functions (native:1) vs the threaded-code interpreter (native:0) on
+# the same fused plans. native_chain prices the sweep scaffold (simple
+# guard conditions), native_conditioned_chain additionally prices the
+# lowered eight-clause arithmetic condition on every hop. The CI acceptance number is
+# the best n:100 ratio >= 1.15 (check_bench_regression.py
+# --native-fresh); on emitter-less builds both arms are threaded code
+# and the ratios sit at ~1.0.
+medians = {}
+for b in nav.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b
+
+summary = {}
+def speedup(name, base_key, test_key):
+    base, test = medians.get(base_key), medians.get(test_key)
+    if base and test:
+        summary[name] = round(base["real_time"] / test["real_time"], 3)
+
+for n in (100, 1000):
+    speedup(f"native_chain_{n}_speedup",
+            f"BM_NativeChainNavigation/n:{n}/native:0",
+            f"BM_NativeChainNavigation/n:{n}/native:1")
+    speedup(f"native_conditioned_chain_{n}_speedup",
+            f"BM_NativeConditionedChain/n:{n}/native:0",
+            f"BM_NativeConditionedChain/n:{n}/native:1")
+
+merged = {"bench_native_navigation": nav, "summary": summary}
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
